@@ -1,0 +1,37 @@
+# BullFrog-Go developer targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Figure experiments as testing.B benchmarks plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime 1x .
+
+# Regenerate every evaluation figure (quick profile; see -profile medium/full).
+figures:
+	$(GO) run ./cmd/bullfrog-bench -fig all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tablesplit
+	$(GO) run ./examples/aggregate
+	$(GO) run ./examples/joinmigration
+	$(GO) run ./examples/recovery
+
+clean:
+	$(GO) clean ./...

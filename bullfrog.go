@@ -1,0 +1,362 @@
+package bullfrog
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// Re-exported building blocks, so callers assemble migrations without
+// importing internal packages.
+type (
+	// Migration is a complete schema migration (setup DDL + statements).
+	Migration = core.Migration
+	// Statement is one migration statement (outputs + tracking category).
+	Statement = core.Statement
+	// OutputSpec is one output table with its defining transform query.
+	OutputSpec = core.OutputSpec
+	// SeedSpec completes denormalizing joins for groups with no driving rows.
+	SeedSpec = core.SeedSpec
+	// ConflictMode selects early (tracker) vs on-insert duplicate detection.
+	ConflictMode = core.ConflictMode
+	// Datum is a single SQL value.
+	Datum = types.Datum
+	// Row is a tuple of datums.
+	Row = types.Row
+	// Result is a statement's outcome: columns, rows, affected count.
+	Result = engine.Result
+)
+
+// Migration categories and conflict modes (paper §3.1, §3.7).
+const (
+	OneToOne       = core.OneToOne
+	OneToMany      = core.OneToMany
+	ManyToOne      = core.ManyToOne
+	ManyToMany     = core.ManyToMany
+	DetectEarly    = core.DetectEarly
+	DetectOnInsert = core.DetectOnInsert
+)
+
+// Datum constructors.
+var (
+	NewInt    = types.NewInt
+	NewFloat  = types.NewFloat
+	NewString = types.NewString
+	NewBool   = types.NewBool
+	NewTime   = types.NewTime
+	Null      = types.Null
+)
+
+// ParseQuery parses a SELECT statement for use as a migration transform.
+func ParseQuery(src string) (*sql.SelectStmt, error) {
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := s.(*sql.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("bullfrog: expected a SELECT, got %T", s)
+	}
+	return sel, nil
+}
+
+// MustQuery is ParseQuery that panics on error (for static migration specs).
+func MustQuery(src string) *sql.SelectStmt {
+	sel, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return sel
+}
+
+// Options configures a database instance.
+type Options struct {
+	// PageSize is the storage heap's slots-per-page (0 = default 256).
+	PageSize uint32
+	// LockTimeout bounds lock waits; timeouts resolve deadlocks (0 = 250ms).
+	LockTimeout time.Duration
+	// WAL receives redo records (nil disables logging).
+	WAL wal.Logger
+	// ConflictMode selects BullFrog's duplicate-migration detection
+	// (DetectEarly by default).
+	ConflictMode ConflictMode
+}
+
+// DB is an embedded BullFrog database.
+type DB struct {
+	eng  *engine.DB
+	ctrl *core.Controller
+	gate *core.Gate
+	bg   *core.Background
+}
+
+// Open creates an empty database.
+func Open(opts Options) *DB {
+	eng := engine.New(engine.Options{
+		PageSize:    opts.PageSize,
+		LockTimeout: opts.LockTimeout,
+		WAL:         opts.WAL,
+	})
+	return &DB{
+		eng:  eng,
+		ctrl: core.NewController(eng, opts.ConflictMode),
+		gate: core.NewGate(),
+	}
+}
+
+// Engine exposes the underlying query engine (power users, benchmarks).
+func (db *DB) Engine() *engine.DB { return db.eng }
+
+// Controller exposes the migration controller (stats, manual control).
+func (db *DB) Controller() *core.Controller { return db.ctrl }
+
+// Gate exposes the client/eager-migration gate; workloads running
+// transactions outside Exec (e.g. the TPC-C harness) hold it per transaction
+// so the eager baseline can measure its downtime honestly.
+func (db *DB) Gate() *core.Gate { return db.gate }
+
+// Exec parses and executes one or more SQL statements, each in its own
+// transaction, after performing any lazy migration the statements require.
+// The result of the last statement is returned.
+func (db *DB) Exec(src string) (*Result, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result = &Result{}
+	for _, s := range stmts {
+		db.gate.Enter()
+		res, err := db.execStmt(s)
+		db.gate.Leave()
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// Query is Exec for a single SELECT; provided for readability.
+func (db *DB) Query(src string) (*Result, error) { return db.Exec(src) }
+
+func (db *DB) execStmt(s sql.Statement) (*Result, error) {
+	if err := db.interceptStmt(s); err != nil {
+		return nil, err
+	}
+	tx := db.eng.Begin()
+	res, err := db.eng.ExecStmt(tx, s)
+	if err != nil {
+		db.eng.Abort(tx)
+		return nil, err
+	}
+	if err := db.eng.Commit(tx); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// interceptStmt is BullFrog's request interception (paper §2.1): reject
+// retired tables, and for requests over tables under migration, migrate the
+// potentially relevant tuples before the request runs. UPDATE and DELETE are
+// handled exactly like SELECT — their WHERE drives a migration first, then
+// the original request runs on the new schema. INSERT needs no prior
+// migration here; constraint checks widen the scope via the engine hook.
+func (db *DB) interceptStmt(s sql.Statement) error {
+	switch t := s.(type) {
+	case *sql.SelectStmt:
+		return db.interceptSelect(t)
+	case *sql.UpdateStmt:
+		if err := db.checkRetired(t.Table); err != nil {
+			return err
+		}
+		return db.ensureForTable(t.Table, t.Alias, t.Where)
+	case *sql.DeleteStmt:
+		if err := db.checkRetired(t.Table); err != nil {
+			return err
+		}
+		return db.ensureForTable(t.Table, t.Alias, t.Where)
+	case *sql.InsertStmt:
+		if err := db.checkRetired(t.Table); err != nil {
+			return err
+		}
+		if t.Select != nil {
+			return db.interceptSelect(t.Select)
+		}
+		return nil
+	case *sql.ExplainStmt:
+		return db.interceptStmt(t.Inner)
+	default:
+		return nil
+	}
+}
+
+func (db *DB) checkRetired(table string) error {
+	if db.ctrl.IsRetired(table) {
+		return fmt.Errorf("%w: %q", core.ErrRetiredTable, table)
+	}
+	return nil
+}
+
+func (db *DB) interceptSelect(s *sql.SelectStmt) error {
+	for _, ref := range s.From {
+		if ref.Subquery != nil {
+			if err := db.interceptSelect(ref.Subquery); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := db.checkRetired(ref.Name); err != nil {
+			return err
+		}
+		// Views expand to their defining query, which may reference tables
+		// under migration; recurse (without the outer WHERE — predicates
+		// over view outputs don't transpose here, so the view's base tables
+		// fall back to their full scope, the safe superset).
+		if db.eng.Catalog().HasView(ref.Name) {
+			if v, err := db.eng.Catalog().View(ref.Name); err == nil {
+				if def, ok := v.Def.(*sql.SelectStmt); ok {
+					if err := db.interceptSelect(def); err != nil {
+						return err
+					}
+				}
+			}
+			continue
+		}
+		if err := db.ensureForTable(ref.Name, ref.Alias, s.Where); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensureForTable migrates data relevant to a request on `table` filtered by
+// `where`. Only the conjuncts fully resolvable against the table's columns
+// narrow the migration; everything else falls back to the table's full scope
+// for safety (superset semantics, paper §2.4).
+func (db *DB) ensureForTable(table, alias string, where expr.Expr) error {
+	rt := db.ctrl.RuntimeFor(table)
+	if rt == nil || rt.Complete() {
+		return nil
+	}
+	tbl, err := db.eng.Catalog().Table(table)
+	if err != nil {
+		return nil // engine will surface the real error
+	}
+	if alias == "" {
+		alias = table
+	}
+	var pred expr.Expr
+	for _, conj := range expr.SplitConjuncts(where) {
+		ok := true
+		for _, c := range expr.CollectCols(conj) {
+			if c.Table != "" && !equalFold(c.Table, alias) {
+				ok = false
+				break
+			}
+			if tbl.Def.ColumnIndex(c.Name) < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Strip qualifiers so the predicate speaks the output table's
+		// column language for transposition.
+		stripped, err := expr.Transform(conj, func(x expr.Expr) (expr.Expr, error) {
+			if c, ok := x.(*expr.Col); ok {
+				return expr.NewCol("", c.Name), nil
+			}
+			return x, nil
+		})
+		if err != nil {
+			return err
+		}
+		pred = expr.CombineConjuncts(pred, stripped)
+	}
+	return db.ctrl.EnsureMigrated(table, pred)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// Txn is a client transaction handle for programmatic (non-SQL) access; it
+// holds the client gate for its lifetime.
+type Txn struct {
+	db    *DB
+	inner *txn.Txn
+	done  bool
+}
+
+// Begin starts a client transaction (holding the gate).
+func (db *DB) Begin() *Txn {
+	db.gate.Enter()
+	return &Txn{db: db, inner: db.eng.Begin()}
+}
+
+// Raw returns the engine-level transaction.
+func (t *Txn) Raw() *txn.Txn { return t.inner }
+
+// Exec runs SQL inside the transaction (with migration interception).
+func (t *Txn) Exec(src string) (*Result, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result = &Result{}
+	for _, s := range stmts {
+		if err := t.db.interceptStmt(s); err != nil {
+			return nil, err
+		}
+		res, err := t.db.eng.ExecStmt(t.inner, s)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// Commit commits and releases the gate.
+func (t *Txn) Commit() error {
+	if t.done {
+		return txn.ErrTxnDone
+	}
+	t.done = true
+	err := t.db.eng.Commit(t.inner)
+	t.db.gate.Leave()
+	return err
+}
+
+// Abort rolls back and releases the gate.
+func (t *Txn) Abort() {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.db.eng.Abort(t.inner)
+	t.db.gate.Leave()
+}

@@ -1,0 +1,128 @@
+// Command bullfrog-bench regenerates the paper's evaluation figures
+// (SIGMOD'21 Figures 3-12) against this repository's implementation.
+//
+// Usage:
+//
+//	bullfrog-bench -fig 3            # one figure, quick profile
+//	bullfrog-bench -fig all -full    # everything, benchmark profile
+//	bullfrog-bench -fig 3 -rate 1.0  # saturated-load variant (the "700 TPS" regime)
+//
+// Each figure prints the same series the paper plots: per-interval
+// throughput with migration start/end markers, or latency CDFs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 3,4,5,6,7,8,9,10,11,12 or 'all'")
+	rate := flag.Float64("rate", 0.6, "offered load as a fraction of measured capacity (0.6 = the paper's 450 TPS regime, 1.0 = 700 TPS)")
+	prof := flag.String("profile", "quick", "run geometry: quick, medium, or full")
+	flag.Parse()
+
+	var profile bench.Profile
+	switch *prof {
+	case "quick":
+		profile = bench.Quick()
+	case "medium":
+		profile = bench.Medium()
+	case "full":
+		profile = bench.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *prof)
+		os.Exit(2)
+	}
+
+	figs := strings.Split(*fig, ",")
+	if *fig == "all" {
+		figs = []string{"3", "4", "5", "6", "7", "8", "9", "10", "11", "12"}
+	}
+	start := time.Now()
+	for _, f := range figs {
+		if err := runFigure(f, profile, *rate); err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}
+
+func runFigure(f string, p bench.Profile, rate float64) error {
+	switch f {
+	case "3":
+		fr, err := bench.Figure3(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+	case "4":
+		fr, err := bench.Figure4(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatCDF(fr), bench.FormatSummary(fr))
+	case "5":
+		fr, err := bench.Figure5(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+	case "6":
+		fr, err := bench.Figure6(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatCDF(fr), bench.FormatSummary(fr))
+	case "7":
+		fr, err := bench.Figure7(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+	case "8":
+		fr, err := bench.Figure8(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatCDF(fr), bench.FormatSummary(fr))
+	case "9":
+		fr, err := bench.Figure9(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatCDF(fr), bench.FormatSummary(fr))
+	case "10":
+		fr, err := bench.Figure10(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatCDF(fr), bench.FormatSummary(fr))
+	case "11":
+		fr, err := bench.Figure11(p, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatCDF(fr), bench.FormatSummary(fr))
+	case "12":
+		fr, err := bench.Figure12(p, rate, false)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+		fr, err = bench.Figure12(p, rate, true)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+	default:
+		return fmt.Errorf("unknown figure %q", f)
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Command bullfrog-shell is a minimal interactive SQL shell over an embedded
+// BullFrog database. Useful for poking at the engine and trying migrations
+// by hand.
+//
+//	$ bullfrog-shell
+//	bullfrog> CREATE TABLE t (a INT PRIMARY KEY, b TEXT);
+//	bullfrog> INSERT INTO t VALUES (1, 'hello');
+//	bullfrog> SELECT * FROM t;
+//	a | b
+//	1 | 'hello'
+//
+// Meta commands: \d (list tables), \q (quit).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+func main() {
+	script := flag.String("f", "", "execute the SQL file and exit")
+	flag.Parse()
+	db := bullfrog.Open(bullfrog.Options{})
+	if *script != "" {
+		src, err := os.ReadFile(*script)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res, err := db.Exec(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		printResult(res)
+		return
+	}
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\q quits.")
+	var buf strings.Builder
+	prompt := "bullfrog> "
+	for {
+		fmt.Print(prompt)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		switch line {
+		case `\q`:
+			return
+		case `\d`:
+			for _, name := range db.Engine().Catalog().TableNames() {
+				tbl, err := db.Engine().Catalog().Table(name)
+				if err == nil {
+					fmt.Println(tbl.Def.String())
+				}
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString(" ")
+		if !strings.HasSuffix(line, ";") {
+			prompt = "      ...> "
+			continue
+		}
+		prompt = "bullfrog> "
+		src := buf.String()
+		buf.Reset()
+		res, err := db.Exec(src)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func printResult(res *bullfrog.Result) {
+	if res.Explain != "" {
+		fmt.Println(res.Explain)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, d := range row {
+				parts[i] = d.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	fmt.Printf("ok (%d affected)\n", res.Affected)
+}

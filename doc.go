@@ -1,0 +1,25 @@
+// Package bullfrog is an embedded relational database with online,
+// single-step schema evolution via lazy evaluation — a from-scratch Go
+// implementation of the system described in "BullFrog: Online Schema
+// Evolution via Lazy Evaluation" (SIGMOD 2021).
+//
+// A schema migration is submitted as ordinary DDL plus a declarative
+// transform (a SELECT over the old schema per output table). The new schema
+// becomes active immediately: no data moves at submission time. Incoming
+// requests against the new schema trigger migration of exactly the tuples
+// they need — predicates are transposed through the migration's defining
+// query onto the old tables — while background threads migrate the rest.
+// Custom bitmap and hash-table trackers guarantee every tuple or group is
+// migrated exactly once under full concurrency, even across aborts.
+//
+// Quick start:
+//
+//	db := bullfrog.Open(bullfrog.Options{})
+//	db.Exec(`CREATE TABLE flewon (...); ...`)
+//	db.Migrate(&bullfrog.Migration{...}, bullfrog.MigrateOptions{})
+//	db.Query(`SELECT * FROM flewoninfo WHERE fid = 'AA101'`) // migrates lazily
+//
+// The eager and multi-step baselines evaluated in the paper are available as
+// MigrateEager and MigrateMultiStep. See the examples directory and
+// DESIGN.md for the full architecture.
+package bullfrog

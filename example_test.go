@@ -1,0 +1,59 @@
+package bullfrog_test
+
+import (
+	"fmt"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+// Example demonstrates a complete single-step migration: the new schema is
+// live immediately, data moves lazily on access.
+func Example() {
+	db := bullfrog.Open(bullfrog.Options{})
+	db.Exec(`
+		CREATE TABLE users (id INT PRIMARY KEY, name CHAR(16), plan CHAR(8));
+		INSERT INTO users VALUES (1, 'ada', 'free'), (2, 'grace', 'pro');`)
+
+	db.Migrate(&bullfrog.Migration{
+		Name:  "split-users",
+		Setup: `CREATE TABLE user_plans (id INT PRIMARY KEY, plan CHAR(8))`,
+		Statements: []*bullfrog.Statement{{
+			Name:     "split-users",
+			Driving:  "u",
+			Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "user_plans",
+				Def:   bullfrog.MustQuery(`SELECT id, plan FROM users u`),
+			}},
+		}},
+	}, bullfrog.MigrateOptions{BackgroundDelay: -1})
+
+	// This query migrates user 2 on access, then answers.
+	res, _ := db.Query(`SELECT plan FROM user_plans WHERE id = 2`)
+	fmt.Println(res.Rows[0][0])
+	fmt.Println("migrated so far:", db.MigrationStats()["split-users"].RowsMigrated)
+	// Output:
+	// 'pro'
+	// migrated so far: 1
+}
+
+// ExampleDB_Query shows predicate-scoped laziness: only matching tuples move.
+func ExampleDB_Query() {
+	db := bullfrog.Open(bullfrog.Options{})
+	db.Exec(`
+		CREATE TABLE m (k INT PRIMARY KEY, v INT);
+		INSERT INTO m VALUES (1, 10), (2, 20), (3, 30);`)
+	db.Migrate(&bullfrog.Migration{
+		Name:  "copy",
+		Setup: `CREATE TABLE m2 (k INT PRIMARY KEY, v INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "copy", Driving: "m", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{Table: "m2", Def: bullfrog.MustQuery(`SELECT k, v FROM m`)}},
+		}},
+		RetireInputs: []string{"m"},
+	}, bullfrog.MigrateOptions{BackgroundDelay: -1})
+
+	db.Query(`SELECT v FROM m2 WHERE k = 1`)
+	fmt.Println(db.MigrationStats()["copy"].RowsMigrated, "of 3 rows migrated")
+	// Output: 1 of 3 rows migrated
+}

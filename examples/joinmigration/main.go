@@ -1,0 +1,90 @@
+// Joinmigration demonstrates the paper's §4.3 scenario through the public
+// API: a denormalizing schema change precomputes a join (order lines with
+// their stock rows), replacing both source tables in one step. Groups keyed
+// by (warehouse, item) migrate lazily; items that were never ordered are
+// preserved through seed rows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+func main() {
+	db := bullfrog.Open(bullfrog.Options{})
+	must(db.Exec(`
+		CREATE TABLE lines (w INT, o INT, i INT, qty INT, PRIMARY KEY (w, o, i));
+		CREATE TABLE stock (s_w INT, s_i INT, s_qty INT, PRIMARY KEY (s_w, s_i));`))
+	// Stock for 8 items; orders only reference items 1-5.
+	for i := 1; i <= 8; i++ {
+		must(db.Exec(fmt.Sprintf(`INSERT INTO stock VALUES (1, %d, %d)`, i, i*10)))
+	}
+	for o := 1; o <= 4; o++ {
+		for i := 1; i <= 5; i++ {
+			must(db.Exec(fmt.Sprintf(`INSERT INTO lines VALUES (1, %d, %d, %d)`, o, i, o+i)))
+		}
+	}
+	fmt.Println("loaded: 20 order lines, 8 stock rows (items 6-8 never ordered)")
+
+	m := &bullfrog.Migration{
+		Name: "denormalize",
+		Setup: `
+			CREATE TABLE lines_stock (
+				w INT, o INT, i INT, qty INT, s_qty INT,
+				UNIQUE (w, o, i));
+			CREATE INDEX lines_stock_item ON lines_stock (i);`,
+		Statements: []*bullfrog.Statement{{
+			Name:     "denormalize",
+			Driving:  "l",
+			Category: bullfrog.ManyToMany,
+			GroupBy:  []string{"w", "i"},
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "lines_stock",
+				Def: bullfrog.MustQuery(`SELECT l.w, l.o, l.i, l.qty, s.s_qty
+					FROM lines l, stock s WHERE s.s_w = l.w AND s.s_i = l.i`),
+			}},
+			// Never-ordered items survive as seed rows with NULL order columns.
+			Seed: &bullfrog.SeedSpec{
+				Def: bullfrog.MustQuery(`SELECT s.s_w AS w, NULL AS o, s.s_i AS i, NULL AS qty, s.s_qty
+					FROM stock s`),
+				Driving: "s",
+				GroupBy: []string{"s_w", "s_i"},
+			},
+		}},
+		RetireInputs: []string{"lines", "stock"},
+	}
+	must0(db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: 300 * time.Millisecond}))
+	fmt.Println("schema evolved: lines and stock retired, lines_stock live")
+
+	// The precomputed join: one query, no join needed, lazily migrated.
+	res := must(db.Query(`SELECT o, qty, s_qty FROM lines_stock WHERE i = 3 ORDER BY o`))
+	fmt.Println("order lines for item 3 (with stock, join-free):")
+	for _, row := range res.Rows {
+		fmt.Printf("  order=%v qty=%v stock=%v\n", row[0], row[1], row[2])
+	}
+
+	// A never-ordered item: its stock arrives as a seed row.
+	res = must(db.Query(`SELECT s_qty FROM lines_stock WHERE i = 7`))
+	fmt.Printf("item 7 (never ordered) stock preserved via seed row: s_qty=%v\n", res.Rows[0][0])
+
+	must0(db.WaitForMigration(5 * time.Second))
+	total := must(db.Query(`SELECT COUNT(*) FROM lines_stock`))
+	seeds := must(db.Query(`SELECT COUNT(*) FROM lines_stock WHERE o IS NULL`))
+	fmt.Printf("migration complete: %v rows total, %v of them seeds\n", total.Rows[0][0], seeds.Rows[0][0])
+}
+
+func must(res *bullfrog.Result, err error) *bullfrog.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func must0(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

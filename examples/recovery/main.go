@@ -1,0 +1,92 @@
+// Recovery demonstrates the §3.5 crash-recovery path that the paper's
+// prototype left unimplemented: BullFrog's migration-status structures live
+// in volatile memory, so after a crash the REDO log is replayed and every
+// granule found in a committed migration transaction is restored to
+// "migrated" — the restarted system resumes the migration exactly where it
+// left off, with no duplicated rows.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log"
+
+	"github.com/bullfrogdb/bullfrog"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+func main() {
+	// A WAL-backed database (in-memory buffer here; use a file in practice).
+	var logBuf bytes.Buffer
+	logger := wal.NewWriter(&logBuf)
+	db := bullfrog.Open(bullfrog.Options{WAL: logger})
+
+	schema := `CREATE TABLE readings (id INT PRIMARY KEY, sensor CHAR(8), celsius FLOAT)`
+	must(db.Exec(schema))
+	for i := 1; i <= 30; i++ {
+		must(db.Exec(fmt.Sprintf(
+			`INSERT INTO readings VALUES (%d, 'sensor-%d', %d.5)`, i, i%3, i)))
+	}
+
+	migration := func() *bullfrog.Migration {
+		return &bullfrog.Migration{
+			Name:  "to-fahrenheit",
+			Setup: `CREATE TABLE readings_f (id INT PRIMARY KEY, sensor CHAR(8), fahrenheit FLOAT)`,
+			Statements: []*bullfrog.Statement{{
+				Name: "to-fahrenheit", Driving: "r", Category: bullfrog.OneToOne,
+				Outputs: []bullfrog.OutputSpec{{
+					Table: "readings_f",
+					Def: bullfrog.MustQuery(
+						`SELECT id, sensor, celsius * 1.8 + 32 AS fahrenheit FROM readings r`),
+				}},
+			}},
+			RetireInputs: []string{"readings"},
+		}
+	}
+	must0(db.Migrate(migration(), bullfrog.MigrateOptions{BackgroundDelay: -1}))
+
+	// Lazily migrate a few readings, then "crash".
+	must(db.Query(`SELECT fahrenheit FROM readings_f WHERE id = 7`))
+	must(db.Query(`SELECT fahrenheit FROM readings_f WHERE id = 21`))
+	logger.Flush()
+	fmt.Printf("before crash: %d rows migrated, WAL has the status records\n",
+		db.MigrationStats()["to-fahrenheit"].RowsMigrated)
+	logBytes := append([]byte(nil), logBuf.Bytes()...)
+
+	// --- new process: re-run DDL + migration spec, replay the log ---
+	db2 := bullfrog.Open(bullfrog.Options{})
+	must(db2.Exec(schema))
+	must0(db2.Migrate(migration(), bullfrog.MigrateOptions{BackgroundDelay: -1}))
+	stats, err := db2.Controller().Recover(func() (io.Reader, error) {
+		return bytes.NewReader(logBytes), nil
+	})
+	must0(err)
+	fmt.Printf("recovered: %d inserts replayed, %d migration records restored\n",
+		stats.Inserts, stats.Migrated)
+
+	// The tracker remembers exactly which tuples moved: finishing the
+	// migration cannot duplicate them (inserts would fail loudly).
+	rt := db2.Controller().RuntimeFor("readings_f")
+	fmt.Printf("tracker after recovery: %d of 30 granules migrated\n",
+		rt.Tracker().MigratedCount())
+	res := must(db2.Query(`SELECT fahrenheit FROM readings_f WHERE id = 7`))
+	fmt.Printf("previously migrated row survives the crash: %v°F\n", res.Rows[0][0])
+
+	must0(db2.FinishMigration())
+	res = must(db2.Query(`SELECT COUNT(*) FROM readings_f`))
+	fmt.Printf("after completing the migration: %v rows, no duplicates\n", res.Rows[0][0])
+}
+
+func must(res *bullfrog.Result, err error) *bullfrog.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func must0(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

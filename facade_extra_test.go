@@ -1,0 +1,95 @@
+package bullfrog_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+// TestViewOverMigratingTable: a view referencing a table under migration
+// still triggers lazy migration when queried.
+func TestViewOverMigratingTable(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	if _, err := db.Exec(`
+		CREATE TABLE src (id INT PRIMARY KEY, v INT);
+		INSERT INTO src VALUES (1, 10), (2, 20), (3, 30);`); err != nil {
+		t.Fatal(err)
+	}
+	m := &bullfrog.Migration{
+		Name:  "copy",
+		Setup: `CREATE TABLE dst (id INT PRIMARY KEY, v INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "copy", Driving: "s", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "dst", Def: bullfrog.MustQuery(`SELECT id, v FROM src s`),
+			}},
+		}},
+		RetireInputs: []string{"src"},
+	}
+	if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE VIEW dst_view AS SELECT v FROM dst`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT COUNT(*) FROM dst_view`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Errorf("view query over migrating table: %v (lazy migration not triggered)", res.Rows[0][0])
+	}
+}
+
+// TestMigrationStatsFacade exercises the stats surface.
+func TestMigrationStatsFacade(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	db.Exec(`CREATE TABLE a (x INT PRIMARY KEY); INSERT INTO a VALUES (1), (2)`)
+	m := &bullfrog.Migration{
+		Name:  "m",
+		Setup: `CREATE TABLE b (x INT PRIMARY KEY)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "stmt-1", Driving: "a", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{Table: "b", Def: bullfrog.MustQuery(`SELECT x FROM a`)}},
+		}},
+		RetireInputs: []string{"a"},
+	}
+	if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.WaitForMigration(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stats := db.MigrationStats()
+	if s, ok := stats["stmt-1"]; !ok || s.RowsMigrated != 2 {
+		t.Errorf("stats: %+v", stats)
+	}
+	if v, _ := db.Vacuum(); v < 0 {
+		t.Error("vacuum")
+	}
+}
+
+// TestPrevalidateThroughFacade wires §2.4's synchronous check through the
+// public Migration type.
+func TestPrevalidateThroughFacade(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	db.Exec(`CREATE TABLE s (id INT PRIMARY KEY, k INT); INSERT INTO s VALUES (1, 5), (2, 5)`)
+	m := &bullfrog.Migration{
+		Name:  "m",
+		Setup: `CREATE TABLE d (k INT PRIMARY KEY, id INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "m", Driving: "s", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{Table: "d", Def: bullfrog.MustQuery(`SELECT k, id FROM s`)}},
+		}},
+		RetireInputs:      []string{"s"},
+		PrevalidateUnique: true,
+	}
+	if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: -1}); err == nil {
+		t.Fatal("duplicate keys should be rejected synchronously")
+	}
+	// The old schema is still fully usable after the rejected migration.
+	if _, err := db.Query(`SELECT COUNT(*) FROM s`); err != nil {
+		t.Fatalf("old schema unusable after rejected migration: %v", err)
+	}
+}

@@ -1,0 +1,70 @@
+package bullfrog_test
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+// TestFinishAndResetMigration covers the on-demand drain plus the
+// sequential-deployment reset through the public API.
+func TestFinishAndResetMigration(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	if _, err := db.Exec(`CREATE TABLE a (x INT PRIMARY KEY); INSERT INTO a VALUES (1), (2), (3)`); err != nil {
+		t.Fatal(err)
+	}
+	m1 := &bullfrog.Migration{
+		Name:  "m1",
+		Setup: `CREATE TABLE b (x INT PRIMARY KEY)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "m1", Driving: "a", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{Table: "b", Def: bullfrog.MustQuery(`SELECT x FROM a`)}},
+		}},
+		RetireInputs:         []string{"a"},
+		DropInputsOnComplete: true,
+	}
+	if err := db.Migrate(m1, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ResetMigration(); err == nil {
+		t.Fatal("reset of an in-flight migration must fail")
+	}
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+	if !db.MigrationComplete() {
+		t.Fatal("FinishMigration should complete the migration")
+	}
+	if err := db.ResetMigration(); err != nil {
+		t.Fatal(err)
+	}
+	// Second deployment: evolve the first migration's output.
+	m2 := &bullfrog.Migration{
+		Name:  "m2",
+		Setup: `CREATE TABLE c (x INT PRIMARY KEY, doubled INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "m2", Driving: "b", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "c", Def: bullfrog.MustQuery(`SELECT x, x * 2 AS doubled FROM b`),
+			}},
+		}},
+		RetireInputs: []string{"b"},
+	}
+	if err := db.Migrate(m2, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT doubled FROM c WHERE x = 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 4 {
+		t.Fatalf("second migration's lazy result: %v", res.Rows[0][0])
+	}
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db.Query(`SELECT COUNT(*) FROM c`)
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("rows after second migration: %v", res.Rows[0][0])
+	}
+}

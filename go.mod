@@ -1,0 +1,3 @@
+module github.com/bullfrogdb/bullfrog
+
+go 1.22

@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+)
+
+// testProfile is deliberately tiny: these tests validate harness mechanics,
+// not performance numbers.
+func testProfile() Profile {
+	return Profile{
+		Scale: tpcc.Scale{
+			Warehouses: 1, DistrictsPerW: 4, CustomersPerDist: 60,
+			Items: 100, InitialOrdersPerD: 30, MaxLinesPerOrder: 6,
+		},
+		Workers:   2,
+		Duration:  1200 * time.Millisecond,
+		MigrateAt: 300 * time.Millisecond,
+		BGDelay:   200 * time.Millisecond,
+		Seed:      7,
+	}
+}
+
+func TestDriverProducesSeriesAndLatencies(t *testing.T) {
+	p := testProfile()
+	cfg := p.config(SysNone, MigSplit, 0)
+	cfg.Rate = 400 // absolute, no calibration
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Metrics
+	if m.Completed == 0 {
+		t.Fatal("no transactions completed")
+	}
+	if len(m.Series) == 0 {
+		t.Fatal("no throughput series")
+	}
+	if len(m.Latencies) == 0 {
+		t.Fatal("no latencies recorded")
+	}
+	if m.Percentile(99) < m.Percentile(50) {
+		t.Error("percentiles not monotone")
+	}
+	if m.MeanTPS() <= 0 {
+		t.Error("mean TPS")
+	}
+	if m.Errors > m.Completed/10 {
+		t.Errorf("too many errors: %d of %d", m.Errors, m.Completed)
+	}
+	pts := m.CDF([]float64{0.5, 0.9})
+	if len(pts) != 2 || pts[1].Latency < pts[0].Latency {
+		t.Errorf("CDF points: %v", pts)
+	}
+}
+
+func TestRunBullFrogSplitExperiment(t *testing.T) {
+	p := testProfile()
+	cfg := p.config(SysBullFrog, MigSplit, 0)
+	cfg.Rate = 300
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.MigStart == 0 {
+		t.Error("migration start not recorded")
+	}
+	if res.MigEnd == 0 {
+		t.Error("background migration should complete within the window at this scale")
+	}
+	if res.RowsMigrated < int64(p.Scale.Customers()*2) {
+		t.Errorf("rows migrated = %d, want >= %d", res.RowsMigrated, p.Scale.Customers()*2)
+	}
+	if !strings.Contains(res.Summary(), "bullfrog") {
+		t.Error("summary label")
+	}
+}
+
+func TestRunEagerExperiment(t *testing.T) {
+	p := testProfile()
+	cfg := p.config(SysEager, MigSplit, 0)
+	cfg.Rate = 300
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.MigEnd == 0 || res.MigEnd < res.MigStart {
+		t.Errorf("eager end marker: start=%v end=%v", res.MigStart, res.MigEnd)
+	}
+}
+
+func TestRunMultiStepExperiment(t *testing.T) {
+	p := testProfile()
+	cfg := p.config(SysMultiStep, MigSplit, 0)
+	cfg.Rate = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.MigEnd == 0 {
+		t.Error("multi-step switch did not happen within the window")
+	}
+}
+
+func TestRunAggregateAndJoinExperiments(t *testing.T) {
+	p := testProfile()
+	for _, kind := range []MigrationKind{MigAggregate, MigJoin} {
+		cfg := p.config(SysBullFrog, kind, 0)
+		cfg.Rate = 200
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%v: %v", kind, res.Err)
+		}
+		if res.Metrics.Completed == 0 {
+			t.Errorf("%v: nothing completed", kind)
+		}
+	}
+}
+
+func TestFigureFormatters(t *testing.T) {
+	p := testProfile()
+	cfg1 := p.config(SysBullFrog, MigSplit, 0)
+	cfg1.Rate = 200
+	cfg2 := p.config(SysEager, MigSplit, 0)
+	cfg2.Rate = 200
+	fr, err := runAll("figure-test", "smoke", []Config{cfg1, cfg2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr := FormatThroughput(fr)
+	if !strings.Contains(thr, "figure-test") || !strings.Contains(thr, "migration-start") {
+		t.Errorf("throughput format:\n%s", thr)
+	}
+	cdf := FormatCDF(fr)
+	if !strings.Contains(cdf, "0.500") {
+		t.Errorf("cdf format:\n%s", cdf)
+	}
+	sum := FormatSummary(fr)
+	if !strings.Contains(sum, "bullfrog") || !strings.Contains(sum, "eager") {
+		t.Errorf("summary format:\n%s", sum)
+	}
+}
+
+func TestCalibrateReturnsPositive(t *testing.T) {
+	p := testProfile()
+	db, w := buildWorkload(t, p)
+	_ = db
+	tps := Calibrate(w, 2, 300*time.Millisecond)
+	if tps <= 0 {
+		t.Fatalf("calibrated %f", tps)
+	}
+}
+
+func TestSystemAndKindStrings(t *testing.T) {
+	names := map[System]string{
+		SysNone: "tpcc-no-migration", SysEager: "eager", SysMultiStep: "multistep",
+		SysBullFrog: "bullfrog", SysBullFrogOnConflict: "bullfrog-on-conflict",
+		SysBullFrogNoBG: "bullfrog-no-background", SysBullFrogNoTracking: "bullfrog-no-tracking",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("%d = %q", s, s.String())
+		}
+	}
+	if MigSplit.String() != "table-split" || MigAggregate.String() != "aggregate" || MigJoin.String() != "join" {
+		t.Error("kind strings")
+	}
+}

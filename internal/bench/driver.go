@@ -1,0 +1,283 @@
+// Package bench is the evaluation harness: an OLTP-Bench-style open-loop
+// workload driver with rate control and queueing (so queueing delay is
+// visible exactly as in the paper's Figures 3b/4b), per-interval throughput
+// series, latency CDFs, and one experiment definition per figure of the
+// paper's §4.
+package bench
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+)
+
+// Driver issues TPC-C transactions open-loop: a generator enqueues requests
+// at a fixed rate regardless of completion, workers drain the queue, and
+// latency is measured from enqueue to completion (so a stalled system
+// accumulates queueing delay, the paper's key downtime signal).
+type Driver struct {
+	W        *tpcc.Workload
+	Rate     float64       // offered load, transactions/second
+	Workers  int           // concurrent executors
+	Interval time.Duration // throughput bucket width
+	Seed     int64
+	// Mix picks the next transaction type (nil = the standard TPC-C mix).
+	Mix func(r *rand.Rand) tpcc.TxnType
+	// LatencyFor selects which transaction type's latencies are recorded
+	// (-1 = all). The paper plots NewOrder only.
+	LatencyFor tpcc.TxnType
+
+	queue     chan request
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	started   time.Time
+	duration  time.Duration
+	buckets   []atomic.Int64
+	latMu     sync.Mutex
+	latencies []time.Duration
+	completed atomic.Int64
+	retries   atomic.Int64
+	errs      atomic.Int64
+	dropped   atomic.Int64
+	qlen      atomic.Int64
+}
+
+type request struct {
+	enqueued time.Time
+	tt       tpcc.TxnType
+}
+
+// Start launches the generator and workers for the given duration. Call
+// Wait to collect results.
+func (d *Driver) Start(duration time.Duration) {
+	if d.Workers <= 0 {
+		d.Workers = 4
+	}
+	if d.Interval <= 0 {
+		d.Interval = 500 * time.Millisecond
+	}
+	// LatencyFor's zero value is TxnNewOrder — the paper's choice; set -1
+	// explicitly to record all types.
+	d.duration = duration
+	nBuckets := int(duration/d.Interval) + 2
+	d.buckets = make([]atomic.Int64, nBuckets)
+	d.queue = make(chan request, 1<<18)
+	d.stop = make(chan struct{})
+	d.started = time.Now()
+
+	for i := 0; i < d.Workers; i++ {
+		d.wg.Add(1)
+		go d.worker(int64(i))
+	}
+	d.wg.Add(1)
+	go d.generator(duration)
+}
+
+func (d *Driver) generator(duration time.Duration) {
+	defer d.wg.Done()
+	defer close(d.stop)
+	r := rand.New(rand.NewSource(d.Seed))
+	interval := time.Duration(float64(time.Second) / d.Rate)
+	end := d.started.Add(duration)
+	next := d.started
+	for {
+		now := time.Now()
+		if now.After(end) {
+			return
+		}
+		// Catch up: enqueue every arrival whose time has passed (open loop).
+		for !next.After(now) {
+			tt := tpcc.PickTxn(r)
+			if d.Mix != nil {
+				tt = d.Mix(r)
+			}
+			select {
+			case d.queue <- request{enqueued: next, tt: tt}:
+				d.qlen.Add(1)
+			default:
+				// Queue overflow: the system is hopelessly behind; count as
+				// an error rather than blocking the generator.
+				d.errs.Add(1)
+			}
+			next = next.Add(interval)
+		}
+		sleep := time.Until(next)
+		if sleep > time.Millisecond {
+			sleep = time.Millisecond
+		}
+		time.Sleep(sleep)
+	}
+}
+
+func (d *Driver) worker(seed int64) {
+	defer d.wg.Done()
+	r := rand.New(rand.NewSource(d.Seed*1000 + seed))
+	for {
+		select {
+		case req := <-d.queue:
+			d.qlen.Add(-1)
+			d.runOne(r, req)
+		case <-d.stop:
+			// Unserved requests are discarded at the deadline (OLTP-Bench
+			// semantics): a hopelessly backlogged system must not stall the
+			// harness draining its queue; the backlog shows up as the
+			// latencies of the requests that did complete.
+			for {
+				select {
+				case <-d.queue:
+					d.qlen.Add(-1)
+					d.dropped.Add(1)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (d *Driver) runOne(r *rand.Rand, req request) {
+	for attempt := 0; ; attempt++ {
+		err := d.W.Run(r, req.tt)
+		if err == nil || errors.Is(err, tpcc.ErrExpectedRollback) {
+			break
+		}
+		if !tpcc.IsRetryable(err) || attempt > 100 {
+			d.errs.Add(1)
+			return
+		}
+		d.retries.Add(1)
+	}
+	done := time.Now()
+	d.completed.Add(1)
+	bucket := int(done.Sub(d.started) / d.Interval)
+	if bucket >= 0 && bucket < len(d.buckets) {
+		d.buckets[bucket].Add(1)
+	}
+	if d.LatencyFor < 0 || req.tt == d.LatencyFor {
+		lat := done.Sub(req.enqueued)
+		d.latMu.Lock()
+		d.latencies = append(d.latencies, lat)
+		d.latMu.Unlock()
+	}
+}
+
+// QueueLen reports the current backlog (requests enqueued but not finished).
+func (d *Driver) QueueLen() int64 { return d.qlen.Load() }
+
+// Wait blocks until the run completes and returns the metrics.
+func (d *Driver) Wait() *Metrics {
+	d.wg.Wait()
+	m := &Metrics{
+		Interval:  d.Interval,
+		Completed: d.completed.Load(),
+		Retries:   d.retries.Load(),
+		Errors:    d.errs.Load(),
+		Dropped:   d.dropped.Load(),
+	}
+	// Report only the run window; the post-deadline drain contributes to
+	// latency but would show as artifact buckets in the series.
+	window := int(d.duration / d.Interval)
+	for i := 0; i < window && i < len(d.buckets); i++ {
+		m.Series = append(m.Series, float64(d.buckets[i].Load())/d.Interval.Seconds())
+	}
+	for len(m.Series) > 0 && m.Series[len(m.Series)-1] == 0 {
+		m.Series = m.Series[:len(m.Series)-1]
+	}
+	d.latMu.Lock()
+	m.Latencies = append([]time.Duration(nil), d.latencies...)
+	d.latMu.Unlock()
+	sort.Slice(m.Latencies, func(i, j int) bool { return m.Latencies[i] < m.Latencies[j] })
+	return m
+}
+
+// Metrics is a run's output.
+type Metrics struct {
+	Interval  time.Duration
+	Series    []float64 // per-interval completed transactions/second
+	Latencies []time.Duration
+	Completed int64
+	Retries   int64
+	Errors    int64
+	Dropped   int64 // enqueued but unserved at the deadline
+}
+
+// Percentile returns the p-th latency percentile (0 < p <= 100).
+func (m *Metrics) Percentile(p float64) time.Duration {
+	if len(m.Latencies) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(m.Latencies)-1))
+	return m.Latencies[idx]
+}
+
+// MeanTPS returns the average completed throughput over the run.
+func (m *Metrics) MeanTPS() float64 {
+	if len(m.Series) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, v := range m.Series {
+		total += v
+	}
+	return total / float64(len(m.Series))
+}
+
+// CDF returns (latency, fraction) points at the given fractions.
+func (m *Metrics) CDF(fractions []float64) []CDFPoint {
+	out := make([]CDFPoint, 0, len(fractions))
+	for _, f := range fractions {
+		out = append(out, CDFPoint{Fraction: f, Latency: m.Percentile(f * 100)})
+	}
+	return out
+}
+
+// CDFPoint is one point of a latency CDF.
+type CDFPoint struct {
+	Fraction float64
+	Latency  time.Duration
+}
+
+// Calibrate measures the workload's maximum sustainable throughput by
+// running closed-loop with the given worker count, mirroring the paper's
+// methodology ("increasing the rate ... until the latency starts to
+// increase"). The offered rates of the experiments are then expressed as
+// fractions of this capacity (0.6 ≈ the paper's 450 TPS regime, 1.0 ≈ the
+// saturated 700 TPS regime).
+func Calibrate(w *tpcc.Workload, workers int, duration time.Duration) float64 {
+	var done atomic.Int64
+	var measuring atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tt := tpcc.PickTxn(r)
+				if err := w.Run(r, tt); err == nil || errors.Is(err, tpcc.ErrExpectedRollback) {
+					if measuring.Load() {
+						done.Add(1)
+					}
+				}
+			}
+		}(int64(i + 1))
+	}
+	// Warm up (caches, allocator) before measuring.
+	time.Sleep(duration / 2)
+	measuring.Store(true)
+	time.Sleep(duration)
+	close(stop)
+	wg.Wait()
+	return float64(done.Load()) / duration.Seconds()
+}

@@ -1,0 +1,309 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+)
+
+// System identifies a migration approach under test (the lines of the
+// paper's figures).
+type System int
+
+// The systems compared in §4.
+const (
+	SysNone System = iota // TPC-C without migration (latency baseline)
+	SysEager
+	SysMultiStep
+	SysBullFrog           // tracker mode (bitmap or hashmap per migration)
+	SysBullFrogOnConflict // §3.7 insert-time conflict detection
+	SysBullFrogNoBG       // lazy only, background threads disabled
+	SysBullFrogNoTracking // §4.4.1 ablation (Figure 9's "no bitmap")
+)
+
+func (s System) String() string {
+	switch s {
+	case SysNone:
+		return "tpcc-no-migration"
+	case SysEager:
+		return "eager"
+	case SysMultiStep:
+		return "multistep"
+	case SysBullFrog:
+		return "bullfrog"
+	case SysBullFrogOnConflict:
+		return "bullfrog-on-conflict"
+	case SysBullFrogNoBG:
+		return "bullfrog-no-background"
+	case SysBullFrogNoTracking:
+		return "bullfrog-no-tracking"
+	default:
+		return "?"
+	}
+}
+
+// MigrationKind selects which of the paper's three migrations runs.
+type MigrationKind int
+
+// The three evaluated migrations.
+const (
+	MigSplit     MigrationKind = iota // §4.1 customer table split (1:n, bitmap)
+	MigAggregate                      // §4.2 order_line aggregation (n:1, hashmap)
+	MigJoin                           // §4.3 order_line ⋈ stock (n:n, hashmap)
+)
+
+func (m MigrationKind) String() string {
+	switch m {
+	case MigSplit:
+		return "table-split"
+	case MigAggregate:
+		return "aggregate"
+	case MigJoin:
+		return "join"
+	default:
+		return "?"
+	}
+}
+
+func (m MigrationKind) migration(cons tpcc.SplitConstraints, granularity int64) *core.Migration {
+	var mig *core.Migration
+	switch m {
+	case MigSplit:
+		mig = tpcc.SplitMigration(cons)
+	case MigAggregate:
+		mig = tpcc.AggregateMigration()
+	case MigJoin:
+		mig = tpcc.JoinMigration()
+	}
+	if granularity > 1 {
+		for _, s := range mig.Statements {
+			s.Granularity = granularity
+		}
+	}
+	return mig
+}
+
+func (m MigrationKind) variant() tpcc.SchemaVariant {
+	switch m {
+	case MigSplit:
+		return tpcc.SchemaSplit
+	case MigAggregate:
+		return tpcc.SchemaAggregate
+	default:
+		return tpcc.SchemaJoin
+	}
+}
+
+// Config describes one experiment run.
+type Config struct {
+	Scale     tpcc.Scale
+	System    System
+	Migration MigrationKind
+	// Rate is the absolute offered load (txns/s); if zero, RateFraction of
+	// a calibration run is used.
+	Rate         float64
+	RateFraction float64
+	Workers      int
+	Duration     time.Duration
+	MigrateAt    time.Duration
+	BGDelay      time.Duration
+	Granularity  int64
+	HotCustomers int
+	Sequential   bool // Figure 9 access pattern
+	Constraints  tpcc.SplitConstraints
+	Mix          func(r *rand.Rand) tpcc.TxnType
+	Seed         int64
+}
+
+// Result is an experiment's outcome, with the timeline markers the paper's
+// figures annotate.
+type Result struct {
+	Config       Config
+	Metrics      *Metrics
+	Calibrated   float64       // measured capacity (0 when Rate was absolute)
+	MigStart     time.Duration // relative to run start
+	MigEnd       time.Duration // zero if not finished in the window
+	BGStart      time.Duration // zero if none
+	RowsMigrated int64
+	SkipWaits    int64
+	Err          error
+}
+
+// Run executes one experiment: fresh database, load, steady workload,
+// migration at MigrateAt, measurement until Duration.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	db := engine.New(engine.Options{})
+	if err := tpcc.CreateSchema(db); err != nil {
+		return nil, err
+	}
+	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
+		return nil, err
+	}
+	gate := core.NewGate()
+	w := tpcc.NewWorkload(db, gate, cfg.Scale)
+	w.HotCustomers = cfg.HotCustomers
+	w.Sequential = cfg.Sequential
+
+	rate := cfg.Rate
+	res := &Result{Config: cfg}
+	if rate == 0 {
+		res.Calibrated = Calibrate(w, cfg.Workers, 800*time.Millisecond)
+		frac := cfg.RateFraction
+		if frac == 0 {
+			frac = 0.6
+		}
+		rate = res.Calibrated * frac
+		if rate < 10 {
+			rate = 10
+		}
+	}
+
+	d := &Driver{W: w, Rate: rate, Workers: cfg.Workers, Seed: cfg.Seed, Mix: cfg.Mix}
+	d.Start(cfg.Duration)
+	start := time.Now()
+
+	// Autovacuum: long runs accumulate version chains and transaction state;
+	// prune them in the background the way PostgreSQL would.
+	vacStop := make(chan struct{})
+	defer close(vacStop)
+	go func() {
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-vacStop:
+				return
+			case <-ticker.C:
+				db.Vacuum()
+			}
+		}
+	}()
+
+	// Fire the migration at MigrateAt.
+	time.Sleep(cfg.MigrateAt)
+	res.MigStart = time.Since(start)
+	var ctrl *core.Controller
+	var bg *core.Background
+	var ms *core.MultiStep
+	mig := cfg.Migration.migration(cfg.Constraints, cfg.Granularity)
+	switch cfg.System {
+	case SysNone:
+		// No migration: measure the baseline.
+	case SysEager:
+		_, err := core.MigrateEager(db, mig, gate, func() {
+			w.SetVariant(cfg.Migration.variant())
+		})
+		if err != nil {
+			res.Err = err
+		}
+		res.MigEnd = time.Since(start)
+	case SysMultiStep:
+		var err error
+		ms, err = core.StartMultiStep(db, mig)
+		if err != nil {
+			return nil, err
+		}
+		w.SetMultiStep(ms)
+		// Switch over as soon as the copier catches up.
+		go func() {
+			for !ms.Complete() {
+				time.Sleep(5 * time.Millisecond)
+			}
+			gate.Exclusive(func() error {
+				if err := ms.Switch(); err != nil {
+					res.Err = err
+					return nil
+				}
+				w.SetMultiStep(nil)
+				w.SetController(nil)
+				w.SetVariant(cfg.Migration.variant())
+				return nil
+			})
+			res.MigEnd = time.Since(start)
+		}()
+	default: // BullFrog modes
+		mode := core.DetectEarly
+		if cfg.System == SysBullFrogOnConflict {
+			mode = core.DetectOnInsert
+		}
+		ctrl = core.NewController(db, mode)
+		if cfg.System == SysBullFrogNoTracking {
+			ctrl.SetTrackingDisabled(true)
+		}
+		err := gate.Exclusive(func() error {
+			if err := ctrl.Start(mig); err != nil {
+				return err
+			}
+			w.SetController(ctrl)
+			w.SetVariant(cfg.Migration.variant())
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.System != SysBullFrogNoBG && cfg.System != SysBullFrogNoTracking {
+			bg = core.NewBackground(ctrl, cfg.BGDelay)
+			bg.Interval = time.Millisecond
+			bg.Start()
+			res.BGStart = res.MigStart + cfg.BGDelay
+		}
+	}
+
+	m := d.Wait()
+	res.Metrics = m
+	if bg != nil {
+		bg.Stop()
+		if err := bg.Err(); err != nil && res.Err == nil {
+			res.Err = err
+		}
+	}
+	if ms != nil {
+		ms.Stop()
+	}
+	if ctrl != nil {
+		if at := ctrl.CompletedAt(); !at.IsZero() {
+			res.MigEnd = at.Sub(start)
+		}
+		for _, rt := range ctrl.Runtimes() {
+			s := rt.Stats()
+			res.RowsMigrated += s.RowsMigrated
+			res.SkipWaits += s.SkipWaits
+		}
+	}
+	if ms != nil && res.MigEnd == 0 {
+		if at := ms.CompletedAt(); !at.IsZero() {
+			res.MigEnd = at.Sub(start)
+		}
+	}
+	return res, nil
+}
+
+func migInfo(r *Result) string {
+	if r.RowsMigrated == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" rowsMigrated=%d skipWaits=%d", r.RowsMigrated, r.SkipWaits)
+}
+
+// Summary renders a one-line digest.
+func (r *Result) Summary() string {
+	end := "unfinished"
+	if r.MigEnd > 0 {
+		end = fmt.Sprintf("%.1fs", r.MigEnd.Seconds())
+	}
+	return fmt.Sprintf("%-24s mean=%6.0f tps p50=%8s p99=%8s migEnd=%s completed=%d retries=%d dropped=%d",
+		r.Config.System, r.Metrics.MeanTPS(),
+		r.Metrics.Percentile(50).Round(time.Microsecond*100),
+		r.Metrics.Percentile(99).Round(time.Microsecond*100),
+		end, r.Metrics.Completed, r.Metrics.Retries, r.Metrics.Dropped) + migInfo(r)
+}

@@ -1,0 +1,488 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+)
+
+// Profile bundles the run geometry. The paper's experiments run 200-500
+// seconds against 50 warehouses on 8 cores; Quick compresses that to seconds
+// against a small scale, preserving the load-to-capacity ratio that drives
+// every qualitative effect.
+type Profile struct {
+	Scale     tpcc.Scale
+	Workers   int
+	Duration  time.Duration
+	MigrateAt time.Duration
+	BGDelay   time.Duration
+	Seed      int64
+}
+
+// Quick is the CI-sized profile (each run a few seconds).
+func Quick() Profile {
+	return Profile{
+		Scale: tpcc.Scale{
+			Warehouses: 1, DistrictsPerW: 10, CustomersPerDist: 150,
+			Items: 300, InitialOrdersPerD: 60, MaxLinesPerOrder: 8,
+		},
+		Workers:   4,
+		Duration:  4 * time.Second,
+		MigrateAt: 1 * time.Second,
+		BGDelay:   800 * time.Millisecond,
+		Seed:      42,
+	}
+}
+
+// Medium is large enough that the eager baseline's downtime spans several
+// throughput buckets (the shape the paper's figures show) while each figure
+// still completes in a couple of minutes.
+func Medium() Profile {
+	return Profile{
+		Scale: tpcc.Scale{
+			Warehouses: 1, DistrictsPerW: 10, CustomersPerDist: 1500,
+			Items: 500, InitialOrdersPerD: 400, MaxLinesPerOrder: 8,
+		},
+		Workers:   6,
+		Duration:  12 * time.Second,
+		MigrateAt: 2 * time.Second,
+		BGDelay:   2 * time.Second,
+		Seed:      42,
+	}
+}
+
+// Full is the benchmark-sized profile used by cmd/bullfrog-bench -profile full.
+func Full() Profile {
+	return Profile{
+		Scale: tpcc.Scale{
+			Warehouses: 2, DistrictsPerW: 10, CustomersPerDist: 2000,
+			Items: 1000, InitialOrdersPerD: 500, MaxLinesPerOrder: 10,
+		},
+		Workers:   8,
+		Duration:  30 * time.Second,
+		MigrateAt: 5 * time.Second,
+		BGDelay:   5 * time.Second,
+		Seed:      42,
+	}
+}
+
+func (p Profile) config(sys System, kind MigrationKind, frac float64) Config {
+	return Config{
+		Scale:        p.Scale,
+		System:       sys,
+		Migration:    kind,
+		RateFraction: frac,
+		Workers:      p.Workers,
+		Duration:     p.Duration,
+		MigrateAt:    p.MigrateAt,
+		BGDelay:      p.BGDelay,
+		Seed:         p.Seed,
+	}
+}
+
+// FigureResult is a set of comparable runs plus context.
+type FigureResult struct {
+	Name string
+	Note string
+	Runs []*Result
+}
+
+// runAll executes the configs sequentially (each builds its own database).
+// When configs use RateFraction, capacity is calibrated once on a throwaway
+// database and the SAME absolute rate is offered to every run — the paper's
+// methodology (450/700 TPS held constant across systems).
+func runAll(name, note string, cfgs []Config) (*FigureResult, error) {
+	fr := &FigureResult{Name: name, Note: note}
+	needCal := false
+	for _, cfg := range cfgs {
+		if cfg.Rate == 0 {
+			needCal = true
+		}
+	}
+	var capacity float64
+	if needCal {
+		var err error
+		capacity, err = calibrateOnce(cfgs[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s calibration: %w", name, err)
+		}
+	}
+	for _, cfg := range cfgs {
+		if cfg.Rate == 0 {
+			frac := cfg.RateFraction
+			if frac == 0 {
+				frac = 0.6
+			}
+			cfg.Rate = capacity * frac
+			if cfg.Rate < 10 {
+				cfg.Rate = 10
+			}
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s [%v/%v]: %w", name, cfg.System, cfg.Migration, err)
+		}
+		r.Calibrated = capacity
+		fr.Runs = append(fr.Runs, r)
+	}
+	return fr, nil
+}
+
+// calibrateOnce builds a throwaway database at the config's scale and
+// measures closed-loop capacity with its workload knobs.
+func calibrateOnce(cfg Config) (float64, error) {
+	db := engine.New(engine.Options{})
+	if err := tpcc.CreateSchema(db); err != nil {
+		return 0, err
+	}
+	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
+		return 0, err
+	}
+	w := tpcc.NewWorkload(db, core.NewGate(), cfg.Scale)
+	w.HotCustomers = cfg.HotCustomers
+	w.Sequential = cfg.Sequential
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	// Closed-loop capacity overstates what the open-loop driver (generator,
+	// queue, autovacuum) sustains; derate so "60% of capacity" really is the
+	// comfortable regime and "100%" the saturation point, as in the paper.
+	return Calibrate(w, workers, 2*time.Second) * 0.92, nil
+}
+
+// Figure3 reproduces "Throughput during table-split migration": eager vs
+// multi-step vs BullFrog (bitmap) vs BullFrog (on-conflict), plus the
+// no-background variants at saturation (the dotted lines of Figure 3b).
+func Figure3(p Profile, frac float64) (*FigureResult, error) {
+	systems := []System{SysEager, SysMultiStep, SysBullFrog, SysBullFrogOnConflict}
+	if frac >= 1.0 {
+		systems = append(systems, SysBullFrogNoBG)
+	}
+	var cfgs []Config
+	for _, s := range systems {
+		cfgs = append(cfgs, p.config(s, MigSplit, frac))
+	}
+	return runAll("figure-3", fmt.Sprintf("table split, rate=%.0f%% of capacity", frac*100), cfgs)
+}
+
+// Figure4 reproduces the latency CDFs of the same experiment, adding the
+// no-migration baseline the paper plots.
+func Figure4(p Profile, frac float64) (*FigureResult, error) {
+	systems := []System{SysNone, SysEager, SysMultiStep, SysBullFrog, SysBullFrogOnConflict}
+	var cfgs []Config
+	for _, s := range systems {
+		cfgs = append(cfgs, p.config(s, MigSplit, frac))
+	}
+	return runAll("figure-4", fmt.Sprintf("table split latency CDF, rate=%.0f%%", frac*100), cfgs)
+}
+
+// Figure5 reproduces "Throughput during aggregation migration" (hashmap).
+func Figure5(p Profile, frac float64) (*FigureResult, error) {
+	var cfgs []Config
+	for _, s := range []System{SysEager, SysMultiStep, SysBullFrog} {
+		cfgs = append(cfgs, p.config(s, MigAggregate, frac))
+	}
+	return runAll("figure-5", fmt.Sprintf("aggregate migration, rate=%.0f%%", frac*100), cfgs)
+}
+
+// Figure6 is the aggregate migration's latency CDF.
+func Figure6(p Profile, frac float64) (*FigureResult, error) {
+	var cfgs []Config
+	for _, s := range []System{SysNone, SysEager, SysMultiStep, SysBullFrog} {
+		cfgs = append(cfgs, p.config(s, MigAggregate, frac))
+	}
+	return runAll("figure-6", fmt.Sprintf("aggregate latency CDF, rate=%.0f%%", frac*100), cfgs)
+}
+
+// joinScale widens the item catalog so the order-lines-per-item ratio
+// matches the paper's (~3: their 50-warehouse run has ~15M order lines over
+// 5M (warehouse, item) pairs). Without this, the denormalized table's fan-out
+// per stock update is an order of magnitude larger than theirs and the
+// post-migration schema cannot sustain the pre-migration rate — a scale
+// artifact, not a property of the algorithms.
+func joinScale(s tpcc.Scale) tpcc.Scale {
+	avgLines := (5 + s.MaxLinesPerOrder) / 2
+	lines := s.DistrictsPerW * s.InitialOrdersPerD * avgLines
+	wantItems := lines / 3
+	if wantItems > s.Items {
+		s.Items = wantItems
+	}
+	return s
+}
+
+// Figure7 reproduces "Throughput during join migration" (n:n hashmap).
+func Figure7(p Profile, frac float64) (*FigureResult, error) {
+	p.Scale = joinScale(p.Scale)
+	rate, err := joinRate(p, frac)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []Config
+	for _, s := range []System{SysEager, SysMultiStep, SysBullFrog} {
+		cfg := p.config(s, MigJoin, frac)
+		cfg.Rate = rate
+		cfgs = append(cfgs, cfg)
+	}
+	return runAll("figure-7", fmt.Sprintf("join migration, rate=%.0f%%", frac*100), cfgs)
+}
+
+// Figure8 is the join migration's latency CDF.
+func Figure8(p Profile, frac float64) (*FigureResult, error) {
+	p.Scale = joinScale(p.Scale)
+	rate, err := joinRate(p, frac)
+	if err != nil {
+		return nil, err
+	}
+	var cfgs []Config
+	for _, s := range []System{SysNone, SysEager, SysMultiStep, SysBullFrog} {
+		cfg := p.config(s, MigJoin, frac)
+		cfg.Rate = rate
+		cfgs = append(cfgs, cfg)
+	}
+	return runAll("figure-8", fmt.Sprintf("join latency CDF, rate=%.0f%%", frac*100), cfgs)
+}
+
+// joinRate calibrates capacity on BOTH schema versions and offers frac of
+// the smaller. The denormalized schema's write path costs several row
+// updates per order line, so its capacity is below the original's; the
+// paper's fixed 450/700 TPS rates sat below both capacities on its testbed,
+// and this reproduces that relationship.
+func joinRate(p Profile, frac float64) (float64, error) {
+	base := p.config(SysBullFrog, MigJoin, frac)
+	oldCap, err := calibrateOnce(base)
+	if err != nil {
+		return 0, err
+	}
+	newCap, err := calibrateJoinVariant(base)
+	if err != nil {
+		return 0, err
+	}
+	capacity := oldCap
+	if newCap < capacity {
+		capacity = newCap
+	}
+	rate := capacity * frac
+	if rate < 10 {
+		rate = 10
+	}
+	return rate, nil
+}
+
+// calibrateJoinVariant measures capacity on a pre-migrated (eager) database
+// running the post-join transaction implementations.
+func calibrateJoinVariant(cfg Config) (float64, error) {
+	db := engine.New(engine.Options{})
+	if err := tpcc.CreateSchema(db); err != nil {
+		return 0, err
+	}
+	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
+		return 0, err
+	}
+	gate := core.NewGate()
+	if _, err := core.MigrateEager(db, tpcc.JoinMigration(), gate); err != nil {
+		return 0, err
+	}
+	w := tpcc.NewWorkload(db, gate, cfg.Scale)
+	w.SetVariant(tpcc.SchemaJoin)
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = 4
+	}
+	return Calibrate(w, workers, 2*time.Second) * 0.92, nil
+}
+
+// Figure9 reproduces the §4.4.1 tracking-overhead ablation: BullFrog with
+// its bitmap vs a variant with tracking disabled, under a NewOrder-only
+// workload that touches each customer exactly once.
+func Figure9(p Profile, frac float64) (*FigureResult, error) {
+	newOrderOnly := func(r *rand.Rand) tpcc.TxnType { return tpcc.TxnNewOrder }
+	// The premise — each tuple accessed exactly once — requires the run not
+	// to wrap the customer set; cap the offered rate accordingly.
+	maxRate := 0.85 * float64(p.Scale.Customers()) / p.Duration.Seconds()
+	var cfgs []Config
+	for _, s := range []System{SysBullFrogNoBG, SysBullFrogNoTracking} {
+		cfg := p.config(s, MigSplit, frac)
+		cfg.Sequential = true
+		cfg.Mix = newOrderOnly
+		cfg.Rate = maxRate
+		cfgs = append(cfgs, cfg)
+	}
+	return runAll("figure-9", "data structure maintenance cost (bitmap vs none)", cfgs)
+}
+
+// Figure10 reproduces the §4.4.2 skew experiment: hot sets of 100%, 1%, and
+// 0.2% of the customers (the paper's 1.5M / 15k / 3k).
+func Figure10(p Profile, frac float64) (*FigureResult, error) {
+	total := p.Scale.Customers()
+	var cfgs []Config
+	for _, hot := range []int{total, total / 100, total / 500} {
+		if hot < 1 {
+			hot = 1
+		}
+		cfg := p.config(SysBullFrog, MigSplit, frac)
+		cfg.HotCustomers = hot
+		cfgs = append(cfgs, cfg)
+	}
+	return runAll("figure-10", "skewed access: hot set 100% / 1% / 0.2%", cfgs)
+}
+
+// Figure11 reproduces §4.4.3 migration granularity: tuple-level vs pages of
+// 64/128/256 tuples, crossed with hot-set size.
+func Figure11(p Profile, frac float64) (*FigureResult, error) {
+	total := p.Scale.Customers()
+	var cfgs []Config
+	for _, hot := range []int{total, total / 100} {
+		for _, gran := range []int64{1, 64, 128, 256} {
+			cfg := p.config(SysBullFrog, MigSplit, frac)
+			cfg.Granularity = gran
+			cfg.HotCustomers = hot
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return runAll("figure-11", "migration granularity x access skew", cfgs)
+}
+
+// Figure12 reproduces §4.5: FOREIGN KEY constraints on the split migration —
+// none, +district, +district&orders — under the full mix and under the
+// customer-only partial workload the paper switches to.
+func Figure12(p Profile, frac float64, partial bool) (*FigureResult, error) {
+	mixes := map[bool]func(*rand.Rand) tpcc.TxnType{
+		true: func(r *rand.Rand) tpcc.TxnType {
+			// Partial workload: only transactions that access customer.
+			switch r.Intn(96) % 96 { // renormalized mix without StockLevel
+			case 0, 1, 2, 3:
+				return tpcc.TxnDelivery
+			case 4, 5, 6, 7:
+				return tpcc.TxnOrderStatus
+			default:
+				if r.Intn(88) < 45 {
+					return tpcc.TxnNewOrder
+				}
+				return tpcc.TxnPayment
+			}
+		},
+		false: nil,
+	}
+	consSets := []tpcc.SplitConstraints{
+		{},
+		{FKDistrict: true},
+		{FKDistrict: true, FKOrders: true},
+	}
+	var cfgs []Config
+	for _, cons := range consSets {
+		cfg := p.config(SysBullFrog, MigSplit, frac)
+		cfg.Constraints = cons
+		cfg.Mix = mixes[partial]
+		cfgs = append(cfgs, cfg)
+	}
+	name := "figure-12a"
+	note := "FK constraints, full workload"
+	if partial {
+		name, note = "figure-12b", "FK constraints, customer-only workload"
+	}
+	return runAll(name, note, cfgs)
+}
+
+// --- formatters ---
+
+// labelFor renders the distinguishing parameters of a run within a figure.
+func labelFor(r *Result) string {
+	parts := []string{r.Config.System.String()}
+	if r.Config.Granularity > 1 {
+		parts = append(parts, fmt.Sprintf("page=%d", r.Config.Granularity))
+	}
+	if r.Config.HotCustomers > 0 {
+		parts = append(parts, fmt.Sprintf("hot=%d", r.Config.HotCustomers))
+	}
+	if r.Config.Constraints.FKOrders {
+		parts = append(parts, "fk=district+orders")
+	} else if r.Config.Constraints.FKDistrict {
+		parts = append(parts, "fk=district")
+	}
+	return strings.Join(parts, " ")
+}
+
+// FormatThroughput renders the per-interval TPS series of each run, with
+// the migration start/end and background-start markers the paper annotates.
+func FormatThroughput(fr *FigureResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", fr.Name, fr.Note)
+	maxBuckets := 0
+	for _, r := range fr.Runs {
+		if len(r.Metrics.Series) > maxBuckets {
+			maxBuckets = len(r.Metrics.Series)
+		}
+	}
+	fmt.Fprintf(&sb, "%-10s", "t(s)")
+	for _, r := range fr.Runs {
+		fmt.Fprintf(&sb, " %28s", labelFor(r))
+	}
+	sb.WriteString("\n")
+	interval := fr.Runs[0].Metrics.Interval
+	for b := 0; b < maxBuckets; b++ {
+		fmt.Fprintf(&sb, "%-10.1f", (time.Duration(b) * interval).Seconds())
+		for _, r := range fr.Runs {
+			v := 0.0
+			if b < len(r.Metrics.Series) {
+				v = r.Metrics.Series[b]
+			}
+			fmt.Fprintf(&sb, " %28.0f", v)
+		}
+		sb.WriteString("\n")
+	}
+	for _, r := range fr.Runs {
+		fmt.Fprintf(&sb, "markers %-28s migration-start=%.1fs", labelFor(r), r.MigStart.Seconds())
+		if r.BGStart > 0 {
+			fmt.Fprintf(&sb, " background-start=%.1fs", r.BGStart.Seconds())
+		}
+		if r.MigEnd > 0 {
+			fmt.Fprintf(&sb, " migration-end=%.1fs", r.MigEnd.Seconds())
+		} else if r.Config.System != SysNone {
+			fmt.Fprintf(&sb, " migration-end=unfinished")
+		}
+		if r.Calibrated > 0 {
+			fmt.Fprintf(&sb, " offered=%.0ftps (%.0f%% of %.0f)", r.Calibrated*r.Config.RateFraction, r.Config.RateFraction*100, r.Calibrated)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// cdfFractions are the CDF sample points reported (log-ish spacing like the
+// paper's log-x CDF plots).
+var cdfFractions = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 0.999}
+
+// FormatCDF renders the latency CDFs (NewOrder, as in the paper).
+func FormatCDF(fr *FigureResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s (NewOrder latency CDF) ==\n", fr.Name, fr.Note)
+	fmt.Fprintf(&sb, "%-10s", "fraction")
+	for _, r := range fr.Runs {
+		fmt.Fprintf(&sb, " %28s", labelFor(r))
+	}
+	sb.WriteString("\n")
+	for _, f := range cdfFractions {
+		fmt.Fprintf(&sb, "%-10.3f", f)
+		for _, r := range fr.Runs {
+			fmt.Fprintf(&sb, " %28s", r.Metrics.Percentile(f*100).Round(10*time.Microsecond))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// FormatSummary renders one digest line per run.
+func FormatSummary(fr *FigureResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", fr.Name, fr.Note)
+	for _, r := range fr.Runs {
+		fmt.Fprintf(&sb, "  %s %s\n", labelFor(r), r.Summary())
+	}
+	return sb.String()
+}

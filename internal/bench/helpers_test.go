@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+)
+
+func buildWorkload(t *testing.T, p Profile) (*engine.DB, *tpcc.Workload) {
+	t.Helper()
+	db := engine.New(engine.Options{})
+	if err := tpcc.CreateSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := tpcc.Load(db, p.Scale, p.Seed); err != nil {
+		t.Fatal(err)
+	}
+	return db, tpcc.NewWorkload(db, core.NewGate(), p.Scale)
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+)
+
+func TestMetricsEdgeCases(t *testing.T) {
+	m := &Metrics{}
+	if m.Percentile(99) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	if m.MeanTPS() != 0 {
+		t.Error("empty mean should be 0")
+	}
+	m = &Metrics{
+		Interval:  time.Second,
+		Series:    []float64{100, 200, 300},
+		Latencies: []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+	}
+	if m.MeanTPS() != 200 {
+		t.Errorf("mean = %f", m.MeanTPS())
+	}
+	if m.Percentile(0) != 1 || m.Percentile(100) != 10 {
+		t.Errorf("extreme percentiles: %v %v", m.Percentile(0), m.Percentile(100))
+	}
+	if p50 := m.Percentile(50); p50 < 5 || p50 > 6 {
+		t.Errorf("p50 = %v", p50)
+	}
+}
+
+func TestLabelFor(t *testing.T) {
+	r := &Result{Config: Config{System: SysBullFrog, Granularity: 64, HotCustomers: 150,
+		Constraints: tpcc.SplitConstraints{FKDistrict: true}}}
+	got := labelFor(r)
+	for _, want := range []string{"bullfrog", "page=64", "hot=150", "fk=district"} {
+		if !contains(got, want) {
+			t.Errorf("label %q missing %q", got, want)
+		}
+	}
+	r.Config.Constraints.FKOrders = true
+	if !contains(labelFor(r), "fk=district+orders") {
+		t.Errorf("label %q", labelFor(r))
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

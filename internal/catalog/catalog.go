@@ -1,0 +1,255 @@
+// Package catalog maps names to database objects: tables (schema definition
+// + heap + indexes) and views. It also carries the "retired" flag BullFrog
+// sets on old-schema tables at the logical switch (the big flip, paper §2.1):
+// retired tables reject client requests but remain readable by migration
+// workers.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/schema"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+)
+
+// Table binds a schema definition to its physical storage and indexes.
+type Table struct {
+	ID      uint64
+	Def     *schema.Table
+	Heap    *storage.Heap
+	retired atomic.Bool
+
+	mu      sync.RWMutex
+	indexes []index.Index
+}
+
+// Retired reports whether the table belongs to a retired (pre-migration)
+// schema version.
+func (t *Table) Retired() bool { return t.retired.Load() }
+
+// SetRetired marks or unmarks the table as retired.
+func (t *Table) SetRetired(v bool) { t.retired.Store(v) }
+
+// Indexes returns a snapshot of the table's indexes.
+func (t *Table) Indexes() []index.Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]index.Index(nil), t.indexes...)
+}
+
+// AddIndex attaches an index to the table.
+func (t *Table) AddIndex(idx index.Index) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.indexes = append(t.indexes, idx)
+}
+
+// IndexByName finds an index by name, or nil.
+func (t *Table) IndexByName(name string) index.Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Def().Name, name) {
+			return idx
+		}
+	}
+	return nil
+}
+
+// IndexOnPrefix returns an index whose leading key columns exactly match the
+// given ordinals (in order), preferring unique indexes, or nil.
+func (t *Table) IndexOnPrefix(cols []int) index.Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var best index.Index
+	for _, idx := range t.indexes {
+		def := idx.Def()
+		if len(def.Columns) < len(cols) {
+			continue
+		}
+		match := true
+		for i, c := range cols {
+			if def.Columns[i] != c {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		if best == nil || (def.Unique && !best.Def().Unique) ||
+			(def.Unique == best.Def().Unique && len(def.Columns) < len(best.Def().Columns)) {
+			best = idx
+		}
+	}
+	return best
+}
+
+// UniqueIndexes returns the table's unique indexes.
+func (t *Table) UniqueIndexes() []index.Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []index.Index
+	for _, idx := range t.indexes {
+		if idx.Def().Unique {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// View is a named query. The definition is engine-owned (an opaque compiled
+// or parsed form); the catalog only stores and resolves it.
+type View struct {
+	Name    string
+	Columns []string
+	Def     any
+}
+
+// Catalog is the mutable namespace of tables and views. All methods are safe
+// for concurrent use.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	views  map[string]*View
+	nextID atomic.Uint64
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table), views: make(map[string]*View)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// CreateTable registers a new table with a fresh heap.
+func (c *Catalog) CreateTable(def *schema.Table, pageSize uint32) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(def.Name)
+	if _, exists := c.tables[k]; exists {
+		return nil, fmt.Errorf("catalog: table %q already exists", def.Name)
+	}
+	if _, exists := c.views[k]; exists {
+		return nil, fmt.Errorf("catalog: %q already exists as a view", def.Name)
+	}
+	t := &Table{ID: c.nextID.Add(1), Def: def, Heap: storage.NewHeap(pageSize)}
+	c.tables[k] = t
+	return t, nil
+}
+
+// Table resolves a table by name.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (c *Catalog) HasTable(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.tables[key(name)]
+	return ok
+}
+
+// DropTable removes a table.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.tables[k]; !ok {
+		return fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	delete(c.tables, k)
+	return nil
+}
+
+// RenameTable renames a table; the schema definition's name is updated too.
+func (c *Catalog) RenameTable(oldName, newName string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ok, nk := key(oldName), key(newName)
+	t, exists := c.tables[ok]
+	if !exists {
+		return fmt.Errorf("catalog: relation %q does not exist", oldName)
+	}
+	if _, clash := c.tables[nk]; clash {
+		return fmt.Errorf("catalog: relation %q already exists", newName)
+	}
+	delete(c.tables, ok)
+	t.Def.Name = newName
+	c.tables[nk] = t
+	return nil
+}
+
+// TableNames lists table names, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		names = append(names, t.Def.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateView registers a view.
+func (c *Catalog) CreateView(v *View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(v.Name)
+	if _, exists := c.views[k]; exists {
+		return fmt.Errorf("catalog: view %q already exists", v.Name)
+	}
+	if _, exists := c.tables[k]; exists {
+		return fmt.Errorf("catalog: %q already exists as a table", v.Name)
+	}
+	c.views[k] = v
+	return nil
+}
+
+// View resolves a view by name.
+func (c *Catalog) View(name string) (*View, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.views[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	return v, nil
+}
+
+// HasView reports whether the named view exists.
+func (c *Catalog) HasView(name string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.views[key(name)]
+	return ok
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := key(name)
+	if _, ok := c.views[k]; !ok {
+		return fmt.Errorf("catalog: view %q does not exist", name)
+	}
+	delete(c.views, k)
+	return nil
+}
+
+// NextIndexID allocates a unique id for a new index (ids share the table id
+// space; uniqueness is what matters for lock spaces).
+func (c *Catalog) NextIndexID() uint64 { return c.nextID.Add(1) }

@@ -1,0 +1,157 @@
+package catalog
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/schema"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func def(t *testing.T, name string) *schema.Table {
+	t.Helper()
+	d, err := schema.NewTable(name, []schema.Column{
+		{Name: "a", Kind: types.KindInt, NotNull: true},
+		{Name: "b", Kind: types.KindString},
+		{Name: "c", Kind: types.KindInt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.PrimaryKey = []int{0}
+	return d
+}
+
+func TestCreateResolveDrop(t *testing.T) {
+	c := New()
+	tbl, err := c.CreateTable(def(t, "Customer"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID == 0 {
+		t.Error("table id should be nonzero")
+	}
+	got, err := c.Table("CUSTOMER") // case-insensitive
+	if err != nil || got != tbl {
+		t.Fatalf("resolve: %v", err)
+	}
+	if !c.HasTable("customer") || c.HasTable("nope") {
+		t.Error("HasTable misbehaves")
+	}
+	if _, err := c.CreateTable(def(t, "customer"), 0); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if err := c.DropTable("customer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("customer"); err == nil {
+		t.Error("dropped table should not resolve")
+	}
+	if err := c.DropTable("customer"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestRename(t *testing.T) {
+	c := New()
+	c.CreateTable(def(t, "flewon"), 0)
+	c.CreateTable(def(t, "other"), 0)
+	if err := c.RenameTable("flewon", "other"); err == nil {
+		t.Error("rename onto existing name should fail")
+	}
+	if err := c.RenameTable("ghost", "x"); err == nil {
+		t.Error("rename of missing table should fail")
+	}
+	if err := c.RenameTable("flewon", "flewoninfo"); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := c.Table("flewoninfo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Def.Name != "flewoninfo" {
+		t.Error("definition name not updated")
+	}
+	names := c.TableNames()
+	if len(names) != 2 || names[0] != "flewoninfo" || names[1] != "other" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestRetiredFlag(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable(def(t, "t"), 0)
+	if tbl.Retired() {
+		t.Error("new table should not be retired")
+	}
+	tbl.SetRetired(true)
+	if !tbl.Retired() {
+		t.Error("SetRetired(true) did not stick")
+	}
+}
+
+func TestIndexManagement(t *testing.T) {
+	c := New()
+	tbl, _ := c.CreateTable(def(t, "t"), 0)
+	pk := index.NewBTree(&index.Def{ID: c.NextIndexID(), Name: "t_pkey", Table: "t", Columns: []int{0}, Unique: true})
+	sec := index.NewBTree(&index.Def{ID: c.NextIndexID(), Name: "t_b_idx", Table: "t", Columns: []int{1, 0}})
+	tbl.AddIndex(pk)
+	tbl.AddIndex(sec)
+
+	if got := tbl.IndexByName("T_PKEY"); got != pk {
+		t.Error("IndexByName failed")
+	}
+	if tbl.IndexByName("nope") != nil {
+		t.Error("missing index should be nil")
+	}
+	if got := tbl.IndexOnPrefix([]int{0}); got != pk {
+		t.Error("IndexOnPrefix should prefer the unique pk index")
+	}
+	if got := tbl.IndexOnPrefix([]int{1}); got != sec {
+		t.Error("IndexOnPrefix prefix match failed")
+	}
+	if tbl.IndexOnPrefix([]int{2}) != nil {
+		t.Error("no index covers column 2")
+	}
+	uniq := tbl.UniqueIndexes()
+	if len(uniq) != 1 || uniq[0] != pk {
+		t.Errorf("UniqueIndexes = %v", uniq)
+	}
+	if len(tbl.Indexes()) != 2 {
+		t.Error("Indexes snapshot wrong")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	c.CreateTable(def(t, "base"), 0)
+	v := &View{Name: "v1", Columns: []string{"x"}, Def: "SELECT ..."}
+	if err := c.CreateView(v); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateView(v); err == nil {
+		t.Error("duplicate view should fail")
+	}
+	if err := c.CreateView(&View{Name: "base"}); err == nil {
+		t.Error("view clashing with table should fail")
+	}
+	if _, err := c.CreateTable(def(t, "v1"), 0); err == nil {
+		t.Error("table clashing with view should fail")
+	}
+	got, err := c.View("V1")
+	if err != nil || got != v {
+		t.Fatalf("View resolve: %v", err)
+	}
+	if !c.HasView("v1") || c.HasView("v2") {
+		t.Error("HasView misbehaves")
+	}
+	if err := c.DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("v1"); err == nil {
+		t.Error("double DropView should fail")
+	}
+	if _, err := c.View("v1"); err == nil {
+		t.Error("dropped view should not resolve")
+	}
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Background runs the background migration threads of paper §2.2: they
+// inject simulated client requests that cumulatively cover the entire old
+// tables, guaranteeing the migration eventually completes even for data no
+// client request ever touches. In the paper's experiments the threads start
+// 20 seconds after the migration begins (client requests alone drive early
+// progress); Delay models that.
+type Background struct {
+	// Delay before the threads begin working.
+	Delay time.Duration
+	// ChunkGranules is how many bitmap granules each simulated request
+	// covers; ChunkTuples the scan width for group discovery.
+	ChunkGranules int
+	ChunkTuples   int64
+	// Interval throttles between simulated requests (0 = none).
+	Interval time.Duration
+
+	ctrl    *Controller
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Int64 // unix nanos when work actually began; 0 = not yet
+	err     atomic.Value
+}
+
+// NewBackground creates a background migrator for the controller's active
+// migration.
+func NewBackground(ctrl *Controller, delay time.Duration) *Background {
+	return &Background{
+		Delay:         delay,
+		ChunkGranules: 64,
+		ChunkTuples:   4096,
+		ctrl:          ctrl,
+		stop:          make(chan struct{}),
+	}
+}
+
+// Started returns when background work began (zero time if it has not).
+func (b *Background) Started() time.Time {
+	n := b.started.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// Err returns the first error a background worker hit, if any.
+func (b *Background) Err() error {
+	if v := b.err.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// Start launches one worker per migration statement.
+func (b *Background) Start() {
+	for _, rt := range b.ctrl.Runtimes() {
+		b.wg.Add(1)
+		go b.run(rt)
+	}
+}
+
+// Stop halts the workers and waits for them to exit.
+func (b *Background) Stop() {
+	select {
+	case <-b.stop:
+	default:
+		close(b.stop)
+	}
+	b.wg.Wait()
+}
+
+// Wait blocks until the workers finish (migration complete or stopped).
+func (b *Background) Wait() { b.wg.Wait() }
+
+func (b *Background) sleep(d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-b.stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-b.stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func (b *Background) run(rt *StmtRuntime) {
+	defer b.wg.Done()
+	if !b.sleep(b.Delay) {
+		return
+	}
+	b.started.CompareAndSwap(0, time.Now().UnixNano())
+	var err error
+	if rt.bitmap != nil {
+		err = b.runBitmap(rt)
+	} else {
+		err = b.runHash(rt)
+	}
+	if err != nil {
+		b.err.CompareAndSwap(nil, err)
+	}
+}
+
+// runBitmap sweeps the bitmap, claiming and migrating unmigrated granules in
+// chunks until the statement completes.
+func (b *Background) runBitmap(rt *StmtRuntime) error {
+	cursor := int64(0)
+	for {
+		if rt.complete.Load() {
+			return nil
+		}
+		g := rt.bitmap.NextUnmigrated(cursor)
+		if g < 0 {
+			// Tail: granules claimed by client workers may still be in
+			// flight; poll from the start until the bitmap fills.
+			if rt.bitmap.Complete() {
+				rt.ctrl.markRuntimeComplete(rt)
+				return nil
+			}
+			cursor = 0
+			if !b.sleep(time.Millisecond) {
+				return nil
+			}
+			continue
+		}
+		batch := make([]int64, 0, b.ChunkGranules)
+		for i := 0; i < b.ChunkGranules && g >= 0; i++ {
+			batch = append(batch, g)
+			g = rt.bitmap.NextUnmigrated(g + 1)
+		}
+		if _, err := rt.bitmapPass(nil, batch); err != nil {
+			return err
+		}
+		if g < 0 {
+			cursor = 0
+		} else {
+			cursor = batch[len(batch)-1] + 1
+		}
+		if !b.sleep(b.Interval) {
+			return nil
+		}
+	}
+}
+
+// runHash sweeps the driving table discovering group keys and migrating any
+// unmigrated groups, repeating until a full pass finds nothing left.
+func (b *Background) runHash(rt *StmtRuntime) error {
+	for {
+		if rt.complete.Load() {
+			return nil
+		}
+		remaining, err := b.hashSweep(rt)
+		if err != nil {
+			return err
+		}
+		select {
+		case <-b.stop:
+			return nil
+		default:
+		}
+		if remaining == 0 {
+			rt.ctrl.markRuntimeComplete(rt)
+			return nil
+		}
+		if !b.sleep(time.Millisecond) {
+			return nil
+		}
+	}
+}
+
+// hashSweep performs one full pass over the driving table (and, for seeded
+// join migrations, the secondary table, whose groups may have no driving
+// rows at all); it returns how many groups were found unmigrated (0 means
+// the pass found everything migrated).
+func (b *Background) hashSweep(rt *StmtRuntime) (remaining int, err error) {
+	n, err := b.sweepTable(rt, rt.drivingTbl, rt.groupOrds)
+	if err != nil {
+		return n, err
+	}
+	remaining += n
+	if rt.seedTbl != nil {
+		n, err := b.sweepTable(rt, rt.seedTbl, rt.seedOrds)
+		if err != nil {
+			return remaining + n, err
+		}
+		remaining += n
+	}
+	return remaining, nil
+}
+
+// CatchUp synchronously migrates everything not yet covered — the final
+// pass a multi-step switch-over runs while client writes are quiesced, and
+// generally useful for draining a migration on demand. It loops until a
+// full pass finds nothing left.
+func (rt *StmtRuntime) CatchUp() error {
+	b := &Background{ctrl: rt.ctrl, ChunkGranules: 256, ChunkTuples: 1 << 14, stop: make(chan struct{})}
+	if rt.bitmap != nil {
+		// The bitmap was sized at Start; sweep whatever it tracks.
+		for {
+			g := rt.bitmap.NextUnmigrated(0)
+			if g < 0 {
+				rt.ctrl.markRuntimeComplete(rt)
+				return nil
+			}
+			batch := make([]int64, 0, b.ChunkGranules)
+			for i := 0; i < b.ChunkGranules && g >= 0; i++ {
+				batch = append(batch, g)
+				g = rt.bitmap.NextUnmigrated(g + 1)
+			}
+			busy, err := rt.bitmapPass(nil, batch)
+			if err != nil {
+				return err
+			}
+			if busy > 0 {
+				time.Sleep(rt.ctrl.backoff)
+			}
+		}
+	}
+	for {
+		remaining, err := b.hashSweep(rt)
+		if err != nil {
+			return err
+		}
+		if remaining == 0 {
+			rt.ctrl.markRuntimeComplete(rt)
+			return nil
+		}
+	}
+}
+
+func (b *Background) sweepTable(rt *StmtRuntime, tbl *catalog.Table, ords []int) (remaining int, err error) {
+	total := tbl.Heap.NumSlots()
+	for lo := int64(0); lo < total; lo += b.ChunkTuples {
+		select {
+		case <-b.stop:
+			return remaining, nil
+		default:
+		}
+		hi := lo + b.ChunkTuples
+		keys, err := b.discoverKeys(rt, tbl, ords, lo, hi)
+		if err != nil {
+			return remaining, err
+		}
+		var todo [][]byte
+		for _, k := range keys {
+			if !rt.hash.IsMigrated(k) {
+				todo = append(todo, k)
+			}
+		}
+		if len(todo) == 0 {
+			continue
+		}
+		remaining += len(todo)
+		// Migrate, waiting out busy groups like any client request.
+		for {
+			busy, err := rt.hashPass(nil, todo)
+			if err != nil {
+				return remaining, err
+			}
+			if busy == 0 {
+				break
+			}
+			if !b.sleep(rt.ctrl.backoff) {
+				return remaining, nil
+			}
+		}
+		if !b.sleep(b.Interval) {
+			return remaining, nil
+		}
+	}
+	return remaining, nil
+}
+
+// discoverKeys collects the distinct group keys of visible tuples in the
+// ordinal range of the given table (driving or seed).
+func (b *Background) discoverKeys(rt *StmtRuntime, tbl *catalog.Table, ords []int, lo, hi int64) ([][]byte, error) {
+	tx := rt.ctrl.db.Begin()
+	defer tx.Abort()
+	seen := map[string]bool{}
+	var keys [][]byte
+	err := tbl.Heap.ScanRange(lo, hi, func(tid storage.TID, head *storage.Version) error {
+		row, ok := tx.VisibleRow(head)
+		if !ok {
+			return nil
+		}
+		key := make(types.Row, len(ords))
+		for i, ord := range ords {
+			key[i] = row[ord]
+		}
+		k := types.EncodeKey(nil, key)
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			keys = append(keys, k)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return keys, nil
+}

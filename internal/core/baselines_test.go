@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+func TestEagerMigration(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 100)
+	gate := NewGate()
+	res, err := MigrateEager(db, m, gate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 200 { // 100 rows into each of two outputs
+		t.Errorf("rows = %d", res.Rows)
+	}
+	if res.Duration <= 0 {
+		t.Error("duration not measured")
+	}
+	got := mustSelect(t, db, `SELECT COUNT(*) FROM cust_private`)[0][0].Int()
+	if got != 100 {
+		t.Errorf("private rows = %d", got)
+	}
+	tbl, _ := db.Catalog().Table("cust")
+	if !tbl.Retired() {
+		t.Error("input should be retired after eager migration")
+	}
+}
+
+func TestEagerMigrationBlocksClients(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 2000)
+	gate := NewGate()
+
+	// A client holding the shared gate delays eager migration; clients
+	// arriving during the exclusive section are queued.
+	gate.Enter()
+	started := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := MigrateEager(db, m, gate)
+		done <- err
+	}()
+	<-started
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("eager migration proceeded while a client held the gate")
+	default:
+	}
+	gate.Leave()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Gate usable again afterwards.
+	gate.Enter()
+	gate.Leave()
+}
+
+func TestEagerSeedCompletion(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `
+		CREATE TABLE ol (w INT, o INT, i INT, qty INT, PRIMARY KEY (w, o, i));
+		CREATE TABLE stock (s_w INT, s_i INT, s_qty INT, PRIMARY KEY (s_w, s_i));
+		INSERT INTO stock VALUES (1, 1, 10), (1, 2, 20), (1, 3, 30);
+		INSERT INTO ol VALUES (1, 1, 1, 5);`)
+	m := &Migration{
+		Name:  "join",
+		Setup: `CREATE TABLE ol_stock (w INT, o INT, i INT, qty INT, s_qty INT, UNIQUE (w, i, o))`,
+		Statements: []*Statement{{
+			Name: "join", Driving: "l", Category: ManyToMany, GroupBy: []string{"w", "i"},
+			Outputs: []OutputSpec{{
+				Table: "ol_stock",
+				Def:   parseSelect(t, `SELECT l.w, l.o, l.i, l.qty, s.s_qty FROM ol l, stock s WHERE s.s_w = l.w AND s.s_i = l.i`),
+			}},
+			Seed: &SeedSpec{
+				Def:     parseSelect(t, `SELECT s.s_w, NULL AS o, s.s_i, NULL AS qty, s.s_qty FROM stock s`),
+				Driving: "s",
+				GroupBy: []string{"s_w", "s_i"},
+			},
+		}},
+		RetireInputs: []string{"ol", "stock"},
+	}
+	res, err := MigrateEager(db, m, NewGate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != 3 { // one joined row + two seeds
+		t.Errorf("rows = %d", res.Rows)
+	}
+	seeds := mustSelect(t, db, `SELECT COUNT(*) FROM ol_stock WHERE o IS NULL`)[0][0].Int()
+	if seeds != 2 {
+		t.Errorf("seed rows = %d", seeds)
+	}
+}
+
+func TestMultiStepCopyAndDualWrite(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 150)
+	ms, err := StartMultiStep(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Stop()
+
+	// During the copy window, the application writes to the OLD schema and
+	// calls NoteWrite; the new schema must converge to the final state.
+	custTbl, _ := db.Catalog().Table("cust")
+	for i := 0; i < 50; i++ {
+		tx := db.Begin()
+		where, _ := parseWhereCore(`c_id = ` + itoa(i%150+1))
+		tids, rows, err := db.ScanForWrite(tx, custTbl, "cust", where)
+		if err != nil || len(tids) != 1 {
+			t.Fatalf("scan: %v %d", err, len(tids))
+		}
+		newRow := rows[0].Clone()
+		newRow[3] = types.NewFloat(newRow[3].Float() + 1000)
+		if err := db.UpdateRow(tx, custTbl, tids[0], newRow); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+		if err := ms.NoteWrite("cust", tids, []types.Row{newRow}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Wait for the copier.
+	deadline := time.After(10 * time.Second)
+	for !ms.Complete() {
+		select {
+		case <-deadline:
+			t.Fatal("copier never completed")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if err := ms.Switch(); err != nil {
+		t.Fatal(err)
+	}
+	if !ms.Switched() {
+		t.Error("switch flag")
+	}
+	// The new schema must exactly match the old schema's final state.
+	oldSum := mustSelect(t, db, `SELECT SUM(c_balance) FROM cust`)[0][0].Float()
+	newSum := mustSelect(t, db, `SELECT SUM(c_balance) FROM cust_private`)[0][0].Float()
+	if oldSum != newSum {
+		t.Errorf("balance divergence: old %f new %f", oldSum, newSum)
+	}
+	n := mustSelect(t, db, `SELECT COUNT(*) FROM cust_private`)[0][0].Int()
+	if n != 150 {
+		t.Errorf("row count: %d", n)
+	}
+}
+
+func TestMultiStepSwitchBeforeCompleteFails(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE src (a INT PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO src VALUES (1)`)
+	m := &Migration{
+		Name:  "m",
+		Setup: `CREATE TABLE dst (a INT PRIMARY KEY)`,
+		Statements: []*Statement{{
+			Name: "s", Driving: "s", Category: OneToOne,
+			Outputs: []OutputSpec{{Table: "dst", Def: parseSelect(t, `SELECT a FROM src s`), KeyMap: map[string]string{"a": "a"}}},
+		}},
+		RetireInputs: []string{"src"},
+	}
+	// Build but do not start the copier, so copy cannot be complete.
+	ctrl := NewController(db, DetectEarly)
+	ctrl.shadow = true
+	shadow := *m
+	shadow.RetireInputs = nil
+	if err := ctrl.Start(&shadow); err != nil {
+		t.Fatal(err)
+	}
+	ms := &MultiStep{ctrl: ctrl, mig: m}
+	ms.bg = NewBackground(ctrl, time.Hour)
+	if err := ms.Switch(); err == nil {
+		t.Fatal("switch before complete should fail")
+	}
+}
+
+func TestRecoveryRestoresTrackers(t *testing.T) {
+	var logBuf bytes.Buffer
+	logWriter := wal.NewWriter(&logBuf)
+	db := engine.New(engine.Options{WAL: logWriter})
+
+	m := splitFixture(t, db, 60)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	// Migrate a few tuples lazily, then "crash".
+	for _, id := range []int{3, 14, 15, 9} {
+		if err := ctrl.EnsureMigrated("cust_private", parsePred(t, `c_id = `+itoa(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logWriter.Flush()
+	logBytes := append([]byte(nil), logBuf.Bytes()...)
+
+	// Fresh process: recreate schema + migration spec, then recover.
+	db2 := engine.New(engine.Options{})
+	mustExec(t, db2, `CREATE TABLE cust (
+		c_id INT PRIMARY KEY, c_name CHAR(16), c_city CHAR(16), c_balance FLOAT, c_payments INT)`)
+	m2 := splitFixtureSpecOnly()
+	ctrl2 := NewController(db2, DetectEarly)
+	if err := ctrl2.Start(m2); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ctrl2.Recover(func() (io.Reader, error) {
+		return bytes.NewReader(logBytes), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Migrated != 4 {
+		t.Errorf("migration records replayed: %d", stats.Migrated)
+	}
+	// Old rows and migrated copies are back...
+	n := mustSelect(t, db2, `SELECT COUNT(*) FROM cust_private`)[0][0].Int()
+	if n != 4 {
+		t.Errorf("recovered private rows: %d", n)
+	}
+	// ...and the tracker refuses to migrate them again: completing the
+	// migration must not duplicate those tuples (inserts use ConflictError,
+	// so a duplicate would fail loudly).
+	rt := ctrl2.RuntimeFor("cust_private")
+	if rt.bitmap.MigratedCount() != 4 {
+		t.Errorf("tracker restored %d granules", rt.bitmap.MigratedCount())
+	}
+	bg := NewBackground(ctrl2, 0)
+	bg.Start()
+	bg.Wait()
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	n = mustSelect(t, db2, `SELECT COUNT(*) FROM cust_private`)[0][0].Int()
+	if n != 60 {
+		t.Errorf("rows after completion: %d", n)
+	}
+}
+
+// splitFixtureSpecOnly returns the same migration spec as splitFixture
+// without touching the database (for the recovery test's second process).
+func splitFixtureSpecOnly() *Migration {
+	sel := func(src string) *typesSelect { return mustParseSelect(src) }
+	return &Migration{
+		Name: "split-cust",
+		Setup: `
+			CREATE TABLE cust_private (c_id INT PRIMARY KEY, c_balance FLOAT, c_payments INT);
+			CREATE TABLE cust_public (c_id INT PRIMARY KEY, c_name CHAR(16), c_city CHAR(16));`,
+		Statements: []*Statement{{
+			Name:     "split",
+			Driving:  "c",
+			Category: OneToMany,
+			Outputs: []OutputSpec{
+				{Table: "cust_private", Def: sel(`SELECT c_id, c_balance, c_payments FROM cust c`), KeyMap: map[string]string{"c_id": "c_id"}},
+				{Table: "cust_public", Def: sel(`SELECT c_id, c_name, c_city FROM cust c`), KeyMap: map[string]string{"c_id": "c_id"}},
+			},
+		}},
+		RetireInputs: []string{"cust"},
+	}
+}
+
+func TestConcurrentEnsureWithBackground(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 400)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	bg := NewBackground(ctrl, 0)
+	bg.ChunkGranules = 8
+	bg.Start()
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := (w*53+i*17)%400 + 1
+				if err := ctrl.EnsureMigrated("cust_public", parsePred(t, `c_id = `+itoa(id))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	bg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly-once even with clients and background racing.
+	n := mustSelect(t, db, `SELECT COUNT(*) FROM cust_public`)[0][0].Int()
+	if n != 400 {
+		t.Errorf("rows = %d", n)
+	}
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Bitmap tracks migration and lock status for 1:1 and 1:n migrations using
+// two bits per granule (paper §3.3):
+//
+//	[lock migrate] = [0 0] not started, [1 0] in progress, [0 1] migrated.
+//	[1 1] never occurs.
+//
+// The two bits sit in adjacent positions of a word so both are read
+// together. The bitmap is partitioned into chunks, each protected by its own
+// latch, to reduce cross-worker contention — exactly the paper's design. A
+// granule covers `granuleSize` consecutive tuple ordinals, implementing the
+// page-level granularity option of §4.4.3 (granuleSize 1 = tuple level).
+type Bitmap struct {
+	granules    int64
+	granuleSize int64
+	chunks      []bitmapChunk
+	migrated    atomic.Int64
+}
+
+// granulesPerChunk must be a multiple of 32 (32 two-bit entries per word).
+const granulesPerChunk = 4096
+
+type bitmapChunk struct {
+	mu    sync.Mutex
+	words []uint64
+}
+
+// NewBitmap creates a tracker covering nTuples tuple ordinals at the given
+// granularity (tuples per granule; 0 or 1 means tuple-level).
+func NewBitmap(nTuples int64, granuleSize int64) *Bitmap {
+	if granuleSize <= 0 {
+		granuleSize = 1
+	}
+	granules := (nTuples + granuleSize - 1) / granuleSize
+	nChunks := (granules + granulesPerChunk - 1) / granulesPerChunk
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	b := &Bitmap{granules: granules, granuleSize: granuleSize, chunks: make([]bitmapChunk, nChunks)}
+	for i := range b.chunks {
+		b.chunks[i].words = make([]uint64, granulesPerChunk/32)
+	}
+	return b
+}
+
+// Granules returns the total number of granules tracked.
+func (b *Bitmap) Granules() int64 { return b.granules }
+
+// GranuleSize returns the tuples-per-granule factor.
+func (b *Bitmap) GranuleSize() int64 { return b.granuleSize }
+
+// GranuleOf maps a tuple ordinal to its granule id.
+func (b *Bitmap) GranuleOf(tupleOrd int64) int64 { return tupleOrd / b.granuleSize }
+
+// TupleRange returns the [lo, hi) tuple-ordinal range covered by a granule.
+func (b *Bitmap) TupleRange(granule int64) (lo, hi int64) {
+	return granule * b.granuleSize, (granule + 1) * b.granuleSize
+}
+
+const (
+	stateNone       = 0b00
+	stateInProgress = 0b10 // lock bit set
+	stateMigrated   = 0b01 // migrate bit set
+)
+
+func (b *Bitmap) locate(granule int64) (*bitmapChunk, int, uint) {
+	chunk := &b.chunks[granule/granulesPerChunk]
+	within := granule % granulesPerChunk
+	return chunk, int(within / 32), uint(within % 32 * 2)
+}
+
+// state reads the two-bit state without the latch (the double-checked fast
+// path of Algorithm 2 lines 1-2); the authoritative read repeats under the
+// latch.
+func (b *Bitmap) state(granule int64) uint64 {
+	chunk, word, shift := b.locate(granule)
+	return (atomic.LoadUint64(&chunk.words[word]) >> shift) & 0b11
+}
+
+// TryClaimGranule implements Algorithm 2 for a granule id.
+func (b *Bitmap) TryClaimGranule(granule int64) ClaimResult {
+	if granule < 0 || granule >= b.granules {
+		panic(fmt.Sprintf("core: granule %d out of range [0,%d)", granule, b.granules))
+	}
+	// Fast path without the latch.
+	switch b.state(granule) {
+	case stateMigrated:
+		return Done
+	case stateInProgress:
+		return Busy
+	}
+	chunk, word, shift := b.locate(granule)
+	chunk.mu.Lock()
+	defer chunk.mu.Unlock()
+	// Re-check under the latch (Algorithm 2 lines 5-7). All word accesses
+	// are atomic so the unlatched fast path above is race-free.
+	cur := (atomic.LoadUint64(&chunk.words[word]) >> shift) & 0b11
+	switch cur {
+	case stateMigrated:
+		return Done
+	case stateInProgress:
+		return Busy
+	}
+	atomic.StoreUint64(&chunk.words[word], atomic.LoadUint64(&chunk.words[word])|uint64(stateInProgress)<<shift)
+	return Claimed
+}
+
+// MarkMigratedGranule transitions in-progress -> migrated ([1 0] -> [0 1]).
+func (b *Bitmap) MarkMigratedGranule(granule int64) {
+	chunk, word, shift := b.locate(granule)
+	chunk.mu.Lock()
+	w := atomic.LoadUint64(&chunk.words[word])
+	cur := (w >> shift) & 0b11
+	if cur != stateInProgress {
+		chunk.mu.Unlock()
+		panic(fmt.Sprintf("core: MarkMigrated on granule %d in state %02b", granule, cur))
+	}
+	atomic.StoreUint64(&chunk.words[word], (w&^(0b11<<shift))|(uint64(stateMigrated)<<shift))
+	chunk.mu.Unlock()
+	b.migrated.Add(1)
+}
+
+// ReleaseAbortGranule resets in-progress back to not started ([1 0] -> [0 0],
+// §3.5), allowing waiting workers to claim it.
+func (b *Bitmap) ReleaseAbortGranule(granule int64) {
+	chunk, word, shift := b.locate(granule)
+	chunk.mu.Lock()
+	w := atomic.LoadUint64(&chunk.words[word])
+	if (w>>shift)&0b11 == stateInProgress {
+		atomic.StoreUint64(&chunk.words[word], w&^(0b11<<shift))
+	}
+	chunk.mu.Unlock()
+}
+
+// IsMigratedGranule reports whether the granule's migrate bit is set.
+func (b *Bitmap) IsMigratedGranule(granule int64) bool {
+	return b.state(granule) == stateMigrated
+}
+
+// RestoreMigratedGranule force-sets migrated (recovery). Unlike
+// MarkMigratedGranule it accepts any prior state.
+func (b *Bitmap) RestoreMigratedGranule(granule int64) {
+	chunk, word, shift := b.locate(granule)
+	chunk.mu.Lock()
+	w := atomic.LoadUint64(&chunk.words[word])
+	if (w>>shift)&0b11 != stateMigrated {
+		atomic.StoreUint64(&chunk.words[word], (w&^(0b11<<shift))|(uint64(stateMigrated)<<shift))
+		b.migrated.Add(1)
+	}
+	chunk.mu.Unlock()
+}
+
+// MigratedCount returns the number of migrated granules.
+func (b *Bitmap) MigratedCount() int64 { return b.migrated.Load() }
+
+// Complete reports whether every granule has been migrated.
+func (b *Bitmap) Complete() bool { return b.migrated.Load() >= b.granules }
+
+// NextUnmigrated returns the smallest granule id >= from that is not yet
+// migrated, or -1. Background migration uses this to find remaining work.
+func (b *Bitmap) NextUnmigrated(from int64) int64 {
+	for g := from; g < b.granules; g++ {
+		if b.state(g) != stateMigrated {
+			return g
+		}
+	}
+	return -1
+}
+
+// --- Tracker interface adapters (keys are big-endian granule ids) ---
+
+// GranuleKey encodes a granule id as a tracker key.
+func GranuleKey(granule int64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(granule))
+	return buf[:]
+}
+
+// GranuleFromKey decodes a tracker key into a granule id.
+func GranuleFromKey(key []byte) int64 {
+	return int64(binary.BigEndian.Uint64(key))
+}
+
+// TryClaim implements Tracker.
+func (b *Bitmap) TryClaim(key []byte) ClaimResult { return b.TryClaimGranule(GranuleFromKey(key)) }
+
+// MarkMigrated implements Tracker.
+func (b *Bitmap) MarkMigrated(key []byte) { b.MarkMigratedGranule(GranuleFromKey(key)) }
+
+// ReleaseAbort implements Tracker.
+func (b *Bitmap) ReleaseAbort(key []byte) { b.ReleaseAbortGranule(GranuleFromKey(key)) }
+
+// IsMigrated implements Tracker.
+func (b *Bitmap) IsMigrated(key []byte) bool { return b.IsMigratedGranule(GranuleFromKey(key)) }
+
+// RestoreMigrated implements Tracker.
+func (b *Bitmap) RestoreMigrated(key []byte) { b.RestoreMigratedGranule(GranuleFromKey(key)) }

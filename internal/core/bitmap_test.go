@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapStateMachine(t *testing.T) {
+	b := NewBitmap(100, 1)
+	if b.Granules() != 100 || b.GranuleSize() != 1 {
+		t.Fatalf("geometry: %d granules, size %d", b.Granules(), b.GranuleSize())
+	}
+	if b.TryClaimGranule(5) != Claimed {
+		t.Fatal("first claim should succeed")
+	}
+	if b.TryClaimGranule(5) != Busy {
+		t.Fatal("second claim should be busy")
+	}
+	b.MarkMigratedGranule(5)
+	if b.TryClaimGranule(5) != Done {
+		t.Fatal("claim after migrate should be done")
+	}
+	if !b.IsMigratedGranule(5) || b.IsMigratedGranule(6) {
+		t.Fatal("IsMigrated wrong")
+	}
+	if b.MigratedCount() != 1 {
+		t.Fatalf("MigratedCount = %d", b.MigratedCount())
+	}
+}
+
+func TestBitmapAbortRelease(t *testing.T) {
+	b := NewBitmap(10, 1)
+	if b.TryClaimGranule(3) != Claimed {
+		t.Fatal("claim")
+	}
+	b.ReleaseAbortGranule(3)
+	// After abort, the granule is claimable again — the w3-unblocks scenario
+	// of paper Figure 2.
+	if b.TryClaimGranule(3) != Claimed {
+		t.Fatal("claim after abort should succeed")
+	}
+	// ReleaseAbort on a migrated granule must not clear it.
+	b.MarkMigratedGranule(3)
+	b.ReleaseAbortGranule(3)
+	if !b.IsMigratedGranule(3) {
+		t.Fatal("ReleaseAbort cleared a migrated granule")
+	}
+}
+
+func TestBitmapInvalidTransitionsPanic(t *testing.T) {
+	b := NewBitmap(4, 1)
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { b.MarkMigratedGranule(0) }) // not claimed
+	mustPanic(func() { b.TryClaimGranule(99) })    // out of range
+	b.TryClaimGranule(1)
+	b.MarkMigratedGranule(1)
+	mustPanic(func() { b.MarkMigratedGranule(1) }) // double mark
+}
+
+func TestBitmapPageGranularity(t *testing.T) {
+	b := NewBitmap(1000, 64)
+	if b.Granules() != 16 { // ceil(1000/64)
+		t.Fatalf("granules = %d", b.Granules())
+	}
+	if b.GranuleOf(0) != 0 || b.GranuleOf(63) != 0 || b.GranuleOf(64) != 1 || b.GranuleOf(999) != 15 {
+		t.Fatal("GranuleOf mapping wrong")
+	}
+	lo, hi := b.TupleRange(15)
+	if lo != 960 || hi != 1024 {
+		t.Fatalf("TupleRange(15) = [%d,%d)", lo, hi)
+	}
+}
+
+func TestBitmapNextUnmigratedAndComplete(t *testing.T) {
+	b := NewBitmap(8, 1)
+	for g := int64(0); g < 8; g++ {
+		if g == 3 || g == 7 {
+			continue
+		}
+		b.TryClaimGranule(g)
+		b.MarkMigratedGranule(g)
+	}
+	if got := b.NextUnmigrated(0); got != 3 {
+		t.Fatalf("NextUnmigrated(0) = %d", got)
+	}
+	if got := b.NextUnmigrated(4); got != 7 {
+		t.Fatalf("NextUnmigrated(4) = %d", got)
+	}
+	if b.Complete() {
+		t.Fatal("not complete yet")
+	}
+	for _, g := range []int64{3, 7} {
+		b.TryClaimGranule(g)
+		b.MarkMigratedGranule(g)
+	}
+	if !b.Complete() || b.NextUnmigrated(0) != -1 {
+		t.Fatal("should be complete")
+	}
+}
+
+func TestBitmapRestoreMigratedIdempotent(t *testing.T) {
+	b := NewBitmap(4, 1)
+	b.RestoreMigratedGranule(2)
+	b.RestoreMigratedGranule(2)
+	if b.MigratedCount() != 1 {
+		t.Fatalf("MigratedCount = %d", b.MigratedCount())
+	}
+	if b.TryClaimGranule(2) != Done {
+		t.Fatal("restored granule should be done")
+	}
+	// Restore over an in-progress claim (recovery wins).
+	b.TryClaimGranule(0)
+	b.RestoreMigratedGranule(0)
+	if !b.IsMigratedGranule(0) {
+		t.Fatal("restore should overwrite in-progress")
+	}
+}
+
+// TestBitmapExactlyOnceUnderContention is the central §3 invariant: many
+// workers racing to claim granules, each claim must be granted to exactly
+// one worker, and every granule ends migrated exactly once.
+func TestBitmapExactlyOnceUnderContention(t *testing.T) {
+	const n = 5000
+	b := NewBitmap(n, 1)
+	claims := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			order := r.Perm(n)
+			for _, g := range order {
+				switch b.TryClaimGranule(int64(g)) {
+				case Claimed:
+					claims[g]++ // safe: only one worker can be here per g
+					b.MarkMigratedGranule(int64(g))
+				case Busy, Done:
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if !b.Complete() {
+		t.Fatalf("only %d/%d migrated", b.MigratedCount(), b.Granules())
+	}
+	for g, c := range claims {
+		if c != 1 {
+			t.Fatalf("granule %d claimed %d times", g, c)
+		}
+	}
+}
+
+// TestBitmapExactlyOnceWithAborts mixes aborts into the race: a claimed
+// granule is sometimes released (abort), and the invariant becomes "each
+// granule is SUCCESSFULLY migrated exactly once".
+func TestBitmapExactlyOnceWithAborts(t *testing.T) {
+	const n = 2000
+	b := NewBitmap(n, 1)
+	success := make([]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for !b.Complete() {
+				g := int64(r.Intn(n))
+				if b.TryClaimGranule(g) != Claimed {
+					continue
+				}
+				if r.Intn(3) == 0 {
+					b.ReleaseAbortGranule(g) // simulate txn abort
+					continue
+				}
+				success[g]++
+				b.MarkMigratedGranule(g)
+			}
+		}(int64(w + 100))
+	}
+	wg.Wait()
+	for g, c := range success {
+		if c != 1 {
+			t.Fatalf("granule %d migrated %d times", g, c)
+		}
+	}
+}
+
+func TestBitmapGeometryProperty(t *testing.T) {
+	f := func(nSeed uint16, granSeed uint8) bool {
+		n := int64(nSeed)%5000 + 1
+		gran := int64(granSeed)%128 + 1
+		b := NewBitmap(n, gran)
+		// Every tuple ordinal maps into a valid granule whose range covers it.
+		for _, ord := range []int64{0, n / 2, n - 1} {
+			g := b.GranuleOf(ord)
+			if g < 0 || g >= b.Granules() {
+				return false
+			}
+			lo, hi := b.TupleRange(g)
+			if ord < lo || ord >= hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGranuleKeyRoundTrip(t *testing.T) {
+	f := func(g int64) bool {
+		if g < 0 {
+			g = -g
+		}
+		return GranuleFromKey(GranuleKey(g)) == g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitmapTrackerInterface(t *testing.T) {
+	var tr Tracker = NewBitmap(10, 1)
+	k := GranuleKey(4)
+	if tr.TryClaim(k) != Claimed {
+		t.Fatal("claim via interface")
+	}
+	tr.MarkMigrated(k)
+	if !tr.IsMigrated(k) || tr.MigratedCount() != 1 {
+		t.Fatal("interface state wrong")
+	}
+	k2 := GranuleKey(5)
+	tr.TryClaim(k2)
+	tr.ReleaseAbort(k2)
+	if tr.TryClaim(k2) != Claimed {
+		t.Fatal("release via interface")
+	}
+	tr.RestoreMigrated(k2)
+	if !tr.IsMigrated(k2) {
+		t.Fatal("restore via interface")
+	}
+}
+
+func TestClaimResultString(t *testing.T) {
+	if Claimed.String() != "claimed" || Busy.String() != "busy" || Done.String() != "done" || ClaimResult(9).String() != "unknown" {
+		t.Error("ClaimResult strings")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestCatchUpDrainsEverything: CatchUp synchronously completes a statement
+// regardless of prior progress (used by the multi-step switch; also handy
+// for forcing completion on demand).
+func TestCatchUpDrainsEverything(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 80)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	// Partially migrate.
+	if err := ctrl.EnsureMigrated("cust_private", parsePred(t, `c_id < 10`)); err != nil {
+		t.Fatal(err)
+	}
+	rt := ctrl.RuntimeFor("cust_private")
+	if rt.Complete() {
+		t.Fatal("should not be complete yet")
+	}
+	if err := rt.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Complete() || !ctrl.Complete() {
+		t.Fatal("CatchUp should complete the migration")
+	}
+	if got := mustSelect(t, db, `SELECT COUNT(*) FROM cust_private`)[0][0].Int(); got != 80 {
+		t.Errorf("rows = %d", got)
+	}
+	// Idempotent on a finished statement.
+	if err := rt.CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCatchUpHash drains a group-tracked statement.
+func TestCatchUpHash(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE ev (k INT, v INT, PRIMARY KEY (k, v))`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, db, `INSERT INTO ev VALUES (`+itoa(i%5)+`, `+itoa(i)+`)`)
+	}
+	m := &Migration{
+		Name:  "agg",
+		Setup: `CREATE TABLE ev_count (k INT PRIMARY KEY, n INT)`,
+		Statements: []*Statement{{
+			Name: "agg", Driving: "e", Category: ManyToOne, GroupBy: []string{"k"},
+			Outputs: []OutputSpec{{
+				Table: "ev_count",
+				Def:   parseSelect(t, `SELECT k, COUNT(*) AS n FROM ev e GROUP BY k`),
+			}},
+		}},
+	}
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Runtimes()[0].CatchUp(); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustSelect(t, db, `SELECT COUNT(*) FROM ev_count`)
+	if rows[0][0].Int() != 5 {
+		t.Errorf("groups = %v", rows[0][0])
+	}
+}

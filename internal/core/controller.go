@@ -1,0 +1,991 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// ErrRetiredTable is returned when a client statement touches a table that
+// was retired by the big flip (paper §2.1: "the old schema becomes inactive,
+// and all subsequent requests that access it are rejected").
+var ErrRetiredTable = errors.New("core: relation belongs to a retired schema version")
+
+// Stats counts a statement runtime's migration activity.
+type Stats struct {
+	RowsMigrated int64 // rows inserted into output tables by migration
+	Transforms   int64 // migration transactions executed
+	SkipWaits    int64 // Algorithm 1 loop repeats caused by busy granules
+	DroppedRows  int64 // rows rejected by new-schema constraints (§2.4)
+}
+
+type statCounters struct {
+	rowsMigrated atomic.Int64
+	transforms   atomic.Int64
+	skipWaits    atomic.Int64
+	droppedRows  atomic.Int64
+}
+
+func (s *statCounters) snapshot() Stats {
+	return Stats{
+		RowsMigrated: s.rowsMigrated.Load(),
+		Transforms:   s.transforms.Load(),
+		SkipWaits:    s.skipWaits.Load(),
+		DroppedRows:  s.droppedRows.Load(),
+	}
+}
+
+// outputRuntime binds an OutputSpec to its catalog table.
+type outputRuntime struct {
+	spec OutputSpec
+	tbl  *catalog.Table
+}
+
+// StmtRuntime is the live state of one migration statement: trackers,
+// resolved tables, and counters.
+type StmtRuntime struct {
+	ctrl         *Controller
+	Stmt         *Statement
+	drivingTbl   *catalog.Table
+	drivingAlias string
+	outputs      []outputRuntime
+	bitmap       *Bitmap      // bitmap categories
+	hash         *HashTracker // hashmap categories
+	groupOrds    []int        // driving-table ordinals of the group key
+	seedTbl      *catalog.Table
+	seedOrds     []int
+	complete     atomic.Bool
+	completeAt   atomic.Int64 // unix nanos
+	stats        statCounters
+}
+
+// Complete reports whether every granule/group of this statement migrated.
+func (rt *StmtRuntime) Complete() bool { return rt.complete.Load() }
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *StmtRuntime) Stats() Stats { return rt.stats.snapshot() }
+
+// Tracker returns the statement's tracker (bitmap or hash).
+func (rt *StmtRuntime) Tracker() Tracker {
+	if rt.bitmap != nil {
+		return rt.bitmap
+	}
+	return rt.hash
+}
+
+// Controller coordinates an active BullFrog migration: it owns the trackers,
+// runs the per-transaction migration loop (Algorithm 1), implements the
+// engine hook for constraint-driven migration widening, and reports
+// progress. At most one migration is active at a time (as in the paper's
+// deployment model: one evolution transaction per deployment).
+type Controller struct {
+	db   *engine.DB
+	mode ConflictMode
+
+	// shadow marks a controller used by the multi-step baseline: trackers
+	// and transforms run, but inputs are not retired and the engine hook is
+	// not installed (the old schema stays authoritative until the switch).
+	shadow bool
+
+	// backoff between Algorithm 1 loop iterations while waiting on busy
+	// granules (line 10's re-check loop).
+	backoff time.Duration
+
+	mu       sync.RWMutex
+	mig      *Migration
+	runtimes []*StmtRuntime
+	byOutput map[string]*StmtRuntime
+	retired  map[string]bool
+
+	migTxns     sync.Map // txn id -> struct{}; migration transactions bypass the hook
+	startedAt   time.Time
+	completedAt atomic.Int64 // unix nanos; 0 = not complete
+
+	// failTransforms > 0 makes that many transforms fail (tests exercise the
+	// abort/release path of §3.5 with it).
+	failTransforms atomic.Int32
+
+	// trackingDisabled turns off status maintenance entirely (the paper's
+	// §4.4.1 "no bitmap" ablation, Figure 9). Correct only when the workload
+	// accesses each granule exactly once.
+	trackingDisabled atomic.Bool
+}
+
+// SetTrackingDisabled toggles the §4.4.1 no-tracking ablation: claims always
+// succeed and no migration status is recorded. Use only with workloads that
+// touch each granule exactly once; background migration must stay off.
+func (c *Controller) SetTrackingDisabled(v bool) { c.trackingDisabled.Store(v) }
+
+// InjectTransformFailures makes the next n migration transforms fail after
+// claiming their granules, exercising abort handling. Test use only.
+func (c *Controller) InjectTransformFailures(n int32) { c.failTransforms.Store(n) }
+
+// errInjected is the fault-injection error.
+var errInjected = errors.New("core: injected transform failure")
+
+func (c *Controller) maybeInjectFailure() error {
+	for {
+		n := c.failTransforms.Load()
+		if n <= 0 {
+			return nil
+		}
+		if c.failTransforms.CompareAndSwap(n, n-1) {
+			return errInjected
+		}
+	}
+}
+
+// NewController creates a controller over the database.
+func NewController(db *engine.DB, mode ConflictMode) *Controller {
+	return &Controller{
+		db:       db,
+		mode:     mode,
+		backoff:  200 * time.Microsecond,
+		byOutput: map[string]*StmtRuntime{},
+		retired:  map[string]bool{},
+	}
+}
+
+// DB returns the underlying engine.
+func (c *Controller) DB() *engine.DB { return c.db }
+
+// Mode returns the conflict-detection mode.
+func (c *Controller) Mode() ConflictMode { return c.mode }
+
+func norm(s string) string { return strings.ToLower(s) }
+
+// Start registers and activates a migration: setup DDL runs, input tables
+// are retired (the big flip), trackers are allocated, and the engine hook is
+// installed. The new schema is active the moment Start returns — no data has
+// moved yet.
+func (c *Controller) Start(m *Migration) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mig != nil {
+		return fmt.Errorf("core: migration %q is already active", c.mig.Name)
+	}
+	if m.Setup != "" {
+		if _, err := c.db.Exec(m.Setup); err != nil {
+			return fmt.Errorf("core: migration setup: %w", err)
+		}
+	}
+	var runtimes []*StmtRuntime
+	byOutput := map[string]*StmtRuntime{}
+	for _, stmt := range m.Statements {
+		rt, err := c.buildRuntime(stmt)
+		if err != nil {
+			return err
+		}
+		runtimes = append(runtimes, rt)
+		for _, out := range rt.outputs {
+			if byOutput[norm(out.tbl.Def.Name)] != nil {
+				return fmt.Errorf("core: output table %q used by two statements", out.tbl.Def.Name)
+			}
+			byOutput[norm(out.tbl.Def.Name)] = rt
+		}
+	}
+	if m.PrevalidateUnique {
+		for _, rt := range runtimes {
+			if err := c.prevalidateUnique(rt); err != nil {
+				return err
+			}
+		}
+	}
+	if !c.shadow {
+		for _, name := range m.RetireInputs {
+			tbl, err := c.db.Catalog().Table(name)
+			if err != nil {
+				return err
+			}
+			tbl.SetRetired(true)
+			c.retired[norm(name)] = true
+		}
+	}
+	c.mig = m
+	c.runtimes = runtimes
+	c.byOutput = byOutput
+	c.startedAt = time.Now()
+	if !c.shadow {
+		c.db.SetMigrationHook(c)
+	}
+	return nil
+}
+
+func (c *Controller) buildRuntime(stmt *Statement) (*StmtRuntime, error) {
+	rt := &StmtRuntime{ctrl: c, Stmt: stmt, drivingAlias: norm(stmt.Driving)}
+	// Resolve the driving table through the first output's FROM clause.
+	first := stmt.Outputs[0].Def
+	for _, ref := range first.From {
+		if norm(ref.AliasOrName()) == rt.drivingAlias {
+			tbl, err := c.db.Catalog().Table(ref.Name)
+			if err != nil {
+				return nil, err
+			}
+			rt.drivingTbl = tbl
+		}
+	}
+	if rt.drivingTbl == nil {
+		return nil, fmt.Errorf("core: statement %q: cannot resolve driving table %q", stmt.Name, stmt.Driving)
+	}
+	for _, out := range stmt.Outputs {
+		tbl, err := c.db.Catalog().Table(out.Table)
+		if err != nil {
+			return nil, fmt.Errorf("core: statement %q: output %w (create it in Migration.Setup)", stmt.Name, err)
+		}
+		rt.outputs = append(rt.outputs, outputRuntime{spec: out, tbl: tbl})
+		if c.mode == DetectOnInsert && len(tbl.UniqueIndexes()) == 0 {
+			return nil, fmt.Errorf("core: on-conflict mode requires a unique index on output %q (§3.7)", out.Table)
+		}
+	}
+	if stmt.Category.UsesBitmap() {
+		gran := stmt.Granularity
+		if gran <= 0 {
+			gran = 1
+		}
+		rt.bitmap = NewBitmap(rt.drivingTbl.Heap.NumSlots(), gran)
+	} else {
+		rt.hash = NewHashTracker()
+		for _, colName := range stmt.GroupBy {
+			ord := rt.drivingTbl.Def.ColumnIndex(colName)
+			if ord < 0 {
+				return nil, fmt.Errorf("core: statement %q: group column %q not in %q", stmt.Name, colName, rt.drivingTbl.Def.Name)
+			}
+			rt.groupOrds = append(rt.groupOrds, ord)
+		}
+	}
+	if stmt.Seed != nil {
+		for _, ref := range stmt.Seed.Def.From {
+			if norm(ref.AliasOrName()) == norm(stmt.Seed.Driving) {
+				tbl, err := c.db.Catalog().Table(ref.Name)
+				if err != nil {
+					return nil, err
+				}
+				rt.seedTbl = tbl
+			}
+		}
+		if rt.seedTbl == nil {
+			return nil, fmt.Errorf("core: statement %q: cannot resolve seed table", stmt.Name)
+		}
+		for _, colName := range stmt.Seed.GroupBy {
+			ord := rt.seedTbl.Def.ColumnIndex(colName)
+			if ord < 0 {
+				return nil, fmt.Errorf("core: statement %q: seed group column %q not in %q", stmt.Name, colName, rt.seedTbl.Def.Name)
+			}
+			rt.seedOrds = append(rt.seedOrds, ord)
+		}
+		if len(rt.seedOrds) != len(rt.groupOrds) {
+			return nil, fmt.Errorf("core: statement %q: seed group arity mismatch", stmt.Name)
+		}
+	}
+	return rt, nil
+}
+
+// prevalidateUnique runs the §2.4 synchronous check: compute every output's
+// transform eagerly (read-only) and fail on any unique-key duplicate, so the
+// error surfaces before the new schema goes live.
+func (c *Controller) prevalidateUnique(rt *StmtRuntime) error {
+	tx := c.db.Begin()
+	defer tx.Abort()
+	for _, out := range rt.outputs {
+		uniques := out.tbl.UniqueIndexes()
+		if len(uniques) == 0 {
+			continue
+		}
+		plan, err := c.db.PlanSelect(out.spec.Def)
+		if err != nil {
+			return err
+		}
+		seen := make(map[string]struct{})
+		err = plan.Execute(tx, func(row types.Row) error {
+			for _, idx := range uniques {
+				def := idx.Def()
+				keyRow := make(types.Row, len(def.Columns))
+				null := false
+				for i, ord := range def.Columns {
+					if row[ord].IsNull() {
+						null = true
+						break
+					}
+					keyRow[i] = row[ord]
+				}
+				if null {
+					continue
+				}
+				k := fmt.Sprintf("%d|%s", def.ID, types.EncodeKey(nil, keyRow))
+				if _, dup := seen[k]; dup {
+					return fmt.Errorf("core: migration %q would violate unique index %q on %q (duplicate key %v); rejected by synchronous pre-check (§2.4)",
+						rt.Stmt.Name, def.Name, out.tbl.Def.Name, keyRow)
+				}
+				seen[k] = struct{}{}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Reset clears a completed migration so the next one can Start — the
+// continuous-deployment cadence the paper motivates (multiple schema changes
+// per day). It fails while data is still moving.
+func (c *Controller) Reset() error {
+	if !c.Complete() {
+		return fmt.Errorf("core: cannot reset: migration %q is still in progress", c.mig.Name)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mig == nil {
+		return nil
+	}
+	c.db.SetMigrationHook(nil)
+	c.mig = nil
+	c.runtimes = nil
+	c.byOutput = map[string]*StmtRuntime{}
+	c.retired = map[string]bool{}
+	c.completedAt.Store(0)
+	return nil
+}
+
+// Migration returns the active migration, or nil.
+func (c *Controller) Migration() *Migration {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.mig
+}
+
+// Runtimes returns the active statement runtimes.
+func (c *Controller) Runtimes() []*StmtRuntime {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*StmtRuntime(nil), c.runtimes...)
+}
+
+// RuntimeFor returns the runtime owning the given output table, or nil.
+func (c *Controller) RuntimeFor(outputTable string) *StmtRuntime {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.byOutput[norm(outputTable)]
+}
+
+// IsRetired reports whether client access to the table is rejected.
+func (c *Controller) IsRetired(table string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.retired[norm(table)]
+}
+
+// Complete reports whether every statement finished migrating.
+func (c *Controller) Complete() bool {
+	c.mu.RLock()
+	rts := c.runtimes
+	active := c.mig != nil
+	c.mu.RUnlock()
+	if !active {
+		return true
+	}
+	for _, rt := range rts {
+		if !rt.complete.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// CompletedAt returns when the migration finished (zero time if not yet).
+func (c *Controller) CompletedAt() time.Time {
+	n := c.completedAt.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// StartedAt returns when the migration was registered.
+func (c *Controller) StartedAt() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.startedAt
+}
+
+// markRuntimeComplete records completion and, when the whole migration is
+// done, performs end-of-migration cleanup (§2.2: "the migration is complete
+// and the old schema can be deleted").
+func (c *Controller) markRuntimeComplete(rt *StmtRuntime) {
+	if !rt.complete.CompareAndSwap(false, true) {
+		return
+	}
+	rt.completeAt.Store(time.Now().UnixNano())
+	if !c.Complete() {
+		return
+	}
+	c.completedAt.CompareAndSwap(0, time.Now().UnixNano())
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.mig != nil && c.mig.DropInputsOnComplete {
+		for _, name := range c.mig.RetireInputs {
+			c.db.Catalog().DropTable(name)
+			delete(c.retired, norm(name))
+		}
+	}
+}
+
+// --- migration transactions ---
+
+func (c *Controller) beginMigTxn() *txn.Txn {
+	tx := c.db.Begin()
+	c.migTxns.Store(tx.ID(), struct{}{})
+	return tx
+}
+
+func (c *Controller) commitMigTxn(tx *txn.Txn) error {
+	defer c.migTxns.Delete(tx.ID())
+	return c.db.Commit(tx)
+}
+
+func (c *Controller) abortMigTxn(tx *txn.Txn) {
+	c.migTxns.Delete(tx.ID())
+	c.db.Abort(tx)
+}
+
+// isMigTxn reports whether the transaction is a migration transaction.
+func (c *Controller) isMigTxn(tx *txn.Txn) bool {
+	_, ok := c.migTxns.Load(tx.ID())
+	return ok
+}
+
+// BeforeKeyCheck implements engine.MigrationHook: before the engine checks a
+// unique key or foreign key against a table under migration, the rows that
+// could produce that key are migrated (paper §2.1's constraint-driven scope
+// widening, evaluated in §4.5).
+func (c *Controller) BeforeKeyCheck(tx *txn.Txn, table string, cols []int, key types.Row) error {
+	if c.isMigTxn(tx) {
+		return nil
+	}
+	rt := c.RuntimeFor(table)
+	if rt == nil || rt.complete.Load() {
+		return nil
+	}
+	outTbl, err := c.db.Catalog().Table(table)
+	if err != nil {
+		return nil
+	}
+	var pred expr.Expr
+	for i, ord := range cols {
+		name := outTbl.Def.Columns[ord].Name
+		pred = expr.CombineConjuncts(pred,
+			expr.NewBinOp(expr.OpEq, expr.NewCol("", name), expr.NewConst(key[i])))
+	}
+	return c.EnsureMigrated(table, pred)
+}
+
+// EnsureMigrated migrates, before the caller proceeds, every old-schema
+// tuple or group potentially relevant to a client request against
+// outputTable whose WHERE-equivalent predicate is pred (nil = everything).
+// This is the entry point of the paper's request-driven lazy migration.
+func (c *Controller) EnsureMigrated(outputTable string, pred expr.Expr) error {
+	rt := c.RuntimeFor(outputTable)
+	if rt == nil || rt.complete.Load() {
+		return nil
+	}
+	spec := rt.specFor(outputTable)
+	filters, err := c.db.TransposeFilters(spec.Def, pred)
+	if err != nil {
+		return err
+	}
+	var drivingPred expr.Expr
+	for _, f := range filters {
+		if norm(f.Alias) == rt.drivingAlias {
+			drivingPred = f.Pred
+		}
+	}
+	if rt.bitmap != nil {
+		return rt.migrateBitmapPred(drivingPred)
+	}
+	// Seeded join migrations must also discover groups that exist only in
+	// the secondary table (e.g. stock for never-ordered items): transpose
+	// the client predicate through the seed query too.
+	var seedPred expr.Expr
+	seedScan := false
+	if rt.Stmt.Seed != nil {
+		seedFilters, err := c.db.TransposeFilters(rt.Stmt.Seed.Def, pred)
+		if err == nil {
+			seedScan = true
+			for _, f := range seedFilters {
+				if norm(f.Alias) == norm(rt.Stmt.Seed.Driving) {
+					seedPred = f.Pred
+				}
+			}
+		}
+	}
+	return rt.migrateHashPredSeeded(drivingPred, seedPred, seedScan)
+}
+
+func (rt *StmtRuntime) specFor(outputTable string) *OutputSpec {
+	for i := range rt.outputs {
+		if norm(rt.outputs[i].tbl.Def.Name) == norm(outputTable) {
+			return &rt.outputs[i].spec
+		}
+	}
+	return &rt.outputs[0].spec
+}
+
+// --- bitmap migrations (Algorithm 1 over Algorithm 2) ---
+
+func (rt *StmtRuntime) migrateBitmapPred(pred expr.Expr) error {
+	for {
+		busy, err := rt.bitmapPass(pred, nil)
+		if err != nil {
+			return err
+		}
+		if busy == 0 {
+			return nil
+		}
+		// Another worker is migrating some of our granules: wait for it to
+		// finish or abort, then re-check (Algorithm 1 line 10).
+		rt.stats.skipWaits.Add(1)
+		time.Sleep(rt.ctrl.backoff)
+	}
+}
+
+// bitmapPass runs one iteration of the per-transaction migration loop:
+// claim, transform, commit, mark, over either the granules matching pred or
+// an explicit granule list (the background migrator's path). It returns how
+// many relevant granules were busy (in progress by other workers).
+func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64) (busy int, err error) {
+	tx := rt.ctrl.beginMigTxn()
+	finished := false
+	var wip []int64
+	defer func() {
+		if !finished {
+			rt.ctrl.abortMigTxn(tx)
+			if rt.ctrl.mode == DetectEarly {
+				for _, g := range wip {
+					rt.bitmap.ReleaseAbortGranule(g)
+				}
+			}
+		}
+	}()
+
+	var candidates []int64
+	if directGranules != nil {
+		candidates = directGranules
+	} else {
+		tids, _, serr := rt.ctrl.db.ScanForWrite(tx, rt.drivingTbl, rt.drivingAlias, pred)
+		if serr != nil {
+			return 0, serr
+		}
+		seen := map[int64]bool{}
+		for _, tid := range tids {
+			g := rt.bitmap.GranuleOf(tid.Ordinal(rt.drivingTbl.Heap.PageSize()))
+			if !seen[g] {
+				seen[g] = true
+				candidates = append(candidates, g)
+			}
+		}
+	}
+	for _, g := range candidates {
+		switch rt.claimGranule(g) {
+		case Claimed:
+			wip = append(wip, g)
+		case Busy:
+			busy++
+		}
+	}
+	if len(wip) == 0 {
+		rt.ctrl.abortMigTxn(tx)
+		finished = true // nothing to undo; skip the deferred release
+		return busy, nil
+	}
+	rows, err := rt.fetchGranuleRows(tx, wip)
+	if err != nil {
+		return busy, err
+	}
+	if err := rt.transform(tx, rows, nil); err != nil {
+		return busy, err
+	}
+	for _, g := range wip {
+		if err := rt.ctrl.db.WAL().Append(wal.Record{
+			Type: wal.RecMigrated, XID: tx.ID(), Table: rt.Stmt.Name, Key: GranuleKey(g),
+		}); err != nil {
+			return busy, err
+		}
+	}
+	if err := rt.ctrl.commitMigTxn(tx); err != nil {
+		return busy, err
+	}
+	finished = true
+	rt.stats.transforms.Add(1)
+	for _, g := range wip {
+		rt.markGranuleMigrated(g)
+	}
+	rt.checkBitmapComplete()
+	return busy, nil
+}
+
+// claimGranule applies the conflict-detection mode: early detection uses the
+// lock-bit protocol; on-insert detection only skips already-migrated
+// granules and lets the unique index resolve duplicates (§3.7).
+func (rt *StmtRuntime) claimGranule(g int64) ClaimResult {
+	if rt.ctrl.trackingDisabled.Load() {
+		return Claimed
+	}
+	if rt.ctrl.mode == DetectEarly {
+		return rt.bitmap.TryClaimGranule(g)
+	}
+	if rt.bitmap.IsMigratedGranule(g) {
+		return Done
+	}
+	return Claimed
+}
+
+func (rt *StmtRuntime) markGranuleMigrated(g int64) {
+	if rt.ctrl.trackingDisabled.Load() {
+		return
+	}
+	if rt.ctrl.mode == DetectEarly {
+		rt.bitmap.MarkMigratedGranule(g)
+	} else {
+		rt.bitmap.RestoreMigratedGranule(g) // idempotent under duplicated work
+	}
+}
+
+func (rt *StmtRuntime) checkBitmapComplete() {
+	if rt.bitmap.Complete() {
+		rt.ctrl.markRuntimeComplete(rt)
+	}
+}
+
+// fetchGranuleRows collects every tuple visible to tx in the claimed
+// granules — with page-level granularity the whole page migrates even if the
+// request matched one tuple (§4.4.3).
+func (rt *StmtRuntime) fetchGranuleRows(tx *txn.Txn, granules []int64) ([]types.Row, error) {
+	var rows []types.Row
+	for _, g := range granules {
+		lo, hi := rt.bitmap.TupleRange(g)
+		err := rt.drivingTbl.Heap.ScanRange(lo, hi, func(tid storage.TID, head *storage.Version) error {
+			if row, ok := tx.VisibleRow(head); ok {
+				rows = append(rows, row.Clone())
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// transform runs every output's defining query over the bound driving rows
+// and inserts the results. outputsInserted, when non-nil, receives the
+// number of rows inserted per output (used by group seeding).
+func (rt *StmtRuntime) transform(tx *txn.Txn, drivingRows []types.Row, outputsInserted *int) error {
+	if err := rt.ctrl.maybeInjectFailure(); err != nil {
+		return err
+	}
+	conflict := sql.ConflictError
+	if rt.ctrl.mode == DetectOnInsert || rt.ctrl.trackingDisabled.Load() {
+		// Without tracking there is no exactly-once guarantee to assert;
+		// duplicated work must dedup at the unique index (§3.7 semantics).
+		conflict = sql.ConflictDoNothing
+	}
+	for _, out := range rt.outputs {
+		plan, err := rt.ctrl.db.PlanSelectWithBoundRows(out.spec.Def, rt.drivingAlias, &engine.BoundRows{Rows: drivingRows})
+		if err != nil {
+			return err
+		}
+		err = plan.Execute(tx, func(row types.Row) error {
+			_, ok, ierr := rt.ctrl.db.InsertRow(tx, out.tbl, row.Clone(), conflict)
+			if ierr != nil {
+				if errors.Is(ierr, engine.ErrCheckViolation) {
+					// New-schema constraints may legitimately reject old
+					// rows (§2.4); count and continue.
+					rt.stats.droppedRows.Add(1)
+					return nil
+				}
+				return ierr
+			}
+			if ok {
+				rt.stats.rowsMigrated.Add(1)
+				if outputsInserted != nil {
+					*outputsInserted++
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- hashmap migrations (Algorithm 1 over Algorithm 3) ---
+
+// groupKeyOf builds the tracker key for a driving row.
+func (rt *StmtRuntime) groupKeyOf(row types.Row) []byte {
+	key := make(types.Row, len(rt.groupOrds))
+	for i, ord := range rt.groupOrds {
+		key[i] = row[ord]
+	}
+	return types.EncodeKey(nil, key)
+}
+
+func (rt *StmtRuntime) migrateHashPred(pred expr.Expr) error {
+	return rt.migrateHashPredSeeded(pred, nil, false)
+}
+
+// migrateHashPredSeeded is migrateHashPred that additionally discovers
+// candidate groups from the seed (secondary) table when seedScan is set.
+func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan bool) error {
+	var directKeys [][]byte
+	if seedScan && rt.seedTbl != nil {
+		tx := rt.ctrl.db.Begin()
+		_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.seedTbl, norm(rt.Stmt.Seed.Driving), seedPred)
+		tx.Abort()
+		if err != nil {
+			return err
+		}
+		seen := map[string]bool{}
+		for _, row := range rows {
+			key := make(types.Row, len(rt.seedOrds))
+			for i, ord := range rt.seedOrds {
+				key[i] = row[ord]
+			}
+			k := types.EncodeKey(nil, key)
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				directKeys = append(directKeys, k)
+			}
+		}
+	}
+	for {
+		busy, err := rt.hashPass(pred, nil)
+		if err != nil {
+			return err
+		}
+		busySeed := 0
+		if len(directKeys) > 0 {
+			busySeed, err = rt.hashPass(nil, directKeys)
+			if err != nil {
+				return err
+			}
+		}
+		if busy+busySeed == 0 {
+			return nil
+		}
+		rt.stats.skipWaits.Add(1)
+		time.Sleep(rt.ctrl.backoff)
+	}
+}
+
+// EnsureGroupMigrated migrates (or waits for) the single group identified by
+// groupKey — the fast path for post-flip writers that maintain an aggregate
+// or denormalized table (paper §4.2, §4.3).
+func (c *Controller) EnsureGroupMigrated(outputTable string, groupKey types.Row) error {
+	rt := c.RuntimeFor(outputTable)
+	if rt == nil || rt.complete.Load() {
+		return nil
+	}
+	if rt.hash == nil {
+		return fmt.Errorf("core: %q is not a group-tracked migration", outputTable)
+	}
+	if len(groupKey) != len(rt.groupOrds) {
+		return fmt.Errorf("core: group key arity %d, want %d", len(groupKey), len(rt.groupOrds))
+	}
+	for {
+		busy, err := rt.hashPass(nil, [][]byte{types.EncodeKey(nil, groupKey)})
+		if err != nil {
+			return err
+		}
+		if busy == 0 {
+			return nil
+		}
+		rt.stats.skipWaits.Add(1)
+		time.Sleep(rt.ctrl.backoff)
+	}
+}
+
+// hashPass runs one migration transaction over either the groups matching
+// pred or an explicit key list. Returns the number of busy groups.
+func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte) (busy int, err error) {
+	tx := rt.ctrl.beginMigTxn()
+	committed := false
+	var wip [][]byte
+	defer func() {
+		if !committed {
+			rt.ctrl.abortMigTxn(tx)
+			if rt.ctrl.mode == DetectEarly {
+				for _, k := range wip {
+					rt.hash.ReleaseAbort(k)
+				}
+			}
+		}
+	}()
+
+	// Candidate group keys.
+	var candidates [][]byte
+	if directKeys != nil {
+		candidates = directKeys
+	} else {
+		_, rows, serr := rt.ctrl.db.ScanForWrite(tx, rt.drivingTbl, rt.drivingAlias, pred)
+		if serr != nil {
+			return 0, serr
+		}
+		seen := map[string]bool{}
+		for _, row := range rows {
+			k := rt.groupKeyOf(row)
+			if !seen[string(k)] {
+				seen[string(k)] = true
+				candidates = append(candidates, k)
+			}
+		}
+	}
+	// Claim (Algorithm 3; the WIP/SKIP local-list checks collapse into the
+	// candidate dedup above and the busy counter).
+	for _, k := range candidates {
+		switch rt.claimGroup(k) {
+		case Claimed:
+			wip = append(wip, k)
+		case Busy:
+			busy++
+		}
+	}
+	if len(wip) == 0 {
+		rt.ctrl.abortMigTxn(tx)
+		committed = true
+		return busy, nil
+	}
+	for _, k := range wip {
+		if err := rt.migrateGroup(tx, k); err != nil {
+			return busy, err
+		}
+		if err := rt.ctrl.db.WAL().Append(wal.Record{
+			Type: wal.RecMigrated, XID: tx.ID(), Table: rt.Stmt.Name, Key: k,
+		}); err != nil {
+			return busy, err
+		}
+	}
+	if err := rt.ctrl.commitMigTxn(tx); err != nil {
+		return busy, err
+	}
+	committed = true
+	rt.stats.transforms.Add(1)
+	for _, k := range wip {
+		rt.markGroupMigrated(k)
+	}
+	return busy, nil
+}
+
+func (rt *StmtRuntime) claimGroup(k []byte) ClaimResult {
+	if rt.ctrl.trackingDisabled.Load() {
+		return Claimed
+	}
+	if rt.ctrl.mode == DetectEarly {
+		return rt.hash.TryClaim(k)
+	}
+	if rt.hash.IsMigrated(k) {
+		return Done
+	}
+	return Claimed
+}
+
+func (rt *StmtRuntime) markGroupMigrated(k []byte) {
+	if rt.ctrl.trackingDisabled.Load() {
+		return
+	}
+	if rt.ctrl.mode == DetectEarly {
+		rt.hash.MarkMigrated(k)
+	} else {
+		rt.hash.RestoreMigrated(k)
+	}
+}
+
+// migrateGroup transforms one whole group: all driving rows with the group
+// key (fetched fresh inside the migration transaction so the group is
+// complete), falling back to the seed query when the group is empty.
+func (rt *StmtRuntime) migrateGroup(tx *txn.Txn, key []byte) error {
+	keyRow, err := types.DecodeKey(key)
+	if err != nil {
+		return err
+	}
+	groupPred := rt.equalityPred(rt.drivingTbl, rt.Stmt.GroupBy, keyRow)
+	_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.drivingTbl, rt.drivingAlias, groupPred)
+	if err != nil {
+		return err
+	}
+	inserted := 0
+	if len(rows) > 0 {
+		if err := rt.transform(tx, rows, &inserted); err != nil {
+			return err
+		}
+	}
+	if inserted == 0 && rt.Stmt.Seed != nil {
+		return rt.migrateSeed(tx, keyRow)
+	}
+	return nil
+}
+
+// migrateSeed inserts the secondary-table completion rows for an empty group
+// (e.g. stock rows for items with no order lines in the join migration).
+func (rt *StmtRuntime) migrateSeed(tx *txn.Txn, keyRow types.Row) error {
+	seed := rt.Stmt.Seed
+	seedPred := rt.equalityPred(rt.seedTbl, seed.GroupBy, keyRow)
+	_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.seedTbl, norm(seed.Driving), seedPred)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	conflict := sql.ConflictError
+	if rt.ctrl.mode == DetectOnInsert {
+		conflict = sql.ConflictDoNothing
+	}
+	out := rt.outputs[0]
+	plan, err := rt.ctrl.db.PlanSelectWithBoundRows(seed.Def, norm(seed.Driving), &engine.BoundRows{Rows: rows})
+	if err != nil {
+		return err
+	}
+	return plan.Execute(tx, func(row types.Row) error {
+		_, ok, ierr := rt.ctrl.db.InsertRow(tx, out.tbl, row.Clone(), conflict)
+		if ierr != nil {
+			if errors.Is(ierr, engine.ErrCheckViolation) {
+				rt.stats.droppedRows.Add(1)
+				return nil
+			}
+			return ierr
+		}
+		if ok {
+			rt.stats.rowsMigrated.Add(1)
+		}
+		return nil
+	})
+}
+
+// equalityPred builds col1 = v1 AND col2 = v2 ... over the given table's
+// columns (unbound, unqualified names).
+func (rt *StmtRuntime) equalityPred(tbl *catalog.Table, colNames []string, vals types.Row) expr.Expr {
+	var pred expr.Expr
+	for i, name := range colNames {
+		pred = expr.CombineConjuncts(pred,
+			expr.NewBinOp(expr.OpEq, expr.NewCol("", name), expr.NewConst(vals[i])))
+	}
+	return pred
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Gate serializes eager migration against client transactions. Clients hold
+// the shared side for the duration of each transaction; an eager migration
+// takes the exclusive side, which is what produces the paper's downtime
+// window (Figures 3, 5, 7: throughput drops to near zero under eager
+// migration while queued requests wait).
+//
+// The gate is deliberately external to the engine: BullFrog never takes the
+// exclusive side, so lazy migration has no such stall point.
+type Gate struct {
+	sem chan struct{}
+}
+
+// gateCapacity bounds concurrent client transactions under the gate; eager
+// migration drains all slots.
+const gateCapacity = 1 << 14
+
+// NewGate returns a client/migration gate.
+func NewGate() *Gate { return &Gate{sem: make(chan struct{}, gateCapacity)} }
+
+// Enter takes a shared slot (a client transaction begins).
+func (g *Gate) Enter() { g.sem <- struct{}{} }
+
+// Leave releases the shared slot.
+func (g *Gate) Leave() { <-g.sem }
+
+// Exclusive drains every slot (waiting out in-flight clients and blocking
+// new ones), runs f, then refills. The benchmark harness also uses this to
+// switch schema variants atomically with respect to client transactions.
+func (g *Gate) Exclusive(f func() error) error {
+	for i := 0; i < gateCapacity; i++ {
+		g.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < gateCapacity; i++ {
+			<-g.sem
+		}
+	}()
+	return f()
+}
+
+// EagerResult reports an eager migration's outcome.
+type EagerResult struct {
+	Duration time.Duration
+	Rows     int64 // rows written into the new schema
+}
+
+// MigrateEager is the baseline the paper compares against (§4): it blocks
+// all client transactions (via the gate), physically transforms every input
+// row into the new schema in one shot, retires the old tables, and only then
+// lets clients proceed. onSwitched, if non-nil, runs inside the exclusive
+// section after the data moved (the harness flips its workload variant
+// there, before any queued client can run).
+func MigrateEager(db *engine.DB, m *Migration, gate *Gate, onSwitched ...func()) (EagerResult, error) {
+	if err := m.Validate(); err != nil {
+		return EagerResult{}, err
+	}
+	var res EagerResult
+	start := time.Now()
+	err := gate.Exclusive(func() error {
+		if m.Setup != "" {
+			if _, err := db.Exec(m.Setup); err != nil {
+				return fmt.Errorf("core: eager setup: %w", err)
+			}
+		}
+		tx := db.Begin()
+		for _, stmt := range m.Statements {
+			for _, out := range stmt.Outputs {
+				tbl, err := db.Catalog().Table(out.Table)
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+				plan, err := db.PlanSelect(out.Def)
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+				err = plan.Execute(tx, func(row types.Row) error {
+					_, ok, ierr := db.InsertRow(tx, tbl, row.Clone(), sql.ConflictError)
+					if ierr != nil {
+						return ierr
+					}
+					if ok {
+						res.Rows++
+					}
+					return nil
+				})
+				if err != nil {
+					db.Abort(tx)
+					return err
+				}
+			}
+			// Seed completion for join migrations: secondary rows whose
+			// group produced no joined output.
+			if stmt.Seed != nil {
+				if err := eagerSeed(db, tx, stmt, &res); err != nil {
+					db.Abort(tx)
+					return err
+				}
+			}
+		}
+		if err := db.Commit(tx); err != nil {
+			return err
+		}
+		for _, name := range m.RetireInputs {
+			tbl, err := db.Catalog().Table(name)
+			if err != nil {
+				return err
+			}
+			tbl.SetRetired(true)
+			if m.DropInputsOnComplete {
+				db.Catalog().DropTable(name)
+			}
+		}
+		for _, f := range onSwitched {
+			f()
+		}
+		return nil
+	})
+	res.Duration = time.Since(start)
+	return res, err
+}
+
+// eagerSeed inserts seed rows for every secondary-table group with no output
+// rows yet (the eager analogue of StmtRuntime.migrateSeed).
+func eagerSeed(db *engine.DB, tx *txn.Txn, stmt *Statement, res *EagerResult) error {
+	// Find distinct secondary-table group keys, then the subset that
+	// produced no output, then run the seed def for those rows.
+	seedTblName := ""
+	for _, ref := range stmt.Seed.Def.From {
+		if norm(ref.AliasOrName()) == norm(stmt.Seed.Driving) {
+			seedTblName = ref.Name
+		}
+	}
+	seedTbl, err := db.Catalog().Table(seedTblName)
+	if err != nil {
+		return err
+	}
+	outTbl, err := db.Catalog().Table(stmt.Outputs[0].Table)
+	if err != nil {
+		return err
+	}
+	seedOrds := make([]int, len(stmt.Seed.GroupBy))
+	for i, name := range stmt.Seed.GroupBy {
+		seedOrds[i] = seedTbl.Def.ColumnIndex(name)
+	}
+	// Group keys already present in the output (via the output's KeyMap
+	// columns aligned with the seed group key are unknown here; instead use
+	// the driving table's groups, which by construction produced outputs).
+	// A group is "covered" when the driving table has any row for it.
+	drivingName := ""
+	for _, ref := range stmt.Outputs[0].Def.From {
+		if norm(ref.AliasOrName()) == norm(stmt.Driving) {
+			drivingName = ref.Name
+		}
+	}
+	drivingTbl, err := db.Catalog().Table(drivingName)
+	if err != nil {
+		return err
+	}
+	drivingOrds := make([]int, len(stmt.GroupBy))
+	for i, name := range stmt.GroupBy {
+		drivingOrds[i] = drivingTbl.Def.ColumnIndex(name)
+	}
+	covered := map[string]bool{}
+	p, err := db.PlanSelect(selectAll(drivingTbl.Def.Name))
+	if err != nil {
+		return err
+	}
+	if err := p.Execute(tx, func(row types.Row) error {
+		key := make(types.Row, len(drivingOrds))
+		for i, ord := range drivingOrds {
+			key[i] = row[ord]
+		}
+		covered[string(types.EncodeKey(nil, key))] = true
+		return nil
+	}); err != nil {
+		return err
+	}
+	// Seed rows for uncovered groups.
+	var seedRows []types.Row
+	sp, err := db.PlanSelect(selectAll(seedTbl.Def.Name))
+	if err != nil {
+		return err
+	}
+	if err := sp.Execute(tx, func(row types.Row) error {
+		key := make(types.Row, len(seedOrds))
+		for i, ord := range seedOrds {
+			key[i] = row[ord]
+		}
+		if !covered[string(types.EncodeKey(nil, key))] {
+			seedRows = append(seedRows, row.Clone())
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if len(seedRows) == 0 {
+		return nil
+	}
+	plan, err := db.PlanSelectWithBoundRows(stmt.Seed.Def, norm(stmt.Seed.Driving), &engine.BoundRows{Rows: seedRows})
+	if err != nil {
+		return err
+	}
+	return plan.Execute(tx, func(row types.Row) error {
+		_, ok, ierr := db.InsertRow(tx, outTbl, row.Clone(), sql.ConflictError)
+		if ierr != nil {
+			return ierr
+		}
+		if ok {
+			res.Rows++
+		}
+		return nil
+	})
+}
+
+func selectAll(table string) *sql.SelectStmt {
+	return &sql.SelectStmt{
+		Items: []sql.SelectItem{{Star: true}},
+		From:  []sql.TableRef{{Name: table}},
+		Limit: -1,
+	}
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestStartValidationErrors walks the registration error paths: missing
+// output tables, unknown group columns, unresolvable driving/seed tables,
+// bad setup DDL, duplicate output ownership.
+func TestStartValidationErrors(t *testing.T) {
+	newDB := func() *engine.DB {
+		db := engine.New(engine.Options{})
+		mustExec(t, db, `CREATE TABLE src (a INT PRIMARY KEY, b INT)`)
+		return db
+	}
+	sel := func(s string) *typesSelect { return mustParseSelect(s) }
+
+	cases := []struct {
+		name string
+		m    *Migration
+		want string
+	}{
+		{
+			name: "setup DDL fails",
+			m: &Migration{
+				Name:  "m",
+				Setup: `CREATE TABLE dst (a NOSUCHTYPE)`,
+				Statements: []*Statement{{
+					Name: "s", Driving: "s", Category: OneToOne,
+					Outputs: []OutputSpec{{Table: "dst", Def: sel(`SELECT a FROM src s`)}},
+				}},
+			},
+			want: "setup",
+		},
+		{
+			name: "output table missing",
+			m: &Migration{
+				Name: "m",
+				Statements: []*Statement{{
+					Name: "s", Driving: "s", Category: OneToOne,
+					Outputs: []OutputSpec{{Table: "ghost", Def: sel(`SELECT a FROM src s`)}},
+				}},
+			},
+			want: "create it in Migration.Setup",
+		},
+		{
+			name: "unknown group column",
+			m: &Migration{
+				Name:  "m",
+				Setup: `CREATE TABLE dst (a INT PRIMARY KEY, n INT)`,
+				Statements: []*Statement{{
+					Name: "s", Driving: "s", Category: ManyToOne, GroupBy: []string{"nope"},
+					Outputs: []OutputSpec{{Table: "dst", Def: sel(`SELECT a, COUNT(*) AS n FROM src s GROUP BY a`)}},
+				}},
+			},
+			want: "group column",
+		},
+		{
+			name: "driving table unresolvable",
+			m: &Migration{
+				Name:  "m",
+				Setup: `CREATE TABLE dst (a INT PRIMARY KEY)`,
+				Statements: []*Statement{{
+					Name: "s", Driving: "zz", Category: OneToOne,
+					Outputs: []OutputSpec{{Table: "dst", Def: sel(`SELECT a FROM src zz2`)}},
+				}},
+			},
+			want: "driving",
+		},
+		{
+			name: "retire of missing table",
+			m: &Migration{
+				Name:  "m",
+				Setup: `CREATE TABLE dst (a INT PRIMARY KEY)`,
+				Statements: []*Statement{{
+					Name: "s", Driving: "s", Category: OneToOne,
+					Outputs: []OutputSpec{{Table: "dst", Def: sel(`SELECT a FROM src s`)}},
+				}},
+				RetireInputs: []string{"ghost"},
+			},
+			want: "does not exist",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ctrl := NewController(newDB(), DetectEarly)
+			err := ctrl.Start(c.m)
+			if err == nil {
+				t.Fatalf("Start should fail")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestDuplicateOutputAcrossStatements(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE src (a INT PRIMARY KEY)`)
+	sel := mustParseSelect(`SELECT a FROM src s`)
+	m := &Migration{
+		Name:  "m",
+		Setup: `CREATE TABLE dst (a INT PRIMARY KEY)`,
+		Statements: []*Statement{
+			{Name: "s1", Driving: "s", Category: OneToOne,
+				Outputs: []OutputSpec{{Table: "dst", Def: sel}}},
+			{Name: "s2", Driving: "s", Category: OneToOne,
+				Outputs: []OutputSpec{{Table: "dst", Def: sel}}},
+		},
+	}
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err == nil || !strings.Contains(err.Error(), "two statements") {
+		t.Fatalf("duplicate output should fail: %v", err)
+	}
+}
+
+func TestSeedValidationErrors(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `
+		CREATE TABLE l (w INT, i INT, PRIMARY KEY (w, i));
+		CREATE TABLE s (s_w INT, s_i INT, PRIMARY KEY (s_w, s_i));`)
+	base := func() *Statement {
+		return &Statement{
+			Name: "j", Driving: "l", Category: ManyToMany, GroupBy: []string{"w", "i"},
+			Outputs: []OutputSpec{{
+				Table: "out",
+				Def:   mustParseSelect(`SELECT l.w, l.i FROM l, s WHERE s.s_w = l.w AND s.s_i = l.i`),
+			}},
+		}
+	}
+	// Seed driving alias unresolvable.
+	st := base()
+	st.Seed = &SeedSpec{Def: mustParseSelect(`SELECT s_w, s_i FROM s`), Driving: "zz", GroupBy: []string{"s_w", "s_i"}}
+	m := &Migration{Name: "m", Setup: `CREATE TABLE out (w INT, i INT, UNIQUE (w, i))`, Statements: []*Statement{st}}
+	if err := NewController(db, DetectEarly).Start(m); err == nil || !strings.Contains(err.Error(), "seed") {
+		t.Fatalf("bad seed driving: %v", err)
+	}
+	// Seed group column unknown.
+	st2 := base()
+	st2.Seed = &SeedSpec{Def: mustParseSelect(`SELECT s_w, s_i FROM s`), Driving: "s", GroupBy: []string{"nope", "s_i"}}
+	m2 := &Migration{Name: "m2", Setup: `CREATE TABLE out2 (w INT, i INT, UNIQUE (w, i))`, Statements: []*Statement{st2}}
+	st2.Outputs[0].Table = "out2"
+	if err := NewController(db, DetectEarly).Start(m2); err == nil || !strings.Contains(err.Error(), "seed group") {
+		t.Fatalf("bad seed group col: %v", err)
+	}
+	// Seed group arity mismatch.
+	st3 := base()
+	st3.Seed = &SeedSpec{Def: mustParseSelect(`SELECT s_w, s_i FROM s`), Driving: "s", GroupBy: []string{"s_w"}}
+	m3 := &Migration{Name: "m3", Setup: `CREATE TABLE out3 (w INT, i INT, UNIQUE (w, i))`, Statements: []*Statement{st3}}
+	st3.Outputs[0].Table = "out3"
+	if err := NewController(db, DetectEarly).Start(m3); err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Fatalf("seed arity: %v", err)
+	}
+}
+
+func TestEagerValidationError(t *testing.T) {
+	db := engine.New(engine.Options{})
+	if _, err := MigrateEager(db, &Migration{Name: ""}, NewGate()); err == nil {
+		t.Fatal("invalid migration should fail eager path")
+	}
+}

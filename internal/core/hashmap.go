@@ -1,0 +1,114 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// groupState is a group's status in the hash tracker (paper §3.4).
+type groupState uint8
+
+const (
+	groupInProgress groupState = iota + 1
+	groupMigrated
+	groupAborted
+)
+
+// HashTracker tracks migration status at group granularity for n:1 and n:n
+// migrations (paper §3.4). Group identifiers are encoded group-key rows.
+// Absence from the table means "not started". The table is partitioned and
+// each partition has its own latch; two latches are never held at once, so
+// latch deadlock cannot occur (paper footnote 4).
+type HashTracker struct {
+	shards   [64]hashTrackerShard
+	migrated atomic.Int64
+}
+
+type hashTrackerShard struct {
+	mu     sync.Mutex
+	states map[string]groupState
+}
+
+// NewHashTracker returns an empty group tracker.
+func NewHashTracker() *HashTracker {
+	t := &HashTracker{}
+	for i := range t.shards {
+		t.shards[i].states = make(map[string]groupState)
+	}
+	return t
+}
+
+func (t *HashTracker) shardFor(key []byte) *hashTrackerShard {
+	var h uint64 = 14695981039346656037
+	for _, c := range key {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return &t.shards[h%uint64(len(t.shards))]
+}
+
+// TryClaim implements Algorithm 3's hash-table portion (lines 4-13): claim
+// the group if it is unknown or aborted; report Busy if another worker is
+// migrating it; Done if already migrated. (Lines 2-3, the worker-local WIP /
+// SKIP list checks, belong to the caller.)
+func (t *HashTracker) TryClaim(key []byte) ClaimResult {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.states[string(key)] {
+	case groupInProgress:
+		return Busy
+	case groupMigrated:
+		return Done
+	default: // absent or aborted: claim it
+		s.states[string(key)] = groupInProgress
+		return Claimed
+	}
+}
+
+// MarkMigrated transitions in-progress -> migrated (Algorithm 1 line 9).
+func (t *HashTracker) MarkMigrated(key []byte) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	if s.states[string(key)] == groupInProgress {
+		s.states[string(key)] = groupMigrated
+		s.mu.Unlock()
+		t.migrated.Add(1)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// ReleaseAbort transitions in-progress -> aborted (§3.5): the group becomes
+// claimable by exactly one successor (Algorithm 3 lines 7-9).
+func (t *HashTracker) ReleaseAbort(key []byte) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	if s.states[string(key)] == groupInProgress {
+		s.states[string(key)] = groupAborted
+	}
+	s.mu.Unlock()
+}
+
+// IsMigrated reports whether the group completed migration.
+func (t *HashTracker) IsMigrated(key []byte) bool {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.states[string(key)] == groupMigrated
+}
+
+// RestoreMigrated force-marks a group migrated (recovery, §3.5).
+func (t *HashTracker) RestoreMigrated(key []byte) {
+	s := t.shardFor(key)
+	s.mu.Lock()
+	if s.states[string(key)] != groupMigrated {
+		s.states[string(key)] = groupMigrated
+		s.mu.Unlock()
+		t.migrated.Add(1)
+		return
+	}
+	s.mu.Unlock()
+}
+
+// MigratedCount returns the number of migrated groups.
+func (t *HashTracker) MigratedCount() int64 { return t.migrated.Load() }

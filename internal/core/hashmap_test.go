@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func gkey(parts ...int64) []byte {
+	row := make(types.Row, len(parts))
+	for i, p := range parts {
+		row[i] = types.NewInt(p)
+	}
+	return types.EncodeKey(nil, row)
+}
+
+func TestHashTrackerStateMachine(t *testing.T) {
+	h := NewHashTracker()
+	k := gkey(1, 2)
+	if h.TryClaim(k) != Claimed {
+		t.Fatal("first claim")
+	}
+	if h.TryClaim(k) != Busy {
+		t.Fatal("second claim should be busy")
+	}
+	h.MarkMigrated(k)
+	if h.TryClaim(k) != Done {
+		t.Fatal("claim after migrate")
+	}
+	if !h.IsMigrated(k) || h.IsMigrated(gkey(9)) {
+		t.Fatal("IsMigrated wrong")
+	}
+	if h.MigratedCount() != 1 {
+		t.Fatalf("MigratedCount = %d", h.MigratedCount())
+	}
+}
+
+func TestHashTrackerAbortClaimable(t *testing.T) {
+	// Algorithm 3 lines 7-9: an aborted group is claimable by exactly one
+	// successor.
+	h := NewHashTracker()
+	k := gkey(7)
+	h.TryClaim(k)
+	h.ReleaseAbort(k)
+	if h.TryClaim(k) != Claimed {
+		t.Fatal("aborted group should be claimable")
+	}
+	if h.TryClaim(k) != Busy {
+		t.Fatal("only one successor may claim")
+	}
+	// ReleaseAbort must not clear a migrated group.
+	h.MarkMigrated(k)
+	h.ReleaseAbort(k)
+	if !h.IsMigrated(k) {
+		t.Fatal("ReleaseAbort cleared migrated state")
+	}
+	// MarkMigrated on a non-claimed group is a no-op.
+	h.MarkMigrated(gkey(42))
+	if h.IsMigrated(gkey(42)) {
+		t.Fatal("MarkMigrated without claim should not migrate")
+	}
+}
+
+func TestHashTrackerRestore(t *testing.T) {
+	h := NewHashTracker()
+	k := gkey(3)
+	h.RestoreMigrated(k)
+	h.RestoreMigrated(k)
+	if h.MigratedCount() != 1 || !h.IsMigrated(k) {
+		t.Fatal("restore idempotency")
+	}
+}
+
+// TestHashTrackerExactlyOnce: many workers race over overlapping group sets;
+// every group must be claimed (and migrated) exactly once, with aborts
+// allowing exactly one successor.
+func TestHashTrackerExactlyOnce(t *testing.T) {
+	h := NewHashTracker()
+	const nGroups = 3000
+	success := make([]int32, nGroups)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for h.MigratedCount() < nGroups {
+				g := r.Intn(nGroups)
+				k := gkey(int64(g))
+				if h.TryClaim(k) != Claimed {
+					continue
+				}
+				if r.Intn(4) == 0 {
+					h.ReleaseAbort(k)
+					continue
+				}
+				success[g]++ // single owner: no lock needed
+				h.MarkMigrated(k)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	for g, c := range success {
+		if c != 1 {
+			t.Fatalf("group %d migrated %d times", g, c)
+		}
+	}
+}
+
+func TestHashTrackerManyDistinctKeys(t *testing.T) {
+	h := NewHashTracker()
+	for i := 0; i < 10000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if h.TryClaim(k) != Claimed {
+			t.Fatalf("key %d claim failed", i)
+		}
+		h.MarkMigrated(k)
+	}
+	if h.MigratedCount() != 10000 {
+		t.Fatalf("MigratedCount = %d", h.MigratedCount())
+	}
+}

@@ -1,0 +1,22 @@
+package core
+
+import (
+	"strconv"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+type typesSelect = sql.SelectStmt
+
+func itoa(v int) string { return strconv.Itoa(v) }
+
+func parseWhereCore(src string) (expr.Expr, error) { return sql.ParseExpr(src) }
+
+func mustParseSelect(src string) *sql.SelectStmt {
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return s.(*sql.SelectStmt)
+}

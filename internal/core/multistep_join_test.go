@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// TestMultiStepPropagatesSecondaryTableWrites: during a multi-step window
+// over a join migration, a write to the secondary (stock-like) table must
+// propagate into already-copied groups of the denormalized output.
+func TestMultiStepPropagatesSecondaryTableWrites(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `
+		CREATE TABLE ol (w INT, o INT, i INT, qty INT, PRIMARY KEY (w, o, i));
+		CREATE TABLE stock (s_w INT, s_i INT, s_qty INT, PRIMARY KEY (s_w, s_i));
+		INSERT INTO stock VALUES (1, 1, 10), (1, 2, 20);
+		INSERT INTO ol VALUES (1, 1, 1, 3), (1, 2, 1, 4), (1, 1, 2, 5);`)
+	m := &Migration{
+		Name:  "join",
+		Setup: `CREATE TABLE ol_stock (w INT, o INT, i INT, qty INT, s_qty INT, UNIQUE (w, i, o))`,
+		Statements: []*Statement{{
+			Name: "join", Driving: "l", Category: ManyToMany, GroupBy: []string{"w", "i"},
+			Outputs: []OutputSpec{{
+				Table:  "ol_stock",
+				Def:    parseSelect(t, `SELECT l.w, l.o, l.i, l.qty, s.s_qty FROM ol l, stock s WHERE s.s_w = l.w AND s.s_i = l.i`),
+				KeyMap: map[string]string{"w": "w", "i": "i"},
+			}},
+			Seed: &SeedSpec{
+				Def:     parseSelect(t, `SELECT s.s_w, NULL AS o, s.s_i, NULL AS qty, s.s_qty FROM stock s`),
+				Driving: "s",
+				GroupBy: []string{"s_w", "s_i"},
+			},
+		}},
+		RetireInputs: []string{"ol", "stock"},
+	}
+	ms, err := StartMultiStep(db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Stop()
+	// Wait for the copier.
+	deadline := time.After(10 * time.Second)
+	for !ms.Complete() {
+		select {
+		case <-deadline:
+			t.Fatal("copier never completed")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Old-schema write to stock item 1 during the window.
+	stockTbl, _ := db.Catalog().Table("stock")
+	tx := db.Begin()
+	where, _ := parseWhereCore(`s_w = 1 AND s_i = 1`)
+	tids, rows, err := db.ScanForWrite(tx, stockTbl, "stock", where)
+	if err != nil || len(tids) != 1 {
+		t.Fatalf("scan stock: %v %d", err, len(tids))
+	}
+	newRow := rows[0].Clone()
+	newRow[2] = types.NewInt(99)
+	if err := db.UpdateRow(tx, stockTbl, tids[0], newRow); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Propagate via the SECONDARY table path.
+	if err := ms.NoteWrite("stock", tids, []types.Row{newRow}); err != nil {
+		t.Fatal(err)
+	}
+	// Every copied row of group (1,1) now carries the new stock quantity.
+	res := mustSelect(t, db, `SELECT COUNT(*) FROM ol_stock WHERE i = 1 AND s_qty = 99`)
+	if res[0][0].Int() != 2 {
+		t.Fatalf("propagated rows: %v (stock write lost in the new schema)", res[0][0])
+	}
+	if err := ms.Switch(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// TestTwoStatementsOverSameInput covers §3.1's "when the same input table is
+// involved in separate migration statements, BullFrog maintains multiple
+// data structures for it": one 1:1 statement (column subset) and one n:1
+// statement (aggregation) both drive off the same old table, each with its
+// own tracker.
+func TestTwoStatementsOverSameInput(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE sales (id INT PRIMARY KEY, region INT, amount FLOAT)`)
+	for i := 1; i <= 60; i++ {
+		mustExec(t, db, `INSERT INTO sales VALUES (`+itoa(i)+`, `+itoa(i%5)+`, 2.5)`)
+	}
+	m := &Migration{
+		Name: "two-statements",
+		Setup: `
+			CREATE TABLE sales_slim (id INT PRIMARY KEY, amount FLOAT);
+			CREATE TABLE region_totals (region INT PRIMARY KEY, total FLOAT);`,
+		Statements: []*Statement{
+			{
+				Name: "slim", Driving: "s", Category: OneToOne,
+				Outputs: []OutputSpec{{
+					Table: "sales_slim",
+					Def:   parseSelect(t, `SELECT id, amount FROM sales s`),
+				}},
+			},
+			{
+				Name: "regions", Driving: "s", Category: ManyToOne,
+				GroupBy: []string{"region"},
+				Outputs: []OutputSpec{{
+					Table: "region_totals",
+					Def:   parseSelect(t, `SELECT region, SUM(amount) AS total FROM sales s GROUP BY region`),
+				}},
+			},
+		},
+		RetireInputs: []string{"sales"},
+	}
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	// The two statements have independent trackers.
+	slim := ctrl.RuntimeFor("sales_slim")
+	regions := ctrl.RuntimeFor("region_totals")
+	if slim == regions || slim.bitmap == nil || regions.hash == nil {
+		t.Fatalf("expected independent bitmap + hashmap runtimes")
+	}
+	// Migrating one statement's data does not move the other's.
+	if err := ctrl.EnsureMigrated("sales_slim", parsePred(t, `id = 10`)); err != nil {
+		t.Fatal(err)
+	}
+	if n := mustSelect(t, db, `SELECT COUNT(*) FROM region_totals`)[0][0].Int(); n != 0 {
+		t.Errorf("aggregation migrated prematurely: %d", n)
+	}
+	if err := ctrl.EnsureMigrated("region_totals", parsePred(t, `region = 2`)); err != nil {
+		t.Fatal(err)
+	}
+	row := mustSelect(t, db, `SELECT total FROM region_totals WHERE region = 2`)
+	if len(row) != 1 || row[0][0].Float() != 12*2.5 {
+		t.Errorf("region 2 total: %v", row)
+	}
+	// Background completes both.
+	bg := NewBackground(ctrl, 0)
+	bg.Start()
+	bg.Wait()
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !ctrl.Complete() {
+		t.Fatal("both statements should complete")
+	}
+	if n := mustSelect(t, db, `SELECT COUNT(*) FROM sales_slim`)[0][0].Int(); n != 60 {
+		t.Errorf("slim rows: %d", n)
+	}
+	if n := mustSelect(t, db, `SELECT COUNT(*) FROM region_totals`)[0][0].Int(); n != 5 {
+		t.Errorf("region rows: %d", n)
+	}
+}
+
+func TestEnsureGroupMigratedErrors(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 10)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	// Bitmap statements reject group APIs.
+	if err := ctrl.EnsureGroupMigrated("cust_private", types.Row{types.NewInt(1)}); err == nil {
+		t.Error("group API on a bitmap statement should fail")
+	}
+	// Unknown output is a no-op.
+	if err := ctrl.EnsureGroupMigrated("nosuch", types.Row{types.NewInt(1)}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupKeyArityChecked(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE g (a INT, b INT, v INT, PRIMARY KEY (a, b, v))`)
+	mustExec(t, db, `INSERT INTO g VALUES (1, 1, 1)`)
+	m := &Migration{
+		Name:  "g",
+		Setup: `CREATE TABLE gt (a INT, b INT, n INT, PRIMARY KEY (a, b))`,
+		Statements: []*Statement{{
+			Name: "g", Driving: "g", Category: ManyToOne, GroupBy: []string{"a", "b"},
+			Outputs: []OutputSpec{{
+				Table: "gt",
+				Def:   parseSelect(t, `SELECT a, b, COUNT(*) AS n FROM g GROUP BY a, b`),
+			}},
+		}},
+	}
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.EnsureGroupMigrated("gt", types.Row{types.NewInt(1)}); err == nil {
+		t.Error("wrong group-key arity should fail")
+	}
+	if err := ctrl.EnsureGroupMigrated("gt", types.Row{types.NewInt(1), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if n := mustSelect(t, db, `SELECT n FROM gt WHERE a = 1 AND b = 1`)[0][0].Int(); n != 1 {
+		t.Errorf("count: %d", n)
+	}
+}

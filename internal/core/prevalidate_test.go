@@ -1,0 +1,79 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestPrevalidateUniqueRejectsDuplicates covers the §2.4 synchronous check:
+// a migration that would funnel duplicate keys into a unique output column
+// is rejected at Start rather than silently dropping rows later.
+func TestPrevalidateUniqueRejectsDuplicates(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE src (id INT PRIMARY KEY, cat INT)`)
+	mustExec(t, db, `INSERT INTO src VALUES (1, 7), (2, 7), (3, 8)`) // cat 7 duplicated
+	m := &Migration{
+		Name:  "dedup",
+		Setup: `CREATE TABLE by_cat (cat INT PRIMARY KEY, id INT)`,
+		Statements: []*Statement{{
+			Name: "dedup", Driving: "s", Category: OneToOne,
+			Outputs: []OutputSpec{{
+				Table: "by_cat",
+				Def:   parseSelect(t, `SELECT cat, id FROM src s`),
+			}},
+		}},
+		RetireInputs:      []string{"src"},
+		PrevalidateUnique: true,
+	}
+	ctrl := NewController(db, DetectEarly)
+	err := ctrl.Start(m)
+	if err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Fatalf("pre-check should reject duplicate keys, got %v", err)
+	}
+	// The switch never happened: the old table is still live.
+	if ctrl.IsRetired("src") {
+		t.Error("failed migration must not retire inputs")
+	}
+	// Without duplicates the same spec passes.
+	mustExec(t, db, `DELETE FROM src WHERE id = 2`)
+	mustExec(t, db, `DROP TABLE by_cat`) // Setup re-runs
+	ctrl2 := NewController(db, DetectEarly)
+	if err := ctrl2.Start(m); err != nil {
+		t.Fatalf("clean data should pass the pre-check: %v", err)
+	}
+}
+
+// TestWithoutPrevalidationDuplicatesDrop covers the other §2.4 option: pure
+// lazy migration proceeds and conflicting rows simply fail to migrate,
+// counted as dropped.
+func TestWithoutPrevalidationDuplicatesDrop(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mustExec(t, db, `CREATE TABLE src (id INT PRIMARY KEY, cat INT)`)
+	mustExec(t, db, `INSERT INTO src VALUES (1, 7), (2, 7)`)
+	m := &Migration{
+		Name:  "dedup",
+		Setup: `CREATE TABLE by_cat (cat INT PRIMARY KEY, id INT)`,
+		Statements: []*Statement{{
+			Name: "dedup", Driving: "s", Category: OneToOne,
+			Outputs: []OutputSpec{{
+				Table: "by_cat",
+				Def:   parseSelect(t, `SELECT cat, id FROM src s`),
+			}},
+		}},
+		RetireInputs: []string{"src"},
+	}
+	// On-conflict mode tolerates the duplicate (DO NOTHING).
+	ctrl := NewController(db, DetectOnInsert)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.EnsureMigrated("by_cat", nil); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustSelect(t, db, `SELECT COUNT(*) FROM by_cat`)
+	if rows[0][0].Int() != 1 {
+		t.Errorf("rows = %v, want 1 (one of the duplicates dropped)", rows[0][0])
+	}
+}

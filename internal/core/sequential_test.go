@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestSequentialMigrations runs two schema evolutions back to back — the
+// continuous-deployment cadence from the paper's introduction (schema
+// changes ~weekly, deployments daily).
+func TestSequentialMigrations(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m1 := splitFixture(t, db, 40)
+	m1.DropInputsOnComplete = true
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m1); err != nil {
+		t.Fatal(err)
+	}
+	// Reset while incomplete is refused.
+	if err := ctrl.Reset(); err == nil {
+		t.Fatal("Reset during an active migration must fail")
+	}
+	bg := NewBackground(ctrl, 0)
+	bg.Start()
+	bg.Wait()
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Migration() != nil || ctrl.RuntimeFor("cust_private") != nil {
+		t.Fatal("Reset did not clear state")
+	}
+
+	// Second evolution: aggregate over one of the first migration's outputs.
+	m2 := &Migration{
+		Name:  "payments-by-count",
+		Setup: `CREATE TABLE payments_hist (c_payments INT PRIMARY KEY, n INT)`,
+		Statements: []*Statement{{
+			Name: "payments-by-count", Driving: "p", Category: ManyToOne,
+			GroupBy: []string{"c_payments"},
+			Outputs: []OutputSpec{{
+				Table: "payments_hist",
+				Def:   parseSelect(t, `SELECT c_payments, COUNT(*) AS n FROM cust_private p GROUP BY c_payments`),
+			}},
+		}},
+	}
+	if err := ctrl.Start(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.EnsureMigrated("payments_hist", parsePred(t, `c_payments = 3`)); err != nil {
+		t.Fatal(err)
+	}
+	rows := mustSelect(t, db, `SELECT n FROM payments_hist WHERE c_payments = 3`)
+	if len(rows) != 1 || rows[0][0].Int() == 0 {
+		t.Fatalf("second migration's lazy group: %v", rows)
+	}
+	bg2 := NewBackground(ctrl, 0)
+	bg2.Start()
+	bg2.Wait()
+	if !ctrl.Complete() {
+		t.Fatal("second migration incomplete")
+	}
+	// The histogram covers all 7 payment-count values (i %% 7 in the fixture).
+	if got := mustSelect(t, db, `SELECT COUNT(*) FROM payments_hist`)[0][0].Int(); got != 7 {
+		t.Errorf("histogram groups: %d", got)
+	}
+}

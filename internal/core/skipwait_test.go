@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestSkipWaitUntilCompetitorFinishes exercises Algorithm 1 line 10: a
+// worker whose granule is held by another worker loops (SKIP non-empty)
+// until the holder marks it migrated, then proceeds without migrating it
+// again — the w2/w3 interplay of paper Figure 1.
+func TestSkipWaitUntilCompetitorFinishes(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 20)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	rt := ctrl.RuntimeFor("cust_private")
+
+	// Hand-claim granule of tuple ordinal 4 (c_id = 5), playing worker w2.
+	g := rt.bitmap.GranuleOf(4)
+	if rt.bitmap.TryClaimGranule(g) != Claimed {
+		t.Fatal("setup claim failed")
+	}
+
+	// Worker w3: EnsureMigrated for the same tuple must block in the skip
+	// loop until we release.
+	done := make(chan error, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done <- ctrl.EnsureMigrated("cust_private", parsePred(t, `c_id = 5`))
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("worker proceeded while granule was held: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if rt.Stats().SkipWaits == 0 {
+		t.Error("skip-wait loop not exercised")
+	}
+
+	// Case A of Figure 2: the holder aborts; w3 must claim and migrate it.
+	rt.bitmap.ReleaseAbortGranule(g)
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !rt.bitmap.IsMigratedGranule(g) {
+		t.Fatal("granule not migrated after the waiter took over")
+	}
+	rows := mustSelect(t, db, `SELECT COUNT(*) FROM cust_private WHERE c_id = 5`)
+	if rows[0][0].Int() != 1 {
+		t.Fatalf("rows = %v", rows[0][0])
+	}
+}
+
+// TestSkipWaitCompetitorCompletes is the other branch: the holder finishes
+// normally and the waiter must NOT migrate the granule again.
+func TestSkipWaitCompetitorCompletes(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 20)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	rt := ctrl.RuntimeFor("cust_private")
+	g := rt.bitmap.GranuleOf(7)
+	if rt.bitmap.TryClaimGranule(g) != Claimed {
+		t.Fatal("setup claim failed")
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- ctrl.EnsureMigrated("cust_private", parsePred(t, `c_id = 8`))
+	}()
+	time.Sleep(20 * time.Millisecond)
+	// The holder completes the migration itself (simulate worker w2
+	// committing): transform + mark.
+	tx := ctrl.beginMigTxn()
+	rows, err := rt.fetchGranuleRows(tx, []int64{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.transform(tx, rows, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.commitMigTxn(tx); err != nil {
+		t.Fatal(err)
+	}
+	rt.bitmap.MarkMigratedGranule(g)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one copy.
+	got := mustSelect(t, db, `SELECT COUNT(*) FROM cust_private WHERE c_id = 8`)
+	if got[0][0].Int() != 1 {
+		t.Fatalf("rows = %v (duplicated or missing)", got[0][0])
+	}
+}

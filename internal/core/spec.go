@@ -1,0 +1,199 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+// Category classifies a migration statement relative to its driving input
+// table (paper §3.1).
+type Category int
+
+// Migration categories.
+const (
+	// OneToOne: each driving tuple produces at most one output tuple
+	// (column add/drop/retype, constraint add, FK-PK join from the FK side).
+	OneToOne Category = iota
+	// OneToMany: each driving tuple may produce several output tuples
+	// (table split, PK side of an FK-PK join). Tracked like OneToOne: the
+	// granule is marked migrated only after all dependent outputs exist,
+	// which the per-granule migration transaction guarantees atomically.
+	OneToMany
+	// ManyToOne: a group of driving tuples produces one output tuple
+	// (GROUP BY aggregation). Tracked by group in a hash table.
+	ManyToOne
+	// ManyToMany: groups on both sides (general joins). Tracked by group.
+	ManyToMany
+)
+
+func (c Category) String() string {
+	switch c {
+	case OneToOne:
+		return "1:1"
+	case OneToMany:
+		return "1:n"
+	case ManyToOne:
+		return "n:1"
+	case ManyToMany:
+		return "n:n"
+	default:
+		return "?"
+	}
+}
+
+// UsesBitmap reports whether the category tracks status in a bitmap (paper:
+// "bitmap migrations") rather than a hash table.
+func (c Category) UsesBitmap() bool { return c == OneToOne || c == OneToMany }
+
+// OutputSpec is one output table of a migration statement together with the
+// query that derives its rows from the old schema.
+type OutputSpec struct {
+	// Table is the output (new-schema) table; it must exist after the
+	// migration's Setup DDL has run.
+	Table string
+	// Def is the transform: a SELECT over old-schema tables whose output
+	// columns match Table's columns positionally.
+	Def *sql.SelectStmt
+	// KeyMap maps output column names to driving-table column names for the
+	// columns that identify which driving tuple/group an output row came
+	// from. Used by the multi-step baseline's dual-write recomputation and
+	// by tests; optional for pure BullFrog operation.
+	KeyMap map[string]string
+}
+
+// SeedSpec optionally inserts rows derived from a secondary input table when
+// a group migrates with no driving rows, completing a denormalizing join so
+// no secondary-table data is lost (the join-migration experiment, §4.3).
+type SeedSpec struct {
+	Def     *sql.SelectStmt // over the secondary table
+	Driving string          // secondary table's alias in Def
+	GroupBy []string        // secondary-table columns aligned with the statement's group key
+}
+
+// Statement is one migration statement: one or more output tables populated
+// from old-schema input tables, tracked by a single status structure on the
+// driving input table. A table split is a single Statement with two Outputs
+// and one bitmap, matching the paper's treatment (§3.1, §4.1).
+type Statement struct {
+	// Name identifies the statement's tracker in the WAL and in stats.
+	Name string
+	// Driving is the alias (in the Defs' FROM clauses) of the input table
+	// whose tuples/groups are the unit of migration.
+	Driving string
+	// Category relative to the driving table; chooses bitmap vs hashmap.
+	Category Category
+	// Outputs: at least one.
+	Outputs []OutputSpec
+	// GroupBy: driving-table column names forming the group key (hashmap
+	// categories only).
+	GroupBy []string
+	// Granularity: tuple ordinals per bitmap granule; 0/1 = tuple level,
+	// larger values implement page-level tracking (§4.4.3).
+	Granularity int64
+	// Seed: optional secondary-table completion for join migrations.
+	Seed *SeedSpec
+}
+
+// Validate performs structural checks.
+func (s *Statement) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("core: statement needs a name")
+	}
+	if len(s.Outputs) == 0 {
+		return fmt.Errorf("core: statement %q has no outputs", s.Name)
+	}
+	if s.Driving == "" {
+		return fmt.Errorf("core: statement %q has no driving table", s.Name)
+	}
+	for _, out := range s.Outputs {
+		if out.Def == nil || out.Table == "" {
+			return fmt.Errorf("core: statement %q has an incomplete output", s.Name)
+		}
+		found := false
+		for _, ref := range out.Def.From {
+			if strings.EqualFold(ref.AliasOrName(), s.Driving) {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("core: statement %q: driving alias %q not in output %q's FROM", s.Name, s.Driving, out.Table)
+		}
+	}
+	if s.Category.UsesBitmap() {
+		if len(s.GroupBy) > 0 {
+			return fmt.Errorf("core: statement %q: bitmap categories do not take GroupBy", s.Name)
+		}
+	} else if len(s.GroupBy) == 0 {
+		return fmt.Errorf("core: statement %q: hashmap categories require GroupBy", s.Name)
+	}
+	return nil
+}
+
+// Migration is a complete schema migration: setup DDL plus one or more
+// statements, applied as a single logical switch.
+type Migration struct {
+	Name string
+	// Setup is DDL executed when the migration is registered: CREATE TABLE
+	// for outputs, indexes, constraints. The new schema becomes active
+	// immediately (paper §2.1).
+	Setup string
+	// Statements describe the lazy data movement.
+	Statements []*Statement
+	// RetireInputs lists old-schema tables to retire at the switch (the big
+	// flip): client requests against them are rejected while migration
+	// workers continue to read them. Tables that remain part of the new
+	// schema (e.g. the base table of a maintained aggregate) are not listed.
+	RetireInputs []string
+	// DropInputsOnComplete removes retired tables once migration finishes.
+	DropInputsOnComplete bool
+	// PrevalidateUnique performs the synchronous check of §2.4: before the
+	// logical switch, every output's unique keys are computed from the old
+	// data and duplicate keys fail the migration up front. Without it, a
+	// pure lazy migration only discovers such conflicts after the new schema
+	// is live (rows are then dropped with a warning counter).
+	PrevalidateUnique bool
+}
+
+// Validate performs structural checks on the whole migration.
+func (m *Migration) Validate() error {
+	if m.Name == "" {
+		return fmt.Errorf("core: migration needs a name")
+	}
+	if len(m.Statements) == 0 {
+		return fmt.Errorf("core: migration %q has no statements", m.Name)
+	}
+	seen := map[string]bool{}
+	for _, s := range m.Statements {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("core: duplicate statement name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	return nil
+}
+
+// ConflictMode selects how duplicate migrations are prevented (paper §3.7).
+type ConflictMode int
+
+const (
+	// DetectEarly uses the bitmap/hashmap lock protocol to prevent two
+	// workers from transforming the same granule (Algorithms 2 and 3).
+	DetectEarly ConflictMode = iota
+	// DetectOnInsert skips the lock protocol and relies on unique indexes on
+	// the output tables plus ON CONFLICT DO NOTHING semantics: duplicated
+	// work is possible but duplicate rows are not. Requires every output to
+	// have a unique index over deterministic columns.
+	DetectOnInsert
+)
+
+func (m ConflictMode) String() string {
+	if m == DetectOnInsert {
+		return "on-conflict"
+	}
+	return "tracker"
+}

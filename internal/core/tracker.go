@@ -1,0 +1,57 @@
+// Package core implements BullFrog's lazy schema-migration machinery: the
+// bitmap and hashmap migration-status trackers (paper §3.3, §3.4), the
+// per-transaction migration loop with WIP/SKIP lists (Algorithm 1), abort
+// handling (§3.5), predicate-scoped lazy migration driven by view
+// transposition (§2.1), background migration (§2.2), the ON CONFLICT
+// duplicate-detection alternative (§3.7), and the eager and multi-step
+// baselines the paper evaluates against (§4).
+package core
+
+// ClaimResult is the outcome of attempting to claim a migration granule
+// (a tuple, page of tuples, or group).
+type ClaimResult int
+
+const (
+	// Claimed: this worker now owns the granule and must migrate it (the
+	// paper's lock bit / "in progress" state).
+	Claimed ClaimResult = iota
+	// Busy: another worker is migrating the granule; add it to SKIP and
+	// re-check later (Algorithm 2 lines 3-4; Algorithm 3 line 6).
+	Busy
+	// Done: the granule has already been migrated.
+	Done
+)
+
+func (r ClaimResult) String() string {
+	switch r {
+	case Claimed:
+		return "claimed"
+	case Busy:
+		return "busy"
+	case Done:
+		return "done"
+	default:
+		return "unknown"
+	}
+}
+
+// Tracker is the status-tracking interface shared by bitmap and hashmap
+// migrations. Keys are granule identifiers: the bitmap uses encoded granule
+// ordinals, the hash tracker uses encoded group keys.
+type Tracker interface {
+	// TryClaim attempts to acquire the granule for migration.
+	TryClaim(key []byte) ClaimResult
+	// MarkMigrated transitions a claimed granule to migrated (Algorithm 1
+	// line 9, run after the migration transaction commits).
+	MarkMigrated(key []byte)
+	// ReleaseAbort returns a claimed granule to a claimable state after the
+	// migrating transaction aborts (§3.5).
+	ReleaseAbort(key []byte)
+	// IsMigrated reports whether the granule has been migrated.
+	IsMigrated(key []byte) bool
+	// RestoreMigrated force-marks a granule migrated (crash recovery from
+	// the REDO log, §3.5).
+	RestoreMigrated(key []byte)
+	// MigratedCount returns how many granules have been migrated.
+	MigratedCount() int64
+}

@@ -1,0 +1,528 @@
+// Package engine is the query engine: DDL, a planner with view expansion and
+// predicate pushdown, executors (scans, index scans, joins, aggregation), DML
+// with constraint enforcement and index maintenance, EXPLAIN, and WAL-based
+// recovery. BullFrog's migration machinery (internal/core) drives this engine
+// for both client requests and migration transactions.
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/schema"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// Options configures a DB.
+type Options struct {
+	// PageSize is the heap slots-per-page (0 = storage default).
+	PageSize uint32
+	// LockTimeout bounds row/key lock waits (0 = txn default).
+	LockTimeout time.Duration
+	// WAL receives redo records; nil disables logging.
+	WAL wal.Logger
+}
+
+// MigrationHook lets BullFrog's controller intercept engine operations that
+// may require lazy migration before they can proceed:
+//
+//   - BeforeKeyCheck runs before a unique-key or foreign-key existence check
+//     so relevant old-schema rows can be migrated first (paper §2.1: INSERTs
+//     and constraint checks widen the migration scope). The transaction is
+//     passed so migration transactions themselves bypass the hook.
+type MigrationHook interface {
+	BeforeKeyCheck(tx *txn.Txn, table string, cols []int, key types.Row) error
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	cat  *catalog.Catalog
+	tm   *txn.Manager
+	opts Options
+	log  wal.Logger
+	hook MigrationHook
+}
+
+// New creates an empty database.
+func New(opts Options) *DB {
+	log := opts.WAL
+	if log == nil {
+		log = wal.Nop{}
+	}
+	if opts.LockTimeout == 0 {
+		opts.LockTimeout = txn.DefaultLockTimeout
+	}
+	return &DB{cat: catalog.New(), tm: txn.NewManager(), opts: opts, log: log}
+}
+
+// Catalog exposes the catalog (used by internal/core and tests).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// TxnManager exposes the transaction manager.
+func (db *DB) TxnManager() *txn.Manager { return db.tm }
+
+// WAL exposes the redo logger.
+func (db *DB) WAL() wal.Logger { return db.log }
+
+// SetMigrationHook installs the BullFrog controller's hook. Passing nil
+// removes it.
+func (db *DB) SetMigrationHook(h MigrationHook) { db.hook = h }
+
+// Begin starts a transaction.
+func (db *DB) Begin() *txn.Txn { return db.tm.Begin() }
+
+// Commit durably commits: the commit record is logged and flushed before the
+// transaction becomes visible.
+func (db *DB) Commit(tx *txn.Txn) error {
+	if tx.Done() {
+		return txn.ErrTxnDone
+	}
+	if err := db.log.Append(wal.Record{Type: wal.RecCommit, XID: tx.ID()}); err != nil {
+		tx.Abort()
+		return fmt.Errorf("engine: logging commit: %w", err)
+	}
+	if err := db.log.Flush(); err != nil {
+		tx.Abort()
+		return fmt.Errorf("engine: flushing log: %w", err)
+	}
+	return tx.Commit()
+}
+
+// Abort rolls the transaction back, logging an abort record.
+func (db *DB) Abort(tx *txn.Txn) {
+	if tx.Done() {
+		return
+	}
+	db.log.Append(wal.Record{Type: wal.RecAbort, XID: tx.ID()})
+	tx.Abort()
+}
+
+// Result is the outcome of executing a statement.
+type Result struct {
+	Columns  []string
+	Rows     []types.Row
+	Affected int
+	Explain  string // set for EXPLAIN
+}
+
+// Exec parses and executes one or more statements, each in its own
+// transaction. The result of the last statement is returned.
+func (db *DB) Exec(src string) (*Result, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return &Result{}, nil
+	}
+	var last *Result
+	for _, s := range stmts {
+		tx := db.Begin()
+		res, err := db.ExecStmt(tx, s)
+		if err != nil {
+			db.Abort(tx)
+			return nil, err
+		}
+		if err := db.Commit(tx); err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// ExecTx parses and executes statements inside the caller's transaction.
+func (db *DB) ExecTx(tx *txn.Txn, src string) (*Result, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result = &Result{}
+	for _, s := range stmts {
+		res, err := db.ExecStmt(tx, s)
+		if err != nil {
+			return nil, err
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// ExecStmt executes a parsed statement inside the transaction.
+func (db *DB) ExecStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return db.execSelect(tx, s)
+	case *sql.CreateTableStmt:
+		return db.execCreateTable(tx, s)
+	case *sql.CreateViewStmt:
+		return db.execCreateView(s)
+	case *sql.CreateIndexStmt:
+		return db.execCreateIndex(tx, s)
+	case *sql.DropTableStmt:
+		if err := db.cat.DropTable(s.Name); err != nil {
+			if s.IfExists {
+				return &Result{}, nil
+			}
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.DropViewStmt:
+		if err := db.cat.DropView(s.Name); err != nil {
+			if s.IfExists {
+				return &Result{}, nil
+			}
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.AlterRenameStmt:
+		if err := db.cat.RenameTable(s.Old, s.New); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.AlterAddFKStmt:
+		return db.execAlterAddFK(s)
+	case *sql.AlterDropConstraintStmt:
+		return db.execAlterDropConstraint(s)
+	case *sql.InsertStmt:
+		return db.execInsert(tx, s)
+	case *sql.UpdateStmt:
+		return db.execUpdate(tx, s)
+	case *sql.DeleteStmt:
+		return db.execDelete(tx, s)
+	case *sql.ExplainStmt:
+		return db.execExplain(tx, s)
+	default:
+		return nil, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+func (db *DB) execSelect(tx *txn.Txn, s *sql.SelectStmt) (*Result, error) {
+	p, err := db.PlanSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: p.ColumnNames()}
+	err = p.Execute(tx, func(row types.Row) error {
+		res.Rows = append(res.Rows, row.Clone())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (db *DB) execCreateView(s *sql.CreateViewStmt) (*Result, error) {
+	// Plan once to validate and derive output column names.
+	p, err := db.PlanSelect(s.Select)
+	if err != nil {
+		return nil, fmt.Errorf("engine: invalid view %q: %w", s.Name, err)
+	}
+	v := &catalog.View{Name: s.Name, Columns: p.ColumnNames(), Def: s.Select}
+	if err := db.cat.CreateView(v); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateIndex(tx *txn.Txn, s *sql.CreateIndexStmt) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	ords := make([]int, len(s.Columns))
+	for i, name := range s.Columns {
+		ord := tbl.Def.ColumnIndex(name)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: column %q does not exist in %q", name, s.Table)
+		}
+		ords[i] = ord
+	}
+	def := &index.Def{ID: db.cat.NextIndexID(), Name: s.Name, Table: tbl.Def.Name, Columns: ords, Unique: s.Unique}
+	var idx index.Index
+	if s.UseHash {
+		idx = index.NewHash(def)
+	} else {
+		idx = index.NewBTree(def)
+	}
+	// Backfill from current table contents (visible to this txn).
+	err = tbl.Heap.Scan(func(tid storage.TID, head *storage.Version) error {
+		row, ok := tx.VisibleRow(head)
+		if !ok {
+			return nil
+		}
+		key := def.KeyFromRow(row)
+		if s.Unique && len(idx.Lookup(key)) > 0 {
+			return fmt.Errorf("engine: cannot create unique index %q: duplicate key %v", s.Name, key)
+		}
+		idx.Insert(key, tid)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddIndex(idx)
+	return &Result{}, nil
+}
+
+func (db *DB) execCreateTable(tx *txn.Txn, s *sql.CreateTableStmt) (*Result, error) {
+	if s.AsSelect != nil {
+		return db.execCreateTableAs(tx, s)
+	}
+	def, uniques, err := buildTableDef(s)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.cat.CreateTable(def, db.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	// Primary key and unique constraints are enforced via unique indexes.
+	if len(def.PrimaryKey) > 0 {
+		db.addIndexFor(tbl, def.Name+"_pkey", def.PrimaryKey, true)
+	}
+	for i, cols := range uniques {
+		db.addIndexFor(tbl, fmt.Sprintf("%s_unique_%d", def.Name, i), cols, true)
+	}
+	// Resolve foreign keys: referenced columns default to the referenced
+	// table's primary key, and an index must exist on the referenced side.
+	for i := range def.ForeignKey {
+		fk := &def.ForeignKey[i]
+		refTbl, err := db.cat.Table(fk.RefTable)
+		if err != nil {
+			return nil, fmt.Errorf("engine: foreign key references %w", err)
+		}
+		if len(fk.RefColumnNames) > 0 {
+			fk.RefColumns = make([]int, len(fk.RefColumnNames))
+			for j, name := range fk.RefColumnNames {
+				ord := refTbl.Def.ColumnIndex(name)
+				if ord < 0 {
+					return nil, fmt.Errorf("engine: foreign key references unknown column %s.%s", fk.RefTable, name)
+				}
+				fk.RefColumns[j] = ord
+			}
+		} else {
+			fk.RefColumns = append([]int(nil), refTbl.Def.PrimaryKey...)
+		}
+		if len(fk.RefColumns) != len(fk.Columns) {
+			return nil, fmt.Errorf("engine: foreign key on %q has %d columns but references %d", def.Name, len(fk.Columns), len(fk.RefColumns))
+		}
+		if refTbl.IndexOnPrefix(fk.RefColumns) == nil {
+			return nil, fmt.Errorf("engine: foreign key on %q requires a unique index on %s%v", def.Name, fk.RefTable, fk.RefColumns)
+		}
+	}
+	return &Result{}, nil
+}
+
+func (db *DB) addIndexFor(tbl *catalog.Table, name string, cols []int, unique bool) index.Index {
+	def := &index.Def{ID: db.cat.NextIndexID(), Name: name, Table: tbl.Def.Name, Columns: append([]int(nil), cols...), Unique: unique}
+	idx := index.NewBTree(def)
+	tbl.AddIndex(idx)
+	return idx
+}
+
+// execCreateTableAs implements CREATE TABLE ... AS SELECT: derive the schema
+// from the select's output, create the table, and bulk-insert the results.
+// This is the physical operation behind eager migration.
+func (db *DB) execCreateTableAs(tx *txn.Txn, s *sql.CreateTableStmt) (*Result, error) {
+	p, err := db.PlanSelect(s.AsSelect)
+	if err != nil {
+		return nil, err
+	}
+	cols := p.Columns()
+	defCols := make([]schema.Column, len(cols))
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("engine: CREATE TABLE AS output column %d needs a name (use AS)", i+1)
+		}
+		defCols[i] = schema.Column{Name: c.Name, Kind: c.Kind}
+	}
+	def, err := schema.NewTable(s.Name, defCols)
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := db.cat.CreateTable(def, db.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	err = p.Execute(tx, func(row types.Row) error {
+		if _, _, err := db.InsertRow(tx, tbl, row.Clone(), sql.ConflictError); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: n}, nil
+}
+
+// execAlterAddFK appends a foreign-key constraint to an existing table.
+// Existing rows are not re-validated (constraint addition during a migration
+// applies to data as it moves; see DESIGN.md); new writes are checked.
+func (db *DB) execAlterAddFK(s *sql.AlterAddFKStmt) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	fk := schema.ForeignKey{Name: s.FK.Name, RefTable: s.FK.RefTable}
+	for _, name := range s.FK.Columns {
+		ord := tbl.Def.ColumnIndex(name)
+		if ord < 0 {
+			return nil, fmt.Errorf("engine: unknown column %q in foreign key on %q", name, s.Table)
+		}
+		fk.Columns = append(fk.Columns, ord)
+	}
+	refTbl, err := db.cat.Table(s.FK.RefTable)
+	if err != nil {
+		return nil, fmt.Errorf("engine: foreign key references %w", err)
+	}
+	if len(s.FK.RefColumns) > 0 {
+		for _, name := range s.FK.RefColumns {
+			ord := refTbl.Def.ColumnIndex(name)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: foreign key references unknown column %s.%s", s.FK.RefTable, name)
+			}
+			fk.RefColumns = append(fk.RefColumns, ord)
+		}
+	} else {
+		fk.RefColumns = append([]int(nil), refTbl.Def.PrimaryKey...)
+	}
+	if len(fk.Columns) != len(fk.RefColumns) {
+		return nil, fmt.Errorf("engine: foreign key arity mismatch on %q", s.Table)
+	}
+	if refTbl.IndexOnPrefix(fk.RefColumns) == nil {
+		return nil, fmt.Errorf("engine: foreign key on %q requires a unique index on %s", s.Table, s.FK.RefTable)
+	}
+	tbl.Def.ForeignKey = append(tbl.Def.ForeignKey, fk)
+	return &Result{}, nil
+}
+
+// execAlterDropConstraint removes a named FOREIGN KEY or CHECK constraint.
+func (db *DB) execAlterDropConstraint(s *sql.AlterDropConstraintStmt) (*Result, error) {
+	tbl, err := db.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	for i, fk := range tbl.Def.ForeignKey {
+		if strings.EqualFold(fk.Name, s.Name) {
+			tbl.Def.ForeignKey = append(tbl.Def.ForeignKey[:i], tbl.Def.ForeignKey[i+1:]...)
+			return &Result{}, nil
+		}
+	}
+	for i, ck := range tbl.Def.Checks {
+		if strings.EqualFold(ck.Name, s.Name) {
+			tbl.Def.Checks = append(tbl.Def.Checks[:i], tbl.Def.Checks[i+1:]...)
+			return &Result{}, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: constraint %q not found on %q", s.Name, s.Table)
+}
+
+// buildTableDef converts a CREATE TABLE AST into schema metadata plus the
+// list of unique-constraint column sets.
+func buildTableDef(s *sql.CreateTableStmt) (*schema.Table, [][]int, error) {
+	cols := make([]schema.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = schema.Column{Name: c.Name, Kind: c.Kind, NotNull: c.NotNull, Default: c.Default}
+	}
+	def, err := schema.NewTable(s.Name, cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	resolve := func(names []string) ([]int, error) {
+		out := make([]int, len(names))
+		for i, n := range names {
+			ord := def.ColumnIndex(n)
+			if ord < 0 {
+				return nil, fmt.Errorf("engine: unknown column %q in constraint on %q", n, s.Name)
+			}
+			out[i] = ord
+		}
+		return out, nil
+	}
+	var uniques [][]int
+	// Column-level shorthands.
+	for i, c := range s.Columns {
+		if c.PrimaryKey {
+			if def.PrimaryKey != nil {
+				return nil, nil, fmt.Errorf("engine: multiple primary keys on %q", s.Name)
+			}
+			def.PrimaryKey = []int{i}
+			def.Columns[i].NotNull = true
+		}
+		if c.Unique {
+			uniques = append(uniques, []int{i})
+		}
+		if c.Check != nil {
+			bound, err := expr.Bind(c.Check, def.Scope(""))
+			if err != nil {
+				return nil, nil, err
+			}
+			def.Checks = append(def.Checks, schema.Check{Name: c.Name + "_check", Expr: bound})
+		}
+	}
+	if s.PrimaryKey != nil {
+		if def.PrimaryKey != nil {
+			return nil, nil, fmt.Errorf("engine: multiple primary keys on %q", s.Name)
+		}
+		pk, err := resolve(s.PrimaryKey)
+		if err != nil {
+			return nil, nil, err
+		}
+		def.PrimaryKey = pk
+		for _, ord := range pk {
+			def.Columns[ord].NotNull = true
+		}
+	}
+	for _, u := range s.Uniques {
+		ords, err := resolve(u)
+		if err != nil {
+			return nil, nil, err
+		}
+		uniques = append(uniques, ords)
+	}
+	def.Uniques = uniques
+	for _, ck := range s.Checks {
+		bound, err := expr.Bind(ck.Expr, def.Scope(""))
+		if err != nil {
+			return nil, nil, err
+		}
+		name := ck.Name
+		if name == "" {
+			name = fmt.Sprintf("%s_check_%d", s.Name, len(def.Checks))
+		}
+		def.Checks = append(def.Checks, schema.Check{Name: name, Expr: bound})
+	}
+	for _, fk := range s.ForeignKeys {
+		ords, err := resolve(fk.Columns)
+		if err != nil {
+			return nil, nil, err
+		}
+		def.ForeignKey = append(def.ForeignKey, schema.ForeignKey{
+			Name: fk.Name, Columns: ords, RefTable: fk.RefTable,
+			RefColumnNames: fk.RefColumns,
+		})
+	}
+	return def, uniques, nil
+}
+
+// TableScope builds the binding scope for a table.
+func TableScope(tbl *catalog.Table, alias string) *expr.Scope {
+	return tbl.Def.Scope(alias)
+}
+
+// normalizeName lower-cases an identifier the way the parser does, so
+// programmatic callers can use any case.
+func normalizeName(s string) string { return strings.ToLower(s) }

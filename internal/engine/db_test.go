@@ -1,0 +1,355 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Suppress an unused-import error if errors stops being used in future edits.
+var _ = errors.Is
+
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	return New(Options{})
+}
+
+func mustExec(t *testing.T, db *DB, src string) *Result {
+	t.Helper()
+	res, err := db.Exec(src)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return res
+}
+
+func mustFail(t *testing.T, db *DB, src string, wantSub string) {
+	t.Helper()
+	if _, err := db.Exec(src); err == nil {
+		t.Fatalf("Exec(%q) should fail", src)
+	} else if wantSub != "" && !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("Exec(%q) error %q does not mention %q", src, err, wantSub)
+	}
+}
+
+func flightsSchema(t *testing.T, db *DB) {
+	t.Helper()
+	mustExec(t, db, `
+		CREATE TABLE flights (
+			flightid CHAR(6) PRIMARY KEY,
+			source CHAR(3), dest CHAR(3), airlineid CHAR(2),
+			departure_time TIMESTAMP, arrival_time TIMESTAMP,
+			capacity INT);
+		CREATE TABLE flewon (
+			flightid CHAR(6), flightdate DATE,
+			passenger_count INT CHECK (passenger_count > 0));
+		CREATE INDEX flewon_flightid_idx ON flewon (flightid);
+	`)
+	mustExec(t, db, `
+		INSERT INTO flights VALUES
+			('AA101', 'JFK', 'SFO', 'AA', '2021-06-01 08:00:00', '2021-06-01 11:30:00', 180),
+			('UA202', 'LAX', 'ORD', 'UA', '2021-06-01 09:00:00', '2021-06-01 15:00:00', 220);
+		INSERT INTO flewon VALUES
+			('AA101', '2021-06-09 00:00:00', 150),
+			('AA101', '2021-06-10 00:00:00', 160),
+			('UA202', '2021-06-09 00:00:00', 200);
+	`)
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `SELECT flightid, capacity FROM flights WHERE capacity > 200`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "UA202" {
+		t.Errorf("rows: %v", res.Rows)
+	}
+	if res.Columns[0] != "flightid" || res.Columns[1] != "capacity" {
+		t.Errorf("columns: %v", res.Columns)
+	}
+}
+
+func TestTimestampLiteralCoercion(t *testing.T) {
+	// Timestamp columns accept string literals in standard formats.
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `SELECT flightdate FROM flewon WHERE flightid = 'AA101' ORDER BY flightdate`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if res.Rows[0][0].Kind() != types.KindTime {
+		t.Errorf("flightdate kind = %v", res.Rows[0][0].Kind())
+	}
+	if res.Rows[0][0].Time().Day() != 9 {
+		t.Errorf("first date: %v", res.Rows[0][0])
+	}
+}
+
+func TestNotNullAndCheckViolations(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustFail(t, db, `INSERT INTO flights VALUES (NULL, 'a', 'b', 'c', NULL, NULL, 1)`, "not-null")
+	mustFail(t, db, `INSERT INTO flewon VALUES ('AA101', '2021-06-11 00:00:00', 0)`, "check constraint")
+	mustFail(t, db, `INSERT INTO flights VALUES ('XX', 'a', 'b', 'c', NULL, NULL, 'oops')`, "")
+}
+
+func TestUniqueViolationAndOnConflict(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustFail(t, db, `INSERT INTO flights VALUES ('AA101', 'x', 'y', 'z', NULL, NULL, 9)`, "unique")
+	res := mustExec(t, db, `INSERT INTO flights VALUES ('AA101', 'x', 'y', 'z', NULL, NULL, 9) ON CONFLICT DO NOTHING`)
+	if res.Affected != 0 {
+		t.Errorf("DO NOTHING should skip, affected=%d", res.Affected)
+	}
+	res = mustExec(t, db, `INSERT INTO flights VALUES ('DL303', 'x', 'y', 'z', NULL, NULL, 9) ON CONFLICT DO NOTHING`)
+	if res.Affected != 1 {
+		t.Errorf("non-conflicting insert skipped, affected=%d", res.Affected)
+	}
+	// NULL key components are exempt from uniqueness.
+	mustExec(t, db, `CREATE TABLE u (a INT UNIQUE, b INT)`)
+	mustExec(t, db, `INSERT INTO u VALUES (NULL, 1), (NULL, 2)`)
+}
+
+func TestForeignKeys(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE district (d_id INT, d_w_id INT, d_name CHAR(10), PRIMARY KEY (d_w_id, d_id))`)
+	mustExec(t, db, `CREATE TABLE customer (
+		c_id INT PRIMARY KEY, c_d_id INT, c_w_id INT,
+		FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id))`)
+	mustExec(t, db, `INSERT INTO district VALUES (1, 1, 'main')`)
+	mustExec(t, db, `INSERT INTO customer VALUES (7, 1, 1)`)
+	mustFail(t, db, `INSERT INTO customer VALUES (8, 99, 1)`, "foreign key")
+	// NULL FK columns are allowed.
+	mustExec(t, db, `INSERT INTO customer VALUES (9, NULL, 1)`)
+	// Update that breaks the FK fails; update that keeps it passes.
+	mustFail(t, db, `UPDATE customer SET c_d_id = 42 WHERE c_id = 7`, "foreign key")
+	mustExec(t, db, `UPDATE customer SET c_id = 10 WHERE c_id = 7`)
+	// Restrict: deleting a referenced parent fails.
+	mustFail(t, db, `DELETE FROM district WHERE d_id = 1`, "referenced")
+	mustExec(t, db, `DELETE FROM customer`)
+	mustExec(t, db, `DELETE FROM district WHERE d_id = 1`)
+	// FK requires an index on the referenced side.
+	mustExec(t, db, `CREATE TABLE noidx (x INT)`)
+	mustFail(t, db, `CREATE TABLE child (y INT, FOREIGN KEY (y) REFERENCES noidx (x))`, "index")
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `UPDATE flights SET capacity = capacity + 10 WHERE flightid = 'AA101'`)
+	if res.Affected != 1 {
+		t.Errorf("affected = %d", res.Affected)
+	}
+	res = mustExec(t, db, `SELECT capacity FROM flights WHERE flightid = 'AA101'`)
+	if res.Rows[0][0].Int() != 190 {
+		t.Errorf("capacity = %v", res.Rows[0][0])
+	}
+	res = mustExec(t, db, `DELETE FROM flewon WHERE passenger_count >= 160`)
+	if res.Affected != 2 {
+		t.Errorf("deleted %d", res.Affected)
+	}
+	res = mustExec(t, db, `SELECT COUNT(*) FROM flewon`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("remaining = %v", res.Rows[0][0])
+	}
+}
+
+func TestUpdateChangingUniqueKey(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10), (2, 20)`)
+	mustFail(t, db, `UPDATE t SET id = 2 WHERE id = 1`, "unique")
+	mustExec(t, db, `UPDATE t SET id = 3 WHERE id = 1`)
+	res := mustExec(t, db, `SELECT v FROM t WHERE id = 3`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 10 {
+		t.Errorf("moved row: %v", res.Rows)
+	}
+	// The old key must no longer match.
+	res = mustExec(t, db, `SELECT v FROM t WHERE id = 1`)
+	if len(res.Rows) != 0 {
+		t.Errorf("old key still matches: %v", res.Rows)
+	}
+}
+
+func TestInsertWithColumnListAndDefaults(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE d (a INT PRIMARY KEY, b VARCHAR(10) DEFAULT 'dflt', c INT)`)
+	mustExec(t, db, `INSERT INTO d (a) VALUES (1)`)
+	res := mustExec(t, db, `SELECT b, c FROM d WHERE a = 1`)
+	if res.Rows[0][0].Str() != "dflt" || !res.Rows[0][1].IsNull() {
+		t.Errorf("defaults: %v", res.Rows[0])
+	}
+	mustFail(t, db, `INSERT INTO d (a, b) VALUES (2)`, "values")
+	mustFail(t, db, `INSERT INTO d (nosuch) VALUES (2)`, "column")
+}
+
+func TestCreateTableAs(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `CREATE TABLE big_flights AS (
+		SELECT flightid AS fid, capacity FROM flights WHERE capacity >= 180)`)
+	if res.Affected != 2 {
+		t.Errorf("CTAS inserted %d", res.Affected)
+	}
+	res = mustExec(t, db, `SELECT fid FROM big_flights ORDER BY fid`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "AA101" {
+		t.Errorf("CTAS contents: %v", res.Rows)
+	}
+	mustFail(t, db, `CREATE TABLE bad AS (SELECT capacity + 1 FROM flights)`, "name")
+}
+
+func TestCreateIndexBackfillAndUniqueness(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustExec(t, db, `CREATE INDEX flights_cap_idx ON flights (capacity)`)
+	res := mustExec(t, db, `EXPLAIN SELECT * FROM flights WHERE capacity = 180`)
+	if !strings.Contains(res.Explain, "Index Scan") {
+		t.Errorf("index not chosen:\n%s", res.Explain)
+	}
+	// Unique index creation on duplicate data fails.
+	mustFail(t, db, `CREATE UNIQUE INDEX flewon_fid ON flewon (flightid)`, "duplicate")
+	// Hash index works for equality.
+	mustExec(t, db, `CREATE INDEX flights_air_idx ON flights USING HASH (airlineid)`)
+	res = mustExec(t, db, `SELECT flightid FROM flights WHERE airlineid = 'UA'`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "UA202" {
+		t.Errorf("hash index query: %v", res.Rows)
+	}
+}
+
+func TestDropAndRename(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE a (x INT)`)
+	mustExec(t, db, `ALTER TABLE a RENAME TO b`)
+	mustExec(t, db, `INSERT INTO b VALUES (1)`)
+	mustFail(t, db, `INSERT INTO a VALUES (1)`, "does not exist")
+	mustExec(t, db, `DROP TABLE b`)
+	mustExec(t, db, `DROP TABLE IF EXISTS b`)
+	mustFail(t, db, `DROP TABLE b`, "does not exist")
+	mustExec(t, db, `CREATE VIEW v AS SELECT 1 AS one`)
+	mustExec(t, db, `DROP VIEW v`)
+	mustExec(t, db, `DROP VIEW IF EXISTS v`)
+}
+
+func TestSnapshotIsolationThroughSQL(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE accts (id INT PRIMARY KEY, bal INT)`)
+	mustExec(t, db, `INSERT INTO accts VALUES (1, 100)`)
+
+	reader := db.Begin()
+	writer := db.Begin()
+	if _, err := db.ExecTx(writer, `UPDATE accts SET bal = 50 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	// Reader (older snapshot) still sees 100.
+	res, err := db.ExecTx(reader, `SELECT bal FROM accts WHERE id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 100 {
+		t.Errorf("reader sees %v", res.Rows[0][0])
+	}
+	if err := db.Commit(writer); err != nil {
+		t.Fatal(err)
+	}
+	// Still 100 for the old snapshot.
+	res, _ = db.ExecTx(reader, `SELECT bal FROM accts WHERE id = 1`)
+	if res.Rows[0][0].Int() != 100 {
+		t.Errorf("reader now sees %v", res.Rows[0][0])
+	}
+	db.Abort(reader)
+	res = mustExec(t, db, `SELECT bal FROM accts WHERE id = 1`)
+	if res.Rows[0][0].Int() != 50 {
+		t.Errorf("new txn sees %v", res.Rows[0][0])
+	}
+}
+
+func TestFirstUpdaterWinsThroughSQL(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE c (id INT PRIMARY KEY, n INT)`)
+	mustExec(t, db, `INSERT INTO c VALUES (1, 0)`)
+
+	t1 := db.Begin()
+	t2 := db.Begin()
+	if _, err := db.ExecTx(t1, `UPDATE c SET n = 1 WHERE id = 1`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Commit(t1); err != nil {
+		t.Fatal(err)
+	}
+	_, err := db.ExecTx(t2, `UPDATE c SET n = 2 WHERE id = 1`)
+	if err == nil {
+		t.Fatal("second updater should hit a serialization conflict")
+	}
+	db.Abort(t2)
+	res := mustExec(t, db, `SELECT n FROM c WHERE id = 1`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("n = %v", res.Rows[0][0])
+	}
+}
+
+func TestAbortRollsBackSQLEffects(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE r (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO r VALUES (1, 10)`)
+	tx := db.Begin()
+	db.ExecTx(tx, `INSERT INTO r VALUES (2, 20)`)
+	db.ExecTx(tx, `UPDATE r SET v = 11 WHERE id = 1`)
+	db.ExecTx(tx, `DELETE FROM r WHERE id = 1`)
+	db.Abort(tx)
+	res := mustExec(t, db, `SELECT id, v FROM r ORDER BY id`)
+	if len(res.Rows) != 1 || res.Rows[0][1].Int() != 10 {
+		t.Errorf("after abort: %v", res.Rows)
+	}
+	// Index entries from the aborted insert must be cleaned.
+	res = mustExec(t, db, `SELECT id FROM r WHERE id = 2`)
+	if len(res.Rows) != 0 {
+		t.Errorf("aborted insert visible via index: %v", res.Rows)
+	}
+}
+
+func TestVacuumPrunesVersionsAndStates(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE vv (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO vv VALUES (1, 0)`)
+	for i := 0; i < 10; i++ {
+		mustExec(t, db, `UPDATE vv SET v = v + 1 WHERE id = 1`)
+	}
+	versions, states := db.Vacuum()
+	if versions < 9 {
+		t.Errorf("pruned %d versions", versions)
+	}
+	if states < 10 {
+		t.Errorf("pruned %d states", states)
+	}
+	res := mustExec(t, db, `SELECT v FROM vv WHERE id = 1`)
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("v = %v after vacuum", res.Rows[0][0])
+	}
+}
+
+func TestInsertRowReturnsTID(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE x (a INT PRIMARY KEY)`)
+	tbl, _ := db.Catalog().Table("x")
+	tx := db.Begin()
+	tid, ok, err := db.InsertRow(tx, tbl, types.Row{types.NewInt(5)}, sql.ConflictError)
+	if err != nil || !ok {
+		t.Fatalf("InsertRow: %v %v", ok, err)
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := db.Begin()
+	defer db.Abort(tx2)
+	var got int64
+	tbl.Heap.View(tid, func(v *storage.Version) {
+		row, _ := tx2.VisibleRow(v)
+		got = row[0].Int()
+	})
+	if got != 5 {
+		t.Errorf("row at returned TID = %d", got)
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func TestExplainShowsEveryOperator(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	cases := []struct {
+		query string
+		wants []string
+	}{
+		{`SELECT * FROM flights`, []string{"Seq Scan on flights"}},
+		{`SELECT * FROM flights WHERE flightid = 'AA101'`, []string{"Index Scan"}},
+		{`SELECT flightid, COUNT(*) FROM flewon GROUP BY flightid`, []string{"HashAggregate", "Group Key"}},
+		{`SELECT DISTINCT flightid FROM flewon`, []string{"Distinct"}},
+		{`SELECT flightid FROM flights ORDER BY flightid DESC LIMIT 1`, []string{"Sort", "DESC", "Limit 1"}},
+		{`SELECT * FROM flights f, flewon fi WHERE f.flightid = fi.flightid`, []string{"Nested Loop"}},
+		{`SELECT * FROM flights, flewon`, []string{"Nested Loop"}},
+		{`SELECT v.flightid FROM (SELECT flightid FROM flights) AS v`, []string{"Subquery Scan v"}},
+	}
+	for _, c := range cases {
+		res := mustExec(t, db, "EXPLAIN "+c.query)
+		for _, want := range c.wants {
+			if !strings.Contains(res.Explain, want) {
+				t.Errorf("EXPLAIN %s missing %q:\n%s", c.query, want, res.Explain)
+			}
+		}
+	}
+}
+
+func TestInferKindTable(t *testing.T) {
+	cols := []Column{{Name: "i", Kind: types.KindInt}, {Name: "f", Kind: types.KindFloat}, {Name: "s", Kind: types.KindString}}
+	intCol := expr.NewColIdx("i", 0)
+	floatCol := expr.NewColIdx("f", 1)
+	strCol := expr.NewColIdx("s", 2)
+	one := expr.NewConst(types.NewInt(1))
+	cases := []struct {
+		e    expr.Expr
+		want types.Kind
+	}{
+		{intCol, types.KindInt},
+		{floatCol, types.KindFloat},
+		{one, types.KindInt},
+		{expr.NewBinOp(expr.OpAdd, intCol, one), types.KindInt},
+		{expr.NewBinOp(expr.OpAdd, intCol, floatCol), types.KindFloat},
+		{expr.NewBinOp(expr.OpDiv, intCol, one), types.KindFloat},
+		{expr.NewBinOp(expr.OpAdd, strCol, strCol), types.KindString},
+		{expr.NewBinOp(expr.OpEq, intCol, one), types.KindBool},
+		{&expr.Not{E: intCol}, types.KindBool},
+		{&expr.IsNull{E: intCol}, types.KindBool},
+		{&expr.InList{E: intCol, List: []expr.Expr{one}}, types.KindBool},
+		{&expr.Func{Name: "EXTRACT"}, types.KindInt},
+		{&expr.Func{Name: "LOWER"}, types.KindString},
+		{&expr.Func{Name: "ABS", Args: []expr.Expr{floatCol}}, types.KindFloat},
+		{&expr.Func{Name: "COALESCE", Args: []expr.Expr{expr.NewConst(types.Null), intCol}}, types.KindInt},
+		{&expr.Case{Whens: []expr.When{{Cond: expr.NewConst(types.NewBool(true)), Then: strCol}}}, types.KindString},
+		{&expr.Agg{Name: "COUNT"}, types.KindInt},
+		{&expr.Agg{Name: "AVG", Arg: intCol}, types.KindFloat},
+		{expr.NewConst(types.Null), types.KindNull},
+	}
+	for _, c := range cases {
+		if got := inferKind(c.e, cols); got != c.want {
+			t.Errorf("inferKind(%s) = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestOrderByOutputAliasOnly(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	// ORDER BY binds against output columns; a non-output column errors.
+	mustExec(t, db, `SELECT flightid AS f FROM flights ORDER BY f`)
+	mustFail(t, db, `SELECT flightid AS f FROM flights ORDER BY capacity`, "ORDER BY")
+}
+
+func TestHavingWithoutGroupByRejected(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustFail(t, db, `SELECT flightid FROM flights HAVING flightid = 'x'`, "HAVING")
+	// HAVING over a global aggregate is allowed.
+	res := mustExec(t, db, `SELECT COUNT(*) FROM flights HAVING COUNT(*) > 1`)
+	if len(res.Rows) != 1 {
+		t.Errorf("global HAVING: %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT COUNT(*) FROM flights HAVING COUNT(*) > 100`)
+	if len(res.Rows) != 0 {
+		t.Errorf("failing global HAVING should filter the row: %v", res.Rows)
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	// Group by a computed expression; the item repeats the expression.
+	res := mustExec(t, db, `SELECT capacity / 100 AS bucket, COUNT(*) FROM flights GROUP BY capacity / 100 ORDER BY bucket`)
+	if len(res.Rows) != 2 {
+		t.Errorf("expression groups: %v", res.Rows)
+	}
+}
+
+func TestPlanColumnsAndNames(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	stmt, err := sql.ParseOne(`SELECT flightid AS fid, capacity + 1 AS cap1 FROM flights`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.PlanSelect(stmt.(*sql.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := p.ColumnNames()
+	if names[0] != "fid" || names[1] != "cap1" {
+		t.Errorf("names: %v", names)
+	}
+	cols := p.Columns()
+	if cols[0].Kind != types.KindString || cols[1].Kind != types.KindInt {
+		t.Errorf("kinds: %v", cols)
+	}
+}

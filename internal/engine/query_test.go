@@ -1,0 +1,273 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func parseWhere(src string) (expr.Expr, error) { return sql.ParseExpr(src) }
+
+func TestJoins(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	// Implicit cross join + equality predicate (hash or index join).
+	res := mustExec(t, db, `
+		SELECT f.flightid, fi.passenger_count, (f.capacity - fi.passenger_count) AS empty_seats
+		FROM flights f, flewon fi
+		WHERE f.flightid = fi.flightid
+		ORDER BY empty_seats`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("join rows: %v", res.Rows)
+	}
+	if res.Rows[0][2].Int() != 20 { // UA202: 220-200
+		t.Errorf("smallest empty_seats: %v", res.Rows[0])
+	}
+	// JOIN ... ON syntax.
+	res = mustExec(t, db, `
+		SELECT COUNT(*) FROM flights JOIN flewon ON flights.flightid = flewon.flightid
+		WHERE flights.capacity > 200`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("filtered join count: %v", res.Rows[0])
+	}
+	// Cartesian product.
+	res = mustExec(t, db, `SELECT COUNT(*) FROM flights, flewon`)
+	if res.Rows[0][0].Int() != 6 {
+		t.Errorf("cartesian count: %v", res.Rows[0])
+	}
+	// Join with non-equi residual.
+	// Only AA101's 150 < 180-25; 160 and 200 fail their bounds.
+	res = mustExec(t, db, `
+		SELECT COUNT(*) FROM flights f, flewon fi
+		WHERE f.flightid = fi.flightid AND fi.passenger_count < f.capacity - 25`)
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("residual join count: %v", res.Rows[0])
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `
+		SELECT flightid, SUM(passenger_count) AS total, COUNT(*) AS n,
+		       MIN(passenger_count) AS lo, MAX(passenger_count) AS hi,
+		       AVG(passenger_count) AS mean
+		FROM flewon GROUP BY flightid ORDER BY flightid`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups: %v", res.Rows)
+	}
+	aa := res.Rows[0]
+	if aa[0].Str() != "AA101" || aa[1].Int() != 310 || aa[2].Int() != 2 ||
+		aa[3].Int() != 150 || aa[4].Int() != 160 || aa[5].Float() != 155 {
+		t.Errorf("AA101 aggregates: %v", aa)
+	}
+	// Global aggregate without GROUP BY.
+	res = mustExec(t, db, `SELECT SUM(capacity), COUNT(*) FROM flights`)
+	if res.Rows[0][0].Int() != 400 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("global aggregates: %v", res.Rows[0])
+	}
+	// Global aggregate over empty input emits one row.
+	res = mustExec(t, db, `SELECT COUNT(*), SUM(capacity) FROM flights WHERE capacity > 999`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 0 || !res.Rows[0][1].IsNull() {
+		t.Errorf("empty aggregate: %v", res.Rows)
+	}
+	// COUNT(DISTINCT ...) — the StockLevel shape.
+	res = mustExec(t, db, `SELECT COUNT(DISTINCT flightid) FROM flewon`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("count distinct: %v", res.Rows[0])
+	}
+	// HAVING.
+	res = mustExec(t, db, `SELECT flightid FROM flewon GROUP BY flightid HAVING COUNT(*) > 1`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "AA101" {
+		t.Errorf("having: %v", res.Rows)
+	}
+	// Ungrouped column must be rejected.
+	mustFail(t, db, `SELECT passenger_count FROM flewon GROUP BY flightid`, "GROUP BY")
+}
+
+func TestDistinctOrderLimit(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `SELECT DISTINCT flightid FROM flewon ORDER BY flightid DESC`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Str() != "UA202" {
+		t.Errorf("distinct order: %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT passenger_count FROM flewon ORDER BY passenger_count LIMIT 2`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 150 || res.Rows[1][0].Int() != 160 {
+		t.Errorf("order limit: %v", res.Rows)
+	}
+	res = mustExec(t, db, `SELECT passenger_count FROM flewon LIMIT 0`)
+	if len(res.Rows) != 0 {
+		t.Errorf("limit 0: %v", res.Rows)
+	}
+}
+
+func TestViewExpansion(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustExec(t, db, `CREATE VIEW flewoninfo_view AS (
+		SELECT f.flightid AS fid, flightdate, passenger_count,
+		       (capacity - passenger_count) AS empty_seats
+		FROM flights f, flewon fi
+		WHERE f.flightid = fi.flightid)`)
+	res := mustExec(t, db, `SELECT fid, empty_seats FROM flewoninfo_view
+		WHERE fid = 'AA101' AND EXTRACT(DAY FROM flightdate) = 9`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "AA101" || res.Rows[0][1].Int() != 30 {
+		t.Errorf("view query: %v", res.Rows)
+	}
+	// Views compose with aggregation over them.
+	res = mustExec(t, db, `SELECT fid, COUNT(*) FROM flewoninfo_view GROUP BY fid ORDER BY fid`)
+	if len(res.Rows) != 2 || res.Rows[0][1].Int() != 2 {
+		t.Errorf("aggregate over view: %v", res.Rows)
+	}
+}
+
+func TestSubqueryInFromExecution(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `
+		SELECT big.flightid FROM (SELECT flightid, capacity FROM flights WHERE capacity >= 200) AS big
+		WHERE big.capacity < 300`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "UA202" {
+		t.Errorf("subquery rows: %v", res.Rows)
+	}
+}
+
+func TestIndexSelection(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE ol (
+		w INT, d INT, o INT, n INT, amount FLOAT,
+		PRIMARY KEY (w, d, o, n))`)
+	tx := db.Begin()
+	tbl, _ := db.Catalog().Table("ol")
+	for w := 1; w <= 2; w++ {
+		for d := 1; d <= 3; d++ {
+			for o := 1; o <= 20; o++ {
+				row := types.Row{types.NewInt(int64(w)), types.NewInt(int64(d)), types.NewInt(int64(o)), types.NewInt(1), types.NewFloat(float64(o))}
+				if _, _, err := db.InsertRow(tx, tbl, row, 0); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := db.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+
+	res := mustExec(t, db, `EXPLAIN SELECT * FROM ol WHERE w = 1 AND d = 2 AND o = 3`)
+	if !strings.Contains(res.Explain, "Index Scan") || !strings.Contains(res.Explain, "=3 cols") {
+		t.Errorf("expected 3-column index scan:\n%s", res.Explain)
+	}
+	// Equality prefix + range.
+	res = mustExec(t, db, `EXPLAIN SELECT * FROM ol WHERE w = 1 AND d = 2 AND o >= 5 AND o < 10`)
+	if !strings.Contains(res.Explain, "+range") {
+		t.Errorf("expected range index scan:\n%s", res.Explain)
+	}
+	got := mustExec(t, db, `SELECT SUM(amount) FROM ol WHERE w = 1 AND d = 2 AND o >= 5 AND o < 10`)
+	if got.Rows[0][0].Float() != 5+6+7+8+9 {
+		t.Errorf("range sum: %v", got.Rows[0])
+	}
+	// BETWEEN desugars into the same range.
+	got = mustExec(t, db, `SELECT COUNT(*) FROM ol WHERE w = 2 AND d = 1 AND o BETWEEN 5 AND 9`)
+	if got.Rows[0][0].Int() != 5 {
+		t.Errorf("between count: %v", got.Rows[0])
+	}
+	// No index match -> seq scan, still correct.
+	res = mustExec(t, db, `EXPLAIN SELECT * FROM ol WHERE n = 1`)
+	if !strings.Contains(res.Explain, "Seq Scan") {
+		t.Errorf("expected seq scan:\n%s", res.Explain)
+	}
+}
+
+func TestIndexJoinChosenAndCorrect(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE item (i_id INT PRIMARY KEY, i_name CHAR(24))`)
+	mustExec(t, db, `CREATE TABLE line (l_id INT PRIMARY KEY, l_i_id INT)`)
+	for i := 1; i <= 50; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO item VALUES (%d, 'item-%d')`, i, i))
+	}
+	for l := 1; l <= 100; l++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO line VALUES (%d, %d)`, l, l%50+1))
+	}
+	res := mustExec(t, db, `SELECT COUNT(*) FROM line, item WHERE item.i_id = line.l_i_id`)
+	if res.Rows[0][0].Int() != 100 {
+		t.Errorf("join count: %v", res.Rows[0])
+	}
+	res = mustExec(t, db, `EXPLAIN SELECT * FROM line, item WHERE item.i_id = line.l_i_id`)
+	if !strings.Contains(res.Explain, "Index Nested Loop") {
+		t.Errorf("expected index join:\n%s", res.Explain)
+	}
+}
+
+func TestExplainShowsTransposedFilters(t *testing.T) {
+	// Reproduces the shape of the paper's §2.1 EXPLAIN: after view expansion
+	// the per-table filters appear on the base-table scans.
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustExec(t, db, `CREATE VIEW fv AS (
+		SELECT f.flightid AS fid, flightdate, passenger_count
+		FROM flights f, flewon fi WHERE f.flightid = fi.flightid)`)
+	res := mustExec(t, db, `EXPLAIN SELECT * FROM fv WHERE fid = 'AA101'`)
+	if !strings.Contains(res.Explain, "flights") || !strings.Contains(res.Explain, "= 'AA101'") {
+		t.Errorf("explain missing base filter:\n%s", res.Explain)
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	db := newTestDB(t)
+	res := mustExec(t, db, `SELECT 1 + 2 AS three, 'x' AS s`)
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 3 || res.Rows[0][1].Str() != "x" {
+		t.Errorf("constant select: %v", res.Rows)
+	}
+}
+
+func TestDuplicateAliasRejected(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustFail(t, db, `SELECT * FROM flights f, flewon f`, "duplicate")
+}
+
+func TestAmbiguousColumnRejected(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	mustFail(t, db, `SELECT flightid FROM flights, flewon`, "ambiguous")
+}
+
+func TestStarExpansionOnJoin(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	res := mustExec(t, db, `SELECT * FROM flights f, flewon fi WHERE f.flightid = fi.flightid LIMIT 1`)
+	if len(res.Columns) != 7+3 {
+		t.Errorf("star width: %v", res.Columns)
+	}
+	res = mustExec(t, db, `SELECT fi.* FROM flights f, flewon fi WHERE f.flightid = fi.flightid LIMIT 1`)
+	if len(res.Columns) != 3 {
+		t.Errorf("qualified star width: %v", res.Columns)
+	}
+}
+
+func TestUpdateDeleteUseIndex(t *testing.T) {
+	db := newTestDB(t)
+	mustExec(t, db, `CREATE TABLE kv (k INT PRIMARY KEY, v INT)`)
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO kv VALUES (%d, %d)`, i, i))
+	}
+	tx := db.Begin()
+	tbl, _ := db.Catalog().Table("kv")
+	where, err := parseWhere(`k = 42`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tids, rows, err := db.ScanForWrite(tx, tbl, "kv", where)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 1 || rows[0][1].Int() != 42 {
+		t.Errorf("ScanForWrite: %v %v", tids, rows)
+	}
+	db.Abort(tx)
+}

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// RecoverStats summarizes a WAL replay.
+type RecoverStats struct {
+	CommittedTxns int
+	Inserts       int
+	Updates       int
+	Deletes       int
+	Migrated      int
+}
+
+// Recover rebuilds table contents (and reports committed migration-status
+// records) by replaying a redo log. The database's schema must already have
+// been recreated (DDL is not logged — deployments re-run their schema
+// scripts, as the paper's prototype assumes). Only records belonging to
+// committed transactions are applied; onMigrated receives each committed
+// RecMigrated record so BullFrog's trackers can be restored (paper §3.5).
+//
+// readLog is called twice (commit-set pass, then apply pass); it must return
+// a fresh reader over the same log each time.
+func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker string, key []byte)) (RecoverStats, error) {
+	var stats RecoverStats
+	r1, err := readLog()
+	if err != nil {
+		return stats, err
+	}
+	committed, err := wal.CommittedSet(r1)
+	if err != nil {
+		return stats, err
+	}
+	stats.CommittedTxns = len(committed)
+
+	r2, err := readLog()
+	if err != nil {
+		return stats, err
+	}
+	// All replayed effects are applied under one recovery transaction and
+	// become visible atomically at its commit.
+	tx := db.Begin()
+	// Original TID -> recovered TID, per table (inserts may interleave
+	// differently than original slot allocation).
+	tidMap := make(map[string]map[storage.TID]storage.TID)
+	mapFor := func(table string) map[storage.TID]storage.TID {
+		m := tidMap[normalizeName(table)]
+		if m == nil {
+			m = make(map[storage.TID]storage.TID)
+			tidMap[normalizeName(table)] = m
+		}
+		return m
+	}
+	err = wal.Replay(r2, func(rec wal.Record) error {
+		if rec.Type == wal.RecBegin || rec.Type == wal.RecCommit || rec.Type == wal.RecAbort {
+			return nil
+		}
+		if !committed[rec.XID] {
+			return nil
+		}
+		switch rec.Type {
+		case wal.RecInsert:
+			tbl, err := db.cat.Table(rec.Table)
+			if err != nil {
+				return fmt.Errorf("engine: recovery: %w", err)
+			}
+			newTID := tbl.Heap.Insert(tx.ID(), rec.Row)
+			for _, idx := range tbl.Indexes() {
+				idx.Insert(idx.Def().KeyFromRow(rec.Row), newTID)
+			}
+			mapFor(rec.Table)[rec.TID] = newTID
+			stats.Inserts++
+		case wal.RecUpdate:
+			tbl, err := db.cat.Table(rec.Table)
+			if err != nil {
+				return fmt.Errorf("engine: recovery: %w", err)
+			}
+			newTID, ok := mapFor(rec.Table)[rec.TID]
+			if !ok {
+				// The tuple predates the log (no insert record): recovery
+				// from a truncated log cannot reconstruct it.
+				return fmt.Errorf("engine: recovery: update to unknown tuple %s in %q", rec.TID, rec.Table)
+			}
+			err = tbl.Heap.Mutate(newTID, func(s storage.Slot) error {
+				old := s.Head().Row
+				s.Push(tx.ID(), rec.Row)
+				for _, idx := range tbl.Indexes() {
+					oldKey := idx.Def().KeyFromRow(old)
+					newKey := idx.Def().KeyFromRow(rec.Row)
+					if string(oldKey) != string(newKey) {
+						idx.Insert(newKey, newTID)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			stats.Updates++
+		case wal.RecDelete:
+			tbl, err := db.cat.Table(rec.Table)
+			if err != nil {
+				return fmt.Errorf("engine: recovery: %w", err)
+			}
+			newTID, ok := mapFor(rec.Table)[rec.TID]
+			if !ok {
+				return fmt.Errorf("engine: recovery: delete of unknown tuple %s in %q", rec.TID, rec.Table)
+			}
+			if err := tbl.Heap.Mutate(newTID, func(s storage.Slot) error {
+				return s.SetXMax(tx.ID())
+			}); err != nil {
+				return err
+			}
+			stats.Deletes++
+		case wal.RecMigrated:
+			if onMigrated != nil {
+				onMigrated(rec.Table, rec.Key)
+			}
+			stats.Migrated++
+		}
+		return nil
+	})
+	if err != nil {
+		tx.Abort()
+		return stats, err
+	}
+	if err := tx.Commit(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// Vacuum prunes dead version chains across all tables and trims transaction
+// state for everything below the resulting horizon. Returns pruned version
+// and state counts.
+func (db *DB) Vacuum() (versions, states int) {
+	horizon := db.tm.OldestActiveSnapshot()
+	for _, name := range db.cat.TableNames() {
+		tbl, err := db.cat.Table(name)
+		if err != nil {
+			continue
+		}
+		versions += tbl.Heap.Vacuum(func(v *storage.Version) bool {
+			return db.versionDeadBefore(v, horizon)
+		})
+	}
+	states = db.tm.PruneStates(horizon)
+	return versions, states
+}
+
+// versionDeadBefore reports whether v was deleted/superseded by a transaction
+// committed at or before the horizon sequence.
+func (db *DB) versionDeadBefore(v *storage.Version, horizon uint64) bool {
+	if v.XMax == 0 {
+		return false
+	}
+	return db.tm.CommittedAtOrBefore(v.XMax, horizon)
+}

@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+// TableFilter is the predicate extracted for one input (old-schema) table of
+// a migration query: the table's name, its binding alias inside the query,
+// and the transposed predicate over its columns (alias-qualified, unbound).
+// A nil Pred means the whole table is potentially relevant (paper §2.4 worst
+// case).
+type TableFilter struct {
+	Table string
+	Alias string
+	Pred  expr.Expr
+}
+
+// TransposeFilters converts a predicate over a migration view's output
+// columns into predicates over the view's input tables — the core of
+// BullFrog's request-driven migration scoping (paper §2.1).
+//
+// The mechanism mirrors what the paper does with PostgreSQL view expansion:
+//
+//  1. each client-predicate column is replaced by its defining expression
+//     from the view's SELECT list (inverse projection),
+//  2. the view's own WHERE conjuncts are added,
+//  3. constant predicates are replicated across equality-join equivalence
+//     classes (so FID = 'AA101' lands on both FLIGHTS and FLEWON, exactly as
+//     in the paper's EXPLAIN output),
+//  4. conjuncts are assigned to the single input table they mention;
+//     conjuncts spanning tables or containing aggregates are dropped
+//     (they cannot narrow a single table's scan and rechecking happens in
+//     the transform anyway).
+//
+// clientWhere may be nil (meaning: everything the view produces).
+func (db *DB) TransposeFilters(viewDef *sql.SelectStmt, clientWhere expr.Expr) ([]TableFilter, error) {
+	if len(viewDef.From) == 0 {
+		return nil, fmt.Errorf("engine: migration query has no input tables")
+	}
+	// Resolve input tables and build the combined scope.
+	type input struct {
+		table string
+		alias string
+		cols  []Column
+	}
+	var inputs []input
+	var allCols []Column
+	for _, ref := range viewDef.From {
+		if ref.Subquery != nil {
+			return nil, fmt.Errorf("engine: transposition through FROM subqueries is not supported")
+		}
+		name := normalizeName(ref.Name)
+		if db.cat.HasView(name) {
+			return nil, fmt.Errorf("engine: transposition through nested views is not supported")
+		}
+		tbl, err := db.cat.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		alias := normalizeName(ref.AliasOrName())
+		cols := make([]Column, len(tbl.Def.Columns))
+		for i, c := range tbl.Def.Columns {
+			cols[i] = Column{Table: alias, Name: c.Name, Kind: c.Kind}
+		}
+		inputs = append(inputs, input{table: tbl.Def.Name, alias: alias, cols: cols})
+		allCols = append(allCols, cols...)
+	}
+	combined := scopeOf(allCols)
+
+	// Output column name -> defining expression (canonicalized).
+	items, err := expandItems(viewDef.Items, allCols)
+	if err != nil {
+		return nil, err
+	}
+	defs := make(map[string]expr.Expr, len(items))
+	for _, it := range items {
+		canon, err := canonicalize(it.Expr, combined, allCols)
+		if err != nil {
+			return nil, err
+		}
+		defs[normalizeName(it.Name)] = canon
+	}
+	// Group-by outputs keep their names via items; nothing extra needed.
+
+	// Substitute client predicate columns with their definitions.
+	var conjuncts []expr.Expr
+	if clientWhere != nil {
+		substituted, err := expr.Transform(clientWhere, func(x expr.Expr) (expr.Expr, error) {
+			c, ok := x.(*expr.Col)
+			if !ok {
+				return x, nil
+			}
+			def, found := defs[normalizeName(c.Name)]
+			if !found {
+				return nil, fmt.Errorf("engine: column %q does not exist in the migration view", c.Name)
+			}
+			return expr.Clone(def), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, conj := range expr.SplitConjuncts(substituted) {
+			if expr.ContainsAgg(conj) {
+				continue // predicates over aggregates cannot narrow input scans
+			}
+			conjuncts = append(conjuncts, conj)
+		}
+	}
+	// Add the view's own WHERE conjuncts (canonicalized).
+	if viewDef.Where != nil {
+		canon, err := canonicalize(viewDef.Where, combined, allCols)
+		if err != nil {
+			return nil, err
+		}
+		conjuncts = append(conjuncts, expr.SplitConjuncts(canon)...)
+	}
+
+	// Equivalence classes over equality-joined columns, for constant
+	// predicate replication.
+	uf := newUnionFind()
+	for _, conj := range conjuncts {
+		if bo, ok := conj.(*expr.BinOp); ok && bo.Op == expr.OpEq {
+			lc, lok := bo.L.(*expr.Col)
+			rc, rok := bo.R.(*expr.Col)
+			if lok && rok {
+				uf.union(colKey(lc), colKey(rc))
+			}
+		}
+	}
+	var replicated []expr.Expr
+	for _, conj := range conjuncts {
+		bo, ok := conj.(*expr.BinOp)
+		if !ok || !bo.Op.Comparison() {
+			continue
+		}
+		col, cok := bo.L.(*expr.Col)
+		cst, vok := bo.R.(*expr.Const)
+		flip := false
+		if !cok || !vok {
+			col, cok = bo.R.(*expr.Col)
+			cst, vok = bo.L.(*expr.Const)
+			flip = true
+		}
+		if !cok || !vok {
+			continue
+		}
+		for _, other := range uf.classOf(colKey(col)) {
+			if other == colKey(col) {
+				continue
+			}
+			alias, name, _ := strings.Cut(other, ".")
+			oc := expr.NewCol(alias, name)
+			if flip {
+				replicated = append(replicated, expr.NewBinOp(bo.Op, expr.Clone(cst), oc))
+			} else {
+				replicated = append(replicated, expr.NewBinOp(bo.Op, oc, expr.Clone(cst)))
+			}
+		}
+	}
+	conjuncts = append(conjuncts, replicated...)
+
+	// Assign single-alias conjuncts to their tables.
+	perAlias := make(map[string][]expr.Expr)
+	for _, conj := range conjuncts {
+		aliases := map[string]bool{}
+		bad := false
+		for _, c := range expr.CollectCols(conj) {
+			if c.Table == "" {
+				bad = true
+				break
+			}
+			aliases[c.Table] = true
+		}
+		if bad || len(aliases) != 1 {
+			continue
+		}
+		for a := range aliases {
+			// Deduplicate textually (replication can duplicate the original).
+			dup := false
+			for _, existing := range perAlias[a] {
+				if existing.String() == conj.String() {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				perAlias[a] = append(perAlias[a], conj)
+			}
+		}
+	}
+
+	out := make([]TableFilter, len(inputs))
+	for i, in := range inputs {
+		out[i] = TableFilter{
+			Table: in.table,
+			Alias: in.alias,
+			Pred:  expr.CombineConjuncts(perAlias[in.alias]...),
+		}
+	}
+	return out, nil
+}
+
+func colKey(c *expr.Col) string { return normalizeName(c.Table) + "." + normalizeName(c.Name) }
+
+// unionFind is a tiny union-find over string keys with class enumeration.
+type unionFind struct {
+	parent map[string]string
+}
+
+func newUnionFind() *unionFind { return &unionFind{parent: map[string]string{}} }
+
+func (u *unionFind) find(x string) string {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	if p == x {
+		return x
+	}
+	root := u.find(p)
+	u.parent[x] = root
+	return root
+}
+
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[ra] = rb
+	}
+}
+
+func (u *unionFind) classOf(x string) []string {
+	root := u.find(x)
+	var out []string
+	for k := range u.parent {
+		if u.find(k) == root {
+			out = append(out, k)
+		}
+	}
+	return out
+}

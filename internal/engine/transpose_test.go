@@ -1,0 +1,192 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+// paperViewDef returns the migration DDL's defining query from paper §2.1.
+func paperViewDef(t *testing.T) *sql.SelectStmt {
+	t.Helper()
+	stmt, err := sql.ParseOne(`SELECT F.FLIGHTID AS FID, FLIGHTDATE, PASSENGER_COUNT,
+		(CAPACITY - PASSENGER_COUNT) AS EMPTY_SEATS,
+		DEPARTURE_TIME AS EXPECTED_DEPARTURE_TIME,
+		NULL AS ACTUAL_DEPARTURE_TIME,
+		ARRIVAL_TIME AS EXPECTED_ARRIVAL_TIME,
+		NULL AS ACTUAL_ARRIVAL_TIME
+		FROM FLIGHTS F, FLEWON FI
+		WHERE F.FLIGHTID = FI.FLIGHTID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt.(*sql.SelectStmt)
+}
+
+func filterFor(fs []TableFilter, table string) *TableFilter {
+	for i := range fs {
+		if strings.EqualFold(fs[i].Table, table) {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+// TestTransposePaperExample reproduces the paper's §2.1 walk-through: the
+// client predicate FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9 must
+// land as FLIGHTID = 'AA101' on BOTH input tables (via the join equivalence
+// class) and the EXTRACT predicate on FLEWON only.
+func TestTransposePaperExample(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	clientPred, err := sql.ParseExpr(`FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filters, err := db.TransposeFilters(paperViewDef(t), clientPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(filters) != 2 {
+		t.Fatalf("filters: %+v", filters)
+	}
+	fl := filterFor(filters, "flights")
+	fw := filterFor(filters, "flewon")
+	if fl == nil || fw == nil {
+		t.Fatalf("missing table filters: %+v", filters)
+	}
+	if fl.Pred == nil || !strings.Contains(fl.Pred.String(), "f.flightid = 'AA101'") {
+		t.Errorf("flights pred: %v", fl.Pred)
+	}
+	fwStr := ""
+	if fw.Pred != nil {
+		fwStr = fw.Pred.String()
+	}
+	if !strings.Contains(fwStr, "fi.flightid = 'AA101'") {
+		t.Errorf("flewon should receive the replicated equality: %s", fwStr)
+	}
+	if !strings.Contains(fwStr, "EXTRACT('DAY', fi.flightdate)") {
+		t.Errorf("flewon should receive the EXTRACT predicate: %s", fwStr)
+	}
+	// The EXTRACT predicate must NOT leak onto flights.
+	if strings.Contains(fl.Pred.String(), "EXTRACT") {
+		t.Errorf("flights pred leaked EXTRACT: %v", fl.Pred)
+	}
+}
+
+// TestTransposeDerivedColumn: a predicate over EMPTY_SEATS (a computed
+// column) substitutes to (capacity - passenger_count) which spans both
+// tables, so it narrows neither table — but the join-key replication from
+// other predicates still applies.
+func TestTransposeDerivedColumn(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	clientPred, _ := sql.ParseExpr(`EMPTY_SEATS = 30`)
+	filters, err := db.TransposeFilters(paperViewDef(t), clientPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := filterFor(filters, "flights")
+	if fl.Pred != nil {
+		t.Errorf("derived-column predicate should not narrow flights: %v", fl.Pred)
+	}
+}
+
+// TestTransposeSingleTableDerived: a computed column from ONE table does
+// transpose (capacity - 0 style), here passenger_count + 0 stays on flewon.
+func TestTransposeSingleTableDerived(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	def, _ := sql.ParseOne(`SELECT flightid, passenger_count * 2 AS double_pc FROM flewon`)
+	clientPred, _ := sql.ParseExpr(`double_pc > 300`)
+	filters, err := db.TransposeFilters(def.(*sql.SelectStmt), clientPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := filterFor(filters, "flewon")
+	if fw.Pred == nil || !strings.Contains(fw.Pred.String(), "passenger_count * 2") {
+		t.Errorf("single-table derived predicate should transpose: %v", fw.Pred)
+	}
+}
+
+func TestTransposeNilPredicate(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	filters, err := db.TransposeFilters(paperViewDef(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the view's own join conjunct exists; neither table gets a
+	// single-table filter.
+	for _, f := range filters {
+		if f.Pred != nil {
+			t.Errorf("no client predicate should mean full scans, got %v on %s", f.Pred, f.Table)
+		}
+	}
+}
+
+func TestTransposeAggregateView(t *testing.T) {
+	// The n:1 aggregate migration shape: group key predicates transpose,
+	// aggregate-result predicates do not.
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	def, err := sql.ParseOne(`SELECT flightid AS fid, SUM(passenger_count) AS total
+		FROM flewon GROUP BY flightid`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientPred, _ := sql.ParseExpr(`fid = 'AA101' AND total > 100`)
+	filters, err := db.TransposeFilters(def.(*sql.SelectStmt), clientPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := filterFor(filters, "flewon")
+	if fw.Pred == nil || !strings.Contains(fw.Pred.String(), "flightid = 'AA101'") {
+		t.Errorf("group key predicate should transpose: %v", fw.Pred)
+	}
+	if strings.Contains(fw.Pred.String(), "total") || strings.Contains(fw.Pred.String(), "SUM") {
+		t.Errorf("aggregate predicate leaked: %v", fw.Pred)
+	}
+}
+
+func TestTransposeUnknownColumn(t *testing.T) {
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	clientPred, _ := sql.ParseExpr(`nosuch = 1`)
+	if _, err := db.TransposeFilters(paperViewDef(t), clientPred); err == nil {
+		t.Error("unknown view column should error")
+	}
+}
+
+func TestTransposedFiltersAreExecutable(t *testing.T) {
+	// The extracted predicates must run against the old tables and return a
+	// superset of what the client request needs.
+	db := newTestDB(t)
+	flightsSchema(t, db)
+	clientPred, _ := sql.ParseExpr(`FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9`)
+	filters, err := db.TransposeFilters(paperViewDef(t), clientPred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	defer db.Abort(tx)
+	fw := filterFor(filters, "flewon")
+	tbl, _ := db.Catalog().Table("flewon")
+	tids, rows, err := db.ScanForWrite(tx, tbl, fw.Alias, fw.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 1 || rows[0][2].Int() != 150 {
+		t.Errorf("transposed scan rows: %v", rows)
+	}
+	fl := filterFor(filters, "flights")
+	flTbl, _ := db.Catalog().Table("flights")
+	tids, _, err = db.ScanForWrite(tx, flTbl, fl.Alias, fl.Pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tids) != 1 {
+		t.Errorf("flights transposed scan found %d rows", len(tids))
+	}
+}

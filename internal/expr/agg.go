@@ -1,0 +1,50 @@
+package expr
+
+import (
+	"errors"
+
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Agg is an aggregate function reference (SUM, COUNT, AVG, MIN, MAX) as it
+// appears in a parsed query. Aggregates are computed by the executor's
+// aggregation operator, never by scalar evaluation, so Eval always errors.
+// Arg is nil for COUNT(*).
+type Agg struct {
+	Name     string // upper-cased
+	Distinct bool
+	Arg      Expr
+}
+
+// ErrAggregateEval is returned when an aggregate reaches scalar evaluation —
+// a planner bug or an aggregate used outside a grouping context.
+var ErrAggregateEval = errors.New("expr: aggregate function in scalar context")
+
+// Eval always fails: aggregates are handled by the aggregation operator.
+func (a *Agg) Eval(types.Row) (types.Datum, error) {
+	return types.Null, ErrAggregateEval
+}
+
+func (a *Agg) String() string {
+	arg := "*"
+	if a.Arg != nil {
+		arg = a.Arg.String()
+	}
+	if a.Distinct {
+		return a.Name + "(DISTINCT " + arg + ")"
+	}
+	return a.Name + "(" + arg + ")"
+}
+
+// ContainsAgg reports whether the expression tree contains an aggregate.
+func ContainsAgg(e Expr) bool {
+	found := false
+	Walk(e, func(x Expr) bool {
+		if _, ok := x.(*Agg); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

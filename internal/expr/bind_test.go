@@ -1,0 +1,153 @@
+package expr
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func testScope() *Scope {
+	return NewScope(
+		ScopeCol{Table: "f", Name: "flightid", Kind: types.KindString},
+		ScopeCol{Table: "f", Name: "capacity", Kind: types.KindInt},
+		ScopeCol{Table: "fi", Name: "flightid", Kind: types.KindString},
+		ScopeCol{Table: "fi", Name: "passenger_count", Kind: types.KindInt},
+	)
+}
+
+func TestScopeResolve(t *testing.T) {
+	s := testScope()
+	if idx, err := s.Resolve("f", "capacity"); err != nil || idx != 1 {
+		t.Errorf("Resolve(f.capacity) = %d, %v", idx, err)
+	}
+	if idx, err := s.Resolve("", "passenger_count"); err != nil || idx != 3 {
+		t.Errorf("Resolve(passenger_count) = %d, %v", idx, err)
+	}
+	if idx, err := s.Resolve("FI", "FLIGHTID"); err != nil || idx != 2 {
+		t.Errorf("case-insensitive Resolve = %d, %v", idx, err)
+	}
+	if _, err := s.Resolve("", "flightid"); err == nil {
+		t.Error("ambiguous unqualified name should error")
+	}
+	if _, err := s.Resolve("", "nosuch"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := s.Resolve("zz", "flightid"); err == nil {
+		t.Error("unknown qualifier should error")
+	}
+}
+
+func TestBindAndEval(t *testing.T) {
+	s := testScope()
+	e := NewBinOp(OpSub, NewCol("f", "capacity"), NewCol("", "passenger_count"))
+	bound, err := Bind(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := types.Row{types.NewString("AA1"), types.NewInt(180), types.NewString("AA1"), types.NewInt(150)}
+	v, err := bound.Eval(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 30 {
+		t.Errorf("capacity - passenger_count = %v, want 30", v)
+	}
+	// Binding must not mutate the original tree.
+	if e.L.(*Col).Index != -1 {
+		t.Error("Bind mutated its input")
+	}
+	if _, err := Bind(NewCol("", "nosuch"), s); err == nil {
+		t.Error("binding an unknown column should error")
+	}
+}
+
+func TestSplitAndCombineConjuncts(t *testing.T) {
+	a := NewBinOp(OpEq, NewCol("", "x"), intc(1))
+	b := NewBinOp(OpGt, NewCol("", "y"), intc(2))
+	c := NewBinOp(OpLt, NewCol("", "z"), intc(3))
+	combined := CombineConjuncts(a, nil, b, c)
+	parts := SplitConjuncts(combined)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts: got %d parts, want 3", len(parts))
+	}
+	if CombineConjuncts() != nil {
+		t.Error("CombineConjuncts() should be nil")
+	}
+	if CombineConjuncts(a) != a {
+		t.Error("CombineConjuncts(a) should be a")
+	}
+	// An OR must not be split.
+	or := NewBinOp(OpOr, a, b)
+	if got := len(SplitConjuncts(or)); got != 1 {
+		t.Errorf("SplitConjuncts(OR) = %d parts, want 1", got)
+	}
+	if SplitConjuncts(nil) != nil {
+		t.Error("SplitConjuncts(nil) should be nil")
+	}
+}
+
+func TestCollectCols(t *testing.T) {
+	e := NewBinOp(OpAnd,
+		NewBinOp(OpEq, NewCol("t", "a"), intc(1)),
+		&Func{Name: "ABS", Args: []Expr{NewCol("", "b")}})
+	cols := CollectCols(e)
+	if len(cols) != 2 || cols[0].Name != "a" || cols[1].Name != "b" {
+		t.Errorf("CollectCols = %v", cols)
+	}
+}
+
+func TestTransformSubstitution(t *testing.T) {
+	// Substitute column "fid" with f.flightid — exactly what view transposition does.
+	e := NewBinOp(OpEq, NewCol("", "fid"), strc("AA101"))
+	out, err := Transform(e, func(x Expr) (Expr, error) {
+		if c, ok := x.(*Col); ok && c.Name == "fid" {
+			return NewCol("f", "flightid"), nil
+		}
+		return x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "(f.flightid = 'AA101')" {
+		t.Errorf("substitution result: %s", out)
+	}
+	if e.String() != "(fid = 'AA101')" {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestTransformCoversAllNodes(t *testing.T) {
+	nodes := []Expr{
+		intc(1),
+		NewCol("t", "c"),
+		NewBinOp(OpAdd, intc(1), intc(2)),
+		&Not{E: boolc(true)},
+		&IsNull{E: intc(1)},
+		&Func{Name: "ABS", Args: []Expr{intc(-1)}},
+		&InList{E: intc(1), List: []Expr{intc(1), intc(2)}},
+		&Case{Whens: []When{{Cond: boolc(true), Then: intc(1)}}, Else: intc(0)},
+	}
+	for _, n := range nodes {
+		cloned := Clone(n)
+		if cloned.String() != n.String() {
+			t.Errorf("Clone(%s) = %s", n, cloned)
+		}
+		count := 0
+		Walk(n, func(Expr) bool { count++; return true })
+		if count == 0 {
+			t.Errorf("Walk visited nothing for %s", n)
+		}
+	}
+	if c, _ := Transform(nil, nil); c != nil {
+		t.Error("Transform(nil) should be nil")
+	}
+}
+
+func TestWalkEarlyStop(t *testing.T) {
+	e := NewBinOp(OpAnd, boolc(true), boolc(false))
+	count := 0
+	Walk(e, func(Expr) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d nodes, want 1", count)
+	}
+}

@@ -1,0 +1,363 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Eval for BinOp implements SQL semantics: comparisons and arithmetic return
+// NULL when any operand is NULL; AND/OR use Kleene three-valued logic.
+func (b *BinOp) Eval(row types.Row) (types.Datum, error) {
+	if b.Op == OpAnd || b.Op == OpOr {
+		return b.evalLogical(row)
+	}
+	l, err := b.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	r, err := b.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	if b.Op.Comparison() {
+		c := types.Compare(l, r)
+		switch b.Op {
+		case OpEq:
+			return types.NewBool(c == 0), nil
+		case OpNe:
+			return types.NewBool(c != 0), nil
+		case OpLt:
+			return types.NewBool(c < 0), nil
+		case OpLe:
+			return types.NewBool(c <= 0), nil
+		case OpGt:
+			return types.NewBool(c > 0), nil
+		case OpGe:
+			return types.NewBool(c >= 0), nil
+		}
+	}
+	return evalArith(b.Op, l, r)
+}
+
+func (b *BinOp) evalLogical(row types.Row) (types.Datum, error) {
+	l, err := b.L.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	// Short circuit where three-valued logic allows it.
+	if !l.IsNull() {
+		lv, err := truthy(l)
+		if err != nil {
+			return types.Null, err
+		}
+		if b.Op == OpAnd && !lv {
+			return types.NewBool(false), nil
+		}
+		if b.Op == OpOr && lv {
+			return types.NewBool(true), nil
+		}
+	}
+	r, err := b.R.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if !r.IsNull() {
+		rv, err := truthy(r)
+		if err != nil {
+			return types.Null, err
+		}
+		if b.Op == OpAnd && !rv {
+			return types.NewBool(false), nil
+		}
+		if b.Op == OpOr && rv {
+			return types.NewBool(true), nil
+		}
+	}
+	if l.IsNull() || r.IsNull() {
+		return types.Null, nil
+	}
+	// Both known: l AND r where l true / l OR r where l false.
+	return r, nil
+}
+
+func truthy(d types.Datum) (bool, error) {
+	if d.Kind() != types.KindBool {
+		return false, fmt.Errorf("expr: %s used as boolean", d.Kind())
+	}
+	return d.Bool(), nil
+}
+
+func evalArith(op Op, l, r types.Datum) (types.Datum, error) {
+	lk, rk := l.Kind(), r.Kind()
+	if op == OpAdd && lk == types.KindString && rk == types.KindString {
+		return types.NewString(l.Str() + r.Str()), nil // string concatenation
+	}
+	numeric := func(k types.Kind) bool { return k == types.KindInt || k == types.KindFloat }
+	if !numeric(lk) || !numeric(rk) {
+		return types.Null, fmt.Errorf("expr: cannot apply %s to %s and %s", op, lk, rk)
+	}
+	if lk == types.KindInt && rk == types.KindInt && op != OpDiv {
+		a, b := l.Int(), r.Int()
+		switch op {
+		case OpAdd:
+			return types.NewInt(a + b), nil
+		case OpSub:
+			return types.NewInt(a - b), nil
+		case OpMul:
+			return types.NewInt(a * b), nil
+		}
+	}
+	a, b := l.Float(), r.Float()
+	switch op {
+	case OpAdd:
+		return types.NewFloat(a + b), nil
+	case OpSub:
+		return types.NewFloat(a - b), nil
+	case OpMul:
+		return types.NewFloat(a * b), nil
+	case OpDiv:
+		if b == 0 {
+			return types.Null, fmt.Errorf("expr: division by zero")
+		}
+		return types.NewFloat(a / b), nil
+	}
+	return types.Null, fmt.Errorf("expr: unsupported arithmetic operator %s", op)
+}
+
+// Eval for Not: NOT NULL is NULL.
+func (n *Not) Eval(row types.Row) (types.Datum, error) {
+	v, err := n.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if v.IsNull() {
+		return types.Null, nil
+	}
+	b, err := truthy(v)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool(!b), nil
+}
+
+// Eval for IsNull never returns NULL.
+func (i *IsNull) Eval(row types.Row) (types.Datum, error) {
+	v, err := i.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	return types.NewBool(v.IsNull() != i.Negate), nil
+}
+
+// Eval for InList: SQL IN semantics with NULLs (x IN (..NULL..) is NULL when
+// no member matches).
+func (in *InList) Eval(row types.Row) (types.Datum, error) {
+	v, err := in.E.Eval(row)
+	if err != nil {
+		return types.Null, err
+	}
+	if v.IsNull() {
+		return types.Null, nil
+	}
+	sawNull := false
+	for _, e := range in.List {
+		m, err := e.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if m.IsNull() {
+			sawNull = true
+			continue
+		}
+		if types.Equal(v, m) {
+			return types.NewBool(true), nil
+		}
+	}
+	if sawNull {
+		return types.Null, nil
+	}
+	return types.NewBool(false), nil
+}
+
+// Eval for Case.
+func (c *Case) Eval(row types.Row) (types.Datum, error) {
+	for _, w := range c.Whens {
+		cond, err := w.Cond.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		if !cond.IsNull() {
+			b, err := truthy(cond)
+			if err != nil {
+				return types.Null, err
+			}
+			if b {
+				return w.Then.Eval(row)
+			}
+		}
+	}
+	if c.Else != nil {
+		return c.Else.Eval(row)
+	}
+	return types.Null, nil
+}
+
+// Eval for Func dispatches on the (upper-cased) function name.
+func (f *Func) Eval(row types.Row) (types.Datum, error) {
+	args := make([]types.Datum, len(f.Args))
+	for i, a := range f.Args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return types.Null, err
+		}
+		args[i] = v
+	}
+	return evalFunc(f.Name, args)
+}
+
+func evalFunc(name string, args []types.Datum) (types.Datum, error) {
+	switch name {
+	case "COALESCE":
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return types.Null, nil
+	case "ABS":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		switch args[0].Kind() {
+		case types.KindInt:
+			v := args[0].Int()
+			if v < 0 {
+				v = -v
+			}
+			return types.NewInt(v), nil
+		case types.KindFloat:
+			v := args[0].Float()
+			if v < 0 {
+				v = -v
+			}
+			return types.NewFloat(v), nil
+		}
+		return types.Null, fmt.Errorf("expr: ABS on %s", args[0].Kind())
+	case "LOWER", "UPPER":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		if args[0].Kind() != types.KindString {
+			return types.Null, fmt.Errorf("expr: %s on %s", name, args[0].Kind())
+		}
+		if name == "LOWER" {
+			return types.NewString(strings.ToLower(args[0].Str())), nil
+		}
+		return types.NewString(strings.ToUpper(args[0].Str())), nil
+	case "LENGTH":
+		if err := arity(name, args, 1); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() {
+			return types.Null, nil
+		}
+		return types.NewInt(int64(len(args[0].Str()))), nil
+	case "EXTRACT":
+		// EXTRACT(field FROM ts) parses to EXTRACT('field', ts).
+		if err := arity(name, args, 2); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return types.Null, nil
+		}
+		field := strings.ToUpper(args[0].Str())
+		ts := args[1].Time()
+		switch field {
+		case "YEAR":
+			return types.NewInt(int64(ts.Year())), nil
+		case "MONTH":
+			return types.NewInt(int64(ts.Month())), nil
+		case "DAY":
+			return types.NewInt(int64(ts.Day())), nil
+		case "HOUR":
+			return types.NewInt(int64(ts.Hour())), nil
+		case "MINUTE":
+			return types.NewInt(int64(ts.Minute())), nil
+		case "SECOND":
+			return types.NewInt(int64(ts.Second())), nil
+		case "DOW":
+			return types.NewInt(int64(ts.Weekday())), nil
+		case "EPOCH":
+			return types.NewInt(ts.Unix()), nil
+		}
+		return types.Null, fmt.Errorf("expr: EXTRACT field %q not supported", field)
+	case "MOD":
+		if err := arity(name, args, 2); err != nil {
+			return types.Null, err
+		}
+		if args[0].IsNull() || args[1].IsNull() {
+			return types.Null, nil
+		}
+		if args[1].Int() == 0 {
+			return types.Null, fmt.Errorf("expr: MOD by zero")
+		}
+		return types.NewInt(args[0].Int() % args[1].Int()), nil
+	case "SUBSTR":
+		// SUBSTR(s, start1based, length)
+		if err := arity(name, args, 3); err != nil {
+			return types.Null, err
+		}
+		for _, a := range args {
+			if a.IsNull() {
+				return types.Null, nil
+			}
+		}
+		s := args[0].Str()
+		start := int(args[1].Int()) - 1
+		length := int(args[2].Int())
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		end := start + length
+		if end > len(s) || length < 0 {
+			end = len(s)
+		}
+		return types.NewString(s[start:end]), nil
+	default:
+		return types.Null, fmt.Errorf("expr: unknown function %s", name)
+	}
+}
+
+func arity(name string, args []types.Datum, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("expr: %s expects %d arguments, got %d", name, n, len(args))
+	}
+	return nil
+}
+
+// EvalBool evaluates a predicate for WHERE-clause purposes: NULL counts as
+// false.
+func EvalBool(e Expr, row types.Row) (bool, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return false, err
+	}
+	if v.IsNull() {
+		return false, nil
+	}
+	return truthy(v)
+}

@@ -1,0 +1,229 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func intc(v int64) Expr           { return NewConst(types.NewInt(v)) }
+func floatc(v float64) Expr       { return NewConst(types.NewFloat(v)) }
+func strc(s string) Expr          { return NewConst(types.NewString(s)) }
+func boolc(b bool) Expr           { return NewConst(types.NewBool(b)) }
+func nullc() Expr                 { return NewConst(types.Null) }
+func col(name string, i int) Expr { return NewColIdx(name, i) }
+
+func mustEval(t *testing.T, e Expr, row types.Row) types.Datum {
+	t.Helper()
+	v, err := e.Eval(row)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{NewBinOp(OpAdd, intc(2), intc(3)), types.NewInt(5)},
+		{NewBinOp(OpSub, intc(2), intc(3)), types.NewInt(-1)},
+		{NewBinOp(OpMul, intc(4), intc(3)), types.NewInt(12)},
+		{NewBinOp(OpDiv, intc(7), intc(2)), types.NewFloat(3.5)},
+		{NewBinOp(OpAdd, intc(2), floatc(0.5)), types.NewFloat(2.5)},
+		{NewBinOp(OpAdd, strc("foo"), strc("bar")), types.NewString("foobar")},
+		{NewBinOp(OpAdd, intc(2), nullc()), types.Null},
+		{NewBinOp(OpMul, nullc(), intc(2)), types.Null},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if got.Kind() != c.want.Kind() || !types.Equal(got, c.want) && !(got.IsNull() && c.want.IsNull()) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := NewBinOp(OpDiv, intc(1), intc(0)).Eval(nil); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := NewBinOp(OpSub, strc("a"), intc(1)).Eval(nil); err == nil {
+		t.Error("string minus int should error")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tr, fa := types.NewBool(true), types.NewBool(false)
+	cases := []struct {
+		op   Op
+		l, r Expr
+		want types.Datum
+	}{
+		{OpEq, intc(1), intc(1), tr},
+		{OpEq, intc(1), intc(2), fa},
+		{OpNe, intc(1), intc(2), tr},
+		{OpLt, strc("a"), strc("b"), tr},
+		{OpLe, intc(2), intc(2), tr},
+		{OpGt, floatc(2.5), intc(2), tr},
+		{OpGe, intc(1), intc(2), fa},
+		{OpEq, intc(1), nullc(), types.Null},
+		{OpLt, nullc(), nullc(), types.Null},
+	}
+	for _, c := range cases {
+		got := mustEval(t, NewBinOp(c.op, c.l, c.r), nil)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && got.Bool() != c.want.Bool()) {
+			t.Errorf("(%v %s %v) = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	tr, fa, nu := boolc(true), boolc(false), nullc()
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{NewBinOp(OpAnd, tr, tr), "true"},
+		{NewBinOp(OpAnd, tr, fa), "false"},
+		{NewBinOp(OpAnd, fa, nu), "false"}, // false AND NULL = false
+		{NewBinOp(OpAnd, nu, fa), "false"},
+		{NewBinOp(OpAnd, tr, nu), "NULL"},
+		{NewBinOp(OpOr, fa, fa), "false"},
+		{NewBinOp(OpOr, tr, nu), "true"}, // true OR NULL = true
+		{NewBinOp(OpOr, nu, tr), "true"},
+		{NewBinOp(OpOr, fa, nu), "NULL"},
+		{&Not{E: tr}, "false"},
+		{&Not{E: fa}, "true"},
+		{&Not{E: nu}, "NULL"},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if got.String() != c.want {
+			t.Errorf("%s = %v, want %s", c.e, got, c.want)
+		}
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	if !mustEval(t, &IsNull{E: nullc()}, nil).Bool() {
+		t.Error("NULL IS NULL should be true")
+	}
+	if mustEval(t, &IsNull{E: intc(1)}, nil).Bool() {
+		t.Error("1 IS NULL should be false")
+	}
+	if !mustEval(t, &IsNull{E: intc(1), Negate: true}, nil).Bool() {
+		t.Error("1 IS NOT NULL should be true")
+	}
+}
+
+func TestInList(t *testing.T) {
+	in := &InList{E: intc(2), List: []Expr{intc(1), intc(2)}}
+	if !mustEval(t, in, nil).Bool() {
+		t.Error("2 IN (1,2) should be true")
+	}
+	in = &InList{E: intc(3), List: []Expr{intc(1), nullc()}}
+	if !mustEval(t, in, nil).IsNull() {
+		t.Error("3 IN (1,NULL) should be NULL")
+	}
+	in = &InList{E: intc(3), List: []Expr{intc(1), intc(2)}}
+	if mustEval(t, in, nil).Bool() {
+		t.Error("3 IN (1,2) should be false")
+	}
+	in = &InList{E: nullc(), List: []Expr{intc(1)}}
+	if !mustEval(t, in, nil).IsNull() {
+		t.Error("NULL IN (...) should be NULL")
+	}
+}
+
+func TestCase(t *testing.T) {
+	c := &Case{
+		Whens: []When{
+			{Cond: NewBinOp(OpLt, col("x", 0), intc(0)), Then: strc("neg")},
+			{Cond: NewBinOp(OpEq, col("x", 0), intc(0)), Then: strc("zero")},
+		},
+		Else: strc("pos"),
+	}
+	cases := map[int64]string{-5: "neg", 0: "zero", 7: "pos"}
+	for in, want := range cases {
+		got := mustEval(t, c, types.Row{types.NewInt(in)})
+		if got.Str() != want {
+			t.Errorf("CASE with x=%d = %v, want %s", in, got, want)
+		}
+	}
+	noElse := &Case{Whens: []When{{Cond: boolc(false), Then: intc(1)}}}
+	if !mustEval(t, noElse, nil).IsNull() {
+		t.Error("CASE with no match and no ELSE should be NULL")
+	}
+}
+
+func TestFunctions(t *testing.T) {
+	ts := types.NewTime(time.Date(2021, 6, 9, 15, 4, 5, 0, time.UTC))
+	cases := []struct {
+		e    Expr
+		want types.Datum
+	}{
+		{&Func{Name: "COALESCE", Args: []Expr{nullc(), intc(2), intc(3)}}, types.NewInt(2)},
+		{&Func{Name: "COALESCE", Args: []Expr{nullc()}}, types.Null},
+		{&Func{Name: "ABS", Args: []Expr{intc(-4)}}, types.NewInt(4)},
+		{&Func{Name: "ABS", Args: []Expr{floatc(-2.5)}}, types.NewFloat(2.5)},
+		{&Func{Name: "LOWER", Args: []Expr{strc("AbC")}}, types.NewString("abc")},
+		{&Func{Name: "UPPER", Args: []Expr{strc("AbC")}}, types.NewString("ABC")},
+		{&Func{Name: "LENGTH", Args: []Expr{strc("abcd")}}, types.NewInt(4)},
+		{&Func{Name: "EXTRACT", Args: []Expr{strc("DAY"), NewConst(ts)}}, types.NewInt(9)},
+		{&Func{Name: "EXTRACT", Args: []Expr{strc("YEAR"), NewConst(ts)}}, types.NewInt(2021)},
+		{&Func{Name: "EXTRACT", Args: []Expr{strc("MONTH"), NewConst(ts)}}, types.NewInt(6)},
+		{&Func{Name: "MOD", Args: []Expr{intc(7), intc(3)}}, types.NewInt(1)},
+		{&Func{Name: "SUBSTR", Args: []Expr{strc("hello"), intc(2), intc(3)}}, types.NewString("ell")},
+		{&Func{Name: "SUBSTR", Args: []Expr{strc("hi"), intc(1), intc(99)}}, types.NewString("hi")},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if got.IsNull() != c.want.IsNull() || (!got.IsNull() && !types.Equal(got, c.want)) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := (&Func{Name: "NOSUCH"}).Eval(nil); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := (&Func{Name: "ABS", Args: []Expr{intc(1), intc(2)}}).Eval(nil); err == nil {
+		t.Error("wrong arity should error")
+	}
+	if _, err := (&Func{Name: "EXTRACT", Args: []Expr{strc("FORTNIGHT"), NewConst(ts)}}).Eval(nil); err == nil {
+		t.Error("unknown EXTRACT field should error")
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	if ok, _ := EvalBool(nullc(), nil); ok {
+		t.Error("NULL predicate should be false in WHERE")
+	}
+	if ok, _ := EvalBool(boolc(true), nil); !ok {
+		t.Error("true predicate")
+	}
+	if _, err := EvalBool(intc(1), nil); err == nil {
+		t.Error("non-boolean predicate should error")
+	}
+}
+
+func TestColEvalErrors(t *testing.T) {
+	c := NewCol("t", "x")
+	if _, err := c.Eval(types.Row{types.NewInt(1)}); err == nil {
+		t.Error("unbound column should error")
+	}
+	b := NewColIdx("x", 5)
+	if _, err := b.Eval(types.Row{types.NewInt(1)}); err == nil {
+		t.Error("out-of-range column should error")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewBinOp(OpAnd,
+		NewBinOp(OpEq, NewCol("f", "flightid"), strc("AA101")),
+		NewBinOp(OpEq, &Func{Name: "EXTRACT", Args: []Expr{strc("DAY"), NewCol("", "flightdate")}}, intc(9)))
+	s := e.String()
+	for _, want := range []string{"f.flightid = 'AA101'", "EXTRACT('DAY', flightdate)", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package index
+
+import (
+	"bytes"
+	"sync"
+
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+)
+
+// btree node fanout: max keys per node. Chosen for decent cache behavior at
+// in-memory scale.
+const btreeOrder = 64
+
+// BTree is a B+tree mapping encoded keys to TID postings. All methods are
+// safe for concurrent use (single writer, many readers via an RWMutex).
+type BTree struct {
+	def  *Def
+	mu   sync.RWMutex
+	root node
+	n    int // postings
+}
+
+// NewBTree returns an empty B+tree index.
+func NewBTree(def *Def) *BTree {
+	return &BTree{def: def, root: &leaf{}}
+}
+
+// Def returns the index definition.
+func (t *BTree) Def() *Def { return t.def }
+
+// Len returns the number of postings.
+func (t *BTree) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.n
+}
+
+type node interface {
+	// insert returns (newRight, splitKey) when the node split.
+	insert(key []byte, tid storage.TID, counter *int) (node, []byte)
+	// delete removes a posting; reports whether it was removed.
+	delete(key []byte, tid storage.TID) bool
+	// firstLeafGE returns the leaf that may contain key and the position of
+	// the first key >= key within it.
+	firstLeafGE(key []byte) (*leaf, int)
+}
+
+type leaf struct {
+	keys [][]byte
+	tids [][]storage.TID // posting list per key
+	next *leaf
+}
+
+type inner struct {
+	keys     [][]byte // keys[i] = smallest key in children[i+1]
+	children []node
+}
+
+// search returns the first position with keys[pos] >= key.
+func searchKeys(keys [][]byte, key []byte) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (l *leaf) insert(key []byte, tid storage.TID, counter *int) (node, []byte) {
+	pos := searchKeys(l.keys, key)
+	if pos < len(l.keys) && bytes.Equal(l.keys[pos], key) {
+		for _, existing := range l.tids[pos] {
+			if existing == tid {
+				return nil, nil // duplicate posting
+			}
+		}
+		l.tids[pos] = append(l.tids[pos], tid)
+		*counter++
+		return nil, nil
+	}
+	l.keys = append(l.keys, nil)
+	copy(l.keys[pos+1:], l.keys[pos:])
+	l.keys[pos] = append([]byte(nil), key...)
+	l.tids = append(l.tids, nil)
+	copy(l.tids[pos+1:], l.tids[pos:])
+	l.tids[pos] = []storage.TID{tid}
+	*counter++
+	if len(l.keys) <= btreeOrder {
+		return nil, nil
+	}
+	// Split.
+	mid := len(l.keys) / 2
+	right := &leaf{
+		keys: append([][]byte(nil), l.keys[mid:]...),
+		tids: append([][]storage.TID(nil), l.tids[mid:]...),
+		next: l.next,
+	}
+	l.keys = l.keys[:mid:mid]
+	l.tids = l.tids[:mid:mid]
+	l.next = right
+	return right, right.keys[0]
+}
+
+func (l *leaf) delete(key []byte, tid storage.TID) bool {
+	pos := searchKeys(l.keys, key)
+	if pos >= len(l.keys) || !bytes.Equal(l.keys[pos], key) {
+		return false
+	}
+	posting := l.tids[pos]
+	for i, existing := range posting {
+		if existing == tid {
+			l.tids[pos] = append(posting[:i:i], posting[i+1:]...)
+			if len(l.tids[pos]) == 0 {
+				// Remove the key entirely; no rebalancing (lazy deletion).
+				l.keys = append(l.keys[:pos], l.keys[pos+1:]...)
+				l.tids = append(l.tids[:pos], l.tids[pos+1:]...)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+func (l *leaf) firstLeafGE(key []byte) (*leaf, int) {
+	return l, searchKeys(l.keys, key)
+}
+
+func (in *inner) childFor(key []byte) int {
+	// children[i] covers keys < keys[i]; the last child covers the rest.
+	lo, hi := 0, len(in.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(in.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (in *inner) insert(key []byte, tid storage.TID, counter *int) (node, []byte) {
+	ci := in.childFor(key)
+	newRight, splitKey := in.children[ci].insert(key, tid, counter)
+	if newRight == nil {
+		return nil, nil
+	}
+	in.keys = append(in.keys, nil)
+	copy(in.keys[ci+1:], in.keys[ci:])
+	in.keys[ci] = splitKey
+	in.children = append(in.children, nil)
+	copy(in.children[ci+2:], in.children[ci+1:])
+	in.children[ci+1] = newRight
+	if len(in.children) <= btreeOrder {
+		return nil, nil
+	}
+	mid := len(in.keys) / 2
+	up := in.keys[mid]
+	right := &inner{
+		keys:     append([][]byte(nil), in.keys[mid+1:]...),
+		children: append([]node(nil), in.children[mid+1:]...),
+	}
+	in.keys = in.keys[:mid:mid]
+	in.children = in.children[: mid+1 : mid+1]
+	return right, up
+}
+
+func (in *inner) delete(key []byte, tid storage.TID) bool {
+	return in.children[in.childFor(key)].delete(key, tid)
+}
+
+func (in *inner) firstLeafGE(key []byte) (*leaf, int) {
+	return in.children[in.childFor(key)].firstLeafGE(key)
+}
+
+// Insert adds a posting for key.
+func (t *BTree) Insert(key []byte, tid storage.TID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	newRight, splitKey := t.root.insert(key, tid, &t.n)
+	if newRight != nil {
+		t.root = &inner{keys: [][]byte{splitKey}, children: []node{t.root, newRight}}
+	}
+}
+
+// Delete removes a posting, reporting whether it existed.
+func (t *BTree) Delete(key []byte, tid storage.TID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.root.delete(key, tid) {
+		t.n--
+		return true
+	}
+	return false
+}
+
+// Lookup returns the postings for an exact key.
+func (t *BTree) Lookup(key []byte) []storage.TID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	l, pos := t.root.firstLeafGE(key)
+	if pos < len(l.keys) && bytes.Equal(l.keys[pos], key) {
+		return append([]storage.TID(nil), l.tids[pos]...)
+	}
+	return nil
+}
+
+// AscendRange visits postings with lo <= key < hi in key order (hi nil means
+// unbounded). The callback must not modify the tree.
+func (t *BTree) AscendRange(lo, hi []byte, fn func(key []byte, tid storage.TID) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	l, pos := t.root.firstLeafGE(lo)
+	for l != nil {
+		for ; pos < len(l.keys); pos++ {
+			if hi != nil && bytes.Compare(l.keys[pos], hi) >= 0 {
+				return
+			}
+			for _, tid := range l.tids[pos] {
+				if !fn(l.keys[pos], tid) {
+					return
+				}
+			}
+		}
+		l = l.next
+		pos = 0
+	}
+}

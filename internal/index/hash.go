@@ -1,0 +1,144 @@
+package index
+
+import (
+	"bytes"
+	"hash/maphash"
+	"sort"
+	"sync"
+
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+)
+
+const hashShards = 16
+
+var hashIndexSeed = maphash.MakeSeed()
+
+type hashShard struct {
+	mu       sync.RWMutex
+	postings map[string][]storage.TID
+}
+
+// Hash is an equality-only index: encoded key -> TID postings. It is sharded
+// to reduce writer contention. AscendRange is supported for completeness but
+// requires collecting and sorting keys, so the planner prefers a B+tree for
+// range predicates.
+type Hash struct {
+	def    *Def
+	shards [hashShards]hashShard
+}
+
+// NewHash returns an empty hash index.
+func NewHash(def *Def) *Hash {
+	h := &Hash{def: def}
+	for i := range h.shards {
+		h.shards[i].postings = make(map[string][]storage.TID)
+	}
+	return h
+}
+
+// Def returns the index definition.
+func (h *Hash) Def() *Def { return h.def }
+
+func (h *Hash) shardFor(key []byte) *hashShard {
+	return &h.shards[maphash.Bytes(hashIndexSeed, key)%hashShards]
+}
+
+// Insert adds a posting. Duplicate (key, tid) pairs are ignored.
+func (h *Hash) Insert(key []byte, tid storage.TID) {
+	s := h.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	posting := s.postings[string(key)]
+	for _, existing := range posting {
+		if existing == tid {
+			return
+		}
+	}
+	s.postings[string(key)] = append(posting, tid)
+}
+
+// Delete removes a posting, reporting whether it existed.
+func (h *Hash) Delete(key []byte, tid storage.TID) bool {
+	s := h.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	posting, ok := s.postings[string(key)]
+	if !ok {
+		return false
+	}
+	for i, existing := range posting {
+		if existing == tid {
+			next := append(posting[:i:i], posting[i+1:]...)
+			if len(next) == 0 {
+				delete(s.postings, string(key))
+			} else {
+				s.postings[string(key)] = next
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the postings for an exact key.
+func (h *Hash) Lookup(key []byte) []storage.TID {
+	s := h.shardFor(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	posting := s.postings[string(key)]
+	if posting == nil {
+		return nil
+	}
+	return append([]storage.TID(nil), posting...)
+}
+
+// Len returns the number of postings.
+func (h *Hash) Len() int {
+	n := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		for _, p := range s.postings {
+			n += len(p)
+		}
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// AscendRange visits postings in key order by materializing and sorting all
+// keys; O(n log n). Provided so Hash satisfies Index, but range workloads
+// should use a BTree.
+func (h *Hash) AscendRange(lo, hi []byte, fn func(key []byte, tid storage.TID) bool) {
+	type kv struct {
+		key  string
+		tids []storage.TID
+	}
+	var all []kv
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.RLock()
+		for k, p := range s.postings {
+			if lo != nil && k < string(lo) {
+				continue
+			}
+			if hi != nil && k >= string(hi) {
+				continue
+			}
+			all = append(all, kv{key: k, tids: append([]storage.TID(nil), p...)})
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key < all[j].key })
+	for _, e := range all {
+		kb := []byte(e.key)
+		if hi != nil && bytes.Compare(kb, hi) >= 0 {
+			return
+		}
+		for _, tid := range e.tids {
+			if !fn(kb, tid) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package schema defines table, column, index, and constraint metadata. It is
+// pure metadata: enforcement lives in the engine, storage lives in storage.
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name    string
+	Kind    types.Kind
+	NotNull bool
+	Default expr.Expr // evaluated against the empty row; nil means NULL
+}
+
+// Table describes a table: its columns and constraints.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []int        // column ordinals; empty means no primary key
+	Checks     []Check      // CHECK constraints
+	Uniques    [][]int      // additional UNIQUE constraints (column ordinal sets)
+	ForeignKey []ForeignKey // FOREIGN KEY constraints
+}
+
+// Check is a named CHECK constraint whose expression is bound against the
+// table's row layout.
+type Check struct {
+	Name string
+	Expr expr.Expr // bound: column ordinals resolved against the table
+}
+
+// ForeignKey declares that the given local columns must reference an existing
+// row in the referenced table's referenced columns (which must be that
+// table's primary key or a unique key).
+type ForeignKey struct {
+	Name       string
+	Columns    []int  // local column ordinals
+	RefTable   string // referenced table name
+	RefColumns []int  // referenced column ordinals
+	// RefColumnNames holds unresolved referenced column names from the DDL;
+	// the engine resolves them into RefColumns at table-creation time (they
+	// default to the referenced table's primary key when empty).
+	RefColumnNames []string
+}
+
+// NewTable builds a table definition and validates column name uniqueness.
+func NewTable(name string, cols []Column) (*Table, error) {
+	seen := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		lower := strings.ToLower(c.Name)
+		if seen[lower] {
+			return nil, fmt.Errorf("schema: duplicate column %q in table %q", c.Name, name)
+		}
+		seen[lower] = true
+	}
+	return &Table{Name: name, Columns: cols}, nil
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	names := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		names[i] = c.Name
+	}
+	return names
+}
+
+// Scope returns the expression-binding scope for a row of this table,
+// qualified by alias (or the table name when alias is empty).
+func (t *Table) Scope(alias string) *expr.Scope {
+	if alias == "" {
+		alias = t.Name
+	}
+	cols := make([]expr.ScopeCol, len(t.Columns))
+	for i, c := range t.Columns {
+		cols[i] = expr.ScopeCol{Table: alias, Name: c.Name, Kind: c.Kind}
+	}
+	return expr.NewScope(cols...)
+}
+
+// PKRow extracts the primary-key datums from a full row.
+func (t *Table) PKRow(row types.Row) types.Row {
+	key := make(types.Row, len(t.PrimaryKey))
+	for i, ord := range t.PrimaryKey {
+		key[i] = row[ord]
+	}
+	return key
+}
+
+// Project extracts the datums at the given ordinals.
+func Project(row types.Row, ords []int) types.Row {
+	out := make(types.Row, len(ords))
+	for i, o := range ords {
+		out[i] = row[o]
+	}
+	return out
+}
+
+// Validate checks a row against the column count, declared kinds and NOT
+// NULL. It coerces integer datums into float columns (SQL numeric widening);
+// everything else must match exactly. Returns the (possibly coerced) row.
+func (t *Table) Validate(row types.Row) (types.Row, error) {
+	if len(row) != len(t.Columns) {
+		return nil, fmt.Errorf("schema: table %s expects %d columns, got %d", t.Name, len(t.Columns), len(row))
+	}
+	for i, c := range t.Columns {
+		d := row[i]
+		if d.IsNull() {
+			if c.NotNull {
+				return nil, fmt.Errorf("schema: null value in column %q of table %q violates not-null constraint", c.Name, t.Name)
+			}
+			continue
+		}
+		if d.Kind() == c.Kind || c.Kind == types.KindNull {
+			// KindNull columns are wildcards: CREATE TABLE AS with an
+			// untyped NULL output column accepts any later datum kind.
+			continue
+		}
+		if c.Kind == types.KindFloat && d.Kind() == types.KindInt {
+			row[i] = types.NewFloat(float64(d.Int()))
+			continue
+		}
+		if c.Kind == types.KindTime && d.Kind() == types.KindString {
+			ts, err := ParseTime(d.Str())
+			if err != nil {
+				return nil, fmt.Errorf("schema: column %q of table %q: %w", c.Name, t.Name, err)
+			}
+			row[i] = types.NewTime(ts)
+			continue
+		}
+		return nil, fmt.Errorf("schema: column %q of table %q is %s, got %s %v", c.Name, t.Name, c.Kind, d.Kind(), d)
+	}
+	return row, nil
+}
+
+// timeLayouts are the literal formats accepted for timestamp/date columns.
+var timeLayouts = []string{
+	"2006-01-02 15:04:05.999999999",
+	"2006-01-02T15:04:05.999999999",
+	"2006-01-02",
+	time.RFC3339Nano,
+}
+
+// ParseTime parses a SQL timestamp or date literal (interpreted as UTC).
+func ParseTime(s string) (time.Time, error) {
+	for _, layout := range timeLayouts {
+		if ts, err := time.ParseInLocation(layout, s, time.UTC); err == nil {
+			return ts, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("schema: cannot parse %q as a timestamp", s)
+}
+
+// Clone returns a deep copy of the table definition (expressions are cloned
+// structurally).
+func (t *Table) Clone() *Table {
+	out := &Table{Name: t.Name}
+	out.Columns = append([]Column(nil), t.Columns...)
+	out.PrimaryKey = append([]int(nil), t.PrimaryKey...)
+	for _, c := range t.Checks {
+		out.Checks = append(out.Checks, Check{Name: c.Name, Expr: expr.Clone(c.Expr)})
+	}
+	for _, u := range t.Uniques {
+		out.Uniques = append(out.Uniques, append([]int(nil), u...))
+	}
+	for _, fk := range t.ForeignKey {
+		out.ForeignKey = append(out.ForeignKey, ForeignKey{
+			Name:       fk.Name,
+			Columns:    append([]int(nil), fk.Columns...),
+			RefTable:   fk.RefTable,
+			RefColumns: append([]int(nil), fk.RefColumns...),
+		})
+	}
+	return out
+}
+
+// String renders a compact CREATE TABLE-ish description, used in error
+// messages and the shell's \d command.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "TABLE %s (", t.Name)
+	for i, c := range t.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", c.Name, c.Kind)
+		if c.NotNull {
+			sb.WriteString(" NOT NULL")
+		}
+	}
+	if len(t.PrimaryKey) > 0 {
+		sb.WriteString(", PRIMARY KEY (")
+		for i, ord := range t.PrimaryKey {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(t.Columns[ord].Name)
+		}
+		sb.WriteString(")")
+	}
+	sb.WriteString(")")
+	return sb.String()
+}

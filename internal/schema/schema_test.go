@@ -1,0 +1,123 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func customerTable(t *testing.T) *Table {
+	t.Helper()
+	tbl, err := NewTable("customer", []Column{
+		{Name: "c_id", Kind: types.KindInt, NotNull: true},
+		{Name: "c_name", Kind: types.KindString},
+		{Name: "c_balance", Kind: types.KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.PrimaryKey = []int{0}
+	return tbl
+}
+
+func TestNewTableRejectsDuplicateColumns(t *testing.T) {
+	_, err := NewTable("t", []Column{
+		{Name: "a", Kind: types.KindInt},
+		{Name: "A", Kind: types.KindInt},
+	})
+	if err == nil {
+		t.Fatal("duplicate column names (case-insensitive) should be rejected")
+	}
+}
+
+func TestColumnIndex(t *testing.T) {
+	tbl := customerTable(t)
+	if tbl.ColumnIndex("c_name") != 1 {
+		t.Error("c_name should be ordinal 1")
+	}
+	if tbl.ColumnIndex("C_BALANCE") != 2 {
+		t.Error("lookup should be case-insensitive")
+	}
+	if tbl.ColumnIndex("nope") != -1 {
+		t.Error("missing column should be -1")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tbl := customerTable(t)
+	row, err := tbl.Validate(types.Row{types.NewInt(1), types.NewString("alice"), types.NewInt(10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[2].Kind() != types.KindFloat || row[2].Float() != 10 {
+		t.Error("int should coerce to float column")
+	}
+	if _, err := tbl.Validate(types.Row{types.NewInt(1)}); err == nil {
+		t.Error("wrong arity should fail")
+	}
+	if _, err := tbl.Validate(types.Row{types.Null, types.Null, types.Null}); err == nil {
+		t.Error("NOT NULL violation should fail")
+	}
+	if _, err := tbl.Validate(types.Row{types.NewString("x"), types.Null, types.Null}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+	// Nullable columns accept NULL.
+	if _, err := tbl.Validate(types.Row{types.NewInt(1), types.Null, types.Null}); err != nil {
+		t.Errorf("nullable NULLs should pass: %v", err)
+	}
+}
+
+func TestPKRowAndProject(t *testing.T) {
+	tbl := customerTable(t)
+	row := types.Row{types.NewInt(7), types.NewString("bob"), types.NewFloat(1.5)}
+	pk := tbl.PKRow(row)
+	if len(pk) != 1 || pk[0].Int() != 7 {
+		t.Errorf("PKRow = %v", pk)
+	}
+	proj := Project(row, []int{2, 0})
+	if proj[0].Float() != 1.5 || proj[1].Int() != 7 {
+		t.Errorf("Project = %v", proj)
+	}
+}
+
+func TestScope(t *testing.T) {
+	tbl := customerTable(t)
+	s := tbl.Scope("c")
+	idx, err := s.Resolve("c", "c_balance")
+	if err != nil || idx != 2 {
+		t.Errorf("scope resolve: %d, %v", idx, err)
+	}
+	s2 := tbl.Scope("")
+	if _, err := s2.Resolve("customer", "c_id"); err != nil {
+		t.Errorf("default alias should be table name: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	tbl := customerTable(t)
+	tbl.Checks = []Check{{Name: "positive", Expr: expr.NewBinOp(expr.OpGt, expr.NewColIdx("c_balance", 2), expr.NewConst(types.NewInt(0)))}}
+	tbl.Uniques = [][]int{{1}}
+	tbl.ForeignKey = []ForeignKey{{Name: "fk", Columns: []int{0}, RefTable: "district", RefColumns: []int{0}}}
+	c := tbl.Clone()
+	c.PrimaryKey[0] = 99
+	c.Uniques[0][0] = 99
+	c.ForeignKey[0].Columns[0] = 99
+	if tbl.PrimaryKey[0] == 99 || tbl.Uniques[0][0] == 99 || tbl.ForeignKey[0].Columns[0] == 99 {
+		t.Error("Clone shares slices with the original")
+	}
+	if len(c.Checks) != 1 || c.Checks[0].Expr.String() != tbl.Checks[0].Expr.String() {
+		t.Error("Clone lost checks")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := customerTable(t)
+	s := tbl.String()
+	for _, want := range []string{"TABLE customer", "c_id INT NOT NULL", "PRIMARY KEY (c_id)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

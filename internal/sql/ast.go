@@ -1,0 +1,234 @@
+// Package sql implements a lexer and recursive-descent parser for the SQL
+// dialect the engine (and the paper's examples and workloads) use: CREATE
+// TABLE (with column and table constraints, and AS SELECT), CREATE VIEW,
+// CREATE INDEX, DROP, ALTER TABLE RENAME, SELECT (joins, aggregates, GROUP
+// BY, ORDER BY, LIMIT), INSERT (VALUES, SELECT, ON CONFLICT DO NOTHING),
+// UPDATE, DELETE, and EXPLAIN.
+//
+// Scalar and predicate expressions parse directly into internal/expr trees
+// (with unbound column references); the engine binds and plans them.
+package sql
+
+import (
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Kind       types.Kind
+	NotNull    bool
+	PrimaryKey bool // column-level PRIMARY KEY shorthand
+	Unique     bool
+	Check      expr.Expr // column-level CHECK
+	Default    expr.Expr
+}
+
+// CheckDef is a table-level CHECK constraint.
+type CheckDef struct {
+	Name string
+	Expr expr.Expr
+}
+
+// FKDef is a FOREIGN KEY table constraint.
+type FKDef struct {
+	Name       string
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// CreateTableStmt is CREATE TABLE, optionally CREATE TABLE ... AS (SELECT).
+type CreateTableStmt struct {
+	Name        string
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	Uniques     [][]string
+	Checks      []CheckDef
+	ForeignKeys []FKDef
+	AsSelect    *SelectStmt
+}
+
+func (*CreateTableStmt) stmt() {}
+
+// CreateViewStmt is CREATE VIEW name AS select.
+type CreateViewStmt struct {
+	Name   string
+	Select *SelectStmt
+}
+
+func (*CreateViewStmt) stmt() {}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON table (cols).
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	UseHash bool // USING HASH
+}
+
+func (*CreateIndexStmt) stmt() {}
+
+// DropTableStmt is DROP TABLE name.
+type DropTableStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTableStmt) stmt() {}
+
+// DropViewStmt is DROP VIEW name.
+type DropViewStmt struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropViewStmt) stmt() {}
+
+// AlterRenameStmt is ALTER TABLE old RENAME TO new.
+type AlterRenameStmt struct {
+	Old, New string
+}
+
+func (*AlterRenameStmt) stmt() {}
+
+// AlterAddFKStmt is ALTER TABLE t ADD [CONSTRAINT name] FOREIGN KEY (cols)
+// REFERENCES ref [(cols)].
+type AlterAddFKStmt struct {
+	Table string
+	FK    FKDef
+}
+
+func (*AlterAddFKStmt) stmt() {}
+
+// AlterDropConstraintStmt is ALTER TABLE t DROP CONSTRAINT name.
+type AlterDropConstraintStmt struct {
+	Table string
+	Name  string
+}
+
+func (*AlterDropConstraintStmt) stmt() {}
+
+// SelectItem is one output column: an expression with optional alias, or *
+// (optionally table-qualified).
+type SelectItem struct {
+	Expr      expr.Expr
+	Alias     string
+	Star      bool
+	StarTable string
+}
+
+// TableRef is one FROM item: a base table (or view) with an optional alias,
+// or a parenthesized subquery with an alias.
+type TableRef struct {
+	Name     string
+	Alias    string
+	Subquery *SelectStmt
+}
+
+// AliasOrName returns the effective binding name of the ref.
+func (r TableRef) AliasOrName() string {
+	if r.Alias != "" {
+		return r.Alias
+	}
+	return r.Name
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query. INNER JOIN ... ON is desugared by the parser
+// into the From list plus Where conjuncts.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 = no limit
+}
+
+func (*SelectStmt) stmt() {}
+
+// ConflictAction says what INSERT does on unique-constraint conflict.
+type ConflictAction int
+
+// Conflict actions.
+const (
+	ConflictError     ConflictAction = iota // default: raise
+	ConflictDoNothing                       // ON CONFLICT DO NOTHING
+)
+
+// InsertStmt is INSERT INTO table [(cols)] VALUES (...)|SELECT ...
+type InsertStmt struct {
+	Table      string
+	Columns    []string
+	Values     [][]expr.Expr
+	Select     *SelectStmt
+	OnConflict ConflictAction
+}
+
+func (*InsertStmt) stmt() {}
+
+// Assignment is one SET col = expr in UPDATE.
+type Assignment struct {
+	Column string
+	Value  expr.Expr
+}
+
+// UpdateStmt is UPDATE table SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []Assignment
+	Where expr.Expr
+}
+
+func (*UpdateStmt) stmt() {}
+
+// DeleteStmt is DELETE FROM table [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Alias string
+	Where expr.Expr
+}
+
+func (*DeleteStmt) stmt() {}
+
+// ExplainStmt wraps a statement whose plan should be printed.
+type ExplainStmt struct {
+	Inner Statement
+}
+
+func (*ExplainStmt) stmt() {}
+
+// TypeFromName maps a SQL type name (already upper-cased, parameters
+// stripped) to a datum kind; ok=false for unknown names.
+func TypeFromName(name string) (types.Kind, bool) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT", "SERIAL":
+		return types.KindInt, true
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return types.KindFloat, true
+	case "CHAR", "VARCHAR", "TEXT", "STRING", "BPCHAR":
+		return types.KindString, true
+	case "BOOL", "BOOLEAN":
+		return types.KindBool, true
+	case "TIMESTAMP", "DATE", "DATETIME", "TIME":
+		return types.KindTime, true
+	default:
+		return types.KindNull, false
+	}
+}

@@ -1,0 +1,97 @@
+package sql
+
+import (
+	"testing"
+)
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexKinds(t, `SELECT a, 42, 3.14, 'str' FROM t WHERE x <= 5 AND y <> 'a''b'`)
+	var kinds []tokenKind
+	var texts []string
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+		texts = append(texts, tk.text)
+	}
+	if kinds[0] != tokKeyword || texts[0] != "SELECT" {
+		t.Errorf("first token: %v %q", kinds[0], texts[0])
+	}
+	// Identifier lower-cased, keyword upper-cased.
+	if texts[1] != "a" {
+		t.Errorf("ident: %q", texts[1])
+	}
+	found := map[string]bool{}
+	for i, k := range kinds {
+		switch k {
+		case tokInt, tokFloat, tokString, tokSymbol:
+			found[texts[i]] = true
+		}
+	}
+	for _, want := range []string{"42", "3.14", "str", "<=", "<>", "a'b"} {
+		if !found[want] {
+			t.Errorf("token %q not lexed (have %v)", want, texts)
+		}
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Error("missing EOF token")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "SELECT 1 -- trailing comment\n-- full line\n+ 2")
+	count := 0
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			count++
+		}
+	}
+	if count != 4 { // SELECT 1 + 2
+		t.Errorf("comment handling produced %d tokens", count)
+	}
+}
+
+func TestLexNumbersWithExponents(t *testing.T) {
+	toks := lexKinds(t, `1e3 2.5E-2 7e+1 .5`)
+	var floats int
+	for _, tk := range toks {
+		if tk.kind == tokFloat {
+			floats++
+		}
+	}
+	if floats != 4 {
+		t.Errorf("exponent/leading-dot floats lexed: %d, want 4", floats)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex(`'unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := lex(`a @ b`); err == nil {
+		t.Error("unknown character should fail")
+	}
+}
+
+func TestLexCaseInsensitiveKeywords(t *testing.T) {
+	toks := lexKinds(t, `select From WhErE`)
+	for i, want := range []string{"SELECT", "FROM", "WHERE"} {
+		if toks[i].kind != tokKeyword || toks[i].text != want {
+			t.Errorf("token %d = %v %q", i, toks[i].kind, toks[i].text)
+		}
+	}
+}
+
+func TestLexOffsetsForErrors(t *testing.T) {
+	toks := lexKinds(t, `SELECT a`)
+	if toks[1].pos != 7 {
+		t.Errorf("position of 'a' = %d, want 7", toks[1].pos)
+	}
+}

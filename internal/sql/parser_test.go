@@ -1,0 +1,345 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func parseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("ParseOne(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestParseSelectBasic(t *testing.T) {
+	s := parseOne(t, `SELECT c_id, c_balance AS bal FROM customer WHERE c_w_id = 3 AND c_d_id = 4`).(*SelectStmt)
+	if len(s.Items) != 2 || s.Items[0].Expr.String() != "c_id" || s.Items[1].Alias != "bal" {
+		t.Errorf("items: %+v", s.Items)
+	}
+	if len(s.From) != 1 || s.From[0].Name != "customer" {
+		t.Errorf("from: %+v", s.From)
+	}
+	conj := expr.SplitConjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Errorf("where conjuncts: %d", len(conj))
+	}
+	if s.Limit != -1 {
+		t.Errorf("Limit = %d", s.Limit)
+	}
+}
+
+func TestParseSelectStarForms(t *testing.T) {
+	s := parseOne(t, `SELECT * FROM t`).(*SelectStmt)
+	if !s.Items[0].Star || s.Items[0].StarTable != "" {
+		t.Errorf("star: %+v", s.Items[0])
+	}
+	s = parseOne(t, `SELECT f.* , x FROM t AS f`).(*SelectStmt)
+	if !s.Items[0].Star || s.Items[0].StarTable != "f" {
+		t.Errorf("qualified star: %+v", s.Items[0])
+	}
+	if s.From[0].AliasOrName() != "f" {
+		t.Errorf("alias: %+v", s.From[0])
+	}
+}
+
+func TestParsePaperMigrationDDL(t *testing.T) {
+	// The flights example from paper §2.1, verbatim structure.
+	src := `CREATE TABLE FLEWONINFO AS (
+		SELECT F.FLIGHTID AS FID, FLIGHTDATE, PASSENGER_COUNT,
+		       (CAPACITY - PASSENGER_COUNT) AS EMPTY_SEATS,
+		       DEPARTURE_TIME AS EXPECTED_DEPARTURE_TIME,
+		       NULL AS ACTUAL_DEPARTURE_TIME,
+		       ARRIVAL_TIME AS EXPECTED_ARRIVAL_TIME,
+		       NULL AS ACTUAL_ARRIVAL_TIME
+		FROM FLIGHTS F, FLEWON FI
+		WHERE F.FLIGHTID = FI.FLIGHTID)`
+	s := parseOne(t, src).(*CreateTableStmt)
+	if s.Name != "flewoninfo" || s.AsSelect == nil {
+		t.Fatalf("stmt: %+v", s)
+	}
+	sel := s.AsSelect
+	if len(sel.Items) != 8 {
+		t.Errorf("items: %d", len(sel.Items))
+	}
+	if sel.Items[0].Alias != "fid" {
+		t.Errorf("first alias: %q", sel.Items[0].Alias)
+	}
+	if len(sel.From) != 2 || sel.From[0].Alias != "f" || sel.From[1].Alias != "fi" {
+		t.Errorf("from: %+v", sel.From)
+	}
+}
+
+func TestParsePaperClientQuery(t *testing.T) {
+	src := `SELECT * FROM FLEWONINFO WHERE FID = 'AA101' AND EXTRACT(DAY FROM FLIGHTDATE) = 9`
+	s := parseOne(t, src).(*SelectStmt)
+	conj := expr.SplitConjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts: %d", len(conj))
+	}
+	if conj[0].String() != "(fid = 'AA101')" {
+		t.Errorf("first: %s", conj[0])
+	}
+	if !strings.Contains(conj[1].String(), "EXTRACT('DAY', flightdate)") {
+		t.Errorf("second: %s", conj[1])
+	}
+}
+
+func TestParseCreateTableConstraints(t *testing.T) {
+	src := `CREATE TABLE flewon (
+		flightid CHAR(6) PRIMARY KEY,
+		flightdate DATE NOT NULL,
+		passenger_count INT CHECK (passenger_count > 0),
+		note VARCHAR(24) DEFAULT 'none',
+		code INT UNIQUE,
+		CONSTRAINT pos_code CHECK (code >= 0),
+		UNIQUE (flightdate, code),
+		FOREIGN KEY (flightid) REFERENCES flights (flightid)
+	)`
+	s := parseOne(t, src).(*CreateTableStmt)
+	if len(s.Columns) != 5 {
+		t.Fatalf("columns: %d", len(s.Columns))
+	}
+	c0 := s.Columns[0]
+	if !c0.PrimaryKey || !c0.NotNull || c0.Kind != types.KindString {
+		t.Errorf("col0: %+v", c0)
+	}
+	if !s.Columns[1].NotNull || s.Columns[1].Kind != types.KindTime {
+		t.Errorf("col1: %+v", s.Columns[1])
+	}
+	if s.Columns[2].Check == nil {
+		t.Error("col2 missing CHECK")
+	}
+	if s.Columns[3].Default == nil {
+		t.Error("col3 missing DEFAULT")
+	}
+	if !s.Columns[4].Unique {
+		t.Error("col4 missing UNIQUE")
+	}
+	if len(s.Checks) != 1 || s.Checks[0].Name != "pos_code" {
+		t.Errorf("table checks: %+v", s.Checks)
+	}
+	if len(s.Uniques) != 1 || len(s.Uniques[0]) != 2 {
+		t.Errorf("uniques: %+v", s.Uniques)
+	}
+	if len(s.ForeignKeys) != 1 || s.ForeignKeys[0].RefTable != "flights" {
+		t.Errorf("fks: %+v", s.ForeignKeys)
+	}
+}
+
+func TestParseInsertForms(t *testing.T) {
+	s := parseOne(t, `INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')`).(*InsertStmt)
+	if s.Table != "t" || len(s.Columns) != 2 || len(s.Values) != 2 || len(s.Values[1]) != 2 {
+		t.Errorf("insert values: %+v", s)
+	}
+	if s.OnConflict != ConflictError {
+		t.Error("default conflict action")
+	}
+
+	s = parseOne(t, `INSERT INTO t2 (SELECT a FROM t) ON CONFLICT DO NOTHING`).(*InsertStmt)
+	if s.Select == nil || s.OnConflict != ConflictDoNothing {
+		t.Errorf("insert-select: %+v", s)
+	}
+	if len(s.Columns) != 0 {
+		t.Errorf("columns should be empty: %v", s.Columns)
+	}
+
+	// Column list AND parenthesized select (the paper's rewritten migration
+	// INSERT uses exactly this shape).
+	s = parseOne(t, `INSERT INTO flewoninfo (fid, flightdate) (SELECT f.flightid, flightdate FROM flights f)`).(*InsertStmt)
+	if len(s.Columns) != 2 || s.Select == nil {
+		t.Errorf("paper-form insert: cols=%v select=%v", s.Columns, s.Select)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	u := parseOne(t, `UPDATE customer SET c_balance = c_balance - 10.5, c_payment_cnt = c_payment_cnt + 1 WHERE c_id = 7`).(*UpdateStmt)
+	if u.Table != "customer" || len(u.Set) != 2 || u.Where == nil {
+		t.Errorf("update: %+v", u)
+	}
+	if u.Set[0].Column != "c_balance" {
+		t.Errorf("set[0]: %+v", u.Set[0])
+	}
+	d := parseOne(t, `DELETE FROM orders WHERE o_id < 100`).(*DeleteStmt)
+	if d.Table != "orders" || d.Where == nil {
+		t.Errorf("delete: %+v", d)
+	}
+	d = parseOne(t, `DELETE FROM orders`).(*DeleteStmt)
+	if d.Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	s := parseOne(t, `SELECT ol_w_id, SUM(ol_amount) AS total, COUNT(*), COUNT(DISTINCT ol_i_id)
+		FROM order_line GROUP BY ol_w_id HAVING SUM(ol_amount) > 5 ORDER BY total DESC LIMIT 10`).(*SelectStmt)
+	if len(s.GroupBy) != 1 || s.Having == nil || s.Limit != 10 {
+		t.Errorf("clauses: %+v", s)
+	}
+	sum := s.Items[1].Expr.(*expr.Agg)
+	if sum.Name != "SUM" || sum.Distinct || sum.Arg == nil {
+		t.Errorf("sum: %+v", sum)
+	}
+	star := s.Items[2].Expr.(*expr.Agg)
+	if star.Name != "COUNT" || star.Arg != nil {
+		t.Errorf("count(*): %+v", star)
+	}
+	cd := s.Items[3].Expr.(*expr.Agg)
+	if !cd.Distinct || cd.Arg == nil {
+		t.Errorf("count distinct: %+v", cd)
+	}
+	if !s.OrderBy[0].Desc {
+		t.Error("order by desc")
+	}
+}
+
+func TestParseJoinDesugar(t *testing.T) {
+	s := parseOne(t, `SELECT COUNT(DISTINCT s_i_id) FROM order_line JOIN stock ON s_i_id = ol_i_id WHERE ol_w_id = 1`).(*SelectStmt)
+	if len(s.From) != 2 {
+		t.Fatalf("from: %+v", s.From)
+	}
+	conj := expr.SplitConjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Errorf("ON should merge into WHERE: %v", s.Where)
+	}
+	// INNER JOIN keyword form.
+	s = parseOne(t, `SELECT a FROM x INNER JOIN y ON x.id = y.id`).(*SelectStmt)
+	if len(s.From) != 2 || s.Where == nil {
+		t.Errorf("inner join: %+v", s)
+	}
+}
+
+func TestParseSubqueryInFrom(t *testing.T) {
+	s := parseOne(t, `SELECT v.a FROM (SELECT a FROM t WHERE a > 1) AS v WHERE v.a < 10`).(*SelectStmt)
+	if s.From[0].Subquery == nil || s.From[0].Alias != "v" {
+		t.Errorf("subquery ref: %+v", s.From[0])
+	}
+	if _, err := ParseOne(`SELECT a FROM (SELECT a FROM t)`); err == nil {
+		t.Error("subquery without alias should fail")
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	cases := map[string]string{
+		`1 + 2 * 3`:                         "(1 + (2 * 3))",
+		`(1 + 2) * 3`:                       "((1 + 2) * 3)",
+		`a BETWEEN 1 AND 5`:                 "((a >= 1) AND (a <= 5))",
+		`a NOT IN (1, 2)`:                   "(NOT (a IN (1, 2)))",
+		`a IS NOT NULL`:                     "(a IS NOT NULL)",
+		`a IS NULL`:                         "(a IS NULL)",
+		`NOT a = 1`:                         "(NOT (a = 1))",
+		`-5`:                                "-5",
+		`-a`:                                "(0 - a)",
+		`-2.5`:                              "-2.5",
+		`'it''s'`:                           "'it's'",
+		`coalesce(a, 0)`:                    "COALESCE(a, 0)",
+		`CASE WHEN a > 0 THEN 1 ELSE 2 END`: "CASE WHEN (a > 0) THEN 1 ELSE 2 END",
+		`a || 'x'`:                          "(a + 'x')",
+		`t.a <> 4`:                          "(t.a <> 4)",
+		`a != 4`:                            "(a <> 4)",
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		if e.String() != want {
+			t.Errorf("ParseExpr(%q) = %s, want %s", src, e, want)
+		}
+	}
+}
+
+func TestParseDDLVariants(t *testing.T) {
+	if s := parseOne(t, `CREATE VIEW v AS SELECT a FROM t`).(*CreateViewStmt); s.Name != "v" || s.Select == nil {
+		t.Errorf("view: %+v", s)
+	}
+	if s := parseOne(t, `CREATE UNIQUE INDEX i ON t (a, b)`).(*CreateIndexStmt); !s.Unique || len(s.Columns) != 2 {
+		t.Errorf("index: %+v", s)
+	}
+	if s := parseOne(t, `CREATE INDEX i ON t USING HASH (a)`).(*CreateIndexStmt); !s.UseHash {
+		t.Errorf("hash index: %+v", s)
+	}
+	if s := parseOne(t, `DROP TABLE IF EXISTS t`).(*DropTableStmt); !s.IfExists {
+		t.Errorf("drop: %+v", s)
+	}
+	if s := parseOne(t, `DROP VIEW v`).(*DropViewStmt); s.Name != "v" || s.IfExists {
+		t.Errorf("drop view: %+v", s)
+	}
+	if s := parseOne(t, `ALTER TABLE flewon RENAME TO flewoninfo`).(*AlterRenameStmt); s.Old != "flewon" || s.New != "flewoninfo" {
+		t.Errorf("alter: %+v", s)
+	}
+	if s := parseOne(t, `EXPLAIN SELECT a FROM t`).(*ExplainStmt); s.Inner == nil {
+		t.Error("explain")
+	}
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	stmts, err := Parse(`CREATE TABLE a (x INT); CREATE TABLE b (y INT);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 2 {
+		t.Errorf("got %d statements", len(stmts))
+	}
+	stmts, err = Parse(`  -- just a comment
+	`)
+	if err != nil || len(stmts) != 0 {
+		t.Errorf("comment-only input: %v, %d", err, len(stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SELEC a FROM t`,
+		`SELECT a FROM WHERE`,
+		`CREATE TABLE t (a NOSUCHTYPE)`,
+		`CREATE TABLE t (a INT,)`,
+		`INSERT INTO t VALUES (1`,
+		`UPDATE t SET = 5`,
+		`SELECT a FROM t WHERE a = 'unterminated`,
+		`SELECT SUM(*) FROM t`,
+		`SELECT a FROM t GROUP`,
+		`DELETE t`,
+		`ALTER TABLE a RENAME b`,
+		`SELECT a FROM t LIMIT x`,
+		`CREATE UNIQUE TABLE t (a INT)`,
+		`SELECT CASE END`,
+		`SELECT a FROM t; garbage`,
+		`SELECT @ FROM t`,
+		`CREATE TABLE t (a INT, CONSTRAINT c DEFAULT 5)`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	if _, err := ParseExpr(`1 +`); err == nil {
+		t.Error("trailing operator should fail")
+	}
+	if _, err := ParseExpr(`1 2`); err == nil {
+		t.Error("trailing token should fail")
+	}
+}
+
+func TestTypeFromName(t *testing.T) {
+	cases := map[string]types.Kind{
+		"int": types.KindInt, "BIGINT": types.KindInt, "char": types.KindString,
+		"VARCHAR": types.KindString, "numeric": types.KindFloat, "bool": types.KindBool,
+		"timestamp": types.KindTime, "date": types.KindTime,
+	}
+	for name, want := range cases {
+		got, ok := TypeFromName(name)
+		if !ok || got != want {
+			t.Errorf("TypeFromName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := TypeFromName("blob"); ok {
+		t.Error("unknown type should not resolve")
+	}
+}

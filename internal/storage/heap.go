@@ -1,0 +1,310 @@
+// Package storage implements the in-memory heap: slotted pages holding MVCC
+// version chains addressed by stable TIDs.
+//
+// A TID (page, slot) never changes for the lifetime of a logical tuple:
+// updates push a new version onto the slot's chain rather than moving the
+// tuple. This mirrors how BullFrog's PostgreSQL prototype uses TIDs to map
+// tuples to bits in its migration bitmaps (paper §4): a stable TID gives a
+// stable bitmap position.
+//
+// Storage is deliberately policy-free: it knows nothing about visibility or
+// transaction status. The txn package interprets version xmin/xmax fields
+// against its snapshot and status tables.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// TID identifies a tuple slot: page number and slot within the page.
+type TID struct {
+	Page uint32
+	Slot uint32
+}
+
+// String renders the TID PostgreSQL-style.
+func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Page, t.Slot) }
+
+// Ordinal returns the dense 0-based index of the TID given the heap's page
+// size; this is the tuple's position in migration bitmaps.
+func (t TID) Ordinal(pageSize uint32) int64 {
+	return int64(t.Page)*int64(pageSize) + int64(t.Slot)
+}
+
+// TIDFromOrdinal inverts Ordinal.
+func TIDFromOrdinal(ord int64, pageSize uint32) TID {
+	return TID{Page: uint32(ord / int64(pageSize)), Slot: uint32(ord % int64(pageSize))}
+}
+
+// Version is one MVCC version of a tuple. XMin is the transaction that
+// created it; XMax, if nonzero, is the transaction that deleted (or
+// superseded) it. Next points to the previous (older) version.
+//
+// All fields are protected by the owning page's latch: access them only
+// inside View/Mutate callbacks or storage's own methods.
+type Version struct {
+	XMin uint64
+	XMax uint64
+	Row  types.Row
+	Next *Version
+}
+
+type page struct {
+	mu    sync.RWMutex
+	slots []*Version // head (newest) version per slot; nil only transiently
+}
+
+// Heap is an append-only collection of pages. Slots are never reused; a
+// deleted tuple's chain remains until vacuum truncates dead versions.
+type Heap struct {
+	pageSize uint32
+	nslots   atomic.Int64 // total slots allocated (high-water mark)
+
+	mu    sync.RWMutex // guards pages slice growth (not page contents)
+	pages []*page
+}
+
+// DefaultPageSize is the number of tuple slots per page.
+const DefaultPageSize = 256
+
+// NewHeap creates an empty heap with the given slots-per-page (0 means
+// DefaultPageSize).
+func NewHeap(pageSize uint32) *Heap {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Heap{pageSize: pageSize}
+}
+
+// PageSize returns the heap's slots-per-page.
+func (h *Heap) PageSize() uint32 { return h.pageSize }
+
+// NumSlots returns the number of slots ever allocated (including slots whose
+// tuples are deleted). Bitmap trackers size themselves from this.
+func (h *Heap) NumSlots() int64 { return h.nslots.Load() }
+
+// NumPages returns the number of allocated pages.
+func (h *Heap) NumPages() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.pages)
+}
+
+// ErrNoSuchTuple is returned for TIDs that address unallocated slots.
+var ErrNoSuchTuple = errors.New("storage: no such tuple")
+
+// Insert allocates a new slot containing a single version created by xid and
+// returns its TID. The row is stored as-is; callers must not modify it
+// afterwards.
+func (h *Heap) Insert(xid uint64, row types.Row) TID {
+	ord := h.nslots.Add(1) - 1
+	tid := TIDFromOrdinal(ord, h.pageSize)
+	p := h.pageFor(tid.Page, true)
+	v := &Version{XMin: xid, Row: row}
+	p.mu.Lock()
+	for int(tid.Slot) >= len(p.slots) {
+		p.slots = append(p.slots, nil)
+	}
+	p.slots[tid.Slot] = v
+	p.mu.Unlock()
+	return tid
+}
+
+func (h *Heap) pageFor(n uint32, grow bool) *page {
+	h.mu.RLock()
+	if int(n) < len(h.pages) {
+		p := h.pages[n]
+		h.mu.RUnlock()
+		return p
+	}
+	h.mu.RUnlock()
+	if !grow {
+		return nil
+	}
+	h.mu.Lock()
+	for int(n) >= len(h.pages) {
+		h.pages = append(h.pages, &page{})
+	}
+	p := h.pages[n]
+	h.mu.Unlock()
+	return p
+}
+
+// View runs fn with the slot's head version under the page read latch. fn
+// must not block or mutate the chain; it may copy out whatever it needs.
+func (h *Heap) View(tid TID, fn func(head *Version)) error {
+	p := h.pageFor(tid.Page, false)
+	if p == nil {
+		return ErrNoSuchTuple
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if int(tid.Slot) >= len(p.slots) || p.slots[tid.Slot] == nil {
+		return ErrNoSuchTuple
+	}
+	fn(p.slots[tid.Slot])
+	return nil
+}
+
+// Slot is the mutable view of a tuple slot handed to Mutate callbacks.
+type Slot struct {
+	p    *page
+	slot uint32
+}
+
+// Head returns the newest version.
+func (s Slot) Head() *Version { return s.p.slots[s.slot] }
+
+// Push prepends a new version created by xid (an update): the old head gets
+// XMax = xid, the new head XMin = xid.
+func (s Slot) Push(xid uint64, row types.Row) {
+	old := s.p.slots[s.slot]
+	old.XMax = xid
+	s.p.slots[s.slot] = &Version{XMin: xid, Row: row, Next: old}
+}
+
+// SetXMax marks the head version as deleted by xid. It fails if another
+// transaction already claimed it.
+func (s Slot) SetXMax(xid uint64) error {
+	head := s.p.slots[s.slot]
+	if head.XMax != 0 && head.XMax != xid {
+		return fmt.Errorf("storage: tuple already deleted by txn %d", head.XMax)
+	}
+	head.XMax = xid
+	return nil
+}
+
+// ClearXMax removes a deletion mark owned by xid (abort undo).
+func (s Slot) ClearXMax(xid uint64) {
+	head := s.p.slots[s.slot]
+	if head.XMax == xid {
+		head.XMax = 0
+	}
+}
+
+// Pop removes the head version if it was created by xid (abort undo of an
+// update), restoring the previous version and clearing its XMax. It reports
+// whether a version was popped.
+func (s Slot) Pop(xid uint64) bool {
+	head := s.p.slots[s.slot]
+	if head.XMin != xid || head.Next == nil {
+		return false
+	}
+	prev := head.Next
+	if prev.XMax == xid {
+		prev.XMax = 0
+	}
+	s.p.slots[s.slot] = prev
+	return true
+}
+
+// Mutate runs fn with the slot under the page write latch.
+func (h *Heap) Mutate(tid TID, fn func(Slot) error) error {
+	p := h.pageFor(tid.Page, false)
+	if p == nil {
+		return ErrNoSuchTuple
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(tid.Slot) >= len(p.slots) || p.slots[tid.Slot] == nil {
+		return ErrNoSuchTuple
+	}
+	return fn(Slot{p: p, slot: tid.Slot})
+}
+
+// Scan visits every allocated slot in TID order, invoking fn with the head
+// version under the page read latch. fn must not mutate this heap (collect
+// TIDs first, then Mutate). Returning a non-nil error stops the scan and is
+// propagated.
+func (h *Heap) Scan(fn func(tid TID, head *Version) error) error {
+	h.mu.RLock()
+	npages := len(h.pages)
+	h.mu.RUnlock()
+	for pn := 0; pn < npages; pn++ {
+		h.mu.RLock()
+		p := h.pages[pn]
+		h.mu.RUnlock()
+		p.mu.RLock()
+		for sn := 0; sn < len(p.slots); sn++ {
+			if p.slots[sn] == nil {
+				continue
+			}
+			if err := fn(TID{Page: uint32(pn), Slot: uint32(sn)}, p.slots[sn]); err != nil {
+				p.mu.RUnlock()
+				return err
+			}
+		}
+		p.mu.RUnlock()
+	}
+	return nil
+}
+
+// ScanRange visits slots with ordinals in [lo, hi), same contract as Scan.
+// Used by background migration to cover the table in chunks.
+func (h *Heap) ScanRange(lo, hi int64, fn func(tid TID, head *Version) error) error {
+	if max := h.nslots.Load(); hi > max {
+		hi = max
+	}
+	for ord := lo; ord < hi; {
+		tid := TIDFromOrdinal(ord, h.pageSize)
+		p := h.pageFor(tid.Page, false)
+		if p == nil {
+			return nil
+		}
+		endSlot := int64(h.pageSize)
+		if remaining := hi - ord + int64(tid.Slot); remaining < endSlot {
+			endSlot = remaining
+		}
+		p.mu.RLock()
+		for sn := int64(tid.Slot); sn < endSlot && int(sn) < len(p.slots); sn++ {
+			if p.slots[sn] == nil {
+				continue
+			}
+			if err := fn(TID{Page: tid.Page, Slot: uint32(sn)}, p.slots[sn]); err != nil {
+				p.mu.RUnlock()
+				return err
+			}
+		}
+		p.mu.RUnlock()
+		ord += endSlot - int64(tid.Slot)
+	}
+	return nil
+}
+
+// Vacuum truncates version chains: any version whose XMin committed before
+// horizon and that is superseded (or deleted) by a version also committed
+// before horizon can be dropped. The caller supplies `prunable`, which
+// reports whether everything at and below the given version is invisible to
+// all current and future snapshots.
+func (h *Heap) Vacuum(prunable func(v *Version) bool) (pruned int) {
+	h.mu.RLock()
+	pages := h.pages
+	h.mu.RUnlock()
+	for _, p := range pages {
+		p.mu.Lock()
+		for _, head := range p.slots {
+			for v := head; v != nil; v = v.Next {
+				if v.Next != nil && prunable(v.Next) {
+					pruned += chainLen(v.Next)
+					v.Next = nil
+					break
+				}
+			}
+		}
+		p.mu.Unlock()
+	}
+	return pruned
+}
+
+func chainLen(v *Version) int {
+	n := 0
+	for ; v != nil; v = v.Next {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,173 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// The transaction implementations use direct index access rather than SQL so
+// the harness measures migration behavior, not parse/plan overhead — the
+// moral equivalent of OLTP-Bench's prepared statements.
+
+// getByKey returns the visible row with exactly the given key via a unique
+// (or effectively unique) index.
+func getByKey(tx *txn.Txn, tbl *catalog.Table, idx index.Index, key types.Row) (storage.TID, types.Row, bool) {
+	enc := types.EncodeKey(nil, key)
+	def := idx.Def()
+	for _, tid := range idx.Lookup(enc) {
+		var out types.Row
+		tbl.Heap.View(tid, func(head *storage.Version) {
+			row, ok := tx.VisibleRow(head)
+			if !ok {
+				return
+			}
+			// Re-check the key against the visible row (stale entries).
+			for i, ord := range def.Columns[:len(key)] {
+				if !types.Equal(row[ord], key[i]) {
+					return
+				}
+			}
+			out = row.Clone()
+		})
+		if out != nil {
+			return tid, out, true
+		}
+	}
+	return storage.TID{}, nil, false
+}
+
+// scanPrefix visits visible rows whose index key starts with prefix, in key
+// order. fn returning false stops the scan.
+func scanPrefix(tx *txn.Txn, tbl *catalog.Table, idx index.Index, prefix types.Row, fn func(tid storage.TID, row types.Row) bool) {
+	lo := types.EncodeKey(nil, prefix)
+	hi := index.PrefixSucc(lo)
+	def := idx.Def()
+	seen := map[storage.TID]struct{}{}
+	idx.AscendRange(lo, hi, func(_ []byte, tid storage.TID) bool {
+		if _, dup := seen[tid]; dup {
+			return true
+		}
+		seen[tid] = struct{}{}
+		keep := true
+		tbl.Heap.View(tid, func(head *storage.Version) {
+			row, ok := tx.VisibleRow(head)
+			if !ok {
+				return
+			}
+			for i, ord := range def.Columns[:len(prefix)] {
+				if !types.Equal(row[ord], prefix[i]) {
+					return
+				}
+			}
+			keep = fn(tid, row.Clone())
+		})
+		return keep
+	})
+}
+
+// update applies a row mutation through the engine (locks, constraints,
+// indexes, WAL).
+func update(db *engine.DB, tx *txn.Txn, tbl *catalog.Table, tid storage.TID, newRow types.Row) error {
+	return db.UpdateRow(tx, tbl, tid, newRow)
+}
+
+// insert inserts through the engine, failing on conflicts.
+func insert(db *engine.DB, tx *txn.Txn, tbl *catalog.Table, row types.Row) (storage.TID, error) {
+	tid, ok, err := db.InsertRow(tx, tbl, row, sql.ConflictError)
+	if err != nil {
+		return tid, err
+	}
+	if !ok {
+		return tid, fmt.Errorf("tpcc: unexpected conflict inserting into %s", tbl.Def.Name)
+	}
+	return tid, nil
+}
+
+// eqPred builds `c1 = v1 AND c2 = v2 ...` (unbound) for EnsureMigrated
+// predicates without parsing SQL on the hot path.
+func eqPred(pairs ...predPair) expr.Expr {
+	var pred expr.Expr
+	for _, p := range pairs {
+		pred = expr.CombineConjuncts(pred,
+			expr.NewBinOp(expr.OpEq, expr.NewCol("", p.col), expr.NewConst(p.val)))
+	}
+	return pred
+}
+
+type predPair struct {
+	col string
+	val types.Datum
+}
+
+// handles caches catalog lookups for the hot path.
+type handles struct {
+	warehouse, district, customer, history *catalog.Table
+	orders, newOrder, orderLine, item      *catalog.Table
+	stock                                  *catalog.Table
+
+	warehousePK, districtPK, customerPK, customerName index.Index
+	ordersPK, ordersCust, newOrderPK                  index.Index
+	orderLinePK, orderLineItem, itemPK, stockPK       index.Index
+
+	// Split variant.
+	custPriv, custPub                  *catalog.Table
+	custPrivPK, custPubPK, custPubName index.Index
+
+	// Aggregate variant.
+	olTotal   *catalog.Table
+	olTotalPK index.Index
+
+	// Join variant.
+	olStock                 *catalog.Table
+	olStockPK, olStockGroup index.Index
+}
+
+func mustTable(db *engine.DB, name string) *catalog.Table {
+	tbl, err := db.Catalog().Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return tbl
+}
+
+func mustIndex(tbl *catalog.Table, name string) index.Index {
+	idx := tbl.IndexByName(name)
+	if idx == nil {
+		panic(fmt.Sprintf("tpcc: index %q missing on %q", name, tbl.Def.Name))
+	}
+	return idx
+}
+
+func baseHandles(db *engine.DB) *handles {
+	h := &handles{
+		warehouse: mustTable(db, "warehouse"),
+		district:  mustTable(db, "district"),
+		customer:  mustTable(db, "customer"),
+		history:   mustTable(db, "history"),
+		orders:    mustTable(db, "orders"),
+		newOrder:  mustTable(db, "new_order"),
+		orderLine: mustTable(db, "order_line"),
+		item:      mustTable(db, "item"),
+		stock:     mustTable(db, "stock"),
+	}
+	h.warehousePK = mustIndex(h.warehouse, "warehouse_pkey")
+	h.districtPK = mustIndex(h.district, "district_pkey")
+	h.customerPK = mustIndex(h.customer, "customer_pkey")
+	h.customerName = mustIndex(h.customer, "customer_name_idx")
+	h.ordersPK = mustIndex(h.orders, "orders_pkey")
+	h.ordersCust = mustIndex(h.orders, "orders_customer_idx")
+	h.newOrderPK = mustIndex(h.newOrder, "new_order_pkey")
+	h.orderLinePK = mustIndex(h.orderLine, "order_line_pkey")
+	h.orderLineItem = mustIndex(h.orderLine, "order_line_item_idx")
+	h.itemPK = mustIndex(h.item, "item_pkey")
+	h.stockPK = mustIndex(h.stock, "stock_pkey")
+	return h
+}

@@ -1,0 +1,215 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// baseTime is the fixed "benchmark epoch" used for loaded timestamps, so
+// runs are reproducible.
+var baseTime = time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// Load populates the TPC-C tables at the given scale with a deterministic
+// seed. It commits in batches to bound transaction size.
+func Load(db *engine.DB, scale Scale, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	l := &loader{db: db, scale: scale, r: r}
+	steps := []func() error{
+		l.items, l.warehouses, l.stock, l.districts, l.customers, l.orders,
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type loader struct {
+	db    *engine.DB
+	scale Scale
+	r     *rand.Rand
+
+	tx      *txn.Txn
+	pending int
+}
+
+const loadBatch = 5000
+
+func (l *loader) insert(table string, row types.Row) error {
+	if l.tx == nil {
+		l.tx = l.db.Begin()
+	}
+	tbl, err := l.db.Catalog().Table(table)
+	if err != nil {
+		return err
+	}
+	if _, _, err := l.db.InsertRow(l.tx, tbl, row, sql.ConflictError); err != nil {
+		return fmt.Errorf("tpcc: loading %s: %w", table, err)
+	}
+	l.pending++
+	if l.pending >= loadBatch {
+		return l.flush()
+	}
+	return nil
+}
+
+func (l *loader) flush() error {
+	if l.tx == nil {
+		return nil
+	}
+	err := l.db.Commit(l.tx)
+	l.tx, l.pending = nil, 0
+	return err
+}
+
+func i64(v int) types.Datum     { return types.NewInt(int64(v)) }
+func f64(v float64) types.Datum { return types.NewFloat(v) }
+func str(s string) types.Datum  { return types.NewString(s) }
+
+func (l *loader) items() error {
+	for i := 1; i <= l.scale.Items; i++ {
+		err := l.insert("item", types.Row{
+			i64(i),
+			str(fmt.Sprintf("item-%d-%s", i, randAlnum(l.r, 8))),
+			f64(1 + float64(l.r.Intn(9999))/100),
+			str(randAlnum(l.r, 26)),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return l.flush()
+}
+
+func (l *loader) warehouses() error {
+	for w := 1; w <= l.scale.Warehouses; w++ {
+		err := l.insert("warehouse", types.Row{
+			i64(w),
+			str(fmt.Sprintf("wh-%d", w)),
+			f64(float64(l.r.Intn(2000)) / 10000),
+			f64(300000),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return l.flush()
+}
+
+func (l *loader) stock() error {
+	for w := 1; w <= l.scale.Warehouses; w++ {
+		for i := 1; i <= l.scale.Items; i++ {
+			err := l.insert("stock", types.Row{
+				i64(w), i64(i),
+				i64(10 + l.r.Intn(91)), // s_quantity in [10, 100]
+				f64(0), i64(0), i64(0),
+				str(randAlnum(l.r, 26)),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return l.flush()
+}
+
+func (l *loader) districts() error {
+	for w := 1; w <= l.scale.Warehouses; w++ {
+		for d := 1; d <= l.scale.DistrictsPerW; d++ {
+			err := l.insert("district", types.Row{
+				i64(w), i64(d),
+				str(fmt.Sprintf("dist-%d-%d", w, d)),
+				f64(float64(l.r.Intn(2000)) / 10000),
+				f64(30000),
+				i64(l.scale.InitialOrdersPerD + 1), // d_next_o_id
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return l.flush()
+}
+
+func (l *loader) customers() error {
+	for w := 1; w <= l.scale.Warehouses; w++ {
+		for d := 1; d <= l.scale.DistrictsPerW; d++ {
+			for c := 1; c <= l.scale.CustomersPerDist; c++ {
+				credit := "GC"
+				if l.r.Intn(10) == 0 {
+					credit = "BC"
+				}
+				// First CustomersPerDist last names cycle deterministically
+				// so name lookups always hit.
+				lastNum := (c - 1) % 1000
+				err := l.insert("customer", types.Row{
+					i64(w), i64(d), i64(c),
+					str("first-" + randAlnum(l.r, 8)), str("OE"), str(LastName(lastNum)),
+					str("city-" + randAlnum(l.r, 6)), str("CA"), str(randAlnum(l.r, 9)), str(randAlnum(l.r, 16)),
+					str(credit), f64(50000), f64(float64(l.r.Intn(5000)) / 10000),
+					f64(-10), f64(10), i64(1), i64(0),
+					str(randAlnum(l.r, 32)),
+				})
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return l.flush()
+}
+
+func (l *loader) orders() error {
+	for w := 1; w <= l.scale.Warehouses; w++ {
+		for d := 1; d <= l.scale.DistrictsPerW; d++ {
+			for o := 1; o <= l.scale.InitialOrdersPerD; o++ {
+				cID := l.r.Intn(l.scale.CustomersPerDist) + 1
+				olCnt := 5 + l.r.Intn(l.scale.MaxLinesPerOrder-4)
+				// The most recent 30% of orders are undelivered (they feed
+				// the Delivery transaction's new_order queue).
+				delivered := o <= l.scale.InitialOrdersPerD*7/10
+				carrier := types.Datum(types.Null)
+				if delivered {
+					carrier = i64(l.r.Intn(10) + 1)
+				}
+				entry := baseTime.Add(time.Duration(o) * time.Minute)
+				err := l.insert("orders", types.Row{
+					i64(w), i64(d), i64(o), i64(cID),
+					types.NewTime(entry), carrier, i64(olCnt),
+				})
+				if err != nil {
+					return err
+				}
+				if !delivered {
+					if err := l.insert("new_order", types.Row{i64(w), i64(d), i64(o)}); err != nil {
+						return err
+					}
+				}
+				for n := 1; n <= olCnt; n++ {
+					item := l.r.Intn(l.scale.Items) + 1
+					deliveryD := types.Datum(types.Null)
+					if delivered {
+						deliveryD = types.NewTime(entry.Add(time.Hour))
+					}
+					err := l.insert("order_line", types.Row{
+						i64(w), i64(d), i64(o), i64(n),
+						i64(item), i64(w), deliveryD,
+						i64(5), f64(float64(l.r.Intn(999900))/100 + 1),
+						str(randAlnum(l.r, 24)),
+					})
+					if err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return l.flush()
+}

@@ -1,0 +1,159 @@
+package tpcc
+
+import (
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+func mustSelect(src string) *sql.SelectStmt {
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return s.(*sql.SelectStmt)
+}
+
+// SplitConstraints selects which foreign keys the new customer tables
+// declare — the §4.5 / Figure 12 experiment. Checking constraints during
+// migration widens the data that must move per transaction.
+type SplitConstraints struct {
+	// FKDistrict adds FOREIGN KEY (c_w_id, c_d_id) REFERENCES district on
+	// customer_private.
+	FKDistrict bool
+	// FKOrders adds FOREIGN KEY (o_w_id, o_d_id, o_c_id) REFERENCES
+	// customer_private on orders: every NewOrder then forces the customer's
+	// migration before its order insert (constraint-driven scope widening).
+	FKOrders bool
+}
+
+// SplitMigration is the paper's §4.1 experiment: the customer table splits
+// into private (financial) and public (address/name) halves, both keyed by
+// the customer's identity — a 1:n migration over one bitmap.
+func SplitMigration(cons SplitConstraints) *core.Migration {
+	setup := `
+		CREATE TABLE customer_private (
+			c_w_id INT, c_d_id INT, c_id INT,
+			c_credit CHAR(2), c_credit_lim FLOAT, c_discount FLOAT,
+			c_balance FLOAT, c_ytd_payment FLOAT, c_payment_cnt INT, c_delivery_cnt INT,
+			PRIMARY KEY (c_w_id, c_d_id, c_id));
+		CREATE TABLE customer_public (
+			c_w_id INT, c_d_id INT, c_id INT,
+			c_first CHAR(16), c_middle CHAR(2), c_last CHAR(16),
+			c_city CHAR(20), c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16),
+			c_data CHAR(64),
+			PRIMARY KEY (c_w_id, c_d_id, c_id));
+		CREATE INDEX customer_public_name_idx ON customer_public (c_w_id, c_d_id, c_last);`
+	if cons.FKDistrict {
+		setup += `
+		ALTER TABLE customer_private ADD CONSTRAINT cust_priv_district_fk
+			FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id);`
+	}
+	if cons.FKOrders {
+		setup += `
+		ALTER TABLE orders ADD CONSTRAINT orders_customer_fk
+			FOREIGN KEY (o_w_id, o_d_id, o_c_id) REFERENCES customer_private (c_w_id, c_d_id, c_id);`
+	}
+	idKeyMap := map[string]string{"c_w_id": "c_w_id", "c_d_id": "c_d_id", "c_id": "c_id"}
+	return &core.Migration{
+		Name:  "customer-split",
+		Setup: setup,
+		Statements: []*core.Statement{{
+			Name:     "customer-split",
+			Driving:  "c",
+			Category: core.OneToMany,
+			Outputs: []core.OutputSpec{
+				{
+					Table: "customer_private",
+					Def: mustSelect(`SELECT c_w_id, c_d_id, c_id,
+						c_credit, c_credit_lim, c_discount,
+						c_balance, c_ytd_payment, c_payment_cnt, c_delivery_cnt
+						FROM customer c`),
+					KeyMap: idKeyMap,
+				},
+				{
+					Table: "customer_public",
+					Def: mustSelect(`SELECT c_w_id, c_d_id, c_id,
+						c_first, c_middle, c_last,
+						c_city, c_state, c_zip, c_phone, c_data
+						FROM customer c`),
+					KeyMap: idKeyMap,
+				},
+			},
+		}},
+		RetireInputs: []string{"customer"},
+	}
+}
+
+// AggregateMigration is the §4.2 experiment: the Delivery transaction's
+// implicit SUM(ol_amount) becomes a separate maintained table — an n:1
+// migration tracked by a hash table over (warehouse, district, order)
+// groups. The base order_line table remains part of the new schema and all
+// future transactions maintain both (an application-maintained materialized
+// view).
+func AggregateMigration() *core.Migration {
+	return &core.Migration{
+		Name: "orderline-aggregate",
+		Setup: `CREATE TABLE order_line_total (
+			ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_total FLOAT,
+			PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id));`,
+		Statements: []*core.Statement{{
+			Name:     "orderline-aggregate",
+			Driving:  "l",
+			Category: core.ManyToOne,
+			GroupBy:  []string{"ol_w_id", "ol_d_id", "ol_o_id"},
+			Outputs: []core.OutputSpec{{
+				Table: "order_line_total",
+				Def: mustSelect(`SELECT ol_w_id, ol_d_id, ol_o_id, SUM(ol_amount) AS ol_total
+					FROM order_line l GROUP BY ol_w_id, ol_d_id, ol_o_id`),
+				KeyMap: map[string]string{"ol_w_id": "ol_w_id", "ol_d_id": "ol_d_id", "ol_o_id": "ol_o_id"},
+			}},
+		}},
+		// No retirement: order_line stays.
+	}
+}
+
+// JoinMigration is the §4.3 experiment: the schema is denormalized so the
+// StockLevel join is precomputed — ORDER_LINE ⋈ STOCK on (supply warehouse,
+// item) replaces both tables. An n:n migration tracked by hash over the join
+// key; stock rows for never-ordered items are preserved via seed rows with
+// NULL order columns (the outer-join completion the denormalization needs).
+func JoinMigration() *core.Migration {
+	return &core.Migration{
+		Name: "orderline-stock-join",
+		Setup: `
+		CREATE TABLE orderline_stock (
+			ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT,
+			ol_i_id INT, ol_supply_w_id INT, ol_delivery_d TIMESTAMP,
+			ol_quantity INT, ol_amount FLOAT,
+			s_quantity INT, s_ytd FLOAT, s_order_cnt INT,
+			UNIQUE (ol_w_id, ol_d_id, ol_o_id, ol_number));
+		CREATE INDEX orderline_stock_group_idx ON orderline_stock (ol_supply_w_id, ol_i_id);
+		CREATE INDEX orderline_stock_order_idx ON orderline_stock (ol_w_id, ol_d_id, ol_o_id);`,
+		Statements: []*core.Statement{{
+			Name:     "orderline-stock-join",
+			Driving:  "l",
+			Category: core.ManyToMany,
+			GroupBy:  []string{"ol_supply_w_id", "ol_i_id"},
+			Outputs: []core.OutputSpec{{
+				Table: "orderline_stock",
+				Def: mustSelect(`SELECT l.ol_w_id, l.ol_d_id, l.ol_o_id, l.ol_number,
+					l.ol_i_id, l.ol_supply_w_id, l.ol_delivery_d,
+					l.ol_quantity, l.ol_amount,
+					s.s_quantity, s.s_ytd, s.s_order_cnt
+					FROM order_line l, stock s
+					WHERE s.s_w_id = l.ol_supply_w_id AND s.s_i_id = l.ol_i_id`),
+				KeyMap: map[string]string{"ol_supply_w_id": "ol_supply_w_id", "ol_i_id": "ol_i_id"},
+			}},
+			Seed: &core.SeedSpec{
+				Def: mustSelect(`SELECT NULL AS ol_w_id, NULL AS ol_d_id, NULL AS ol_o_id, NULL AS ol_number,
+					s.s_i_id AS ol_i_id, s.s_w_id AS ol_supply_w_id, NULL AS ol_delivery_d,
+					NULL AS ol_quantity, NULL AS ol_amount,
+					s.s_quantity, s.s_ytd, s.s_order_cnt
+					FROM stock s`),
+				Driving: "s",
+				GroupBy: []string{"s_w_id", "s_i_id"},
+			},
+		}},
+		RetireInputs: []string{"order_line", "stock"},
+	}
+}

@@ -1,0 +1,80 @@
+package tpcc
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// TPC-C 4.3.2.3: customer last names are generated from three syllables
+// indexed by the digits of a number in [0, 999].
+var lastNameSyllables = []string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName builds the TPC-C last name for the given 3-digit number.
+func LastName(num int) string {
+	var sb strings.Builder
+	sb.WriteString(lastNameSyllables[num/100%10])
+	sb.WriteString(lastNameSyllables[num/10%10])
+	sb.WriteString(lastNameSyllables[num%10])
+	return sb.String()
+}
+
+// nuRandC values per TPC-C 2.1.6; fixed constants keep runs reproducible.
+const (
+	cLast = 123
+	cID   = 17
+	cItem = 31
+)
+
+// NURand is the TPC-C non-uniform random distribution NURand(A, x, y).
+func NURand(r *rand.Rand, a, x, y, c int) int {
+	return ((r.Intn(a+1)|(x+r.Intn(y-x+1)))+c)%(y-x+1) + x
+}
+
+// RandomCustomerID picks a customer id in [1, n] with TPC-C skew.
+func RandomCustomerID(r *rand.Rand, n int) int {
+	if n >= 1023 {
+		return NURand(r, 1023, 1, n, cID)
+	}
+	return NURand(r, nextPow2(n)-1, 1, n, cID)
+}
+
+// RandomItemID picks an item id in [1, n] with TPC-C skew.
+func RandomItemID(r *rand.Rand, n int) int {
+	if n >= 8191 {
+		return NURand(r, 8191, 1, n, cItem)
+	}
+	return NURand(r, nextPow2(n)-1, 1, n, cItem)
+}
+
+// RandomLastNameNum picks the 3-digit last-name number with TPC-C skew,
+// bounded so small scales still hit existing customers.
+func RandomLastNameNum(r *rand.Rand, customersPerDistrict int) int {
+	max := 999
+	if customersPerDistrict-1 < max {
+		max = customersPerDistrict - 1
+	}
+	if max < 0 {
+		max = 0
+	}
+	return NURand(r, 255, 0, max, cLast)
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// randAlnum generates a fixed-length pseudo-random string.
+func randAlnum(r *rand.Rand, n int) string {
+	const chars = "abcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}

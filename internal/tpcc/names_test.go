@@ -1,0 +1,114 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLastName(t *testing.T) {
+	// TPC-C 4.3.2.3 examples.
+	cases := map[int]string{
+		0:   "BARBARBAR",
+		1:   "BARBAROUGHT",
+		371: "PRICALLYOUGHT",
+		999: "EINGEINGEING",
+	}
+	for num, want := range cases {
+		if got := LastName(num); got != want {
+			t.Errorf("LastName(%d) = %q, want %q", num, got, want)
+		}
+	}
+}
+
+func TestNURandInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := NURand(r, 1023, 1, 3000, 17)
+		if v < 1 || v > 3000 {
+			t.Fatalf("NURand out of range: %d", v)
+		}
+	}
+}
+
+func TestNURandIsSkewed(t *testing.T) {
+	// The distribution must be non-uniform: with A=255 over [0,999], the
+	// most popular value should appear far more often than 1/1000.
+	r := rand.New(rand.NewSource(2))
+	counts := map[int]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		counts[NURand(r, 255, 0, 999, 123)]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < n/1000*3 {
+		t.Errorf("NURand looks uniform: max bucket %d of %d", max, n)
+	}
+}
+
+func TestRandomIDsInRange(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		if v := RandomCustomerID(r, 30); v < 1 || v > 30 {
+			t.Fatalf("customer id %d", v)
+		}
+		if v := RandomItemID(r, 50); v < 1 || v > 50 {
+			t.Fatalf("item id %d", v)
+		}
+		if v := RandomLastNameNum(r, 30); v < 0 || v > 29 {
+			t.Fatalf("last name num %d", v)
+		}
+	}
+	// Large scales use the spec constants.
+	for i := 0; i < 5000; i++ {
+		if v := RandomCustomerID(r, 3000); v < 1 || v > 3000 {
+			t.Fatalf("customer id %d at full scale", v)
+		}
+		if v := RandomItemID(r, 100000); v < 1 || v > 100000 {
+			t.Fatalf("item id %d at full scale", v)
+		}
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	s := Scale{Warehouses: 2, DistrictsPerW: 10, CustomersPerDist: 300}
+	if s.Customers() != 6000 || s.Districts() != 20 {
+		t.Errorf("scale helpers: %d customers, %d districts", s.Customers(), s.Districts())
+	}
+	if DefaultScale().Customers() <= TinyScale().Customers() {
+		t.Error("default scale should exceed tiny")
+	}
+}
+
+func TestTxnTypeStringsAndMix(t *testing.T) {
+	names := map[TxnType]string{
+		TxnNewOrder: "NewOrder", TxnPayment: "Payment", TxnDelivery: "Delivery",
+		TxnOrderStatus: "OrderStatus", TxnStockLevel: "StockLevel",
+	}
+	for tt, want := range names {
+		if tt.String() != want {
+			t.Errorf("%d = %q", tt, tt.String())
+		}
+	}
+	// The mix matches the paper's percentages within sampling error.
+	r := rand.New(rand.NewSource(4))
+	counts := map[TxnType]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[PickTxn(r)]++
+	}
+	want := map[TxnType]float64{
+		TxnNewOrder: 0.45, TxnPayment: 0.43, TxnDelivery: 0.04,
+		TxnOrderStatus: 0.04, TxnStockLevel: 0.04,
+	}
+	for tt, frac := range want {
+		got := float64(counts[tt]) / n
+		if got < frac-0.01 || got > frac+0.01 {
+			t.Errorf("%v: %.3f, want %.2f", tt, got, frac)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package tpcc implements the TPC-C benchmark substrate the paper's
+// evaluation uses (§4): the nine-table schema, a scaled data loader, the
+// five transactions at the standard mix (NewOrder 45%, Payment 43%,
+// Delivery 4%, OrderStatus 4%, StockLevel 4%), and the paper's three schema
+// migrations — customer table split (§4.1), ORDER_LINE aggregation (§4.2),
+// and the ORDER_LINE ⋈ STOCK denormalizing join (§4.3) — together with the
+// schema-variant transaction implementations used after each flip.
+package tpcc
+
+// Scale sets the data volume. The paper runs 50 warehouses (1.5M customers,
+// ~15M order lines) on an 8-core machine; this reproduction defaults to a
+// laptop/CI-sized configuration that preserves all the relative structure
+// (10 districts per warehouse, 30x customers per district vs orders, etc.).
+type Scale struct {
+	Warehouses        int
+	DistrictsPerW     int
+	CustomersPerDist  int
+	Items             int
+	InitialOrdersPerD int // orders preloaded per district (with order lines)
+	MaxLinesPerOrder  int
+}
+
+// DefaultScale is the benchmark-sized configuration.
+func DefaultScale() Scale {
+	return Scale{
+		Warehouses:        2,
+		DistrictsPerW:     10,
+		CustomersPerDist:  300,
+		Items:             1000,
+		InitialOrdersPerD: 300,
+		MaxLinesPerOrder:  10,
+	}
+}
+
+// TinyScale is for unit tests.
+func TinyScale() Scale {
+	return Scale{
+		Warehouses:        1,
+		DistrictsPerW:     2,
+		CustomersPerDist:  30,
+		Items:             50,
+		InitialOrdersPerD: 20,
+		MaxLinesPerOrder:  5,
+	}
+}
+
+// Customers returns the total customer count.
+func (s Scale) Customers() int { return s.Warehouses * s.DistrictsPerW * s.CustomersPerDist }
+
+// Districts returns the total district count.
+func (s Scale) Districts() int { return s.Warehouses * s.DistrictsPerW }

@@ -1,0 +1,69 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// SchemaDDL is the TPC-C schema: nine tables plus the secondary indexes the
+// transactions and migrations rely on.
+const SchemaDDL = `
+CREATE TABLE warehouse (
+	w_id INT PRIMARY KEY,
+	w_name CHAR(10), w_tax FLOAT, w_ytd FLOAT);
+
+CREATE TABLE district (
+	d_w_id INT, d_id INT,
+	d_name CHAR(10), d_tax FLOAT, d_ytd FLOAT, d_next_o_id INT,
+	PRIMARY KEY (d_w_id, d_id));
+
+CREATE TABLE customer (
+	c_w_id INT, c_d_id INT, c_id INT,
+	c_first CHAR(16), c_middle CHAR(2), c_last CHAR(16),
+	c_city CHAR(20), c_state CHAR(2), c_zip CHAR(9), c_phone CHAR(16),
+	c_credit CHAR(2), c_credit_lim FLOAT, c_discount FLOAT,
+	c_balance FLOAT, c_ytd_payment FLOAT, c_payment_cnt INT, c_delivery_cnt INT,
+	c_data CHAR(64),
+	PRIMARY KEY (c_w_id, c_d_id, c_id));
+CREATE INDEX customer_name_idx ON customer (c_w_id, c_d_id, c_last);
+
+CREATE TABLE history (
+	h_c_id INT, h_c_d_id INT, h_c_w_id INT,
+	h_d_id INT, h_w_id INT, h_date TIMESTAMP, h_amount FLOAT);
+
+CREATE TABLE orders (
+	o_w_id INT, o_d_id INT, o_id INT,
+	o_c_id INT, o_entry_d TIMESTAMP, o_carrier_id INT, o_ol_cnt INT,
+	PRIMARY KEY (o_w_id, o_d_id, o_id));
+CREATE INDEX orders_customer_idx ON orders (o_w_id, o_d_id, o_c_id, o_id);
+
+CREATE TABLE new_order (
+	no_w_id INT, no_d_id INT, no_o_id INT,
+	PRIMARY KEY (no_w_id, no_d_id, no_o_id));
+
+CREATE TABLE order_line (
+	ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT,
+	ol_i_id INT, ol_supply_w_id INT, ol_delivery_d TIMESTAMP,
+	ol_quantity INT, ol_amount FLOAT, ol_dist_info CHAR(24),
+	PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number));
+CREATE INDEX order_line_item_idx ON order_line (ol_supply_w_id, ol_i_id);
+
+CREATE TABLE item (
+	i_id INT PRIMARY KEY,
+	i_name CHAR(24), i_price FLOAT, i_data CHAR(50));
+
+CREATE TABLE stock (
+	s_w_id INT, s_i_id INT,
+	s_quantity INT, s_ytd FLOAT, s_order_cnt INT, s_remote_cnt INT,
+	s_data CHAR(50),
+	PRIMARY KEY (s_w_id, s_i_id));
+`
+
+// CreateSchema installs the TPC-C schema into the engine.
+func CreateSchema(db *engine.DB) error {
+	if _, err := db.Exec(SchemaDDL); err != nil {
+		return fmt.Errorf("tpcc: creating schema: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,796 @@
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// writeSet accumulates (tid, row) pairs per table for multi-step dual-write
+// propagation. It is only populated while a multi-step window is active.
+type writeSet struct {
+	tables map[string]*tableWrites
+}
+
+type tableWrites struct {
+	tids []storage.TID
+	rows []types.Row
+}
+
+func (ws *writeSet) add(table string, tid storage.TID, row types.Row) {
+	if ws == nil {
+		return
+	}
+	if ws.tables == nil {
+		ws.tables = map[string]*tableWrites{}
+	}
+	tw := ws.tables[table]
+	if tw == nil {
+		tw = &tableWrites{}
+		ws.tables[table] = tw
+	}
+	tw.tids = append(tw.tids, tid)
+	tw.rows = append(tw.rows, row)
+}
+
+func (w *Workload) flushWrites(ws *writeSet) error {
+	ms := w.MultiStep()
+	if ws == nil || ms == nil {
+		return nil
+	}
+	for table, tw := range ws.tables {
+		if err := ms.NoteWrite(table, tw.tids, tw.rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Workload) newWriteSet() *writeSet {
+	if w.MultiStep() == nil {
+		return nil
+	}
+	return &writeSet{}
+}
+
+var errRowVanished = fmt.Errorf("tpcc: expected row missing: %w", storage.ErrNoSuchTuple)
+
+// --- NewOrder (45%) ---
+
+// NewOrder places an order: it reads warehouse/district/customer, assigns
+// the next order id, inserts the order and its lines, and updates stock.
+func (w *Workload) NewOrder(r *rand.Rand) error {
+	h := w.handles()
+	v := w.Variant()
+	wID, dID, cID := w.pickCustomer(r)
+
+	span := w.Scale.MaxLinesPerOrder - 4
+	if span < 1 {
+		span = 1
+	}
+	nItems := 5
+	if w.Scale.MaxLinesPerOrder > 5 {
+		nItems += r.Intn(span)
+	}
+	type orderItem struct{ iID, supplyW, qty int }
+	items := make([]orderItem, nItems)
+	for i := range items {
+		supplyW := wID
+		if w.Scale.Warehouses > 1 && r.Intn(100) == 0 { // 1% remote per spec
+			supplyW = r.Intn(w.Scale.Warehouses) + 1
+		}
+		items[i] = orderItem{iID: RandomItemID(r, w.Scale.Items), supplyW: supplyW, qty: r.Intn(10) + 1}
+	}
+	invalid := r.Intn(100) == 0 // TPC-C 1% rollback
+	if invalid {
+		items[nItems-1].iID = w.Scale.Items + 1000000
+	}
+
+	// Pre-transaction lazy migration (paper §3.2: migration transactions
+	// complete before the client transaction starts).
+	if v == SchemaSplit {
+		if err := w.ensureSplitCustomer(wID, dID, cID); err != nil {
+			return err
+		}
+	}
+	if ctrl := w.Controller(); v == SchemaJoin && ctrl != nil {
+		for _, it := range items {
+			if invalid && it.iID > w.Scale.Items {
+				continue
+			}
+			if err := ctrl.EnsureGroupMigrated("orderline_stock",
+				types.Row{i64(it.supplyW), i64(it.iID)}); err != nil {
+				return err
+			}
+		}
+	}
+
+	ws := w.newWriteSet()
+	tx := w.DB.Begin()
+	defer func() {
+		if !tx.Done() {
+			w.DB.Abort(tx)
+		}
+	}()
+
+	if _, _, ok := getByKey(tx, h.warehouse, h.warehousePK, types.Row{i64(wID)}); !ok {
+		return errRowVanished
+	}
+	dTID, dRow, ok := getByKey(tx, h.district, h.districtPK, types.Row{i64(wID), i64(dID)})
+	if !ok {
+		return errRowVanished
+	}
+	oID := int(dRow[5].Int())
+	newD := dRow.Clone()
+	newD[5] = i64(oID + 1)
+	if err := update(w.DB, tx, h.district, dTID, newD); err != nil {
+		return err
+	}
+
+	// Customer read (discount/credit): split reads the private half.
+	if v == SchemaSplit {
+		if _, _, ok := getByKey(tx, h.custPriv, h.custPrivPK, types.Row{i64(wID), i64(dID), i64(cID)}); !ok {
+			return errRowVanished
+		}
+	} else {
+		if _, _, ok := getByKey(tx, h.customer, h.customerPK, types.Row{i64(wID), i64(dID), i64(cID)}); !ok {
+			return errRowVanished
+		}
+	}
+
+	// For the maintained aggregate, the (new) group must be marked migrated
+	// before base rows land, so the totals row we insert is authoritative.
+	if ctrl := w.Controller(); v == SchemaAggregate && ctrl != nil {
+		if err := ctrl.EnsureGroupMigrated("order_line_total",
+			types.Row{i64(wID), i64(dID), i64(oID)}); err != nil {
+			return err
+		}
+	}
+
+	entry := types.NewTime(w.nowTime())
+	if _, err := insert(w.DB, tx, h.orders, types.Row{
+		i64(wID), i64(dID), i64(oID), i64(cID), entry, types.Null, i64(nItems),
+	}); err != nil {
+		return err
+	}
+	if _, err := insert(w.DB, tx, h.newOrder, types.Row{i64(wID), i64(dID), i64(oID)}); err != nil {
+		return err
+	}
+
+	total := 0.0
+	for n, it := range items {
+		_, itemRow, ok := getByKey(tx, h.item, h.itemPK, types.Row{i64(it.iID)})
+		if !ok {
+			// Invalid item: the intentional TPC-C rollback path.
+			w.DB.Abort(tx)
+			return ErrExpectedRollback
+		}
+		price := itemRow[2].Float()
+		amount := price * float64(it.qty)
+		total += amount
+
+		if v == SchemaJoin {
+			if err := w.newOrderLineJoin(tx, h, wID, dID, oID, n+1, it.iID, it.supplyW, it.qty, amount); err != nil {
+				return err
+			}
+			continue
+		}
+		// Stock read + update (original / split / aggregate variants).
+		sTID, sRow, ok := getByKey(tx, h.stock, h.stockPK, types.Row{i64(it.supplyW), i64(it.iID)})
+		if !ok {
+			return errRowVanished
+		}
+		newQty := int(sRow[2].Int()) - it.qty
+		if newQty < 10 {
+			newQty += 91
+		}
+		newS := sRow.Clone()
+		newS[2] = i64(newQty)
+		newS[3] = f64(sRow[3].Float() + float64(it.qty))
+		newS[4] = i64(int(sRow[4].Int()) + 1)
+		if err := update(w.DB, tx, h.stock, sTID, newS); err != nil {
+			return err
+		}
+		ws.add("stock", sTID, newS)
+
+		olRow := types.Row{
+			i64(wID), i64(dID), i64(oID), i64(n + 1),
+			i64(it.iID), i64(it.supplyW), types.Null,
+			i64(it.qty), f64(amount), str("dist-info-xxxxxxxxxxxx"),
+		}
+		olTID, err := insert(w.DB, tx, h.orderLine, olRow)
+		if err != nil {
+			return err
+		}
+		ws.add("order_line", olTID, olRow)
+	}
+
+	if v == SchemaAggregate {
+		if _, err := insert(w.DB, tx, h.olTotal, types.Row{
+			i64(wID), i64(dID), i64(oID), f64(total),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := w.DB.Commit(tx); err != nil {
+		return err
+	}
+	return w.flushWrites(ws)
+}
+
+// newOrderLineJoin inserts an order line into the denormalized table and
+// maintains the stock columns across the group's rows (the denormalization
+// cost the paper's §4.3 discusses).
+func (w *Workload) newOrderLineJoin(tx *txn.Txn, h *handles, wID, dID, oID, number, iID, supplyW, qty int, amount float64) error {
+	// Read current stock columns from any row of the group.
+	var groupTIDs []storage.TID
+	var groupRows []types.Row
+	scanPrefix(tx, h.olStock, h.olStockGroup, types.Row{i64(supplyW), i64(iID)},
+		func(tid storage.TID, row types.Row) bool {
+			groupTIDs = append(groupTIDs, tid)
+			groupRows = append(groupRows, row)
+			return true
+		})
+	if len(groupRows) == 0 {
+		// The group was ensured before the transaction; at minimum a seed
+		// row must exist. A concurrent aborted migration can leave a gap —
+		// retryable.
+		return errRowVanished
+	}
+	cur := groupRows[0]
+	newQty := int(cur[9].Int()) - qty
+	if newQty < 10 {
+		newQty += 91
+	}
+	newYtd := cur[10].Float() + float64(qty)
+	newCnt := int(cur[11].Int()) + 1
+	// Update every denormalized copy.
+	for i, tid := range groupTIDs {
+		updated := groupRows[i].Clone()
+		updated[9] = i64(newQty)
+		updated[10] = f64(newYtd)
+		updated[11] = i64(newCnt)
+		if err := update(w.DB, tx, h.olStock, tid, updated); err != nil {
+			return err
+		}
+	}
+	_, err := insert(w.DB, tx, h.olStock, types.Row{
+		i64(wID), i64(dID), i64(oID), i64(number),
+		i64(iID), i64(supplyW), types.Null,
+		i64(qty), f64(amount),
+		i64(newQty), f64(newYtd), i64(newCnt),
+	})
+	return err
+}
+
+// --- Payment (43%) ---
+
+// Payment applies a payment: warehouse and district YTD, customer balance,
+// plus a history record. 60% of lookups are by last name.
+func (w *Workload) Payment(r *rand.Rand) error {
+	h := w.handles()
+	v := w.Variant()
+	wID, dID, cID := w.pickCustomer(r)
+	byName := !w.Sequential && w.HotCustomers == 0 && r.Intn(100) < 60
+	lastName := LastName(RandomLastNameNum(r, w.Scale.CustomersPerDist))
+	amount := float64(r.Intn(499900)+100) / 100
+
+	if ctrl := w.Controller(); v == SchemaSplit && ctrl != nil {
+		if byName {
+			// Name lookups need the public rows for the whole name group.
+			if err := ctrl.EnsureMigrated("customer_public", eqPred(
+				predPair{"c_w_id", i64(wID)}, predPair{"c_d_id", i64(dID)},
+				predPair{"c_last", str(lastName)},
+			)); err != nil {
+				return err
+			}
+		} else {
+			if err := w.ensureSplitCustomer(wID, dID, cID); err != nil {
+				return err
+			}
+		}
+	}
+
+	ws := w.newWriteSet()
+	tx := w.DB.Begin()
+	defer func() {
+		if !tx.Done() {
+			w.DB.Abort(tx)
+		}
+	}()
+
+	wTID, wRow, ok := getByKey(tx, h.warehouse, h.warehousePK, types.Row{i64(wID)})
+	if !ok {
+		return errRowVanished
+	}
+	newW := wRow.Clone()
+	newW[3] = f64(wRow[3].Float() + amount)
+	if err := update(w.DB, tx, h.warehouse, wTID, newW); err != nil {
+		return err
+	}
+	dTID, dRow, ok := getByKey(tx, h.district, h.districtPK, types.Row{i64(wID), i64(dID)})
+	if !ok {
+		return errRowVanished
+	}
+	newD := dRow.Clone()
+	newD[4] = f64(dRow[4].Float() + amount)
+	if err := update(w.DB, tx, h.district, dTID, newD); err != nil {
+		return err
+	}
+
+	if byName {
+		var err error
+		cID, err = w.findByName(tx, h, v, wID, dID, lastName)
+		if err != nil {
+			return err
+		}
+		if v == SchemaSplit {
+			// The balance update touches the private half of the resolved
+			// customer; make sure it exists there.
+			if err := w.ensureSplitCustomer(wID, dID, cID); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Balance update (private half in the split variant).
+	if v == SchemaSplit {
+		cTID, cRow, ok := getByKey(tx, h.custPriv, h.custPrivPK, types.Row{i64(wID), i64(dID), i64(cID)})
+		if !ok {
+			return errRowVanished
+		}
+		newC := cRow.Clone()
+		newC[6] = f64(cRow[6].Float() - amount)
+		newC[7] = f64(cRow[7].Float() + amount)
+		newC[8] = i64(int(cRow[8].Int()) + 1)
+		if err := update(w.DB, tx, h.custPriv, cTID, newC); err != nil {
+			return err
+		}
+	} else {
+		cTID, cRow, ok := getByKey(tx, h.customer, h.customerPK, types.Row{i64(wID), i64(dID), i64(cID)})
+		if !ok {
+			return errRowVanished
+		}
+		newC := cRow.Clone()
+		newC[13] = f64(cRow[13].Float() - amount)
+		newC[14] = f64(cRow[14].Float() + amount)
+		newC[15] = i64(int(cRow[15].Int()) + 1)
+		if err := update(w.DB, tx, h.customer, cTID, newC); err != nil {
+			return err
+		}
+		ws.add("customer", cTID, newC)
+	}
+
+	if _, err := insert(w.DB, tx, h.history, types.Row{
+		i64(cID), i64(dID), i64(wID), i64(dID), i64(wID),
+		types.NewTime(w.nowTime()), f64(amount),
+	}); err != nil {
+		return err
+	}
+	if err := w.DB.Commit(tx); err != nil {
+		return err
+	}
+	return w.flushWrites(ws)
+}
+
+// findByName resolves a customer id by last name: collect the matches, sort
+// by first name, take the middle one (TPC-C 2.5.2.2).
+func (w *Workload) findByName(tx *txn.Txn, h *handles, v SchemaVariant, wID, dID int, lastName string) (int, error) {
+	tbl, idx := h.customer, h.customerName
+	firstOrd, idOrd := 3, 2
+	if v == SchemaSplit {
+		tbl, idx = h.custPub, h.custPubName
+	}
+	type match struct {
+		first string
+		id    int
+	}
+	var matches []match
+	scanPrefix(tx, tbl, idx, types.Row{i64(wID), i64(dID), str(lastName)},
+		func(_ storage.TID, row types.Row) bool {
+			matches = append(matches, match{first: row[firstOrd].Str(), id: int(row[idOrd].Int())})
+			return true
+		})
+	if len(matches) == 0 {
+		return 0, errRowVanished
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].first < matches[j].first })
+	return matches[len(matches)/2].id, nil
+}
+
+// --- OrderStatus (4%) ---
+
+// OrderStatus reads a customer's balance and their most recent order with
+// its lines. Read-only.
+func (w *Workload) OrderStatus(r *rand.Rand) error {
+	h := w.handles()
+	v := w.Variant()
+	wID, dID, cID := w.pickCustomer(r)
+	byName := !w.Sequential && w.HotCustomers == 0 && r.Intn(100) < 60
+	lastName := LastName(RandomLastNameNum(r, w.Scale.CustomersPerDist))
+
+	if ctrl := w.Controller(); v == SchemaSplit && ctrl != nil {
+		if byName {
+			if err := ctrl.EnsureMigrated("customer_public", eqPred(
+				predPair{"c_w_id", i64(wID)}, predPair{"c_d_id", i64(dID)},
+				predPair{"c_last", str(lastName)},
+			)); err != nil {
+				return err
+			}
+		} else {
+			if err := w.ensureSplitCustomer(wID, dID, cID); err != nil {
+				return err
+			}
+		}
+	}
+
+	tx := w.DB.Begin()
+	defer func() {
+		if !tx.Done() {
+			w.DB.Abort(tx)
+		}
+	}()
+	if byName {
+		var err error
+		cID, err = w.findByName(tx, h, v, wID, dID, lastName)
+		if err != nil {
+			return err
+		}
+		if v == SchemaSplit {
+			if err := w.ensureSplitCustomer(wID, dID, cID); err != nil {
+				return err
+			}
+		}
+	}
+	// Balance read.
+	if v == SchemaSplit {
+		if _, _, ok := getByKey(tx, h.custPriv, h.custPrivPK, types.Row{i64(wID), i64(dID), i64(cID)}); !ok {
+			return errRowVanished
+		}
+	} else {
+		if _, _, ok := getByKey(tx, h.customer, h.customerPK, types.Row{i64(wID), i64(dID), i64(cID)}); !ok {
+			return errRowVanished
+		}
+	}
+	// Most recent order.
+	lastOID := -1
+	scanPrefix(tx, h.orders, h.ordersCust, types.Row{i64(wID), i64(dID), i64(cID)},
+		func(_ storage.TID, row types.Row) bool {
+			lastOID = int(row[2].Int())
+			return true
+		})
+	if lastOID < 0 {
+		w.DB.Abort(tx)
+		return nil // customer with no orders: valid outcome
+	}
+	// Its order lines.
+	if v == SchemaJoin {
+		if err := w.ensureJoinOrderLines(wID, dID, lastOID, lastOID+1); err != nil {
+			return err
+		}
+		n := 0
+		scanPrefix(tx, h.olStock, h.olStockPK, types.Row{i64(wID), i64(dID), i64(lastOID)},
+			func(_ storage.TID, row types.Row) bool { n++; return true })
+	} else {
+		n := 0
+		scanPrefix(tx, h.orderLine, h.orderLinePK, types.Row{i64(wID), i64(dID), i64(lastOID)},
+			func(_ storage.TID, row types.Row) bool { n++; return true })
+	}
+	w.DB.Abort(tx) // read-only
+	return nil
+}
+
+// ensureJoinOrderLines lazily migrates the order lines of orders in
+// [loOID, hiOID) for one district into the denormalized table.
+func (w *Workload) ensureJoinOrderLines(wID, dID, loOID, hiOID int) error {
+	ctrl := w.Controller()
+	if ctrl == nil {
+		return nil
+	}
+	pred := eqPred(predPair{"ol_w_id", i64(wID)}, predPair{"ol_d_id", i64(dID)})
+	if hiOID == loOID+1 {
+		pred = combine(pred, eqCol("ol_o_id", i64(loOID)))
+	} else {
+		pred = combine(pred,
+			geCol("ol_o_id", i64(loOID)),
+			ltCol("ol_o_id", i64(hiOID)))
+	}
+	return ctrl.EnsureMigrated("orderline_stock", pred)
+}
+
+// --- Delivery (4%) ---
+
+// Delivery processes the oldest undelivered order in every district: it
+// removes the new_order entry, stamps the carrier and delivery dates, sums
+// the order's line amounts (the implicit aggregate of §4.2), and credits
+// the customer's balance.
+func (w *Workload) Delivery(r *rand.Rand) error {
+	h := w.handles()
+	v := w.Variant()
+	wID := r.Intn(w.Scale.Warehouses) + 1
+	carrier := i64(r.Intn(10) + 1)
+	deliveryD := types.NewTime(w.nowTime())
+
+	// Find target orders with a snapshot read, migrate what the client
+	// transaction will need, then run it.
+	type target struct{ dID, oID, cID int }
+	var targets []target
+	{
+		tx := w.DB.Begin()
+		for dID := 1; dID <= w.Scale.DistrictsPerW; dID++ {
+			oID := -1
+			scanPrefix(tx, h.newOrder, h.newOrderPK, types.Row{i64(wID), i64(dID)},
+				func(_ storage.TID, row types.Row) bool {
+					oID = int(row[2].Int())
+					return false // oldest = first in index order
+				})
+			if oID < 0 {
+				continue
+			}
+			_, oRow, ok := getByKey(tx, h.orders, h.ordersPK, types.Row{i64(wID), i64(dID), i64(oID)})
+			if !ok {
+				continue
+			}
+			targets = append(targets, target{dID: dID, oID: oID, cID: int(oRow[3].Int())})
+		}
+		w.DB.Abort(tx)
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+	// Lazy migration for the rows the delivery will touch.
+	for _, tg := range targets {
+		switch v {
+		case SchemaSplit:
+			if err := w.ensureSplitCustomer(wID, tg.dID, tg.cID); err != nil {
+				return err
+			}
+		case SchemaAggregate:
+			if ctrl := w.Controller(); ctrl != nil {
+				if err := ctrl.EnsureGroupMigrated("order_line_total",
+					types.Row{i64(wID), i64(tg.dID), i64(tg.oID)}); err != nil {
+					return err
+				}
+			}
+		case SchemaJoin:
+			if err := w.ensureJoinOrderLines(wID, tg.dID, tg.oID, tg.oID+1); err != nil {
+				return err
+			}
+		}
+	}
+
+	ws := w.newWriteSet()
+	tx := w.DB.Begin()
+	defer func() {
+		if !tx.Done() {
+			w.DB.Abort(tx)
+		}
+	}()
+	for _, tg := range targets {
+		noTID, _, ok := getByKey(tx, h.newOrder, h.newOrderPK, types.Row{i64(wID), i64(tg.dID), i64(tg.oID)})
+		if !ok {
+			continue // another delivery got here first
+		}
+		if err := w.DB.DeleteRow(tx, h.newOrder, noTID); err != nil {
+			return err
+		}
+		oTID, oRow, ok := getByKey(tx, h.orders, h.ordersPK, types.Row{i64(wID), i64(tg.dID), i64(tg.oID)})
+		if !ok {
+			return errRowVanished
+		}
+		newO := oRow.Clone()
+		newO[5] = carrier
+		if err := update(w.DB, tx, h.orders, oTID, newO); err != nil {
+			return err
+		}
+
+		var total float64
+		switch v {
+		case SchemaAggregate:
+			// The point of the §4.2 migration: the sum is precomputed.
+			_, tRow, ok := getByKey(tx, h.olTotal, h.olTotalPK, types.Row{i64(wID), i64(tg.dID), i64(tg.oID)})
+			if !ok {
+				return errRowVanished
+			}
+			total = tRow[3].Float()
+			// Delivery dates still stamp the base rows.
+			if err := w.stampOrderLines(tx, h, ws, wID, tg.dID, tg.oID, deliveryD); err != nil {
+				return err
+			}
+		case SchemaJoin:
+			type hit struct {
+				tid storage.TID
+				row types.Row
+			}
+			var hits []hit
+			scanPrefix(tx, h.olStock, h.olStockPK, types.Row{i64(wID), i64(tg.dID), i64(tg.oID)},
+				func(tid storage.TID, row types.Row) bool {
+					hits = append(hits, hit{tid, row})
+					return true
+				})
+			for _, hd := range hits {
+				total += hd.row[8].Float()
+				updated := hd.row.Clone()
+				updated[6] = deliveryD
+				if err := update(w.DB, tx, h.olStock, hd.tid, updated); err != nil {
+					return err
+				}
+			}
+		default:
+			var err error
+			total, err = w.sumAndStampOrderLines(tx, h, ws, wID, tg.dID, tg.oID, deliveryD)
+			if err != nil {
+				return err
+			}
+		}
+
+		// Credit the customer.
+		if v == SchemaSplit {
+			cTID, cRow, ok := getByKey(tx, h.custPriv, h.custPrivPK, types.Row{i64(wID), i64(tg.dID), i64(tg.cID)})
+			if !ok {
+				return errRowVanished
+			}
+			newC := cRow.Clone()
+			newC[6] = f64(cRow[6].Float() + total)
+			newC[9] = i64(int(cRow[9].Int()) + 1)
+			if err := update(w.DB, tx, h.custPriv, cTID, newC); err != nil {
+				return err
+			}
+		} else {
+			cTID, cRow, ok := getByKey(tx, h.customer, h.customerPK, types.Row{i64(wID), i64(tg.dID), i64(tg.cID)})
+			if !ok {
+				return errRowVanished
+			}
+			newC := cRow.Clone()
+			newC[13] = f64(cRow[13].Float() + total)
+			newC[16] = i64(int(cRow[16].Int()) + 1)
+			if err := update(w.DB, tx, h.customer, cTID, newC); err != nil {
+				return err
+			}
+			ws.add("customer", cTID, newC)
+		}
+	}
+	if err := w.DB.Commit(tx); err != nil {
+		return err
+	}
+	return w.flushWrites(ws)
+}
+
+func (w *Workload) sumAndStampOrderLines(tx *txn.Txn, h *handles, ws *writeSet, wID, dID, oID int, deliveryD types.Datum) (float64, error) {
+	type hit struct {
+		tid storage.TID
+		row types.Row
+	}
+	var hits []hit
+	scanPrefix(tx, h.orderLine, h.orderLinePK, types.Row{i64(wID), i64(dID), i64(oID)},
+		func(tid storage.TID, row types.Row) bool {
+			hits = append(hits, hit{tid, row})
+			return true
+		})
+	total := 0.0
+	for _, hd := range hits {
+		total += hd.row[8].Float()
+		updated := hd.row.Clone()
+		updated[6] = deliveryD
+		if err := update(w.DB, tx, h.orderLine, hd.tid, updated); err != nil {
+			return 0, err
+		}
+		ws.add("order_line", hd.tid, updated)
+	}
+	return total, nil
+}
+
+func (w *Workload) stampOrderLines(tx *txn.Txn, h *handles, ws *writeSet, wID, dID, oID int, deliveryD types.Datum) error {
+	_, err := w.sumAndStampOrderLines(tx, h, ws, wID, dID, oID, deliveryD)
+	return err
+}
+
+// --- StockLevel (4%) ---
+
+// StockLevel counts recently-ordered items whose stock is below a threshold.
+// This is the join the §4.3 migration precomputes. Read-only.
+func (w *Workload) StockLevel(r *rand.Rand) error {
+	h := w.handles()
+	v := w.Variant()
+	wID := r.Intn(w.Scale.Warehouses) + 1
+	dID := r.Intn(w.Scale.DistrictsPerW) + 1
+	threshold := int64(10 + r.Intn(11))
+
+	tx := w.DB.Begin()
+	_, dRow, ok := getByKey(tx, h.district, h.districtPK, types.Row{i64(wID), i64(dID)})
+	if !ok {
+		w.DB.Abort(tx)
+		return errRowVanished
+	}
+	nextO := int(dRow[5].Int())
+	loO := nextO - 20
+	if loO < 1 {
+		loO = 1
+	}
+	w.DB.Abort(tx)
+
+	if v == SchemaJoin {
+		if err := w.ensureJoinOrderLines(wID, dID, loO, nextO); err != nil {
+			return err
+		}
+	}
+
+	tx = w.DB.Begin()
+	defer w.DB.Abort(tx) // read-only
+	if v == SchemaJoin {
+		// The denormalized table answers the query without a join.
+		distinct := map[int64]bool{}
+		scanIndexRange(tx, h.olStock, h.olStockPK,
+			types.Row{i64(wID), i64(dID), i64(loO)},
+			types.Row{i64(wID), i64(dID), i64(nextO)},
+			func(_ storage.TID, row types.Row) bool {
+				if !row[9].IsNull() && row[9].Int() < threshold {
+					distinct[row[4].Int()] = true
+				}
+				return true
+			})
+		return nil
+	}
+	// Original plan: scan recent order lines, probe stock per distinct item.
+	items := map[int64]bool{}
+	scanIndexRange(tx, h.orderLine, h.orderLinePK,
+		types.Row{i64(wID), i64(dID), i64(loO)},
+		types.Row{i64(wID), i64(dID), i64(nextO)},
+		func(_ storage.TID, row types.Row) bool {
+			items[row[4].Int()] = true
+			return true
+		})
+	count := 0
+	for iID := range items {
+		if _, sRow, ok := getByKey(tx, h.stock, h.stockPK, types.Row{i64(wID), types.NewInt(iID)}); ok {
+			if sRow[2].Int() < threshold {
+				count++
+			}
+		}
+	}
+	return nil
+}
+
+// scanIndexRange visits visible rows with loKey <= key < hiKey.
+func scanIndexRange(tx *txn.Txn, tbl *catalog.Table, idx index.Index, loKey, hiKey types.Row, fn func(storage.TID, types.Row) bool) {
+	lo := types.EncodeKey(nil, loKey)
+	hi := types.EncodeKey(nil, hiKey)
+	seen := map[storage.TID]struct{}{}
+	idx.AscendRange(lo, hi, func(_ []byte, tid storage.TID) bool {
+		if _, dup := seen[tid]; dup {
+			return true
+		}
+		seen[tid] = struct{}{}
+		keep := true
+		tbl.Heap.View(tid, func(head *storage.Version) {
+			row, ok := tx.VisibleRow(head)
+			if !ok {
+				return
+			}
+			keep = fn(tid, row.Clone())
+		})
+		return keep
+	})
+}
+
+// small expression builders for range predicates.
+func combine(preds ...expr.Expr) expr.Expr { return expr.CombineConjuncts(preds...) }
+
+func eqCol(col string, v types.Datum) expr.Expr {
+	return expr.NewBinOp(expr.OpEq, expr.NewCol("", col), expr.NewConst(v))
+}
+
+func geCol(col string, v types.Datum) expr.Expr {
+	return expr.NewBinOp(expr.OpGe, expr.NewCol("", col), expr.NewConst(v))
+}
+
+func ltCol(col string, v types.Datum) expr.Expr {
+	return expr.NewBinOp(expr.OpLt, expr.NewCol("", col), expr.NewConst(v))
+}

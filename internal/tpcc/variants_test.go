@@ -1,0 +1,140 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+)
+
+// runOne retries a single transaction type until success.
+func runOne(t *testing.T, w *Workload, r *rand.Rand, tt TxnType) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		err := w.Run(r, tt)
+		if err == nil || errors.Is(err, ErrExpectedRollback) {
+			return
+		}
+		if !IsRetryable(err) || attempt > 50 {
+			t.Fatalf("%v: %v", tt, err)
+		}
+	}
+}
+
+func TestSplitVariantEachTxnType(t *testing.T) {
+	scale := TinyScale()
+	db, w := newLoadedDB(t, scale)
+	ctrl := core.NewController(db, core.DetectEarly)
+	if err := ctrl.Start(SplitMigration(SplitConstraints{})); err != nil {
+		t.Fatal(err)
+	}
+	w.SetController(ctrl)
+	w.SetVariant(SchemaSplit)
+	r := rand.New(rand.NewSource(31))
+	// Exercise every transaction type several times against the split
+	// schema while migration is in-flight.
+	for i := 0; i < 10; i++ {
+		for tt := TxnNewOrder; tt < numTxnTypes; tt++ {
+			runOne(t, w, r, tt)
+		}
+	}
+	// Payments must have updated private balances (some balance != -10).
+	res, err := db.Exec(`SELECT COUNT(*) FROM customer_private WHERE c_balance <> -10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() == 0 {
+		t.Error("no private balances changed; payments not applied to the split schema")
+	}
+	// The retired customer table must have frozen payment counts: any row
+	// migrated has its copy in the private half.
+	if got := ctrl.RuntimeFor("customer_private").Tracker().MigratedCount(); got == 0 {
+		t.Error("no customers migrated despite transactions running")
+	}
+}
+
+func TestSplitWithFKConstraintsForcesMigrationOnNewOrder(t *testing.T) {
+	scale := TinyScale()
+	db, w := newLoadedDB(t, scale)
+	ctrl := core.NewController(db, core.DetectEarly)
+	if err := ctrl.Start(SplitMigration(SplitConstraints{FKDistrict: true, FKOrders: true})); err != nil {
+		t.Fatal(err)
+	}
+	w.SetController(ctrl)
+	w.SetVariant(SchemaSplit)
+	r := rand.New(rand.NewSource(37))
+	before := ctrl.RuntimeFor("customer_private").Tracker().MigratedCount()
+	// NewOrder inserts into orders, whose FK now references customer_private:
+	// the insert's FK check must force the customer's migration.
+	for i := 0; i < 20; i++ {
+		runOne(t, w, r, TxnNewOrder)
+	}
+	after := ctrl.RuntimeFor("customer_private").Tracker().MigratedCount()
+	if after <= before {
+		t.Errorf("FK-driven widening did not migrate customers: %d -> %d", before, after)
+	}
+}
+
+func TestJoinVariantStockLevelAndOrderStatus(t *testing.T) {
+	scale := TinyScale()
+	db, w := newLoadedDB(t, scale)
+	ctrl := core.NewController(db, core.DetectEarly)
+	if err := ctrl.Start(JoinMigration()); err != nil {
+		t.Fatal(err)
+	}
+	w.SetController(ctrl)
+	w.SetVariant(SchemaJoin)
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 15; i++ {
+		runOne(t, w, r, TxnStockLevel)
+		runOne(t, w, r, TxnOrderStatus)
+		runOne(t, w, r, TxnDelivery)
+	}
+	// StockLevel/Delivery migrated the recent order-line groups.
+	migrated := ctrl.RuntimeFor("orderline_stock").Tracker().MigratedCount()
+	if migrated == 0 {
+		t.Error("read transactions drove no lazy migration")
+	}
+	res, err := db.Exec(`SELECT COUNT(*) FROM orderline_stock`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() == 0 {
+		t.Error("no rows in the denormalized table")
+	}
+}
+
+func TestSequentialAccessTouchesEachCustomerOnce(t *testing.T) {
+	scale := TinyScale()
+	_, w := newLoadedDB(t, scale)
+	w.Sequential = true
+	r := rand.New(rand.NewSource(43))
+	seen := map[[3]int]int{}
+	for i := 0; i < scale.Customers(); i++ {
+		wID, dID, cID := w.pickCustomer(r)
+		seen[[3]int{wID, dID, cID}]++
+	}
+	if len(seen) != scale.Customers() {
+		t.Fatalf("sequential access covered %d of %d customers", len(seen), scale.Customers())
+	}
+	for k, c := range seen {
+		if c != 1 {
+			t.Fatalf("customer %v visited %d times", k, c)
+		}
+	}
+}
+
+func TestHotSetRestrictsCustomers(t *testing.T) {
+	scale := TinyScale()
+	_, w := newLoadedDB(t, scale)
+	w.HotCustomers = 5
+	r := rand.New(rand.NewSource(47))
+	for i := 0; i < 200; i++ {
+		wID, dID, cID := w.pickCustomer(r)
+		idx := (wID-1)*scale.DistrictsPerW*scale.CustomersPerDist + (dID-1)*scale.CustomersPerDist + (cID - 1)
+		if idx >= 5 {
+			t.Fatalf("hot set violated: (%d,%d,%d) -> %d", wID, dID, cID, idx)
+		}
+	}
+}

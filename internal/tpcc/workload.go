@@ -1,0 +1,269 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// TxnType identifies one of the five TPC-C transactions.
+type TxnType int
+
+// The five TPC-C transaction types.
+const (
+	TxnNewOrder TxnType = iota
+	TxnPayment
+	TxnDelivery
+	TxnOrderStatus
+	TxnStockLevel
+	numTxnTypes
+)
+
+func (t TxnType) String() string {
+	switch t {
+	case TxnNewOrder:
+		return "NewOrder"
+	case TxnPayment:
+		return "Payment"
+	case TxnDelivery:
+		return "Delivery"
+	case TxnOrderStatus:
+		return "OrderStatus"
+	case TxnStockLevel:
+		return "StockLevel"
+	default:
+		return "?"
+	}
+}
+
+// PickTxn draws a transaction type at the paper's mix: NewOrder 45%,
+// Payment 43%, Delivery 4%, OrderStatus 4%, StockLevel 4%.
+func PickTxn(r *rand.Rand) TxnType {
+	n := r.Intn(100)
+	switch {
+	case n < 45:
+		return TxnNewOrder
+	case n < 88:
+		return TxnPayment
+	case n < 92:
+		return TxnDelivery
+	case n < 96:
+		return TxnOrderStatus
+	default:
+		return TxnStockLevel
+	}
+}
+
+// SchemaVariant selects which transaction implementations run: the original
+// TPC-C schema or one of the three post-migration schemas.
+type SchemaVariant int32
+
+// Schema variants.
+const (
+	SchemaOriginal  SchemaVariant = iota
+	SchemaSplit                   // customer split (§4.1)
+	SchemaAggregate               // order_line aggregate (§4.2)
+	SchemaJoin                    // orderline_stock denormalization (§4.3)
+)
+
+// ErrExpectedRollback marks TPC-C's intentional 1% NewOrder rollback
+// (invalid item); the driver counts it as a completed transaction.
+var ErrExpectedRollback = errors.New("tpcc: expected rollback (invalid item)")
+
+// IsRetryable classifies transient errors the driver should retry.
+func IsRetryable(err error) bool {
+	return errors.Is(err, txn.ErrSerialization) ||
+		errors.Is(err, txn.ErrLockTimeout) ||
+		errors.Is(err, storage.ErrNoSuchTuple)
+}
+
+// Workload runs TPC-C transactions against the engine, dispatching to the
+// schema variant currently active and driving lazy migration (BullFrog) or
+// dual writes (multi-step) as configured.
+type Workload struct {
+	DB    *engine.DB
+	Gate  *core.Gate
+	Scale Scale
+
+	ctrl atomic.Pointer[core.Controller] // set while a BullFrog migration is active
+	ms   atomic.Pointer[core.MultiStep]  // set during a multi-step copy window
+
+	// HotCustomers restricts customer selection to the first N customers
+	// (Figure 10's skew experiment); 0 = full range.
+	HotCustomers int
+	// Sequential makes each transaction access the next customer exactly
+	// once (Figure 9's tracking-overhead experiment).
+	Sequential  bool
+	seqCustomer atomic.Int64
+
+	variant atomic.Int32
+	h       atomic.Pointer[handles]
+	now     atomic.Int64 // logical clock for timestamps
+}
+
+// NewWorkload builds a workload over a loaded database.
+func NewWorkload(db *engine.DB, gate *core.Gate, scale Scale) *Workload {
+	w := &Workload{DB: db, Gate: gate, Scale: scale}
+	w.h.Store(baseHandles(db))
+	w.now.Store(baseTime.Add(365 * 24 * time.Hour).UnixNano())
+	return w
+}
+
+// SetVariant switches the active schema variant and refreshes handles (the
+// variant's tables must exist).
+func (w *Workload) SetVariant(v SchemaVariant) {
+	h := baseHandlesMaybeRetired(w.DB)
+	switch v {
+	case SchemaSplit:
+		h.custPriv = mustTable(w.DB, "customer_private")
+		h.custPub = mustTable(w.DB, "customer_public")
+		h.custPrivPK = mustIndex(h.custPriv, "customer_private_pkey")
+		h.custPubPK = mustIndex(h.custPub, "customer_public_pkey")
+		h.custPubName = mustIndex(h.custPub, "customer_public_name_idx")
+	case SchemaAggregate:
+		h.olTotal = mustTable(w.DB, "order_line_total")
+		h.olTotalPK = mustIndex(h.olTotal, "order_line_total_pkey")
+	case SchemaJoin:
+		h.olStock = mustTable(w.DB, "orderline_stock")
+		h.olStockGroup = mustIndex(h.olStock, "orderline_stock_group_idx")
+		h.olStockPK = mustIndex(h.olStock, "orderline_stock_order_idx")
+	}
+	w.h.Store(h)
+	w.variant.Store(int32(v))
+}
+
+// Variant returns the active schema variant.
+func (w *Workload) Variant() SchemaVariant { return SchemaVariant(w.variant.Load()) }
+
+// SetController installs (or removes, with nil) the BullFrog controller that
+// transactions drive for lazy migration.
+func (w *Workload) SetController(c *core.Controller) { w.ctrl.Store(c) }
+
+// Controller returns the active controller, or nil.
+func (w *Workload) Controller() *core.Controller { return w.ctrl.Load() }
+
+// SetMultiStep installs (or removes, with nil) the multi-step handle whose
+// dual writes transactions must feed during the copy window.
+func (w *Workload) SetMultiStep(ms *core.MultiStep) { w.ms.Store(ms) }
+
+// MultiStep returns the active multi-step handle, or nil.
+func (w *Workload) MultiStep() *core.MultiStep { return w.ms.Load() }
+
+func (w *Workload) handles() *handles { return w.h.Load() }
+
+// nowTime advances and returns the workload's logical clock.
+func (w *Workload) nowTime() time.Time {
+	return time.Unix(0, w.now.Add(int64(time.Second)))
+}
+
+// Run executes one transaction of the given type, including gate entry and
+// any pre-transaction lazy migration. Retryable failures are returned as-is
+// for the driver to retry.
+func (w *Workload) Run(r *rand.Rand, t TxnType) error {
+	w.Gate.Enter()
+	defer w.Gate.Leave()
+	switch t {
+	case TxnNewOrder:
+		return w.NewOrder(r)
+	case TxnPayment:
+		return w.Payment(r)
+	case TxnDelivery:
+		return w.Delivery(r)
+	case TxnOrderStatus:
+		return w.OrderStatus(r)
+	case TxnStockLevel:
+		return w.StockLevel(r)
+	default:
+		return fmt.Errorf("tpcc: unknown transaction type %d", t)
+	}
+}
+
+// baseHandlesMaybeRetired is baseHandles but tolerates retired/dropped old
+// tables (they disappear after migration completes).
+func baseHandlesMaybeRetired(db *engine.DB) *handles {
+	h := &handles{}
+	get := func(name string) *catalog.Table {
+		tbl, err := db.Catalog().Table(name)
+		if err != nil {
+			return nil
+		}
+		return tbl
+	}
+	h.warehouse = get("warehouse")
+	h.district = get("district")
+	h.customer = get("customer")
+	h.history = get("history")
+	h.orders = get("orders")
+	h.newOrder = get("new_order")
+	h.orderLine = get("order_line")
+	h.item = get("item")
+	h.stock = get("stock")
+	idx := func(tbl *catalog.Table, name string) index.Index {
+		if tbl == nil {
+			return nil
+		}
+		return tbl.IndexByName(name)
+	}
+	h.warehousePK = idx(h.warehouse, "warehouse_pkey")
+	h.districtPK = idx(h.district, "district_pkey")
+	h.customerPK = idx(h.customer, "customer_pkey")
+	h.customerName = idx(h.customer, "customer_name_idx")
+	h.ordersPK = idx(h.orders, "orders_pkey")
+	h.ordersCust = idx(h.orders, "orders_customer_idx")
+	h.newOrderPK = idx(h.newOrder, "new_order_pkey")
+	h.orderLinePK = idx(h.orderLine, "order_line_pkey")
+	h.orderLineItem = idx(h.orderLine, "order_line_item_idx")
+	h.itemPK = idx(h.item, "item_pkey")
+	h.stockPK = idx(h.stock, "stock_pkey")
+	return h
+}
+
+// pickCustomer selects (w, d, c) honoring the hot-set and sequential knobs.
+func (w *Workload) pickCustomer(r *rand.Rand) (int, int, int) {
+	if w.Sequential {
+		idx := int(w.seqCustomer.Add(1)-1) % w.Scale.Customers()
+		perD := w.Scale.CustomersPerDist
+		perW := w.Scale.DistrictsPerW * perD
+		return idx/perW + 1, (idx%perW)/perD + 1, idx%perD + 1
+	}
+	if w.HotCustomers > 0 && w.HotCustomers < w.Scale.Customers() {
+		idx := r.Intn(w.HotCustomers)
+		perD := w.Scale.CustomersPerDist
+		perW := w.Scale.DistrictsPerW * perD
+		return idx/perW + 1, (idx%perW)/perD + 1, idx%perD + 1
+	}
+	wID := r.Intn(w.Scale.Warehouses) + 1
+	dID := r.Intn(w.Scale.DistrictsPerW) + 1
+	cID := RandomCustomerID(r, w.Scale.CustomersPerDist)
+	return wID, dID, cID
+}
+
+// ensureSplitCustomer lazily migrates one customer into the split tables.
+func (w *Workload) ensureSplitCustomer(wID, dID, cID int) error {
+	ctrl := w.Controller()
+	if ctrl == nil {
+		return nil
+	}
+	return ctrl.EnsureMigrated("customer_private", eqPred(
+		predPair{"c_w_id", i64(wID)}, predPair{"c_d_id", i64(dID)}, predPair{"c_id", i64(cID)},
+	))
+}
+
+// noteWrite forwards dual writes during a multi-step window.
+func (w *Workload) noteWrite(table string, tids []storage.TID, rows []types.Row) error {
+	ms := w.MultiStep()
+	if ms == nil || len(tids) == 0 && len(rows) == 0 {
+		return nil
+	}
+	return ms.NoteWrite(table, tids, rows)
+}

@@ -1,0 +1,68 @@
+package txn
+
+import (
+	"testing"
+)
+
+func TestCommittedAtOrBefore(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin()
+	t1.Commit()
+	seq1 := m.CurrentSeq()
+	t2 := m.Begin()
+	t2.Commit()
+	seq2 := m.CurrentSeq()
+
+	if !m.CommittedAtOrBefore(t1.ID(), seq1) {
+		t.Error("t1 committed at seq1")
+	}
+	if m.CommittedAtOrBefore(t2.ID(), seq1) {
+		t.Error("t2 committed after seq1")
+	}
+	if !m.CommittedAtOrBefore(t2.ID(), seq2) {
+		t.Error("t2 committed at seq2")
+	}
+	// Active and aborted transactions never qualify.
+	t3 := m.Begin()
+	if m.CommittedAtOrBefore(t3.ID(), seq2+10) {
+		t.Error("active txn cannot be committed-before")
+	}
+	t3.Abort()
+	if m.CommittedAtOrBefore(t3.ID(), seq2+10) {
+		t.Error("aborted txn cannot be committed-before")
+	}
+	// Pruned (unknown) ids report true — they are below every horizon.
+	if !m.CommittedAtOrBefore(999999, 0) {
+		t.Error("unknown ids should report committed")
+	}
+}
+
+func TestVisibleRowOnNilChain(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	defer tx.Abort()
+	if _, ok := tx.VisibleRow(nil); ok {
+		t.Error("nil chain should be invisible")
+	}
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if tx.Manager() != m {
+		t.Error("Manager accessor")
+	}
+	if tx.Snapshot().Seq != 0 {
+		t.Errorf("fresh snapshot seq = %d", tx.Snapshot().Seq)
+	}
+	if tx.String() == "" {
+		t.Error("String")
+	}
+	if tx.Done() || tx.Aborted() {
+		t.Error("fresh txn flags")
+	}
+	tx.Abort()
+	if !tx.Done() || !tx.Aborted() {
+		t.Error("aborted txn flags")
+	}
+}

@@ -1,0 +1,145 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCompareBasics(t *testing.T) {
+	t1 := NewTime(time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC))
+	t2 := NewTime(time.Date(2021, 1, 1, 0, 0, 0, 0, time.UTC))
+	cases := []struct {
+		a, b Datum
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(1.5), NewInt(1), 1},
+		{NewInt(2), NewFloat(2.0), 0},
+		{NewFloat(2.0), NewFloat(2.0), 0},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewString("ba"), NewString("b"), 1},
+		{NewBool(false), NewBool(true), -1},
+		{t1, t2, -1},
+		{t2, t2, 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(NewInt(a), NewInt(b)) == -Compare(NewInt(b), NewInt(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualCrossKindNumeric(t *testing.T) {
+	if !Equal(NewInt(7), NewFloat(7.0)) {
+		t.Error("7 should equal 7.0")
+	}
+	if Equal(NewInt(7), NewFloat(7.1)) {
+		t.Error("7 should not equal 7.1")
+	}
+}
+
+func TestHashConsistentWithEqual(t *testing.T) {
+	if Hash(NewInt(7)) != Hash(NewFloat(7.0)) {
+		t.Error("equal numerics must hash identically")
+	}
+	if Hash(NewString("a")) == Hash(NewString("b")) {
+		t.Error("suspicious collision on trivially different strings")
+	}
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := randomDatum(r), randomDatum(r)
+		if Equal(a, b) && Hash(a) != Hash(b) {
+			t.Fatalf("Equal(%v, %v) but hashes differ", a, b)
+		}
+	}
+}
+
+func TestHashRowOrderSensitive(t *testing.T) {
+	a := Row{NewInt(1), NewInt(2)}
+	b := Row{NewInt(2), NewInt(1)}
+	if HashRow(a) == HashRow(b) {
+		t.Error("HashRow should be order sensitive")
+	}
+	if HashRow(a) != HashRow(Row{NewInt(1), NewInt(2)}) {
+		t.Error("HashRow should be deterministic")
+	}
+}
+
+// randomDatum produces a random datum of a random kind; used by the encoding
+// property tests as well.
+func randomDatum(r *rand.Rand) Datum {
+	switch r.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return NewInt(r.Int63() - r.Int63())
+	case 2:
+		return NewFloat((r.Float64() - 0.5) * 1e9)
+	case 3:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256)) // includes 0x00 and 0xFF to stress escaping
+		}
+		return NewString(string(b))
+	case 4:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewTime(time.Unix(0, r.Int63()-r.Int63()))
+	}
+}
+
+// randomDatumOfKind produces a random datum of the given kind.
+func randomDatumOfKind(r *rand.Rand, k Kind) Datum {
+	switch k {
+	case KindNull:
+		return Null
+	case KindInt:
+		return NewInt(r.Int63() - r.Int63())
+	case KindFloat:
+		return NewFloat((r.Float64() - 0.5) * 1e9)
+	case KindString:
+		n := r.Intn(12)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return NewString(string(b))
+	case KindBool:
+		return NewBool(r.Intn(2) == 0)
+	default:
+		return NewTime(time.Unix(0, r.Int63()-r.Int63()))
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		a, b, c := randomDatum(r), randomDatum(r), randomDatum(r)
+		if Compare(a, b) != -Compare(b, a) {
+			t.Fatalf("antisymmetry violated: %v vs %v", a, b)
+		}
+		// Transitivity of <=.
+		if Compare(a, b) <= 0 && Compare(b, c) <= 0 && Compare(a, c) > 0 {
+			t.Fatalf("transitivity violated: %v, %v, %v", a, b, c)
+		}
+	}
+}

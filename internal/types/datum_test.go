@@ -1,0 +1,100 @@
+package types
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDatumAccessors(t *testing.T) {
+	ts := time.Date(2021, 6, 20, 12, 30, 0, 0, time.UTC)
+	cases := []struct {
+		d    Datum
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{NewInt(42), KindInt, "42"},
+		{NewInt(-7), KindInt, "-7"},
+		{NewFloat(3.5), KindFloat, "3.5"},
+		{NewString("abc"), KindString, "'abc'"},
+		{NewBool(true), KindBool, "true"},
+		{NewBool(false), KindBool, "false"},
+		{NewTime(ts), KindTime, "'2021-06-20 12:30:00'"},
+	}
+	for _, c := range cases {
+		if c.d.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.d, c.d.Kind(), c.kind)
+		}
+		if got := c.d.String(); got != c.str {
+			t.Errorf("String() = %q, want %q", got, c.str)
+		}
+	}
+	if !Null.IsNull() || NewInt(0).IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if NewInt(42).Int() != 42 {
+		t.Error("Int round trip")
+	}
+	if NewFloat(2.5).Float() != 2.5 {
+		t.Error("Float round trip")
+	}
+	if NewInt(3).Float() != 3.0 {
+		t.Error("Int widening via Float()")
+	}
+	if NewString("x").Str() != "x" {
+		t.Error("Str round trip")
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("Bool round trip")
+	}
+	if !NewTime(ts).Time().Equal(ts) {
+		t.Error("Time round trip")
+	}
+}
+
+func TestDatumAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int on string", func() { NewString("x").Int() })
+	mustPanic("Str on int", func() { NewInt(1).Str() })
+	mustPanic("Bool on int", func() { NewInt(1).Bool() })
+	mustPanic("Time on int", func() { NewInt(1).Time() })
+	mustPanic("Float on string", func() { NewString("x").Float() })
+}
+
+func TestRowClone(t *testing.T) {
+	r := Row{NewInt(1), NewString("a")}
+	c := r.Clone()
+	c[0] = NewInt(9)
+	if r[0].Int() != 1 {
+		t.Error("Clone aliases the original row")
+	}
+	if Row(nil).Clone() != nil {
+		t.Error("nil row should clone to nil")
+	}
+	if got := r.String(); got != "(1, 'a')" {
+		t.Errorf("Row.String() = %q", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindString: "TEXT", KindBool: "BOOL", KindTime: "TIMESTAMP",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Errorf("unknown kind formatting: %q", Kind(99).String())
+	}
+}

@@ -1,0 +1,162 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(5)
+		row := make(Row, n)
+		for j := range row {
+			row[j] = randomDatum(r)
+		}
+		enc := EncodeKey(nil, row)
+		dec, err := DecodeKey(enc)
+		if err != nil {
+			t.Fatalf("decode %v: %v", row, err)
+		}
+		if len(dec) != len(row) {
+			t.Fatalf("decoded %d datums, want %d", len(dec), len(row))
+		}
+		for j := range row {
+			if row[j].Kind() != dec[j].Kind() || Compare(row[j], dec[j]) != 0 {
+				t.Fatalf("round trip mismatch at %d: %v -> %v", j, row[j], dec[j])
+			}
+		}
+	}
+}
+
+// TestEncodeOrderPreserving is the key property: for same-kind (or NULL)
+// datums, byte comparison of encodings matches Compare.
+func TestEncodeOrderPreserving(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	kinds := []Kind{KindInt, KindFloat, KindString, KindBool, KindTime}
+	for i := 0; i < 20000; i++ {
+		k := kinds[r.Intn(len(kinds))]
+		a, b := randomDatumOfKind(r, k), randomDatumOfKind(r, k)
+		if r.Intn(10) == 0 {
+			a = Null
+		}
+		if r.Intn(10) == 0 {
+			b = Null
+		}
+		ea, eb := EncodeDatum(nil, a), EncodeDatum(nil, b)
+		got := bytes.Compare(ea, eb)
+		want := Compare(a, b)
+		if sign(got) != sign(want) {
+			t.Fatalf("order mismatch: Compare(%v,%v)=%d but bytes.Compare=%d", a, b, want, got)
+		}
+	}
+}
+
+func TestEncodeOrderPreservingRows(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	kinds := []Kind{KindInt, KindString, KindTime}
+	for i := 0; i < 5000; i++ {
+		n := 1 + r.Intn(3)
+		a, b := make(Row, n), make(Row, n)
+		for j := 0; j < n; j++ {
+			k := kinds[r.Intn(len(kinds))]
+			a[j], b[j] = randomDatumOfKind(r, k), randomDatumOfKind(r, k)
+		}
+		got := sign(bytes.Compare(EncodeKey(nil, a), EncodeKey(nil, b)))
+		want := sign(compareRows(a, b))
+		if got != want {
+			t.Fatalf("row order mismatch: %v vs %v: bytes %d, rows %d", a, b, got, want)
+		}
+	}
+}
+
+func compareRows(a, b Row) int {
+	for i := range a {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func TestEncodeStringPrefixOrdering(t *testing.T) {
+	// "ab" < "ab\x00" < "ab\x00x" < "abc": escaping must not break ordering
+	// around embedded NUL bytes.
+	strs := []string{"ab", "ab\x00", "ab\x00x", "abc"}
+	for i := 0; i+1 < len(strs); i++ {
+		a := EncodeDatum(nil, NewString(strs[i]))
+		b := EncodeDatum(nil, NewString(strs[i+1]))
+		if bytes.Compare(a, b) >= 0 {
+			t.Errorf("encoding of %q should sort before %q", strs[i], strs[i+1])
+		}
+	}
+}
+
+func TestEncodeFloatSpecials(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -0.5, 0, 0.5, 1, 1e300, math.Inf(1)}
+	var prev []byte
+	for _, v := range vals {
+		enc := EncodeDatum(nil, NewFloat(v))
+		if prev != nil && bytes.Compare(prev, enc) >= 0 {
+			t.Errorf("float ordering broken at %v", v)
+		}
+		prev = enc
+		d, rest, err := DecodeDatum(enc)
+		if err != nil || len(rest) != 0 || d.Float() != v {
+			t.Errorf("float %v round trip failed: %v %v", v, d, err)
+		}
+	}
+	// NaN must at least round trip as NaN and sort last.
+	nan := EncodeDatum(nil, NewFloat(math.NaN()))
+	if bytes.Compare(prev, nan) >= 0 {
+		t.Error("NaN should sort after +Inf")
+	}
+}
+
+func TestEncodeTimeRoundTrip(t *testing.T) {
+	ts := time.Date(1999, 12, 31, 23, 59, 59, 999999999, time.UTC)
+	enc := EncodeDatum(nil, NewTime(ts))
+	d, rest, err := DecodeDatum(enc)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("decode: %v", err)
+	}
+	if !d.Time().Equal(ts) {
+		t.Errorf("time round trip: got %v want %v", d.Time(), ts)
+	}
+}
+
+func TestDecodeCorruptKeys(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0xEE},             // unknown tag
+		{tagInt, 1, 2},     // short int
+		{tagFloat, 1},      // short float
+		{tagTime, 1},       // short time
+		{tagBool},          // missing payload
+		{tagString, 'a'},   // unterminated string
+		{tagString, 0x00},  // dangling escape
+		{tagString, 0, 77}, // invalid escape
+	}
+	for _, b := range bad {
+		if _, _, err := DecodeDatum(b); err == nil {
+			t.Errorf("DecodeDatum(%v) should fail", b)
+		}
+	}
+	if _, err := DecodeKey([]byte{tagInt, 0}); err == nil {
+		t.Error("DecodeKey on truncated input should fail")
+	}
+}

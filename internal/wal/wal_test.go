@@ -1,0 +1,194 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Type: RecBegin, XID: 1},
+		{Type: RecInsert, XID: 1, Table: "customer", TID: storage.TID{Page: 2, Slot: 3},
+			Row: types.Row{types.NewInt(7), types.NewString("alice"), types.Null}},
+		{Type: RecUpdate, XID: 1, Table: "customer", TID: storage.TID{Page: 2, Slot: 3},
+			Row: types.Row{types.NewInt(7), types.NewString("bob"), types.NewFloat(1.5)}},
+		{Type: RecDelete, XID: 1, Table: "orders", TID: storage.TID{Page: 9, Slot: 0}},
+		{Type: RecMigrated, XID: 1, Table: "split:customer", Key: []byte{0xAA, 0x00, 0xBB}},
+		{Type: RecCommit, XID: 1},
+		{Type: RecBegin, XID: 2},
+		{Type: RecAbort, XID: 2},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	recs := sampleRecords()
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != int64(len(recs)) {
+		t.Errorf("Count = %d", w.Count())
+	}
+
+	var got []Record
+	if err := Replay(&buf, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(recs))
+	}
+	for i, want := range recs {
+		g := got[i]
+		if g.Type != want.Type || g.XID != want.XID || g.Table != want.Table || g.TID != want.TID {
+			t.Errorf("record %d: got %+v, want %+v", i, g, want)
+		}
+		if len(g.Row) != len(want.Row) {
+			t.Errorf("record %d row width %d, want %d", i, len(g.Row), len(want.Row))
+			continue
+		}
+		for j := range want.Row {
+			if !want.Row[j].IsNull() && !types.Equal(g.Row[j], want.Row[j]) {
+				t.Errorf("record %d row[%d] = %v, want %v", i, j, g.Row[j], want.Row[j])
+			}
+		}
+		if !bytes.Equal(g.Key, want.Key) {
+			t.Errorf("record %d key = %v, want %v", i, g.Key, want.Key)
+		}
+	}
+}
+
+func TestTornTailIsEOF(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Type: RecBegin, XID: 1})
+	w.Append(Record{Type: RecCommit, XID: 1})
+	w.Flush()
+	full := buf.Bytes()
+
+	// Truncate at every byte boundary of the second record; replay must
+	// surface exactly one record and no error.
+	firstLen := 8 + 1 + 1 // header + type + uvarint(1)
+	for cut := firstLen + 1; cut < len(full); cut++ {
+		var n int
+		err := Replay(bytes.NewReader(full[:cut]), func(Record) error { n++; return nil })
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if n != 1 {
+			t.Fatalf("cut=%d: replayed %d records, want 1", cut, n)
+		}
+	}
+}
+
+func TestChecksumCatchesCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Type: RecInsert, XID: 5, Table: "t", Row: types.Row{types.NewInt(1)}})
+	w.Flush()
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0xFF // flip a payload byte
+	err := Replay(bytes.NewReader(data), func(Record) error { return nil })
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupted payload: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReplayCallbackError(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Type: RecBegin, XID: 1})
+	w.Flush()
+	sentinel := errors.New("stop")
+	if err := Replay(&buf, func(Record) error { return sentinel }); !errors.Is(err, sentinel) {
+		t.Errorf("callback error not propagated: %v", err)
+	}
+}
+
+func TestCommittedSet(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Append(Record{Type: RecBegin, XID: 1})
+	w.Append(Record{Type: RecCommit, XID: 1})
+	w.Append(Record{Type: RecBegin, XID: 2})
+	w.Append(Record{Type: RecAbort, XID: 2})
+	w.Append(Record{Type: RecBegin, XID: 3}) // in-flight at crash
+	w.Flush()
+	set, err := CommittedSet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set[1] || set[2] || set[3] {
+		t.Errorf("CommittedSet = %v", set)
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	var l Logger = Nop{}
+	if err := l.Append(Record{Type: RecBegin, XID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(xid uint64) {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				w.Append(Record{Type: RecInsert, XID: xid, Table: "t",
+					TID: storage.TID{Slot: uint32(j)}, Row: types.Row{types.NewInt(int64(j))}})
+			}
+		}(uint64(i + 1))
+	}
+	wg.Wait()
+	w.Flush()
+	n := 0
+	if err := Replay(&buf, func(Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Errorf("replayed %d records, want %d", n, workers*per)
+	}
+}
+
+func TestRecTypeString(t *testing.T) {
+	want := map[RecType]string{
+		RecBegin: "BEGIN", RecCommit: "COMMIT", RecAbort: "ABORT",
+		RecInsert: "INSERT", RecUpdate: "UPDATE", RecDelete: "DELETE",
+		RecMigrated: "MIGRATED",
+	}
+	for rt, s := range want {
+		if rt.String() != s {
+			t.Errorf("%d.String() = %q, want %q", rt, rt.String(), s)
+		}
+	}
+	if RecType(99).String() != "RecType(99)" {
+		t.Error("unknown type formatting")
+	}
+}
+
+func TestReaderDirectEOF(t *testing.T) {
+	r := NewReader(bytes.NewReader(nil))
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("empty log: %v", err)
+	}
+}

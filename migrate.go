@@ -1,0 +1,109 @@
+package bullfrog
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+)
+
+// MigrateOptions configures a single-step BullFrog migration.
+type MigrateOptions struct {
+	// BackgroundDelay is how long after the logical switch the background
+	// migration threads start (paper §2.2; the evaluation uses 20s). A
+	// negative value disables background migration entirely (the dotted
+	// lines of Figure 3).
+	BackgroundDelay time.Duration
+	// BackgroundChunk tunes the background worker batch size (0 = default).
+	BackgroundChunk int
+	// BackgroundInterval throttles background batches (0 = none).
+	BackgroundInterval time.Duration
+}
+
+// Migrate performs a single-step, zero-downtime BullFrog migration: the new
+// schema is active when this returns (typically within microseconds), while
+// physical data movement happens lazily on access plus in the background.
+func (db *DB) Migrate(m *Migration, opts MigrateOptions) error {
+	if err := db.ctrl.Start(m); err != nil {
+		return err
+	}
+	if opts.BackgroundDelay >= 0 {
+		db.bg = core.NewBackground(db.ctrl, opts.BackgroundDelay)
+		if opts.BackgroundChunk > 0 {
+			db.bg.ChunkGranules = opts.BackgroundChunk
+			db.bg.ChunkTuples = int64(opts.BackgroundChunk) * 64
+		}
+		db.bg.Interval = opts.BackgroundInterval
+		db.bg.Start()
+	}
+	return nil
+}
+
+// Background returns the background migrator, or nil.
+func (db *DB) Background() *core.Background { return db.bg }
+
+// MigrationComplete reports whether all data has been physically migrated.
+func (db *DB) MigrationComplete() bool { return db.ctrl.Complete() }
+
+// WaitForMigration blocks until the active migration completes or the
+// timeout elapses.
+func (db *DB) WaitForMigration(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !db.ctrl.Complete() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bullfrog: migration incomplete after %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// FinishMigration synchronously migrates all remaining data (the background
+// process's work, on demand) and returns when the migration is complete.
+func (db *DB) FinishMigration() error {
+	for _, rt := range db.ctrl.Runtimes() {
+		if err := rt.CatchUp(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResetMigration clears a completed migration so another can be submitted —
+// the continuous-deployment cadence (one evolution per deploy). It fails
+// while data is still moving.
+func (db *DB) ResetMigration() error {
+	if db.bg != nil {
+		db.bg.Stop()
+		db.bg = nil
+	}
+	return db.ctrl.Reset()
+}
+
+// Vacuum prunes dead MVCC versions and transaction state (analogous to
+// PostgreSQL's VACUUM). Long-running deployments should call it
+// periodically.
+func (db *DB) Vacuum() (versions, states int) { return db.eng.Vacuum() }
+
+// MigrationStats summarizes an active migration's progress per statement.
+func (db *DB) MigrationStats() map[string]core.Stats {
+	out := map[string]core.Stats{}
+	for _, rt := range db.ctrl.Runtimes() {
+		out[rt.Stmt.Name] = rt.Stats()
+	}
+	return out
+}
+
+// MigrateEager runs the eager baseline: all client transactions are blocked
+// while every row moves, exactly the downtime the paper's Figures 3/5/7 show
+// for "Eager migration".
+func (db *DB) MigrateEager(m *Migration) (core.EagerResult, error) {
+	return core.MigrateEager(db.eng, m, db.gate)
+}
+
+// MigrateMultiStep starts the multi-step baseline: background copy with dual
+// writes, switch-over when caught up. The caller drives writes through
+// MultiStep.NoteWrite during the window and calls Switch at completion.
+func (db *DB) MigrateMultiStep(m *Migration) (*core.MultiStep, error) {
+	return core.StartMultiStep(db.eng, m)
+}

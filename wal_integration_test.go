@@ -1,0 +1,170 @@
+package bullfrog_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// TestCrashRecoveryMidMigration exercises the whole §3.5 story through the
+// public API: a WAL-backed database crashes halfway through a lazy
+// migration; the restarted process replays the log, restores tracker state,
+// finishes the migration, and ends with exactly-once results.
+func TestCrashRecoveryMidMigration(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := wal.NewWriter(&logBuf)
+	db := bullfrog.Open(bullfrog.Options{WAL: logger})
+
+	if _, err := db.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if _, err := db.Exec(
+			`INSERT INTO people VALUES (` + itoa(i) + `, 'name-` + itoa(i) + `', 'city-` + itoa(i%5) + `')`); err != nil {
+			t.Fatal(err)
+		}
+	}
+	migration := func() *bullfrog.Migration {
+		return &bullfrog.Migration{
+			Name:  "people-split",
+			Setup: `CREATE TABLE people_city (id INT PRIMARY KEY, city CHAR(16))`,
+			Statements: []*bullfrog.Statement{{
+				Name: "people-split", Driving: "p", Category: bullfrog.OneToOne,
+				Outputs: []bullfrog.OutputSpec{{
+					Table: "people_city",
+					Def:   bullfrog.MustQuery(`SELECT id, city FROM people p`),
+				}},
+			}},
+			RetireInputs: []string{"people"},
+		}
+	}
+	if err := db.Migrate(migration(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// Lazily migrate a few rows, then "crash".
+	for _, id := range []int{5, 6, 17} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	logger.Flush()
+	logBytes := append([]byte(nil), logBuf.Bytes()...)
+
+	// Restart: schema DDL re-runs (DDL is not logged), migration re-registers,
+	// the WAL replays, and tracker state comes back.
+	db2 := bullfrog.Open(bullfrog.Options{})
+	if _, err := db2.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Migrate(migration(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db2.Controller().Recover(func() (io.Reader, error) {
+		return bytes.NewReader(logBytes), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Migrated != 3 {
+		t.Errorf("restored %d migration records, want 3", stats.Migrated)
+	}
+	// The tracker is restored to exactly the three committed granules. (An
+	// unfiltered COUNT(*) would itself migrate everything — the facade's
+	// interception working as designed — so inspect the tracker directly.)
+	if got := db2.Controller().RuntimeFor("people_city").Tracker().MigratedCount(); got != 3 {
+		t.Errorf("tracker restored %d granules, want 3", got)
+	}
+	res, err := db2.Query(`SELECT COUNT(*) FROM people_city WHERE id = 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("recovered row lookup: %v", res.Rows[0][0])
+	}
+	// Finish via background and verify exactly-once (errors would surface
+	// as unique violations if recovery forgot tracker state).
+	bg := core.NewBackground(db2.Controller(), 0)
+	bg.Start()
+	bg.Wait()
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, _ = db2.Query(`SELECT COUNT(*) FROM people_city`)
+	if res.Rows[0][0].Int() != 40 {
+		t.Errorf("rows after completion: %v", res.Rows[0][0])
+	}
+}
+
+// TestMigrationUnderConcurrentSQL drives SQL clients from several goroutines
+// across a live migration through the public API.
+func TestMigrationUnderConcurrentSQL(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, grp INT, val FLOAT)`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 200; i++ {
+		db.Exec(`INSERT INTO items VALUES (` + itoa(i) + `, ` + itoa(i%10) + `, 1.5)`)
+	}
+	m := &bullfrog.Migration{
+		Name:  "grp-total",
+		Setup: `CREATE TABLE grp_total (grp INT PRIMARY KEY, total FLOAT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "grp-total", Driving: "i", Category: bullfrog.ManyToOne,
+			GroupBy: []string{"grp"},
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "grp_total",
+				Def:   bullfrog.MustQuery(`SELECT grp, SUM(val) AS total FROM items i GROUP BY grp`),
+			}},
+		}},
+	}
+	if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: 50 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 25; i++ {
+				if _, err := db.Query(`SELECT total FROM grp_total WHERE grp = ` + itoa((g+i)%10)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.WaitForMigration(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.Query(`SELECT COUNT(*) FROM grp_total`)
+	if res.Rows[0][0].Int() != 10 {
+		t.Errorf("groups: %v", res.Rows[0][0])
+	}
+	res, _ = db.Query(`SELECT SUM(total) FROM grp_total`)
+	if got := res.Rows[0][0].Float(); got != 300 {
+		t.Errorf("grand total = %v, want 300", got)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
