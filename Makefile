@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples clean
+.PHONY: all build vet test race bench figures examples ci clean
 
 all: build vet test
+
+# What CI runs (.github/workflows/ci.yml); run before sending a change.
+ci: vet build
+	$(GO) test -race ./...
 
 build:
 	$(GO) build ./...

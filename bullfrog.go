@@ -1,17 +1,22 @@
 package bullfrog
 
 import (
+	"errors"
 	"fmt"
+	"io"
+	"sync/atomic"
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/core"
 	"github.com/bullfrogdb/bullfrog/internal/engine"
-	"github.com/bullfrogdb/bullfrog/internal/expr"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/txn"
 	"github.com/bullfrogdb/bullfrog/internal/types"
 	"github.com/bullfrogdb/bullfrog/internal/wal"
 )
+
+// ErrClosed is returned by operations on a database after Close.
+var ErrClosed = errors.New("bullfrog: database is closed")
 
 // Re-exported building blocks, so callers assemble migrations without
 // importing internal packages.
@@ -89,26 +94,56 @@ type Options struct {
 	ConflictMode ConflictMode
 }
 
-// DB is an embedded BullFrog database.
+// DB is an embedded BullFrog database. Close releases its resources; other
+// methods must not be called after Close.
 type DB struct {
-	eng  *engine.DB
-	ctrl *core.Controller
-	gate *core.Gate
-	bg   *core.Background
+	eng    *engine.DB
+	ctrl   *core.Controller
+	gate   *core.Gate
+	bg     *core.Background
+	walSrc wal.Logger // the caller-supplied logger, for Close
+	closed atomic.Bool
 }
 
-// Open creates an empty database.
+// Open creates an empty database. Callers should Close it when done.
 func Open(opts Options) *DB {
 	eng := engine.New(engine.Options{
 		PageSize:    opts.PageSize,
 		LockTimeout: opts.LockTimeout,
 		WAL:         opts.WAL,
 	})
+	gate := core.NewGate()
+	gate.SetObs(eng.Obs().Migration)
 	return &DB{
-		eng:  eng,
-		ctrl: core.NewController(eng, opts.ConflictMode),
-		gate: core.NewGate(),
+		eng:    eng,
+		ctrl:   core.NewController(eng, opts.ConflictMode),
+		gate:   gate,
+		walSrc: opts.WAL,
 	}
+}
+
+// Close shuts the database down: it stops the background migrator, flushes
+// the WAL, and closes the caller-supplied WAL logger if it implements
+// io.Closer. Close is idempotent; after the first call, Exec/Query/Begin/
+// Migrate return ErrClosed.
+func (db *DB) Close() error {
+	if !db.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if db.bg != nil {
+		db.bg.Stop()
+		db.bg = nil
+	}
+	var firstErr error
+	if err := db.eng.WAL().Flush(); err != nil {
+		firstErr = fmt.Errorf("bullfrog: flushing WAL: %w", err)
+	}
+	if c, ok := db.walSrc.(io.Closer); ok {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("bullfrog: closing WAL: %w", err)
+		}
+	}
+	return firstErr
 }
 
 // Engine exposes the underlying query engine (power users, benchmarks).
@@ -126,6 +161,9 @@ func (db *DB) Gate() *core.Gate { return db.gate }
 // transaction, after performing any lazy migration the statements require.
 // The result of the last statement is returned.
 func (db *DB) Exec(src string) (*Result, error) {
+	if db.closed.Load() {
+		return nil, ErrClosed
+	}
 	stmts, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
@@ -176,12 +214,12 @@ func (db *DB) interceptStmt(s sql.Statement) error {
 		if err := db.checkRetired(t.Table); err != nil {
 			return err
 		}
-		return db.ensureForTable(t.Table, t.Alias, t.Where)
+		return db.ctrl.EnsureForTable(t.Table, t.Alias, t.Where)
 	case *sql.DeleteStmt:
 		if err := db.checkRetired(t.Table); err != nil {
 			return err
 		}
-		return db.ensureForTable(t.Table, t.Alias, t.Where)
+		return db.ctrl.EnsureForTable(t.Table, t.Alias, t.Where)
 	case *sql.InsertStmt:
 		if err := db.checkRetired(t.Table); err != nil {
 			return err
@@ -229,78 +267,11 @@ func (db *DB) interceptSelect(s *sql.SelectStmt) error {
 			}
 			continue
 		}
-		if err := db.ensureForTable(ref.Name, ref.Alias, s.Where); err != nil {
+		if err := db.ctrl.EnsureForTable(ref.Name, ref.Alias, s.Where); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// ensureForTable migrates data relevant to a request on `table` filtered by
-// `where`. Only the conjuncts fully resolvable against the table's columns
-// narrow the migration; everything else falls back to the table's full scope
-// for safety (superset semantics, paper §2.4).
-func (db *DB) ensureForTable(table, alias string, where expr.Expr) error {
-	rt := db.ctrl.RuntimeFor(table)
-	if rt == nil || rt.Complete() {
-		return nil
-	}
-	tbl, err := db.eng.Catalog().Table(table)
-	if err != nil {
-		return nil // engine will surface the real error
-	}
-	if alias == "" {
-		alias = table
-	}
-	var pred expr.Expr
-	for _, conj := range expr.SplitConjuncts(where) {
-		ok := true
-		for _, c := range expr.CollectCols(conj) {
-			if c.Table != "" && !equalFold(c.Table, alias) {
-				ok = false
-				break
-			}
-			if tbl.Def.ColumnIndex(c.Name) < 0 {
-				ok = false
-				break
-			}
-		}
-		if !ok {
-			continue
-		}
-		// Strip qualifiers so the predicate speaks the output table's
-		// column language for transposition.
-		stripped, err := expr.Transform(conj, func(x expr.Expr) (expr.Expr, error) {
-			if c, ok := x.(*expr.Col); ok {
-				return expr.NewCol("", c.Name), nil
-			}
-			return x, nil
-		})
-		if err != nil {
-			return err
-		}
-		pred = expr.CombineConjuncts(pred, stripped)
-	}
-	return db.ctrl.EnsureMigrated(table, pred)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
 }
 
 // Txn is a client transaction handle for programmatic (non-SQL) access; it

@@ -25,6 +25,7 @@ func main() {
 	fig := flag.String("fig", "all", "figure to reproduce: 3,4,5,6,7,8,9,10,11,12 or 'all'")
 	rate := flag.Float64("rate", 0.6, "offered load as a fraction of measured capacity (0.6 = the paper's 450 TPS regime, 1.0 = 700 TPS)")
 	prof := flag.String("profile", "quick", "run geometry: quick, medium, or full")
+	jsonDir := flag.String("json", "", "also write BENCH_<figure>.json (series + per-second metrics timeline) into this directory")
 	flag.Parse()
 
 	var profile bench.Profile
@@ -46,7 +47,7 @@ func main() {
 	}
 	start := time.Now()
 	for _, f := range figs {
-		if err := runFigure(f, profile, *rate); err != nil {
+		if err := runFigure(f, profile, *rate, *jsonDir); err != nil {
 			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
 			os.Exit(1)
 		}
@@ -54,75 +55,66 @@ func main() {
 	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
 }
 
-func runFigure(f string, p bench.Profile, rate float64) error {
+// Formatter combinations per figure kind.
+var (
+	throughput = []func(*bench.FigureResult) string{bench.FormatThroughput, bench.FormatSummary}
+	cdf        = []func(*bench.FigureResult) string{bench.FormatCDF, bench.FormatSummary}
+	both       = []func(*bench.FigureResult) string{bench.FormatThroughput, bench.FormatCDF, bench.FormatSummary}
+)
+
+func runFigure(f string, p bench.Profile, rate float64, jsonDir string) error {
+	emit := func(fr *bench.FigureResult, err error, formats []func(*bench.FigureResult) string) error {
+		if err != nil {
+			return err
+		}
+		for _, format := range formats {
+			fmt.Print(format(fr))
+		}
+		if jsonDir != "" {
+			path, err := bench.WriteJSON(fr, jsonDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		return nil
+	}
 	switch f {
 	case "3":
 		fr, err := bench.Figure3(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+		return emit(fr, err, throughput)
 	case "4":
 		fr, err := bench.Figure4(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatCDF(fr), bench.FormatSummary(fr))
+		return emit(fr, err, cdf)
 	case "5":
 		fr, err := bench.Figure5(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+		return emit(fr, err, throughput)
 	case "6":
 		fr, err := bench.Figure6(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatCDF(fr), bench.FormatSummary(fr))
+		return emit(fr, err, cdf)
 	case "7":
 		fr, err := bench.Figure7(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+		return emit(fr, err, throughput)
 	case "8":
 		fr, err := bench.Figure8(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatCDF(fr), bench.FormatSummary(fr))
+		return emit(fr, err, cdf)
 	case "9":
 		fr, err := bench.Figure9(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatCDF(fr), bench.FormatSummary(fr))
+		return emit(fr, err, both)
 	case "10":
 		fr, err := bench.Figure10(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatCDF(fr), bench.FormatSummary(fr))
+		return emit(fr, err, both)
 	case "11":
 		fr, err := bench.Figure11(p, rate)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatCDF(fr), bench.FormatSummary(fr))
+		return emit(fr, err, both)
 	case "12":
 		fr, err := bench.Figure12(p, rate, false)
-		if err != nil {
+		if err := emit(fr, err, throughput); err != nil {
 			return err
 		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
 		fr, err = bench.Figure12(p, rate, true)
-		if err != nil {
-			return err
-		}
-		fmt.Print(bench.FormatThroughput(fr), bench.FormatSummary(fr))
+		return emit(fr, err, throughput)
 	default:
 		return fmt.Errorf("unknown figure %q", f)
 	}
-	return nil
 }

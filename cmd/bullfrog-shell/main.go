@@ -9,7 +9,8 @@
 //	a | b
 //	1 | 'hello'
 //
-// Meta commands: \d (list tables), \q (quit).
+// Meta commands: \d (list tables), \metrics (dump internal metrics),
+// \q (quit).
 package main
 
 import (
@@ -26,6 +27,7 @@ func main() {
 	script := flag.String("f", "", "execute the SQL file and exit")
 	flag.Parse()
 	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
 	if *script != "" {
 		src, err := os.ReadFile(*script)
 		if err != nil {
@@ -42,7 +44,7 @@ func main() {
 	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\q quits.")
+	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\metrics shows stats, \\q quits.")
 	var buf strings.Builder
 	prompt := "bullfrog> "
 	for {
@@ -62,6 +64,9 @@ func main() {
 					fmt.Println(tbl.Def.String())
 				}
 			}
+			continue
+		case `\metrics`:
+			fmt.Print(db.Metrics().Text())
 			continue
 		}
 		buf.WriteString(line)

@@ -14,6 +14,7 @@ import (
 
 func main() {
 	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
 	must(db.Exec(`
 		CREATE TABLE order_line (
 			w INT, o INT, n INT, amount FLOAT,

@@ -15,6 +15,7 @@ import (
 
 func main() {
 	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
 	must(db.Exec(`
 		CREATE TABLE lines (w INT, o INT, i INT, qty INT, PRIMARY KEY (w, o, i));
 		CREATE TABLE stock (s_w INT, s_i INT, s_qty INT, PRIMARY KEY (s_w, s_i));`))

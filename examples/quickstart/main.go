@@ -15,6 +15,7 @@ import (
 
 func main() {
 	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
 
 	// 1. The original schema and some data.
 	must(db.Exec(`

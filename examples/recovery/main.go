@@ -21,6 +21,7 @@ func main() {
 	var logBuf bytes.Buffer
 	logger := wal.NewWriter(&logBuf)
 	db := bullfrog.Open(bullfrog.Options{WAL: logger})
+	defer db.Close()
 
 	schema := `CREATE TABLE readings (id INT PRIMARY KEY, sensor CHAR(8), celsius FLOAT)`
 	must(db.Exec(schema))
@@ -56,6 +57,7 @@ func main() {
 
 	// --- new process: re-run DDL + migration spec, replay the log ---
 	db2 := bullfrog.Open(bullfrog.Options{})
+	defer db2.Close()
 	must(db2.Exec(schema))
 	must0(db2.Migrate(migration(), bullfrog.MigrateOptions{BackgroundDelay: -1}))
 	stats, err := db2.Controller().Recover(func() (io.Reader, error) {

@@ -5,8 +5,9 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/bullfrogdb/bullfrog"
 	"github.com/bullfrogdb/bullfrog/internal/core"
-	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/tpcc"
 )
 
@@ -130,7 +131,12 @@ type Result struct {
 	BGStart      time.Duration // zero if none
 	RowsMigrated int64
 	SkipWaits    int64
-	Err          error
+	// Timeline holds per-second samples of the engine's internal metrics
+	// over the run (see TimelinePoint).
+	Timeline []TimelinePoint
+	// Obs is the final internal-metrics snapshot at run end.
+	Obs obs.Snapshot
+	Err error
 }
 
 // Run executes one experiment: fresh database, load, steady workload,
@@ -142,14 +148,22 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 42
 	}
-	db := engine.New(engine.Options{})
+	// The run goes through the public facade so it exercises — and samples —
+	// the same observability surface an embedding application sees.
+	mode := core.DetectEarly
+	if cfg.System == SysBullFrogOnConflict {
+		mode = core.DetectOnInsert
+	}
+	fdb := bullfrog.Open(bullfrog.Options{ConflictMode: mode})
+	defer fdb.Close()
+	db := fdb.Engine()
 	if err := tpcc.CreateSchema(db); err != nil {
 		return nil, err
 	}
 	if err := tpcc.Load(db, cfg.Scale, cfg.Seed); err != nil {
 		return nil, err
 	}
-	gate := core.NewGate()
+	gate := fdb.Gate()
 	w := tpcc.NewWorkload(db, gate, cfg.Scale)
 	w.HotCustomers = cfg.HotCustomers
 	w.Sequential = cfg.Sequential
@@ -171,6 +185,8 @@ func Run(cfg Config) (*Result, error) {
 	d := &Driver{W: w, Rate: rate, Workers: cfg.Workers, Seed: cfg.Seed, Mix: cfg.Mix}
 	d.Start(cfg.Duration)
 	start := time.Now()
+	smp := newSampler(fdb, start, time.Second)
+	defer smp.Stop()
 
 	// Autovacuum: long runs accumulate version chains and transaction state;
 	// prune them in the background the way PostgreSQL would.
@@ -232,11 +248,7 @@ func Run(cfg Config) (*Result, error) {
 			res.MigEnd = time.Since(start)
 		}()
 	default: // BullFrog modes
-		mode := core.DetectEarly
-		if cfg.System == SysBullFrogOnConflict {
-			mode = core.DetectOnInsert
-		}
-		ctrl = core.NewController(db, mode)
+		ctrl = fdb.Controller()
 		if cfg.System == SysBullFrogNoTracking {
 			ctrl.SetTrackingDisabled(true)
 		}
@@ -261,6 +273,8 @@ func Run(cfg Config) (*Result, error) {
 
 	m := d.Wait()
 	res.Metrics = m
+	res.Timeline = smp.Stop()
+	res.Obs = fdb.Metrics()
 	if bg != nil {
 		bg.Stop()
 		if err := bg.Err(); err != nil && res.Err == nil {

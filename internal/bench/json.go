@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// jsonFigure is the on-disk shape of a figure's results.
+type jsonFigure struct {
+	Name string    `json:"name"`
+	Note string    `json:"note"`
+	Runs []jsonRun `json:"runs"`
+}
+
+// jsonRun flattens a Result for JSON output. Config carries a workload-mix
+// function, so it cannot be marshalled directly; the fields that identify
+// and reproduce the run are copied out instead.
+type jsonRun struct {
+	Label        string          `json:"label"`
+	System       string          `json:"system"`
+	Migration    string          `json:"migration"`
+	RateTPS      float64         `json:"rate_tps"`
+	CalibratedTPS float64        `json:"calibrated_tps,omitempty"`
+	Workers      int             `json:"workers"`
+	DurationSec  float64         `json:"duration_sec"`
+	MigStartSec  float64         `json:"mig_start_sec"`
+	MigEndSec    float64         `json:"mig_end_sec,omitempty"` // 0 = unfinished
+	BGStartSec   float64         `json:"bg_start_sec,omitempty"`
+	RowsMigrated int64           `json:"rows_migrated"`
+	SkipWaits    int64           `json:"skip_waits"`
+	Completed    int64           `json:"completed"`
+	Retries      int64           `json:"retries"`
+	Errors       int64           `json:"errors"`
+	Dropped      int64           `json:"dropped"`
+	MeanTPS      float64         `json:"mean_tps"`
+	P50Ms        float64         `json:"p50_ms"`
+	P99Ms        float64         `json:"p99_ms"`
+	IntervalSec  float64         `json:"interval_sec"`
+	Series       []float64       `json:"series"`
+	Timeline     []TimelinePoint `json:"timeline"`
+	Obs          obs.Snapshot    `json:"obs"`
+	Err          string          `json:"err,omitempty"`
+}
+
+// WriteJSON writes a figure's results — including each run's per-second
+// internal-metrics timeline and final snapshot — to dir/BENCH_<name>.json.
+func WriteJSON(fr *FigureResult, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	out := jsonFigure{Name: fr.Name, Note: fr.Note}
+	for _, r := range fr.Runs {
+		jr := jsonRun{
+			Label:         labelFor(r),
+			System:        r.Config.System.String(),
+			Migration:     r.Config.Migration.String(),
+			RateTPS:       r.Config.Rate,
+			CalibratedTPS: r.Calibrated,
+			Workers:       r.Config.Workers,
+			DurationSec:   r.Config.Duration.Seconds(),
+			MigStartSec:   r.MigStart.Seconds(),
+			MigEndSec:     r.MigEnd.Seconds(),
+			BGStartSec:    r.BGStart.Seconds(),
+			RowsMigrated:  r.RowsMigrated,
+			SkipWaits:     r.SkipWaits,
+			Completed:     r.Metrics.Completed,
+			Retries:       r.Metrics.Retries,
+			Errors:        r.Metrics.Errors,
+			Dropped:       r.Metrics.Dropped,
+			MeanTPS:       r.Metrics.MeanTPS(),
+			P50Ms:         float64(r.Metrics.Percentile(50)) / float64(time.Millisecond),
+			P99Ms:         float64(r.Metrics.Percentile(99)) / float64(time.Millisecond),
+			IntervalSec:   r.Metrics.Interval.Seconds(),
+			Series:        r.Metrics.Series,
+			Timeline:      r.Timeline,
+			Obs:           r.Obs,
+		}
+		if r.Err != nil {
+			jr.Err = r.Err.Error()
+		}
+		out.Runs = append(out.Runs, jr)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", fr.Name))
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

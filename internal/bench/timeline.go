@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+// TimelinePoint is one periodic sample of the database's internal metrics
+// during a run: cumulative counters plus the instantaneous migration
+// progress gauge. Figure JSON carries these so plots can overlay internal
+// activity (conflicts, WAL volume, lazy vs background migration) on the
+// client-observed throughput series.
+type TimelinePoint struct {
+	T                float64 `json:"t"` // seconds since run start
+	Commits          int64   `json:"commits"`
+	Aborts           int64   `json:"aborts"`
+	WriteConflicts   int64   `json:"write_conflicts"`
+	LockTimeouts     int64   `json:"lock_timeouts"`
+	RowsScanned      int64   `json:"rows_scanned"`
+	WALRecords       int64   `json:"wal_records"`
+	TuplesLazy       int64   `json:"tuples_lazy"`
+	TuplesBackground int64   `json:"tuples_background"`
+	// Progress is the minimum migration progress across tables still
+	// migrating; 1 when no migration is active or all are complete.
+	Progress float64 `json:"progress"`
+}
+
+// sampler polls db.Metrics() on a fixed interval (1s by default, matching
+// the paper's per-second throughput plots) until stopped.
+type sampler struct {
+	db       *bullfrog.DB
+	start    time.Time
+	interval time.Duration
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	once     sync.Once
+	points   []TimelinePoint
+}
+
+func newSampler(db *bullfrog.DB, start time.Time, interval time.Duration) *sampler {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	s := &sampler{db: db, start: start, interval: interval, quit: make(chan struct{})}
+	s.wg.Add(1)
+	go s.loop()
+	return s
+}
+
+func (s *sampler) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-t.C:
+			s.points = append(s.points, samplePoint(s.db, s.start))
+		}
+	}
+}
+
+// Stop halts sampling, takes one final sample so short runs always have at
+// least one point, and returns the timeline. Idempotent.
+func (s *sampler) Stop() []TimelinePoint {
+	s.once.Do(func() {
+		close(s.quit)
+		s.wg.Wait()
+		s.points = append(s.points, samplePoint(s.db, s.start))
+	})
+	return s.points
+}
+
+func samplePoint(db *bullfrog.DB, start time.Time) TimelinePoint {
+	snap := db.Metrics()
+	progress := 1.0
+	for _, t := range snap.Migration.Tables {
+		if t.Progress < progress {
+			progress = t.Progress
+		}
+	}
+	return TimelinePoint{
+		T:                time.Since(start).Seconds(),
+		Commits:          snap.Txn.Commits,
+		Aborts:           snap.Txn.Aborts,
+		WriteConflicts:   snap.Txn.WriteConflicts,
+		LockTimeouts:     snap.Txn.LockTimeouts,
+		RowsScanned:      snap.Engine.RowsScanned,
+		WALRecords:       snap.WAL.Records,
+		TuplesLazy:       snap.Migration.TuplesLazy,
+		TuplesBackground: snap.Migration.TuplesBackground,
+		Progress:         progress,
+	}
+}

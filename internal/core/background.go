@@ -146,7 +146,7 @@ func (b *Background) runBitmap(rt *StmtRuntime) error {
 			batch = append(batch, g)
 			g = rt.bitmap.NextUnmigrated(g + 1)
 		}
-		if _, err := rt.bitmapPass(nil, batch); err != nil {
+		if _, err := rt.bitmapPass(nil, batch, true); err != nil {
 			return err
 		}
 		if g < 0 {
@@ -225,7 +225,7 @@ func (rt *StmtRuntime) CatchUp() error {
 				batch = append(batch, g)
 				g = rt.bitmap.NextUnmigrated(g + 1)
 			}
-			busy, err := rt.bitmapPass(nil, batch)
+			busy, err := rt.bitmapPass(nil, batch, true)
 			if err != nil {
 				return err
 			}
@@ -271,7 +271,7 @@ func (b *Background) sweepTable(rt *StmtRuntime, tbl *catalog.Table, ords []int)
 		remaining += len(todo)
 		// Migrate, waiting out busy groups like any client request.
 		for {
-			busy, err := rt.hashPass(nil, todo)
+			busy, err := rt.hashPass(nil, todo, true)
 			if err != nil {
 				return remaining, err
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/engine"
 	"github.com/bullfrogdb/bullfrog/internal/expr"
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/txn"
@@ -108,6 +110,7 @@ type Controller struct {
 	runtimes []*StmtRuntime
 	byOutput map[string]*StmtRuntime
 	retired  map[string]bool
+	done     chan struct{} // non-nil while a migration is active; closed at completion
 
 	migTxns     sync.Map // txn id -> struct{}; migration transactions bypass the hook
 	startedAt   time.Time
@@ -220,6 +223,7 @@ func (c *Controller) Start(m *Migration) error {
 	c.runtimes = runtimes
 	c.byOutput = byOutput
 	c.startedAt = time.Now()
+	c.done = make(chan struct{})
 	if !c.shadow {
 		c.db.SetMigrationHook(c)
 	}
@@ -359,6 +363,7 @@ func (c *Controller) Reset() error {
 	c.runtimes = nil
 	c.byOutput = map[string]*StmtRuntime{}
 	c.retired = map[string]bool{}
+	c.done = nil
 	c.completedAt.Store(0)
 	return nil
 }
@@ -435,14 +440,37 @@ func (c *Controller) markRuntimeComplete(rt *StmtRuntime) {
 	if !c.Complete() {
 		return
 	}
-	c.completedAt.CompareAndSwap(0, time.Now().UnixNano())
+	if !c.completedAt.CompareAndSwap(0, time.Now().UnixNano()) {
+		return // another worker already ran the end-of-migration step
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.done != nil {
+		close(c.done) // wake AwaitMigration waiters
+	}
 	if c.mig != nil && c.mig.DropInputsOnComplete {
 		for _, name := range c.mig.RetireInputs {
 			c.db.Catalog().DropTable(name)
 			delete(c.retired, norm(name))
 		}
+	}
+}
+
+// AwaitMigration blocks until the active migration completes or ctx is
+// done, without polling: completion closes a channel that waiters select on.
+// It returns immediately when no migration is active.
+func (c *Controller) AwaitMigration(ctx context.Context) error {
+	c.mu.RLock()
+	ch := c.done
+	c.mu.RUnlock()
+	if ch == nil || c.Complete() {
+		return nil
+	}
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -495,6 +523,58 @@ func (c *Controller) BeforeKeyCheck(tx *txn.Txn, table string, cols []int, key t
 	return c.EnsureMigrated(table, pred)
 }
 
+// obsMig returns the migration metrics shared through the engine's Set.
+func (c *Controller) obsMig() *obs.MigrationMetrics { return c.db.Obs().Migration }
+
+// EnsureForTable migrates data relevant to a client request on `table`
+// filtered by `where`. Only the conjuncts fully resolvable against the
+// table's columns narrow the migration; everything else falls back to the
+// table's full scope for safety (superset semantics, paper §2.4). alias is
+// the request's binding name for the table ("" = the table name).
+func (c *Controller) EnsureForTable(table, alias string, where expr.Expr) error {
+	rt := c.RuntimeFor(table)
+	if rt == nil || rt.complete.Load() {
+		return nil
+	}
+	tbl, err := c.db.Catalog().Table(table)
+	if err != nil {
+		return nil // engine will surface the real error
+	}
+	if alias == "" {
+		alias = table
+	}
+	var pred expr.Expr
+	for _, conj := range expr.SplitConjuncts(where) {
+		ok := true
+		for _, col := range expr.CollectCols(conj) {
+			if col.Table != "" && !strings.EqualFold(col.Table, alias) {
+				ok = false
+				break
+			}
+			if tbl.Def.ColumnIndex(col.Name) < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Strip qualifiers so the predicate speaks the output table's
+		// column language for transposition.
+		stripped, err := expr.Transform(conj, func(x expr.Expr) (expr.Expr, error) {
+			if col, ok := x.(*expr.Col); ok {
+				return expr.NewCol("", col.Name), nil
+			}
+			return x, nil
+		})
+		if err != nil {
+			return err
+		}
+		pred = expr.CombineConjuncts(pred, stripped)
+	}
+	return c.EnsureMigrated(table, pred)
+}
+
 // EnsureMigrated migrates, before the caller proceeds, every old-schema
 // tuple or group potentially relevant to a client request against
 // outputTable whose WHERE-equivalent predicate is pred (nil = everything).
@@ -504,6 +584,13 @@ func (c *Controller) EnsureMigrated(outputTable string, pred expr.Expr) error {
 	if rt == nil || rt.complete.Load() {
 		return nil
 	}
+	start := time.Now()
+	err := c.ensureMigrated(rt, outputTable, pred)
+	c.obsMig().EnsureLatency.ObserveSince(start)
+	return err
+}
+
+func (c *Controller) ensureMigrated(rt *StmtRuntime, outputTable string, pred expr.Expr) error {
 	spec := rt.specFor(outputTable)
 	filters, err := c.db.TransposeFilters(spec.Def, pred)
 	if err != nil {
@@ -550,7 +637,7 @@ func (rt *StmtRuntime) specFor(outputTable string) *OutputSpec {
 
 func (rt *StmtRuntime) migrateBitmapPred(pred expr.Expr) error {
 	for {
-		busy, err := rt.bitmapPass(pred, nil)
+		busy, err := rt.bitmapPass(pred, nil, false)
 		if err != nil {
 			return err
 		}
@@ -566,9 +653,10 @@ func (rt *StmtRuntime) migrateBitmapPred(pred expr.Expr) error {
 
 // bitmapPass runs one iteration of the per-transaction migration loop:
 // claim, transform, commit, mark, over either the granules matching pred or
-// an explicit granule list (the background migrator's path). It returns how
-// many relevant granules were busy (in progress by other workers).
-func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64) (busy int, err error) {
+// an explicit granule list (the background migrator's path). background
+// attributes migrated tuples to the lazy or background counter. It returns
+// how many relevant granules were busy (in progress by other workers).
+func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64, background bool) (busy int, err error) {
 	tx := rt.ctrl.beginMigTxn()
 	finished := false
 	var wip []int64
@@ -617,7 +705,8 @@ func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64) (busy 
 	if err != nil {
 		return busy, err
 	}
-	if err := rt.transform(tx, rows, nil); err != nil {
+	inserted := 0
+	if err := rt.transform(tx, rows, &inserted); err != nil {
 		return busy, err
 	}
 	for _, g := range wip {
@@ -632,11 +721,27 @@ func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64) (busy 
 	}
 	finished = true
 	rt.stats.transforms.Add(1)
+	rt.attributeTuples(inserted, background)
 	for _, g := range wip {
 		rt.markGranuleMigrated(g)
 	}
 	rt.checkBitmapComplete()
 	return busy, nil
+}
+
+// attributeTuples records migrated output rows against the lazy or
+// background counter (the paper's "client requests vs. background threads"
+// split, Figure 3's two progress drivers).
+func (rt *StmtRuntime) attributeTuples(inserted int, background bool) {
+	if inserted <= 0 {
+		return
+	}
+	m := rt.ctrl.obsMig()
+	if background {
+		m.TuplesBackground.Add(int64(inserted))
+	} else {
+		m.TuplesLazy.Add(int64(inserted))
+	}
 }
 
 // claimGranule applies the conflict-detection mode: early detection uses the
@@ -751,6 +856,38 @@ func (rt *StmtRuntime) migrateHashPred(pred expr.Expr) error {
 	return rt.migrateHashPredSeeded(pred, nil, false)
 }
 
+// ProgressTables reports per-statement physical migration progress for
+// metrics snapshots. Bitmap migrations report granule counts; hash
+// migrations have no known group total (Total = -1) until complete.
+func (c *Controller) ProgressTables() []obs.TableProgress {
+	rts := c.Runtimes()
+	if len(rts) == 0 {
+		return nil
+	}
+	out := make([]obs.TableProgress, 0, len(rts))
+	for _, rt := range rts {
+		p := obs.TableProgress{
+			Statement: rt.Stmt.Name,
+			Table:     rt.drivingTbl.Def.Name,
+			Migrated:  rt.Tracker().MigratedCount(),
+			Complete:  rt.complete.Load(),
+		}
+		if rt.bitmap != nil {
+			p.Total = rt.bitmap.Granules()
+			if p.Total > 0 {
+				p.Progress = float64(p.Migrated) / float64(p.Total)
+			}
+		} else {
+			p.Total = -1
+		}
+		if p.Complete || (rt.bitmap != nil && p.Total == 0) {
+			p.Progress = 1
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
 // migrateHashPredSeeded is migrateHashPred that additionally discovers
 // candidate groups from the seed (secondary) table when seedScan is set.
 func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan bool) error {
@@ -776,13 +913,13 @@ func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan 
 		}
 	}
 	for {
-		busy, err := rt.hashPass(pred, nil)
+		busy, err := rt.hashPass(pred, nil, false)
 		if err != nil {
 			return err
 		}
 		busySeed := 0
 		if len(directKeys) > 0 {
-			busySeed, err = rt.hashPass(nil, directKeys)
+			busySeed, err = rt.hashPass(nil, directKeys, false)
 			if err != nil {
 				return err
 			}
@@ -809,8 +946,10 @@ func (c *Controller) EnsureGroupMigrated(outputTable string, groupKey types.Row)
 	if len(groupKey) != len(rt.groupOrds) {
 		return fmt.Errorf("core: group key arity %d, want %d", len(groupKey), len(rt.groupOrds))
 	}
+	start := time.Now()
+	defer func() { c.obsMig().EnsureLatency.ObserveSince(start) }()
 	for {
-		busy, err := rt.hashPass(nil, [][]byte{types.EncodeKey(nil, groupKey)})
+		busy, err := rt.hashPass(nil, [][]byte{types.EncodeKey(nil, groupKey)}, false)
 		if err != nil {
 			return err
 		}
@@ -823,8 +962,9 @@ func (c *Controller) EnsureGroupMigrated(outputTable string, groupKey types.Row)
 }
 
 // hashPass runs one migration transaction over either the groups matching
-// pred or an explicit key list. Returns the number of busy groups.
-func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte) (busy int, err error) {
+// pred or an explicit key list; background attributes migrated tuples to the
+// lazy or background counter. Returns the number of busy groups.
+func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte, background bool) (busy int, err error) {
 	tx := rt.ctrl.beginMigTxn()
 	committed := false
 	var wip [][]byte
@@ -872,8 +1012,11 @@ func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte) (busy int, 
 		committed = true
 		return busy, nil
 	}
+	inserted := 0
 	for _, k := range wip {
-		if err := rt.migrateGroup(tx, k); err != nil {
+		n, err := rt.migrateGroup(tx, k)
+		inserted += n
+		if err != nil {
 			return busy, err
 		}
 		if err := rt.ctrl.db.WAL().Append(wal.Record{
@@ -887,6 +1030,7 @@ func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte) (busy int, 
 	}
 	committed = true
 	rt.stats.transforms.Add(1)
+	rt.attributeTuples(inserted, background)
 	for _, k := range wip {
 		rt.markGroupMigrated(k)
 	}
@@ -919,40 +1063,42 @@ func (rt *StmtRuntime) markGroupMigrated(k []byte) {
 
 // migrateGroup transforms one whole group: all driving rows with the group
 // key (fetched fresh inside the migration transaction so the group is
-// complete), falling back to the seed query when the group is empty.
-func (rt *StmtRuntime) migrateGroup(tx *txn.Txn, key []byte) error {
+// complete), falling back to the seed query when the group is empty. It
+// returns how many output rows it inserted.
+func (rt *StmtRuntime) migrateGroup(tx *txn.Txn, key []byte) (int, error) {
 	keyRow, err := types.DecodeKey(key)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	groupPred := rt.equalityPred(rt.drivingTbl, rt.Stmt.GroupBy, keyRow)
 	_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.drivingTbl, rt.drivingAlias, groupPred)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	inserted := 0
 	if len(rows) > 0 {
 		if err := rt.transform(tx, rows, &inserted); err != nil {
-			return err
+			return inserted, err
 		}
 	}
 	if inserted == 0 && rt.Stmt.Seed != nil {
 		return rt.migrateSeed(tx, keyRow)
 	}
-	return nil
+	return inserted, nil
 }
 
 // migrateSeed inserts the secondary-table completion rows for an empty group
-// (e.g. stock rows for items with no order lines in the join migration).
-func (rt *StmtRuntime) migrateSeed(tx *txn.Txn, keyRow types.Row) error {
+// (e.g. stock rows for items with no order lines in the join migration),
+// returning how many rows it inserted.
+func (rt *StmtRuntime) migrateSeed(tx *txn.Txn, keyRow types.Row) (int, error) {
 	seed := rt.Stmt.Seed
 	seedPred := rt.equalityPred(rt.seedTbl, seed.GroupBy, keyRow)
 	_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.seedTbl, norm(seed.Driving), seedPred)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if len(rows) == 0 {
-		return nil
+		return 0, nil
 	}
 	conflict := sql.ConflictError
 	if rt.ctrl.mode == DetectOnInsert {
@@ -961,9 +1107,10 @@ func (rt *StmtRuntime) migrateSeed(tx *txn.Txn, keyRow types.Row) error {
 	out := rt.outputs[0]
 	plan, err := rt.ctrl.db.PlanSelectWithBoundRows(seed.Def, norm(seed.Driving), &engine.BoundRows{Rows: rows})
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return plan.Execute(tx, func(row types.Row) error {
+	inserted := 0
+	err = plan.Execute(tx, func(row types.Row) error {
 		_, ok, ierr := rt.ctrl.db.InsertRow(tx, out.tbl, row.Clone(), conflict)
 		if ierr != nil {
 			if errors.Is(ierr, engine.ErrCheckViolation) {
@@ -974,9 +1121,11 @@ func (rt *StmtRuntime) migrateSeed(tx *txn.Txn, keyRow types.Row) error {
 		}
 		if ok {
 			rt.stats.rowsMigrated.Add(1)
+			inserted++
 		}
 		return nil
 	})
+	return inserted, err
 }
 
 // equalityPred builds col1 = v1 AND col2 = v2 ... over the given table's

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/txn"
 	"github.com/bullfrogdb/bullfrog/internal/types"
@@ -20,6 +21,7 @@ import (
 // exclusive side, so lazy migration has no such stall point.
 type Gate struct {
 	sem chan struct{}
+	met *obs.MigrationMetrics // nil = wait time not recorded
 }
 
 // gateCapacity bounds concurrent client transactions under the gate; eager
@@ -29,8 +31,27 @@ const gateCapacity = 1 << 14
 // NewGate returns a client/migration gate.
 func NewGate() *Gate { return &Gate{sem: make(chan struct{}, gateCapacity)} }
 
-// Enter takes a shared slot (a client transaction begins).
-func (g *Gate) Enter() { g.sem <- struct{}{} }
+// SetObs attaches migration metrics so blocked Enter calls feed the
+// gate-wait histogram. Call before concurrent use.
+func (g *Gate) SetObs(m *obs.MigrationMetrics) { g.met = m }
+
+// Enter takes a shared slot (a client transaction begins). The uncontended
+// fast path records nothing; a blocked entry (eager migration holds the
+// exclusive side, or the gate is saturated) feeds the gate-wait histogram.
+func (g *Gate) Enter() {
+	select {
+	case g.sem <- struct{}{}:
+		return
+	default:
+	}
+	if g.met == nil {
+		g.sem <- struct{}{}
+		return
+	}
+	start := time.Now()
+	g.sem <- struct{}{}
+	g.met.GateWait.ObserveSince(start)
+}
 
 // Leave releases the shared slot.
 func (g *Gate) Leave() { <-g.sem }

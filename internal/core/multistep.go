@@ -287,7 +287,7 @@ func (ms *MultiStep) recomputeGroup(rt *StmtRuntime, key []byte) error {
 			}
 		}
 	}
-	if err := rt.migrateGroup(tx, key); err != nil {
+	if _, err := rt.migrateGroup(tx, key); err != nil {
 		return err
 	}
 	return rt.ctrl.commitMigTxn(tx)

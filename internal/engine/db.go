@@ -13,6 +13,7 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/expr"
 	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/schema"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
@@ -49,6 +50,7 @@ type DB struct {
 	opts Options
 	log  wal.Logger
 	hook MigrationHook
+	met  *obs.Set
 }
 
 // New creates an empty database.
@@ -60,8 +62,21 @@ func New(opts Options) *DB {
 	if opts.LockTimeout == 0 {
 		opts.LockTimeout = txn.DefaultLockTimeout
 	}
-	return &DB{cat: catalog.New(), tm: txn.NewManager(), opts: opts, log: log}
+	tm := txn.NewManager()
+	set := &obs.Set{
+		Engine:    &obs.EngineMetrics{},
+		Txn:       tm.Obs(),
+		WAL:       &obs.WALMetrics{},
+		Migration: &obs.MigrationMetrics{},
+	}
+	log = wal.Instrument(log, set.WAL)
+	return &DB{cat: catalog.New(), tm: tm, opts: opts, log: log, met: set}
 }
+
+// Obs returns the database's metrics set. Never nil; every sub-struct is
+// present, so layers built on the engine (internal/core, the facade) record
+// into it directly.
+func (db *DB) Obs() *obs.Set { return db.met }
 
 // Catalog exposes the catalog (used by internal/core and tests).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -85,6 +100,7 @@ func (db *DB) Commit(tx *txn.Txn) error {
 	if tx.Done() {
 		return txn.ErrTxnDone
 	}
+	start := time.Now()
 	if err := db.log.Append(wal.Record{Type: wal.RecCommit, XID: tx.ID()}); err != nil {
 		tx.Abort()
 		return fmt.Errorf("engine: logging commit: %w", err)
@@ -93,7 +109,11 @@ func (db *DB) Commit(tx *txn.Txn) error {
 		tx.Abort()
 		return fmt.Errorf("engine: flushing log: %w", err)
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	db.met.Txn.CommitLatency.ObserveSince(start)
+	return nil
 }
 
 // Abort rolls the transaction back, logging an abort record.
@@ -156,8 +176,37 @@ func (db *DB) ExecTx(tx *txn.Txn, src string) (*Result, error) {
 	return last, nil
 }
 
-// ExecStmt executes a parsed statement inside the transaction.
+// ExecStmt executes a parsed statement inside the transaction, recording
+// per-kind execution latency (failed statements included).
 func (db *DB) ExecStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
+	start := time.Now()
+	res, err := db.execStmt(tx, stmt)
+	db.met.Engine.Exec[stmtKind(stmt)].ObserveSince(start)
+	return res, err
+}
+
+func stmtKind(stmt sql.Statement) obs.StmtKind {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return obs.StmtSelect
+	case *sql.InsertStmt:
+		return obs.StmtInsert
+	case *sql.UpdateStmt:
+		return obs.StmtUpdate
+	case *sql.DeleteStmt:
+		return obs.StmtDelete
+	case *sql.CreateTableStmt, *sql.CreateViewStmt, *sql.CreateIndexStmt,
+		*sql.DropTableStmt, *sql.DropViewStmt, *sql.AlterRenameStmt,
+		*sql.AlterAddFKStmt, *sql.AlterDropConstraintStmt:
+		return obs.StmtDDL
+	case *sql.ExplainStmt:
+		return stmtKind(s.Inner)
+	default:
+		return obs.StmtOther
+	}
+}
+
+func (db *DB) execStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
 		return db.execSelect(tx, s)

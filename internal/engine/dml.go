@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/expr"
@@ -392,7 +393,7 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 			continue
 		}
 		for _, fk := range child.Def.ForeignKey {
-			if !equalFold(fk.RefTable, tbl.Def.Name) {
+			if !strings.EqualFold(fk.RefTable, tbl.Def.Name) {
 				continue
 			}
 			refVals := make(types.Row, len(fk.RefColumns))
@@ -427,9 +428,6 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 	return nil
 }
 
-func equalFold(a, b string) bool {
-	return normalizeName(a) == normalizeName(b)
-}
 
 // --- SQL-level DML ---
 

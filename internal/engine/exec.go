@@ -99,7 +99,12 @@ func (n *scanNode) execute(ctx *execCtx, emit emitFn) error {
 	if n.idx != nil {
 		return n.executeIndex(ctx, emit)
 	}
+	// Batch the scanned-row count locally; one atomic add per scan, not per
+	// tuple, keeps the hot path cheap.
+	var scanned int64
+	defer func() { ctx.db.met.Engine.RowsScanned.Add(scanned) }()
 	return n.tbl.Heap.Scan(func(tid storage.TID, head *storage.Version) error {
+		scanned++
 		row, ok := ctx.tx.VisibleRow(head)
 		if !ok {
 			return nil
@@ -123,11 +128,14 @@ func (n *scanNode) executeIndex(ctx *execCtx, emit emitFn) error {
 	// re-checks the visible row.
 	seen := make(map[storage.TID]struct{})
 	var scanErr error
+	var scanned int64
+	defer func() { ctx.db.met.Engine.RowsScanned.Add(scanned) }()
 	n.idx.AscendRange(n.lo, n.hi, func(_ []byte, tid storage.TID) bool {
 		if _, dup := seen[tid]; dup {
 			return true
 		}
 		seen[tid] = struct{}{}
+		scanned++
 		err := n.tbl.Heap.View(tid, func(head *storage.Version) {
 			row, ok := ctx.tx.VisibleRow(head)
 			if !ok {

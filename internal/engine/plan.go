@@ -57,7 +57,13 @@ func (p *Plan) ColumnNames() []string {
 // output row. Emitted rows may be reused by the executor; clone them if
 // retained.
 func (p *Plan) Execute(tx *txn.Txn, emit func(types.Row) error) error {
-	return p.root.execute(&execCtx{db: p.db, tx: tx}, emit)
+	var returned int64
+	err := p.root.execute(&execCtx{db: p.db, tx: tx}, func(row types.Row) error {
+		returned++
+		return emit(row)
+	})
+	p.db.met.Engine.RowsReturned.Add(returned)
+	return err
 }
 
 func scopeOf(cols []Column) *expr.Scope {
@@ -85,6 +91,7 @@ func (db *DB) PlanSelectWithBoundRows(s *sql.SelectStmt, boundAlias string, boun
 	if err != nil {
 		return nil, err
 	}
+	db.met.Engine.PlansBuilt.Inc()
 	return &Plan{db: db, root: root}, nil
 }
 

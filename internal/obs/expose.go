@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Text renders the snapshot as a human-readable metrics page (the shell's
+// \metrics output and the HTTP handler's default format). Histograms here
+// hold nanosecond latencies and render as durations.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	writeHist := func(name string, h HistogramSnapshot) {
+		fmt.Fprintf(&b, "%-28s count=%-8d mean=%-10s p50=%-10s p99=%-10s max=%s\n",
+			name, h.Count,
+			fmtDur(h.Mean()), fmtDur(h.Quantile(0.50)), fmtDur(h.Quantile(0.99)),
+			fmtDur(float64(h.Max)))
+	}
+	kinds := make([]string, 0, len(s.Engine.Exec))
+	for k := range s.Engine.Exec {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		writeHist("engine.exec."+k, s.Engine.Exec[k])
+	}
+	fmt.Fprintf(&b, "%-28s %d\n", "engine.rows_scanned", s.Engine.RowsScanned)
+	fmt.Fprintf(&b, "%-28s %d\n", "engine.rows_returned", s.Engine.RowsReturned)
+	fmt.Fprintf(&b, "%-28s %d\n", "engine.plans_built", s.Engine.PlansBuilt)
+	fmt.Fprintf(&b, "%-28s %d\n", "engine.plans_reused", s.Engine.PlansReused)
+	fmt.Fprintf(&b, "%-28s %d\n", "txn.begins", s.Txn.Begins)
+	fmt.Fprintf(&b, "%-28s %d\n", "txn.commits", s.Txn.Commits)
+	fmt.Fprintf(&b, "%-28s %d\n", "txn.aborts", s.Txn.Aborts)
+	fmt.Fprintf(&b, "%-28s %d\n", "txn.write_conflicts", s.Txn.WriteConflicts)
+	fmt.Fprintf(&b, "%-28s %d\n", "txn.lock_timeouts", s.Txn.LockTimeouts)
+	writeHist("txn.lock_wait", s.Txn.LockWait)
+	writeHist("txn.commit_latency", s.Txn.CommitLatency)
+	fmt.Fprintf(&b, "%-28s %d\n", "wal.records", s.WAL.Records)
+	fmt.Fprintf(&b, "%-28s %d\n", "wal.bytes", s.WAL.Bytes)
+	writeHist("wal.sync_latency", s.WAL.SyncLatency)
+	fmt.Fprintf(&b, "%-28s %d\n", "migration.tuples_lazy", s.Migration.TuplesLazy)
+	fmt.Fprintf(&b, "%-28s %d\n", "migration.tuples_background", s.Migration.TuplesBackground)
+	writeHist("migration.ensure_latency", s.Migration.EnsureLatency)
+	writeHist("migration.gate_wait", s.Migration.GateWait)
+	for _, t := range s.Migration.Tables {
+		total := fmt.Sprintf("%d", t.Total)
+		if t.Total < 0 {
+			total = "?"
+		}
+		fmt.Fprintf(&b, "%-28s stmt=%s table=%s migrated=%d total=%s progress=%.3f complete=%v\n",
+			"migration.progress", t.Statement, t.Table, t.Migrated, total, t.Progress, t.Complete)
+	}
+	return b.String()
+}
+
+func fmtDur(ns float64) string {
+	if ns <= 0 {
+		return "0s"
+	}
+	return time.Duration(ns).Round(100 * time.Nanosecond).String()
+}
+
+// Handler serves metrics over HTTP: text by default, JSON when the request
+// asks for it (Accept: application/json or ?format=json). fn is called per
+// request, so the snapshot is always current.
+func Handler(fn func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := fn()
+		if strings.Contains(r.Header.Get("Accept"), "application/json") ||
+			r.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(snap)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(snap.Text()))
+	})
+}
+
+// Publish registers the snapshot function as an expvar variable. expvar
+// panics on duplicate names, so call once per process per name.
+func Publish(name string, fn func() Snapshot) {
+	expvar.Publish(name, expvar.Func(func() any { return fn() }))
+}

@@ -1,0 +1,180 @@
+// Package obs is BullFrog's lightweight observability substrate: atomic
+// counters, gauges, and fixed-bucket histograms with a lock-free hot path.
+// Every layer of the system (engine, txn, wal, core) records into a shared
+// Set; readers call Snapshot for a consistent-enough, allocation-bounded view
+// suitable for the shell's \metrics command, HTTP/expvar exposition, and the
+// benchmark driver's per-second metric timelines.
+//
+// Design constraints, in priority order:
+//
+//  1. The write path must be cheap enough for the TPC-C hot path: a counter
+//     increment is one atomic add; a histogram observation is three atomic
+//     adds plus a bits.Len64 (no locks, no allocation, no time formatting).
+//  2. Readers never block writers: Snapshot loads each atomic independently.
+//     Cross-metric exactness is not guaranteed (nor needed for monitoring),
+//     but every individual metric is monotone and exact.
+//  3. No dependencies beyond the standard library.
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 to preserve monotonicity).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can move in both directions.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets. Bucket i
+// counts observations v with bits.Len64(v) == i, i.e. bucket 0 holds v == 0
+// and bucket i holds 2^(i-1) <= v < 2^i. For nanosecond latencies, 40
+// buckets cover up to ~9.2 minutes; anything larger clamps into the last
+// bucket.
+const histBuckets = 40
+
+// Histogram is a fixed-bucket exponential histogram. Observe is lock-free
+// and allocation-free; Snapshot materializes a point-in-time copy.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value (typically nanoseconds or bytes). Negative
+// values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	i := bits.Len64(uint64(v))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the elapsed nanoseconds since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot copies the histogram's current state. Trailing empty buckets are
+// trimmed so JSON output stays compact.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	last := -1
+	var buckets [histBuckets]int64
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+		if buckets[i] > 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]int64(nil), buckets[:last+1]...)
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a Histogram. Buckets[i]
+// counts observations in [BucketLowerBound(i), BucketUpperBound(i)].
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Sum     int64   `json:"sum"`
+	Max     int64   `json:"max"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// BucketUpperBound returns the largest value bucket i can hold.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<62 - 1 + 1<<62 // max int64
+	}
+	return 1<<i - 1
+}
+
+// BucketLowerBound returns the smallest value bucket i can hold.
+func BucketLowerBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	return 1 << (i - 1)
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile returns an upper bound for the p-quantile (p in [0,1]) using the
+// bucket upper bounds — within a factor of 2 of the true value, which is
+// enough for monitoring dashboards. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(p float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := int64(p * float64(s.Count))
+	if rank >= s.Count {
+		rank = s.Count - 1
+	}
+	var cum int64
+	for i, n := range s.Buckets {
+		cum += n
+		if cum > rank {
+			ub := BucketUpperBound(i)
+			if ub > s.Max {
+				// The recorded max is a tighter bound than the bucket edge.
+				return float64(s.Max)
+			}
+			return float64(ub)
+		}
+	}
+	return float64(s.Max)
+}

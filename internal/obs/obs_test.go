@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// Bucket i holds 2^(i-1) <= v < 2^i; bucket 0 holds v == 0.
+	h.Observe(0)  // bucket 0
+	h.Observe(-5) // clamps to 0, bucket 0
+	h.Observe(1)  // bucket 1
+	h.Observe(2)  // bucket 2
+	h.Observe(3)  // bucket 2
+	h.Observe(4)  // bucket 3
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0+0+1+2+3+4 {
+		t.Fatalf("sum = %d, want 10", s.Sum)
+	}
+	if s.Max != 4 {
+		t.Fatalf("max = %d, want 4", s.Max)
+	}
+	want := []int64{2, 1, 2, 1}
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+	}
+	for i := range want {
+		if s.Buckets[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", s.Buckets, want)
+		}
+	}
+}
+
+func TestHistogramClampsHugeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 62)
+	s := h.Snapshot()
+	if len(s.Buckets) != histBuckets {
+		t.Fatalf("len(buckets) = %d, want %d", len(s.Buckets), histBuckets)
+	}
+	if s.Buckets[histBuckets-1] != 1 {
+		t.Fatalf("last bucket = %d, want 1", s.Buckets[histBuckets-1])
+	}
+}
+
+func TestBucketBounds(t *testing.T) {
+	for i := 1; i < 20; i++ {
+		lo, hi := BucketLowerBound(i), BucketUpperBound(i)
+		if lo != 1<<(i-1) || hi != 1<<i-1 {
+			t.Fatalf("bucket %d bounds [%d,%d]", i, lo, hi)
+		}
+	}
+	if BucketUpperBound(0) != 0 || BucketLowerBound(0) != 0 {
+		t.Fatal("bucket 0 must hold only zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bucket 7: [64,127]
+	}
+	h.Observe(100_000) // bucket 17: [65536,131071]
+	s := h.Snapshot()
+	// p50 falls in the 100s bucket: upper bound 127.
+	if got := s.Quantile(0.50); got != 127 {
+		t.Fatalf("p50 = %v, want 127", got)
+	}
+	// p100 falls in the outlier's bucket, where the recorded max (100000)
+	// is tighter than the bucket edge (131071).
+	if got := s.Quantile(1); got != 100_000 {
+		t.Fatalf("p100 = %v, want 100000", got)
+	}
+	if got := s.Mean(); got != float64(99*100+100_000)/100 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestQuantileMaxTighterThanBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(1000) // bucket 10: [512,1023]
+	if got := h.Snapshot().Quantile(0.5); got != 1000 {
+		t.Fatalf("quantile = %v, want recorded max 1000", got)
+	}
+}
+
+func TestSnapshotTrimsTrailingBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	s := h.Snapshot()
+	if len(s.Buckets) != 2 {
+		t.Fatalf("len(buckets) = %d, want 2 (trailing zeros trimmed)", len(s.Buckets))
+	}
+}
+
+func TestSetSnapshotAndText(t *testing.T) {
+	set := NewSet()
+	set.Engine.Exec[StmtSelect].Observe(1500)
+	set.Engine.RowsScanned.Add(10)
+	set.Txn.Commits.Inc()
+	set.WAL.Records.Add(3)
+	set.Migration.TuplesLazy.Add(7)
+	snap := set.Snapshot()
+	snap.Migration.Tables = []TableProgress{{
+		Statement: "split", Table: "customer",
+		Migrated: 5, Total: 10, Progress: 0.5,
+	}}
+	if snap.Txn.Commits != 1 || snap.Engine.RowsScanned != 10 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if _, ok := snap.Engine.Exec["select"]; !ok {
+		t.Fatal("select histogram missing from snapshot")
+	}
+	if _, ok := snap.Engine.Exec["insert"]; ok {
+		t.Fatal("zero-count kinds must be omitted")
+	}
+	text := snap.Text()
+	for _, want := range []string{
+		"engine.exec.select", "engine.rows_scanned", "txn.commits",
+		"wal.records", "migration.tuples_lazy",
+		"migration.progress", "progress=0.500",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Text() missing %q:\n%s", want, text)
+		}
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Migration.TuplesLazy != 7 {
+		t.Fatalf("round-trip tuples_lazy = %d", back.Migration.TuplesLazy)
+	}
+}
+
+func TestHandlerFormats(t *testing.T) {
+	set := NewSet()
+	set.Txn.Commits.Inc()
+	h := Handler(func() Snapshot { return set.Snapshot() })
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("default content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "txn.commits") {
+		t.Fatalf("text body: %s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("json content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Txn.Commits != 1 {
+		t.Fatalf("json commits = %d", snap.Txn.Commits)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	var h Histogram
+	var c Counter
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(int64(w*each + i))
+				c.Inc()
+				if i%100 == 0 {
+					_ = h.Snapshot() // readers never block writers
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*each || c.Load() != workers*each {
+		t.Fatalf("count = %d counter = %d, want %d", s.Count, c.Load(), workers*each)
+	}
+	if s.Max != workers*each-1 {
+		t.Fatalf("max = %d, want %d", s.Max, workers*each-1)
+	}
+}
+
+// The hot-path cost numbers documented in DESIGN.md come from these.
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h.Observe(1234)
+		}
+	})
+}

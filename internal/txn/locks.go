@@ -134,12 +134,21 @@ func (t *Txn) Lock(key LockKey) error {
 	return t.LockTimeout(key, DefaultLockTimeout)
 }
 
-// LockTimeout is Lock with an explicit wait bound.
+// LockTimeout is Lock with an explicit wait bound. Contended acquisitions
+// feed the lock-wait histogram; the uncontended fast path records nothing.
 func (t *Txn) LockTimeout(key LockKey, timeout time.Duration) error {
 	if t.done {
 		return ErrTxnDone
 	}
-	if err := t.m.locks.Acquire(t.id, key, timeout); err != nil {
+	if t.m.locks.TryAcquire(t.id, key) {
+		t.registerLock(key)
+		return nil
+	}
+	start := time.Now()
+	err := t.m.locks.Acquire(t.id, key, timeout)
+	t.m.metrics.LockWait.ObserveSince(start)
+	if err != nil {
+		t.m.metrics.LockTimeouts.Inc()
 		return err
 	}
 	t.registerLock(key)

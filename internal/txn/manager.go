@@ -14,6 +14,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/types"
 )
@@ -70,18 +71,23 @@ type Manager struct {
 	shards [stateShards]stateShard
 	locks  *LockTable
 
+	metrics *obs.TxnMetrics
+
 	activeMu sync.Mutex
 	active   map[uint64]uint64 // txn id -> snapshot seq, for the vacuum horizon
 }
 
 // NewManager returns an empty transaction manager.
 func NewManager() *Manager {
-	m := &Manager{active: make(map[uint64]uint64), locks: NewLockTable()}
+	m := &Manager{active: make(map[uint64]uint64), locks: NewLockTable(), metrics: &obs.TxnMetrics{}}
 	for i := range m.shards {
 		m.shards[i].states = make(map[uint64]txnState)
 	}
 	return m
 }
+
+// Obs returns the manager's transaction metrics. Never nil.
+func (m *Manager) Obs() *obs.TxnMetrics { return m.metrics }
 
 func (m *Manager) shardFor(xid uint64) *stateShard {
 	return &m.shards[xid%stateShards]
@@ -149,6 +155,7 @@ func (m *Manager) Begin() *Txn {
 	m.activeMu.Lock()
 	m.active[id] = snap.Seq
 	m.activeMu.Unlock()
+	m.metrics.Begins.Inc()
 	return &Txn{m: m, id: id, snap: snap}
 }
 
@@ -187,6 +194,7 @@ func (t *Txn) Commit() error {
 	t.m.setState(t.id, txnState{status: StatusCommitted, commitSeq: seq})
 	t.m.commitSeq.Store(seq)
 	t.m.commitMu.Unlock()
+	t.m.metrics.Commits.Inc()
 	t.finish()
 	for _, f := range t.onCommit {
 		f()
@@ -205,6 +213,7 @@ func (t *Txn) Abort() {
 	}
 	t.m.setState(t.id, txnState{status: StatusAborted})
 	t.aborted = true
+	t.m.metrics.Aborts.Inc()
 	t.finish()
 }
 
@@ -287,9 +296,11 @@ func (t *Txn) CheckWritable(head *storage.Version) (bool, error) {
 	if !ok {
 		// Distinguish "never existed for us" from "someone newer touched it".
 		if head.XMin != t.id && !t.m.committedBefore(head.XMin, t.snap.Seq) && t.m.StatusOf(head.XMin) == StatusCommitted {
+			t.m.metrics.WriteConflicts.Inc()
 			return false, ErrSerialization
 		}
 		if head.XMax != 0 && head.XMax != t.id && t.m.StatusOf(head.XMax) == StatusCommitted && !t.m.committedBefore(head.XMax, t.snap.Seq) {
+			t.m.metrics.WriteConflicts.Inc()
 			return false, ErrSerialization
 		}
 		return false, nil
@@ -297,6 +308,7 @@ func (t *Txn) CheckWritable(head *storage.Version) (bool, error) {
 	// Visible, but only the head version may be written: if the visible
 	// version is not the head, the head was written after our snapshot.
 	if head.XMin != t.id && !t.m.committedBefore(head.XMin, t.snap.Seq) {
+		t.m.metrics.WriteConflicts.Inc()
 		return false, ErrSerialization
 	}
 	return true, nil

@@ -18,7 +18,9 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"time"
 
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/types"
 )
@@ -96,11 +98,20 @@ type Writer struct {
 	bw  *bufio.Writer
 	buf []byte
 	n   int64
+	met *obs.WALMetrics // nil = no instrumentation
 }
 
 // NewWriter wraps w in a WAL writer.
 func NewWriter(w io.Writer) *Writer {
 	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// SetObs attaches WAL metrics (records, exact encoded bytes, sync latency).
+// Call before concurrent use.
+func (w *Writer) SetObs(m *obs.WALMetrics) {
+	w.mu.Lock()
+	w.met = m
+	w.mu.Unlock()
 }
 
 // Append encodes and buffers one record.
@@ -118,6 +129,10 @@ func (w *Writer) Append(rec Record) error {
 		return err
 	}
 	w.n++
+	if w.met != nil {
+		w.met.Records.Inc()
+		w.met.Bytes.Add(int64(len(hdr) + len(w.buf)))
+	}
 	return nil
 }
 
@@ -125,7 +140,50 @@ func (w *Writer) Append(rec Record) error {
 func (w *Writer) Flush() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	return w.bw.Flush()
+	if w.met == nil {
+		return w.bw.Flush()
+	}
+	start := time.Now()
+	err := w.bw.Flush()
+	w.met.SyncLatency.ObserveSince(start)
+	return err
+}
+
+// Instrument attaches metrics to a logger: a *Writer records in place (exact
+// byte counts), Nop stays uninstrumented, and anything else is wrapped so
+// records and sync latency are still counted (bytes are unknown and stay 0).
+func Instrument(l Logger, m *obs.WALMetrics) Logger {
+	switch t := l.(type) {
+	case nil:
+		return l
+	case Nop:
+		return l
+	case *Writer:
+		t.SetObs(m)
+		return l
+	default:
+		return &instrumented{l: l, met: m}
+	}
+}
+
+type instrumented struct {
+	l   Logger
+	met *obs.WALMetrics
+}
+
+func (w *instrumented) Append(rec Record) error {
+	err := w.l.Append(rec)
+	if err == nil {
+		w.met.Records.Inc()
+	}
+	return err
+}
+
+func (w *instrumented) Flush() error {
+	start := time.Now()
+	err := w.l.Flush()
+	w.met.SyncLatency.ObserveSince(start)
+	return err
 }
 
 // Count returns the number of records appended.

@@ -1,0 +1,33 @@
+package bullfrog
+
+import (
+	"net/http"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// MetricsSnapshot is a point-in-time view of the database's internal
+// metrics: per-statement-kind execution latency, transaction outcomes,
+// WAL volume, and lazy-migration progress. See internal/obs for the
+// full inventory.
+type MetricsSnapshot = obs.Snapshot
+
+// Metrics returns a consistent-enough snapshot of all internal metrics.
+// Counters are read atomically (each individually exact; cross-counter
+// skew is bounded by in-flight operations). Safe to call concurrently
+// with any workload; the hot paths it observes are lock-free.
+func (db *DB) Metrics() MetricsSnapshot {
+	snap := db.eng.Obs().Snapshot()
+	snap.Migration.Tables = db.ctrl.ProgressTables()
+	return snap
+}
+
+// MetricsHandler returns an http.Handler serving the current metrics:
+// plain text by default, JSON when the request asks for it (via
+// `Accept: application/json` or `?format=json`). Mount it wherever the
+// embedding application serves diagnostics:
+//
+//	mux.Handle("/metrics", db.MetricsHandler())
+func (db *DB) MetricsHandler() http.Handler {
+	return obs.Handler(func() obs.Snapshot { return db.Metrics() })
+}

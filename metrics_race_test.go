@@ -1,0 +1,273 @@
+package bullfrog
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// copySrcDB builds a database with a populated src table and a side table
+// for generating unrelated commits.
+func copySrcDB(t *testing.T, rows int) *DB {
+	t.Helper()
+	db := Open(Options{})
+	if _, err := db.Exec(`
+		CREATE TABLE src (a INT PRIMARY KEY, b INT);
+		CREATE TABLE side (k INT PRIMARY KEY, v INT);`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(fmt.Sprintf(
+			`INSERT INTO src VALUES (%d, %d)`, i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func copyMigration(granularity int64) *Migration {
+	return &Migration{
+		Name:  "copy",
+		Setup: `CREATE TABLE dst (a INT PRIMARY KEY, b INT)`,
+		Statements: []*Statement{{
+			Name: "copy", Driving: "s", Category: OneToOne,
+			Granularity: granularity,
+			Outputs:     []OutputSpec{{Table: "dst", Def: MustQuery(`SELECT a, b FROM src s`)}},
+		}},
+		RetireInputs: []string{"src"},
+	}
+}
+
+// TestMetricsUnderConcurrentMigration hammers Exec from several goroutines
+// while a bitmap migration is in flight (lazy + background), with a monitor
+// goroutine asserting counter monotonicity between snapshots, and checks the
+// final snapshot's cross-layer invariants. Run under -race, this also proves
+// the metrics hot path is data-race-free against Snapshot readers.
+func TestMetricsUnderConcurrentMigration(t *testing.T) {
+	const rows = 384
+	db := copySrcDB(t, rows)
+	defer db.Close()
+	if err := db.Migrate(copyMigration(16), MigrateOptions{BackgroundDelay: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		prev := db.Metrics()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-time.After(2 * time.Millisecond):
+			}
+			cur := db.Metrics()
+			checkMonotone(t, prev, cur)
+			prev = cur
+		}
+	}()
+
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := (w*40 + i) % rows
+				queries := []string{
+					fmt.Sprintf(`SELECT b FROM dst WHERE a = %d`, key),
+					fmt.Sprintf(`INSERT INTO side VALUES (%d, %d)`, w*1000+i, i),
+					fmt.Sprintf(`UPDATE dst SET b = %d WHERE a = %d`, i, key),
+				}
+				for _, q := range queries {
+					// Concurrent lazy/background migration transactions can
+					// collide with client writes; retry like an application.
+					var err error
+					for attempt := 0; attempt < 10; attempt++ {
+						if _, err = db.Exec(q); err == nil {
+							break
+						}
+						time.Sleep(time.Millisecond)
+					}
+					if err != nil {
+						t.Errorf("worker %d: %q: %v", w, q, err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := db.AwaitMigration(ctx); err != nil {
+		t.Fatalf("AwaitMigration: %v", err)
+	}
+	close(stop)
+	monWG.Wait()
+
+	snap := db.Metrics()
+	if len(snap.Migration.Tables) == 0 {
+		t.Fatal("no migration progress tables in final snapshot")
+	}
+	for _, tp := range snap.Migration.Tables {
+		if !tp.Complete || tp.Progress != 1 {
+			t.Errorf("table %s: complete=%v progress=%v, want complete at 1.0",
+				tp.Table, tp.Complete, tp.Progress)
+		}
+	}
+	// DetectEarly migrates every tuple exactly once, split between the lazy
+	// and background paths.
+	if got := snap.Migration.TuplesLazy + snap.Migration.TuplesBackground; got != rows {
+		t.Errorf("tuples lazy+background = %d, want %d (exactly-once)", got, rows)
+	}
+	// Every commit in this test goes through the engine's durable-commit
+	// path, so the commit-latency histogram must account for each one.
+	if snap.Txn.Commits != snap.Txn.CommitLatency.Count {
+		t.Errorf("commits = %d but commit_latency count = %d",
+			snap.Txn.Commits, snap.Txn.CommitLatency.Count)
+	}
+	if snap.Txn.Begins < snap.Txn.Commits+snap.Txn.Aborts {
+		t.Errorf("begins = %d < commits+aborts = %d",
+			snap.Txn.Begins, snap.Txn.Commits+snap.Txn.Aborts)
+	}
+	if snap.Engine.RowsScanned == 0 || snap.Txn.Commits == 0 {
+		t.Errorf("expected activity, got rows_scanned=%d commits=%d",
+			snap.Engine.RowsScanned, snap.Txn.Commits)
+	}
+	res, err := db.Query(`SELECT COUNT(*) FROM dst`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != rows {
+		t.Errorf("dst rows = %d, want %d", got, rows)
+	}
+}
+
+// checkMonotone asserts every monotone metric moved forward (or held) from
+// prev to cur.
+func checkMonotone(t *testing.T, prev, cur MetricsSnapshot) {
+	t.Helper()
+	checks := []struct {
+		name       string
+		prev, curr int64
+	}{
+		{"txn.begins", prev.Txn.Begins, cur.Txn.Begins},
+		{"txn.commits", prev.Txn.Commits, cur.Txn.Commits},
+		{"txn.aborts", prev.Txn.Aborts, cur.Txn.Aborts},
+		{"txn.write_conflicts", prev.Txn.WriteConflicts, cur.Txn.WriteConflicts},
+		{"txn.lock_timeouts", prev.Txn.LockTimeouts, cur.Txn.LockTimeouts},
+		{"engine.rows_scanned", prev.Engine.RowsScanned, cur.Engine.RowsScanned},
+		{"engine.rows_returned", prev.Engine.RowsReturned, cur.Engine.RowsReturned},
+		{"wal.records", prev.WAL.Records, cur.WAL.Records},
+		{"wal.bytes", prev.WAL.Bytes, cur.WAL.Bytes},
+		{"migration.tuples_lazy", prev.Migration.TuplesLazy, cur.Migration.TuplesLazy},
+		{"migration.tuples_background", prev.Migration.TuplesBackground, cur.Migration.TuplesBackground},
+		{"commit_latency.count", prev.Txn.CommitLatency.Count, cur.Txn.CommitLatency.Count},
+	}
+	for _, c := range checks {
+		if c.curr < c.prev {
+			t.Errorf("%s went backwards: %d -> %d", c.name, c.prev, c.curr)
+		}
+	}
+	// Bitmap migration progress never regresses while the runtime is active.
+	for _, pt := range prev.Migration.Tables {
+		for _, ct := range cur.Migration.Tables {
+			if pt.Statement == ct.Statement && pt.Total > 0 && ct.Migrated < pt.Migrated {
+				t.Errorf("%s migrated went backwards: %d -> %d",
+					pt.Statement, pt.Migrated, ct.Migrated)
+			}
+		}
+	}
+}
+
+// BenchmarkExecPointSelect measures the end-to-end instrumented statement
+// path; compare with internal/obs's BenchmarkHistogramObserve and
+// BenchmarkCounterInc to see the metrics share of it (a handful of atomic
+// ops, i.e. well under 1%).
+func BenchmarkExecPointSelect(b *testing.B) {
+	db := Open(Options{})
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT PRIMARY KEY, b INT)`); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queries := make([]string, 256)
+	for i := range queries {
+		queries[i] = fmt.Sprintf(`SELECT b FROM t WHERE a = %d`, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Exec(queries[i%len(queries)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestCloseMakesOperationsFail(t *testing.T) {
+	db := copySrcDB(t, 4)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := db.Exec(`SELECT * FROM src`); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Exec after Close = %v, want ErrClosed", err)
+	}
+	if _, err := db.Query(`SELECT * FROM src`); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Query after Close = %v, want ErrClosed", err)
+	}
+	if err := db.Migrate(copyMigration(0), MigrateOptions{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Migrate after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestAwaitMigrationContext(t *testing.T) {
+	db := copySrcDB(t, 64)
+	defer db.Close()
+
+	// No active migration: returns immediately.
+	if err := db.AwaitMigration(context.Background()); err != nil {
+		t.Fatalf("AwaitMigration without migration: %v", err)
+	}
+
+	// Active migration, no background threads and no accesses: nothing moves,
+	// so AwaitMigration must respect the context deadline.
+	if err := db.Migrate(copyMigration(0), MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := db.AwaitMigration(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("AwaitMigration = %v, want deadline exceeded", err)
+	}
+	if err := db.WaitForMigration(30 * time.Millisecond); err == nil {
+		t.Fatal("WaitForMigration should time out")
+	}
+
+	// Finishing the migration wakes waiters.
+	done := make(chan error, 1)
+	go func() { done <- db.AwaitMigration(context.Background()) }()
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AwaitMigration after finish: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("AwaitMigration did not wake on completion")
+	}
+}

@@ -1,6 +1,7 @@
 package bullfrog
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,6 +25,9 @@ type MigrateOptions struct {
 // schema is active when this returns (typically within microseconds), while
 // physical data movement happens lazily on access plus in the background.
 func (db *DB) Migrate(m *Migration, opts MigrateOptions) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
 	if err := db.ctrl.Start(m); err != nil {
 		return err
 	}
@@ -45,15 +49,23 @@ func (db *DB) Background() *core.Background { return db.bg }
 // MigrationComplete reports whether all data has been physically migrated.
 func (db *DB) MigrationComplete() bool { return db.ctrl.Complete() }
 
+// AwaitMigration blocks until the active migration completes (all data
+// physically moved) or ctx is done, in which case it returns ctx's error.
+// It returns immediately when no migration is active.
+func (db *DB) AwaitMigration(ctx context.Context) error {
+	return db.ctrl.AwaitMigration(ctx)
+}
+
 // WaitForMigration blocks until the active migration completes or the
 // timeout elapses.
+//
+// Deprecated: use AwaitMigration, which takes a context and wakes on
+// completion instead of polling a timeout window.
 func (db *DB) WaitForMigration(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for !db.ctrl.Complete() {
-		if time.Now().After(deadline) {
-			return fmt.Errorf("bullfrog: migration incomplete after %v", timeout)
-		}
-		time.Sleep(time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := db.AwaitMigration(ctx); err != nil {
+		return fmt.Errorf("bullfrog: migration incomplete after %v", timeout)
 	}
 	return nil
 }
