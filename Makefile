@@ -22,9 +22,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Figure experiments as testing.B benchmarks plus micro-benchmarks.
+# Figure experiments as testing.B benchmarks plus micro-benchmarks, then the
+# backfill worker-scaling figure with its JSON timeline (results/BENCH_backfill.json).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
+	$(GO) run ./cmd/bullfrog-bench -fig backfill -json results
 
 # Regenerate every evaluation figure (quick profile; see -profile medium/full).
 figures:

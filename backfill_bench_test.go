@@ -1,0 +1,159 @@
+package bullfrog_test
+
+// Benchmarks for the parallel backfill pool (drain time vs worker count, for
+// both tracker kinds) and the plan cache (cold vs warm point selects).
+// `make bench` runs these and then regenerates results/BENCH_backfill.json,
+// the figure-style timeline for the same scaling question under TPC-C load.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+const drainRows = 4000
+
+// drainSrcDB builds a database with one populated source table.
+func drainSrcDB(b *testing.B) *bullfrog.DB {
+	b.Helper()
+	db := bullfrog.Open(bullfrog.Options{})
+	if _, err := db.Exec(`CREATE TABLE src (a INT PRIMARY KEY, grp INT, v INT)`); err != nil {
+		b.Fatal(err)
+	}
+	for lo := 0; lo < drainRows; lo += 200 {
+		var sb strings.Builder
+		sb.WriteString(`INSERT INTO src VALUES `)
+		for i := lo; i < lo+200; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d, %d)", i, i%100, i)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+// bitmapDrainMigration is a OneToOne copy: bitmap-tracked, granule-striped.
+func bitmapDrainMigration() *bullfrog.Migration {
+	return &bullfrog.Migration{
+		Name:  "copy",
+		Setup: `CREATE TABLE dst (a INT PRIMARY KEY, grp INT, v INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "copy", Driving: "s", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "dst",
+				Def:   bullfrog.MustQuery(`SELECT a, grp, v FROM src s`),
+			}},
+		}},
+		RetireInputs: []string{"src"},
+	}
+}
+
+// hashDrainMigration is a ManyToOne aggregation: hash-tracked, chunk-cursor.
+func hashDrainMigration() *bullfrog.Migration {
+	return &bullfrog.Migration{
+		Name:  "totals",
+		Setup: `CREATE TABLE totals (grp INT PRIMARY KEY, total INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "totals", Driving: "s", Category: bullfrog.ManyToOne,
+			GroupBy: []string{"grp"},
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "totals",
+				Def:   bullfrog.MustQuery(`SELECT grp, SUM(v) AS total FROM src s GROUP BY grp`),
+			}},
+		}},
+	}
+}
+
+// BenchmarkBackfillDrain measures wall-clock time for the background pool to
+// drain a whole migration with no foreground traffic, per tracker kind and
+// worker count. On a multi-core machine the bitmap drain scales with workers
+// (independent granule stripes); the hash drain scales until group transform
+// cost dominates. On a single core the counts should roughly tie — the
+// interesting regressions are 1-worker slowdowns (pool overhead) there.
+func BenchmarkBackfillDrain(b *testing.B) {
+	for _, kind := range []struct {
+		name string
+		mig  func() *bullfrog.Migration
+	}{
+		{"bitmap", bitmapDrainMigration},
+		{"hash", hashDrainMigration},
+	} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", kind.name, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					db := drainSrcDB(b)
+					b.StartTimer()
+					if err := db.Migrate(kind.mig(), bullfrog.MigrateOptions{
+						BackgroundDelay:   0,
+						BackgroundWorkers: workers,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+					if err := db.AwaitMigration(ctx); err != nil {
+						b.Fatal(err)
+					}
+					cancel()
+					b.StopTimer()
+					snap := db.Metrics()
+					b.ReportMetric(float64(snap.Migration.TuplesBackground), "tuples-bg")
+					db.Close()
+					b.StartTimer()
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPointSelectPlanCache measures point-select execution with the
+// plan cache cold (invalidated before every statement, so each Exec pays
+// parse + plan) versus warm (steady-state: parse + cache hit + execute).
+func BenchmarkPointSelectPlanCache(b *testing.B) {
+	setup := func(b *testing.B) *bullfrog.DB {
+		b.Helper()
+		db := bullfrog.Open(bullfrog.Options{})
+		if _, err := db.Exec(`CREATE TABLE t (a INT PRIMARY KEY, v INT);
+			INSERT INTO t VALUES (1, 10), (2, 20), (3, 30), (4, 40)`); err != nil {
+			b.Fatal(err)
+		}
+		return db
+	}
+	b.Run("cold", func(b *testing.B) {
+		db := setup(b)
+		defer db.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Engine().InvalidatePlans()
+			if _, err := db.Query(`SELECT v FROM t WHERE a = 2`); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		db := setup(b)
+		defer db.Close()
+		if _, err := db.Query(`SELECT v FROM t WHERE a = 2`); err != nil {
+			b.Fatal(err)
+		}
+		reused0 := db.Metrics().Engine.PlansReused
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.Query(`SELECT v FROM t WHERE a = 2`); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := db.Metrics().Engine.PlansReused - reused0; got < int64(b.N) {
+			b.Fatalf("plan reuse = %d over %d warm iterations", got, b.N)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package bullfrog
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParallelBackfillStress races a 4-worker backfill pool against six
+// concurrent foreground Exec goroutines over an active bitmap migration,
+// asserting the claim/busy/skip protocol keeps attribution exactly-once:
+// every source row lands in the output exactly once, split between the lazy
+// path and the background pool (lazy + background == total), the bitmap
+// reaches completion, and every AwaitMigration waiter is woken exactly once.
+// Run under -race (CI does) to check the pool's memory-safety too.
+func TestParallelBackfillStress(t *testing.T) {
+	const rows = 3000
+	db := Open(Options{})
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE src (a INT PRIMARY KEY, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	// Batched inserts: one statement per 200 rows keeps setup fast.
+	for lo := 0; lo < rows; lo += 200 {
+		var sb strings.Builder
+		sb.WriteString(`INSERT INTO src VALUES `)
+		for i := lo; i < lo+200; i++ {
+			if i > lo {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "(%d, %d)", i, i*10)
+		}
+		if _, err := db.Exec(sb.String()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := &Migration{
+		Name:  "copy",
+		Setup: `CREATE TABLE dst (a INT PRIMARY KEY, b INT)`,
+		Statements: []*Statement{{
+			Name: "copy", Driving: "s", Category: OneToOne,
+			Outputs: []OutputSpec{{Table: "dst", Def: MustQuery(`SELECT a, b FROM src s`)}},
+		}},
+		RetireInputs: []string{"src"},
+	}
+	if err := db.Migrate(m, MigrateOptions{
+		BackgroundDelay:   0,
+		BackgroundWorkers: 4,
+		BackgroundChunk:   4, // small batches force many claim/skip interleavings
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Six foreground goroutines issue point requests against the new schema
+	// while the pool sweeps: five readers plus one writer, all driving lazy
+	// migration of the granules they touch.
+	stop := make(chan struct{})
+	var fg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		fg.Add(1)
+		go func(g int) {
+			defer fg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := rng.Intn(rows)
+				var err error
+				if g == 5 {
+					_, err = db.Exec(fmt.Sprintf(`UPDATE dst SET b = b + 1 WHERE a = %d`, k))
+				} else {
+					_, err = db.Query(fmt.Sprintf(`SELECT b FROM dst WHERE a = %d`, k))
+				}
+				if err != nil {
+					select {
+					case <-stop: // racing Close in cleanup, not a failure
+					default:
+						t.Errorf("foreground goroutine %d: %v", g, err)
+					}
+					return
+				}
+			}
+		}(g)
+	}
+
+	// Several AwaitMigration waiters; the completion broadcast must wake all
+	// of them exactly once (each call returns nil, none hangs).
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	awaitErrs := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func() { awaitErrs <- db.AwaitMigration(ctx) }()
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-awaitErrs; err != nil {
+			t.Fatalf("AwaitMigration: %v", err)
+		}
+	}
+	close(stop)
+	fg.Wait()
+
+	if !db.MigrationComplete() {
+		t.Fatal("AwaitMigration returned but MigrationComplete() is false")
+	}
+	if bg := db.Background(); bg == nil || bg.Err() != nil {
+		t.Fatalf("background pool state: %v", bg)
+	}
+
+	// Exactly-once attribution: every source row appears in dst once, and
+	// the lazy/background split accounts for all of them with no overlap.
+	res, err := db.Query(`SELECT COUNT(*) FROM dst`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != rows {
+		t.Fatalf("dst rows = %d, want %d (lost or duplicated migrations)", got, rows)
+	}
+	snap := db.Metrics()
+	lazy, bg := snap.Migration.TuplesLazy, snap.Migration.TuplesBackground
+	if lazy+bg != rows {
+		t.Fatalf("attribution: lazy %d + background %d = %d, want %d", lazy, bg, lazy+bg, rows)
+	}
+	t.Logf("attribution: lazy=%d background=%d workers_active_now=%d",
+		lazy, bg, snap.Migration.BackfillWorkersActive)
+	if snap.Migration.BackfillWorkersActive != 0 {
+		t.Errorf("BackfillWorkersActive = %d after completion, want 0", snap.Migration.BackfillWorkersActive)
+	}
+}

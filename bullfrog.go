@@ -1,6 +1,7 @@
 package bullfrog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -103,6 +104,10 @@ type DB struct {
 	bg     *core.Background
 	walSrc wal.Logger // the caller-supplied logger, for Close
 	closed atomic.Bool
+	// closeCtx is cancelled by Close so long-running drains (FinishMigration
+	// during a multi-step switch-over) cannot hang shutdown.
+	closeCtx  context.Context
+	closeStop context.CancelFunc
 }
 
 // Open creates an empty database. Callers should Close it when done.
@@ -114,11 +119,14 @@ func Open(opts Options) *DB {
 	})
 	gate := core.NewGate()
 	gate.SetObs(eng.Obs().Migration)
+	ctx, cancel := context.WithCancel(context.Background())
 	return &DB{
-		eng:    eng,
-		ctrl:   core.NewController(eng, opts.ConflictMode),
-		gate:   gate,
-		walSrc: opts.WAL,
+		eng:       eng,
+		ctrl:      core.NewController(eng, opts.ConflictMode),
+		gate:      gate,
+		walSrc:    opts.WAL,
+		closeCtx:  ctx,
+		closeStop: cancel,
 	}
 }
 
@@ -130,6 +138,7 @@ func (db *DB) Close() error {
 	if !db.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	db.closeStop() // unhang any in-flight FinishMigration drain
 	if db.bg != nil {
 		db.bg.Stop()
 		db.bg = nil

@@ -1,0 +1,23 @@
+package bench
+
+import "fmt"
+
+// FigureBackfill measures backfill-pool worker-count dependence: the same
+// table-split migration (bitmap tracking) and aggregation migration (hash
+// tracking) under BullFrog at 1 and 4 background workers, same offered load.
+// The interesting outputs are mig_end_sec (drain time, expected to shrink
+// with workers on multi-core machines) and p99_ms (foreground latency, which
+// the adaptive pacer must keep within bounds as workers scale).
+func FigureBackfill(p Profile, frac float64) (*FigureResult, error) {
+	var cfgs []Config
+	for _, kind := range []MigrationKind{MigSplit, MigAggregate} {
+		for _, w := range []int{1, 4} {
+			cfg := p.config(SysBullFrog, kind, frac)
+			cfg.BGWorkers = w
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return runAll("backfill",
+		fmt.Sprintf("backfill pool scaling (bitmap + hash, 1 vs 4 workers), rate=%.0f%% of capacity", frac*100),
+		cfgs)
+}

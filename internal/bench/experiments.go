@@ -112,7 +112,9 @@ type Config struct {
 	Duration     time.Duration
 	MigrateAt    time.Duration
 	BGDelay      time.Duration
-	Granularity  int64
+	// BGWorkers sizes the background backfill pool (0 = runtime.NumCPU()).
+	BGWorkers   int
+	Granularity int64
 	HotCustomers int
 	Sequential   bool // Figure 9 access pattern
 	Constraints  tpcc.SplitConstraints
@@ -266,6 +268,7 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.System != SysBullFrogNoBG && cfg.System != SysBullFrogNoTracking {
 			bg = core.NewBackground(ctrl, cfg.BGDelay)
 			bg.Interval = time.Millisecond
+			bg.Workers = cfg.BGWorkers
 			bg.Start()
 			res.BGStart = res.MigStart + cfg.BGDelay
 		}

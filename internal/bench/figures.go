@@ -400,6 +400,11 @@ func labelFor(r *Result) string {
 	if r.Config.HotCustomers > 0 {
 		parts = append(parts, fmt.Sprintf("hot=%d", r.Config.HotCustomers))
 	}
+	if r.Config.BGWorkers > 0 {
+		// Worker-scaling runs compare migration kinds within one figure, so
+		// the kind is distinguishing there (elsewhere it's figure-constant).
+		parts = append(parts, r.Config.Migration.String(), fmt.Sprintf("bgw=%d", r.Config.BGWorkers))
+	}
 	if r.Config.Constraints.FKOrders {
 		parts = append(parts, "fk=district+orders")
 	} else if r.Config.Constraints.FKDistrict {

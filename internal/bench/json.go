@@ -31,6 +31,7 @@ type jsonRun struct {
 	MigStartSec  float64         `json:"mig_start_sec"`
 	MigEndSec    float64         `json:"mig_end_sec,omitempty"` // 0 = unfinished
 	BGStartSec   float64         `json:"bg_start_sec,omitempty"`
+	BGWorkers    int             `json:"bg_workers,omitempty"`
 	RowsMigrated int64           `json:"rows_migrated"`
 	SkipWaits    int64           `json:"skip_waits"`
 	Completed    int64           `json:"completed"`
@@ -66,6 +67,7 @@ func WriteJSON(fr *FigureResult, dir string) (string, error) {
 			MigStartSec:   r.MigStart.Seconds(),
 			MigEndSec:     r.MigEnd.Seconds(),
 			BGStartSec:    r.BGStart.Seconds(),
+			BGWorkers:     r.Config.BGWorkers,
 			RowsMigrated:  r.RowsMigrated,
 			SkipWaits:     r.SkipWaits,
 			Completed:     r.Metrics.Completed,

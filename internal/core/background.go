@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,17 +18,35 @@ import (
 // client request ever touches. In the paper's experiments the threads start
 // 20 seconds after the migration begins (client requests alone drive early
 // progress); Delay models that.
+//
+// Backfill is a parallel, adaptive pool. Bitmap-tracked statements get
+// Workers goroutines sweeping striped regions of the bitmap: worker i starts
+// at stripe i and wraps to granule 0 when its region drains, stealing into
+// neighbors' unfinished stripes near the tail. The CAS claim protocol
+// (Algorithm 2) makes collisions harmless — a stolen granule is simply Busy
+// or Done for the second worker. Hash-tracked statements partition the
+// driving (and seed) table's ordinal space into chunks handed out from a
+// shared atomic cursor; the claim/busy/skip protocol in hashPass (Algorithm
+// 3) dedups groups discovered by multiple chunks. All workers sample
+// foreground health through a shared pacer and shrink their batches / extend
+// their pauses when client p99 or the write-conflict rate degrades.
 type Background struct {
 	// Delay before the threads begin working.
 	Delay time.Duration
 	// ChunkGranules is how many bitmap granules each simulated request
-	// covers; ChunkTuples the scan width for group discovery.
+	// covers; ChunkTuples the scan width for group discovery. Both are the
+	// un-throttled maxima — the pacer scales the effective batch down.
 	ChunkGranules int
 	ChunkTuples   int64
-	// Interval throttles between simulated requests (0 = none).
+	// Interval throttles between simulated requests (0 = none; the pacer
+	// adds its own backoff on top when the foreground degrades).
 	Interval time.Duration
+	// Workers is the number of concurrent backfill workers per migration
+	// statement; <= 0 means runtime.NumCPU().
+	Workers int
 
 	ctrl    *Controller
+	pace    *pacer
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	started atomic.Int64 // unix nanos when work actually began; 0 = not yet
@@ -41,6 +61,7 @@ func NewBackground(ctrl *Controller, delay time.Duration) *Background {
 		ChunkGranules: 64,
 		ChunkTuples:   4096,
 		ctrl:          ctrl,
+		pace:          newPacer(ctrl.db.Obs()),
 		stop:          make(chan struct{}),
 	}
 }
@@ -62,11 +83,29 @@ func (b *Background) Err() error {
 	return nil
 }
 
-// Start launches one worker per migration statement.
+// workers resolves the configured pool size.
+func (b *Background) workers() int {
+	if b.Workers > 0 {
+		return b.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Start launches the backfill pool: Workers striped sweepers per
+// bitmap-tracked statement, and one sweep coordinator (fanning out Workers
+// chunk workers per pass) per hash-tracked statement.
 func (b *Background) Start() {
+	w := b.workers()
 	for _, rt := range b.ctrl.Runtimes() {
-		b.wg.Add(1)
-		go b.run(rt)
+		if rt.bitmap != nil {
+			for i := 0; i < w; i++ {
+				b.wg.Add(1)
+				go b.runBitmap(rt, i, w)
+			}
+		} else {
+			b.wg.Add(1)
+			go b.runHash(rt, w)
+		}
 	}
 }
 
@@ -83,14 +122,18 @@ func (b *Background) Stop() {
 // Wait blocks until the workers finish (migration complete or stopped).
 func (b *Background) Wait() { b.wg.Wait() }
 
+func (b *Background) stopped() bool {
+	select {
+	case <-b.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 func (b *Background) sleep(d time.Duration) bool {
 	if d <= 0 {
-		select {
-		case <-b.stop:
-			return false
-		default:
-			return true
-		}
+		return !b.stopped()
 	}
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -102,47 +145,68 @@ func (b *Background) sleep(d time.Duration) bool {
 	}
 }
 
-func (b *Background) run(rt *StmtRuntime) {
-	defer b.wg.Done()
+// begin performs the common worker prologue: the start delay, the started
+// timestamp, and the active-workers gauge. It reports false if the pool was
+// stopped during the delay.
+func (b *Background) begin() bool {
 	if !b.sleep(b.Delay) {
-		return
+		return false
 	}
 	b.started.CompareAndSwap(0, time.Now().UnixNano())
-	var err error
-	if rt.bitmap != nil {
-		err = b.runBitmap(rt)
-	} else {
-		err = b.runHash(rt)
+	b.ctrl.obsMig().BackfillWorkersActive.Add(1)
+	return true
+}
+
+func (b *Background) end() {
+	b.ctrl.obsMig().BackfillWorkersActive.Add(-1)
+}
+
+// runBitmap is one striped bitmap sweeper: claim and migrate unmigrated
+// granules in pacer-sized chunks from this worker's stripe onward, wrapping
+// to the front (other workers' stripes) until the statement completes.
+func (b *Background) runBitmap(rt *StmtRuntime, worker, workers int) {
+	defer b.wg.Done()
+	if !b.begin() {
+		return
 	}
-	if err != nil {
+	defer b.end()
+	if err := b.bitmapSweep(rt, worker, workers); err != nil {
 		b.err.CompareAndSwap(nil, err)
 	}
 }
 
-// runBitmap sweeps the bitmap, claiming and migrating unmigrated granules in
-// chunks until the statement completes.
-func (b *Background) runBitmap(rt *StmtRuntime) error {
-	cursor := int64(0)
+func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
+	cursor := rt.bitmap.Granules() / int64(workers) * int64(worker) // stripe start
+	batch := make([]int64, 0, b.ChunkGranules)                     // reused across batches
 	for {
 		if rt.complete.Load() {
 			return nil
 		}
+		if b.stopped() {
+			return nil
+		}
+		b.pace.observe()
 		g := rt.bitmap.NextUnmigrated(cursor)
 		if g < 0 {
-			// Tail: granules claimed by client workers may still be in
-			// flight; poll from the start until the bitmap fills.
+			// Stripe (and everything after it) is drained: wrap and steal
+			// from the front. Granules claimed by other workers may still be
+			// in flight, so poll until the bitmap actually fills.
 			if rt.bitmap.Complete() {
 				rt.ctrl.markRuntimeComplete(rt)
 				return nil
 			}
 			cursor = 0
-			if !b.sleep(time.Millisecond) {
-				return nil
+			if rt.bitmap.NextUnmigrated(0) < 0 {
+				// Only in-flight granules remain; nothing claimable.
+				if !b.sleep(time.Millisecond) {
+					return nil
+				}
 			}
 			continue
 		}
-		batch := make([]int64, 0, b.ChunkGranules)
-		for i := 0; i < b.ChunkGranules && g >= 0; i++ {
+		limit := b.pace.batch(b.ChunkGranules)
+		batch = batch[:0]
+		for i := 0; i < limit && g >= 0; i++ {
 			batch = append(batch, g)
 			g = rt.bitmap.NextUnmigrated(g + 1)
 		}
@@ -154,73 +218,235 @@ func (b *Background) runBitmap(rt *StmtRuntime) error {
 		} else {
 			cursor = batch[len(batch)-1] + 1
 		}
-		if !b.sleep(b.Interval) {
+		if !b.sleep(b.pace.pause(b.Interval)) {
 			return nil
 		}
 	}
 }
 
-// runHash sweeps the driving table discovering group keys and migrating any
-// unmigrated groups, repeating until a full pass finds nothing left.
-func (b *Background) runHash(rt *StmtRuntime) error {
+// runHash coordinates one hash-tracked statement: repeated parallel sweeps
+// over the driving (and seed) table until a full pass finds nothing left.
+func (b *Background) runHash(rt *StmtRuntime, workers int) {
+	defer b.wg.Done()
+	if !b.sleep(b.Delay) {
+		return
+	}
+	b.started.CompareAndSwap(0, time.Now().UnixNano())
+	var err error
 	for {
 		if rt.complete.Load() {
-			return nil
+			break
 		}
-		remaining, err := b.hashSweep(rt)
-		if err != nil {
-			return err
+		remaining, serr := b.hashSweepParallel(rt, workers)
+		if serr != nil {
+			err = serr
+			break
 		}
-		select {
-		case <-b.stop:
-			return nil
-		default:
+		if b.stopped() {
+			break
 		}
 		if remaining == 0 {
 			rt.ctrl.markRuntimeComplete(rt)
-			return nil
+			break
 		}
 		if !b.sleep(time.Millisecond) {
-			return nil
+			break
+		}
+	}
+	if err != nil {
+		b.err.CompareAndSwap(nil, err)
+	}
+}
+
+// hashSweepParallel performs one full pass over the driving table (and, for
+// seeded join migrations, the secondary table, whose groups may have no
+// driving rows at all) with `workers` goroutines pulling ordinal-range
+// chunks from a shared cursor. It returns how many groups were found
+// unmigrated (0 means the pass found everything migrated).
+func (b *Background) hashSweepParallel(rt *StmtRuntime, workers int) (int64, error) {
+	remaining, err := b.sweepTableParallel(rt, rt.drivingTbl, rt.groupOrds, workers)
+	if err != nil {
+		return remaining, err
+	}
+	if rt.seedTbl != nil {
+		n, err := b.sweepTableParallel(rt, rt.seedTbl, rt.seedOrds, workers)
+		remaining += n
+		if err != nil {
+			return remaining, err
+		}
+	}
+	return remaining, nil
+}
+
+// sweepTableParallel scans [0, NumSlots) of one table: each worker draws the
+// next pacer-sized chunk from the shared cursor, discovers that chunk's
+// group keys, and migrates the unmigrated ones through hashPass.
+func (b *Background) sweepTableParallel(rt *StmtRuntime, tbl *catalog.Table, ords []int, workers int) (int64, error) {
+	total := tbl.Heap.NumSlots()
+	var cursor, remaining atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.ctrl.obsMig().BackfillWorkersActive.Add(1)
+			defer b.ctrl.obsMig().BackfillWorkersActive.Add(-1)
+			sc := newSweepScratch()
+			for {
+				if b.stopped() || firstErr.Load() != nil || rt.complete.Load() {
+					return
+				}
+				b.pace.observe()
+				chunk := int64(b.pace.batch(int(b.ChunkTuples)))
+				lo := cursor.Add(chunk) - chunk
+				if lo >= total {
+					return
+				}
+				hi := lo + chunk
+				if hi > total {
+					hi = total
+				}
+				n, err := b.sweepChunk(rt, tbl, ords, lo, hi, sc)
+				remaining.Add(n)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if !b.sleep(b.pace.pause(b.Interval)) {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok {
+		return remaining.Load(), err
+	}
+	return remaining.Load(), nil
+}
+
+// sweepChunk discovers the chunk's group keys and migrates the unmigrated
+// ones, waiting out busy groups like any client request. It returns how many
+// groups it found unmigrated.
+func (b *Background) sweepChunk(rt *StmtRuntime, tbl *catalog.Table, ords []int, lo, hi int64, sc *sweepScratch) (int64, error) {
+	keys, err := b.discoverKeys(rt, tbl, ords, lo, hi, sc)
+	if err != nil {
+		return 0, err
+	}
+	sc.todo = sc.todo[:0]
+	for _, k := range keys {
+		if !rt.hash.IsMigrated(k) {
+			sc.todo = append(sc.todo, k)
+		}
+	}
+	if len(sc.todo) == 0 {
+		return 0, nil
+	}
+	for {
+		busy, err := rt.hashPass(nil, sc.todo, true)
+		if err != nil {
+			return int64(len(sc.todo)), err
+		}
+		if busy == 0 {
+			return int64(len(sc.todo)), nil
+		}
+		if !b.sleep(rt.ctrl.backoff) {
+			return int64(len(sc.todo)), nil
 		}
 	}
 }
 
-// hashSweep performs one full pass over the driving table (and, for seeded
-// join migrations, the secondary table, whose groups may have no driving
-// rows at all); it returns how many groups were found unmigrated (0 means
-// the pass found everything migrated).
-func (b *Background) hashSweep(rt *StmtRuntime) (remaining int, err error) {
-	n, err := b.sweepTable(rt, rt.drivingTbl, rt.groupOrds)
-	if err != nil {
-		return n, err
+// sweepScratch holds one worker's reusable discovery buffers so per-chunk
+// group discovery stops allocating a map and slices on every batch. Workers
+// are single-goroutine, so no synchronization is needed.
+type sweepScratch struct {
+	seen   map[string]bool
+	keys   [][]byte
+	todo   [][]byte
+	keyBuf types.Row
+}
+
+func newSweepScratch() *sweepScratch {
+	return &sweepScratch{seen: make(map[string]bool, 64)}
+}
+
+func (sc *sweepScratch) reset(ords int) {
+	clear(sc.seen)
+	sc.keys = sc.keys[:0]
+	if cap(sc.keyBuf) < ords {
+		sc.keyBuf = make(types.Row, ords)
 	}
-	remaining += n
-	if rt.seedTbl != nil {
-		n, err := b.sweepTable(rt, rt.seedTbl, rt.seedOrds)
-		if err != nil {
-			return remaining + n, err
+}
+
+// discoverKeys collects the distinct group keys of visible tuples in the
+// ordinal range of the given table (driving or seed). The returned slice
+// aliases sc and is valid until the next call with the same scratch; the
+// keys themselves are freshly allocated (hashPass retains them).
+func (b *Background) discoverKeys(rt *StmtRuntime, tbl *catalog.Table, ords []int, lo, hi int64, sc *sweepScratch) ([][]byte, error) {
+	tx := rt.ctrl.db.Begin()
+	defer tx.Abort()
+	sc.reset(len(ords))
+	key := sc.keyBuf[:len(ords)]
+	err := tbl.Heap.ScanRange(lo, hi, func(tid storage.TID, head *storage.Version) error {
+		row, ok := tx.VisibleRow(head)
+		if !ok {
+			return nil
 		}
-		remaining += n
+		for i, ord := range ords {
+			key[i] = row[ord]
+		}
+		k := types.EncodeKey(nil, key)
+		if !sc.seen[string(k)] {
+			sc.seen[string(k)] = true
+			sc.keys = append(sc.keys, k)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return remaining, nil
+	return sc.keys, nil
 }
 
 // CatchUp synchronously migrates everything not yet covered — the final
 // pass a multi-step switch-over runs while client writes are quiesced, and
 // generally useful for draining a migration on demand. It loops until a
-// full pass finds nothing left.
-func (rt *StmtRuntime) CatchUp() error {
-	b := &Background{ctrl: rt.ctrl, ChunkGranules: 256, ChunkTuples: 1 << 14, stop: make(chan struct{})}
+// full pass finds nothing left, or ctx is cancelled (so a DB.Close during a
+// switch-over cannot hang the drain). A nil ctx means no cancellation.
+func (rt *StmtRuntime) CatchUp(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Background{
+		ctrl: rt.ctrl, ChunkGranules: 256, ChunkTuples: 1 << 14,
+		pace: newPacer(rt.ctrl.db.Obs()), stop: make(chan struct{}),
+	}
+	// Bridge ctx cancellation onto the stop channel so the sweep helpers'
+	// interruptible sleeps observe it.
+	if done := ctx.Done(); done != nil {
+		finished := make(chan struct{})
+		defer close(finished)
+		go func() {
+			select {
+			case <-done:
+				close(b.stop)
+			case <-finished:
+			}
+		}()
+	}
 	if rt.bitmap != nil {
-		// The bitmap was sized at Start; sweep whatever it tracks.
+		batch := make([]int64, 0, b.ChunkGranules)
 		for {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			g := rt.bitmap.NextUnmigrated(0)
 			if g < 0 {
 				rt.ctrl.markRuntimeComplete(rt)
 				return nil
 			}
-			batch := make([]int64, 0, b.ChunkGranules)
+			batch = batch[:0]
 			for i := 0; i < b.ChunkGranules && g >= 0; i++ {
 				batch = append(batch, g)
 				g = rt.bitmap.NextUnmigrated(g + 1)
@@ -230,90 +456,26 @@ func (rt *StmtRuntime) CatchUp() error {
 				return err
 			}
 			if busy > 0 {
-				time.Sleep(rt.ctrl.backoff)
+				if !b.sleep(rt.ctrl.backoff) {
+					return ctx.Err()
+				}
 			}
 		}
 	}
 	for {
-		remaining, err := b.hashSweep(rt)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		remaining, err := b.hashSweepParallel(rt, 1)
 		if err != nil {
 			return err
+		}
+		if b.stopped() {
+			return ctx.Err()
 		}
 		if remaining == 0 {
 			rt.ctrl.markRuntimeComplete(rt)
 			return nil
 		}
 	}
-}
-
-func (b *Background) sweepTable(rt *StmtRuntime, tbl *catalog.Table, ords []int) (remaining int, err error) {
-	total := tbl.Heap.NumSlots()
-	for lo := int64(0); lo < total; lo += b.ChunkTuples {
-		select {
-		case <-b.stop:
-			return remaining, nil
-		default:
-		}
-		hi := lo + b.ChunkTuples
-		keys, err := b.discoverKeys(rt, tbl, ords, lo, hi)
-		if err != nil {
-			return remaining, err
-		}
-		var todo [][]byte
-		for _, k := range keys {
-			if !rt.hash.IsMigrated(k) {
-				todo = append(todo, k)
-			}
-		}
-		if len(todo) == 0 {
-			continue
-		}
-		remaining += len(todo)
-		// Migrate, waiting out busy groups like any client request.
-		for {
-			busy, err := rt.hashPass(nil, todo, true)
-			if err != nil {
-				return remaining, err
-			}
-			if busy == 0 {
-				break
-			}
-			if !b.sleep(rt.ctrl.backoff) {
-				return remaining, nil
-			}
-		}
-		if !b.sleep(b.Interval) {
-			return remaining, nil
-		}
-	}
-	return remaining, nil
-}
-
-// discoverKeys collects the distinct group keys of visible tuples in the
-// ordinal range of the given table (driving or seed).
-func (b *Background) discoverKeys(rt *StmtRuntime, tbl *catalog.Table, ords []int, lo, hi int64) ([][]byte, error) {
-	tx := rt.ctrl.db.Begin()
-	defer tx.Abort()
-	seen := map[string]bool{}
-	var keys [][]byte
-	err := tbl.Heap.ScanRange(lo, hi, func(tid storage.TID, head *storage.Version) error {
-		row, ok := tx.VisibleRow(head)
-		if !ok {
-			return nil
-		}
-		key := make(types.Row, len(ords))
-		for i, ord := range ords {
-			key[i] = row[ord]
-		}
-		k := types.EncodeKey(nil, key)
-		if !seen[string(k)] {
-			seen[string(k)] = true
-			keys = append(keys, k)
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return keys, nil
 }

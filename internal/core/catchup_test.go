@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"github.com/bullfrogdb/bullfrog/internal/engine"
@@ -24,7 +26,7 @@ func TestCatchUpDrainsEverything(t *testing.T) {
 	if rt.Complete() {
 		t.Fatal("should not be complete yet")
 	}
-	if err := rt.CatchUp(); err != nil {
+	if err := rt.CatchUp(nil); err != nil {
 		t.Fatal(err)
 	}
 	if !rt.Complete() || !ctrl.Complete() {
@@ -34,7 +36,7 @@ func TestCatchUpDrainsEverything(t *testing.T) {
 		t.Errorf("rows = %d", got)
 	}
 	// Idempotent on a finished statement.
-	if err := rt.CatchUp(); err != nil {
+	if err := rt.CatchUp(nil); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -61,11 +63,39 @@ func TestCatchUpHash(t *testing.T) {
 	if err := ctrl.Start(m); err != nil {
 		t.Fatal(err)
 	}
-	if err := ctrl.Runtimes()[0].CatchUp(); err != nil {
+	if err := ctrl.Runtimes()[0].CatchUp(nil); err != nil {
 		t.Fatal(err)
 	}
 	rows := mustSelect(t, db, `SELECT COUNT(*) FROM ev_count`)
 	if rows[0][0].Int() != 5 {
 		t.Errorf("groups = %v", rows[0][0])
+	}
+}
+
+// TestCatchUpContextCancel: a cancelled context stops the drain promptly with
+// the context's error instead of running to completion — the mechanism that
+// keeps DB.Close from hanging behind a long multi-step switch-over.
+func TestCatchUpContextCancel(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 80)
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rt := ctrl.RuntimeFor("cust_private")
+	if err := rt.CatchUp(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CatchUp with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if ctrl.Complete() {
+		t.Fatal("cancelled CatchUp should not have drained the migration")
+	}
+	// A live context drains normally afterwards.
+	if err := rt.CatchUp(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Complete() {
+		t.Fatal("CatchUp with live ctx should complete")
 	}
 }

@@ -138,6 +138,24 @@ func (c *Controller) InjectTransformFailures(n int32) { c.failTransforms.Store(n
 // errInjected is the fault-injection error.
 var errInjected = errors.New("core: injected transform failure")
 
+// Dedup-map pools for the lazy migration passes: bitmapPass and hashPass run
+// on every intercepted client request, so their candidate-dedup maps come
+// from pools instead of being allocated per pass.
+var (
+	granuleSeenPool = sync.Pool{New: func() any { return make(map[int64]bool, 64) }}
+	keySeenPool     = sync.Pool{New: func() any { return make(map[string]bool, 64) }}
+)
+
+func putGranuleSeen(m map[int64]bool) {
+	clear(m)
+	granuleSeenPool.Put(m)
+}
+
+func putKeySeen(m map[string]bool) {
+	clear(m)
+	keySeenPool.Put(m)
+}
+
 func (c *Controller) maybeInjectFailure() error {
 	for {
 		n := c.failTransforms.Load()
@@ -227,6 +245,9 @@ func (c *Controller) Start(m *Migration) error {
 	if !c.shadow {
 		c.db.SetMigrationHook(c)
 	}
+	// The big flip changes what plans may legally touch (retired inputs, new
+	// outputs); drop everything compiled before it.
+	c.db.InvalidatePlans()
 	return nil
 }
 
@@ -365,6 +386,7 @@ func (c *Controller) Reset() error {
 	c.retired = map[string]bool{}
 	c.done = nil
 	c.completedAt.Store(0)
+	c.db.InvalidatePlans()
 	return nil
 }
 
@@ -453,6 +475,9 @@ func (c *Controller) markRuntimeComplete(rt *StmtRuntime) {
 			c.db.Catalog().DropTable(name)
 			delete(c.retired, norm(name))
 		}
+		// The drops bypassed the SQL DDL path; cached plans may still
+		// reference the dropped tables.
+		c.db.InvalidatePlans()
 	}
 }
 
@@ -679,7 +704,7 @@ func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64, backgr
 		if serr != nil {
 			return 0, serr
 		}
-		seen := map[int64]bool{}
+		seen := granuleSeenPool.Get().(map[int64]bool)
 		for _, tid := range tids {
 			g := rt.bitmap.GranuleOf(tid.Ordinal(rt.drivingTbl.Heap.PageSize()))
 			if !seen[g] {
@@ -687,6 +712,7 @@ func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64, backgr
 				candidates = append(candidates, g)
 			}
 		}
+		putGranuleSeen(seen)
 	}
 	for _, g := range candidates {
 		switch rt.claimGranule(g) {
@@ -811,11 +837,13 @@ func (rt *StmtRuntime) transform(tx *txn.Txn, drivingRows []types.Row, outputsIn
 		conflict = sql.ConflictDoNothing
 	}
 	for _, out := range rt.outputs {
-		plan, err := rt.ctrl.db.PlanSelectWithBoundRows(out.spec.Def, rt.drivingAlias, &engine.BoundRows{Rows: drivingRows})
+		// PlanSelectBound caches the transform plan across batches (and
+		// across workers); each execution binds its own claimed rows.
+		plan, err := rt.ctrl.db.PlanSelectBound(out.spec.Def, rt.drivingAlias)
 		if err != nil {
 			return err
 		}
-		err = plan.Execute(tx, func(row types.Row) error {
+		err = plan.ExecuteBound(tx, drivingRows, func(row types.Row) error {
 			_, ok, ierr := rt.ctrl.db.InsertRow(tx, out.tbl, row.Clone(), conflict)
 			if ierr != nil {
 				if errors.Is(ierr, engine.ErrCheckViolation) {
@@ -988,7 +1016,7 @@ func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte, background 
 		if serr != nil {
 			return 0, serr
 		}
-		seen := map[string]bool{}
+		seen := keySeenPool.Get().(map[string]bool)
 		for _, row := range rows {
 			k := rt.groupKeyOf(row)
 			if !seen[string(k)] {
@@ -996,6 +1024,7 @@ func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte, background 
 				candidates = append(candidates, k)
 			}
 		}
+		putKeySeen(seen)
 	}
 	// Claim (Algorithm 3; the WIP/SKIP local-list checks collapse into the
 	// candidate dedup above and the busy counter).
@@ -1105,12 +1134,12 @@ func (rt *StmtRuntime) migrateSeed(tx *txn.Txn, keyRow types.Row) (int, error) {
 		conflict = sql.ConflictDoNothing
 	}
 	out := rt.outputs[0]
-	plan, err := rt.ctrl.db.PlanSelectWithBoundRows(seed.Def, norm(seed.Driving), &engine.BoundRows{Rows: rows})
+	plan, err := rt.ctrl.db.PlanSelectBound(seed.Def, norm(seed.Driving))
 	if err != nil {
 		return 0, err
 	}
 	inserted := 0
-	err = plan.Execute(tx, func(row types.Row) error {
+	err = plan.ExecuteBound(tx, rows, func(row types.Row) error {
 		_, ok, ierr := rt.ctrl.db.InsertRow(tx, out.tbl, row.Clone(), conflict)
 		if ierr != nil {
 			if errors.Is(ierr, engine.ErrCheckViolation) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -30,6 +31,10 @@ type MultiStep struct {
 	bg       *Background
 	mig      *Migration
 	switched atomic.Bool
+	// ctx is cancelled by Stop so an in-flight Switch catch-up drain cannot
+	// outlive an abandoned migration.
+	ctx    context.Context
+	cancel context.CancelFunc
 }
 
 // StartMultiStep registers the migration and immediately starts the copier
@@ -45,6 +50,7 @@ func StartMultiStep(db *engine.DB, m *Migration) (*MultiStep, error) {
 		return nil, err
 	}
 	ms := &MultiStep{ctrl: ctrl, mig: m}
+	ms.ctx, ms.cancel = context.WithCancel(context.Background())
 	ms.bg = NewBackground(ctrl, 0)
 	// The copier is paced by default: a real multi-step migration deliberately
 	// trickles the copy to bound its impact, which is also what makes its
@@ -69,8 +75,12 @@ func (ms *MultiStep) Complete() bool { return ms.ctrl.Complete() }
 // CompletedAt reports when the copy finished.
 func (ms *MultiStep) CompletedAt() time.Time { return ms.ctrl.CompletedAt() }
 
-// Stop halts the copier (e.g. to abandon the migration).
-func (ms *MultiStep) Stop() { ms.bg.Stop() }
+// Stop halts the copier and cancels any in-flight Switch drain (e.g. to
+// abandon the migration).
+func (ms *MultiStep) Stop() {
+	ms.cancel()
+	ms.bg.Stop()
+}
 
 // Switched reports whether the switch-over happened.
 func (ms *MultiStep) Switched() bool { return ms.switched.Load() }
@@ -87,7 +97,7 @@ func (ms *MultiStep) Switch() error {
 	}
 	ms.bg.Stop()
 	for _, rt := range ms.ctrl.Runtimes() {
-		if err := rt.CatchUp(); err != nil {
+		if err := rt.CatchUp(ms.ctx); err != nil {
 			return fmt.Errorf("core: multi-step final catch-up: %w", err)
 		}
 	}
@@ -101,6 +111,8 @@ func (ms *MultiStep) Switch() error {
 			ms.ctrl.db.Catalog().DropTable(name)
 		}
 	}
+	// Retires and drops bypassed the SQL DDL path; drop stale cached plans.
+	ms.ctrl.db.InvalidatePlans()
 	ms.switched.Store(true)
 	return nil
 }

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// pacer is the backfill pool's adaptive throttle. Workers call observe()
+// every batch; at most once per pacerSampleEvery it diffs the foreground
+// exec-latency histograms and write-conflict counter in internal/obs against
+// the previous sample, computes the windowed p99, and raises or lowers a
+// throttle level. The level halves the batch size per step (batch) and adds
+// a quadratic inter-batch pause (pause), so parallel backfill backs off as
+// soon as client traffic degrades and ramps back up when it recovers — the
+// paper's background threads (§2.2) without trampling TPC-C (§4).
+//
+// The healthy-latency baseline is an EWMA over non-degraded windows rather
+// than a running minimum, so one unusually quiet window cannot pin the
+// throttle on forever.
+type pacer struct {
+	met *obs.Set
+
+	// level is read lock-free on every batch; only observe() writes it.
+	level atomic.Int32
+
+	mu       sync.Mutex
+	lastAt   time.Time
+	lastExec [len(pacerKinds)]obs.HistogramSnapshot
+	lastConf int64
+	baseP99  float64 // EWMA of healthy windowed p99 (ns); 0 = no sample yet
+}
+
+// pacerKinds are the statement kinds whose latency counts as foreground
+// health. DDL and "other" are excluded: they are rare and often slow by
+// nature (a migration's own setup DDL must not throttle its backfill).
+var pacerKinds = [...]obs.StmtKind{obs.StmtSelect, obs.StmtInsert, obs.StmtUpdate, obs.StmtDelete}
+
+const (
+	// pacerMaxLevel caps backoff at batch/64 plus 9ms pauses.
+	pacerMaxLevel = 6
+	// pacerSampleEvery rate-limits histogram snapshots; between samples
+	// workers run at the current level.
+	pacerSampleEvery = 50 * time.Millisecond
+	// pacerDegradeFactor: a windowed p99 above baseline*factor is degraded.
+	pacerDegradeFactor = 1.5
+	// pacerMinSamples: windows with fewer foreground statements than this
+	// are considered idle and decay the throttle instead of steering it.
+	pacerMinSamples = 16
+	// pacerConflictBump: this many new write conflicts in one window bumps
+	// the throttle even when latency still looks fine.
+	pacerConflictBump = 8
+	// pacerStep scales the quadratic inter-batch pause: level²·step.
+	pacerStep = 250 * time.Microsecond
+	// pacerBaseAlpha is the EWMA weight of a new healthy window's p99.
+	pacerBaseAlpha = 0.2
+)
+
+func newPacer(met *obs.Set) *pacer { return &pacer{met: met} }
+
+// observe samples foreground health and adjusts the throttle level. Safe and
+// cheap to call from every worker on every batch: it returns immediately
+// unless pacerSampleEvery has elapsed since the last sample.
+func (p *pacer) observe() {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.lastAt.IsZero() && now.Sub(p.lastAt) < pacerSampleEvery {
+		return
+	}
+	first := p.lastAt.IsZero()
+	p.lastAt = now
+
+	var cur [len(pacerKinds)]obs.HistogramSnapshot
+	var delta obs.HistogramSnapshot
+	for i, k := range pacerKinds {
+		cur[i] = p.met.Engine.Exec[k].Snapshot()
+		prev := p.lastExec[i]
+		delta.Count += cur[i].Count - prev.Count
+		for bi, n := range cur[i].Buckets {
+			var old int64
+			if bi < len(prev.Buckets) {
+				old = prev.Buckets[bi]
+			}
+			for len(delta.Buckets) <= bi {
+				delta.Buckets = append(delta.Buckets, 0)
+			}
+			delta.Buckets[bi] += n - old
+		}
+	}
+	p.lastExec = cur
+	conf := p.met.Txn.WriteConflicts.Load()
+	confDelta := conf - p.lastConf
+	p.lastConf = conf
+	if first {
+		return // no window to diff yet
+	}
+
+	if delta.Count < pacerMinSamples {
+		// Foreground (nearly) idle: nothing to protect, speed back up.
+		p.decay()
+		return
+	}
+	p99 := delta.Quantile(0.99)
+	if p.baseP99 == 0 {
+		p.baseP99 = p99
+	}
+	degraded := p99 > p.baseP99*pacerDegradeFactor
+	if !degraded {
+		// Healthy window: fold into the baseline so it tracks slow drift.
+		p.baseP99 += (p99 - p.baseP99) * pacerBaseAlpha
+	}
+	if degraded || confDelta >= pacerConflictBump {
+		if lv := p.level.Load(); lv < pacerMaxLevel {
+			p.level.Store(lv + 1)
+		}
+		return
+	}
+	p.decay()
+}
+
+func (p *pacer) decay() {
+	if lv := p.level.Load(); lv > 0 {
+		p.level.Store(lv - 1)
+	}
+}
+
+// batch scales a base batch size down 2x per throttle level (never below 1)
+// and publishes the result through the BackfillBatchSize gauge.
+func (p *pacer) batch(base int) int {
+	n := base >> p.level.Load()
+	if n < 1 {
+		n = 1
+	}
+	p.met.Migration.BackfillBatchSize.Set(int64(n))
+	return n
+}
+
+// pause returns the inter-batch sleep for the current level on top of the
+// configured interval: base + level²·pacerStep.
+func (p *pacer) pause(base time.Duration) time.Duration {
+	lv := time.Duration(p.level.Load())
+	return base + lv*lv*pacerStep
+}

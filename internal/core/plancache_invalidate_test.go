@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestMigrationStartInvalidatesPlanCache pins the cache-coherence contract:
+// starting a migration flips the logical schema (retired inputs, new output
+// tables), so every cached plan compiled against the old schema must be
+// dropped at Start. Completion with DropInputsOnComplete and Reset drop
+// tables outside the SQL DDL path, so they must invalidate too.
+func TestMigrationStartInvalidatesPlanCache(t *testing.T) {
+	db := engine.New(engine.Options{})
+	mig := splitFixture(t, db, 8)
+
+	// Warm the cache against the pre-migration schema.
+	mustExec(t, db, `SELECT c_name FROM cust WHERE c_id = 1`)
+	if db.PlanCacheLen() == 0 {
+		t.Fatal("plan cache should be warm before Start")
+	}
+
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(mig); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PlanCacheLen(); got != 0 {
+		t.Fatalf("plan cache entries after migration Start = %d, want 0", got)
+	}
+
+	// Drain, then make sure Reset clears plans cached during the migration
+	// window (it drops the retired input via the catalog, not SQL DDL).
+	rt := ctrl.Runtimes()[0]
+	if err := rt.CatchUp(nil); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, db, `SELECT c_id FROM cust_public WHERE c_id = 2`)
+	if db.PlanCacheLen() == 0 {
+		t.Fatal("plan cache should be warm before Reset")
+	}
+	if err := ctrl.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.PlanCacheLen(); got != 0 {
+		t.Fatalf("plan cache entries after Reset = %d, want 0", got)
+	}
+}

@@ -45,12 +45,13 @@ type MigrationHook interface {
 
 // DB is an embedded database instance.
 type DB struct {
-	cat  *catalog.Catalog
-	tm   *txn.Manager
-	opts Options
-	log  wal.Logger
-	hook MigrationHook
-	met  *obs.Set
+	cat   *catalog.Catalog
+	tm    *txn.Manager
+	opts  Options
+	log   wal.Logger
+	hook  MigrationHook
+	met   *obs.Set
+	plans *planCache
 }
 
 // New creates an empty database.
@@ -70,7 +71,7 @@ func New(opts Options) *DB {
 		Migration: &obs.MigrationMetrics{},
 	}
 	log = wal.Instrument(log, set.WAL)
-	return &DB{cat: catalog.New(), tm: tm, opts: opts, log: log, met: set}
+	return &DB{cat: catalog.New(), tm: tm, opts: opts, log: log, met: set, plans: newPlanCache()}
 }
 
 // Obs returns the database's metrics set. Never nil; every sub-struct is
@@ -180,8 +181,15 @@ func (db *DB) ExecTx(tx *txn.Txn, src string) (*Result, error) {
 // per-kind execution latency (failed statements included).
 func (db *DB) ExecStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 	start := time.Now()
+	kind := stmtKind(stmt)
 	res, err := db.execStmt(tx, stmt)
-	db.met.Engine.Exec[stmtKind(stmt)].ObserveSince(start)
+	db.met.Engine.Exec[kind].ObserveSince(start)
+	// DDL changes what cached plans were compiled against (tables, views,
+	// index choices); drop them all. Even failed DDL may have partially
+	// mutated the catalog, so invalidate unconditionally.
+	if kind == obs.StmtDDL {
+		db.plans.invalidate()
+	}
 	return res, err
 }
 

@@ -37,6 +37,28 @@ func (n *valuesNode) execute(ctx *execCtx, emit emitFn) error {
 	return nil
 }
 
+// --- bound rows ---
+
+// boundRowsNode emits the rows carried by the execution context
+// (Plan.ExecuteBound). It keeps no state of its own, so plans containing it
+// cache and run concurrently.
+type boundRowsNode struct {
+	cols []Column
+}
+
+func (n *boundRowsNode) columns() []Column    { return n.cols }
+func (n *boundRowsNode) children() []planNode { return nil }
+func (n *boundRowsNode) describe() string     { return "Bound Rows" }
+
+func (n *boundRowsNode) execute(ctx *execCtx, emit emitFn) error {
+	for _, r := range ctx.bound {
+		if err := emit(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // --- rename ---
 
 // renameNode re-qualifies a child's output columns under a new alias

@@ -25,6 +25,10 @@ type emitFn func(types.Row) error
 type execCtx struct {
 	db *DB
 	tx *txn.Txn
+	// bound carries the in-memory relation a boundRowsNode reads, so one
+	// cached plan can serve many concurrent executions over different row
+	// sets (Plan.ExecuteBound).
+	bound []types.Row
 }
 
 type planNode interface {
@@ -57,8 +61,16 @@ func (p *Plan) ColumnNames() []string {
 // output row. Emitted rows may be reused by the executor; clone them if
 // retained.
 func (p *Plan) Execute(tx *txn.Txn, emit func(types.Row) error) error {
+	return p.ExecuteBound(tx, nil, emit)
+}
+
+// ExecuteBound runs a plan compiled with PlanSelectBound, substituting rows
+// for the bound alias. The rows ride in the per-call execution context, not
+// in the plan, so a cached plan may run concurrently under different row
+// sets.
+func (p *Plan) ExecuteBound(tx *txn.Txn, rows []types.Row, emit func(types.Row) error) error {
 	var returned int64
-	err := p.root.execute(&execCtx{db: p.db, tx: tx}, func(row types.Row) error {
+	err := p.root.execute(&execCtx{db: p.db, tx: tx, bound: rows}, func(row types.Row) error {
 		returned++
 		return emit(row)
 	})
@@ -76,17 +88,48 @@ func scopeOf(cols []Column) *expr.Scope {
 
 // --- planner ---
 
-// PlanSelect compiles a SELECT statement.
+// PlanSelect compiles a SELECT statement, reusing a cached plan when the
+// same statement shape was planned before (metric: PlansReused vs
+// PlansBuilt). The cache is invalidated on DDL and on migration catalog
+// changes, so a hit is always against the current catalog.
 func (db *DB) PlanSelect(s *sql.SelectStmt) (*Plan, error) {
-	return db.PlanSelectWithBoundRows(s, "", nil)
+	return db.planCached(s, "")
+}
+
+// PlanSelectBound compiles (with caching) a SELECT whose boundAlias FROM
+// item reads rows supplied at execution time via Plan.ExecuteBound. This is
+// the migration transform's hot path: bitmapPass/hashPass plan the transform
+// SELECT once and run it per batch with that batch's claimed tuples bound.
+func (db *DB) PlanSelectBound(s *sql.SelectStmt, boundAlias string) (*Plan, error) {
+	return db.planCached(s, normalizeName(boundAlias))
+}
+
+func (db *DB) planCached(s *sql.SelectStmt, boundAlias string) (*Plan, error) {
+	key := selectCacheKey(s, boundAlias)
+	if p := db.plans.get(key); p != nil {
+		db.met.Engine.PlansReused.Inc()
+		return p, nil
+	}
+	p, err := db.buildSelectPlan(s, boundAlias, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.plans.put(key, p)
+	return p, nil
 }
 
 // PlanSelectWithBoundRows compiles a SELECT, but the FROM item whose binding
 // name equals boundAlias reads from the supplied in-memory rows instead of
 // its table. BullFrog's migration executor uses this to run the migration
-// transform over exactly the set of tuples it claimed (paper §3.2).
+// transform over exactly the set of tuples it claimed (paper §3.2). The rows
+// are baked into the plan, so the result is never cached; prefer
+// PlanSelectBound + ExecuteBound on hot paths.
 func (db *DB) PlanSelectWithBoundRows(s *sql.SelectStmt, boundAlias string, boundRows *BoundRows) (*Plan, error) {
-	b := &planBuilder{db: db, boundAlias: normalizeName(boundAlias), boundRows: boundRows}
+	return db.buildSelectPlan(s, normalizeName(boundAlias), boundRows)
+}
+
+func (db *DB) buildSelectPlan(s *sql.SelectStmt, boundAlias string, boundRows *BoundRows) (*Plan, error) {
+	b := &planBuilder{db: db, boundAlias: boundAlias, boundRows: boundRows}
 	root, err := b.buildSelect(s)
 	if err != nil {
 		return nil, err
@@ -329,7 +372,12 @@ func (b *planBuilder) buildSource(ref sql.TableRef) (source, error) {
 		for i, c := range tbl.Def.Columns {
 			cols[i] = Column{Table: alias, Name: c.Name, Kind: c.Kind}
 		}
-		return source{alias: alias, node: &valuesNode{cols: cols, rows: b.boundRows.Rows}}, nil
+		if b.boundRows != nil {
+			return source{alias: alias, node: &valuesNode{cols: cols, rows: b.boundRows.Rows}}, nil
+		}
+		// No rows at plan time: a cacheable plan whose rows arrive per
+		// execution through ExecuteBound.
+		return source{alias: alias, node: &boundRowsNode{cols: cols}}, nil
 	}
 	return source{alias: alias, node: newScanNode(tbl, alias)}, nil
 }

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+// planCacheCap bounds the number of cached plans. Entries are evicted LRU;
+// TPC-C plus a handful of migration transforms fits in a few dozen entries,
+// so the cap only matters for adversarial workloads with unbounded distinct
+// statement shapes (e.g. literals inlined into every query).
+const planCacheCap = 512
+
+// planCache is an LRU of compiled SELECT plans keyed on the statement's
+// canonical text (plus the bound-alias shape for migration transforms).
+// Cached plans are safe for concurrent Execute calls: every executor node
+// keeps per-execution state in locals, and bound rows travel in the execCtx,
+// never in the plan itself.
+//
+// Invalidation is coarse: any DDL (and any migration start or catalog
+// mutation done by internal/core outside the SQL path) clears the whole
+// cache. Plans embed catalog.Table pointers and index choices resolved at
+// build time, so anything that changes the catalog must drop them all.
+type planCache struct {
+	mu sync.Mutex
+	ll *list.List // front = most recently used
+	m  map[string]*list.Element
+}
+
+type planCacheEntry struct {
+	key  string
+	plan *Plan
+}
+
+func newPlanCache() *planCache {
+	return &planCache{ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *planCache) get(key string) *Plan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*planCacheEntry).plan
+}
+
+func (c *planCache) put(key string, p *Plan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planCacheEntry).plan = p
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&planCacheEntry{key: key, plan: p})
+	if c.ll.Len() > planCacheCap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*planCacheEntry).key)
+	}
+}
+
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.m = make(map[string]*list.Element)
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// InvalidatePlans drops every cached plan. The engine calls it after DDL;
+// internal/core calls it when a migration starts, completes (input tables may
+// be dropped), or is reset, since those paths mutate the catalog without
+// going through SQL.
+func (db *DB) InvalidatePlans() { db.plans.invalidate() }
+
+// PlanCacheLen reports the number of cached plans (tests and diagnostics).
+func (db *DB) PlanCacheLen() int { return db.plans.len() }
+
+// selectCacheKey renders a SELECT to canonical text for cache keying. The
+// sql package has no statement printer, so this is it: identifiers appear as
+// parsed, expressions via expr's String (which quotes string literals, so
+// text and numeric literals cannot collide; int/float literals that render
+// identically compare numerically across kinds anyway). Differences in input
+// case cost a cache miss, never a false hit.
+func selectCacheKey(s *sql.SelectStmt, boundAlias string) string {
+	var b strings.Builder
+	b.Grow(128)
+	writeSelectKey(&b, s)
+	if boundAlias != "" {
+		b.WriteString("|bound:")
+		b.WriteString(boundAlias)
+	}
+	return b.String()
+}
+
+func writeSelectKey(b *strings.Builder, s *sql.SelectStmt) {
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case it.Star && it.StarTable != "":
+			b.WriteString(it.StarTable)
+			b.WriteString(".*")
+		case it.Star:
+			b.WriteByte('*')
+		default:
+			b.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, ref := range s.From {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if ref.Subquery != nil {
+			b.WriteByte('(')
+			writeSelectKey(b, ref.Subquery)
+			b.WriteByte(')')
+		} else {
+			b.WriteString(ref.Name)
+		}
+		if ref.Alias != "" {
+			b.WriteString(" AS ")
+			b.WriteString(ref.Alias)
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(e.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(s.Limit, 10))
+	}
+}

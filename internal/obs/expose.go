@@ -47,6 +47,8 @@ func (s Snapshot) Text() string {
 	fmt.Fprintf(&b, "%-28s %d\n", "migration.tuples_background", s.Migration.TuplesBackground)
 	writeHist("migration.ensure_latency", s.Migration.EnsureLatency)
 	writeHist("migration.gate_wait", s.Migration.GateWait)
+	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_workers", s.Migration.BackfillWorkersActive)
+	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_batch", s.Migration.BackfillBatchSize)
 	for _, t := range s.Migration.Tables {
 		total := fmt.Sprintf("%d", t.Total)
 		if t.Total < 0 {

@@ -94,6 +94,12 @@ type MigrationMetrics struct {
 	// GateWait records time (ns) client transactions spent blocked entering
 	// the gate (eager migration drains it; lazy migration never does).
 	GateWait Histogram
+	// BackfillWorkersActive gauges how many background backfill workers are
+	// currently running a batch (0 when idle or no migration is active).
+	BackfillWorkersActive Gauge
+	// BackfillBatchSize gauges the backfill pool's current adaptive batch
+	// size (granules for bitmap migrations, tuples for hash migrations).
+	BackfillBatchSize Gauge
 }
 
 // Set groups one instance of every layer's metrics. The engine owns a Set
@@ -156,11 +162,13 @@ type WALSnapshot struct {
 // MigrationSnapshot copies MigrationMetrics plus per-table progress gauges
 // supplied by the migration controller at snapshot time.
 type MigrationSnapshot struct {
-	TuplesLazy       int64             `json:"tuples_lazy"`
-	TuplesBackground int64             `json:"tuples_background"`
-	EnsureLatency    HistogramSnapshot `json:"ensure_latency"`
-	GateWait         HistogramSnapshot `json:"gate_wait"`
-	Tables           []TableProgress   `json:"tables,omitempty"`
+	TuplesLazy            int64             `json:"tuples_lazy"`
+	TuplesBackground      int64             `json:"tuples_background"`
+	EnsureLatency         HistogramSnapshot `json:"ensure_latency"`
+	GateWait              HistogramSnapshot `json:"gate_wait"`
+	BackfillWorkersActive int64             `json:"backfill_workers_active"`
+	BackfillBatchSize     int64             `json:"backfill_batch_size"`
+	Tables                []TableProgress   `json:"tables,omitempty"`
 }
 
 // TableProgress is one migration statement's physical progress, derived from
@@ -220,10 +228,12 @@ func (s *Set) Snapshot() Snapshot {
 	}
 	if s.Migration != nil {
 		out.Migration = MigrationSnapshot{
-			TuplesLazy:       s.Migration.TuplesLazy.Load(),
-			TuplesBackground: s.Migration.TuplesBackground.Load(),
-			EnsureLatency:    s.Migration.EnsureLatency.Snapshot(),
-			GateWait:         s.Migration.GateWait.Snapshot(),
+			TuplesLazy:            s.Migration.TuplesLazy.Load(),
+			TuplesBackground:      s.Migration.TuplesBackground.Load(),
+			EnsureLatency:         s.Migration.EnsureLatency.Snapshot(),
+			GateWait:              s.Migration.GateWait.Snapshot(),
+			BackfillWorkersActive: s.Migration.BackfillWorkersActive.Load(),
+			BackfillBatchSize:     s.Migration.BackfillBatchSize.Load(),
 		}
 	}
 	return out

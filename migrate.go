@@ -19,6 +19,11 @@ type MigrateOptions struct {
 	BackgroundChunk int
 	// BackgroundInterval throttles background batches (0 = none).
 	BackgroundInterval time.Duration
+	// BackgroundWorkers sets the backfill pool size per migration statement
+	// (0 = runtime.NumCPU()). Workers sweep striped bitmap regions (or pull
+	// table chunks from a shared cursor for hash-tracked migrations) and
+	// adaptively back off when foreground latency degrades.
+	BackgroundWorkers int
 }
 
 // Migrate performs a single-step, zero-downtime BullFrog migration: the new
@@ -38,6 +43,7 @@ func (db *DB) Migrate(m *Migration, opts MigrateOptions) error {
 			db.bg.ChunkTuples = int64(opts.BackgroundChunk) * 64
 		}
 		db.bg.Interval = opts.BackgroundInterval
+		db.bg.Workers = opts.BackgroundWorkers
 		db.bg.Start()
 	}
 	return nil
@@ -71,14 +77,50 @@ func (db *DB) WaitForMigration(timeout time.Duration) error {
 }
 
 // FinishMigration synchronously migrates all remaining data (the background
-// process's work, on demand) and returns when the migration is complete.
+// process's work, on demand) and returns when the migration is complete. The
+// drain aborts with ErrClosed if the database is closed while it runs.
 func (db *DB) FinishMigration() error {
+	return db.FinishMigrationContext(db.closeCtx)
+}
+
+// FinishMigrationContext is FinishMigration bounded by the caller's context:
+// the drain stops early (returning the context's error) when ctx is
+// cancelled. Closing the database cancels the drain too.
+func (db *DB) FinishMigrationContext(ctx context.Context) error {
+	if db.closed.Load() {
+		return ErrClosed
+	}
+	if ctx != db.closeCtx {
+		// Bound the drain by both the caller's context and Close.
+		var cancel context.CancelFunc
+		ctx, cancel = mergeDone(ctx, db.closeCtx)
+		defer cancel()
+	}
 	for _, rt := range db.ctrl.Runtimes() {
-		if err := rt.CatchUp(); err != nil {
+		if err := rt.CatchUp(ctx); err != nil {
+			if db.closed.Load() {
+				return ErrClosed
+			}
 			return err
 		}
 	}
 	return nil
+}
+
+// mergeDone derives a context from primary that is also cancelled when
+// secondary is done.
+func mergeDone(primary, secondary context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(primary)
+	if done := secondary.Done(); done != nil {
+		go func() {
+			select {
+			case <-done:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+	}
+	return ctx, cancel
 }
 
 // ResetMigration clears a completed migration so another can be submitted —
