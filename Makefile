@@ -2,13 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures examples ci clean
+.PHONY: all build vet lint test race fuzz bench figures examples ci clean
 
-all: build vet test
+all: build vet lint test
 
 # What CI runs (.github/workflows/ci.yml); run before sending a change.
-ci: vet build
-	$(GO) test -race ./...
+ci: vet build lint
+	$(GO) test -race -shuffle=on ./...
 
 build:
 	$(GO) build ./...
@@ -16,11 +16,23 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Project-specific analyzer suite (internal/lint): lock discipline, atomic
+# fields, context threading, the obs metric-registry contract, and error
+# propagation on durability paths. `go run ./cmd/bullfrog-lint -v ./...`
+# additionally lists active //lint:ignore suppressions.
+lint:
+	$(GO) run ./cmd/bullfrog-lint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Fuzz smoke: the CI-time budget. Longer local runs: go test -fuzz <name> <pkg>.
+fuzz:
+	$(GO) test -fuzz FuzzSQLParse -fuzztime 10s ./internal/sql
+	$(GO) test -fuzz FuzzKeyEncodeOrder -fuzztime 10s ./internal/types
 
 # Figure experiments as testing.B benchmarks plus micro-benchmarks, then the
 # backfill worker-scaling figure with its JSON timeline (results/BENCH_backfill.json).

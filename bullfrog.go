@@ -119,6 +119,7 @@ func Open(opts Options) *DB {
 	})
 	gate := core.NewGate()
 	gate.SetObs(eng.Obs().Migration)
+	//lint:ignore ctxflow DB-lifetime root owned by Open: cancelled by Close so drains cannot outlive the handle
 	ctx, cancel := context.WithCancel(context.Background())
 	return &DB{
 		eng:       eng,

@@ -1,0 +1,94 @@
+// Command bullfrog-lint runs BullFrog's project-specific analyzer suite
+// (internal/lint) over the module: lock discipline, atomic-field access,
+// context threading, the obs metric-registry contract, and error
+// propagation on durability paths. It is the `make lint` / CI entry point.
+//
+// Usage:
+//
+//	bullfrog-lint [-tests=false] [-analyzers=lockheld,errdrop] [-v] [./...]
+//
+// Exit status is 1 when any diagnostic is reported, 2 on load failure.
+// Suppress an individual finding with `//lint:ignore <analyzer> <reason>`
+// on the offending line or the line above; -v lists active suppressions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog/internal/lint"
+)
+
+func main() {
+	var (
+		tests     = flag.Bool("tests", true, "type-check in-package _test.go files too (diagnostics inside them are always dropped)")
+		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+		verbose   = flag.Bool("v", false, "list suppressed diagnostics and their ignore reasons")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+	)
+	flag.Parse()
+
+	suite := lint.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *analyzers != "" {
+		byName := map[string]*lint.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		var chosen []*lint.Analyzer
+		for _, name := range strings.Split(*analyzers, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "bullfrog-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			chosen = append(chosen, a)
+		}
+		suite = chosen
+	}
+
+	// The only supported pattern is the whole module; accept ./... (or
+	// nothing) for command-line familiarity.
+	for _, arg := range flag.Args() {
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(os.Stderr, "bullfrog-lint: only ./... is supported, got %q\n", arg)
+			os.Exit(2)
+		}
+	}
+
+	loader, err := lint.NewLoader(".", *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bullfrog-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.ModulePackages()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bullfrog-lint:", err)
+		os.Exit(2)
+	}
+	diags, suppressed, err := lint.Run(pkgs, suite, loader.ModulePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bullfrog-lint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if *verbose && len(suppressed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d suppressed:\n", len(suppressed))
+		for _, d := range suppressed {
+			fmt.Fprintln(os.Stderr, "  ", d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bullfrog-lint: %d problem(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -110,6 +110,8 @@ func (b *Background) Start() {
 }
 
 // Stop halts the workers and waits for them to exit.
+//
+//lint:ignore ctxflow teardown join: Stop must run to completion so workers never outlive the controller
 func (b *Background) Stop() {
 	select {
 	case <-b.stop:
@@ -120,6 +122,9 @@ func (b *Background) Stop() {
 }
 
 // Wait blocks until the workers finish (migration complete or stopped).
+// Bound the wait by calling Stop from another goroutine.
+//
+//lint:ignore ctxflow bare join by design: cancellation is Stop's job, a second cancel path would race it
 func (b *Background) Wait() { b.wg.Wait() }
 
 func (b *Background) stopped() bool {

@@ -472,6 +472,7 @@ func (c *Controller) markRuntimeComplete(rt *StmtRuntime) {
 	}
 	if c.mig != nil && c.mig.DropInputsOnComplete {
 		for _, name := range c.mig.RetireInputs {
+			//lint:ignore errdrop end-of-migration cleanup runs on a background worker with no error channel; DropTable fails only if the table is already gone
 			c.db.Catalog().DropTable(name)
 			delete(c.retired, norm(name))
 		}
@@ -964,6 +965,16 @@ func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan 
 // groupKey — the fast path for post-flip writers that maintain an aggregate
 // or denormalized table (paper §4.2, §4.3).
 func (c *Controller) EnsureGroupMigrated(outputTable string, groupKey types.Row) error {
+	return c.EnsureGroupMigratedContext(nil, outputTable, groupKey)
+}
+
+// EnsureGroupMigratedContext is EnsureGroupMigrated with cancellation: the
+// backoff wait on a group claimed by a concurrent migrator stops when ctx is
+// done. A nil ctx waits without deadline.
+func (c *Controller) EnsureGroupMigratedContext(ctx context.Context, outputTable string, groupKey types.Row) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	rt := c.RuntimeFor(outputTable)
 	if rt == nil || rt.complete.Load() {
 		return nil
@@ -985,7 +996,21 @@ func (c *Controller) EnsureGroupMigrated(outputTable string, groupKey types.Row)
 			return nil
 		}
 		rt.stats.skipWaits.Add(1)
-		time.Sleep(rt.ctrl.backoff)
+		if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
+			return err
+		}
+	}
+}
+
+// sleepCtx pauses for d or until ctx is cancelled, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
 	}
 }
 

@@ -38,6 +38,8 @@ func (g *Gate) SetObs(m *obs.MigrationMetrics) { g.met = m }
 // Enter takes a shared slot (a client transaction begins). The uncontended
 // fast path records nothing; a blocked entry (eager migration holds the
 // exclusive side, or the gate is saturated) feeds the gate-wait histogram.
+//
+//lint:ignore ctxflow statement-scoped gate entry: threading a context needs a session API (ROADMAP open item)
 func (g *Gate) Enter() {
 	select {
 	case g.sem <- struct{}{}:
@@ -54,11 +56,15 @@ func (g *Gate) Enter() {
 }
 
 // Leave releases the shared slot.
+//
+//lint:ignore ctxflow releases a held slot: must complete or the gate leaks capacity
 func (g *Gate) Leave() { <-g.sem }
 
 // Exclusive drains every slot (waiting out in-flight clients and blocking
 // new ones), runs f, then refills. The benchmark harness also uses this to
 // switch schema variants atomically with respect to client transactions.
+//
+//lint:ignore ctxflow statement-scoped gate entry: threading a context needs a session API (ROADMAP open item)
 func (g *Gate) Exclusive(f func() error) error {
 	for i := 0; i < gateCapacity; i++ {
 		g.sem <- struct{}{}
@@ -142,7 +148,9 @@ func MigrateEager(db *engine.DB, m *Migration, gate *Gate, onSwitched ...func())
 			}
 			tbl.SetRetired(true)
 			if m.DropInputsOnComplete {
-				db.Catalog().DropTable(name)
+				if err := db.Catalog().DropTable(name); err != nil {
+					return err
+				}
 			}
 		}
 		for _, f := range onSwitched {

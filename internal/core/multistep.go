@@ -50,6 +50,7 @@ func StartMultiStep(db *engine.DB, m *Migration) (*MultiStep, error) {
 		return nil, err
 	}
 	ms := &MultiStep{ctrl: ctrl, mig: m}
+	//lint:ignore ctxflow migration-lifetime root: cancelled by MultiStep.Stop so Switch drains cannot outlive an abandoned migration
 	ms.ctx, ms.cancel = context.WithCancel(context.Background())
 	ms.bg = NewBackground(ctrl, 0)
 	// The copier is paced by default: a real multi-step migration deliberately
@@ -108,7 +109,9 @@ func (ms *MultiStep) Switch() error {
 		}
 		tbl.SetRetired(true)
 		if ms.mig.DropInputsOnComplete {
-			ms.ctrl.db.Catalog().DropTable(name)
+			if err := ms.ctrl.db.Catalog().DropTable(name); err != nil {
+				return err
+			}
 		}
 	}
 	// Retires and drops bypassed the SQL DDL path; drop stale cached plans.

@@ -31,6 +31,10 @@ type pacer struct {
 	lastExec [len(pacerKinds)]obs.HistogramSnapshot
 	lastConf int64
 	baseP99  float64 // EWMA of healthy windowed p99 (ns); 0 = no sample yet
+
+	// now is the sampling clock; tests substitute a synthetic one so backoff
+	// behavior is verifiable without wall-clock sleeps.
+	now func() time.Time
 }
 
 // pacerKinds are the statement kinds whose latency counts as foreground
@@ -58,13 +62,13 @@ const (
 	pacerBaseAlpha = 0.2
 )
 
-func newPacer(met *obs.Set) *pacer { return &pacer{met: met} }
+func newPacer(met *obs.Set) *pacer { return &pacer{met: met, now: time.Now} }
 
 // observe samples foreground health and adjusts the throttle level. Safe and
 // cheap to call from every worker on every batch: it returns immediately
 // unless pacerSampleEvery has elapsed since the last sample.
 func (p *pacer) observe() {
-	now := time.Now()
+	now := p.now()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if !p.lastAt.IsZero() && now.Sub(p.lastAt) < pacerSampleEvery {
@@ -79,6 +83,12 @@ func (p *pacer) observe() {
 		cur[i] = p.met.Engine.Exec[k].Snapshot()
 		prev := p.lastExec[i]
 		delta.Count += cur[i].Count - prev.Count
+		// The lifetime max over-approximates the window max; without it the
+		// quantile clamp reads Max == 0 and every windowed p99 collapses to
+		// zero, silencing the latency-degradation trigger entirely.
+		if cur[i].Max > delta.Max {
+			delta.Max = cur[i].Max
+		}
 		for bi, n := range cur[i].Buckets {
 			var old int64
 			if bi < len(prev.Buckets) {

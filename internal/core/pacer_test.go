@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// TestPacerBackoff drives the backfill pacer with a synthetic clock and
+// synthetic foreground traffic: a p99 spike must shrink the batch size,
+// recovery must regrow it, a write-conflict burst must back off even with
+// healthy latency, and an idle window must decay the throttle. No step
+// sleeps on the wall clock.
+func TestPacerBackoff(t *testing.T) {
+	set := obs.NewSet()
+	p := newPacer(set)
+	now := time.Unix(1_700_000_000, 0)
+	p.now = func() time.Time { return now }
+
+	observeN := func(n int, d time.Duration) {
+		for i := 0; i < n; i++ {
+			set.Engine.Exec[obs.StmtSelect].Observe(int64(d))
+		}
+	}
+
+	const base = 64
+	steps := []struct {
+		name      string
+		latency   time.Duration
+		n         int
+		conflicts int64
+		wantLevel int32
+		wantBatch int
+	}{
+		{"priming sample", time.Millisecond, 32, 0, 0, base},
+		{"healthy baseline", time.Millisecond, 32, 0, 0, base},
+		{"p99 spike shrinks batch", 20 * time.Millisecond, 32, 0, 1, base / 2},
+		{"sustained spike shrinks further", 20 * time.Millisecond, 32, 0, 2, base / 4},
+		{"recovery regrows", time.Millisecond, 32, 0, 1, base / 2},
+		{"full recovery", time.Millisecond, 32, 0, 0, base},
+		{"conflict burst backs off", time.Millisecond, 32, pacerConflictBump, 1, base / 2},
+		{"idle window decays", 0, 0, 0, 0, base},
+	}
+	for _, st := range steps {
+		observeN(st.n, st.latency)
+		if st.conflicts != 0 {
+			set.Txn.WriteConflicts.Add(st.conflicts)
+		}
+		now = now.Add(pacerSampleEvery)
+		p.observe()
+		if got := p.level.Load(); got != st.wantLevel {
+			t.Fatalf("%s: level = %d, want %d", st.name, got, st.wantLevel)
+		}
+		if got := p.batch(base); got != st.wantBatch {
+			t.Fatalf("%s: batch(%d) = %d, want %d", st.name, base, got, st.wantBatch)
+		}
+	}
+
+	// Between samples observe() is a no-op, whatever the traffic looks like.
+	observeN(32, 20*time.Millisecond)
+	p.observe()
+	if got := p.level.Load(); got != 0 {
+		t.Fatalf("rate-limited observe moved level to %d", got)
+	}
+
+	// The inter-batch pause grows quadratically with the level.
+	var last time.Duration = -1
+	for lv := int32(0); lv <= pacerMaxLevel; lv++ {
+		p.level.Store(lv)
+		if got := p.pause(0); got <= last {
+			t.Fatalf("pause at level %d = %v, not above %v", lv, got, last)
+		} else {
+			last = got
+		}
+	}
+}

@@ -122,6 +122,7 @@ func (db *DB) Abort(tx *txn.Txn) {
 	if tx.Done() {
 		return
 	}
+	//lint:ignore errdrop abort records are advisory: recovery treats any txn without a commit record as aborted
 	db.log.Append(wal.Record{Type: wal.RecAbort, XID: tx.ID()})
 	tx.Abort()
 }

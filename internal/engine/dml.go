@@ -120,7 +120,8 @@ func (db *DB) liveDuplicate(tx *txn.Txn, tbl *catalog.Table, idx index.Index, ke
 	def := idx.Def()
 	for _, tid := range idx.Lookup(key) {
 		dup := false
-		tbl.Heap.View(tid, func(head *storage.Version) {
+		// A tuple that vanished under us cannot be a live duplicate.
+		_ = tbl.Heap.View(tid, func(head *storage.Version) {
 			v := latestDurable(tx, head)
 			if v == nil {
 				return
@@ -235,12 +236,14 @@ func (db *DB) parentExists(tx *txn.Txn, tbl *catalog.Table, cols []int, keyRow t
 	}
 	if idx != nil {
 		idx.AscendRange(key, index.PrefixSucc(key), func(_ []byte, tid storage.TID) bool {
-			tbl.Heap.View(tid, probe)
+			// A tuple that vanished under us cannot match.
+			_ = tbl.Heap.View(tid, probe)
 			return !found
 		})
 		return found
 	}
-	tbl.Heap.Scan(func(tid storage.TID, head *storage.Version) error {
+	// Scan only returns the errStopScan sentinel used for early exit.
+	_ = tbl.Heap.Scan(func(tid storage.TID, head *storage.Version) error {
 		probe(head)
 		if found {
 			return errStopScan
@@ -348,7 +351,8 @@ func (db *DB) UpdateRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID, newRow
 		}
 	}
 	tx.OnAbort(func() {
-		tbl.Heap.Mutate(tid, func(s storage.Slot) error {
+		// Abort cleanup is best-effort: a missing tuple has nothing to undo.
+		_ = tbl.Heap.Mutate(tid, func(s storage.Slot) error {
 			s.Pop(tx.ID())
 			return nil
 		})
@@ -420,7 +424,8 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 		return err
 	}
 	tx.OnAbort(func() {
-		tbl.Heap.Mutate(tid, func(s storage.Slot) error {
+		// Abort cleanup is best-effort: a missing tuple has nothing to undo.
+		_ = tbl.Heap.Mutate(tid, func(s storage.Slot) error {
 			s.ClearXMax(tx.ID())
 			return nil
 		})

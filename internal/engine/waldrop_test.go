@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// blockableLog is a wal.Logger whose commit-record appends can be made to
+// fail on demand, simulating a full or failing log device at the worst
+// moment.
+type blockableLog struct {
+	failCommit bool
+	err        error
+}
+
+func (f *blockableLog) Append(rec wal.Record) error {
+	if f.failCommit && rec.Type == wal.RecCommit {
+		return f.err
+	}
+	return nil
+}
+
+func (f *blockableLog) Flush() error { return nil }
+
+// TestCommitPropagatesWALError is the errdrop regression test for the
+// durability path: when the WAL cannot persist the commit record, Commit
+// must surface the error to the caller and roll the transaction back — a
+// silently dropped append error here would acknowledge a commit that
+// recovery can never replay.
+func TestCommitPropagatesWALError(t *testing.T) {
+	log := &blockableLog{err: errors.New("log device full")}
+	db := New(Options{WAL: log})
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1, 10)`)
+
+	log.failCommit = true
+	tx := db.Begin()
+	if _, err := db.ExecTx(tx, `INSERT INTO t VALUES (2, 20)`); err != nil {
+		t.Fatalf("staging insert: %v", err)
+	}
+	err := db.Commit(tx)
+	if err == nil {
+		t.Fatal("Commit with failing WAL returned nil")
+	}
+	if !errors.Is(err, log.err) {
+		t.Fatalf("Commit error %v does not wrap the WAL error", err)
+	}
+	if !tx.Done() {
+		t.Fatal("failed commit left the transaction open")
+	}
+
+	// The un-durable write must not be visible to later transactions.
+	log.failCommit = false
+	res, err := db.Exec(`SELECT id FROM t`)
+	if err != nil {
+		t.Fatalf("read-back: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rolled-back insert is visible: got %d rows, want 1", len(res.Rows))
+	}
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicField enforces all-or-nothing atomicity on struct fields: once any
+// code in a package touches a field through sync/atomic (atomic.LoadUint64,
+// atomic.AddInt64, ...), every other access to that field must also be
+// atomic — a plain read racing an atomic write is still a data race, and
+// one the race detector only catches if a test happens to interleave it.
+// Taking the field's address outside a sync/atomic call is flagged for the
+// same reason (the alias can be dereferenced non-atomically).
+//
+// It also checks 32-bit alignment: a plain (u)int64 field used with
+// sync/atomic must sit at an 8-byte-aligned struct offset on GOARCH=386
+// (the classic pre-atomic.Int64 footgun); fields that cannot be proven
+// aligned should migrate to atomic.Int64/Uint64, which align themselves.
+//
+// The analysis is package-scoped, matching how the engine uses raw atomics
+// (unexported fields like bitmap chunk words never escape their package).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere, and 64-bit atomics must be alignment-safe",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	// Pass A: collect fields whose address flows into a sync/atomic call,
+	// remembering the selector nodes consumed by those calls. A field used
+	// only as `&x.f[i]` is element-atomic: the atomic granule is the slice
+	// element, so slice-header operations (make, len, re-slice) on the field
+	// itself are fine and only element accesses must be atomic.
+	atomicFields := map[*types.Var]token.Pos{} // field -> first atomic use
+	elementOnly := map[*types.Var]bool{}       // all atomic uses go through an index
+	consumed := map[*ast.SelectorExpr]bool{}   // selectors inside atomic calls
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if sel, fieldVar, indexed := fieldSelector(pass.Info, un.X); fieldVar != nil {
+					consumed[sel] = true
+					if _, seen := atomicFields[fieldVar]; !seen {
+						atomicFields[fieldVar] = call.Pos()
+						elementOnly[fieldVar] = indexed
+						checkAlignment(pass, fieldVar, sel, call.Pos())
+					} else if !indexed {
+						elementOnly[fieldVar] = false
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass B: every other access to those fields must be atomic. For
+	// element-atomic fields only indexed accesses count.
+	for _, f := range pass.Syntax {
+		indexed := map[*ast.SelectorExpr]bool{} // selectors appearing as ix.X
+		ast.Inspect(f, func(n ast.Node) bool {
+			if ix, ok := n.(*ast.IndexExpr); ok {
+				if sel, ok := ast.Unparen(ix.X).(*ast.SelectorExpr); ok {
+					indexed[sel] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			obj, _ := pass.Info.Uses[sel.Sel].(*types.Var)
+			if obj == nil || !obj.IsField() {
+				return true
+			}
+			first, isAtomic := atomicFields[obj]
+			if !isAtomic || elementOnly[obj] && !indexed[sel] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "non-atomic access to field %s, which is accessed atomically at %s",
+				obj.Name(), pass.Fset.Position(first))
+			return true
+		})
+	}
+	return nil
+}
+
+// fieldSelector unwraps &x.f or &x.f[i] down to the field selector and its
+// field object; indexed reports whether an index expression was unwrapped.
+// Returns nils when the operand is not rooted at a struct field.
+func fieldSelector(info *types.Info, e ast.Expr) (*ast.SelectorExpr, *types.Var, bool) {
+	e = ast.Unparen(e)
+	indexed := false
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		e = ast.Unparen(ix.X)
+		indexed = true
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	obj, _ := info.Uses[sel.Sel].(*types.Var)
+	if obj == nil || !obj.IsField() {
+		return nil, nil, false
+	}
+	return sel, obj, indexed
+}
+
+// checkAlignment reports fields of 8-byte scalar type that land at a
+// non-8-aligned offset under 32-bit layout rules.
+func checkAlignment(pass *Pass, fieldVar *types.Var, sel *ast.SelectorExpr, pos token.Pos) {
+	basic, ok := fieldVar.Type().Underlying().(*types.Basic)
+	if !ok {
+		return
+	}
+	switch basic.Kind() {
+	case types.Int64, types.Uint64:
+	default:
+		return
+	}
+	// Find the struct the selection goes through to compute the offset.
+	tsel, ok := pass.Info.Selections[sel]
+	if !ok {
+		return
+	}
+	recv := tsel.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	strct, ok := recv.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	sizes32 := types.SizesFor("gc", "386")
+	fields := make([]*types.Var, strct.NumFields())
+	idx := -1
+	for i := 0; i < strct.NumFields(); i++ {
+		fields[i] = strct.Field(i)
+		if strct.Field(i) == fieldVar {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return
+	}
+	offsets := sizes32.Offsetsof(fields)
+	if offsets[idx]%8 != 0 {
+		pass.Reportf(pos, "atomic 64-bit field %s is at offset %d on 32-bit platforms (not 8-aligned); use atomic.Int64/Uint64 or reorder the struct",
+			fieldVar.Name(), offsets[idx])
+	}
+}

@@ -1,0 +1,10 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/lint"
+	"github.com/bullfrogdb/bullfrog/internal/lint/linttest"
+)
+
+func TestAtomicField(t *testing.T) { linttest.Run(t, "atomicfield", lint.AtomicField) }

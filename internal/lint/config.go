@@ -1,0 +1,108 @@
+package lint
+
+// This file is the suite's project configuration: which locks order before
+// which, which calls count as blocking, which packages must thread contexts,
+// and which error returns must never be dropped. Identifiers are
+// module-relative ("internal/txn.Manager.commitMu" means field commitMu of
+// type Manager in <module>/internal/txn), so the config survives a module
+// rename. Entries under "fixture/" configure the analyzers' testdata
+// packages and are exercised by the analyzer unit tests.
+
+// lockRank orders the engine's mutexes: a lock may only be acquired while
+// holding locks of strictly lower rank. Locks absent from the table are
+// unordered — acquiring one while any lock is held is flagged, which forces
+// every nested-lock site to be ranked here (or carry an ignore with a
+// reason).
+var lockRank = map[string]int{
+	// txn: the commit mutex serializes sequence assignment and is taken
+	// before per-shard state mutexes (Txn.Commit -> setState); the sharded
+	// lock-table mutexes are leaves.
+	"internal/txn.Manager.commitMu": 10,
+	"internal/txn.stateShard.mu":    20,
+	"internal/txn.lockShard.mu":     30,
+
+	// core: the controller's registry lock is taken before any tracker
+	// internals; bitmap chunk and hash shard mutexes are leaves.
+	"internal/core.Controller.mu": 10,
+	"internal/core.bitmapChunk.mu": 30,
+	"internal/core.hashShard.mu":   30,
+
+	// Fixture locks (testdata/src/lockheld).
+	"fixture/lockheld.server.order1": 10,
+	"fixture/lockheld.server.order2": 20,
+}
+
+// blockingFuncs are calls that can block indefinitely (or for scheduling-
+// visible time) and are therefore forbidden while any mutex is held.
+// Method names cover both value and pointer receivers; interface methods
+// are named by the interface type.
+var blockingFuncs = map[string]bool{
+	"time.Sleep":          true,
+	"sync.WaitGroup.Wait": true,
+	"sync.Cond.Wait":      true,
+	"os.File.Sync":        true,
+
+	// The WAL serializes appends behind its own mutex and may hit the disk:
+	// never call it while holding an unrelated lock.
+	"internal/wal.Writer.Append": true,
+	"internal/wal.Writer.Flush":  true,
+	"internal/wal.Logger.Append": true,
+	"internal/wal.Logger.Flush":  true,
+	"internal/wal.Replay":        true,
+
+	// Tuple/key lock acquisition waits up to the lock timeout.
+	"internal/txn.Txn.Lock":          true,
+	"internal/txn.Txn.LockTimeout":   true,
+	"internal/txn.LockTable.Acquire": true,
+}
+
+// blockingPkgPrefixes: any call into these package path prefixes is
+// considered blocking (network and direct file IO).
+var blockingPkgPrefixes = []string{"net", "net/http"}
+
+// ctxflowScope are the module-relative packages whose exported blocking
+// entry points must accept a context.Context and whose bodies must not mint
+// background contexts (module root "" is the facade).
+var ctxflowScope = []string{"", "internal/core", "internal/engine"}
+
+// errdropScope are the module-relative packages where an error result may
+// never be implicitly dropped (call used as a statement).
+var errdropScope = []string{"", "internal/wal", "internal/txn", "internal/core", "internal/engine"}
+
+// errdropWatch are durability- and recovery-path calls whose error may not
+// even be explicitly discarded with `_ =` (a dropped error here can silently
+// lose committed data or recovery state).
+var errdropWatch = map[string]bool{
+	"internal/wal.Writer.Append":    true,
+	"internal/wal.Writer.Flush":     true,
+	"internal/wal.Logger.Append":    true,
+	"internal/wal.Logger.Flush":     true,
+	"internal/wal.Replay":           true,
+	"internal/engine.DB.Commit":     true,
+	"internal/engine.DB.Recover":    true,
+	"internal/core.Controller.Recover": true,
+	"internal/txn.Txn.Commit":       true,
+
+	// Fixture calls (testdata/src/errdrop).
+	"fixture/errdrop.mustWatch": true,
+}
+
+// trimModule rewrites "<module>/rest.Sym" identifiers to "rest.Sym" so they
+// can be matched against the module-relative config keys above.
+func trimModule(id, modulePath string) string {
+	if rest, ok := cutPrefix(id, modulePath+"/"); ok {
+		return rest
+	}
+	if rest, ok := cutPrefix(id, modulePath+"."); ok {
+		// Symbol in the module root package.
+		return rest
+	}
+	return id
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return s, false
+}

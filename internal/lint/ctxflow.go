@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxFlow enforces context threading in the library packages that sit on
+// client call paths (the facade, internal/core, internal/engine):
+//
+//  1. No context.Background() / context.TODO() inside library code — a
+//     minted root context is how cancellation regressions sneak back in
+//     (a CatchUp that cannot be interrupted by DB.Close, a wait helper
+//     that spins past its caller's deadline). The one allowed shape is the
+//     nil-parameter guard `if ctx == nil { ctx = context.Background() }`,
+//     which adapts a documented optional-context API; anything else needs
+//     an ignore with a reason (e.g. a process-lifetime root owned by Open).
+//  2. Exported functions whose bodies block directly — a receive or send on
+//     a channel, a select without default, sync.WaitGroup.Wait, Cond.Wait,
+//     or time.Sleep — must accept a context.Context, or have a sibling
+//     named <Name>Context that does. Blocking entry points without a
+//     cancellation path are how shutdown hangs start.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "library packages must thread context.Context through blocking entry points and never mint background contexts",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !pass.InScope(ctxflowScope...) {
+		return nil
+	}
+	// Names defined in this package, for the <Name>Context sibling rule.
+	siblings := map[string]bool{}
+	for _, f := range pass.Syntax {
+		funcsOf(f, func(name string, decl *ast.FuncDecl, _ *ast.BlockStmt) {
+			siblings[recvQualified(pass.Info, decl)] = true
+		})
+	}
+	for _, f := range pass.Syntax {
+		funcsOf(f, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+			checkMintedContexts(pass, body)
+			if !decl.Name.IsExported() {
+				return
+			}
+			if funcHasCtxParam(pass.Info, decl) {
+				return
+			}
+			qual := recvQualified(pass.Info, decl)
+			if siblings[qual+"Context"] {
+				return
+			}
+			if pos, what := firstBlockingOp(pass, body); pos.IsValid() {
+				pass.Reportf(decl.Name.Pos(), "exported %s blocks (%s at line %d) but has no context.Context parameter and no %sContext sibling",
+					name, what, pass.Fset.Position(pos).Line, name)
+			}
+		})
+	}
+	return nil
+}
+
+// recvQualified names a function "Name" or "Recv.Name" so methods on
+// different types don't collide in the sibling table.
+func recvQualified(info *types.Info, decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if se, ok := t.(*ast.StarExpr); ok {
+		t = se.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}
+
+func funcHasCtxParam(info *types.Info, decl *ast.FuncDecl) bool {
+	for _, field := range decl.Type.Params.List {
+		if t, ok := info.Types[field.Type]; ok && isContextType(t.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMintedContexts reports context.Background()/TODO() calls outside the
+// nil-guard idiom.
+func checkMintedContexts(pass *Pass, body *ast.BlockStmt) {
+	var walk func(n ast.Node, nilGuarded bool)
+	walk = func(n ast.Node, nilGuarded bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				guarded := nilGuarded || isCtxNilCond(pass.Info, n.Cond)
+				if n.Init != nil {
+					walk(n.Init, nilGuarded)
+				}
+				walk(n.Cond, nilGuarded)
+				walk(n.Body, guarded)
+				if n.Else != nil {
+					walk(n.Else, nilGuarded)
+				}
+				return false
+			case *ast.CallExpr:
+				fn := calleeFunc(pass.Info, n)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") && !nilGuarded {
+					pass.Reportf(n.Pos(), "context.%s() minted in library code: accept and thread a caller context instead", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+}
+
+// isCtxNilCond matches `x == nil` where x is a context.Context.
+func isCtxNilCond(info *types.Info, cond ast.Expr) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return false
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return false
+	}
+	t, ok := info.Types[x]
+	return ok && isContextType(t.Type)
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// firstBlockingOp finds a directly blocking operation in the body: channel
+// send/receive, select without default, range over a channel, or a call on
+// the blocking list that waits on other goroutines (WaitGroup.Wait,
+// Cond.Wait, time.Sleep).
+func firstBlockingOp(pass *Pass, body *ast.BlockStmt) (pos token.Pos, what string) {
+	found := func(p token.Pos, w string) {
+		if !pos.IsValid() {
+			pos, what = p, w
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs on its own goroutine or later
+		case *ast.SendStmt:
+			found(n.Pos(), "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					return true // has default: non-blocking
+				}
+			}
+			found(n.Pos(), "blocking select")
+		case *ast.RangeStmt:
+			if t, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found(n.Pos(), "range over channel")
+				}
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, n)
+			if fn == nil {
+				return true
+			}
+			switch funcQName(fn) {
+			case "sync.WaitGroup.Wait", "sync.Cond.Wait", "time.Sleep":
+				found(n.Pos(), "call to "+funcQName(fn))
+			}
+		}
+		return true
+	})
+	return pos, what
+}

@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop forbids discarded error returns on the engine's durability and
+// recovery paths. In the scoped packages (facade, wal, txn, core, engine):
+//
+//   - a call with an error result used as a bare statement (or behind
+//     go/defer) drops the error implicitly — always flagged;
+//   - on the watchlist (WAL append/flush, commit, recovery — see
+//     errdropWatch in config.go) even an explicit `_ =` discard is flagged:
+//     an error there means a committed transaction may not be durable or
+//     recovery state may be incomplete, and the caller must propagate it.
+//
+// String-builder style writers (strings.Builder, bytes.Buffer, and fmt
+// printing into them) are exempt: their Write methods are documented to
+// never return a non-nil error.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no discarded error returns on commit/abort/WAL/recovery paths",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) error {
+	if !pass.InScope(errdropScope...) {
+		return nil
+	}
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, "")
+				}
+				return true
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, n.Call, "defer ")
+				return true
+			case *ast.GoStmt:
+				checkDroppedCall(pass, n.Call, "go ")
+				return true
+			case *ast.AssignStmt:
+				checkBlankedErrors(pass, n)
+				return true
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDroppedCall flags statement-position calls whose results include an
+// error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, prefix string) {
+	errPos := errorResultIndex(pass.Info, call)
+	if errPos < 0 {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	name := describeCallee(pass, fn, call)
+	if fn != nil && errExempt(fn) {
+		return
+	}
+	// fmt printing into an in-memory writer cannot fail.
+	if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && len(call.Args) > 0 {
+		if tv, ok := pass.Info.Types[call.Args[0]]; ok {
+			if isNamedType(tv.Type, "strings", "Builder") || isNamedType(tv.Type, "bytes", "Buffer") {
+				return
+			}
+		}
+	}
+	pass.Reportf(call.Pos(), "%serror returned by %s is dropped", prefix, name)
+}
+
+// checkBlankedErrors flags `_ = f()` / `x, _ := f()` when the blanked value
+// is the error of a watchlist call.
+func checkBlankedErrors(pass *Pass, assign *ast.AssignStmt) {
+	// Only the single-call multi-assign and 1:1 forms are analyzed.
+	if len(assign.Rhs) == 1 {
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !errdropWatch[trimModule(funcQName(fn), pass.ModulePath)] {
+			return
+		}
+		errIdx := errorResultIndex(pass.Info, call)
+		if errIdx < 0 {
+			return
+		}
+		if len(assign.Lhs) == 1 && errIdx == 0 || len(assign.Lhs) > errIdx {
+			lhs := assign.Lhs[0]
+			if len(assign.Lhs) > errIdx {
+				lhs = assign.Lhs[errIdx]
+			}
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				pass.Reportf(assign.Pos(), "error returned by %s is discarded with _: durability/recovery errors must be propagated",
+					describeCallee(pass, fn, call))
+			}
+		}
+		return
+	}
+	for i, rhs := range assign.Rhs {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || i >= len(assign.Lhs) {
+			continue
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || !errdropWatch[trimModule(funcQName(fn), pass.ModulePath)] {
+			continue
+		}
+		if errorResultIndex(pass.Info, call) != 0 {
+			continue
+		}
+		if id, ok := assign.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(assign.Pos(), "error returned by %s is discarded with _: durability/recovery errors must be propagated",
+				describeCallee(pass, fn, call))
+		}
+	}
+}
+
+// errorResultIndex returns the index of the (last) error result of the
+// call, or -1 when the call returns no error.
+func errorResultIndex(info *types.Info, call *ast.CallExpr) int {
+	tv, ok := info.Types[call]
+	if !ok {
+		return -1
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := t.Len() - 1; i >= 0; i-- {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	default:
+		if isErrorType(tv.Type) {
+			return 0
+		}
+		return -1
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// errExempt lists callees whose error results are documented to always be
+// nil (in-memory writers) and are conventionally ignored.
+func errExempt(fn *types.Func) bool {
+	switch funcQName(fn) {
+	case "strings.Builder.WriteString", "strings.Builder.WriteByte",
+		"strings.Builder.WriteRune", "strings.Builder.Write",
+		"bytes.Buffer.WriteString", "bytes.Buffer.WriteByte",
+		"bytes.Buffer.WriteRune", "bytes.Buffer.Write":
+		return true
+	}
+	return false
+}
+
+func describeCallee(pass *Pass, fn *types.Func, call *ast.CallExpr) string {
+	if fn != nil {
+		return trimModule(funcQName(fn), pass.ModulePath)
+	}
+	return types.ExprString(call.Fun)
+}

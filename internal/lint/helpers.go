@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the *types.Func a call invokes (methods through
+// selections, functions through idents), or nil for indirect calls through
+// function values, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Package-qualified call: pkg.F.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// funcQName renders a *types.Func as "pkgpath.Func" or
+// "pkgpath.Recv.Method" (pointer receivers are stripped, so one name covers
+// both receiver forms; interface methods use the interface type's name).
+func funcQName(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			pkg := ""
+			if obj.Pkg() != nil {
+				pkg = obj.Pkg().Path() + "."
+			}
+			return pkg + obj.Name() + "." + fn.Name()
+		}
+		if iface, ok := t.(*types.Interface); ok {
+			_ = iface
+			return "interface." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// namedOf unwraps pointers and returns the named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isNamedType reports whether t (or *t) is the named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// recvOfCall returns the receiver expression of a method call (x in
+// x.M(...)), or nil.
+func recvOfCall(call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return nil
+}
+
+// lockID names a mutex for lock-order configuration: a struct field becomes
+// "pkgpath.Type.field"; a package-level or local variable becomes
+// "pkgpath.var" / "var".
+func lockID(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			if named := namedOf(sel.Recv()); named != nil {
+				obj := named.Obj()
+				pkg := ""
+				if obj.Pkg() != nil {
+					pkg = obj.Pkg().Path() + "."
+				}
+				return pkg + obj.Name() + "." + e.Sel.Name
+			}
+		}
+		return lockID(info, e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + e.Name
+		}
+		return e.Name
+	case *ast.IndexExpr:
+		return lockID(info, e.X) + "[]"
+	}
+	return types.ExprString(e)
+}
+
+// exprKey is a within-function identity for a lock expression: two
+// syntactically identical selector chains refer to the same mutex for our
+// purposes (aliasing is out of scope, as it is for go vet's lock checks).
+func exprKey(e ast.Expr) string { return types.ExprString(ast.Unparen(e)) }
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamedType(t, "context", "Context")
+}
+
+// hasSuffixPath reports whether pkgPath is path or ends with "/"+path.
+func hasSuffixPath(pkgPath, path string) bool {
+	return pkgPath == path || strings.HasSuffix(pkgPath, "/"+path)
+}

@@ -1,0 +1,224 @@
+// Package lint is BullFrog's project-specific static-analysis suite: a small
+// go/analysis-shaped framework (built only on the standard library's go/ast
+// and go/types, because the build environment is hermetic) plus the
+// analyzers that turn the engine's unwritten contracts — lock discipline,
+// atomic-field access, context threading, the obs metric registry, and
+// error propagation on durability paths — into CI failures.
+//
+// Each analyzer documents the invariant it encodes; DESIGN.md's "Static
+// analysis & invariants" section is the prose index. Violations that are
+// intentional carry a `//lint:ignore <analyzer> <reason>` comment on the
+// offending line or the line above; the reason is mandatory, and unused or
+// malformed ignore comments are themselves diagnostics, so the set of
+// suppressions stays auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one invariant over one package at a time. This mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the suite could migrate onto
+// the real framework without rewriting analyzer logic.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer   *Analyzer
+	ModulePath string
+	*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the package is one of the given module-relative
+// paths ("" is the module root, "internal/core" is <module>/internal/core).
+// Fixture packages (import path "fixture/...") are always in scope so
+// analyzers can be exercised under testdata.
+func (p *Pass) InScope(rels ...string) bool {
+	if strings.HasPrefix(p.Path, "fixture/") {
+		return true
+	}
+	for _, rel := range rels {
+		if rel == "" {
+			if p.Path == p.ModulePath {
+				return true
+			}
+		} else if p.Path == p.ModulePath+"/"+rel {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ignoreRe matches `//lint:ignore <analyzer> <reason>`.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore(?:\s+(\S+))?(?:\s+(\S.*))?$`)
+
+type ignore struct {
+	analyzer string
+	reason   string
+	pos      token.Position
+	used     bool
+}
+
+// Run executes every analyzer over every package and returns the surviving
+// diagnostics sorted by position: suppressed ones are removed, diagnostics
+// in _test.go files are dropped (test code may legitimately break library
+// contracts), and malformed or unused ignore comments are added. Suppressed
+// diagnostics are returned separately so callers can summarize them.
+func Run(pkgs []*Package, analyzers []*Analyzer, modulePath string) (diags, suppressed []Diagnostic, err error) {
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, ModulePath: modulePath, Package: pkg, diags: &raw}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+		known := map[string]bool{}
+		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+		d, s := applyIgnores(pkg, raw, known)
+		diags = append(diags, d...)
+		suppressed = append(suppressed, s...)
+	}
+	sortDiags(diags)
+	sortDiags(suppressed)
+	return diags, suppressed, nil
+}
+
+// applyIgnores filters pkg-local diagnostics through the package's
+// `//lint:ignore` comments. An ignore applies to diagnostics of its analyzer
+// on the comment's own line or the line directly below (for a comment on its
+// own line above the offending statement).
+func applyIgnores(pkg *Package, raw []Diagnostic, known map[string]bool) (kept, suppressed []Diagnostic) {
+	type key struct {
+		file string
+		line int
+		an   string
+	}
+	ignores := map[key]*ignore{}
+	var all []*ignore
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if m[1] == "" || m[2] == "" {
+					kept = append(kept, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:ignore: want `//lint:ignore <analyzer> <reason>`",
+					})
+					continue
+				}
+				if !known[m[1]] {
+					kept = append(kept, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  fmt.Sprintf("//lint:ignore names unknown analyzer %q", m[1]),
+					})
+					continue
+				}
+				ig := &ignore{analyzer: m[1], reason: m[2], pos: pos}
+				all = append(all, ig)
+				ignores[key{pos.Filename, pos.Line, m[1]}] = ig
+				ignores[key{pos.Filename, pos.Line + 1, m[1]}] = ig
+			}
+		}
+	}
+	for _, d := range raw {
+		if pkg.testFiles[filepath.Base(d.Pos.Filename)] {
+			continue
+		}
+		if ig, ok := ignores[key{d.Pos.Filename, d.Pos.Line, d.Analyzer}]; ok {
+			ig.used = true
+			suppressed = append(suppressed, d)
+			continue
+		}
+		kept = append(kept, d)
+	}
+	for _, ig := range all {
+		if !ig.used {
+			kept = append(kept, Diagnostic{
+				Analyzer: "lint",
+				Pos:      ig.pos,
+				Message:  fmt.Sprintf("unused //lint:ignore %s (no matching diagnostic)", ig.analyzer),
+			})
+		}
+	}
+	return kept, suppressed
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i].Pos, ds[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockHeld,
+		AtomicField,
+		CtxFlow,
+		ObsMetric,
+		ErrDrop,
+	}
+}
+
+// funcsOf yields every function body in the file: declarations and function
+// literals, each paired with its describing name.
+func funcsOf(f *ast.File, fn func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		fn(fd.Name.Name, fd, fd.Body)
+	}
+}

@@ -1,0 +1,169 @@
+// Package linttest is an analysistest-style fixture runner for the lint
+// suite: it type-checks a testdata package, runs one analyzer over it, and
+// compares the diagnostics against `// want "regexp"` comments in the
+// fixture source. Multiple expectations on one line are written
+// `// want "a" "b"`; a line with diagnostics but no want comment (or the
+// reverse) fails the test. `//lint:ignore` suppression is applied exactly
+// as in the real driver, so fixtures can also prove that suppression works.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/lint"
+)
+
+var (
+	loaderOnce sync.Once
+	loaderVal  *lint.Loader
+	loaderErr  error
+)
+
+// sharedLoader caches one Loader (and its go list invocation) across all
+// fixture tests in the process.
+func sharedLoader(t *testing.T) *lint.Loader {
+	loaderOnce.Do(func() {
+		loaderVal, loaderErr = lint.NewLoader(".", false)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loading module: %v", loaderErr)
+	}
+	return loaderVal
+}
+
+// Run analyzes testdata/src/<dir> with the analyzer and checks the
+// diagnostics against the fixture's want comments.
+func Run(t *testing.T, dir string, a *lint.Analyzer) {
+	t.Helper()
+	loader := sharedLoader(t)
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(abs, "fixture/"+dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, _, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a}, loader.ModulePath)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, pkg)
+	type lineKey struct {
+		file string
+		line int
+	}
+	got := map[lineKey][]lint.Diagnostic{}
+	for _, d := range diags {
+		k := lineKey{d.Pos.Filename, d.Pos.Line}
+		got[k] = append(got[k], d)
+	}
+	for k, ws := range wants {
+		ds := got[lineKey{k.file, k.line}]
+		delete(got, lineKey{k.file, k.line})
+		for _, w := range ws {
+			matched := false
+			for i, d := range ds {
+				if w.MatchString(d.Message) {
+					ds = append(ds[:i], ds[i+1:]...)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w)
+			}
+		}
+		for _, d := range ds {
+			t.Errorf("%s: unexpected diagnostic (beyond wants): %s", fmtPos(d.Pos), d.Message)
+		}
+	}
+	for _, ds := range got {
+		for _, d := range ds {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", fmtPos(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants parses `// want "re" "re"` comments, keyed by file:line.
+func collectWants(t *testing.T, pkg *lint.Package) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[wantKey][]*regexp.Regexp{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(t, pos, m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					k := wantKey{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted extracts the double-quoted or backquoted strings of a want
+// comment's payload.
+func splitQuoted(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		if s[0] != '"' && s[0] != '`' {
+			t.Fatalf("%s:%d: malformed want payload at %q", pos.Filename, pos.Line, s)
+		}
+		q, rest, err := cutQuoted(s)
+		if err != nil {
+			t.Fatalf("%s:%d: %v", pos.Filename, pos.Line, err)
+		}
+		out = append(out, q)
+		s = strings.TrimSpace(rest)
+	}
+	return out
+}
+
+func cutQuoted(s string) (string, string, error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' && quote == '"' {
+			i++
+			continue
+		}
+		if s[i] == quote {
+			q, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", fmt.Errorf("bad quoted string %q: %v", s[:i+1], err)
+			}
+			return q, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted string in %q", s)
+}
+
+func fmtPos(p token.Position) string {
+	return fmt.Sprintf("%s:%d:%d", p.Filename, p.Line, p.Column)
+}

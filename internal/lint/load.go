@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked module package: syntax plus full type
+// information, the unit every Analyzer runs over. In-package test files are
+// part of the unit (they see unexported identifiers), but diagnostics inside
+// them are dropped by the driver; external (_test package) files are not
+// loaded.
+type Package struct {
+	Path   string // import path
+	Name   string
+	Dir    string
+	Fset   *token.FileSet
+	Syntax []*ast.File
+	Types  *types.Package
+	Info   *types.Info
+
+	testFiles map[string]bool // base filename -> is a _test.go file
+}
+
+// IsTestFile reports whether pos lies in a _test.go file of the package.
+func (p *Package) IsTestFile(pos token.Pos) bool {
+	return p.testFiles[filepath.Base(p.Fset.Position(pos).Filename)]
+}
+
+// Loader loads and type-checks the packages of a single Go module without
+// any dependency beyond the standard library and the go tool itself: module
+// packages are parsed and checked from source, while standard-library
+// imports are satisfied from the build cache's gc export data (discovered
+// via one `go list -export` invocation). This deliberately mirrors the shape
+// of golang.org/x/tools/go/packages, which the sandbox cannot vendor.
+type Loader struct {
+	ModulePath string
+	RootDir    string
+	// Tests includes in-package _test.go files in each package's unit.
+	Tests bool
+
+	Fset *token.FileSet
+
+	exports map[string]string // std import path -> export data file
+	meta    map[string]*listPackage
+	pkgs    map[string]*Package
+	loading map[string]bool
+	gcFall  types.ImporterFrom // fallback source importer (fixture-only paths)
+	sizes   types.Sizes
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	Standard   bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	TestGoFiles []string
+}
+
+// NewLoader prepares a loader for the module rooted at or above dir.
+func NewLoader(dir string, tests bool) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		ModulePath: modPath,
+		RootDir:    root,
+		Tests:      tests,
+		Fset:       token.NewFileSet(),
+		exports:    map[string]string{},
+		meta:       map[string]*listPackage{},
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		sizes:      types.SizesFor("gc", runtime.GOARCH),
+	}
+	if l.sizes == nil {
+		l.sizes = types.SizesFor("gc", "amd64")
+	}
+	if err := l.list(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+	}
+}
+
+// list runs `go list -export -deps -test -json ./...` once, capturing export
+// data locations for standard-library dependencies and file lists for every
+// module package.
+func (l *Loader) list() error {
+	cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-test", "-json=ImportPath,Name,Dir,Export,Standard,ForTest,GoFiles,CgoFiles,TestGoFiles", "./...")
+	cmd.Dir = l.RootDir
+	var out, errBuf bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errBuf
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("lint: go list: %v\n%s", err, errBuf.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		l.absorb(&p)
+	}
+	return nil
+}
+
+func (l *Loader) absorb(p *listPackage) {
+	if p.Standard {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		return
+	}
+	// Skip synthesized test variants ("p [p.test]", "p.test"): the base
+	// entry carries TestGoFiles, which is all the loader needs.
+	if p.ForTest != "" || strings.Contains(p.ImportPath, " ") || strings.HasSuffix(p.ImportPath, ".test") {
+		return
+	}
+	if _, ok := l.meta[p.ImportPath]; !ok {
+		l.meta[p.ImportPath] = p
+	}
+}
+
+// ModulePackages returns every package of the module in a deterministic
+// order, loading them on first use.
+func (l *Loader) ModulePackages() ([]*Package, error) {
+	paths := make([]string, 0, len(l.meta))
+	for p := range l.meta {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Load type-checks one module package (and, recursively, its module
+// dependencies).
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := l.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: unknown module package %q", path)
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lint: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files := append([]string(nil), meta.GoFiles...)
+	files = append(files, meta.CgoFiles...)
+	testSet := map[string]bool{}
+	if l.Tests {
+		for _, f := range meta.TestGoFiles {
+			files = append(files, f)
+			testSet[f] = true
+		}
+	}
+	abs := make([]string, len(files))
+	for i, f := range files {
+		abs[i] = filepath.Join(meta.Dir, f)
+	}
+	pkg, err := l.check(path, meta.Dir, abs)
+	if err != nil {
+		return nil, err
+	}
+	pkg.testFiles = testSet
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir type-checks an out-of-tree directory of Go files (a test fixture)
+// as a package with the given synthetic import path. Module imports resolve
+// against the loader's module.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg, err := l.check(asPath, dir, files)
+	if err != nil {
+		return nil, err
+	}
+	pkg.testFiles = map[string]bool{}
+	l.pkgs[asPath] = pkg
+	return pkg, nil
+}
+
+func (l *Loader) check(path, dir string, filenames []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Sizes:    l.sizes,
+	}
+	tpkg, err := conf.Check(path, l.Fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	name := ""
+	if len(syntax) > 0 {
+		name = syntax[0].Name.Name
+	}
+	return &Package{
+		Path:   path,
+		Name:   name,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Syntax: syntax,
+		Types:  tpkg,
+		Info:   info,
+	}, nil
+}
+
+// loaderImporter satisfies types.ImporterFrom: module-internal paths load
+// from source (shared object identity across packages); everything else
+// resolves from gc export data.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, dir string, _ types.ImportMode) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.importExport(path)
+}
+
+// importExport reads gc export data for a non-module package. Export data
+// importers cache internally, so repeated imports are cheap.
+func (l *Loader) importExport(path string) (*types.Package, error) {
+	if l.gcFall == nil {
+		lookup := func(p string) (io.ReadCloser, error) {
+			f, ok := l.exports[p]
+			if !ok {
+				// A fixture may import a std package no module file needs;
+				// resolve (and build) it on demand.
+				out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", p).Output()
+				if err != nil {
+					return nil, fmt.Errorf("lint: no export data for %q", p)
+				}
+				f = strings.TrimSpace(string(out))
+				if f == "" {
+					return nil, fmt.Errorf("lint: no export data for %q", p)
+				}
+				l.exports[p] = f
+			}
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			return io.NopCloser(bytes.NewReader(data)), nil
+		}
+		l.gcFall = importer.ForCompiler(l.Fset, "gc", lookup).(types.ImporterFrom)
+	}
+	return l.gcFall.ImportFrom(path, "", 0)
+}

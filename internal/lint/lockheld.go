@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld flags operations that can block — channel sends/receives,
+// blocking selects, ranges over channels, and calls on the configured
+// blocking list (time.Sleep, WAL appends, lock-table waits, network IO) —
+// while a sync.Mutex or sync.RWMutex is held, plus acquisitions of a second
+// mutex that violate (or are missing from) the lock-order table in
+// config.go. The engine's rule is simple: a tuple, tracker, or controller
+// lock protects an in-memory critical section measured in nanoseconds;
+// anything that can wait on another goroutine or the disk while holding one
+// is a latent deadlock or a concurrency collapse under load.
+//
+// The analysis is intraprocedural and tracks locks by selector spelling
+// (like go vet's lock checks): Lock/RLock on `x.mu` opens a held region
+// that ends at the matching Unlock in the same block, or at function end
+// when the unlock is deferred. Helper functions that acquire locks for
+// their caller are not modeled; keep critical sections syntactically local.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "flag blocking operations while a mutex is held, and out-of-order lock acquisition",
+	Run:  runLockHeld,
+}
+
+type heldLock struct {
+	key  string // selector spelling, e.g. "s.mu"
+	id   string // config identity, e.g. "internal/txn.Manager.commitMu"
+	read bool   // held via RLock
+	line int
+}
+
+type lockOp struct {
+	recv    ast.Expr
+	acquire bool
+	read    bool
+}
+
+// lockCall classifies a call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex (directly or promoted through embedding).
+func lockCall(info *types.Info, call *ast.CallExpr) *lockOp {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	var acquire, read bool
+	switch fn.Name() {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
+		return nil
+	}
+	recv := recvOfCall(call)
+	if recv == nil {
+		return nil
+	}
+	return &lockOp{recv: recv, acquire: acquire, read: read}
+}
+
+type lockHeldState struct {
+	pass *Pass
+	// funcLits found while walking; analyzed afterwards with an empty held
+	// set (goroutines and deferred closures do not inherit the caller's
+	// critical section).
+	lits []*ast.FuncLit
+}
+
+func runLockHeld(pass *Pass) error {
+	st := &lockHeldState{pass: pass}
+	for _, f := range pass.Syntax {
+		funcsOf(f, func(_ string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+			st.block(body, map[string]*heldLock{})
+		})
+		for len(st.lits) > 0 {
+			lit := st.lits[0]
+			st.lits = st.lits[1:]
+			st.block(lit.Body, map[string]*heldLock{})
+		}
+	}
+	return nil
+}
+
+func copyHeld(held map[string]*heldLock) map[string]*heldLock {
+	c := make(map[string]*heldLock, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (st *lockHeldState) block(b *ast.BlockStmt, held map[string]*heldLock) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		st.stmt(s, held)
+	}
+}
+
+func (st *lockHeldState) stmt(s ast.Stmt, held map[string]*heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		st.block(s, held)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if op := lockCall(st.pass.Info, call); op != nil {
+				st.apply(op, call.Pos(), held)
+				return
+			}
+		}
+		st.exprs(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end (already the
+		// default: we only release on an explicit unlock statement). Other
+		// deferred calls run outside the critical section; their argument
+		// expressions evaluate now.
+		if lockCall(st.pass.Info, s.Call) == nil {
+			for _, a := range s.Call.Args {
+				st.exprs(a, held)
+			}
+			st.deferLit(s.Call)
+		}
+	case *ast.GoStmt:
+		for _, a := range s.Call.Args {
+			st.exprs(a, held)
+		}
+		st.deferLit(s.Call)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			st.exprs(e, held)
+		}
+		for _, e := range s.Lhs {
+			st.exprs(e, held)
+		}
+	case *ast.DeclStmt:
+		st.exprs(s, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			st.exprs(e, held)
+		}
+	case *ast.IfStmt:
+		st.stmt(s.Init, held)
+		st.exprs(s.Cond, held)
+		st.block(s.Body, copyHeld(held))
+		st.stmt(s.Else, copyHeld(held))
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		st.stmt(s.Init, inner)
+		if s.Cond != nil {
+			st.exprs(s.Cond, inner)
+		}
+		st.block(s.Body, inner)
+		st.stmt(s.Post, inner)
+	case *ast.RangeStmt:
+		if t, ok := st.pass.Info.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				st.reportHeld(s.Pos(), "range over channel", held)
+			}
+		}
+		st.exprs(s.X, held)
+		st.block(s.Body, copyHeld(held))
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			st.reportHeld(s.Pos(), "blocking select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					st.stmt(b, inner)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		st.reportHeld(s.Pos(), "channel send", held)
+		st.exprs(s.Chan, held)
+		st.exprs(s.Value, held)
+	case *ast.SwitchStmt:
+		st.stmt(s.Init, held)
+		if s.Tag != nil {
+			st.exprs(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					st.stmt(b, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		st.stmt(s.Init, held)
+		st.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					st.stmt(b, inner)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		st.stmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		st.exprs(s.X, held)
+	}
+}
+
+// deferLit queues a deferred/spawned closure body for independent analysis.
+func (st *lockHeldState) deferLit(call *ast.CallExpr) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		st.lits = append(st.lits, lit)
+	}
+}
+
+// apply executes a lock operation against the held set, checking ordering on
+// acquisition.
+func (st *lockHeldState) apply(op *lockOp, pos token.Pos, held map[string]*heldLock) {
+	key := exprKey(op.recv)
+	if !op.acquire {
+		delete(held, key)
+		return
+	}
+	id := trimModule(lockID(st.pass.Info, op.recv), st.pass.ModulePath)
+	newRank, newRanked := lockRank[id]
+	for _, h := range held {
+		if h.key == key {
+			if h.read && op.read {
+				continue // RLock twice: allowed (though writer-starvation-prone)
+			}
+			st.pass.Reportf(pos, "acquires %s while already holding it (self-deadlock)", key)
+			continue
+		}
+		heldRank, heldRanked := lockRank[h.id]
+		switch {
+		case !newRanked || !heldRanked:
+			st.pass.Reportf(pos, "acquires %s while holding %s: lock pair is not in the lock-order table", key, h.key)
+		case newRank <= heldRank:
+			st.pass.Reportf(pos, "acquires %s (rank %d) while holding %s (rank %d): lock-order violation", key, newRank, h.key, heldRank)
+		}
+	}
+	held[key] = &heldLock{key: key, id: id, read: op.read, line: st.pass.Fset.Position(pos).Line}
+}
+
+// exprs scans an expression tree for blocking operations. Function literal
+// bodies are deferred (they run on their own goroutine/stack discipline).
+func (st *lockHeldState) exprs(n ast.Node, held map[string]*heldLock) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			st.lits = append(st.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				st.reportHeld(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if op := lockCall(st.pass.Info, n); op != nil {
+				st.apply(op, n.Pos(), held)
+				return false
+			}
+			st.checkBlockingCall(n, held)
+		}
+		return true
+	})
+}
+
+func (st *lockHeldState) checkBlockingCall(call *ast.CallExpr, held map[string]*heldLock) {
+	if len(held) == 0 {
+		return
+	}
+	fn := calleeFunc(st.pass.Info, call)
+	if fn == nil {
+		return
+	}
+	name := trimModule(funcQName(fn), st.pass.ModulePath)
+	blocking := blockingFuncs[name]
+	if !blocking && fn.Pkg() != nil {
+		for _, prefix := range blockingPkgPrefixes {
+			if hasPrefixPath(fn.Pkg().Path(), prefix) {
+				blocking = true
+				break
+			}
+		}
+	}
+	if blocking {
+		st.reportHeld(call.Pos(), "call to "+name, held)
+	}
+}
+
+func (st *lockHeldState) reportHeld(pos token.Pos, what string, held map[string]*heldLock) {
+	for _, h := range held {
+		st.pass.Reportf(pos, "%s while %s is held (locked at line %d)", what, h.key, h.line)
+	}
+}
+
+// hasPrefixPath reports whether pkgPath is prefix or starts with prefix+"/".
+func hasPrefixPath(pkgPath, prefix string) bool {
+	return pkgPath == prefix || (len(pkgPath) > len(prefix) && pkgPath[:len(prefix)] == prefix && pkgPath[len(prefix)] == '/')
+}

@@ -1,0 +1,296 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+)
+
+// ObsMetric enforces the observability registry contract. BullFrog's
+// metrics are not string-registered at runtime; the registry IS the obs
+// package's type structure, so "registered" means: declared as a field of a
+// *Metrics struct, mirrored in the matching *Snapshot struct under a
+// compile-time-constant JSON name, and copied by (*Set).Snapshot. The
+// analyzer checks, inside the obs package:
+//
+//   - every Counter/Gauge/Histogram field of an XMetrics struct has a
+//     same-named field in XSnapshot (a metric you can increment but never
+//     observe in \metrics or the bench timeline is a silent hole);
+//   - snapshot JSON tags are non-empty snake_case literals and globally
+//     unique across the section snapshots (names are the wire contract);
+//   - (*Set).Snapshot reads every metric field exactly once (zero reads =
+//     unexported metric, two reads = double-counted export);
+//   - NewSet initializes every Set section (a nil section panics on first
+//     increment).
+//
+// And everywhere else in the repo: metric updates (Inc/Add/Observe/
+// ObserveSince/Set) must go through a field of an obs *Metrics struct —
+// free-floating obs.Counter variables would never appear in any snapshot,
+// i.e. they are increments before (ever) registering.
+var ObsMetric = &Analyzer{
+	Name: "obsmetric",
+	Doc:  "obs metrics must be registered in snapshots exactly once, under unique constant names, and never updated outside the registry",
+	Run:  runObsMetric,
+}
+
+var snakeCaseRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runObsMetric(pass *Pass) error {
+	if pass.Name == "obs" {
+		runObsMetricRegistry(pass)
+	}
+	runObsMetricUse(pass)
+	return nil
+}
+
+// metricKind classifies obs metric value types declared in THIS package
+// (the analyzer runs over the obs package itself, so the types are local).
+func metricFieldKind(t types.Type) string {
+	named := namedOf(t)
+	if named == nil {
+		// [N]Histogram arrays count as histogram-valued.
+		if arr, ok := t.Underlying().(*types.Array); ok {
+			if n := namedOf(arr.Elem()); n != nil && n.Obj().Name() == "Histogram" {
+				return "HistogramArray"
+			}
+		}
+		return ""
+	}
+	switch named.Obj().Name() {
+	case "Counter", "Gauge", "Histogram":
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func runObsMetricRegistry(pass *Pass) {
+	scope := pass.Types.Scope()
+
+	// Collect XMetrics and XSnapshot structs.
+	metricsStructs := map[string]*types.Struct{} // "Engine" -> struct of EngineMetrics
+	snapshotStructs := map[string]*types.Struct{}
+	declPos := map[string]*types.TypeName{}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if base, ok := strings.CutSuffix(name, "Metrics"); ok && base != "" {
+			metricsStructs[base] = st
+			declPos[name] = tn
+		}
+		if base, ok := strings.CutSuffix(name, "Snapshot"); ok && base != "" && base != "Histogram" {
+			snapshotStructs[base] = st
+			declPos[name] = tn
+		}
+	}
+
+	// Rule: each metric field mirrors into the matching snapshot struct.
+	metricFields := map[*types.Var]string{} // field -> "X.Field" label
+	for base, mst := range metricsStructs {
+		sst := snapshotStructs[base]
+		for i := 0; i < mst.NumFields(); i++ {
+			field := mst.Field(i)
+			kind := metricFieldKind(field.Type())
+			if kind == "" {
+				continue
+			}
+			metricFields[field] = base + "." + field.Name()
+			if sst == nil {
+				pass.Reportf(field.Pos(), "metric %sMetrics.%s has no %sSnapshot struct to be exported in", base, field.Name(), base)
+				continue
+			}
+			if !structHasField(sst, field.Name()) {
+				pass.Reportf(field.Pos(), "metric %sMetrics.%s is not mirrored in %sSnapshot: it will never appear in Set.Snapshot output", base, field.Name(), base)
+			}
+		}
+	}
+
+	// Rule: snapshot JSON tags are constant snake_case and globally unique
+	// across the sections that mirror metrics structs.
+	seenTags := map[string]string{} // tag -> "XSnapshot.Field"
+	for base, sst := range snapshotStructs {
+		if _, isSection := metricsStructs[base]; !isSection {
+			continue
+		}
+		for i := 0; i < sst.NumFields(); i++ {
+			field := sst.Field(i)
+			tag := reflect.StructTag(sst.Tag(i)).Get("json")
+			tag, _, _ = strings.Cut(tag, ",")
+			where := base + "Snapshot." + field.Name()
+			if tag == "" {
+				pass.Reportf(field.Pos(), "snapshot field %s has no json tag: metric names must be explicit compile-time constants", where)
+				continue
+			}
+			if !snakeCaseRe.MatchString(tag) {
+				pass.Reportf(field.Pos(), "snapshot field %s has json tag %q: metric names must be snake_case", where, tag)
+			}
+			if prev, dup := seenTags[tag]; dup {
+				pass.Reportf(field.Pos(), "snapshot field %s reuses json tag %q (already used by %s): metric names must be globally unique", where, tag, prev)
+			} else {
+				seenTags[tag] = where
+			}
+		}
+	}
+
+	// Rule: (*Set).Snapshot reads each metric field exactly once.
+	if snapBody := findMethodBody(pass, "Set", "Snapshot"); snapBody != nil {
+		reads := map[*types.Var][]ast.Node{}
+		ast.Inspect(snapBody, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if obj, ok := pass.Info.Uses[sel.Sel].(*types.Var); ok {
+				if _, isMetric := metricFields[obj]; isMetric {
+					reads[obj] = append(reads[obj], sel)
+				}
+			}
+			return true
+		})
+		for field, label := range metricFields {
+			switch n := len(reads[field]); {
+			case n == 0:
+				pass.Reportf(field.Pos(), "metric %s is never read by (*Set).Snapshot: registered but not exported", label)
+			case n > 1:
+				pass.Reportf(reads[field][1].Pos(), "metric %s is read %d times by (*Set).Snapshot: each metric must be exported exactly once", label, n)
+			}
+		}
+	} else if len(metricFields) > 0 {
+		pass.Reportf(pass.Syntax[0].Name.Pos(), "obs package declares metrics but has no (*Set).Snapshot method")
+	}
+
+	// Rule: NewSet initializes every Set field.
+	if setTN, ok := scope.Lookup("Set").(*types.TypeName); ok {
+		if setStruct, ok := setTN.Type().Underlying().(*types.Struct); ok {
+			if newBody := findFuncBody(pass, "NewSet"); newBody != nil {
+				inited := map[string]bool{}
+				ast.Inspect(newBody, func(n ast.Node) bool {
+					kv, ok := n.(*ast.KeyValueExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						inited[id.Name] = true
+					}
+					return true
+				})
+				for i := 0; i < setStruct.NumFields(); i++ {
+					f := setStruct.Field(i)
+					if !inited[f.Name()] {
+						pass.Reportf(f.Pos(), "Set.%s is not initialized by NewSet: a nil section panics on first record", f.Name())
+					}
+				}
+			}
+		}
+	}
+}
+
+func structHasField(st *types.Struct, name string) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func findMethodBody(pass *Pass, recv, name string) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	for _, f := range pass.Syntax {
+		funcsOf(f, func(n string, decl *ast.FuncDecl, b *ast.BlockStmt) {
+			if n == name && recvQualified(pass.Info, decl) == recv+"."+name {
+				body = b
+			}
+		})
+	}
+	return body
+}
+
+func findFuncBody(pass *Pass, name string) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	for _, f := range pass.Syntax {
+		funcsOf(f, func(n string, decl *ast.FuncDecl, b *ast.BlockStmt) {
+			if n == name && decl.Recv == nil {
+				body = b
+			}
+		})
+	}
+	return body
+}
+
+// metricUpdateMethods are the write-path methods of obs metric types.
+var metricUpdateMethods = map[string]bool{
+	"Inc": true, "Add": true, "Observe": true, "ObserveSince": true, "Set": true,
+}
+
+// runObsMetricUse checks, outside obs itself, that metric updates resolve
+// through a field of an obs *Metrics struct.
+func runObsMetricUse(pass *Pass) {
+	if pass.Name == "obs" {
+		return
+	}
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !metricUpdateMethods[fn.Name()] {
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			named := namedOf(sig.Recv().Type())
+			if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "obs" {
+				return true
+			}
+			switch named.Obj().Name() {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			if !updateThroughRegistry(pass, call) {
+				pass.Reportf(call.Pos(), "obs.%s.%s outside the metric registry: metrics must live in an obs *Metrics struct so Set.Snapshot exports them", named.Obj().Name(), fn.Name())
+			}
+			return true
+		})
+	}
+}
+
+// updateThroughRegistry reports whether the call's receiver chain passes
+// through a field of a struct named *Metrics in package obs (possibly via
+// an index expression, e.g. Exec[k]).
+func updateThroughRegistry(pass *Pass, call *ast.CallExpr) bool {
+	recv := recvOfCall(call)
+	for recv != nil {
+		recv = ast.Unparen(recv)
+		if ix, ok := recv.(*ast.IndexExpr); ok {
+			recv = ix.X
+			continue
+		}
+		sel, ok := recv.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		if tsel, ok := pass.Info.Selections[sel]; ok && tsel.Obj() != nil {
+			if owner := namedOf(tsel.Recv()); owner != nil {
+				o := owner.Obj()
+				if o.Pkg() != nil && o.Pkg().Name() == "obs" && strings.HasSuffix(o.Name(), "Metrics") {
+					return true
+				}
+			}
+		}
+		recv = sel.X
+	}
+	return false
+}

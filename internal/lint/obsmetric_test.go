@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/lint"
+	"github.com/bullfrogdb/bullfrog/internal/lint/linttest"
+)
+
+func TestObsMetricRegistry(t *testing.T) { linttest.Run(t, "obsmetric", lint.ObsMetric) }
+
+func TestObsMetricUse(t *testing.T) { linttest.Run(t, "obsmetricuse", lint.ObsMetric) }

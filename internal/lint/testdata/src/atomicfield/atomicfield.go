@@ -1,0 +1,61 @@
+// Package atomicfield is the fixture for the atomicfield analyzer: fields
+// touched via sync/atomic must be accessed atomically everywhere, 64-bit
+// raw atomics must be 8-aligned under 32-bit layout, and element-atomic
+// slice fields allow slice-header operations.
+package atomicfield
+
+import "sync/atomic"
+
+type counter struct {
+	n uint64
+}
+
+func (c *counter) inc() { atomic.AddUint64(&c.n, 1) }
+
+func (c *counter) atomicReadOK() uint64 { return atomic.LoadUint64(&c.n) }
+
+func (c *counter) racyRead() uint64 {
+	return c.n // want `non-atomic access to field n, which is accessed atomically at`
+}
+
+func (c *counter) racyWrite() {
+	c.n = 0 // want `non-atomic access to field n`
+}
+
+// misaligned: flag (int32) pushes v to offset 4 under GOARCH=386 rules.
+type misaligned struct {
+	flag int32
+	v    int64
+}
+
+func (m *misaligned) bump() {
+	atomic.AddInt64(&m.v, 1) // want `atomic 64-bit field v is at offset 4 on 32-bit platforms`
+}
+
+// words is element-atomic: the atomic granule is the slice element, so the
+// constructor's header write and append are fine, but a plain element read
+// races the atomic stores.
+type words struct {
+	w []uint64
+}
+
+func newWords(n int) *words {
+	return &words{w: make([]uint64, n)}
+}
+
+func (ws *words) set(i int) { atomic.StoreUint64(&ws.w[i], 1) }
+
+func (ws *words) grow(n int) {
+	ws.w = append(ws.w, make([]uint64, n)...) // ok: slice-header operation
+}
+
+func (ws *words) size() int { return len(ws.w) } // ok: header read
+
+func (ws *words) racyElem(i int) uint64 {
+	return ws.w[i] // want `non-atomic access to field w`
+}
+
+func (ws *words) suppressed(i int) uint64 {
+	//lint:ignore atomicfield fixture demonstrates suppression
+	return ws.w[i]
+}

@@ -1,0 +1,71 @@
+// Package ctxflow is the fixture for the ctxflow analyzer: no minted
+// background contexts outside the nil-guard idiom, and exported blocking
+// entry points must take a context or have a <Name>Context sibling.
+package ctxflow
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+func mint() {
+	ctx := context.Background() // want `context\.Background\(\) minted in library code`
+	_ = ctx
+}
+
+func todo() {
+	_ = context.TODO() // want `context\.TODO\(\) minted in library code`
+}
+
+func nilGuardOK(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background() // ok: documented nil-parameter guard
+	}
+	return ctx
+}
+
+type Pool struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *Pool) Drain() { // want `exported Drain blocks \(channel receive at line \d+\) but has no context\.Context parameter and no DrainContext sibling`
+	<-p.ch
+}
+
+func (p *Pool) Join() { // ok: JoinContext sibling exists
+	p.wg.Wait()
+}
+
+func (p *Pool) JoinContext(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
+}
+
+func (p *Pool) WaitCtx(ctx context.Context) { // ok: accepts a context
+	select {
+	case <-ctx.Done():
+	case <-p.ch:
+	}
+}
+
+func Sleepy() { // want `exported Sleepy blocks \(call to time\.Sleep at line \d+\) but has no context\.Context parameter and no SleepyContext sibling`
+	time.Sleep(time.Millisecond)
+}
+
+var neverCh chan struct{}
+
+//lint:ignore ctxflow fixture demonstrates suppression
+func Forever() {
+	<-neverCh
+}

@@ -1,0 +1,58 @@
+// Package errdrop is the fixture for the errdrop analyzer: implicitly
+// dropped error returns (statement position, defer, go) are always flagged;
+// watchlist calls (fixture/errdrop.mustWatch in config.go) may not even be
+// discarded with `_ =`; in-memory writers are exempt.
+package errdrop
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+var errBoom = errors.New("boom")
+
+func fails() error { return errBoom }
+
+func mustWatch() (int, error) { return 0, errBoom }
+
+func bare() {
+	fails() // want `error returned by fixture/errdrop\.fails is dropped`
+}
+
+func deferred() {
+	defer fails() // want `defer error returned by fixture/errdrop\.fails is dropped`
+}
+
+func spawned() {
+	go fails() // want `go error returned by fixture/errdrop\.fails is dropped`
+}
+
+func blankOK() {
+	_ = fails() // ok: explicit discard of a non-watchlist error
+}
+
+func blankWatch() {
+	_, _ = mustWatch() // want `error returned by fixture/errdrop\.mustWatch is discarded with _: durability/recovery errors must be propagated`
+}
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	n, err := mustWatch()
+	_ = n
+	return err
+}
+
+func buildersOK() string {
+	var b strings.Builder
+	b.WriteString("ok")       // ok: documented to never fail
+	fmt.Fprintf(&b, "%d", 42) // ok: fmt into an in-memory writer
+	return b.String()
+}
+
+func suppressed() {
+	//lint:ignore errdrop fixture demonstrates suppression
+	fails()
+}

@@ -1,0 +1,109 @@
+// Package lockheld is the fixture for the lockheld analyzer: blocking
+// operations under a held mutex, lock-order violations, and the shapes that
+// must NOT be flagged (released locks, selects with default, goroutine
+// bodies, double-RLock).
+package lockheld
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	order1 sync.Mutex // rank 10 in config.go
+	order2 sync.Mutex // rank 20 in config.go
+	ch     chan int
+}
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while s\.mu is held \(locked at line \d+\)`
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: lock released
+}
+
+func (s *server) channelUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	<-s.ch    // want `channel receive while s\.mu is held`
+}
+
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu is held`
+	case <-s.ch:
+	}
+}
+
+func (s *server) selectWithDefaultOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *server) orderOK() {
+	s.order1.Lock()
+	s.order2.Lock() // ok: rank 10 before rank 20
+	s.order2.Unlock()
+	s.order1.Unlock()
+}
+
+func (s *server) orderViolation() {
+	s.order2.Lock()
+	s.order1.Lock() // want `acquires s\.order1 \(rank 10\) while holding s\.order2 \(rank 20\): lock-order violation`
+	s.order1.Unlock()
+	s.order2.Unlock()
+}
+
+func (s *server) unrankedPair() {
+	s.mu.Lock()
+	s.order1.Lock() // want `acquires s\.order1 while holding s\.mu: lock pair is not in the lock-order table`
+	s.order1.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) selfDeadlock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquires s\.mu while already holding it \(self-deadlock\)`
+	s.mu.Unlock()
+}
+
+func (s *server) doubleRLockOK() {
+	s.rw.RLock()
+	s.rw.RLock() // tolerated: shared re-entry
+	s.rw.RUnlock()
+	s.rw.RUnlock()
+}
+
+func (s *server) goroutineBodyOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond) // ok: runs outside the critical section
+	}()
+}
+
+func (s *server) branchScopedRelease(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond) // ok: released on this branch
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) suppressed() {
+	s.mu.Lock()
+	//lint:ignore lockheld fixture demonstrates suppression
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}

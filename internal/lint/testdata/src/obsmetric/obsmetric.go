@@ -1,0 +1,47 @@
+// Package obs is the fixture for the obsmetric analyzer's registry rules
+// (they only fire in a package named obs): metric fields must mirror into
+// snapshot structs under unique snake_case json tags, (*Set).Snapshot must
+// read each metric exactly once, and NewSet must initialize every section.
+package obs
+
+import "sync/atomic"
+
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Inc()        { c.v.Add(1) }
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+type Gauge struct{ v atomic.Int64 }
+
+func (g *Gauge) Set(n int64)  { g.v.Store(n) }
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+type EngineMetrics struct {
+	Hits   Counter
+	Misses Counter // want `metric EngineMetrics\.Misses is not mirrored in EngineSnapshot` `metric Engine\.Misses is never read by \(\*Set\)\.Snapshot`
+	Depth  Gauge
+}
+
+type EngineSnapshot struct {
+	Hits  int64 `json:"hits"`
+	Depth int64 `json:"engine_depth"`
+	Extra int64 // want `snapshot field EngineSnapshot\.Extra has no json tag`
+	Camel int64 `json:"camelCase"` // want `snapshot field EngineSnapshot\.Camel has json tag "camelCase": metric names must be snake_case`
+	Dup   int64 `json:"hits"` // want `snapshot field EngineSnapshot\.Dup reuses json tag "hits" \(already used by EngineSnapshot\.Hits\)`
+}
+
+type Set struct {
+	Engine *EngineMetrics
+	Wal    *EngineMetrics // want `Set\.Wal is not initialized by NewSet`
+}
+
+func NewSet() *Set {
+	return &Set{Engine: &EngineMetrics{}}
+}
+
+func (s *Set) Snapshot() EngineSnapshot {
+	return EngineSnapshot{
+		Hits:  s.Engine.Hits.Load(),
+		Depth: s.Engine.Depth.Load() + s.Engine.Depth.Load(), // want `metric Engine\.Depth is read 2 times by \(\*Set\)\.Snapshot`
+	}
+}

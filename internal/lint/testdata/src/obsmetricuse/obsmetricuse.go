@@ -1,0 +1,35 @@
+// Package obsmetricuse is the fixture for the obsmetric analyzer's use rule
+// outside the obs package: metric updates must resolve through a field of an
+// obs *Metrics struct (the type-level registry), never through free-floating
+// metric values that no snapshot will ever export.
+package obsmetricuse
+
+import "github.com/bullfrogdb/bullfrog/internal/obs"
+
+var rogue obs.Counter
+
+type worker struct {
+	met  *obs.Set
+	free obs.Counter
+}
+
+func (w *worker) registryOK() {
+	w.met.Txn.Begins.Inc() // ok: field of obs.TxnMetrics
+}
+
+func (w *worker) registryIndexedOK() {
+	w.met.Engine.Exec[0].Observe(1) // ok: indexed registry field
+}
+
+func (w *worker) packageVar() {
+	rogue.Inc() // want `obs\.Counter\.Inc outside the metric registry`
+}
+
+func (w *worker) localField() {
+	w.free.Inc() // want `obs\.Counter\.Inc outside the metric registry`
+}
+
+func (w *worker) suppressed() {
+	//lint:ignore obsmetric fixture demonstrates suppression
+	rogue.Inc()
+}

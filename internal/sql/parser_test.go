@@ -236,7 +236,7 @@ func TestParseExprForms(t *testing.T) {
 		`-5`:                                "-5",
 		`-a`:                                "(0 - a)",
 		`-2.5`:                              "-2.5",
-		`'it''s'`:                           "'it's'",
+		`'it''s'`:                           `'it''s'`,
 		`coalesce(a, 0)`:                    "COALESCE(a, 0)",
 		`CASE WHEN a > 0 THEN 1 ELSE 2 END`: "CASE WHEN (a > 0) THEN 1 ELSE 2 END",
 		`a || 'x'`:                          "(a + 'x')",

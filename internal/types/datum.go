@@ -6,6 +6,7 @@ package types
 import (
 	"fmt"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -138,9 +139,13 @@ func (d Datum) String() string {
 	case KindInt:
 		return strconv.FormatInt(d.i, 10)
 	case KindFloat:
+		if d.f == 0 {
+			return "0" // never "-0", which re-parses as an integer literal
+		}
 		return strconv.FormatFloat(d.f, 'g', -1, 64)
 	case KindString:
-		return "'" + d.s + "'"
+		// '' escaping keeps the printed literal re-parseable by the SQL lexer.
+		return "'" + strings.ReplaceAll(d.s, "'", "''") + "'"
 	case KindBool:
 		if d.i != 0 {
 			return "true"

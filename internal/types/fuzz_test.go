@@ -1,0 +1,96 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzKeyEncodeOrder asserts the memcomparable-key contract EncodeKey
+// documents: for rows whose corresponding datums share a kind (or are NULL),
+// bytes.Compare of the encodings matches lexicographic Compare of the rows;
+// encoding round-trips exactly; and DecodeKey never panics on arbitrary
+// bytes (re-encoding whatever it accepts must decode back to an equal row).
+func FuzzKeyEncodeOrder(f *testing.F) {
+	f.Add(int64(1), int64(2), 1.5, -2.5, "a", "ab\x00c", true, false,
+		int64(0), int64(1), uint16(0), []byte{0x02, 0x80, 0, 0, 0, 0, 0, 0, 7})
+	f.Add(int64(-9), int64(-9), 0.0, 3.14, "it's", "", false, false,
+		int64(-1), int64(1), uint16(0b10001_00010), []byte{0x06, 'h', 'i', 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, i1, i2 int64, f1, f2 float64, s1, s2 string,
+		b1, b2 bool, t1, t2 int64, nulls uint16, raw []byte) {
+		// NaN compares equal to everything yet encodes maximal, and -0.0
+		// compares equal to +0.0 yet encodes differently: neither can appear
+		// in a key (SQL indexes reject NaN; parsed literals are normalized).
+		for _, v := range []float64{f1, f2} {
+			if math.IsNaN(v) || (v == 0 && math.Signbit(v)) {
+				t.Skip()
+			}
+		}
+		rowA := Row{NewInt(i1), NewFloat(f1), NewString(s1), NewBool(b1), NewTime(time.Unix(0, t1))}
+		rowB := Row{NewInt(i2), NewFloat(f2), NewString(s2), NewBool(b2), NewTime(time.Unix(0, t2))}
+		for c := range rowA {
+			if nulls&(1<<c) != 0 {
+				rowA[c] = Null
+			}
+			if nulls&(1<<(c+5)) != 0 {
+				rowB[c] = Null
+			}
+		}
+
+		encA := EncodeKey(nil, rowA)
+		encB := EncodeKey(nil, rowB)
+		if got, want := cmpSign(bytes.Compare(encA, encB)), cmpSign(lexCompare(rowA, rowB)); got != want {
+			t.Fatalf("byte order %d != row order %d\n a: %v\n b: %v", got, want, rowA, rowB)
+		}
+
+		dec, err := DecodeKey(encA)
+		if err != nil {
+			t.Fatalf("decoding own encoding of %v: %v", rowA, err)
+		}
+		if len(dec) != len(rowA) {
+			t.Fatalf("round trip arity: got %d, want %d", len(dec), len(rowA))
+		}
+		for i := range dec {
+			if dec[i].Kind() != rowA[i].Kind() || Compare(dec[i], rowA[i]) != 0 {
+				t.Fatalf("round trip column %d: got %v, want %v", i, dec[i], rowA[i])
+			}
+		}
+
+		// Arbitrary bytes: DecodeKey must reject or decode, never panic; and
+		// anything it accepts must survive a re-encode/re-decode cycle.
+		if loose, err := DecodeKey(raw); err == nil {
+			again, err := DecodeKey(EncodeKey(nil, loose))
+			if err != nil || lexCompare(again, loose) != 0 || len(again) != len(loose) {
+				t.Fatalf("re-encode of decoded %x diverged: %v / %v (err %v)", raw, loose, again, err)
+			}
+		}
+	})
+}
+
+func cmpSign(c int) int {
+	switch {
+	case c < 0:
+		return -1
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// lexCompare orders rows lexicographically, column by column.
+func lexCompare(a, b Row) int {
+	for i := range a {
+		if i >= len(b) {
+			return 1
+		}
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	if len(a) < len(b) {
+		return -1
+	}
+	return 0
+}

@@ -68,7 +68,7 @@ func (db *DB) AwaitMigration(ctx context.Context) error {
 // Deprecated: use AwaitMigration, which takes a context and wakes on
 // completion instead of polling a timeout window.
 func (db *DB) WaitForMigration(timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	ctx, cancel := context.WithTimeout(db.closeCtx, timeout)
 	defer cancel()
 	if err := db.AwaitMigration(ctx); err != nil {
 		return fmt.Errorf("bullfrog: migration incomplete after %v", timeout)
