@@ -169,10 +169,23 @@ func (db *DB) Gate() *core.Gate { return db.gate }
 
 // Exec parses and executes one or more SQL statements, each in its own
 // transaction, after performing any lazy migration the statements require.
-// The result of the last statement is returned.
-func (db *DB) Exec(src string) (*Result, error) {
+// The result of the last statement is returned. Exec is ExecContext bounded
+// by the database's close context: Close unblocks statements parked behind
+// an eager migration's exclusive gate or in a lock queue.
+func (db *DB) Exec(src string) (*Result, error) { return db.ExecContext(db.closeCtx, src) }
+
+// ExecContext is Exec bounded by the caller's context: a statement blocked
+// entering the gate (behind an eager migration), waiting on a busy migration
+// granule, or parked in a lock queue returns context.Cause(ctx) as soon as
+// ctx is done — it does not wait out the lock timeout. A nil ctx behaves
+// like Exec. Statements already past their blocking points run to
+// completion; cancellation never leaves a transaction open.
+func (db *DB) ExecContext(ctx context.Context, src string) (*Result, error) {
 	if db.closed.Load() {
 		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = db.closeCtx
 	}
 	stmts, err := sql.Parse(src)
 	if err != nil {
@@ -180,9 +193,7 @@ func (db *DB) Exec(src string) (*Result, error) {
 	}
 	var last *Result = &Result{}
 	for _, s := range stmts {
-		db.gate.Enter()
-		res, err := db.execStmt(s)
-		db.gate.Leave()
+		res, err := db.execStmtGated(ctx, s)
 		if err != nil {
 			return nil, err
 		}
@@ -194,14 +205,37 @@ func (db *DB) Exec(src string) (*Result, error) {
 // Query is Exec for a single SELECT; provided for readability.
 func (db *DB) Query(src string) (*Result, error) { return db.Exec(src) }
 
-func (db *DB) execStmt(s sql.Statement) (*Result, error) {
-	if err := db.interceptStmt(s); err != nil {
+// QueryContext is Query with the cancellation semantics of ExecContext.
+func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
+	return db.ExecContext(ctx, src)
+}
+
+// execStmtGated runs one statement while holding a shared gate slot. The
+// release is deferred so a panic anywhere in the statement path cannot leak
+// gate capacity (a leaked slot is permanent and eventually wedges
+// Gate.Exclusive, i.e. every future eager migration).
+func (db *DB) execStmtGated(ctx context.Context, s sql.Statement) (*Result, error) {
+	if err := db.gate.EnterContext(ctx); err != nil {
+		if db.closed.Load() {
+			return nil, ErrClosed
+		}
+		return nil, err
+	}
+	defer db.gate.Leave()
+	return db.execStmt(ctx, s)
+}
+
+func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
+	if err := db.interceptStmt(ctx, s); err != nil {
 		return nil, err
 	}
 	tx := db.eng.Begin()
-	res, err := db.eng.ExecStmt(tx, s)
+	res, err := db.eng.ExecStmtContext(ctx, tx, s)
 	if err != nil {
-		db.eng.Abort(tx)
+		// The statement error is the caller's failure; a lost abort record
+		// is advisory (recovery treats any transaction without a commit
+		// record as aborted) and counted in wal.abort_append_errors.
+		_ = db.eng.Abort(tx)
 		return nil, err
 	}
 	if err := db.eng.Commit(tx); err != nil {
@@ -216,30 +250,30 @@ func (db *DB) execStmt(s sql.Statement) (*Result, error) {
 // handled exactly like SELECT — their WHERE drives a migration first, then
 // the original request runs on the new schema. INSERT needs no prior
 // migration here; constraint checks widen the scope via the engine hook.
-func (db *DB) interceptStmt(s sql.Statement) error {
+func (db *DB) interceptStmt(ctx context.Context, s sql.Statement) error {
 	switch t := s.(type) {
 	case *sql.SelectStmt:
-		return db.interceptSelect(t)
+		return db.interceptSelect(ctx, t)
 	case *sql.UpdateStmt:
 		if err := db.checkRetired(t.Table); err != nil {
 			return err
 		}
-		return db.ctrl.EnsureForTable(t.Table, t.Alias, t.Where)
+		return db.ctrl.EnsureForTableContext(ctx, t.Table, t.Alias, t.Where)
 	case *sql.DeleteStmt:
 		if err := db.checkRetired(t.Table); err != nil {
 			return err
 		}
-		return db.ctrl.EnsureForTable(t.Table, t.Alias, t.Where)
+		return db.ctrl.EnsureForTableContext(ctx, t.Table, t.Alias, t.Where)
 	case *sql.InsertStmt:
 		if err := db.checkRetired(t.Table); err != nil {
 			return err
 		}
 		if t.Select != nil {
-			return db.interceptSelect(t.Select)
+			return db.interceptSelect(ctx, t.Select)
 		}
 		return nil
 	case *sql.ExplainStmt:
-		return db.interceptStmt(t.Inner)
+		return db.interceptStmt(ctx, t.Inner)
 	default:
 		return nil
 	}
@@ -252,10 +286,10 @@ func (db *DB) checkRetired(table string) error {
 	return nil
 }
 
-func (db *DB) interceptSelect(s *sql.SelectStmt) error {
+func (db *DB) interceptSelect(ctx context.Context, s *sql.SelectStmt) error {
 	for _, ref := range s.From {
 		if ref.Subquery != nil {
-			if err := db.interceptSelect(ref.Subquery); err != nil {
+			if err := db.interceptSelect(ctx, ref.Subquery); err != nil {
 				return err
 			}
 			continue
@@ -270,14 +304,14 @@ func (db *DB) interceptSelect(s *sql.SelectStmt) error {
 		if db.eng.Catalog().HasView(ref.Name) {
 			if v, err := db.eng.Catalog().View(ref.Name); err == nil {
 				if def, ok := v.Def.(*sql.SelectStmt); ok {
-					if err := db.interceptSelect(def); err != nil {
+					if err := db.interceptSelect(ctx, def); err != nil {
 						return err
 					}
 				}
 			}
 			continue
 		}
-		if err := db.ctrl.EnsureForTable(ref.Name, ref.Alias, s.Where); err != nil {
+		if err := db.ctrl.EnsureForTableContext(ctx, ref.Name, ref.Alias, s.Where); err != nil {
 			return err
 		}
 	}
@@ -303,16 +337,24 @@ func (t *Txn) Raw() *txn.Txn { return t.inner }
 
 // Exec runs SQL inside the transaction (with migration interception).
 func (t *Txn) Exec(src string) (*Result, error) {
+	return t.ExecContext(nil, src)
+}
+
+// ExecContext is Exec bounded by the statement's context: migration waits
+// and lock-queue parking stop when ctx is done, returning its cause. A nil
+// ctx waits without cancellation bound. The transaction itself stays open
+// either way — the caller decides whether to retry, Commit, or Abort.
+func (t *Txn) ExecContext(ctx context.Context, src string) (*Result, error) {
 	stmts, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	var last *Result = &Result{}
 	for _, s := range stmts {
-		if err := t.db.interceptStmt(s); err != nil {
+		if err := t.db.interceptStmt(ctx, s); err != nil {
 			return nil, err
 		}
-		res, err := t.db.eng.ExecStmt(t.inner, s)
+		res, err := t.db.eng.ExecStmtContext(ctx, t.inner, s)
 		if err != nil {
 			return nil, err
 		}
@@ -327,17 +369,19 @@ func (t *Txn) Commit() error {
 		return txn.ErrTxnDone
 	}
 	t.done = true
-	err := t.db.eng.Commit(t.inner)
-	t.db.gate.Leave()
-	return err
+	defer t.db.gate.Leave()
+	return t.db.eng.Commit(t.inner)
 }
 
-// Abort rolls back and releases the gate.
-func (t *Txn) Abort() {
+// Abort rolls back and releases the gate. The rollback always happens; the
+// returned error reports only a failed append of the abort record, which is
+// advisory (recovery treats any transaction without a commit record as
+// aborted) and counted in wal.abort_append_errors.
+func (t *Txn) Abort() error {
 	if t.done {
-		return
+		return nil
 	}
 	t.done = true
-	t.db.eng.Abort(t.inner)
-	t.db.gate.Leave()
+	defer t.db.gate.Leave()
+	return t.db.eng.Abort(t.inner)
 }

@@ -1,0 +1,219 @@
+package bullfrog
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+	"github.com/bullfrogdb/bullfrog/internal/types"
+)
+
+// simpleDB opens a database with one populated table and a generous lock
+// timeout, so any prompt return in these tests is attributable to
+// cancellation rather than a timeout firing.
+func simpleDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(Options{LockTimeout: 30 * time.Second})
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(`CREATE TABLE kv (k INT PRIMARY KEY, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO kv VALUES (1, 10)`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestExecContextCancelBehindExclusive parks a statement behind an eager
+// migration's exclusive gate section and cancels it: the statement must
+// return promptly with context.Canceled instead of waiting the migration
+// out, and the gate must be fully usable afterwards.
+func TestExecContextCancelBehindExclusive(t *testing.T) {
+	db := simpleDB(t)
+
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	exclDone := make(chan error, 1)
+	go func() {
+		exclDone <- db.Gate().Exclusive(func() error {
+			close(holding)
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+
+	ctx, cancel := context.WithCancel(context.Background())
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := db.ExecContext(ctx, `SELECT * FROM kv`)
+		execDone <- err
+	}()
+	// Let the statement park in EnterContext, then cancel it.
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-execDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled ExecContext returned %v, want context.Canceled", err)
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancelled ExecContext took %v to return", waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled ExecContext never returned (still parked at the gate)")
+	}
+
+	// The cancelled statement took no slot: the exclusive section still ends
+	// cleanly and ordinary statements run again.
+	close(release)
+	if err := <-exclDone; err != nil {
+		t.Fatalf("Exclusive: %v", err)
+	}
+	if _, err := db.Exec(`SELECT * FROM kv`); err != nil {
+		t.Fatalf("statement after cancellation: %v", err)
+	}
+}
+
+// TestCloseUnblocksParkedExec: plain Exec is bounded by the database's close
+// context, so Close must wake a statement parked behind the exclusive gate
+// and turn it into ErrClosed.
+func TestCloseUnblocksParkedExec(t *testing.T) {
+	db := Open(Options{})
+	if _, err := db.Exec(`CREATE TABLE kv (k INT PRIMARY KEY, v INT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		db.Gate().Exclusive(func() error {
+			close(holding)
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+	defer close(release)
+
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`SELECT * FROM kv`)
+		execDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-execDone:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("parked Exec after Close returned %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not unblock the parked Exec")
+	}
+}
+
+// TestQueryContextCancelInLockQueue: a cancelled statement parked in the row
+// lock queue (another transaction holds the row's lock) returns the
+// context's error promptly — not ErrLockTimeout after the full lock timeout.
+func TestQueryContextCancelInLockQueue(t *testing.T) {
+	db := simpleDB(t)
+
+	// Hold the row lock from an open facade transaction.
+	tx := db.Begin()
+	defer tx.Abort()
+	if _, err := tx.Exec(`UPDATE kv SET v = 11 WHERE k = 1`); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	execDone := make(chan error, 1)
+	go func() {
+		_, err := db.ExecContext(ctx, `UPDATE kv SET v = 12 WHERE k = 1`)
+		execDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	start := time.Now()
+	cancel()
+	select {
+	case err := <-execDone:
+		if err == nil {
+			t.Fatal("conflicting update succeeded while the lock was held")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled lock wait returned %v, want context.Canceled", err)
+		}
+		if errors.Is(err, txn.ErrLockTimeout) {
+			t.Fatal("cancellation was reported as a lock timeout")
+		}
+		if waited := time.Since(start); waited > 5*time.Second {
+			t.Fatalf("cancelled lock wait took %v to return", waited)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled statement never left the lock queue")
+	}
+}
+
+// panicHook is an engine migration hook that panics on the first key check —
+// the worst-case behavior of buggy interception code inside the statement
+// path.
+type panicHook struct{}
+
+func (panicHook) BeforeKeyCheck(tx *txn.Txn, table string, cols []int, key types.Row) error {
+	panic("hook exploded")
+}
+
+// TestGateNotLeakedOnPanic is the regression test for the gate-leak bug: a
+// panic inside the statement path used to skip the gate release, permanently
+// losing a slot (and eventually wedging Gate.Exclusive, i.e. every future
+// eager migration). The release is deferred now; after recovering from the
+// panic, an exclusive drain of all slots must still complete promptly.
+func TestGateNotLeakedOnPanic(t *testing.T) {
+	db := simpleDB(t)
+	db.Engine().SetMigrationHook(panicHook{})
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("statement did not panic; hook never fired")
+			}
+		}()
+		// INSERT performs a primary-key uniqueness check, which fires the hook.
+		db.Exec(`INSERT INTO kv VALUES (2, 20)`)
+	}()
+	db.Engine().SetMigrationHook(nil)
+
+	exclDone := make(chan error, 1)
+	go func() {
+		exclDone <- db.Gate().Exclusive(func() error { return nil })
+	}()
+	select {
+	case err := <-exclDone:
+		if err != nil {
+			t.Fatalf("Exclusive after panic: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Exclusive wedged: the panicking statement leaked a gate slot")
+	}
+}
+
+// TestExecContextNilCtx: a nil context is accepted and bounded only by the
+// database lifetime (identical to Exec).
+func TestExecContextNilCtx(t *testing.T) {
+	db := simpleDB(t)
+	res, err := db.ExecContext(nil, `SELECT v FROM kv WHERE k = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 10 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if _, err := db.QueryContext(context.Background(), `SELECT v FROM kv`); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -227,7 +227,7 @@ func Run(cfg Config) (*Result, error) {
 		res.MigEnd = time.Since(start)
 	case SysMultiStep:
 		var err error
-		ms, err = core.StartMultiStep(db, mig)
+		ms, err = core.StartMultiStep(nil, db, mig)
 		if err != nil {
 			return nil, err
 		}

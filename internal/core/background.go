@@ -51,6 +51,10 @@ type Background struct {
 	wg      sync.WaitGroup
 	started atomic.Int64 // unix nanos when work actually began; 0 = not yet
 	err     atomic.Value
+	// errs receives the first worker error — including the end-of-migration
+	// cleanup (DropTable) failure from markRuntimeComplete, which would
+	// otherwise die with a background goroutine. Buffered; at most one send.
+	errs chan error
 }
 
 // NewBackground creates a background migrator for the controller's active
@@ -63,6 +67,7 @@ func NewBackground(ctrl *Controller, delay time.Duration) *Background {
 		ctrl:          ctrl,
 		pace:          newPacer(ctrl.db.Obs()),
 		stop:          make(chan struct{}),
+		errs:          make(chan error, 1),
 	}
 }
 
@@ -81,6 +86,27 @@ func (b *Background) Err() error {
 		return v.(error)
 	}
 	return nil
+}
+
+// CompletionErr returns a channel carrying the first worker error, including
+// an end-of-migration cleanup failure (Controller.markRuntimeComplete's
+// DropTable error). The channel is buffered with capacity one and never
+// closed; poll it with a select, or use Err after Wait/Stop. The same error
+// also surfaces through Controller.AwaitMigration.
+func (b *Background) CompletionErr() <-chan error { return b.errs }
+
+// fail records a worker error: the first one wins Err() and is published on
+// the CompletionErr channel.
+func (b *Background) fail(err error) {
+	if err == nil {
+		return
+	}
+	if b.err.CompareAndSwap(nil, err) {
+		select {
+		case b.errs <- err:
+		default:
+		}
+	}
 }
 
 // workers resolves the configured pool size.
@@ -175,9 +201,7 @@ func (b *Background) runBitmap(rt *StmtRuntime, worker, workers int) {
 		return
 	}
 	defer b.end()
-	if err := b.bitmapSweep(rt, worker, workers); err != nil {
-		b.err.CompareAndSwap(nil, err)
-	}
+	b.fail(b.bitmapSweep(rt, worker, workers))
 }
 
 func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
@@ -197,8 +221,7 @@ func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
 			// from the front. Granules claimed by other workers may still be
 			// in flight, so poll until the bitmap actually fills.
 			if rt.bitmap.Complete() {
-				rt.ctrl.markRuntimeComplete(rt)
-				return nil
+				return rt.ctrl.markRuntimeComplete(rt)
 			}
 			cursor = 0
 			if rt.bitmap.NextUnmigrated(0) < 0 {
@@ -215,7 +238,7 @@ func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
 			batch = append(batch, g)
 			g = rt.bitmap.NextUnmigrated(g + 1)
 		}
-		if _, err := rt.bitmapPass(nil, batch, true); err != nil {
+		if _, err := rt.bitmapPass(nil, nil, batch, true); err != nil {
 			return err
 		}
 		if g < 0 {
@@ -251,16 +274,14 @@ func (b *Background) runHash(rt *StmtRuntime, workers int) {
 			break
 		}
 		if remaining == 0 {
-			rt.ctrl.markRuntimeComplete(rt)
+			err = rt.ctrl.markRuntimeComplete(rt)
 			break
 		}
 		if !b.sleep(time.Millisecond) {
 			break
 		}
 	}
-	if err != nil {
-		b.err.CompareAndSwap(nil, err)
-	}
+	b.fail(err)
 }
 
 // hashSweepParallel performs one full pass over the driving table (and, for
@@ -349,7 +370,7 @@ func (b *Background) sweepChunk(rt *StmtRuntime, tbl *catalog.Table, ords []int,
 		return 0, nil
 	}
 	for {
-		busy, err := rt.hashPass(nil, sc.todo, true)
+		busy, err := rt.hashPass(nil, nil, sc.todo, true)
 		if err != nil {
 			return int64(len(sc.todo)), err
 		}
@@ -448,15 +469,14 @@ func (rt *StmtRuntime) CatchUp(ctx context.Context) error {
 			}
 			g := rt.bitmap.NextUnmigrated(0)
 			if g < 0 {
-				rt.ctrl.markRuntimeComplete(rt)
-				return nil
+				return rt.ctrl.markRuntimeComplete(rt)
 			}
 			batch = batch[:0]
 			for i := 0; i < b.ChunkGranules && g >= 0; i++ {
 				batch = append(batch, g)
 				g = rt.bitmap.NextUnmigrated(g + 1)
 			}
-			busy, err := rt.bitmapPass(nil, batch, true)
+			busy, err := rt.bitmapPass(ctx, nil, batch, true)
 			if err != nil {
 				return err
 			}
@@ -479,8 +499,7 @@ func (rt *StmtRuntime) CatchUp(ctx context.Context) error {
 			return ctx.Err()
 		}
 		if remaining == 0 {
-			rt.ctrl.markRuntimeComplete(rt)
-			return nil
+			return rt.ctrl.markRuntimeComplete(rt)
 		}
 	}
 }

@@ -107,7 +107,7 @@ func TestEagerSeedCompletion(t *testing.T) {
 func TestMultiStepCopyAndDualWrite(t *testing.T) {
 	db := engine.New(engine.Options{})
 	m := splitFixture(t, db, 150)
-	ms, err := StartMultiStep(db, m)
+	ms, err := StartMultiStep(nil, db, m)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+)
+
+// TestCompletionDropErrorSurfaces is the errdrop regression test for the
+// end-of-migration cleanup: when the DropTable of a retired input fails, the
+// error must reach (a) the background worker's Err/CompletionErr, and (b)
+// AwaitMigration waiters — it used to die silently inside a background
+// goroutine. The input table is emptied (zero granules: the bitmap is
+// complete from the start) and dropped out from under the migration, so the
+// cleanup's DropTable deterministically fails.
+func TestCompletionDropErrorSurfaces(t *testing.T) {
+	db := engine.New(engine.Options{})
+	m := splitFixture(t, db, 0) // empty input: completion needs no data pass
+	m.DropInputsOnComplete = true
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an operator racing the cleanup: the input vanishes before the
+	// end-of-migration drop runs.
+	if err := db.Catalog().DropTable("cust"); err != nil {
+		t.Fatalf("pre-drop: %v", err)
+	}
+
+	bg := NewBackground(ctrl, 0)
+	bg.Workers = 1
+	bg.Start()
+	bg.Wait()
+
+	err := bg.Err()
+	if err == nil {
+		t.Fatal("background Err() is nil; DropTable failure was dropped")
+	}
+	select {
+	case cerr := <-bg.CompletionErr():
+		if !errors.Is(cerr, err) && cerr.Error() != err.Error() {
+			t.Fatalf("CompletionErr channel carries %v, Err() %v", cerr, err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("CompletionErr channel never received the cleanup failure")
+	}
+
+	// The migration still counts as complete (data is all moved); waiters get
+	// the cleanup failure rather than a silent nil.
+	if !ctrl.Complete() {
+		t.Fatal("migration should be complete despite the cleanup failure")
+	}
+	if aerr := ctrl.AwaitMigration(context.Background()); aerr == nil {
+		t.Fatal("AwaitMigration returned nil; completion error was dropped")
+	} else if aerr.Error() != err.Error() {
+		t.Fatalf("AwaitMigration error %v != worker error %v", aerr, err)
+	}
+	if ctrl.CompletionErr() == nil {
+		t.Fatal("CompletionErr() accessor is nil")
+	}
+}

@@ -111,6 +111,10 @@ type Controller struct {
 	byOutput map[string]*StmtRuntime
 	retired  map[string]bool
 	done     chan struct{} // non-nil while a migration is active; closed at completion
+	// completionErr records the end-of-migration cleanup failure (DropTable of
+	// retired inputs). It is written under mu before done is closed, so every
+	// AwaitMigration waiter observes it.
+	completionErr error
 
 	migTxns     sync.Map // txn id -> struct{}; migration transactions bypass the hook
 	startedAt   time.Time
@@ -385,6 +389,7 @@ func (c *Controller) Reset() error {
 	c.byOutput = map[string]*StmtRuntime{}
 	c.retired = map[string]bool{}
 	c.done = nil
+	c.completionErr = nil
 	c.completedAt.Store(0)
 	c.db.InvalidatePlans()
 	return nil
@@ -453,48 +458,66 @@ func (c *Controller) StartedAt() time.Time {
 
 // markRuntimeComplete records completion and, when the whole migration is
 // done, performs end-of-migration cleanup (§2.2: "the migration is complete
-// and the old schema can be deleted").
-func (c *Controller) markRuntimeComplete(rt *StmtRuntime) {
+// and the old schema can be deleted"). The returned error is any cleanup
+// failure (DropTable of a retired input); it is also recorded as the
+// controller's completion error — before the done channel closes — so
+// AwaitMigration waiters surface it even when the completing worker is a
+// background goroutine with no caller.
+func (c *Controller) markRuntimeComplete(rt *StmtRuntime) error {
 	if !rt.complete.CompareAndSwap(false, true) {
-		return
+		return nil
 	}
 	rt.completeAt.Store(time.Now().UnixNano())
 	if !c.Complete() {
-		return
+		return nil
 	}
 	if !c.completedAt.CompareAndSwap(0, time.Now().UnixNano()) {
-		return // another worker already ran the end-of-migration step
+		return nil // another worker already ran the end-of-migration step
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.done != nil {
-		close(c.done) // wake AwaitMigration waiters
-	}
+	var err error
 	if c.mig != nil && c.mig.DropInputsOnComplete {
 		for _, name := range c.mig.RetireInputs {
-			//lint:ignore errdrop end-of-migration cleanup runs on a background worker with no error channel; DropTable fails only if the table is already gone
-			c.db.Catalog().DropTable(name)
+			if derr := c.db.Catalog().DropTable(name); derr != nil {
+				err = errors.Join(err, fmt.Errorf("core: end-of-migration drop of %q: %w", name, derr))
+			}
 			delete(c.retired, norm(name))
 		}
 		// The drops bypassed the SQL DDL path; cached plans may still
 		// reference the dropped tables.
 		c.db.InvalidatePlans()
 	}
+	c.completionErr = err
+	if c.done != nil {
+		close(c.done) // wake AwaitMigration waiters; completionErr is set first
+	}
+	return err
+}
+
+// CompletionErr returns the end-of-migration cleanup error, or nil. It is
+// meaningful once the migration completed and is cleared by Reset.
+func (c *Controller) CompletionErr() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.completionErr
 }
 
 // AwaitMigration blocks until the active migration completes or ctx is
 // done, without polling: completion closes a channel that waiters select on.
-// It returns immediately when no migration is active.
+// It returns immediately when no migration is active. On completion it
+// returns the migration's completion error (end-of-migration cleanup
+// failure), if any.
 func (c *Controller) AwaitMigration(ctx context.Context) error {
 	c.mu.RLock()
 	ch := c.done
 	c.mu.RUnlock()
 	if ch == nil || c.Complete() {
-		return nil
+		return c.CompletionErr()
 	}
 	select {
 	case <-ch:
-		return nil
+		return c.CompletionErr()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -502,8 +525,12 @@ func (c *Controller) AwaitMigration(ctx context.Context) error {
 
 // --- migration transactions ---
 
-func (c *Controller) beginMigTxn() *txn.Txn {
+// beginMigTxn starts a migration transaction with ctx as its statement
+// context (nil = no cancellation bound), so lock waits inside the transform
+// stop when the intercepted client statement is cancelled.
+func (c *Controller) beginMigTxn(ctx context.Context) *txn.Txn {
 	tx := c.db.Begin()
+	tx.SetContext(ctx)
 	c.migTxns.Store(tx.ID(), struct{}{})
 	return tx
 }
@@ -515,7 +542,10 @@ func (c *Controller) commitMigTxn(tx *txn.Txn) error {
 
 func (c *Controller) abortMigTxn(tx *txn.Txn) {
 	c.migTxns.Delete(tx.ID())
-	c.db.Abort(tx)
+	// A lost abort record is advisory (recovery treats any txn without a
+	// commit record as aborted) and counted in wal.abort_append_errors; the
+	// migration error unwinding through the caller takes precedence.
+	_ = c.db.Abort(tx)
 }
 
 // isMigTxn reports whether the transaction is a migration transaction.
@@ -546,7 +576,7 @@ func (c *Controller) BeforeKeyCheck(tx *txn.Txn, table string, cols []int, key t
 		pred = expr.CombineConjuncts(pred,
 			expr.NewBinOp(expr.OpEq, expr.NewCol("", name), expr.NewConst(key[i])))
 	}
-	return c.EnsureMigrated(table, pred)
+	return c.EnsureMigratedContext(tx.Context(), table, pred)
 }
 
 // obsMig returns the migration metrics shared through the engine's Set.
@@ -558,6 +588,13 @@ func (c *Controller) obsMig() *obs.MigrationMetrics { return c.db.Obs().Migratio
 // table's full scope for safety (superset semantics, paper §2.4). alias is
 // the request's binding name for the table ("" = the table name).
 func (c *Controller) EnsureForTable(table, alias string, where expr.Expr) error {
+	return c.EnsureForTableContext(nil, table, alias, where)
+}
+
+// EnsureForTableContext is EnsureForTable bounded by the statement's context:
+// the busy-granule backoff loop and the migration transactions' lock waits
+// stop when ctx is done. A nil ctx waits without cancellation bound.
+func (c *Controller) EnsureForTableContext(ctx context.Context, table, alias string, where expr.Expr) error {
 	rt := c.RuntimeFor(table)
 	if rt == nil || rt.complete.Load() {
 		return nil
@@ -598,7 +635,7 @@ func (c *Controller) EnsureForTable(table, alias string, where expr.Expr) error 
 		}
 		pred = expr.CombineConjuncts(pred, stripped)
 	}
-	return c.EnsureMigrated(table, pred)
+	return c.EnsureMigratedContext(ctx, table, pred)
 }
 
 // EnsureMigrated migrates, before the caller proceeds, every old-schema
@@ -606,17 +643,25 @@ func (c *Controller) EnsureForTable(table, alias string, where expr.Expr) error 
 // outputTable whose WHERE-equivalent predicate is pred (nil = everything).
 // This is the entry point of the paper's request-driven lazy migration.
 func (c *Controller) EnsureMigrated(outputTable string, pred expr.Expr) error {
+	return c.EnsureMigratedContext(nil, outputTable, pred)
+}
+
+// EnsureMigratedContext is EnsureMigrated bounded by the statement's context
+// (nil = no cancellation bound): a cancelled statement stops waiting on busy
+// granules/groups and its migration transactions stop waiting in lock queues,
+// returning the context's cause.
+func (c *Controller) EnsureMigratedContext(ctx context.Context, outputTable string, pred expr.Expr) error {
 	rt := c.RuntimeFor(outputTable)
 	if rt == nil || rt.complete.Load() {
 		return nil
 	}
 	start := time.Now()
-	err := c.ensureMigrated(rt, outputTable, pred)
+	err := c.ensureMigrated(ctx, rt, outputTable, pred)
 	c.obsMig().EnsureLatency.ObserveSince(start)
 	return err
 }
 
-func (c *Controller) ensureMigrated(rt *StmtRuntime, outputTable string, pred expr.Expr) error {
+func (c *Controller) ensureMigrated(ctx context.Context, rt *StmtRuntime, outputTable string, pred expr.Expr) error {
 	spec := rt.specFor(outputTable)
 	filters, err := c.db.TransposeFilters(spec.Def, pred)
 	if err != nil {
@@ -629,7 +674,7 @@ func (c *Controller) ensureMigrated(rt *StmtRuntime, outputTable string, pred ex
 		}
 	}
 	if rt.bitmap != nil {
-		return rt.migrateBitmapPred(drivingPred)
+		return rt.migrateBitmapPred(ctx, drivingPred)
 	}
 	// Seeded join migrations must also discover groups that exist only in
 	// the secondary table (e.g. stock for never-ordered items): transpose
@@ -647,7 +692,7 @@ func (c *Controller) ensureMigrated(rt *StmtRuntime, outputTable string, pred ex
 			}
 		}
 	}
-	return rt.migrateHashPredSeeded(drivingPred, seedPred, seedScan)
+	return rt.migrateHashPredSeeded(ctx, drivingPred, seedPred, seedScan)
 }
 
 func (rt *StmtRuntime) specFor(outputTable string) *OutputSpec {
@@ -661,9 +706,9 @@ func (rt *StmtRuntime) specFor(outputTable string) *OutputSpec {
 
 // --- bitmap migrations (Algorithm 1 over Algorithm 2) ---
 
-func (rt *StmtRuntime) migrateBitmapPred(pred expr.Expr) error {
+func (rt *StmtRuntime) migrateBitmapPred(ctx context.Context, pred expr.Expr) error {
 	for {
-		busy, err := rt.bitmapPass(pred, nil, false)
+		busy, err := rt.bitmapPass(ctx, pred, nil, false)
 		if err != nil {
 			return err
 		}
@@ -673,17 +718,20 @@ func (rt *StmtRuntime) migrateBitmapPred(pred expr.Expr) error {
 		// Another worker is migrating some of our granules: wait for it to
 		// finish or abort, then re-check (Algorithm 1 line 10).
 		rt.stats.skipWaits.Add(1)
-		time.Sleep(rt.ctrl.backoff)
+		if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
+			return err
+		}
 	}
 }
 
 // bitmapPass runs one iteration of the per-transaction migration loop:
 // claim, transform, commit, mark, over either the granules matching pred or
-// an explicit granule list (the background migrator's path). background
-// attributes migrated tuples to the lazy or background counter. It returns
-// how many relevant granules were busy (in progress by other workers).
-func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64, background bool) (busy int, err error) {
-	tx := rt.ctrl.beginMigTxn()
+// an explicit granule list (the background migrator's path). ctx (nil ok)
+// bounds the migration transaction's lock waits. background attributes
+// migrated tuples to the lazy or background counter. It returns how many
+// relevant granules were busy (in progress by other workers).
+func (rt *StmtRuntime) bitmapPass(ctx context.Context, pred expr.Expr, directGranules []int64, background bool) (busy int, err error) {
+	tx := rt.ctrl.beginMigTxn(ctx)
 	finished := false
 	var wip []int64
 	defer func() {
@@ -752,8 +800,7 @@ func (rt *StmtRuntime) bitmapPass(pred expr.Expr, directGranules []int64, backgr
 	for _, g := range wip {
 		rt.markGranuleMigrated(g)
 	}
-	rt.checkBitmapComplete()
-	return busy, nil
+	return busy, rt.checkBitmapComplete()
 }
 
 // attributeTuples records migrated output rows against the lazy or
@@ -798,10 +845,13 @@ func (rt *StmtRuntime) markGranuleMigrated(g int64) {
 	}
 }
 
-func (rt *StmtRuntime) checkBitmapComplete() {
+// checkBitmapComplete runs the end-of-migration step when the bitmap filled;
+// the returned error is the cleanup failure from markRuntimeComplete.
+func (rt *StmtRuntime) checkBitmapComplete() error {
 	if rt.bitmap.Complete() {
-		rt.ctrl.markRuntimeComplete(rt)
+		return rt.ctrl.markRuntimeComplete(rt)
 	}
+	return nil
 }
 
 // fetchGranuleRows collects every tuple visible to tx in the claimed
@@ -881,8 +931,8 @@ func (rt *StmtRuntime) groupKeyOf(row types.Row) []byte {
 	return types.EncodeKey(nil, key)
 }
 
-func (rt *StmtRuntime) migrateHashPred(pred expr.Expr) error {
-	return rt.migrateHashPredSeeded(pred, nil, false)
+func (rt *StmtRuntime) migrateHashPred(ctx context.Context, pred expr.Expr) error {
+	return rt.migrateHashPredSeeded(ctx, pred, nil, false)
 }
 
 // ProgressTables reports per-statement physical migration progress for
@@ -919,10 +969,11 @@ func (c *Controller) ProgressTables() []obs.TableProgress {
 
 // migrateHashPredSeeded is migrateHashPred that additionally discovers
 // candidate groups from the seed (secondary) table when seedScan is set.
-func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan bool) error {
+func (rt *StmtRuntime) migrateHashPredSeeded(ctx context.Context, pred, seedPred expr.Expr, seedScan bool) error {
 	var directKeys [][]byte
 	if seedScan && rt.seedTbl != nil {
 		tx := rt.ctrl.db.Begin()
+		tx.SetContext(ctx)
 		_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.seedTbl, norm(rt.Stmt.Seed.Driving), seedPred)
 		tx.Abort()
 		if err != nil {
@@ -942,13 +993,13 @@ func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan 
 		}
 	}
 	for {
-		busy, err := rt.hashPass(pred, nil, false)
+		busy, err := rt.hashPass(ctx, pred, nil, false)
 		if err != nil {
 			return err
 		}
 		busySeed := 0
 		if len(directKeys) > 0 {
-			busySeed, err = rt.hashPass(nil, directKeys, false)
+			busySeed, err = rt.hashPass(ctx, nil, directKeys, false)
 			if err != nil {
 				return err
 			}
@@ -957,7 +1008,9 @@ func (rt *StmtRuntime) migrateHashPredSeeded(pred, seedPred expr.Expr, seedScan 
 			return nil
 		}
 		rt.stats.skipWaits.Add(1)
-		time.Sleep(rt.ctrl.backoff)
+		if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
+			return err
+		}
 	}
 }
 
@@ -988,7 +1041,7 @@ func (c *Controller) EnsureGroupMigratedContext(ctx context.Context, outputTable
 	start := time.Now()
 	defer func() { c.obsMig().EnsureLatency.ObserveSince(start) }()
 	for {
-		busy, err := rt.hashPass(nil, [][]byte{types.EncodeKey(nil, groupKey)}, false)
+		busy, err := rt.hashPass(ctx, nil, [][]byte{types.EncodeKey(nil, groupKey)}, false)
 		if err != nil {
 			return err
 		}
@@ -1002,23 +1055,29 @@ func (c *Controller) EnsureGroupMigratedContext(ctx context.Context, outputTable
 	}
 }
 
-// sleepCtx pauses for d or until ctx is cancelled, whichever comes first.
+// sleepCtx pauses for d or until ctx is done, whichever comes first,
+// returning the context's cause in the latter case. A nil ctx just sleeps.
 func sleepCtx(ctx context.Context, d time.Duration) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {
-	case <-ctx.Done():
-		return ctx.Err()
+	case <-done:
+		return context.Cause(ctx)
 	case <-t.C:
 		return nil
 	}
 }
 
 // hashPass runs one migration transaction over either the groups matching
-// pred or an explicit key list; background attributes migrated tuples to the
-// lazy or background counter. Returns the number of busy groups.
-func (rt *StmtRuntime) hashPass(pred expr.Expr, directKeys [][]byte, background bool) (busy int, err error) {
-	tx := rt.ctrl.beginMigTxn()
+// pred or an explicit key list; ctx (nil ok) bounds the transaction's lock
+// waits. background attributes migrated tuples to the lazy or background
+// counter. Returns the number of busy groups.
+func (rt *StmtRuntime) hashPass(ctx context.Context, pred expr.Expr, directKeys [][]byte, background bool) (busy int, err error) {
+	tx := rt.ctrl.beginMigTxn(ctx)
 	committed := false
 	var wip [][]byte
 	defer func() {

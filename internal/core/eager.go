@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -35,11 +36,10 @@ func NewGate() *Gate { return &Gate{sem: make(chan struct{}, gateCapacity)} }
 // gate-wait histogram. Call before concurrent use.
 func (g *Gate) SetObs(m *obs.MigrationMetrics) { g.met = m }
 
-// Enter takes a shared slot (a client transaction begins). The uncontended
+// Enter takes a shared slot (a client transaction begins), waiting without
+// bound. Statement-scoped callers should prefer EnterContext. The uncontended
 // fast path records nothing; a blocked entry (eager migration holds the
 // exclusive side, or the gate is saturated) feeds the gate-wait histogram.
-//
-//lint:ignore ctxflow statement-scoped gate entry: threading a context needs a session API (ROADMAP open item)
 func (g *Gate) Enter() {
 	select {
 	case g.sem <- struct{}{}:
@@ -55,7 +55,45 @@ func (g *Gate) Enter() {
 	g.met.GateWait.ObserveSince(start)
 }
 
-// Leave releases the shared slot.
+// EnterContext is Enter bounded by a context: a caller parked behind an eager
+// migration's exclusive section (or a saturated gate) returns
+// context.Cause(ctx) as soon as ctx is done, without having taken a slot.
+// Blocked time feeds the gate-wait histogram whether or not entry succeeds.
+// A nil ctx waits without bound, like Enter.
+func (g *Gate) EnterContext(ctx context.Context) error {
+	if ctx == nil {
+		g.Enter()
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	var start time.Time
+	if g.met != nil {
+		start = time.Now()
+	}
+	select {
+	case g.sem <- struct{}{}:
+		if g.met != nil {
+			g.met.GateWait.ObserveSince(start)
+		}
+		return nil
+	case <-ctx.Done():
+		if g.met != nil {
+			g.met.GateWait.ObserveSince(start)
+		}
+		return context.Cause(ctx)
+	}
+}
+
+// Leave releases the shared slot. It is deliberately unconditional — there is
+// no LeaveContext — because a held slot must always be returned or the gate
+// permanently loses capacity (and Exclusive eventually wedges).
 //
 //lint:ignore ctxflow releases a held slot: must complete or the gate leaks capacity
 func (g *Gate) Leave() { <-g.sem }
@@ -63,11 +101,37 @@ func (g *Gate) Leave() { <-g.sem }
 // Exclusive drains every slot (waiting out in-flight clients and blocking
 // new ones), runs f, then refills. The benchmark harness also uses this to
 // switch schema variants atomically with respect to client transactions.
-//
-//lint:ignore ctxflow statement-scoped gate entry: threading a context needs a session API (ROADMAP open item)
+// Cancellable callers should prefer ExclusiveContext.
 func (g *Gate) Exclusive(f func() error) error {
 	for i := 0; i < gateCapacity; i++ {
 		g.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < gateCapacity; i++ {
+			<-g.sem
+		}
+	}()
+	return f()
+}
+
+// ExclusiveContext is Exclusive bounded by a context: if ctx is done before
+// every slot is drained, the slots acquired so far are returned and
+// context.Cause(ctx) is reported without running f. Once the drain completes,
+// f runs to completion and the refill is unconditional (capacity can never
+// leak). A nil ctx behaves like Exclusive.
+func (g *Gate) ExclusiveContext(ctx context.Context, f func() error) error {
+	if ctx == nil {
+		return g.Exclusive(f)
+	}
+	for i := 0; i < gateCapacity; i++ {
+		select {
+		case g.sem <- struct{}{}:
+		case <-ctx.Done():
+			for j := 0; j < i; j++ {
+				<-g.sem
+			}
+			return context.Cause(ctx)
+		}
 	}
 	defer func() {
 		for i := 0; i < gateCapacity; i++ {
@@ -125,7 +189,9 @@ func MigrateEager(db *engine.DB, m *Migration, gate *Gate, onSwitched ...func())
 					return nil
 				})
 				if err != nil {
-					db.Abort(tx)
+					// The transform error unwinds to the caller; a lost abort
+					// record is advisory (see engine.DB.Abort) and counted.
+					_ = db.Abort(tx)
 					return err
 				}
 			}
@@ -133,7 +199,7 @@ func MigrateEager(db *engine.DB, m *Migration, gate *Gate, onSwitched ...func())
 			// group produced no joined output.
 			if stmt.Seed != nil {
 				if err := eagerSeed(db, tx, stmt, &res); err != nil {
-					db.Abort(tx)
+					_ = db.Abort(tx)
 					return err
 				}
 			}

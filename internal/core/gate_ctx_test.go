@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestGateEnterContextCancel: an EnterContext parked behind an exclusive
+// section returns the context's cause on cancel without consuming a slot,
+// and the gate keeps full capacity afterwards.
+func TestGateEnterContextCancel(t *testing.T) {
+	g := NewGate()
+	holding := make(chan struct{})
+	release := make(chan struct{})
+	exclDone := make(chan error, 1)
+	go func() {
+		exclDone <- g.Exclusive(func() error {
+			close(holding)
+			<-release
+			return nil
+		})
+	}()
+	<-holding
+
+	cause := errors.New("caller gave up")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	entered := make(chan error, 1)
+	go func() { entered <- g.EnterContext(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel(cause)
+	select {
+	case err := <-entered:
+		if !errors.Is(err, cause) {
+			t.Fatalf("cancelled EnterContext returned %v, want %v", err, cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled EnterContext never returned")
+	}
+
+	close(release)
+	if err := <-exclDone; err != nil {
+		t.Fatalf("Exclusive: %v", err)
+	}
+	// Full capacity survived the cancellation: a fresh exclusive drain (all
+	// slots) completes.
+	if err := g.Exclusive(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnterContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.Leave()
+}
+
+// TestGateExclusiveContextCancel: a cancelled exclusive drain returns every
+// slot it had acquired, so the gate's capacity is intact and a later drain
+// succeeds.
+func TestGateExclusiveContextCancel(t *testing.T) {
+	g := NewGate()
+	g.Enter() // one client keeps the drain from ever completing
+
+	cause := errors.New("migration abandoned")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	ran := false
+	exclDone := make(chan error, 1)
+	go func() {
+		exclDone <- g.ExclusiveContext(ctx, func() error {
+			ran = true
+			return nil
+		})
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel(cause)
+	select {
+	case err := <-exclDone:
+		if !errors.Is(err, cause) {
+			t.Fatalf("cancelled ExclusiveContext returned %v, want %v", err, cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled ExclusiveContext never returned")
+	}
+	if ran {
+		t.Fatal("f ran despite cancellation")
+	}
+
+	// The partial drain was rolled back: with the client gone, a full
+	// exclusive drain completes.
+	g.Leave()
+	if err := g.ExclusiveContext(context.Background(), func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateNilContextDelegation: nil contexts take the unbounded paths.
+func TestGateNilContextDelegation(t *testing.T) {
+	g := NewGate()
+	if err := g.EnterContext(nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Leave()
+	ran := false
+	if err := g.ExclusiveContext(nil, func() error { ran = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("f did not run")
+	}
+}

@@ -39,8 +39,14 @@ type MultiStep struct {
 
 // StartMultiStep registers the migration and immediately starts the copier
 // (the paper notes multi-step background threads start at migration time,
-// unlike BullFrog's delayed background process).
-func StartMultiStep(db *engine.DB, m *Migration) (*MultiStep, error) {
+// unlike BullFrog's delayed background process). ctx is the parent of the
+// migration's lifetime context — pass the DB's close context so Switch
+// drains die with the database; nil falls back to an unbounded root. Stop
+// still cancels the migration's own context either way.
+func StartMultiStep(ctx context.Context, db *engine.DB, m *Migration) (*MultiStep, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	shadow := *m
 	shadow.RetireInputs = nil // inputs stay live until the switch
 	shadow.DropInputsOnComplete = false
@@ -50,8 +56,7 @@ func StartMultiStep(db *engine.DB, m *Migration) (*MultiStep, error) {
 		return nil, err
 	}
 	ms := &MultiStep{ctrl: ctrl, mig: m}
-	//lint:ignore ctxflow migration-lifetime root: cancelled by MultiStep.Stop so Switch drains cannot outlive an abandoned migration
-	ms.ctx, ms.cancel = context.WithCancel(context.Background())
+	ms.ctx, ms.cancel = context.WithCancel(ctx)
 	ms.bg = NewBackground(ctrl, 0)
 	// The copier is paced by default: a real multi-step migration deliberately
 	// trickles the copy to bound its impact, which is also what makes its
@@ -245,7 +250,7 @@ func (ms *MultiStep) propagateGroup(rt *StmtRuntime, key []byte) error {
 // schemas" half of multi-step migration. Recomputations of the same granule
 // serialize on a lock-table key.
 func (ms *MultiStep) recomputeGranule(rt *StmtRuntime, g int64) error {
-	tx := rt.ctrl.beginMigTxn()
+	tx := rt.ctrl.beginMigTxn(ms.ctx)
 	defer func() {
 		if !tx.Done() {
 			rt.ctrl.abortMigTxn(tx)
@@ -270,7 +275,7 @@ func (ms *MultiStep) recomputeGranule(rt *StmtRuntime, g int64) error {
 }
 
 func (ms *MultiStep) recomputeGroup(rt *StmtRuntime, key []byte) error {
-	tx := rt.ctrl.beginMigTxn()
+	tx := rt.ctrl.beginMigTxn(ms.ctx)
 	defer func() {
 		if !tx.Done() {
 			rt.ctrl.abortMigTxn(tx)

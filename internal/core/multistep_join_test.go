@@ -36,7 +36,7 @@ func TestMultiStepPropagatesSecondaryTableWrites(t *testing.T) {
 		}},
 		RetireInputs: []string{"ol", "stock"},
 	}
-	ms, err := StartMultiStep(db, m)
+	ms, err := StartMultiStep(nil, db, m)
 	if err != nil {
 		t.Fatal(err)
 	}

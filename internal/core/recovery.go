@@ -51,7 +51,9 @@ func (c *Controller) Recover(readLog func() (io.Reader, error)) (engine.RecoverS
 	}
 	for _, rt := range c.Runtimes() {
 		if rt.bitmap != nil && rt.bitmap.Complete() {
-			c.markRuntimeComplete(rt)
+			if err := c.markRuntimeComplete(rt); err != nil {
+				return stats, err
+			}
 		}
 	}
 	return stats, nil

@@ -81,7 +81,7 @@ func TestSkipWaitCompetitorCompletes(t *testing.T) {
 	time.Sleep(20 * time.Millisecond)
 	// The holder completes the migration itself (simulate worker w2
 	// committing): transform + mark.
-	tx := ctrl.beginMigTxn()
+	tx := ctrl.beginMigTxn(nil)
 	rows, err := rt.fetchGranuleRows(tx, []int64{g})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// abortFailLog fails appends of abort records only, simulating a log device
+// that dies while a rollback is being recorded.
+type abortFailLog struct {
+	failAbort bool
+	err       error
+}
+
+func (f *abortFailLog) Append(rec wal.Record) error {
+	if f.failAbort && rec.Type == wal.RecAbort {
+		return f.err
+	}
+	return nil
+}
+
+func (f *abortFailLog) Flush() error { return nil }
+
+// TestAbortPropagatesWALError: Abort's append failure used to be silently
+// dropped. It must now surface to the caller AND increment the advisory
+// wal.abort_append_errors counter — while still rolling the transaction back
+// (recovery treats any transaction without a commit record as aborted, so
+// the lost record is advisory, not a correctness problem).
+func TestAbortPropagatesWALError(t *testing.T) {
+	log := &abortFailLog{err: errors.New("log device failed")}
+	db := New(Options{WAL: log})
+	mustExec(t, db, `CREATE TABLE t (id INT PRIMARY KEY, v INT)`)
+
+	log.failAbort = true
+	tx := db.Begin()
+	if _, err := db.ExecTx(tx, `INSERT INTO t VALUES (1, 10)`); err != nil {
+		t.Fatalf("staging insert: %v", err)
+	}
+	err := db.Abort(tx)
+	if err == nil {
+		t.Fatal("Abort with failing WAL returned nil")
+	}
+	if !errors.Is(err, log.err) {
+		t.Fatalf("Abort error %v does not wrap the WAL error", err)
+	}
+	if !tx.Done() {
+		t.Fatal("failed abort logging left the transaction open")
+	}
+	if n := db.Obs().WAL.AbortAppendErrors.Load(); n != 1 {
+		t.Fatalf("AbortAppendErrors = %d, want 1", n)
+	}
+	if got := db.Obs().Snapshot().WAL.AbortAppendErrors; got != 1 {
+		t.Fatalf("snapshot abort_append_errors = %d, want 1", got)
+	}
+
+	// The rollback itself happened: the staged row is invisible.
+	log.failAbort = false
+	res, err := db.Exec(`SELECT id FROM t`)
+	if err != nil {
+		t.Fatalf("read-back: %v", err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("aborted insert is visible: %d rows", len(res.Rows))
+	}
+
+	// A second Abort of a done transaction is a no-op: no error, no count.
+	if err := db.Abort(tx); err != nil {
+		t.Fatalf("Abort of done txn: %v", err)
+	}
+	if n := db.Obs().WAL.AbortAppendErrors.Load(); n != 1 {
+		t.Fatalf("AbortAppendErrors after no-op = %d, want 1", n)
+	}
+}

@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -117,14 +118,23 @@ func (db *DB) Commit(tx *txn.Txn) error {
 	return nil
 }
 
-// Abort rolls the transaction back, logging an abort record.
-func (db *DB) Abort(tx *txn.Txn) {
+// Abort rolls the transaction back, logging an abort record. The rollback
+// itself always happens; the returned error reports only a failed append of
+// the abort record. That failure is safe to tolerate — recovery treats any
+// transaction without a commit record as aborted — but it means the log
+// device is rejecting writes, so it is counted in wal.abort_append_errors
+// and surfaced for callers that can report it.
+func (db *DB) Abort(tx *txn.Txn) error {
 	if tx.Done() {
-		return
+		return nil
 	}
-	//lint:ignore errdrop abort records are advisory: recovery treats any txn without a commit record as aborted
-	db.log.Append(wal.Record{Type: wal.RecAbort, XID: tx.ID()})
+	var aerr error
+	if err := db.log.Append(wal.Record{Type: wal.RecAbort, XID: tx.ID()}); err != nil {
+		db.met.WAL.AbortAppendErrors.Inc()
+		aerr = fmt.Errorf("engine: logging abort: %w", err)
+	}
 	tx.Abort()
+	return aerr
 }
 
 // Result is the outcome of executing a statement.
@@ -150,7 +160,9 @@ func (db *DB) Exec(src string) (*Result, error) {
 		tx := db.Begin()
 		res, err := db.ExecStmt(tx, s)
 		if err != nil {
-			db.Abort(tx)
+			// The statement error is the caller's failure; a lost abort
+			// record is advisory (see Abort) and already counted.
+			_ = db.Abort(tx)
 			return nil, err
 		}
 		if err := db.Commit(tx); err != nil {
@@ -176,6 +188,17 @@ func (db *DB) ExecTx(tx *txn.Txn, src string) (*Result, error) {
 		last = res
 	}
 	return last, nil
+}
+
+// ExecStmtContext executes a parsed statement inside the transaction with
+// ctx bounding the statement's blocking waits: for the duration of the call
+// the transaction's statement context (txn.Txn.SetContext) is ctx, so a
+// cancelled statement stops waiting in the lock queue immediately and
+// returns the context's cause. A nil ctx behaves like ExecStmt.
+func (db *DB) ExecStmtContext(ctx context.Context, tx *txn.Txn, stmt sql.Statement) (*Result, error) {
+	prev := tx.SetContext(ctx)
+	defer tx.SetContext(prev)
+	return db.ExecStmt(tx, stmt)
 }
 
 // ExecStmt executes a parsed statement inside the transaction, recording

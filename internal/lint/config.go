@@ -51,9 +51,10 @@ var blockingFuncs = map[string]bool{
 	"internal/wal.Replay":        true,
 
 	// Tuple/key lock acquisition waits up to the lock timeout.
-	"internal/txn.Txn.Lock":          true,
-	"internal/txn.Txn.LockTimeout":   true,
-	"internal/txn.LockTable.Acquire": true,
+	"internal/txn.Txn.Lock":                 true,
+	"internal/txn.Txn.LockTimeout":          true,
+	"internal/txn.LockTable.Acquire":        true,
+	"internal/txn.LockTable.AcquireContext": true,
 }
 
 // blockingPkgPrefixes: any call into these package path prefixes is

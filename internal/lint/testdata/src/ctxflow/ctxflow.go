@@ -69,3 +69,76 @@ var neverCh chan struct{}
 func Forever() {
 	<-neverCh
 }
+
+// Gate mirrors the facade's client/migration gate: blocking entry points are
+// exempt because each has a <Name>Context sibling that selects on ctx.Done().
+type Gate struct {
+	sem chan struct{}
+}
+
+func (g *Gate) Enter() { // ok: EnterContext sibling exists
+	g.sem <- struct{}{}
+}
+
+func (g *Gate) EnterContext(ctx context.Context) error {
+	if ctx == nil {
+		g.Enter()
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+func (g *Gate) Exclusive(f func() error) error { // ok: ExclusiveContext sibling exists
+	for i := 0; i < cap(g.sem); i++ {
+		g.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(g.sem); i++ {
+			<-g.sem
+		}
+	}()
+	return f()
+}
+
+func (g *Gate) ExclusiveContext(ctx context.Context, f func() error) error {
+	for i := 0; i < cap(g.sem); i++ {
+		select {
+		case g.sem <- struct{}{}:
+		case <-ctx.Done():
+			for j := 0; j < i; j++ {
+				<-g.sem
+			}
+			return context.Cause(ctx)
+		}
+	}
+	defer func() {
+		for i := 0; i < cap(g.sem); i++ {
+			<-g.sem
+		}
+	}()
+	return f()
+}
+
+// AcquireContext is the lock-table shape: a context parameter bounds the
+// wait, so blocking directly in the body is fine without a sibling.
+func (g *Gate) AcquireContext(ctx context.Context, timeout time.Duration) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-t.C:
+		return context.DeadlineExceeded
+	case <-done:
+		return context.Cause(ctx)
+	}
+}

@@ -78,6 +78,11 @@ type WALMetrics struct {
 	Bytes Counter
 	// SyncLatency records Flush latency (ns); Count is the number of syncs.
 	SyncLatency Histogram
+	// AbortAppendErrors counts abort records that failed to append to the
+	// log. Recovery still treats the transaction as aborted (no commit
+	// record), so these are advisory losses — but a non-zero count means the
+	// log device is failing writes.
+	AbortAppendErrors Counter
 }
 
 // MigrationMetrics instruments BullFrog's lazy-migration machinery.
@@ -154,9 +159,10 @@ type TxnSnapshot struct {
 
 // WALSnapshot copies WALMetrics.
 type WALSnapshot struct {
-	Records     int64             `json:"records"`
-	Bytes       int64             `json:"bytes"`
-	SyncLatency HistogramSnapshot `json:"sync_latency"`
+	Records           int64             `json:"records"`
+	Bytes             int64             `json:"bytes"`
+	SyncLatency       HistogramSnapshot `json:"sync_latency"`
+	AbortAppendErrors int64             `json:"abort_append_errors"`
 }
 
 // MigrationSnapshot copies MigrationMetrics plus per-table progress gauges
@@ -221,9 +227,10 @@ func (s *Set) Snapshot() Snapshot {
 	}
 	if s.WAL != nil {
 		out.WAL = WALSnapshot{
-			Records:     s.WAL.Records.Load(),
-			Bytes:       s.WAL.Bytes.Load(),
-			SyncLatency: s.WAL.SyncLatency.Snapshot(),
+			Records:           s.WAL.Records.Load(),
+			Bytes:             s.WAL.Bytes.Load(),
+			SyncLatency:       s.WAL.SyncLatency.Snapshot(),
+			AbortAppendErrors: s.WAL.AbortAppendErrors.Load(),
 		}
 	}
 	if s.Migration != nil {

@@ -295,7 +295,7 @@ func TestMultiStepWindowWithWorkload(t *testing.T) {
 	db, w := newLoadedDB(t, scale)
 	r := rand.New(rand.NewSource(19))
 
-	ms, err := core.StartMultiStep(db, SplitMigration(SplitConstraints{}))
+	ms, err := core.StartMultiStep(nil, db, SplitMigration(SplitConstraints{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -54,6 +55,23 @@ func (lt *LockTable) shardFor(k LockKey) *lockShard {
 // Acquire obtains the exclusive lock for key on behalf of xid, waiting up to
 // timeout. Re-acquiring a lock already held by xid succeeds immediately.
 func (lt *LockTable) Acquire(xid uint64, key LockKey, timeout time.Duration) error {
+	return lt.AcquireContext(nil, xid, key, timeout)
+}
+
+// AcquireContext is Acquire bounded by a context: a waiter parked in the lock
+// queue wakes as soon as ctx is done and returns context.Cause(ctx) — not
+// ErrLockTimeout, so callers can tell cancellation from deadlock resolution.
+// A nil ctx waits with only the timeout bound. Cancellation never perturbs
+// the queue: a cancelled waiter held nothing, and the owner's release channel
+// still wakes every remaining waiter.
+func (lt *LockTable) AcquireContext(ctx context.Context, xid uint64, key LockKey, timeout time.Duration) error {
+	var done <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return context.Cause(ctx)
+		}
+		done = ctx.Done()
+	}
 	s := lt.shardFor(key)
 	var timer *time.Timer
 	defer func() {
@@ -83,6 +101,8 @@ func (lt *LockTable) Acquire(xid uint64, key LockKey, timeout time.Duration) err
 			// Owner released; loop and retry.
 		case <-timer.C:
 			return ErrLockTimeout
+		case <-done:
+			return context.Cause(ctx)
 		}
 	}
 }
@@ -136,6 +156,9 @@ func (t *Txn) Lock(key LockKey) error {
 
 // LockTimeout is Lock with an explicit wait bound. Contended acquisitions
 // feed the lock-wait histogram; the uncontended fast path records nothing.
+// The wait is additionally bounded by the transaction's statement context
+// (SetContext): a cancelled statement stops waiting in the lock queue
+// immediately, returning the context's cause.
 func (t *Txn) LockTimeout(key LockKey, timeout time.Duration) error {
 	if t.done {
 		return ErrTxnDone
@@ -145,10 +168,12 @@ func (t *Txn) LockTimeout(key LockKey, timeout time.Duration) error {
 		return nil
 	}
 	start := time.Now()
-	err := t.m.locks.Acquire(t.id, key, timeout)
+	err := t.m.locks.AcquireContext(t.ctx, t.id, key, timeout)
 	t.m.metrics.LockWait.ObserveSince(start)
 	if err != nil {
-		t.m.metrics.LockTimeouts.Inc()
+		if errors.Is(err, ErrLockTimeout) {
+			t.m.metrics.LockTimeouts.Inc()
+		}
 		return err
 	}
 	t.registerLock(key)

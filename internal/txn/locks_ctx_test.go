@@ -1,0 +1,130 @@
+package txn
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestAcquireContextCancelWakesWaiter parks a waiter in the lock queue behind
+// a held lock and cancels its context: the waiter must wake promptly with the
+// context's cause — not ErrLockTimeout — and the queue must stay consistent
+// (a later waiter still acquires once the owner releases).
+func TestAcquireContextCancelWakesWaiter(t *testing.T) {
+	lt := NewLockTable()
+	key := LockKey{Space: 1, A: 2, B: 3}
+	if err := lt.Acquire(1, key, time.Second); err != nil {
+		t.Fatalf("owner acquire: %v", err)
+	}
+
+	cause := errors.New("statement cancelled")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		// Generous timeout: the test fails fast only if cancellation wakes
+		// the waiter; a timeout return here means the ctx arm never fired.
+		errCh <- lt.AcquireContext(ctx, 2, key, 30*time.Second)
+	}()
+
+	// Let the waiter park, then cancel.
+	time.Sleep(20 * time.Millisecond)
+	cancel(cause)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, cause) {
+			t.Fatalf("cancelled waiter returned %v, want cause %v", err, cause)
+		}
+		if errors.Is(err, ErrLockTimeout) {
+			t.Fatalf("cancelled waiter returned ErrLockTimeout, want context cause")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not wake")
+	}
+
+	// The cancelled waiter held nothing: the owner still owns the lock, and
+	// a fresh waiter acquires as soon as the owner releases.
+	if got := lt.Owner(key); got != 1 {
+		t.Fatalf("owner after cancellation = %d, want 1", got)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- lt.Acquire(3, key, 5*time.Second)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	lt.Release(1, key)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("waiter after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter did not acquire after release")
+	}
+	if got := lt.Owner(key); got != 3 {
+		t.Fatalf("owner after handoff = %d, want 3", got)
+	}
+}
+
+// TestAcquireContextPreCancelled: a context that is already done fails fast
+// with its cause, before touching the queue.
+func TestAcquireContextPreCancelled(t *testing.T) {
+	lt := NewLockTable()
+	key := LockKey{Space: 1}
+	cause := errors.New("dead on arrival")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if err := lt.AcquireContext(ctx, 1, key, time.Second); !errors.Is(err, cause) {
+		t.Fatalf("pre-cancelled acquire returned %v, want %v", err, cause)
+	}
+	if got := lt.Owner(key); got != 0 {
+		t.Fatalf("pre-cancelled acquire took the lock (owner=%d)", got)
+	}
+}
+
+// TestAcquireNilContextStillTimesOut: the nil-context path keeps the old
+// deadlock-resolution semantics — ErrLockTimeout after the wait bound.
+func TestAcquireNilContextStillTimesOut(t *testing.T) {
+	lt := NewLockTable()
+	key := LockKey{Space: 7}
+	if err := lt.Acquire(1, key, time.Second); err != nil {
+		t.Fatalf("owner acquire: %v", err)
+	}
+	if err := lt.Acquire(2, key, 20*time.Millisecond); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("contended acquire returned %v, want ErrLockTimeout", err)
+	}
+}
+
+// TestTxnLockCancelNotCountedAsTimeout: a statement-context cancellation in
+// Txn.LockTimeout must return the cause and must not bump the LockTimeouts
+// deadlock counter.
+func TestTxnLockCancelNotCountedAsTimeout(t *testing.T) {
+	m := NewManager()
+	holder := m.Begin()
+	key := LockKey{Space: 9, A: 1}
+	if err := holder.Lock(key); err != nil {
+		t.Fatalf("holder lock: %v", err)
+	}
+
+	waiter := m.Begin()
+	cause := errors.New("query aborted by client")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	waiter.SetContext(ctx)
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- waiter.LockTimeout(key, 30*time.Second)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel(cause)
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, cause) {
+			t.Fatalf("cancelled LockTimeout returned %v, want %v", err, cause)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled LockTimeout did not return")
+	}
+	if n := m.Obs().LockTimeouts.Load(); n != 0 {
+		t.Fatalf("cancellation counted as lock timeout (LockTimeouts=%d)", n)
+	}
+}

@@ -9,6 +9,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -142,6 +143,12 @@ type Txn struct {
 	done    bool
 	aborted bool
 
+	// ctx is the statement context bounding this transaction's blocking waits
+	// (lock-queue parking in LockTimeout). nil means no cancellation bound.
+	// Set per statement by the engine's ExecStmtContext; because a Txn is
+	// single-goroutine by contract, no synchronization is needed.
+	ctx context.Context
+
 	lockKeys []LockKey
 	undo     []func() // run in reverse order on abort
 	onCommit []func() // run after the transaction becomes visible
@@ -168,6 +175,24 @@ func (t *Txn) Snapshot() Snapshot { return t.snap }
 
 // Manager returns the owning manager.
 func (t *Txn) Manager() *Manager { return t.m }
+
+// SetContext installs ctx as the transaction's statement context — the
+// cancellation bound for its blocking waits (see LockTimeout) — and returns
+// the previous one so callers can scope the context to a single statement:
+//
+//	prev := tx.SetContext(ctx)
+//	defer tx.SetContext(prev)
+//
+// A nil ctx removes the bound. Like every Txn method, it must only be called
+// from the transaction's own goroutine.
+func (t *Txn) SetContext(ctx context.Context) context.Context {
+	prev := t.ctx
+	t.ctx = ctx
+	return prev
+}
+
+// Context returns the transaction's statement context (nil when unbounded).
+func (t *Txn) Context() context.Context { return t.ctx }
 
 // Done reports whether the transaction has committed or aborted.
 func (t *Txn) Done() bool { return t.done }

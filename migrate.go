@@ -159,5 +159,7 @@ func (db *DB) MigrateEager(m *Migration) (core.EagerResult, error) {
 // writes, switch-over when caught up. The caller drives writes through
 // MultiStep.NoteWrite during the window and calls Switch at completion.
 func (db *DB) MigrateMultiStep(m *Migration) (*core.MultiStep, error) {
-	return core.StartMultiStep(db.eng, m)
+	// Parent the migration's lifetime on the close context so an in-flight
+	// Switch drain cannot outlive the database handle.
+	return core.StartMultiStep(db.closeCtx, db.eng, m)
 }
