@@ -35,10 +35,12 @@ fuzz:
 	$(GO) test -fuzz FuzzKeyEncodeOrder -fuzztime 10s ./internal/types
 
 # Figure experiments as testing.B benchmarks plus micro-benchmarks, then the
-# backfill worker-scaling figure with its JSON timeline (results/BENCH_backfill.json).
+# backfill worker-scaling figure and the migration-start-stall before/after
+# with their JSON timelines (results/BENCH_backfill.json, results/BENCH_catalog.json).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 	$(GO) run ./cmd/bullfrog-bench -fig backfill -json results
+	$(GO) run ./cmd/bullfrog-bench -fig catalog -json results
 
 # Regenerate every evaluation figure (quick profile; see -profile medium/full).
 figures:

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/core"
 	"github.com/bullfrogdb/bullfrog/internal/engine"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
@@ -182,7 +183,7 @@ func (db *DB) Exec(src string) (*Result, error) { return db.ExecContext(db.close
 // completion; cancellation never leaves a transaction open.
 func (db *DB) ExecContext(ctx context.Context, src string) (*Result, error) {
 	if db.closed.Load() {
-		return nil, ErrClosed
+		return nil, wrapErr("exec", "", ErrClosed)
 	}
 	if ctx == nil {
 		ctx = db.closeCtx
@@ -212,12 +213,14 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
 
 // execStmtGated runs one statement while holding a shared gate slot. The
 // release is deferred so a panic anywhere in the statement path cannot leak
-// gate capacity (a leaked slot is permanent and eventually wedges
-// Gate.Exclusive, i.e. every future eager migration).
+// gate capacity (a leaked slot is permanent and eventually wedges the rare
+// truly-exclusive operations — the eager baseline's swap and the multi-step
+// Switch; BullFrog's lazy migration start no longer drains the gate, it
+// installs a catalog version at a commit barrier).
 func (db *DB) execStmtGated(ctx context.Context, s sql.Statement) (*Result, error) {
 	if err := db.gate.EnterContext(ctx); err != nil {
 		if db.closed.Load() {
-			return nil, ErrClosed
+			return nil, wrapErr("exec", "", ErrClosed)
 		}
 		return nil, err
 	}
@@ -226,22 +229,38 @@ func (db *DB) execStmtGated(ctx context.Context, s sql.Statement) (*Result, erro
 }
 
 func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
-	if err := db.interceptStmt(ctx, s); err != nil {
-		return nil, err
+	// Optimistic interception: the retired checks and migration scoping run
+	// against the catalog version current at intercept time, then the
+	// transaction begins. If a migration installed a newer version in
+	// between, the snapshot pins a schema the intercept never saw — abort
+	// and re-intercept against the fresh version. One iteration in the
+	// steady state; the loop spins only while installs land mid-statement.
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		ver := db.eng.Catalog().Head()
+		if err := db.interceptStmt(ctx, ver, s); err != nil {
+			return nil, wrapErr("exec", "", err)
+		}
+		tx := db.eng.Begin()
+		if db.eng.CatalogAt(tx.Snapshot().Seq) != ver {
+			_ = db.eng.Abort(tx)
+			continue
+		}
+		res, err := db.eng.ExecStmtContext(ctx, tx, s)
+		if err != nil {
+			// The statement error is the caller's failure; a lost abort record
+			// is advisory (recovery treats any transaction without a commit
+			// record as aborted) and counted in wal.abort_append_errors.
+			_ = db.eng.Abort(tx)
+			return nil, wrapErr("exec", "", err)
+		}
+		if err := db.eng.Commit(tx); err != nil {
+			return nil, wrapErr("commit", "", err)
+		}
+		return res, nil
 	}
-	tx := db.eng.Begin()
-	res, err := db.eng.ExecStmtContext(ctx, tx, s)
-	if err != nil {
-		// The statement error is the caller's failure; a lost abort record
-		// is advisory (recovery treats any transaction without a commit
-		// record as aborted) and counted in wal.abort_append_errors.
-		_ = db.eng.Abort(tx)
-		return nil, err
-	}
-	if err := db.eng.Commit(tx); err != nil {
-		return nil, err
-	}
-	return res, nil
 }
 
 // interceptStmt is BullFrog's request interception (paper §2.1): reject
@@ -250,61 +269,68 @@ func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
 // handled exactly like SELECT — their WHERE drives a migration first, then
 // the original request runs on the new schema. INSERT needs no prior
 // migration here; constraint checks widen the scope via the engine hook.
-func (db *DB) interceptStmt(ctx context.Context, s sql.Statement) error {
+// All schema decisions (retired marks, view expansion) read ver, the catalog
+// version the caller's snapshot pins, never the moving head.
+func (db *DB) interceptStmt(ctx context.Context, ver *catalog.Version, s sql.Statement) error {
 	switch t := s.(type) {
 	case *sql.SelectStmt:
-		return db.interceptSelect(ctx, t)
+		return db.interceptSelect(ctx, ver, t)
 	case *sql.UpdateStmt:
-		if err := db.checkRetired(t.Table); err != nil {
+		if err := db.checkRetired(ver, t.Table); err != nil {
 			return err
 		}
 		return db.ctrl.EnsureForTableContext(ctx, t.Table, t.Alias, t.Where)
 	case *sql.DeleteStmt:
-		if err := db.checkRetired(t.Table); err != nil {
+		if err := db.checkRetired(ver, t.Table); err != nil {
 			return err
 		}
 		return db.ctrl.EnsureForTableContext(ctx, t.Table, t.Alias, t.Where)
 	case *sql.InsertStmt:
-		if err := db.checkRetired(t.Table); err != nil {
+		if err := db.checkRetired(ver, t.Table); err != nil {
 			return err
 		}
 		if t.Select != nil {
-			return db.interceptSelect(ctx, t.Select)
+			return db.interceptSelect(ctx, ver, t.Select)
 		}
 		return nil
 	case *sql.ExplainStmt:
-		return db.interceptStmt(ctx, t.Inner)
+		return db.interceptStmt(ctx, ver, t.Inner)
 	default:
 		return nil
 	}
 }
 
-func (db *DB) checkRetired(table string) error {
-	if db.ctrl.IsRetired(table) {
-		return fmt.Errorf("%w: %q", core.ErrRetiredTable, table)
+func (db *DB) checkRetired(ver *catalog.Version, table string) error {
+	if ver.Retired(table) {
+		return &Error{
+			Code:  CodeRetiredTable,
+			Op:    "exec",
+			Table: table,
+			Err:   fmt.Errorf("%w: %q", core.ErrRetiredTable, table),
+		}
 	}
 	return nil
 }
 
-func (db *DB) interceptSelect(ctx context.Context, s *sql.SelectStmt) error {
+func (db *DB) interceptSelect(ctx context.Context, ver *catalog.Version, s *sql.SelectStmt) error {
 	for _, ref := range s.From {
 		if ref.Subquery != nil {
-			if err := db.interceptSelect(ctx, ref.Subquery); err != nil {
+			if err := db.interceptSelect(ctx, ver, ref.Subquery); err != nil {
 				return err
 			}
 			continue
 		}
-		if err := db.checkRetired(ref.Name); err != nil {
+		if err := db.checkRetired(ver, ref.Name); err != nil {
 			return err
 		}
 		// Views expand to their defining query, which may reference tables
 		// under migration; recurse (without the outer WHERE — predicates
 		// over view outputs don't transpose here, so the view's base tables
 		// fall back to their full scope, the safe superset).
-		if db.eng.Catalog().HasView(ref.Name) {
-			if v, err := db.eng.Catalog().View(ref.Name); err == nil {
+		if ver.HasView(ref.Name) {
+			if v, err := ver.View(ref.Name); err == nil {
 				if def, ok := v.Def.(*sql.SelectStmt); ok {
-					if err := db.interceptSelect(ctx, def); err != nil {
+					if err := db.interceptSelect(ctx, ver, def); err != nil {
 						return err
 					}
 				}
@@ -349,14 +375,18 @@ func (t *Txn) ExecContext(ctx context.Context, src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A client transaction's snapshot is fixed at Begin, so the catalog
+	// version it resolves tables through is too — pin it once and intercept
+	// every statement against it.
+	ver := t.db.eng.CatalogAt(t.inner.Snapshot().Seq)
 	var last *Result = &Result{}
 	for _, s := range stmts {
-		if err := t.db.interceptStmt(ctx, s); err != nil {
-			return nil, err
+		if err := t.db.interceptStmt(ctx, ver, s); err != nil {
+			return nil, wrapErr("exec", "", err)
 		}
 		res, err := t.db.eng.ExecStmtContext(ctx, t.inner, s)
 		if err != nil {
-			return nil, err
+			return nil, wrapErr("exec", "", err)
 		}
 		last = res
 	}
@@ -370,7 +400,7 @@ func (t *Txn) Commit() error {
 	}
 	t.done = true
 	defer t.db.gate.Leave()
-	return t.db.eng.Commit(t.inner)
+	return wrapErr("commit", "", t.db.eng.Commit(t.inner))
 }
 
 // Abort rolls back and releases the gate. The rollback always happens; the
@@ -383,5 +413,5 @@ func (t *Txn) Abort() error {
 	}
 	t.done = true
 	defer t.db.gate.Leave()
-	return t.db.eng.Abort(t.inner)
+	return wrapErr("abort", "", t.db.eng.Abort(t.inner))
 }

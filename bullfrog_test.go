@@ -1,6 +1,7 @@
 package bullfrog
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -128,7 +129,7 @@ func TestMigrateWithBackgroundFinishes(t *testing.T) {
 	if err := db.Migrate(flewonInfoMigration(), MigrateOptions{BackgroundDelay: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.WaitForMigration(5 * time.Second); err != nil {
+	if err := awaitMigration(db, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	res, _ := db.Query(`SELECT COUNT(*) FROM flewoninfo`)
@@ -231,7 +232,7 @@ func TestOnConflictModeFacade(t *testing.T) {
 	if err := db.Migrate(m, MigrateOptions{BackgroundDelay: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.WaitForMigration(5 * time.Second); err != nil {
+	if err := awaitMigration(db, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	res, _ := db.Query(`SELECT COUNT(*) FROM dst`)
@@ -249,4 +250,11 @@ func TestExplainThroughFacade(t *testing.T) {
 	if !strings.Contains(res.Explain, "Index Scan") {
 		t.Errorf("explain:\n%s", res.Explain)
 	}
+}
+
+// awaitMigration bounds AwaitMigration with a timeout.
+func awaitMigration(db *DB, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return db.AwaitMigration(ctx)
 }

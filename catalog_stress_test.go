@@ -1,0 +1,170 @@
+package bullfrog_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+// pingPongMigration copies src to dst (retiring and dropping src), so the
+// stress test can flip the same pair of tables back and forth.
+func pingPongMigration(src, dst string) *bullfrog.Migration {
+	return &bullfrog.Migration{
+		Name:  "flip-" + src + "-" + dst,
+		Setup: `CREATE TABLE ` + dst + ` (a INT PRIMARY KEY, v INT)`,
+		Statements: []*bullfrog.Statement{{
+			Name: "copy", Driving: "x", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table:  dst,
+				Def:    bullfrog.MustQuery(`SELECT a, v FROM ` + src + ` x`),
+				KeyMap: map[string]string{"a": "a"},
+			}},
+		}},
+		RetireInputs:         []string{src},
+		DropInputsOnComplete: true,
+	}
+}
+
+// TestStressCoherentVersionUnderMigrations runs DML concurrently with
+// repeated migrations (with -race). Every successful statement must observe
+// exactly one coherent catalog version: a COUNT(*) over the migrating pair
+// returns either all N rows (post-flip, lazy migration completes the scope
+// before the query runs) or 0 (the output table exists from setup DDL but
+// the flip has not published yet) — never a partial count, which would mean
+// the statement mixed two versions. Failed statements must fail with a
+// recognized schema-lifecycle error, nothing else.
+func TestStressCoherentVersionUnderMigrations(t *testing.T) {
+	const rows = 40
+	const flips = 6
+
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+
+	var seed strings.Builder
+	seed.WriteString(`CREATE TABLE ta (a INT PRIMARY KEY, v INT);
+		CREATE TABLE stable (id INT PRIMARY KEY, w INT);
+		INSERT INTO ta VALUES `)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			seed.WriteString(", ")
+		}
+		fmt.Fprintf(&seed, "(%d, %d)", i, i*10)
+	}
+	if _, err := db.Exec(seed.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Readers hammer both names of the migrating pair.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				table := "ta"
+				if i%2 == 1 {
+					table = "tb"
+				}
+				res, err := db.Query(`SELECT COUNT(*) FROM ` + table)
+				if err != nil {
+					if !recognizedSchemaErr(err) {
+						t.Errorf("reader: unrecognized error: %v", err)
+						return
+					}
+					continue
+				}
+				if n := res.Rows[0][0].Int(); n != 0 && n != rows {
+					t.Errorf("incoherent count over %s: %d (want 0 or %d)", table, n, rows)
+					return
+				}
+			}
+		}()
+	}
+
+	// Writers stay on a table no migration touches; every insert must land.
+	var inserted atomic.Int64
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := w*1_000_000 + i
+				if _, err := db.Exec(fmt.Sprintf(`INSERT INTO stable VALUES (%d, %d)`, id, i)); err != nil {
+					t.Errorf("writer: %v", err)
+					return
+				}
+				inserted.Add(1)
+			}
+		}(w)
+	}
+
+	// Migrator: ping-pong ta -> tb -> ta -> ... while the readers run.
+	src, dst := "ta", "tb"
+	for f := 0; f < flips; f++ {
+		if err := db.Migrate(pingPongMigration(src, dst), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.FinishMigration(); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.ResetMigration(); err != nil {
+			t.Fatal(err)
+		}
+		src, dst = dst, src
+	}
+	close(stop)
+	wg.Wait()
+
+	// src now holds the data (dst of the last flip); the full count survived
+	// every flip, and the stable table kept every successful write.
+	res, err := db.Query(`SELECT COUNT(*) FROM ` + src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != rows {
+		t.Errorf("final count = %d, want %d", n, rows)
+	}
+	res, err = db.Query(`SELECT COUNT(*) FROM stable`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != inserted.Load() {
+		t.Errorf("stable count = %d, want %d", n, inserted.Load())
+	}
+
+	snap := db.Engine().Obs().Snapshot()
+	if snap.Catalog.VersionsLive < 1 {
+		t.Errorf("catalog.versions_live = %d, want >= 1", snap.Catalog.VersionsLive)
+	}
+}
+
+// recognizedSchemaErr accepts the errors a statement may legitimately hit
+// while its table is mid-lifecycle: retired by a flip (a structured error
+// carrying CodeRetiredTable) or already dropped.
+func recognizedSchemaErr(err error) bool {
+	if errors.Is(err, bullfrog.ErrRetiredTable) {
+		var fe *bullfrog.Error
+		if !errors.As(err, &fe) || fe.Code != bullfrog.CodeRetiredTable {
+			return false
+		}
+		return true
+	}
+	return strings.Contains(err.Error(), "does not exist")
+}

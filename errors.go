@@ -1,0 +1,122 @@
+package bullfrog
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
+)
+
+// Code classifies a facade error as a stable "package.name" identifier —
+// what a caller switches on instead of matching message text. The full table
+// (with the sentinel each code wraps) is documented in the README.
+type Code string
+
+// Error codes returned at the facade boundary.
+const (
+	// CodeGateClosed: the database handle is closed (ErrClosed).
+	CodeGateClosed Code = "gate.closed"
+	// CodeMigrateActive: a migration is already registered; Reset it first
+	// (core.ErrMigrationActive).
+	CodeMigrateActive Code = "migrate.active"
+	// CodeLockTimeout: a row/key lock wait expired — the deadlock-resolution
+	// signal; retry the transaction (txn.ErrLockTimeout).
+	CodeLockTimeout Code = "txn.lock_timeout"
+	// CodeSerialization: first-updater-wins write-write conflict; retry the
+	// transaction (txn.ErrSerialization).
+	CodeSerialization Code = "txn.serialization"
+	// CodeWALAppend: the redo log rejected an append or flush — durability is
+	// compromised (engine.ErrWALAppend).
+	CodeWALAppend Code = "wal.append"
+	// CodeVersionConflict: a catalog version install raced another at the
+	// same commit barrier (catalog.ErrVersionConflict).
+	CodeVersionConflict Code = "catalog.version_conflict"
+	// CodeRetiredTable: the statement touches a table retired by the big
+	// flip; reissue it against the new schema (core.ErrRetiredTable).
+	CodeRetiredTable Code = "catalog.retired"
+)
+
+// Sentinel errors re-exported so callers can errors.Is against facade errors
+// without importing internal packages. ErrClosed lives in bullfrog.go.
+var (
+	// ErrLockTimeout is the sentinel under CodeLockTimeout errors.
+	ErrLockTimeout = txn.ErrLockTimeout
+	// ErrSerialization is the sentinel under CodeSerialization errors.
+	ErrSerialization = txn.ErrSerialization
+	// ErrRetiredTable is the sentinel under CodeRetiredTable errors.
+	ErrRetiredTable = core.ErrRetiredTable
+	// ErrMigrationActive is the sentinel under CodeMigrateActive errors.
+	ErrMigrationActive = core.ErrMigrationActive
+	// ErrVersionConflict is the sentinel under CodeVersionConflict errors.
+	ErrVersionConflict = catalog.ErrVersionConflict
+	// ErrWALAppend is the sentinel under CodeWALAppend errors.
+	ErrWALAppend = engine.ErrWALAppend
+)
+
+// Error is the facade's structured error: a stable Code, the operation that
+// failed, the table involved when known, and the underlying cause. It
+// supports errors.Is/As through Unwrap, so both
+// errors.Is(err, bullfrog.ErrLockTimeout) and matching on
+// (*bullfrog.Error).Code work.
+type Error struct {
+	Code  Code
+	Op    string // facade operation: "exec", "commit", "migrate", ...
+	Table string // table involved, when known ("" otherwise)
+	Err   error
+}
+
+// Error renders "bullfrog: <op> [table]: [code] cause".
+func (e *Error) Error() string {
+	if e.Table != "" {
+		return fmt.Sprintf("bullfrog: %s %s: [%s] %v", e.Op, e.Table, e.Code, e.Err)
+	}
+	return fmt.Sprintf("bullfrog: %s: [%s] %v", e.Op, e.Code, e.Err)
+}
+
+// Unwrap exposes the cause for errors.Is/As chains.
+func (e *Error) Unwrap() error { return e.Err }
+
+// wrapErr classifies err against the code table and wraps it in *Error.
+// Errors outside the taxonomy (parse errors, constraint violations, plain
+// context cancellation, ...) pass through unchanged — a code promises
+// stability, so only deliberate mappings get one. Already-wrapped errors
+// pass through so codes assigned close to the failure (with a table name)
+// survive outer boundaries.
+func wrapErr(op, table string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return err
+	}
+	code, ok := codeFor(err)
+	if !ok {
+		return err
+	}
+	return &Error{Code: code, Op: op, Table: table, Err: err}
+}
+
+func codeFor(err error) (Code, bool) {
+	switch {
+	case errors.Is(err, ErrClosed):
+		return CodeGateClosed, true
+	case errors.Is(err, core.ErrMigrationActive):
+		return CodeMigrateActive, true
+	case errors.Is(err, txn.ErrLockTimeout):
+		return CodeLockTimeout, true
+	case errors.Is(err, txn.ErrSerialization):
+		return CodeSerialization, true
+	case errors.Is(err, engine.ErrWALAppend):
+		return CodeWALAppend, true
+	case errors.Is(err, catalog.ErrVersionConflict):
+		return CodeVersionConflict, true
+	case errors.Is(err, core.ErrRetiredTable):
+		return CodeRetiredTable, true
+	default:
+		return "", false
+	}
+}

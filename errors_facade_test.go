@@ -1,0 +1,136 @@
+package bullfrog_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+)
+
+// TestErrorCodes verifies the facade's structured-error contract: stable
+// codes, errors.Is against the re-exported sentinels, errors.As to *Error.
+func TestErrorCodes(t *testing.T) {
+	t.Run("gate.closed", func(t *testing.T) {
+		db := bullfrog.Open(bullfrog.Options{})
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, err := db.Exec(`SELECT 1`)
+		assertCode(t, err, bullfrog.CodeGateClosed, bullfrog.ErrClosed)
+		if _, err := db.MigrateContext(nil, &bullfrog.Migration{}, bullfrog.MigrateOptions{}); err == nil {
+			t.Error("migrate on closed db should fail")
+		} else {
+			assertCode(t, err, bullfrog.CodeGateClosed, bullfrog.ErrClosed)
+		}
+	})
+
+	t.Run("migrate.active", func(t *testing.T) {
+		db := bullfrog.Open(bullfrog.Options{})
+		defer db.Close()
+		if _, err := db.Exec(`CREATE TABLE src (a INT PRIMARY KEY); INSERT INTO src VALUES (1)`); err != nil {
+			t.Fatal(err)
+		}
+		m := func(name string) *bullfrog.Migration {
+			return &bullfrog.Migration{
+				Name:  name,
+				Setup: `CREATE TABLE dst_` + name + ` (a INT PRIMARY KEY)`,
+				Statements: []*bullfrog.Statement{{
+					Name: "s", Driving: "x", Category: bullfrog.OneToOne,
+					Outputs: []bullfrog.OutputSpec{{
+						Table:  "dst_" + name,
+						Def:    bullfrog.MustQuery(`SELECT a FROM src x`),
+						KeyMap: map[string]string{"a": "a"},
+					}},
+				}},
+			}
+		}
+		if err := db.Migrate(m("one"), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatal(err)
+		}
+		err := db.Migrate(m("two"), bullfrog.MigrateOptions{BackgroundDelay: -1})
+		assertCode(t, err, bullfrog.CodeMigrateActive, bullfrog.ErrMigrationActive)
+	})
+
+	t.Run("catalog.retired", func(t *testing.T) {
+		db := bullfrog.Open(bullfrog.Options{})
+		defer db.Close()
+		if _, err := db.Exec(`CREATE TABLE old (a INT PRIMARY KEY); INSERT INTO old VALUES (1)`); err != nil {
+			t.Fatal(err)
+		}
+		mig := &bullfrog.Migration{
+			Name:  "retire-old",
+			Setup: `CREATE TABLE fresh (a INT PRIMARY KEY)`,
+			Statements: []*bullfrog.Statement{{
+				Name: "s", Driving: "x", Category: bullfrog.OneToOne,
+				Outputs: []bullfrog.OutputSpec{{
+					Table:  "fresh",
+					Def:    bullfrog.MustQuery(`SELECT a FROM old x`),
+					KeyMap: map[string]string{"a": "a"},
+				}},
+			}},
+			RetireInputs: []string{"old"},
+		}
+		if err := db.Migrate(mig, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatal(err)
+		}
+		_, err := db.Exec(`SELECT * FROM old`)
+		assertCode(t, err, bullfrog.CodeRetiredTable, bullfrog.ErrRetiredTable)
+		var fe *bullfrog.Error
+		if errors.As(err, &fe) && fe.Table != "old" {
+			t.Errorf("Error.Table = %q, want old", fe.Table)
+		}
+	})
+
+	t.Run("txn.lock_timeout", func(t *testing.T) {
+		db := bullfrog.Open(bullfrog.Options{LockTimeout: 20 * time.Millisecond})
+		defer db.Close()
+		if _, err := db.Exec(`CREATE TABLE c (a INT PRIMARY KEY, v INT); INSERT INTO c VALUES (1, 1)`); err != nil {
+			t.Fatal(err)
+		}
+		t1 := db.Begin()
+		defer t1.Abort()
+		if _, err := t1.Exec(`UPDATE c SET v = 2 WHERE a = 1`); err != nil {
+			t.Fatal(err)
+		}
+		t2 := db.Begin()
+		defer t2.Abort()
+		_, err := t2.Exec(`UPDATE c SET v = 3 WHERE a = 1`)
+		assertCode(t, err, bullfrog.CodeLockTimeout, bullfrog.ErrLockTimeout)
+	})
+}
+
+// TestErrorRendering pins the message shape: "bullfrog: <op> <table>: [code] cause".
+func TestErrorRendering(t *testing.T) {
+	e := &bullfrog.Error{
+		Code:  bullfrog.CodeRetiredTable,
+		Op:    "exec",
+		Table: "flewon",
+		Err:   errors.New("boom"),
+	}
+	if got := e.Error(); got != "bullfrog: exec flewon: [catalog.retired] boom" {
+		t.Errorf("rendering = %q", got)
+	}
+	e.Table = ""
+	if got := e.Error(); !strings.HasPrefix(got, "bullfrog: exec: [catalog.retired]") {
+		t.Errorf("tableless rendering = %q", got)
+	}
+}
+
+func assertCode(t *testing.T, err error, code bullfrog.Code, sentinel error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	var fe *bullfrog.Error
+	if !errors.As(err, &fe) {
+		t.Fatalf("error %v (%T) is not a *bullfrog.Error", err, err)
+	}
+	if fe.Code != code {
+		t.Errorf("code = %q, want %q", fe.Code, code)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is(%v, %v) = false", err, sentinel)
+	}
+}

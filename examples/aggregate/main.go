@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -63,7 +64,7 @@ func main() {
 
 	// Background migration completes everything; verify against a fresh
 	// aggregation of the base table.
-	must0(db.WaitForMigration(5 * time.Second))
+	must0(awaitMigration(db, 5*time.Second))
 	live := must(db.Query(`SELECT COUNT(*) FROM order_totals`))
 	fresh := must(db.Query(`SELECT COUNT(*) FROM (SELECT w, o, SUM(amount) AS t FROM order_line GROUP BY w, o) AS g`))
 	fmt.Printf("migration complete: %v maintained totals, %v groups in the base table\n",
@@ -87,4 +88,11 @@ func must0(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// awaitMigration bounds AwaitMigration with a timeout.
+func awaitMigration(db *bullfrog.DB, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return db.AwaitMigration(ctx)
 }

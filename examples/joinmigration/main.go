@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -71,7 +72,7 @@ func main() {
 	res = must(db.Query(`SELECT s_qty FROM lines_stock WHERE i = 7`))
 	fmt.Printf("item 7 (never ordered) stock preserved via seed row: s_qty=%v\n", res.Rows[0][0])
 
-	must0(db.WaitForMigration(5 * time.Second))
+	must0(awaitMigration(db, 5*time.Second))
 	total := must(db.Query(`SELECT COUNT(*) FROM lines_stock`))
 	seeds := must(db.Query(`SELECT COUNT(*) FROM lines_stock WHERE o IS NULL`))
 	fmt.Printf("migration complete: %v rows total, %v of them seeds\n", total.Rows[0][0], seeds.Rows[0][0])
@@ -88,4 +89,11 @@ func must0(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// awaitMigration bounds AwaitMigration with a timeout.
+func awaitMigration(db *bullfrog.DB, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return db.AwaitMigration(ctx)
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -88,7 +89,7 @@ func main() {
 	fmt.Println("inserted a zero-passenger row (impossible pre-migration)")
 
 	// 6. Background migration finishes the rest.
-	must0(db.WaitForMigration(5 * time.Second))
+	must0(awaitMigration(db, 5*time.Second))
 	res = must(db.Query(`SELECT COUNT(*) FROM flewoninfo`))
 	fmt.Printf("migration complete; flewoninfo has %v rows\n", res.Rows[0][0])
 }
@@ -104,4 +105,11 @@ func must0(err error) {
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// awaitMigration bounds AwaitMigration with a timeout.
+func awaitMigration(db *bullfrog.DB, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return db.AwaitMigration(ctx)
 }

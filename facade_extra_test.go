@@ -1,6 +1,7 @@
 package bullfrog_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -58,7 +59,9 @@ func TestMigrationStatsFacade(t *testing.T) {
 	if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: 0}); err != nil {
 		t.Fatal(err)
 	}
-	if err := db.WaitForMigration(5 * time.Second); err != nil {
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer waitCancel()
+	if err := db.AwaitMigration(waitCtx); err != nil {
 		t.Fatal(err)
 	}
 	stats := db.MigrationStats()

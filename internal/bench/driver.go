@@ -40,6 +40,7 @@ type Driver struct {
 	buckets   []atomic.Int64
 	latMu     sync.Mutex
 	latencies []time.Duration
+	samples   []LatencySample
 	completed atomic.Int64
 	retries   atomic.Int64
 	errs      atomic.Int64
@@ -162,6 +163,7 @@ func (d *Driver) runOne(r *rand.Rand, req request) {
 		lat := done.Sub(req.enqueued)
 		d.latMu.Lock()
 		d.latencies = append(d.latencies, lat)
+		d.samples = append(d.samples, LatencySample{At: done.Sub(d.started), Lat: lat})
 		d.latMu.Unlock()
 	}
 }
@@ -190,9 +192,18 @@ func (d *Driver) Wait() *Metrics {
 	}
 	d.latMu.Lock()
 	m.Latencies = append([]time.Duration(nil), d.latencies...)
+	m.Samples = append([]LatencySample(nil), d.samples...)
 	d.latMu.Unlock()
 	sort.Slice(m.Latencies, func(i, j int) bool { return m.Latencies[i] < m.Latencies[j] })
 	return m
+}
+
+// LatencySample is one completed request's latency, stamped with its
+// completion time relative to the run start, so percentiles can be computed
+// over arbitrary windows (e.g. the seconds surrounding a migration start).
+type LatencySample struct {
+	At  time.Duration // completion time since run start
+	Lat time.Duration
 }
 
 // Metrics is a run's output.
@@ -200,6 +211,9 @@ type Metrics struct {
 	Interval  time.Duration
 	Series    []float64 // per-interval completed transactions/second
 	Latencies []time.Duration
+	// Samples preserves each latency with its completion timestamp (the
+	// Latencies slice is sorted for CDFs and loses ordering).
+	Samples   []LatencySample
 	Completed int64
 	Retries   int64
 	Errors    int64
@@ -213,6 +227,23 @@ func (m *Metrics) Percentile(p float64) time.Duration {
 	}
 	idx := int(p / 100 * float64(len(m.Latencies)-1))
 	return m.Latencies[idx]
+}
+
+// WindowPercentile returns the p-th latency percentile over requests that
+// completed in [from, to). It returns 0 when the window holds no samples.
+func (m *Metrics) WindowPercentile(from, to time.Duration, p float64) time.Duration {
+	var lats []time.Duration
+	for _, s := range m.Samples {
+		if s.At >= from && s.At < to {
+			lats = append(lats, s.Lat)
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p / 100 * float64(len(lats)-1))
+	return lats[idx]
 }
 
 // MeanTPS returns the average completed throughput over the run.

@@ -113,10 +113,15 @@ type Config struct {
 	MigrateAt    time.Duration
 	BGDelay      time.Duration
 	// BGWorkers sizes the background backfill pool (0 = runtime.NumCPU()).
-	BGWorkers   int
-	Granularity int64
+	BGWorkers    int
+	Granularity  int64
 	HotCustomers int
 	Sequential   bool // Figure 9 access pattern
+	// DrainAtStart reproduces the legacy migration start for BullFrog modes:
+	// the gate drains every in-flight transaction before the flip (the
+	// pre-versioned-catalog behavior). Off by default — the flip is a
+	// versioned-catalog install at a commit barrier, with no drain.
+	DrainAtStart bool
 	Constraints  tpcc.SplitConstraints
 	Mix          func(r *rand.Rand) tpcc.TxnType
 	Seed         int64
@@ -125,10 +130,14 @@ type Config struct {
 // Result is an experiment's outcome, with the timeline markers the paper's
 // figures annotate.
 type Result struct {
-	Config       Config
-	Metrics      *Metrics
-	Calibrated   float64       // measured capacity (0 when Rate was absolute)
-	MigStart     time.Duration // relative to run start
+	Config     Config
+	Metrics    *Metrics
+	Calibrated float64       // measured capacity (0 when Rate was absolute)
+	MigStart   time.Duration // relative to run start
+	// MigFlip is how long the logical switch itself took (for BullFrog
+	// modes: Controller.Start, including the gate drain when DrainAtStart) —
+	// the client-visible stall window at migration start.
+	MigFlip      time.Duration
 	MigEnd       time.Duration // zero if not finished in the window
 	BGStart      time.Duration // zero if none
 	RowsMigrated int64
@@ -254,14 +263,30 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.System == SysBullFrogNoTracking {
 			ctrl.SetTrackingDisabled(true)
 		}
-		err := gate.Exclusive(func() error {
+		startMig := func() error {
 			if err := ctrl.Start(mig); err != nil {
 				return err
 			}
 			w.SetController(ctrl)
 			w.SetVariant(cfg.Migration.variant())
 			return nil
-		})
+		}
+		var err error
+		flipStart := time.Now()
+		if cfg.DrainAtStart {
+			// Legacy behavior: drain all in-flight transactions first — the
+			// stall the versioned catalog removed. Kept for before/after
+			// comparison (FigureCatalog).
+			err = gate.Exclusive(startMig)
+		} else {
+			// The flip publishes via the commit barrier; in-flight
+			// transactions keep their pinned catalog version. The workload
+			// flips its variant right after, so a handful of old-variant
+			// transactions may hit retired tables — those are retryable
+			// rejections, not stalls.
+			err = startMig()
+		}
+		res.MigFlip = time.Since(flipStart)
 		if err != nil {
 			return nil, err
 		}

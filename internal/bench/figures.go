@@ -389,6 +389,21 @@ func Figure12(p Profile, frac float64, partial bool) (*FigureResult, error) {
 	return runAll(name, note, cfgs)
 }
 
+// FigureCatalog is the versioned-catalog before/after: the same BullFrog
+// table-split run with the legacy drain-at-start flip (gate drains every
+// in-flight transaction before the logical switch) versus the versioned
+// install (a pointer swap at the commit barrier). The comparison metric is
+// mig_window_p99_ms — the p99 latency in the two seconds after migration
+// start, where the drain's stall shows up.
+func FigureCatalog(p Profile, frac float64) (*FigureResult, error) {
+	drained := p.config(SysBullFrog, MigSplit, frac)
+	drained.DrainAtStart = true
+	versioned := p.config(SysBullFrog, MigSplit, frac)
+	return runAll("catalog",
+		fmt.Sprintf("migration-start stall: drained flip vs versioned install, rate=%.0f%%", frac*100),
+		[]Config{drained, versioned})
+}
+
 // --- formatters ---
 
 // labelFor renders the distinguishing parameters of a run within a figure.
@@ -404,6 +419,9 @@ func labelFor(r *Result) string {
 		// Worker-scaling runs compare migration kinds within one figure, so
 		// the kind is distinguishing there (elsewhere it's figure-constant).
 		parts = append(parts, r.Config.Migration.String(), fmt.Sprintf("bgw=%d", r.Config.BGWorkers))
+	}
+	if r.Config.DrainAtStart {
+		parts = append(parts, "drain=start")
 	}
 	if r.Config.Constraints.FKOrders {
 		parts = append(parts, "fk=district+orders")

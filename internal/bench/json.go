@@ -21,31 +21,40 @@ type jsonFigure struct {
 // function, so it cannot be marshalled directly; the fields that identify
 // and reproduce the run are copied out instead.
 type jsonRun struct {
-	Label        string          `json:"label"`
-	System       string          `json:"system"`
-	Migration    string          `json:"migration"`
-	RateTPS      float64         `json:"rate_tps"`
-	CalibratedTPS float64        `json:"calibrated_tps,omitempty"`
-	Workers      int             `json:"workers"`
-	DurationSec  float64         `json:"duration_sec"`
-	MigStartSec  float64         `json:"mig_start_sec"`
-	MigEndSec    float64         `json:"mig_end_sec,omitempty"` // 0 = unfinished
-	BGStartSec   float64         `json:"bg_start_sec,omitempty"`
-	BGWorkers    int             `json:"bg_workers,omitempty"`
-	RowsMigrated int64           `json:"rows_migrated"`
-	SkipWaits    int64           `json:"skip_waits"`
-	Completed    int64           `json:"completed"`
-	Retries      int64           `json:"retries"`
-	Errors       int64           `json:"errors"`
-	Dropped      int64           `json:"dropped"`
-	MeanTPS      float64         `json:"mean_tps"`
-	P50Ms        float64         `json:"p50_ms"`
-	P99Ms        float64         `json:"p99_ms"`
-	IntervalSec  float64         `json:"interval_sec"`
-	Series       []float64       `json:"series"`
-	Timeline     []TimelinePoint `json:"timeline"`
-	Obs          obs.Snapshot    `json:"obs"`
-	Err          string          `json:"err,omitempty"`
+	Label         string  `json:"label"`
+	System        string  `json:"system"`
+	Migration     string  `json:"migration"`
+	RateTPS       float64 `json:"rate_tps"`
+	CalibratedTPS float64 `json:"calibrated_tps,omitempty"`
+	Workers       int     `json:"workers"`
+	DurationSec   float64 `json:"duration_sec"`
+	MigStartSec   float64 `json:"mig_start_sec"`
+	MigEndSec     float64 `json:"mig_end_sec,omitempty"` // 0 = unfinished
+	BGStartSec    float64 `json:"bg_start_sec,omitempty"`
+	BGWorkers     int     `json:"bg_workers,omitempty"`
+	DrainAtStart  bool    `json:"drain_at_start,omitempty"`
+	// MigFlipMs is how long the logical switch took (gate drain + Start when
+	// drain_at_start, just Start otherwise) — the client-visible stall at
+	// migration start the versioned catalog removes.
+	MigFlipMs float64 `json:"mig_flip_ms,omitempty"`
+	// MigWindowP99Ms is the p99 latency over requests completing in the
+	// half second after the migration started — where the drained flip's
+	// stall surfaces (compare drain_at_start true vs false).
+	MigWindowP99Ms float64         `json:"mig_window_p99_ms,omitempty"`
+	RowsMigrated   int64           `json:"rows_migrated"`
+	SkipWaits      int64           `json:"skip_waits"`
+	Completed      int64           `json:"completed"`
+	Retries        int64           `json:"retries"`
+	Errors         int64           `json:"errors"`
+	Dropped        int64           `json:"dropped"`
+	MeanTPS        float64         `json:"mean_tps"`
+	P50Ms          float64         `json:"p50_ms"`
+	P99Ms          float64         `json:"p99_ms"`
+	IntervalSec    float64         `json:"interval_sec"`
+	Series         []float64       `json:"series"`
+	Timeline       []TimelinePoint `json:"timeline"`
+	Obs            obs.Snapshot    `json:"obs"`
+	Err            string          `json:"err,omitempty"`
 }
 
 // WriteJSON writes a figure's results — including each run's per-second
@@ -57,30 +66,33 @@ func WriteJSON(fr *FigureResult, dir string) (string, error) {
 	out := jsonFigure{Name: fr.Name, Note: fr.Note}
 	for _, r := range fr.Runs {
 		jr := jsonRun{
-			Label:         labelFor(r),
-			System:        r.Config.System.String(),
-			Migration:     r.Config.Migration.String(),
-			RateTPS:       r.Config.Rate,
-			CalibratedTPS: r.Calibrated,
-			Workers:       r.Config.Workers,
-			DurationSec:   r.Config.Duration.Seconds(),
-			MigStartSec:   r.MigStart.Seconds(),
-			MigEndSec:     r.MigEnd.Seconds(),
-			BGStartSec:    r.BGStart.Seconds(),
-			BGWorkers:     r.Config.BGWorkers,
-			RowsMigrated:  r.RowsMigrated,
-			SkipWaits:     r.SkipWaits,
-			Completed:     r.Metrics.Completed,
-			Retries:       r.Metrics.Retries,
-			Errors:        r.Metrics.Errors,
-			Dropped:       r.Metrics.Dropped,
-			MeanTPS:       r.Metrics.MeanTPS(),
-			P50Ms:         float64(r.Metrics.Percentile(50)) / float64(time.Millisecond),
-			P99Ms:         float64(r.Metrics.Percentile(99)) / float64(time.Millisecond),
-			IntervalSec:   r.Metrics.Interval.Seconds(),
-			Series:        r.Metrics.Series,
-			Timeline:      r.Timeline,
-			Obs:           r.Obs,
+			Label:          labelFor(r),
+			System:         r.Config.System.String(),
+			Migration:      r.Config.Migration.String(),
+			RateTPS:        r.Config.Rate,
+			CalibratedTPS:  r.Calibrated,
+			Workers:        r.Config.Workers,
+			DurationSec:    r.Config.Duration.Seconds(),
+			MigStartSec:    r.MigStart.Seconds(),
+			MigEndSec:      r.MigEnd.Seconds(),
+			BGStartSec:     r.BGStart.Seconds(),
+			BGWorkers:      r.Config.BGWorkers,
+			DrainAtStart:   r.Config.DrainAtStart,
+			MigFlipMs:      float64(r.MigFlip) / float64(time.Millisecond),
+			MigWindowP99Ms: float64(r.Metrics.WindowPercentile(r.MigStart, r.MigStart+500*time.Millisecond, 99)) / float64(time.Millisecond),
+			RowsMigrated:   r.RowsMigrated,
+			SkipWaits:      r.SkipWaits,
+			Completed:      r.Metrics.Completed,
+			Retries:        r.Metrics.Retries,
+			Errors:         r.Metrics.Errors,
+			Dropped:        r.Metrics.Dropped,
+			MeanTPS:        r.Metrics.MeanTPS(),
+			P50Ms:          float64(r.Metrics.Percentile(50)) / float64(time.Millisecond),
+			P99Ms:          float64(r.Metrics.Percentile(99)) / float64(time.Millisecond),
+			IntervalSec:    r.Metrics.Interval.Seconds(),
+			Series:         r.Metrics.Series,
+			Timeline:       r.Timeline,
+			Obs:            r.Obs,
 		}
 		if r.Err != nil {
 			jr.Err = r.Err.Error()

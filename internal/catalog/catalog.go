@@ -1,21 +1,43 @@
 // Package catalog maps names to database objects: tables (schema definition
-// + heap + indexes) and views. It also carries the "retired" flag BullFrog
-// sets on old-schema tables at the logical switch (the big flip, paper §2.1):
-// retired tables reject client requests but remain readable by migration
-// workers.
+// + heap + indexes) and views. It also carries the "retired" marks BullFrog
+// places on old-schema tables at the logical switch (the big flip, paper
+// §2.1): retired tables reject client requests but remain readable by
+// migration workers.
+//
+// The catalog is multi-versioned: it holds an immutable, copy-on-write chain
+// of Versions keyed by commit sequence (txn.Snapshot.Seq), so a statement
+// resolves names through the schema its snapshot pinned while a migration
+// installs the next schema with a single CAS — no stop-the-world drain
+// (VLDB'23 "Online Schema Evolution is (Almost) Free for Snapshot
+// Databases"). Two publication modes share the chain:
+//
+//   - Regular DDL (CREATE/DROP/RENAME/views) replaces the head in place at
+//     the head's own sequence: the change is immediately visible to every
+//     snapshot, matching the pre-versioned behaviour client code relies on.
+//   - Install extends the chain at a reserved commit sequence: snapshots
+//     taken before that sequence keep resolving the old version, snapshots
+//     taken at or after it see the new one.
 package catalog
 
 import (
+	"errors"
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"github.com/bullfrogdb/bullfrog/internal/index"
+	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/schema"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 )
+
+// ErrVersionConflict is returned by Install when the requested sequence is
+// not newer than the head version's — two installers raced for the same
+// commit barrier, or the barrier handshake was skipped.
+var ErrVersionConflict = errors.New("catalog: catalog version conflict")
 
 // Table binds a schema definition to its physical storage and indexes.
 type Table struct {
@@ -29,7 +51,9 @@ type Table struct {
 }
 
 // Retired reports whether the table belongs to a retired (pre-migration)
-// schema version.
+// schema version. This is the table-global flag used by the eager and
+// multi-step baselines, which swap schemas under the gate; the lazy path
+// retires per catalog version instead (see Version.Retired).
 func (t *Table) Retired() bool { return t.retired.Load() }
 
 // SetRetired marks or unmarks the table as retired.
@@ -111,143 +135,358 @@ type View struct {
 	Def     any
 }
 
-// Catalog is the mutable namespace of tables and views. All methods are safe
-// for concurrent use.
-type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
-	views  map[string]*View
-	nextID atomic.Uint64
+// Version is one immutable snapshot of the namespace. Its maps are frozen at
+// publication; only the prev link mutates afterwards (atomically, for GC).
+// Versions are ordered by seq along the prev chain, newest first.
+type Version struct {
+	id      uint64 // unique identity, for plan-cache keys (seq is NOT unique: in-place DDL keeps it)
+	seq     uint64 // first commit sequence at which this version is visible
+	tables  map[string]*Table
+	views   map[string]*View
+	retired map[string]bool
+	prev    atomic.Pointer[Version]
 }
 
-// New returns an empty catalog.
-func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Table), views: make(map[string]*View)}
-}
+// ID returns the version's unique identity. Unlike Seq it changes on every
+// publication (including in-place DDL), so it is the correct cache key for
+// anything derived from the namespace (e.g. compiled plans).
+func (v *Version) ID() uint64 { return v.id }
 
-func key(name string) string { return strings.ToLower(name) }
+// Seq returns the first commit sequence at which this version is visible.
+func (v *Version) Seq() uint64 { return v.seq }
 
-// CreateTable registers a new table with a fresh heap.
-func (c *Catalog) CreateTable(def *schema.Table, pageSize uint32) (*Table, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := key(def.Name)
-	if _, exists := c.tables[k]; exists {
-		return nil, fmt.Errorf("catalog: table %q already exists", def.Name)
-	}
-	if _, exists := c.views[k]; exists {
-		return nil, fmt.Errorf("catalog: %q already exists as a view", def.Name)
-	}
-	t := &Table{ID: c.nextID.Add(1), Def: def, Heap: storage.NewHeap(pageSize)}
-	c.tables[k] = t
-	return t, nil
-}
+// Prev returns the previous version in the chain, or nil.
+func (v *Version) Prev() *Version { return v.prev.Load() }
 
-// Table resolves a table by name.
-func (c *Catalog) Table(name string) (*Table, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.tables[key(name)]
+// Table resolves a table by name in this version.
+func (v *Version) Table(name string) (*Table, error) {
+	t, ok := v.tables[key(name)]
 	if !ok {
 		return nil, fmt.Errorf("catalog: relation %q does not exist", name)
 	}
 	return t, nil
 }
 
-// HasTable reports whether the named table exists.
-func (c *Catalog) HasTable(name string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	_, ok := c.tables[key(name)]
+// HasTable reports whether the named table exists in this version.
+func (v *Version) HasTable(name string) bool {
+	_, ok := v.tables[key(name)]
 	return ok
 }
 
-// DropTable removes a table.
-func (c *Catalog) DropTable(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := key(name)
-	if _, ok := c.tables[k]; !ok {
-		return fmt.Errorf("catalog: relation %q does not exist", name)
-	}
-	delete(c.tables, k)
-	return nil
-}
-
-// RenameTable renames a table; the schema definition's name is updated too.
-func (c *Catalog) RenameTable(oldName, newName string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ok, nk := key(oldName), key(newName)
-	t, exists := c.tables[ok]
-	if !exists {
-		return fmt.Errorf("catalog: relation %q does not exist", oldName)
-	}
-	if _, clash := c.tables[nk]; clash {
-		return fmt.Errorf("catalog: relation %q already exists", newName)
-	}
-	delete(c.tables, ok)
-	t.Def.Name = newName
-	c.tables[nk] = t
-	return nil
-}
-
-// TableNames lists table names, sorted.
-func (c *Catalog) TableNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	names := make([]string, 0, len(c.tables))
-	for _, t := range c.tables {
+// TableNames lists this version's table names, sorted.
+func (v *Version) TableNames() []string {
+	names := make([]string, 0, len(v.tables))
+	for _, t := range v.tables {
 		names = append(names, t.Def.Name)
 	}
 	sort.Strings(names)
 	return names
 }
 
-// CreateView registers a view.
-func (c *Catalog) CreateView(v *View) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	k := key(v.Name)
-	if _, exists := c.views[k]; exists {
-		return fmt.Errorf("catalog: view %q already exists", v.Name)
-	}
-	if _, exists := c.tables[k]; exists {
-		return fmt.Errorf("catalog: %q already exists as a table", v.Name)
-	}
-	c.views[k] = v
-	return nil
-}
-
-// View resolves a view by name.
-func (c *Catalog) View(name string) (*View, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	v, ok := c.views[key(name)]
+// View resolves a view by name in this version.
+func (v *Version) View(name string) (*View, error) {
+	vw, ok := v.views[key(name)]
 	if !ok {
 		return nil, fmt.Errorf("catalog: view %q does not exist", name)
 	}
-	return v, nil
+	return vw, nil
 }
 
-// HasView reports whether the named view exists.
-func (c *Catalog) HasView(name string) bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	_, ok := c.views[key(name)]
+// HasView reports whether the named view exists in this version.
+func (v *Version) HasView(name string) bool {
+	_, ok := v.views[key(name)]
 	return ok
 }
 
-// DropView removes a view.
-func (c *Catalog) DropView(name string) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// Retired reports whether the named table is retired as seen by this
+// version: either marked in the version (lazy big flip) or flagged on the
+// table itself (eager/multi-step swap, which is global by design — those
+// baselines drain in-flight work before flipping).
+func (v *Version) Retired(name string) bool {
 	k := key(name)
-	if _, ok := c.views[k]; !ok {
-		return fmt.Errorf("catalog: view %q does not exist", name)
+	if v.retired[k] {
+		return true
 	}
-	delete(c.views, k)
-	return nil
+	if t, ok := v.tables[k]; ok {
+		return t.retired.Load()
+	}
+	return false
+}
+
+// RetiredNames lists tables this version marks retired, sorted. Table-global
+// flags are not included.
+func (v *Version) RetiredNames() []string {
+	names := make([]string, 0, len(v.retired))
+	for k := range v.retired {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// clone copies v's namespace into a fresh unpublished version carrying a new
+// identity. The clone starts at the same seq with the same prev link;
+// publication decides whether to keep those (in-place DDL) or extend the
+// chain (Install).
+func (v *Version) clone(id uint64) *Version {
+	nv := &Version{
+		id:      id,
+		seq:     v.seq,
+		tables:  maps.Clone(v.tables),
+		views:   maps.Clone(v.views),
+		retired: maps.Clone(v.retired),
+	}
+	nv.prev.Store(v.prev.Load())
+	return nv
+}
+
+// chainLen counts versions reachable from v (v included).
+func (v *Version) chainLen() int {
+	n := 0
+	for ; v != nil; v = v.prev.Load() {
+		n++
+	}
+	return n
+}
+
+// Catalog is the namespace of tables and views, multi-versioned under MVCC.
+// All methods are safe for concurrent use. The mutating methods
+// (CreateTable, DropTable, views, ...) publish in place at the head's
+// sequence; Install publishes at a new sequence.
+type Catalog struct {
+	head    atomic.Pointer[Version]
+	nextID  atomic.Uint64 // table/index id space
+	nextVer atomic.Uint64 // version identity space
+	met     *obs.CatalogMetrics
+}
+
+// New returns a catalog with one empty version at sequence 0.
+func New() *Catalog {
+	c := &Catalog{}
+	v := &Version{
+		id:      c.nextVer.Add(1),
+		tables:  make(map[string]*Table),
+		views:   make(map[string]*View),
+		retired: make(map[string]bool),
+	}
+	c.head.Store(v)
+	return c
+}
+
+// SetObs attaches catalog metrics (live version chain length, install CAS
+// retries). Call before concurrent use.
+func (c *Catalog) SetObs(m *obs.CatalogMetrics) {
+	c.met = m
+	c.noteVersions()
+}
+
+func (c *Catalog) noteVersions() {
+	if c.met != nil {
+		c.met.VersionsLive.Set(int64(c.head.Load().chainLen()))
+	}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Head returns the newest version.
+func (c *Catalog) Head() *Version { return c.head.Load() }
+
+// At returns the version a snapshot at commit sequence seq resolves: the
+// newest version whose seq is <= the snapshot's. Versions older than the GC
+// horizon may have been pruned, in which case the oldest retained version is
+// returned (safe: pruning only runs below every live snapshot).
+func (c *Catalog) At(seq uint64) *Version {
+	v := c.head.Load()
+	for v.seq > seq {
+		p := v.prev.Load()
+		if p == nil {
+			return v
+		}
+		v = p
+	}
+	return v
+}
+
+// mutate copy-on-write-replaces the head in place: the change keeps the
+// head's sequence, so it is immediately visible to every snapshot (the
+// pre-versioned catalog's semantics, which regular DDL keeps). fn edits the
+// draft before publication; an error discards the draft.
+func (c *Catalog) mutate(fn func(*Version) error) error {
+	for {
+		cur := c.head.Load()
+		draft := cur.clone(c.nextVer.Add(1))
+		if err := fn(draft); err != nil {
+			return err
+		}
+		if c.head.CompareAndSwap(cur, draft) {
+			return nil
+		}
+	}
+}
+
+// Install publishes a new version at commit sequence seq with the named
+// tables marked retired, extending the chain: snapshots below seq keep the
+// old schema, snapshots at or after see the new one. It is BullFrog's big
+// flip (paper §2.1) reduced to a pointer swap — callers reserve seq through
+// the transaction manager's install barrier so no commit can interleave.
+// Fails with ErrVersionConflict if seq is not newer than the head's.
+func (c *Catalog) Install(seq uint64, retire []string) (*Version, error) {
+	for {
+		cur := c.head.Load()
+		if seq <= cur.seq {
+			return nil, fmt.Errorf("%w: install at seq %d but head is at seq %d", ErrVersionConflict, seq, cur.seq)
+		}
+		draft := cur.clone(c.nextVer.Add(1))
+		draft.seq = seq
+		draft.prev.Store(cur)
+		for _, name := range retire {
+			if _, ok := draft.tables[key(name)]; !ok {
+				return nil, fmt.Errorf("catalog: relation %q does not exist", name)
+			}
+			draft.retired[key(name)] = true
+		}
+		if c.head.CompareAndSwap(cur, draft) {
+			c.noteVersions()
+			return draft, nil
+		}
+		if c.met != nil {
+			c.met.InstallCASRetries.Inc()
+		}
+	}
+}
+
+// ClearRetired removes the named tables' retire marks from the head version
+// (in place: visible to every snapshot). Used when a migration completes
+// (inputs dropped) or is reset.
+func (c *Catalog) ClearRetired(names ...string) {
+	// The mutation cannot fail, so mutate's error is structurally nil.
+	_ = c.mutate(func(v *Version) error {
+		for _, n := range names {
+			delete(v.retired, key(n))
+		}
+		return nil
+	})
+}
+
+// Prune garbage-collects versions unreachable by any live snapshot: every
+// version strictly older than the newest version with seq <= horizon is cut
+// from the chain. Returns the number of versions pruned.
+func (c *Catalog) Prune(horizon uint64) int {
+	v := c.At(horizon)
+	n := 0
+	for p := v.prev.Load(); p != nil; p = p.prev.Load() {
+		n++
+	}
+	if n > 0 {
+		v.prev.Store(nil)
+		c.noteVersions()
+	}
+	return n
+}
+
+// VersionsLive returns the current chain length (head included).
+func (c *Catalog) VersionsLive() int { return c.head.Load().chainLen() }
+
+// CreateTable registers a new table with a fresh heap.
+func (c *Catalog) CreateTable(def *schema.Table, pageSize uint32) (*Table, error) {
+	t := &Table{ID: c.nextID.Add(1), Def: def, Heap: storage.NewHeap(pageSize)}
+	err := c.mutate(func(v *Version) error {
+		k := key(def.Name)
+		if _, exists := v.tables[k]; exists {
+			return fmt.Errorf("catalog: table %q already exists", def.Name)
+		}
+		if _, exists := v.views[k]; exists {
+			return fmt.Errorf("catalog: %q already exists as a view", def.Name)
+		}
+		v.tables[k] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Table resolves a table by name in the head version.
+func (c *Catalog) Table(name string) (*Table, error) { return c.head.Load().Table(name) }
+
+// HasTable reports whether the named table exists in the head version.
+func (c *Catalog) HasTable(name string) bool { return c.head.Load().HasTable(name) }
+
+// DropTable removes a table from the head version. Older versions still
+// resolve it, so pinned snapshots keep working; its retire mark (if any) is
+// cleared with it.
+func (c *Catalog) DropTable(name string) error {
+	return c.mutate(func(v *Version) error {
+		k := key(name)
+		if _, ok := v.tables[k]; !ok {
+			return fmt.Errorf("catalog: relation %q does not exist", name)
+		}
+		delete(v.tables, k)
+		delete(v.retired, k)
+		return nil
+	})
+}
+
+// RenameTable renames a table; the schema definition's name is updated too.
+// The definition object is shared across versions, so older versions resolve
+// the table under the old key but observe the new Def.Name (renames are not
+// schema-versioned; BullFrog models those as migrations).
+func (c *Catalog) RenameTable(oldName, newName string) error {
+	return c.mutate(func(v *Version) error {
+		ok, nk := key(oldName), key(newName)
+		t, exists := v.tables[ok]
+		if !exists {
+			return fmt.Errorf("catalog: relation %q does not exist", oldName)
+		}
+		if _, clash := v.tables[nk]; clash {
+			return fmt.Errorf("catalog: relation %q already exists", newName)
+		}
+		delete(v.tables, ok)
+		t.Def.Name = newName
+		v.tables[nk] = t
+		if v.retired[ok] {
+			delete(v.retired, ok)
+			v.retired[nk] = true
+		}
+		return nil
+	})
+}
+
+// TableNames lists the head version's table names, sorted.
+func (c *Catalog) TableNames() []string { return c.head.Load().TableNames() }
+
+// CreateView registers a view.
+func (c *Catalog) CreateView(vw *View) error {
+	return c.mutate(func(v *Version) error {
+		k := key(vw.Name)
+		if _, exists := v.views[k]; exists {
+			return fmt.Errorf("catalog: view %q already exists", vw.Name)
+		}
+		if _, exists := v.tables[k]; exists {
+			return fmt.Errorf("catalog: %q already exists as a table", vw.Name)
+		}
+		v.views[k] = vw
+		return nil
+	})
+}
+
+// View resolves a view by name in the head version.
+func (c *Catalog) View(name string) (*View, error) { return c.head.Load().View(name) }
+
+// HasView reports whether the named view exists in the head version.
+func (c *Catalog) HasView(name string) bool { return c.head.Load().HasView(name) }
+
+// DropView removes a view from the head version.
+func (c *Catalog) DropView(name string) error {
+	return c.mutate(func(v *Version) error {
+		k := key(name)
+		if _, ok := v.views[k]; !ok {
+			return fmt.Errorf("catalog: view %q does not exist", name)
+		}
+		delete(v.views, k)
+		return nil
+	})
 }
 
 // NextIndexID allocates a unique id for a new index (ids share the table id

@@ -1,0 +1,195 @@
+package catalog
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// TestVersionChainInstall: installs extend the chain at their barrier
+// sequence; At resolves the newest version at or below a snapshot sequence.
+func TestVersionChainInstall(t *testing.T) {
+	c := New()
+	c.CreateTable(def(t, "old"), 0)
+	c.CreateTable(def(t, "new"), 0)
+	base := c.Head()
+	if base.Seq() != 0 {
+		t.Fatalf("seed seq = %d", base.Seq())
+	}
+
+	v5, err := c.Install(5, []string{"old"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Head() != v5 || v5.Seq() != 5 {
+		t.Fatalf("head after install: seq=%d", c.Head().Seq())
+	}
+	// Snapshots below the barrier resolve the pre-install version; at or
+	// above it, the installed one.
+	for seq, want := range map[uint64]*Version{0: base, 4: base, 5: v5, 99: v5} {
+		if got := c.At(seq); got != want {
+			t.Errorf("At(%d) = seq %d, want seq %d", seq, got.Seq(), want.Seq())
+		}
+	}
+	if base.Retired("old") {
+		t.Error("pre-install version must not see the retire mark")
+	}
+	if !v5.Retired("old") || v5.Retired("new") {
+		t.Error("installed version retire marks wrong")
+	}
+	// Both versions still resolve the table itself (retired tables stay
+	// readable to migration transforms).
+	if _, err := v5.Table("old"); err != nil {
+		t.Errorf("retired table must still resolve: %v", err)
+	}
+}
+
+// TestInstallRejectsStaleSeq: an install at or below the head's sequence is
+// a version conflict, not a silent reorder.
+func TestInstallRejectsStaleSeq(t *testing.T) {
+	c := New()
+	c.CreateTable(def(t, "t"), 0)
+	if _, err := c.Install(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Install(3, nil); !errors.Is(err, ErrVersionConflict) {
+		t.Errorf("same-seq install: %v, want ErrVersionConflict", err)
+	}
+	if _, err := c.Install(2, nil); !errors.Is(err, ErrVersionConflict) {
+		t.Errorf("lower-seq install: %v, want ErrVersionConflict", err)
+	}
+	if _, err := c.Install(4, []string{"ghost"}); err == nil {
+		t.Error("retiring a missing table should fail")
+	}
+}
+
+// TestInPlaceDDLKeepsSeqChangesID: regular DDL replaces the head version at
+// the same sequence (immediate visibility, chain does not grow) but under a
+// fresh identity, so plan caches keyed by version id cannot serve stale
+// schema.
+func TestInPlaceDDLKeepsSeqChangesID(t *testing.T) {
+	c := New()
+	if _, err := c.Install(7, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := c.Head()
+	c.CreateTable(def(t, "t"), 0)
+	after := c.Head()
+	if after == before || after.ID() == before.ID() {
+		t.Error("in-place DDL must publish a new version identity")
+	}
+	if after.Seq() != before.Seq() {
+		t.Errorf("in-place DDL changed seq: %d -> %d", before.Seq(), after.Seq())
+	}
+	if after.Prev() != before.Prev() {
+		t.Error("in-place DDL must keep the chain tail")
+	}
+	// Chain entries below the head stay immutable: snapshots that predate
+	// the last install keep the schema they pinned.
+	if c.At(0).HasTable("t") {
+		t.Error("pre-install snapshots must not see later DDL")
+	}
+	if !c.At(7).HasTable("t") {
+		t.Error("snapshots at the head seq see in-place DDL immediately")
+	}
+}
+
+// TestClearRetiredAndDropMigratesMarks: marks follow rename, die with drop,
+// and ClearRetired reopens tables after a migration reset.
+func TestRetireMarkLifecycle(t *testing.T) {
+	c := New()
+	c.CreateTable(def(t, "a"), 0)
+	if _, err := c.Install(1, []string{"a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RenameTable("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Head().Retired("b") || c.Head().Retired("a") {
+		t.Error("retire mark must follow a rename")
+	}
+	c.ClearRetired("b")
+	if c.Head().Retired("b") {
+		t.Error("ClearRetired did not clear the mark")
+	}
+	if _, err := c.Install(2, []string{"b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("b"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Head().Retired("b") {
+		t.Error("drop must delete the retire mark")
+	}
+}
+
+// TestPrune: cutting the chain below the oldest live snapshot frees old
+// versions while every reachable sequence still resolves.
+func TestPrune(t *testing.T) {
+	c := New()
+	met := &obs.CatalogMetrics{}
+	c.SetObs(met)
+	for seq := uint64(1); seq <= 4; seq++ {
+		if _, err := c.Install(seq*10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.VersionsLive(); got != 5 {
+		t.Fatalf("versions live = %d, want 5", got)
+	}
+	c.Prune(25) // oldest active snapshot pins the seq-20 version
+	if got := c.VersionsLive(); got != 3 {
+		t.Errorf("versions live after prune = %d, want 3", got)
+	}
+	if met.VersionsLive.Load() != 3 {
+		t.Errorf("gauge = %d, want 3", met.VersionsLive.Load())
+	}
+	if got := c.At(25); got.Seq() != 20 {
+		t.Errorf("At(25) after prune = seq %d, want 20", got.Seq())
+	}
+	if got := c.At(0); got.Seq() != 20 {
+		t.Errorf("At below the pruned horizon must clamp to the oldest kept version, got seq %d", got.Seq())
+	}
+}
+
+// TestConcurrentDDLAndInstalls: COW mutation and installs race safely; the
+// CAS-retry counter records contention instead of losing updates.
+func TestConcurrentDDLAndInstalls(t *testing.T) {
+	c := New()
+	met := &obs.CatalogMetrics{}
+	c.SetObs(met)
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.CreateTable(def(t, "t"+itoa(i)), 0); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(c.TableNames()); got != n {
+		t.Errorf("tables = %d, want %d", got, n)
+	}
+	if got := c.VersionsLive(); got != 1 {
+		t.Errorf("in-place DDL must not grow the chain: %d versions", got)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

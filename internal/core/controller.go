@@ -25,6 +25,10 @@ import (
 // and all subsequent requests that access it are rejected").
 var ErrRetiredTable = errors.New("core: relation belongs to a retired schema version")
 
+// ErrMigrationActive is returned by Start when a migration is already
+// registered; Reset the completed one first (one evolution per deploy).
+var ErrMigrationActive = errors.New("core: a migration is already active")
+
 // Stats counts a statement runtime's migration activity.
 type Stats struct {
 	RowsMigrated int64 // rows inserted into output tables by migration
@@ -202,7 +206,7 @@ func (c *Controller) Start(m *Migration) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.mig != nil {
-		return fmt.Errorf("core: migration %q is already active", c.mig.Name)
+		return fmt.Errorf("%w: %q", ErrMigrationActive, c.mig.Name)
 	}
 	if m.Setup != "" {
 		if _, err := c.db.Exec(m.Setup); err != nil {
@@ -232,12 +236,15 @@ func (c *Controller) Start(m *Migration) error {
 		}
 	}
 	if !c.shadow {
+		// The big flip (paper §2.1) as a catalog version install: a new
+		// version marking the inputs retired is published with a CAS at a
+		// reserved commit sequence, so in-flight statements keep the schema
+		// their snapshot pinned and nothing drains. (The eager and multi-step
+		// baselines still flip under the gate; see eager.go.)
+		if _, err := c.db.InstallCatalogVersion(m.Name, m.RetireInputs); err != nil {
+			return fmt.Errorf("core: installing catalog version: %w", err)
+		}
 		for _, name := range m.RetireInputs {
-			tbl, err := c.db.Catalog().Table(name)
-			if err != nil {
-				return err
-			}
-			tbl.SetRetired(true)
 			c.retired[norm(name)] = true
 		}
 	}
@@ -384,6 +391,9 @@ func (c *Controller) Reset() error {
 		return nil
 	}
 	c.db.SetMigrationHook(nil)
+	// Un-retire any inputs the flip's catalog install marked (inputs already
+	// dropped at completion carry no mark; ClearRetired ignores them).
+	c.db.Catalog().ClearRetired(c.mig.RetireInputs...)
 	c.mig = nil
 	c.runtimes = nil
 	c.byOutput = map[string]*StmtRuntime{}
@@ -479,6 +489,7 @@ func (c *Controller) markRuntimeComplete(rt *StmtRuntime) error {
 	var err error
 	if c.mig != nil && c.mig.DropInputsOnComplete {
 		for _, name := range c.mig.RetireInputs {
+			// DropTable clears the head version's retire mark with the table.
 			if derr := c.db.Catalog().DropTable(name); derr != nil {
 				err = errors.Join(err, fmt.Errorf("core: end-of-migration drop of %q: %w", name, derr))
 			}

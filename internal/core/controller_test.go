@@ -499,9 +499,18 @@ func TestRetiredAndDoubleStart(t *testing.T) {
 	if !ctrl.IsRetired("CUST") || ctrl.IsRetired("cust_private") {
 		t.Error("retired flags wrong")
 	}
+	// The lazy flip marks retirement on the installed catalog version, not on
+	// the table itself: older snapshots must keep seeing the pre-flip schema.
+	head := db.Catalog().Head()
+	if !head.Retired("cust") {
+		t.Error("head version should mark cust retired")
+	}
 	tbl, _ := db.Catalog().Table("cust")
-	if !tbl.Retired() {
-		t.Error("catalog retired flag not set")
+	if tbl.Retired() {
+		t.Error("table-global retired flag must stay clear on the lazy path")
+	}
+	if db.CatalogAt(0).Retired("cust") {
+		t.Error("pre-install version must not see cust retired")
 	}
 }
 

@@ -12,14 +12,15 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/types"
 )
 
-// Gate serializes eager migration against client transactions. Clients hold
-// the shared side for the duration of each transaction; an eager migration
-// takes the exclusive side, which is what produces the paper's downtime
-// window (Figures 3, 5, 7: throughput drops to near zero under eager
-// migration while queued requests wait).
-//
-// The gate is deliberately external to the engine: BullFrog never takes the
-// exclusive side, so lazy migration has no such stall point.
+// Gate serializes truly-exclusive operations against client transactions.
+// Clients hold the shared side for the duration of each transaction; the
+// exclusive side is taken only by operations that must observe zero in-flight
+// work: the eager baseline's transform-and-swap (which is what produces the
+// paper's downtime window — Figures 3, 5, 7: throughput drops to near zero
+// while queued requests wait), the multi-step baseline's final Switch, and
+// DB.Close. BullFrog's lazy migration never takes the exclusive side: its big
+// flip is a versioned-catalog install at a commit barrier
+// (engine.DB.InstallCatalogVersion), so migration start has no stall point.
 type Gate struct {
 	sem chan struct{}
 	met *obs.MigrationMetrics // nil = wait time not recorded
@@ -154,12 +155,20 @@ type EagerResult struct {
 // section after the data moved (the harness flips its workload variant
 // there, before any queued client can run).
 func MigrateEager(db *engine.DB, m *Migration, gate *Gate, onSwitched ...func()) (EagerResult, error) {
+	return MigrateEagerContext(nil, db, m, gate, onSwitched...)
+}
+
+// MigrateEagerContext is MigrateEager bounded by a context: a caller parked
+// behind the gate drain gives up (with context.Cause) when ctx is done before
+// the exclusive section is entered; once entered, the migration runs to
+// completion. A nil ctx waits without bound.
+func MigrateEagerContext(ctx context.Context, db *engine.DB, m *Migration, gate *Gate, onSwitched ...func()) (EagerResult, error) {
 	if err := m.Validate(); err != nil {
 		return EagerResult{}, err
 	}
 	var res EagerResult
 	start := time.Now()
-	err := gate.Exclusive(func() error {
+	err := gate.ExclusiveContext(ctx, func() error {
 		if m.Setup != "" {
 			if _, err := db.Exec(m.Setup); err != nil {
 				return fmt.Errorf("core: eager setup: %w", err)

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// chainFixtureSpecs returns two sequential migration specs: m1 copies t0 to
+// t1, m2 copies t1 to t2. Inputs are retired but kept (no drop), so replay
+// of a multi-migration log finds every table it needs.
+func chainFixtureSpecs() (*Migration, *Migration) {
+	m1 := &Migration{
+		Name:  "m1",
+		Setup: `CREATE TABLE t1 (a INT PRIMARY KEY, v INT)`,
+		Statements: []*Statement{{
+			Name: "s1", Driving: "x", Category: OneToOne,
+			Outputs: []OutputSpec{{
+				Table: "t1", Def: mustParseSelect(`SELECT a, v FROM t0 x`),
+				KeyMap: map[string]string{"a": "a"},
+			}},
+		}},
+		RetireInputs: []string{"t0"},
+	}
+	m2 := &Migration{
+		Name:  "m2",
+		Setup: `CREATE TABLE t2 (a INT PRIMARY KEY, v INT)`,
+		Statements: []*Statement{{
+			Name: "s2", Driving: "x", Category: OneToOne,
+			Outputs: []OutputSpec{{
+				Table: "t2", Def: mustParseSelect(`SELECT a, v FROM t1 x`),
+				KeyMap: map[string]string{"a": "a"},
+			}},
+		}},
+		RetireInputs: []string{"t1"},
+	}
+	return m1, m2
+}
+
+// installMarkers pre-scans a redo log for catalog-install markers — the
+// recovery bootstrap: the marker list tells the restarted process which
+// migration scripts to re-run (all of them) and which migration was active
+// at the crash (the last one).
+func installMarkers(t *testing.T, logBytes []byte) []string {
+	t.Helper()
+	var installs []string
+	err := wal.Replay(bytes.NewReader(logBytes), func(rec wal.Record) error {
+		if rec.Type == wal.RecInstall {
+			installs = append(installs, rec.Table)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return installs
+}
+
+// TestRecoveryRebuildsActiveVersion is the §3.5 story across two catalog
+// installs: migration m1 ran to completion, m2 started and migrated part of
+// its data, then the process died. Depending on where the log was cut
+// (before m2's install marker, after it, or after some of m2's migration
+// records), the restarted process must identify the correct active migration
+// from the install markers and rebuild the matching catalog version and
+// tracker state.
+func TestRecoveryRebuildsActiveVersion(t *testing.T) {
+	var logBuf bytes.Buffer
+	logWriter := wal.NewWriter(&logBuf)
+	db := engine.New(engine.Options{WAL: logWriter})
+	m1, m2 := chainFixtureSpecs()
+
+	mustExec(t, db, `CREATE TABLE t0 (a INT PRIMARY KEY, v INT)`)
+	for i := 1; i <= 10; i++ {
+		mustExec(t, db, `INSERT INTO t0 VALUES (`+itoa(i)+`, `+itoa(i*100)+`)`)
+	}
+
+	ctrl := NewController(db, DetectEarly)
+	if err := ctrl.Start(m1); err != nil {
+		t.Fatal(err)
+	}
+	bg := NewBackground(ctrl, 0)
+	bg.Start()
+	bg.Wait()
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if err := logWriter.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cutBeforeInstall := logBuf.Len() // crash point: m2 never flipped
+
+	if err := ctrl.Start(m2); err != nil {
+		t.Fatal(err)
+	}
+	cutAfterInstall := logBuf.Len() // crash point: flip published, no data moved
+	for _, id := range []int{2, 5, 7} {
+		if err := ctrl.EnsureMigrated("t2", parsePred(t, `a = `+itoa(id))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := logWriter.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	logBytes := append([]byte(nil), logBuf.Bytes()...)
+
+	// recover boots a fresh process from a log prefix: re-run the schema
+	// script, re-run every completed migration's setup, Start the active
+	// one, replay. Returns the recovered db and its controller.
+	recover := func(t *testing.T, prefix []byte) (*engine.DB, *Controller, engine.RecoverStats) {
+		t.Helper()
+		installs := installMarkers(t, prefix)
+		db2 := engine.New(engine.Options{})
+		mustExec(t, db2, `CREATE TABLE t0 (a INT PRIMARY KEY, v INT)`)
+		specs := map[string]*Migration{"m1": m1, "m2": m2}
+		for _, name := range installs[:len(installs)-1] {
+			// Completed migrations: their setup DDL must exist for replay;
+			// their data comes back from the log itself.
+			mustExec(t, db2, specs[name].Setup)
+		}
+		active := specs[installs[len(installs)-1]]
+		ctrl2 := NewController(db2, DetectEarly)
+		if err := ctrl2.Start(active); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := ctrl2.Recover(func() (io.Reader, error) {
+			return bytes.NewReader(prefix), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := len(stats.Installs); got != len(installs) {
+			t.Errorf("stats.Installs = %v, want %d markers", stats.Installs, len(installs))
+		}
+		return db2, ctrl2, stats
+	}
+
+	t.Run("cut-before-second-install", func(t *testing.T) {
+		db2, ctrl2, _ := recover(t, logBytes[:cutBeforeInstall])
+		// m1 was the last (and only) install; its data replays in full, so
+		// recovery finds the trackers complete.
+		if !ctrl2.Complete() {
+			t.Error("m1 should recover as complete")
+		}
+		head := db2.Catalog().Head()
+		if !head.Retired("t0") {
+			t.Error("head must retire t0 (m1's input)")
+		}
+		if head.Retired("t1") {
+			t.Error("t1 must not be retired before m2's install")
+		}
+		if n := mustSelect(t, db2, `SELECT COUNT(*) FROM t1`)[0][0].Int(); n != 10 {
+			t.Errorf("t1 rows = %d, want 10", n)
+		}
+	})
+
+	t.Run("cut-after-second-install", func(t *testing.T) {
+		db2, ctrl2, stats := recover(t, logBytes[:cutAfterInstall])
+		// The flip was published (marker flushed before the version install),
+		// so recovery must rebuild m2 as active with an empty tracker.
+		if stats.Migrated != 10 {
+			t.Errorf("replayed migration records = %d, want 10 (m1's)", stats.Migrated)
+		}
+		head := db2.Catalog().Head()
+		if !head.Retired("t1") {
+			t.Error("head must retire t1 (m2's input)")
+		}
+		rt := ctrl2.RuntimeFor("t2")
+		if rt == nil {
+			t.Fatal("m2 runtime missing")
+		}
+		if got := rt.Stats().RowsMigrated; got != 0 {
+			t.Errorf("m2 rows migrated = %d, want 0", got)
+		}
+		bg := NewBackground(ctrl2, 0)
+		bg.Start()
+		bg.Wait()
+		if err := bg.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n := mustSelect(t, db2, `SELECT COUNT(*) FROM t2`)[0][0].Int(); n != 10 {
+			t.Errorf("t2 rows = %d, want 10", n)
+		}
+	})
+
+	t.Run("cut-after-partial-work", func(t *testing.T) {
+		db2, ctrl2, _ := recover(t, logBytes)
+		head := db2.Catalog().Head()
+		if !head.Retired("t1") {
+			t.Error("head must retire t1 (m2's input)")
+		}
+		// m2's three lazily-migrated tuples are restored exactly once:
+		// completing the migration with ConflictError inserts would fail
+		// loudly on any duplicate.
+		if n := mustSelect(t, db2, `SELECT COUNT(*) FROM t2`)[0][0].Int(); n != 3 {
+			t.Errorf("t2 rows after replay = %d, want 3", n)
+		}
+		bg := NewBackground(ctrl2, 0)
+		bg.Start()
+		bg.Wait()
+		if err := bg.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if n := mustSelect(t, db2, `SELECT COUNT(*) FROM t2`)[0][0].Int(); n != 10 {
+			t.Errorf("t2 rows after completion = %d, want 10", n)
+		}
+	})
+}

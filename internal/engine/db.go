@@ -7,6 +7,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -32,6 +33,11 @@ type Options struct {
 	// WAL receives redo records; nil disables logging.
 	WAL wal.Logger
 }
+
+// ErrWALAppend marks failures to append or flush redo-log records — the
+// durability path is rejecting writes. It is wrapped alongside the
+// underlying I/O error so both survive errors.Is.
+var ErrWALAppend = errors.New("engine: WAL append failed")
 
 // MigrationHook lets BullFrog's controller intercept engine operations that
 // may require lazy migration before they can proceed:
@@ -70,9 +76,12 @@ func New(opts Options) *DB {
 		Txn:       tm.Obs(),
 		WAL:       &obs.WALMetrics{},
 		Migration: &obs.MigrationMetrics{},
+		Catalog:   &obs.CatalogMetrics{},
 	}
 	log = wal.Instrument(log, set.WAL)
-	return &DB{cat: catalog.New(), tm: tm, opts: opts, log: log, met: set, plans: newPlanCache()}
+	cat := catalog.New()
+	cat.SetObs(set.Catalog)
+	return &DB{cat: cat, tm: tm, opts: opts, log: log, met: set, plans: newPlanCache()}
 }
 
 // Obs returns the database's metrics set. Never nil; every sub-struct is
@@ -85,6 +94,38 @@ func (db *DB) Catalog() *catalog.Catalog { return db.cat }
 
 // TxnManager exposes the transaction manager.
 func (db *DB) TxnManager() *txn.Manager { return db.tm }
+
+// CatalogAt returns the catalog version pinned by a snapshot at commit
+// sequence seq (see catalog.Catalog.At).
+func (db *DB) CatalogAt(seq uint64) *catalog.Version { return db.cat.At(seq) }
+
+// catForTxn returns the catalog version the transaction's snapshot pinned —
+// the schema every statement in the transaction resolves names against, so a
+// migration installing a newer version mid-transaction cannot tear a
+// statement across schemas.
+func (db *DB) catForTxn(tx *txn.Txn) *catalog.Version {
+	return db.cat.At(tx.Snapshot().Seq)
+}
+
+// InstallCatalogVersion publishes a new catalog version that marks the named
+// tables retired, at a commit sequence reserved through the transaction
+// manager's install barrier — BullFrog's big flip as a CAS instead of a
+// stop-the-world drain. The install marker is logged and flushed before the
+// barrier so a failing log device aborts the flip with nothing published; a
+// crash after the marker but before the install is safe because trackers are
+// rebuilt by re-running the migration's Start on recovery (§3.5).
+func (db *DB) InstallCatalogVersion(name string, retire []string) (uint64, error) {
+	if err := db.log.Append(wal.Record{Type: wal.RecInstall, Table: name}); err != nil {
+		return 0, fmt.Errorf("engine: logging catalog install: %w: %w", ErrWALAppend, err)
+	}
+	if err := db.log.Flush(); err != nil {
+		return 0, fmt.Errorf("engine: flushing catalog install: %w: %w", ErrWALAppend, err)
+	}
+	return db.tm.InstallBarrier(func(seq uint64) error {
+		_, err := db.cat.Install(seq, retire)
+		return err
+	})
+}
 
 // WAL exposes the redo logger.
 func (db *DB) WAL() wal.Logger { return db.log }
@@ -105,11 +146,11 @@ func (db *DB) Commit(tx *txn.Txn) error {
 	start := time.Now()
 	if err := db.log.Append(wal.Record{Type: wal.RecCommit, XID: tx.ID()}); err != nil {
 		tx.Abort()
-		return fmt.Errorf("engine: logging commit: %w", err)
+		return fmt.Errorf("engine: logging commit: %w: %w", ErrWALAppend, err)
 	}
 	if err := db.log.Flush(); err != nil {
 		tx.Abort()
-		return fmt.Errorf("engine: flushing log: %w", err)
+		return fmt.Errorf("engine: flushing log: %w: %w", ErrWALAppend, err)
 	}
 	if err := tx.Commit(); err != nil {
 		return err
@@ -131,7 +172,7 @@ func (db *DB) Abort(tx *txn.Txn) error {
 	var aerr error
 	if err := db.log.Append(wal.Record{Type: wal.RecAbort, XID: tx.ID()}); err != nil {
 		db.met.WAL.AbortAppendErrors.Inc()
-		aerr = fmt.Errorf("engine: logging abort: %w", err)
+		aerr = fmt.Errorf("engine: logging abort: %w: %w", ErrWALAppend, err)
 	}
 	tx.Abort()
 	return aerr
@@ -287,7 +328,7 @@ func (db *DB) execStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 }
 
 func (db *DB) execSelect(tx *txn.Txn, s *sql.SelectStmt) (*Result, error) {
-	p, err := db.PlanSelect(s)
+	p, err := db.PlanSelectAt(db.catForTxn(tx), s)
 	if err != nil {
 		return nil, err
 	}

@@ -194,7 +194,7 @@ func (db *DB) checkForeignKeys(tx *txn.Txn, tbl *catalog.Table, row, oldRow type
 		if !allSet || !changed {
 			continue
 		}
-		refTbl, err := db.cat.Table(fk.RefTable)
+		refTbl, err := db.catForTxn(tx).Table(fk.RefTable)
 		if err != nil {
 			return fmt.Errorf("engine: foreign key: %w", err)
 		}
@@ -391,8 +391,9 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 		return storage.ErrNoSuchTuple
 	}
 	// Restrict: no live child may reference this row.
-	for _, childName := range db.cat.TableNames() {
-		child, err := db.cat.Table(childName)
+	cat := db.catForTxn(tx)
+	for _, childName := range cat.TableNames() {
+		child, err := cat.Table(childName)
 		if err != nil {
 			continue
 		}
@@ -433,11 +434,10 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 	return nil
 }
 
-
 // --- SQL-level DML ---
 
 func (db *DB) execInsert(tx *txn.Txn, s *sql.InsertStmt) (*Result, error) {
-	tbl, err := db.cat.Table(s.Table)
+	tbl, err := db.catForTxn(tx).Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -595,7 +595,7 @@ func (n *scanNode) executeTID(ctx *execCtx, emit func(storage.TID, types.Row) er
 }
 
 func (db *DB) execUpdate(tx *txn.Txn, s *sql.UpdateStmt) (*Result, error) {
-	tbl, err := db.cat.Table(s.Table)
+	tbl, err := db.catForTxn(tx).Table(s.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -640,7 +640,7 @@ func (db *DB) execUpdate(tx *txn.Txn, s *sql.UpdateStmt) (*Result, error) {
 }
 
 func (db *DB) execDelete(tx *txn.Txn, s *sql.DeleteStmt) (*Result, error) {
-	tbl, err := db.cat.Table(s.Table)
+	tbl, err := db.catForTxn(tx).Table(s.Table)
 	if err != nil {
 		return nil, err
 	}

@@ -88,29 +88,38 @@ func scopeOf(cols []Column) *expr.Scope {
 
 // --- planner ---
 
-// PlanSelect compiles a SELECT statement, reusing a cached plan when the
-// same statement shape was planned before (metric: PlansReused vs
-// PlansBuilt). The cache is invalidated on DDL and on migration catalog
-// changes, so a hit is always against the current catalog.
+// PlanSelect compiles a SELECT statement against the head catalog version,
+// reusing a cached plan when the same statement shape was planned before
+// (metric: PlansReused vs PlansBuilt). Cache keys carry the catalog version
+// identity, so a hit is always against the version it was compiled for;
+// DDL/migration invalidation additionally bounds memory.
 func (db *DB) PlanSelect(s *sql.SelectStmt) (*Plan, error) {
-	return db.planCached(s, "")
+	return db.planCached(db.cat.Head(), s, "")
+}
+
+// PlanSelectAt compiles (with caching) a SELECT against a pinned catalog
+// version — the one a transaction's snapshot resolves (see catForTxn).
+func (db *DB) PlanSelectAt(v *catalog.Version, s *sql.SelectStmt) (*Plan, error) {
+	return db.planCached(v, s, "")
 }
 
 // PlanSelectBound compiles (with caching) a SELECT whose boundAlias FROM
 // item reads rows supplied at execution time via Plan.ExecuteBound. This is
 // the migration transform's hot path: bitmapPass/hashPass plan the transform
 // SELECT once and run it per batch with that batch's claimed tuples bound.
+// Migration transforms read old-schema tables which stay resolvable in the
+// head version (retired, not dropped), so this plans against head.
 func (db *DB) PlanSelectBound(s *sql.SelectStmt, boundAlias string) (*Plan, error) {
-	return db.planCached(s, normalizeName(boundAlias))
+	return db.planCached(db.cat.Head(), s, normalizeName(boundAlias))
 }
 
-func (db *DB) planCached(s *sql.SelectStmt, boundAlias string) (*Plan, error) {
-	key := selectCacheKey(s, boundAlias)
+func (db *DB) planCached(v *catalog.Version, s *sql.SelectStmt, boundAlias string) (*Plan, error) {
+	key := versionedCacheKey(v, s, boundAlias)
 	if p := db.plans.get(key); p != nil {
 		db.met.Engine.PlansReused.Inc()
 		return p, nil
 	}
-	p, err := db.buildSelectPlan(s, boundAlias, nil)
+	p, err := db.buildSelectPlan(v, s, boundAlias, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -125,11 +134,11 @@ func (db *DB) planCached(s *sql.SelectStmt, boundAlias string) (*Plan, error) {
 // are baked into the plan, so the result is never cached; prefer
 // PlanSelectBound + ExecuteBound on hot paths.
 func (db *DB) PlanSelectWithBoundRows(s *sql.SelectStmt, boundAlias string, boundRows *BoundRows) (*Plan, error) {
-	return db.buildSelectPlan(s, normalizeName(boundAlias), boundRows)
+	return db.buildSelectPlan(db.cat.Head(), s, normalizeName(boundAlias), boundRows)
 }
 
-func (db *DB) buildSelectPlan(s *sql.SelectStmt, boundAlias string, boundRows *BoundRows) (*Plan, error) {
-	b := &planBuilder{db: db, boundAlias: boundAlias, boundRows: boundRows}
+func (db *DB) buildSelectPlan(v *catalog.Version, s *sql.SelectStmt, boundAlias string, boundRows *BoundRows) (*Plan, error) {
+	b := &planBuilder{db: db, cat: v, boundAlias: boundAlias, boundRows: boundRows}
 	root, err := b.buildSelect(s)
 	if err != nil {
 		return nil, err
@@ -145,6 +154,7 @@ type BoundRows struct {
 
 type planBuilder struct {
 	db         *DB
+	cat        *catalog.Version // the catalog version names resolve against
 	boundAlias string
 	boundRows  *BoundRows
 }
@@ -348,8 +358,8 @@ func (b *planBuilder) buildSource(ref sql.TableRef) (source, error) {
 	name := normalizeName(ref.Name)
 	alias := normalizeName(ref.AliasOrName())
 	// View expansion: a view reference plans as its defining query.
-	if b.db.cat.HasView(name) {
-		v, err := b.db.cat.View(name)
+	if b.cat.HasView(name) {
+		v, err := b.cat.View(name)
 		if err != nil {
 			return source{}, err
 		}
@@ -363,7 +373,7 @@ func (b *planBuilder) buildSource(ref sql.TableRef) (source, error) {
 		}
 		return source{alias: alias, node: &renameNode{child: child, alias: alias}}, nil
 	}
-	tbl, err := b.db.cat.Table(name)
+	tbl, err := b.cat.Table(name)
 	if err != nil {
 		return source{}, err
 	}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 )
 
@@ -88,6 +89,16 @@ func (db *DB) InvalidatePlans() { db.plans.invalidate() }
 
 // PlanCacheLen reports the number of cached plans (tests and diagnostics).
 func (db *DB) PlanCacheLen() int { return db.plans.len() }
+
+// versionedCacheKey prefixes the canonical statement text with the catalog
+// version's identity, so plans compiled against different schema versions
+// (e.g. a snapshot pinned before a migration's install vs after) can never
+// be confused for one another. Version identity — not sequence — is the key
+// component: in-place DDL republishes the head at the same sequence but with
+// a fresh identity.
+func versionedCacheKey(v *catalog.Version, s *sql.SelectStmt, boundAlias string) string {
+	return "v" + strconv.FormatUint(v.ID(), 10) + "|" + selectCacheKey(s, boundAlias)
+}
 
 // selectCacheKey renders a SELECT to canonical text for cache keying. The
 // sql package has no statement printer, so this is it: identifiers appear as

@@ -15,6 +15,11 @@ type RecoverStats struct {
 	Updates       int
 	Deletes       int
 	Migrated      int
+	// Installs lists, in log order, the migration names whose catalog-version
+	// install marker reached the log. The last entry identifies the migration
+	// that was active at the crash: recovery re-runs its Start (DDL is not
+	// logged) and then replays RecMigrated records into its trackers (§3.5).
+	Installs []string
 }
 
 // Recover rebuilds table contents (and reports committed migration-status
@@ -58,6 +63,13 @@ func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker
 	}
 	err = wal.Replay(r2, func(rec wal.Record) error {
 		if rec.Type == wal.RecBegin || rec.Type == wal.RecCommit || rec.Type == wal.RecAbort {
+			return nil
+		}
+		if rec.Type == wal.RecInstall {
+			// Install markers are transaction-less (XID 0): the flip was
+			// published iff the marker reached the log, because the marker is
+			// flushed before the version is installed.
+			stats.Installs = append(stats.Installs, rec.Table)
 			return nil
 		}
 		if !committed[rec.XID] {
@@ -135,9 +147,10 @@ func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker
 	return stats, nil
 }
 
-// Vacuum prunes dead version chains across all tables and trims transaction
-// state for everything below the resulting horizon. Returns pruned version
-// and state counts.
+// Vacuum prunes dead version chains across all tables, trims transaction
+// state for everything below the resulting horizon, and cuts catalog versions
+// no live snapshot can still resolve. Returns pruned row-version and state
+// counts (catalog versions are reported via catalog.versions_live).
 func (db *DB) Vacuum() (versions, states int) {
 	horizon := db.tm.OldestActiveSnapshot()
 	for _, name := range db.cat.TableNames() {
@@ -150,6 +163,7 @@ func (db *DB) Vacuum() (versions, states int) {
 		})
 	}
 	states = db.tm.PruneStates(horizon)
+	db.cat.Prune(horizon)
 	return versions, states
 }
 

@@ -23,7 +23,7 @@ var lockRank = map[string]int{
 
 	// core: the controller's registry lock is taken before any tracker
 	// internals; bitmap chunk and hash shard mutexes are leaves.
-	"internal/core.Controller.mu": 10,
+	"internal/core.Controller.mu":  10,
 	"internal/core.bitmapChunk.mu": 30,
 	"internal/core.hashShard.mu":   30,
 
@@ -74,15 +74,16 @@ var errdropScope = []string{"", "internal/wal", "internal/txn", "internal/core",
 // even be explicitly discarded with `_ =` (a dropped error here can silently
 // lose committed data or recovery state).
 var errdropWatch = map[string]bool{
-	"internal/wal.Writer.Append":    true,
-	"internal/wal.Writer.Flush":     true,
-	"internal/wal.Logger.Append":    true,
-	"internal/wal.Logger.Flush":     true,
-	"internal/wal.Replay":           true,
-	"internal/engine.DB.Commit":     true,
-	"internal/engine.DB.Recover":    true,
-	"internal/core.Controller.Recover": true,
-	"internal/txn.Txn.Commit":       true,
+	"internal/wal.Writer.Append":               true,
+	"internal/wal.Writer.Flush":                true,
+	"internal/wal.Logger.Append":               true,
+	"internal/wal.Logger.Flush":                true,
+	"internal/wal.Replay":                      true,
+	"internal/engine.DB.Commit":                true,
+	"internal/engine.DB.Recover":               true,
+	"internal/engine.DB.InstallCatalogVersion": true,
+	"internal/core.Controller.Recover":         true,
+	"internal/txn.Txn.Commit":                  true,
 
 	// Fixture calls (testdata/src/errdrop).
 	"fixture/errdrop.mustWatch": true,

@@ -49,6 +49,8 @@ func (s Snapshot) Text() string {
 	writeHist("migration.gate_wait", s.Migration.GateWait)
 	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_workers", s.Migration.BackfillWorkersActive)
 	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_batch", s.Migration.BackfillBatchSize)
+	fmt.Fprintf(&b, "%-28s %d\n", "catalog.versions_live", s.Catalog.VersionsLive)
+	fmt.Fprintf(&b, "%-28s %d\n", "catalog.install_cas_retries", s.Catalog.InstallCASRetries)
 	for _, t := range s.Migration.Tables {
 		total := fmt.Sprintf("%d", t.Total)
 		if t.Total < 0 {

@@ -107,6 +107,18 @@ type MigrationMetrics struct {
 	BackfillBatchSize Gauge
 }
 
+// CatalogMetrics instruments the multi-versioned catalog.
+type CatalogMetrics struct {
+	// VersionsLive gauges the catalog version chain length (head included) —
+	// how many schema versions are still reachable by live snapshots. Vacuum
+	// prunes it back toward 1.
+	VersionsLive Gauge
+	// InstallCASRetries counts CAS retries while publishing a new catalog
+	// version at a migration's commit barrier. Non-zero means installs raced
+	// regular DDL; sustained growth means the head is churning.
+	InstallCASRetries Counter
+}
+
 // Set groups one instance of every layer's metrics. The engine owns a Set
 // per database; sub-structs are shared by pointer with the layer that
 // records into them.
@@ -115,6 +127,7 @@ type Set struct {
 	Txn       *TxnMetrics
 	WAL       *WALMetrics
 	Migration *MigrationMetrics
+	Catalog   *CatalogMetrics
 }
 
 // NewSet allocates a Set with all sub-structs present.
@@ -124,6 +137,7 @@ func NewSet() *Set {
 		Txn:       &TxnMetrics{},
 		WAL:       &WALMetrics{},
 		Migration: &MigrationMetrics{},
+		Catalog:   &CatalogMetrics{},
 	}
 }
 
@@ -135,6 +149,7 @@ type Snapshot struct {
 	Txn       TxnSnapshot       `json:"txn"`
 	WAL       WALSnapshot       `json:"wal"`
 	Migration MigrationSnapshot `json:"migration"`
+	Catalog   CatalogSnapshot   `json:"catalog"`
 }
 
 // EngineSnapshot copies EngineMetrics.
@@ -175,6 +190,12 @@ type MigrationSnapshot struct {
 	BackfillWorkersActive int64             `json:"backfill_workers_active"`
 	BackfillBatchSize     int64             `json:"backfill_batch_size"`
 	Tables                []TableProgress   `json:"tables,omitempty"`
+}
+
+// CatalogSnapshot copies CatalogMetrics.
+type CatalogSnapshot struct {
+	VersionsLive      int64 `json:"versions_live"`
+	InstallCASRetries int64 `json:"install_cas_retries"`
 }
 
 // TableProgress is one migration statement's physical progress, derived from
@@ -241,6 +262,12 @@ func (s *Set) Snapshot() Snapshot {
 			GateWait:              s.Migration.GateWait.Snapshot(),
 			BackfillWorkersActive: s.Migration.BackfillWorkersActive.Load(),
 			BackfillBatchSize:     s.Migration.BackfillBatchSize.Load(),
+		}
+	}
+	if s.Catalog != nil {
+		out.Catalog = CatalogSnapshot{
+			VersionsLive:      s.Catalog.VersionsLive.Load(),
+			InstallCASRetries: s.Catalog.InstallCASRetries.Load(),
 		}
 	}
 	return out

@@ -84,7 +84,11 @@ var ErrExpectedRollback = errors.New("tpcc: expected rollback (invalid item)")
 func IsRetryable(err error) bool {
 	return errors.Is(err, txn.ErrSerialization) ||
 		errors.Is(err, txn.ErrLockTimeout) ||
-		errors.Is(err, storage.ErrNoSuchTuple)
+		errors.Is(err, storage.ErrNoSuchTuple) ||
+		// A retired-table rejection means the transaction raced a migration
+		// flip on the old schema variant; the retry dispatches against the
+		// new variant.
+		errors.Is(err, core.ErrRetiredTable)
 }
 
 // Workload runs TPC-C transactions against the engine, dispatching to the

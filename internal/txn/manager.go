@@ -272,6 +272,25 @@ func (m *Manager) OldestActiveSnapshot() uint64 {
 // CurrentSeq returns the latest commit sequence.
 func (m *Manager) CurrentSeq() uint64 { return m.commitSeq.Load() }
 
+// InstallBarrier reserves the next commit sequence for a non-transactional
+// publication (a catalog version install), runs publish(seq) while holding
+// the commit mutex so no transaction can commit at or after seq until
+// publish returns, then consumes seq. The effect: every snapshot taken
+// before the barrier sees the world without the publication, every snapshot
+// taken after sees it — the versioned-catalog equivalent of a schema flip at
+// a commit timestamp. publish must not block (no I/O, no lock waits); on
+// error the sequence is not consumed and the error is returned.
+func (m *Manager) InstallBarrier(publish func(seq uint64) error) (uint64, error) {
+	m.commitMu.Lock()
+	defer m.commitMu.Unlock()
+	seq := m.commitSeq.Load() + 1
+	if err := publish(seq); err != nil {
+		return 0, err
+	}
+	m.commitSeq.Store(seq)
+	return seq, nil
+}
+
 // ActiveCount returns the number of in-flight transactions.
 func (m *Manager) ActiveCount() int {
 	m.activeMu.Lock()

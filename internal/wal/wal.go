@@ -37,6 +37,7 @@ const (
 	RecUpdate
 	RecDelete
 	RecMigrated // a migration granule (tuple ordinal or group key) completed
+	RecInstall  // a catalog version install (migration big flip) was published
 )
 
 func (t RecType) String() string {
@@ -55,6 +56,8 @@ func (t RecType) String() string {
 		return "DELETE"
 	case RecMigrated:
 		return "MIGRATED"
+	case RecInstall:
+		return "INSTALL"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -66,6 +69,7 @@ func (t RecType) String() string {
 //	RecInsert/RecUpdate:         XID, Table, TID, Row (the new image)
 //	RecDelete:                   XID, Table, TID
 //	RecMigrated:                 XID, Table (tracker name), Key (granule key)
+//	RecInstall:                  Table (migration name); XID unused (0)
 type Record struct {
 	Type  RecType
 	XID   uint64
@@ -214,6 +218,8 @@ func encodeRecord(buf []byte, rec Record) []byte {
 		buf = appendString(buf, rec.Table)
 		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
 		return append(buf, rec.Key...)
+	case RecInstall:
+		return appendString(buf, rec.Table)
 	default:
 		panic(fmt.Sprintf("wal: cannot encode record type %d", rec.Type))
 	}
@@ -347,6 +353,12 @@ func decodeRecord(buf []byte) (Record, error) {
 			return Record{}, ErrCorrupt
 		}
 		rec.Key = append([]byte(nil), buf[:keyLen]...)
+		return rec, nil
+	case RecInstall:
+		var err error
+		if rec.Table, err = readString(); err != nil {
+			return Record{}, err
+		}
 		return rec, nil
 	default:
 		return Record{}, ErrCorrupt

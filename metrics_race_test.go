@@ -252,9 +252,12 @@ func TestAwaitMigrationContext(t *testing.T) {
 	if err := db.AwaitMigration(ctx); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("AwaitMigration = %v, want deadline exceeded", err)
 	}
-	if err := db.WaitForMigration(30 * time.Millisecond); err == nil {
-		t.Fatal("WaitForMigration should time out")
+	shortCtx, shortCancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	if err := db.AwaitMigration(shortCtx); !errors.Is(err, context.DeadlineExceeded) {
+		shortCancel()
+		t.Fatalf("AwaitMigration = %v, want deadline exceeded", err)
 	}
+	shortCancel()
 
 	// Finishing the migration wakes waiters.
 	done := make(chan error, 1)

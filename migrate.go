@@ -8,8 +8,44 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/core"
 )
 
-// MigrateOptions configures a single-step BullFrog migration.
+// MigrateMode selects the migration strategy MigrateContext runs.
+type MigrateMode int
+
+const (
+	// ModeLazy is BullFrog's lazy migration (the default): the new schema is
+	// active when MigrateContext returns — a versioned-catalog install at a
+	// commit barrier, no stall — while physical data movement happens lazily
+	// on access plus in the background.
+	ModeLazy MigrateMode = iota
+	// ModeEager is the blocking baseline the paper compares against (§4):
+	// every client transaction waits while all data moves in one shot.
+	ModeEager
+	// ModeMultiStep is the multi-step baseline: background copy with dual
+	// writes, switch-over when caught up. The caller drives writes through
+	// MigrateHandle.MultiStep.NoteWrite during the window and calls Switch at
+	// completion.
+	ModeMultiStep
+)
+
+// String names the mode for logs and errors.
+func (m MigrateMode) String() string {
+	switch m {
+	case ModeLazy:
+		return "lazy"
+	case ModeEager:
+		return "eager"
+	case ModeMultiStep:
+		return "multistep"
+	default:
+		return "unknown"
+	}
+}
+
+// MigrateOptions configures a migration started through MigrateContext.
 type MigrateOptions struct {
+	// Mode selects the strategy (ModeLazy by default). The Background* knobs
+	// below apply only to ModeLazy.
+	Mode MigrateMode
 	// BackgroundDelay is how long after the logical switch the background
 	// migration threads start (paper §2.2; the evaluation uses 20s). A
 	// negative value disables background migration entirely (the dotted
@@ -26,27 +62,101 @@ type MigrateOptions struct {
 	BackgroundWorkers int
 }
 
+// MigrateHandle reports a started migration. Mode echoes the strategy that
+// ran; exactly one of the strategy-specific fields is populated.
+type MigrateHandle struct {
+	Mode MigrateMode
+	// Eager holds the eager baseline's outcome (ModeEager only).
+	Eager core.EagerResult
+	// MultiStep is the live multi-step migration (ModeMultiStep only).
+	MultiStep *core.MultiStep
+}
+
+// MigrateContext starts a schema migration under the strategy selected by
+// opts.Mode, bounded by ctx:
+//
+//   - ModeLazy returns as soon as the new catalog version is installed
+//     (microseconds; no client stall).
+//   - ModeEager waits for the gate drain — ctx done before the exclusive
+//     section is entered abandons the wait; once entered, the transform runs
+//     to completion.
+//   - ModeMultiStep starts the background copy and returns its handle; the
+//     copy's lifetime is parented on the database handle (Close stops it),
+//     not on ctx, because it outlives this call by design.
+//
+// A nil ctx is bounded by the database's close context.
+func (db *DB) MigrateContext(ctx context.Context, m *Migration, opts MigrateOptions) (*MigrateHandle, error) {
+	if db.closed.Load() {
+		return nil, wrapErr("migrate", "", ErrClosed)
+	}
+	if ctx == nil {
+		ctx = db.closeCtx
+	}
+	switch opts.Mode {
+	case ModeLazy:
+		if err := db.ctrl.Start(m); err != nil {
+			return nil, wrapErr("migrate", "", err)
+		}
+		if opts.BackgroundDelay >= 0 {
+			db.bg = core.NewBackground(db.ctrl, opts.BackgroundDelay)
+			if opts.BackgroundChunk > 0 {
+				db.bg.ChunkGranules = opts.BackgroundChunk
+				db.bg.ChunkTuples = int64(opts.BackgroundChunk) * 64
+			}
+			db.bg.Interval = opts.BackgroundInterval
+			db.bg.Workers = opts.BackgroundWorkers
+			db.bg.Start()
+		}
+		return &MigrateHandle{Mode: ModeLazy}, nil
+	case ModeEager:
+		res, err := core.MigrateEagerContext(ctx, db.eng, m, db.gate)
+		if err != nil {
+			return nil, wrapErr("migrate", "", err)
+		}
+		return &MigrateHandle{Mode: ModeEager, Eager: res}, nil
+	case ModeMultiStep:
+		// Parent the migration's lifetime on the close context so an
+		// in-flight Switch drain cannot outlive the database handle.
+		ms, err := core.StartMultiStep(db.closeCtx, db.eng, m)
+		if err != nil {
+			return nil, wrapErr("migrate", "", err)
+		}
+		return &MigrateHandle{Mode: ModeMultiStep, MultiStep: ms}, nil
+	default:
+		return nil, fmt.Errorf("bullfrog: unknown migrate mode %d", int(opts.Mode))
+	}
+}
+
 // Migrate performs a single-step, zero-downtime BullFrog migration: the new
 // schema is active when this returns (typically within microseconds), while
-// physical data movement happens lazily on access plus in the background.
+// physical data movement happens lazily on access plus in the background. It
+// is MigrateContext with ModeLazy, bounded by the database's close context.
 func (db *DB) Migrate(m *Migration, opts MigrateOptions) error {
-	if db.closed.Load() {
-		return ErrClosed
+	opts.Mode = ModeLazy
+	_, err := db.MigrateContext(db.closeCtx, m, opts)
+	return err
+}
+
+// MigrateEager runs the eager baseline: all client transactions are blocked
+// while every row moves, exactly the downtime the paper's Figures 3/5/7 show
+// for "Eager migration". It is MigrateContext with ModeEager, bounded by the
+// database's close context.
+func (db *DB) MigrateEager(m *Migration) (core.EagerResult, error) {
+	h, err := db.MigrateContext(db.closeCtx, m, MigrateOptions{Mode: ModeEager})
+	if err != nil {
+		return core.EagerResult{}, err
 	}
-	if err := db.ctrl.Start(m); err != nil {
-		return err
+	return h.Eager, nil
+}
+
+// MigrateMultiStep starts the multi-step baseline. It is MigrateContext with
+// ModeMultiStep, bounded by the database's close context.
+func (db *DB) MigrateMultiStep(m *Migration) (*core.MultiStep, error) {
+	h, err := db.MigrateContext(db.closeCtx, m, MigrateOptions{Mode: ModeMultiStep})
+	if err != nil {
+		return nil, err
 	}
-	if opts.BackgroundDelay >= 0 {
-		db.bg = core.NewBackground(db.ctrl, opts.BackgroundDelay)
-		if opts.BackgroundChunk > 0 {
-			db.bg.ChunkGranules = opts.BackgroundChunk
-			db.bg.ChunkTuples = int64(opts.BackgroundChunk) * 64
-		}
-		db.bg.Interval = opts.BackgroundInterval
-		db.bg.Workers = opts.BackgroundWorkers
-		db.bg.Start()
-	}
-	return nil
+	return h.MultiStep, nil
 }
 
 // Background returns the background migrator, or nil.
@@ -62,20 +172,6 @@ func (db *DB) AwaitMigration(ctx context.Context) error {
 	return db.ctrl.AwaitMigration(ctx)
 }
 
-// WaitForMigration blocks until the active migration completes or the
-// timeout elapses.
-//
-// Deprecated: use AwaitMigration, which takes a context and wakes on
-// completion instead of polling a timeout window.
-func (db *DB) WaitForMigration(timeout time.Duration) error {
-	ctx, cancel := context.WithTimeout(db.closeCtx, timeout)
-	defer cancel()
-	if err := db.AwaitMigration(ctx); err != nil {
-		return fmt.Errorf("bullfrog: migration incomplete after %v", timeout)
-	}
-	return nil
-}
-
 // FinishMigration synchronously migrates all remaining data (the background
 // process's work, on demand) and returns when the migration is complete. The
 // drain aborts with ErrClosed if the database is closed while it runs.
@@ -88,7 +184,7 @@ func (db *DB) FinishMigration() error {
 // cancelled. Closing the database cancels the drain too.
 func (db *DB) FinishMigrationContext(ctx context.Context) error {
 	if db.closed.Load() {
-		return ErrClosed
+		return wrapErr("migrate", "", ErrClosed)
 	}
 	if ctx != db.closeCtx {
 		// Bound the drain by both the caller's context and Close.
@@ -99,7 +195,7 @@ func (db *DB) FinishMigrationContext(ctx context.Context) error {
 	for _, rt := range db.ctrl.Runtimes() {
 		if err := rt.CatchUp(ctx); err != nil {
 			if db.closed.Load() {
-				return ErrClosed
+				return wrapErr("migrate", "", ErrClosed)
 			}
 			return err
 		}
@@ -131,12 +227,12 @@ func (db *DB) ResetMigration() error {
 		db.bg.Stop()
 		db.bg = nil
 	}
-	return db.ctrl.Reset()
+	return wrapErr("migrate", "", db.ctrl.Reset())
 }
 
-// Vacuum prunes dead MVCC versions and transaction state (analogous to
-// PostgreSQL's VACUUM). Long-running deployments should call it
-// periodically.
+// Vacuum prunes dead MVCC versions, transaction state, and catalog versions
+// no live snapshot can still see (analogous to PostgreSQL's VACUUM).
+// Long-running deployments should call it periodically.
 func (db *DB) Vacuum() (versions, states int) { return db.eng.Vacuum() }
 
 // MigrationStats summarizes an active migration's progress per statement.
@@ -146,20 +242,4 @@ func (db *DB) MigrationStats() map[string]core.Stats {
 		out[rt.Stmt.Name] = rt.Stats()
 	}
 	return out
-}
-
-// MigrateEager runs the eager baseline: all client transactions are blocked
-// while every row moves, exactly the downtime the paper's Figures 3/5/7 show
-// for "Eager migration".
-func (db *DB) MigrateEager(m *Migration) (core.EagerResult, error) {
-	return core.MigrateEager(db.eng, m, db.gate)
-}
-
-// MigrateMultiStep starts the multi-step baseline: background copy with dual
-// writes, switch-over when caught up. The caller drives writes through
-// MultiStep.NoteWrite during the window and calls Switch at completion.
-func (db *DB) MigrateMultiStep(m *Migration) (*core.MultiStep, error) {
-	// Parent the migration's lifetime on the close context so an in-flight
-	// Switch drain cannot outlive the database handle.
-	return core.StartMultiStep(db.closeCtx, db.eng, m)
 }

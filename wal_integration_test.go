@@ -2,6 +2,7 @@ package bullfrog_test
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -142,7 +143,9 @@ func TestMigrationUnderConcurrentSQL(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := db.WaitForMigration(5 * time.Second); err != nil {
+	waitCtx, waitCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer waitCancel()
+	if err := db.AwaitMigration(waitCtx); err != nil {
 		t.Fatal(err)
 	}
 	res, _ := db.Query(`SELECT COUNT(*) FROM grp_total`)
