@@ -29,18 +29,22 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Fuzz smoke: the CI-time budget. Longer local runs: go test -fuzz <name> <pkg>.
+# Fuzz smoke: the CI-time budget. Longer local runs: go test -fuzz <name> <pkg>,
+# and the nightly workflow (.github/workflows/nightly.yml) runs each for minutes.
 fuzz:
 	$(GO) test -fuzz FuzzSQLParse -fuzztime 10s ./internal/sql
 	$(GO) test -fuzz FuzzKeyEncodeOrder -fuzztime 10s ./internal/types
+	$(GO) test -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 
 # Figure experiments as testing.B benchmarks plus micro-benchmarks, then the
-# backfill worker-scaling figure and the migration-start-stall before/after
-# with their JSON timelines (results/BENCH_backfill.json, results/BENCH_catalog.json).
+# backfill worker-scaling figure, the migration-start-stall before/after, and
+# the group-commit WAL matrix with their JSON outputs (results/BENCH_backfill.json,
+# results/BENCH_catalog.json, results/BENCH_walgroup.json).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 	$(GO) run ./cmd/bullfrog-bench -fig backfill -json results
 	$(GO) run ./cmd/bullfrog-bench -fig catalog -json results
+	$(GO) run ./cmd/bullfrog-bench -fig walgroup -json results
 
 # Regenerate every evaluation figure (quick profile; see -profile medium/full).
 figures:

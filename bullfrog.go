@@ -94,6 +94,16 @@ type Options struct {
 	// ConflictMode selects BullFrog's duplicate-migration detection
 	// (DetectEarly by default).
 	ConflictMode ConflictMode
+	// GroupCommit tunes the WAL's leader/follower durable-flush batching when
+	// WAL supports it (wal.Writer or wal.Dir). Zero values mean: no dwell
+	// delay, batch cap 64.
+	GroupCommit wal.GroupCommit
+	// CheckpointInterval starts a background checkpointer when WAL is a
+	// segmented directory (wal.Dir): every interval, a transaction-consistent
+	// snapshot is written and superseded segments are deleted, bounding
+	// recovery replay. 0 disables background checkpoints (Checkpoint can
+	// still be called manually).
+	CheckpointInterval time.Duration
 }
 
 // DB is an embedded BullFrog database. Close releases its resources; other
@@ -103,7 +113,8 @@ type DB struct {
 	ctrl   *core.Controller
 	gate   *core.Gate
 	bg     *core.Background
-	walSrc wal.Logger // the caller-supplied logger, for Close
+	ckpt   *core.Checkpointer // nil unless background checkpointing is on
+	walSrc wal.Logger         // the caller-supplied logger, for Close
 	closed atomic.Bool
 	// closeCtx is cancelled by Close so long-running drains (FinishMigration
 	// during a multi-step switch-over) cannot hang shutdown.
@@ -122,7 +133,7 @@ func Open(opts Options) *DB {
 	gate.SetObs(eng.Obs().Migration)
 	//lint:ignore ctxflow DB-lifetime root owned by Open: cancelled by Close so drains cannot outlive the handle
 	ctx, cancel := context.WithCancel(context.Background())
-	return &DB{
+	db := &DB{
 		eng:       eng,
 		ctrl:      core.NewController(eng, opts.ConflictMode),
 		gate:      gate,
@@ -130,6 +141,39 @@ func Open(opts Options) *DB {
 		closeCtx:  ctx,
 		closeStop: cancel,
 	}
+	switch w := opts.WAL.(type) {
+	case *wal.Writer:
+		w.SetGroupCommit(opts.GroupCommit)
+	case *wal.Dir:
+		w.SetGroupCommit(opts.GroupCommit)
+		if opts.CheckpointInterval > 0 {
+			db.ckpt = core.NewCheckpointer(ctx, db.ctrl, w, opts.CheckpointInterval)
+			db.ckpt.Start()
+		}
+	}
+	return db
+}
+
+// Checkpoint takes one checkpoint of a segmented WAL directory synchronously
+// (see Options.CheckpointInterval for the background equivalent). Returns an
+// error when the WAL is not a *wal.Dir.
+func (db *DB) Checkpoint(ctx context.Context) error {
+	if db.closed.Load() {
+		return wrapErr("checkpoint", "", ErrClosed)
+	}
+	dir, ok := db.walSrc.(*wal.Dir)
+	if !ok {
+		return fmt.Errorf("bullfrog: checkpoint requires a segmented WAL directory (wal.Dir)")
+	}
+	if ctx == nil {
+		ctx = db.closeCtx
+	}
+	cp := db.ckpt
+	if cp == nil {
+		cp = core.NewCheckpointer(db.closeCtx, db.ctrl, dir, time.Hour)
+	}
+	_, err := cp.CheckpointNow(ctx)
+	return wrapErr("checkpoint", "", err)
 }
 
 // Close shuts the database down: it stops the background migrator, flushes
@@ -141,6 +185,10 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closeStop() // unhang any in-flight FinishMigration drain
+	if db.ckpt != nil {
+		db.ckpt.Stop()
+		db.ckpt = nil
+	}
 	if db.bg != nil {
 		db.bg.Stop()
 		db.bg = nil
@@ -250,9 +298,8 @@ func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
 		}
 		res, err := db.eng.ExecStmtContext(ctx, tx, s)
 		if err != nil {
-			// The statement error is the caller's failure; a lost abort record
-			// is advisory (recovery treats any transaction without a commit
-			// record as aborted) and counted in wal.abort_append_errors.
+			// The statement error is the caller's failure; the rollback drops
+			// the transaction's buffered redo without touching the log.
 			_ = db.eng.Abort(tx)
 			return nil, wrapErr("exec", "", err)
 		}
@@ -403,10 +450,9 @@ func (t *Txn) Commit() error {
 	return wrapErr("commit", "", t.db.eng.Commit(t.inner))
 }
 
-// Abort rolls back and releases the gate. The rollback always happens; the
-// returned error reports only a failed append of the abort record, which is
-// advisory (recovery treats any transaction without a commit record as
-// aborted) and counted in wal.abort_append_errors.
+// Abort rolls back and releases the gate. With commit-time batch logging the
+// transaction's buffered redo is dropped without touching the log, so the
+// rollback cannot fail on a bad log device.
 func (t *Txn) Abort() error {
 	if t.done {
 		return nil

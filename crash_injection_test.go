@@ -1,0 +1,282 @@
+package bullfrog_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"io"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// peopleSplit is the shared migration for the crash tests: people ->
+// people_city, OneToOne, bitmap tracker.
+func peopleSplit() *bullfrog.Migration {
+	return &bullfrog.Migration{
+		Name:  "people-split",
+		Setup: `CREATE TABLE people_city (id INT PRIMARY KEY, city CHAR(16))`,
+		Statements: []*bullfrog.Statement{{
+			Name: "people-split", Driving: "p", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "people_city",
+				Def:   bullfrog.MustQuery(`SELECT id, city FROM people p`),
+			}},
+		}},
+		RetireInputs: []string{"people"},
+	}
+}
+
+func seedPeople(t *testing.T, db *bullfrog.DB) {
+	t.Helper()
+	if _, err := db.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 40; i++ {
+		if _, err := db.Exec(
+			`INSERT INTO people VALUES (` + itoa(i) + `, 'name-` + itoa(i) + `', 'city-` + itoa(i%5) + `')`); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// recordEnds parses the WAL framing and returns, for each record, its end
+// offset (a valid truncation boundary) and its type byte.
+func recordEnds(log []byte) (ends []int, types []wal.RecType) {
+	for o := 0; o+8 <= len(log); {
+		size := int(binary.LittleEndian.Uint32(log[o : o+4]))
+		next := o + 8 + size
+		if next > len(log) {
+			break
+		}
+		types = append(types, wal.RecType(log[o+8]))
+		ends = append(ends, next)
+		o = next
+	}
+	return ends, types
+}
+
+// TestCrashAtEveryRecordBoundary truncates the log at every record boundary
+// in the migration window (the first RecInstall onward) and asserts the
+// recovered tracker state matches what a never-crashed run that committed
+// exactly the surviving transactions would hold — and that finishing the
+// migration afterwards is still exactly-once. Table-driven over the log
+// producer: lazy per-access migration and the multi-step baseline's copier.
+func TestCrashAtEveryRecordBoundary(t *testing.T) {
+	cases := []struct {
+		name    string
+		produce func(t *testing.T) []byte
+	}{
+		{name: "lazy", produce: func(t *testing.T) []byte {
+			var logBuf bytes.Buffer
+			logger := wal.NewWriter(&logBuf)
+			db := bullfrog.Open(bullfrog.Options{WAL: logger})
+			seedPeople(t, db)
+			if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range []int{5, 6, 17} {
+				if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := logger.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			return append([]byte(nil), logBuf.Bytes()...)
+		}},
+		{name: "multistep", produce: func(t *testing.T) []byte {
+			var logBuf bytes.Buffer
+			logger := wal.NewWriter(&logBuf)
+			db := bullfrog.Open(bullfrog.Options{WAL: logger})
+			seedPeople(t, db)
+			ms, err := db.MigrateMultiStep(peopleSplit())
+			if err != nil {
+				t.Fatal(err)
+			}
+			deadline := time.Now().Add(10 * time.Second)
+			for !ms.Complete() {
+				if time.Now().After(deadline) {
+					t.Fatal("multistep copier did not finish")
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			ms.Stop()
+			if err := logger.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			return append([]byte(nil), logBuf.Bytes()...)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			log := tc.produce(t)
+			ends, types := recordEnds(log)
+			// The interesting window: the record before the migration's first
+			// RecInstall (or first RecMigrated — multi-step's shadow
+			// registration does not install) through the end of the log.
+			start := 0
+			for i, rt := range types {
+				if rt == wal.RecInstall || rt == wal.RecMigrated {
+					start = i
+					if i > 0 {
+						start = i - 1
+					}
+					break
+				}
+			}
+			for _, cut := range ends[start:] {
+				prefix := log[:cut]
+				// The never-crashed reference: a run that committed exactly the
+				// transactions whose commit records survive the cut would have
+				// marked exactly their RecMigrated granules.
+				committed, err := wal.CommittedSet(bytes.NewReader(prefix))
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				wantMigrated, wantRows := 0, 0
+				err = wal.Replay(bytes.NewReader(prefix), func(rec wal.Record) error {
+					if !committed[rec.XID] {
+						return nil
+					}
+					switch {
+					case rec.Type == wal.RecMigrated:
+						wantMigrated++
+					case rec.Type == wal.RecInsert && rec.Table == "people":
+						// Each surviving source row ends up in people_city
+						// exactly once after the migration completes.
+						wantRows++
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+
+				db := bullfrog.Open(bullfrog.Options{})
+				if _, err := db.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+					t.Fatal(err)
+				}
+				if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := db.Controller().Recover(func() (io.Reader, error) {
+					return bytes.NewReader(prefix), nil
+				}); err != nil {
+					t.Fatalf("cut %d: recover: %v", cut, err)
+				}
+				got := db.Controller().RuntimeFor("people_city").Tracker().MigratedCount()
+				if got != int64(wantMigrated) {
+					t.Fatalf("cut %d: tracker restored %d granules, never-crashed run has %d", cut, got, wantMigrated)
+				}
+				// Finishing must be exactly-once: re-migrating an already-moved
+				// granule would collide on the primary key.
+				bg := core.NewBackground(db.Controller(), 0)
+				bg.Start()
+				bg.Wait()
+				if err := bg.Err(); err != nil {
+					t.Fatalf("cut %d: completing after recovery: %v", cut, err)
+				}
+				res, err := db.Query(`SELECT COUNT(*) FROM people_city`)
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				if res.Rows[0][0].Int() != int64(wantRows) {
+					t.Fatalf("cut %d: %v rows after completion, want %d", cut, res.Rows[0][0], wantRows)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointBoundsRecovery runs a migration against a segmented log
+// directory, checkpoints mid-migration, "crashes", and recovers from the
+// checkpoint. The recovered state must match a full-replay run, and the
+// replay itself must be bounded: only records after the checkpoint cut are
+// read.
+func TestCheckpointBoundsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	wdir, err := wal.OpenDir(dir, wal.DirOptions{SegmentSize: 1 << 12, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := bullfrog.Open(bullfrog.Options{WAL: wdir})
+	seedPeople(t, db)
+	if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{5, 6, 17} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := db.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Post-checkpoint activity: two more lazily migrated rows, landing in
+	// segments above the checkpoint cut.
+	for _, id := range []int{20, 21} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: abandon db without Close; reopen the directory for recovery.
+	if err := wdir.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := wal.OpenRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Meta == nil {
+		t.Fatal("no checkpoint found after Checkpoint()")
+	}
+	db2 := bullfrog.Open(bullfrog.Options{})
+	if _, err := db2.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db2.Controller().RecoverFrom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FromCheckpoint {
+		t.Error("recovery did not use the checkpoint")
+	}
+	if stats.SnapshotRows == 0 {
+		t.Error("checkpoint snapshot carried no rows")
+	}
+	// 3 granules from the checkpoint + 2 replayed from post-checkpoint
+	// segments.
+	if got := db2.Controller().RuntimeFor("people_city").Tracker().MigratedCount(); got != 5 {
+		t.Errorf("tracker restored %d granules, want 5", got)
+	}
+	res, err := db2.Query(`SELECT COUNT(*) FROM people_city WHERE id = 20`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 1 {
+		t.Errorf("post-checkpoint migrated row lost: %v", res.Rows[0][0])
+	}
+	bg := core.NewBackground(db2.Controller(), 0)
+	bg.Start()
+	bg.Wait()
+	if err := bg.Err(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db2.Query(`SELECT COUNT(*) FROM people_city`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 40 {
+		t.Errorf("rows after completion: %v, want 40", res.Rows[0][0])
+	}
+}

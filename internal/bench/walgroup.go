@@ -1,0 +1,279 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// WalGroupResult is the walgroup figure: group-commit throughput scaling
+// (commit TPS and fsync amortization vs committer count, sync on and off)
+// and recovery-time scaling (replay time vs log length, with and without a
+// checkpoint bounding the replay).
+type WalGroupResult struct {
+	Name     string           `json:"name"`
+	Note     string           `json:"note"`
+	Commit   []WalCommitRun   `json:"commit"`
+	Recovery []WalRecoveryRun `json:"recovery"`
+}
+
+// WalCommitRun is one cell of the commit-throughput matrix.
+type WalCommitRun struct {
+	Committers  int     `json:"committers"`
+	Sync        bool    `json:"sync"`
+	DurationSec float64 `json:"duration_sec"`
+	Commits     int64   `json:"commits"`
+	TPS         float64 `json:"tps"`
+	// Syncs is the number of device fsyncs issued; with group commit it
+	// should be far below Commits once committers > 1.
+	Syncs int64 `json:"syncs"`
+	// CommitsPerSync is the amortization factor (Commits/Syncs; 0 when
+	// sync is off).
+	CommitsPerSync float64 `json:"commits_per_sync,omitempty"`
+	MeanBatch      float64 `json:"mean_batch"`
+}
+
+// WalRecoveryRun is one cell of the recovery matrix: a log built from Ops
+// committed update transactions over a fixed set of live rows (so log length
+// grows while live data does not), recovered into a fresh database.
+type WalRecoveryRun struct {
+	// Ops is the total committed transactions in the log's history.
+	Ops          int  `json:"ops"`
+	LiveRows     int  `json:"live_rows"`
+	Checkpointed bool `json:"checkpointed"`
+	// OpsSinceCheckpoint is how many transactions post-date the checkpoint
+	// cut (equals Ops when not checkpointed): checkpointed recovery cost
+	// tracks this plus LiveRows, not Ops.
+	OpsSinceCheckpoint int     `json:"ops_since_checkpoint"`
+	LogBytes           int64   `json:"log_bytes"`
+	Segments           int     `json:"segments"`
+	RecoverySec        float64 `json:"recovery_sec"`
+	// ReplayedRecords counts data records applied from the segments;
+	// SnapshotRows counts rows seeded from the checkpoint snapshot.
+	ReplayedRecords int64 `json:"replayed_records"`
+	SnapshotRows    int64 `json:"snapshot_rows"`
+}
+
+// FigureWalGroup runs both matrices. The profile scales per-cell duration
+// and log sizes; frac is unused (no offered-load dimension here).
+func FigureWalGroup(p Profile) (*WalGroupResult, error) {
+	res := &WalGroupResult{
+		Name: "walgroup",
+		Note: "group-commit WAL: commit TPS vs committers (sync on/off) and recovery time vs log length (checkpoint on/off)",
+	}
+	cell := p.Duration / 16
+	if cell < 200*time.Millisecond {
+		cell = 200 * time.Millisecond
+	}
+	for _, nsync := range []bool{true, false} {
+		for _, committers := range []int{1, 4, 16, 64} {
+			run, err := walCommitCell(committers, nsync, cell)
+			if err != nil {
+				return nil, err
+			}
+			res.Commit = append(res.Commit, run)
+		}
+	}
+	base := p.Scale.CustomersPerDist * 4 // quick: 600 ops
+	if base < 400 {
+		base = 400
+	}
+	for _, ops := range []int{base, base * 2, base * 4} {
+		for _, ckpt := range []bool{false, true} {
+			run, err := walRecoveryCell(ops, ckpt, base/4)
+			if err != nil {
+				return nil, err
+			}
+			res.Recovery = append(res.Recovery, run)
+		}
+	}
+	return res, nil
+}
+
+// walCommitCell hammers one segmented log from n concurrent committers for
+// the given duration, each commit a 2-record AppendBatch (redo + commit).
+func walCommitCell(n int, doSync bool, d time.Duration) (WalCommitRun, error) {
+	dir, err := os.MkdirTemp("", "walgroup")
+	if err != nil {
+		return WalCommitRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	wdir, err := wal.OpenDir(dir, wal.DirOptions{NoSync: !doSync})
+	if err != nil {
+		return WalCommitRun{}, err
+	}
+	met := &obs.WALMetrics{}
+	wdir.SetObs(met)
+
+	var commits atomic.Int64
+	var failure atomic.Pointer[error]
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	row := []byte("walgroup-payload-0123456789abcdef")
+	start := time.Now()
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var xid uint64 = uint64(g)<<32 + 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := wdir.AppendBatch([]wal.Record{
+					{Type: wal.RecMigrated, XID: xid, Table: "bench", Key: row},
+					{Type: wal.RecCommit, XID: xid},
+				})
+				if err != nil {
+					failure.Store(&err)
+					return
+				}
+				xid++
+				commits.Add(1)
+			}
+		}(g)
+	}
+	time.Sleep(d)
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := wdir.Close(); err != nil {
+		return WalCommitRun{}, err
+	}
+	if p := failure.Load(); p != nil {
+		return WalCommitRun{}, *p
+	}
+	run := WalCommitRun{
+		Committers:  n,
+		Sync:        doSync,
+		DurationSec: elapsed.Seconds(),
+		Commits:     commits.Load(),
+		Syncs:       met.Syncs.Load(),
+	}
+	run.TPS = float64(run.Commits) / elapsed.Seconds()
+	if run.Syncs > 0 {
+		run.CommitsPerSync = float64(run.Commits) / float64(run.Syncs)
+	}
+	if snap := met.GroupBatchSize.Snapshot(); snap.Count > 0 {
+		run.MeanBatch = float64(snap.Sum) / float64(snap.Count)
+	}
+	return run, nil
+}
+
+// walRecoveryCell builds a log of `ops` committed transactions — a fixed
+// set of live rows updated over and over, so the log's history outgrows the
+// data — optionally checkpointing so only `tail` transactions post-date the
+// checkpoint, then times recovery into a fresh database.
+func walRecoveryCell(ops int, checkpoint bool, tail int) (WalRecoveryRun, error) {
+	const live = 100
+	dir, err := os.MkdirTemp("", "walgroup")
+	if err != nil {
+		return WalRecoveryRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	wdir, err := wal.OpenDir(dir, wal.DirOptions{SegmentSize: 1 << 18, NoSync: true})
+	if err != nil {
+		return WalRecoveryRun{}, err
+	}
+	const ddl = `CREATE TABLE kv (id INT PRIMARY KEY, pad CHAR(32))`
+	db := bullfrog.Open(bullfrog.Options{WAL: wdir})
+	if _, err := db.Exec(ddl); err != nil {
+		return WalRecoveryRun{}, err
+	}
+	for i := 1; i <= live; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'padding-padding-padding-padding')`, i)); err != nil {
+			return WalRecoveryRun{}, err
+		}
+	}
+	ckptAt := ops - tail
+	sinceCkpt := ops
+	for i := 1; i <= ops; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`UPDATE kv SET pad = 'rev-%d' WHERE id = %d`, i, i%live+1)); err != nil {
+			return WalRecoveryRun{}, err
+		}
+		if checkpoint && i == ckptAt {
+			if err := db.Checkpoint(context.Background()); err != nil {
+				return WalRecoveryRun{}, err
+			}
+			sinceCkpt = tail
+		}
+	}
+	if err := wdir.Close(); err != nil {
+		return WalRecoveryRun{}, err
+	}
+	var logBytes int64
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return WalRecoveryRun{}, err
+	}
+	for _, e := range ents {
+		if info, err := e.Info(); err == nil {
+			logBytes += info.Size()
+		}
+	}
+	src, err := wal.OpenRecovery(dir)
+	if err != nil {
+		return WalRecoveryRun{}, err
+	}
+	db2 := bullfrog.Open(bullfrog.Options{})
+	if _, err := db2.Exec(ddl); err != nil {
+		return WalRecoveryRun{}, err
+	}
+	start := time.Now()
+	stats, err := db2.Controller().RecoverFrom(src)
+	if err != nil {
+		return WalRecoveryRun{}, err
+	}
+	elapsed := time.Since(start)
+	return WalRecoveryRun{
+		Ops:                ops,
+		LiveRows:           live,
+		Checkpointed:       checkpoint,
+		OpsSinceCheckpoint: sinceCkpt,
+		LogBytes:           logBytes,
+		Segments:           len(src.Segments),
+		RecoverySec:        elapsed.Seconds(),
+		ReplayedRecords:    int64(stats.Inserts + stats.Updates + stats.Deletes),
+		SnapshotRows:       int64(stats.SnapshotRows),
+	}, nil
+}
+
+// FormatWalGroup renders the result as aligned text tables.
+func FormatWalGroup(res *WalGroupResult) string {
+	var b []byte
+	app := func(s string, args ...any) { b = append(b, fmt.Sprintf(s, args...)...) }
+	app("== %s: %s ==\n", res.Name, res.Note)
+	app("%-11s %-5s %10s %10s %14s %10s\n", "committers", "sync", "tps", "syncs", "commits/sync", "meanbatch")
+	for _, r := range res.Commit {
+		app("%-11d %-5v %10.0f %10d %14.1f %10.1f\n", r.Committers, r.Sync, r.TPS, r.Syncs, r.CommitsPerSync, r.MeanBatch)
+	}
+	app("%-7s %-6s %12s %10s %9s %9s %13s\n", "ops", "ckpt", "since_ckpt", "log_bytes", "segments", "replayed", "recovery_ms")
+	for _, r := range res.Recovery {
+		app("%-7d %-6v %12d %10d %9d %9d %13.2f\n", r.Ops, r.Checkpointed, r.OpsSinceCheckpoint, r.LogBytes, r.Segments, r.ReplayedRecords, r.RecoverySec*1000)
+	}
+	return string(b)
+}
+
+// WriteWalGroupJSON writes dir/BENCH_walgroup.json.
+func WriteWalGroupJSON(res *WalGroupResult, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_walgroup.json")
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}

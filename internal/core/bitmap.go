@@ -203,3 +203,13 @@ func (b *Bitmap) IsMigrated(key []byte) bool { return b.IsMigratedGranule(Granul
 
 // RestoreMigrated implements Tracker.
 func (b *Bitmap) RestoreMigrated(key []byte) { b.RestoreMigratedGranule(GranuleFromKey(key)) }
+
+// SnapshotMigrated implements Tracker: fn receives every migrated granule's
+// key, in granule order.
+func (b *Bitmap) SnapshotMigrated(fn func(key []byte)) {
+	for g := int64(0); g < b.granules; g++ {
+		if b.state(g) == stateMigrated {
+			fn(GranuleKey(g))
+		}
+	}
+}

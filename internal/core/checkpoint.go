@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// Checkpointer periodically writes transaction-consistent checkpoints of a
+// segmented WAL directory, bounding recovery replay to the records appended
+// since the last checkpoint. A checkpoint captures three things the log's
+// deleted prefix would otherwise carry: the catalog install history, a full
+// table snapshot (rows with their live TIDs, so post-checkpoint updates and
+// deletes still resolve), and the migration trackers' migrated sets.
+//
+// Consistency comes from the WAL commit fence (wal.Dir.BeginCheckpoint):
+// while the fence is up no commit can append or publish, so the snapshot
+// transaction, the install history, and the tracker state captured under the
+// fence agree exactly with the segments below the rotation cut. Tracker
+// marking happens inside Txn.Commit (before the committer releases its fence
+// token), which is what makes the tracker capture sound.
+type Checkpointer struct {
+	ctrl     *Controller
+	dir      *wal.Dir
+	interval time.Duration
+
+	ctx  context.Context
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCheckpointer creates a checkpointer for the controller's database and
+// the given log directory. ctx bounds every background checkpoint's fence
+// drain (pass the facade's close context); interval is the cadence of the
+// background loop started by Start.
+func NewCheckpointer(ctx context.Context, ctrl *Controller, dir *wal.Dir, interval time.Duration) *Checkpointer {
+	return &Checkpointer{
+		ctrl:     ctrl,
+		dir:      dir,
+		interval: interval,
+		ctx:      ctx,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start launches the background loop. One checkpoint runs per interval tick;
+// a tick with nothing new in the log (no records since the last cut) still
+// checkpoints — the cost is proportional to live data, not log length.
+func (cp *Checkpointer) Start() {
+	go cp.loop()
+}
+
+// Stop halts the background loop and waits for an in-flight checkpoint to
+// finish.
+//
+//lint:ignore ctxflow teardown join: Stop must run to completion so a half-written checkpoint is aborted, not leaked
+func (cp *Checkpointer) Stop() {
+	close(cp.stop)
+	<-cp.done
+}
+
+func (cp *Checkpointer) loop() {
+	defer close(cp.done)
+	t := time.NewTicker(cp.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-cp.stop:
+			return
+		case <-cp.ctx.Done():
+			return
+		case <-t.C:
+			// Best-effort: a failed checkpoint leaves the previous one (or a
+			// full replay) intact; the next tick retries.
+			_, _ = cp.CheckpointNow(cp.ctx)
+		}
+	}
+}
+
+// CheckpointNow takes one checkpoint synchronously and returns its metadata.
+// Concurrent calls collide on wal.ErrCheckpointActive.
+func (cp *Checkpointer) CheckpointNow(ctx context.Context) (wal.CheckpointMeta, error) {
+	db := cp.ctrl.db
+	firstSeg, release, err := cp.dir.BeginCheckpoint(ctx)
+	if err != nil {
+		return wal.CheckpointMeta{}, err
+	}
+	// Under the fence: pin the snapshot and capture the fence-consistent
+	// state. Everything here is in-memory work; the streaming happens after
+	// release so commits are stalled only for the capture.
+	tx := db.Begin()
+	meta := wal.CheckpointMeta{FirstSeg: firstSeg, Watermark: tx.Snapshot().Seq}
+	installs := db.InstallHistory()
+	type trackerSnap struct {
+		stmt string
+		keys [][]byte
+	}
+	var trackers []trackerSnap
+	for _, rt := range cp.ctrl.Runtimes() {
+		ts := trackerSnap{stmt: rt.Stmt.Name}
+		rt.Tracker().SnapshotMigrated(func(key []byte) {
+			ts.keys = append(ts.keys, append([]byte(nil), key...))
+		})
+		trackers = append(trackers, ts)
+	}
+	release()
+
+	fail := func(err error) (wal.CheckpointMeta, error) {
+		_ = db.Abort(tx)
+		return wal.CheckpointMeta{}, err
+	}
+	cw, err := cp.dir.NewCheckpoint(meta)
+	if err != nil {
+		return fail(err)
+	}
+	failw := func(err error) (wal.CheckpointMeta, error) {
+		cw.Abort()
+		return fail(err)
+	}
+	for _, name := range installs {
+		if err := cw.Append(wal.Record{Type: wal.RecInstall, Table: name}); err != nil {
+			return failw(err)
+		}
+	}
+	// Table snapshot: every row visible to the pinned snapshot, with its live
+	// TID so post-checkpoint log records resolve against it on recovery.
+	for _, name := range db.Catalog().TableNames() {
+		tbl, err := db.Catalog().Table(name)
+		if err != nil {
+			continue
+		}
+		err = tbl.Heap.Scan(func(tid storage.TID, head *storage.Version) error {
+			row, ok := tx.VisibleRow(head)
+			if !ok {
+				return nil
+			}
+			return cw.Append(wal.Record{Type: wal.RecInsert, Table: name, TID: tid, Row: row})
+		})
+		if err != nil {
+			return failw(fmt.Errorf("core: checkpoint snapshot of %q: %w", name, err))
+		}
+	}
+	for _, ts := range trackers {
+		for _, key := range ts.keys {
+			if err := cw.Append(wal.Record{Type: wal.RecMigrated, Table: ts.stmt, Key: key}); err != nil {
+				return failw(err)
+			}
+		}
+	}
+	if err := cw.Commit(); err != nil {
+		return fail(err)
+	}
+	if err := cp.dir.CompleteCheckpoint(meta); err != nil {
+		return fail(err)
+	}
+	_ = db.Abort(tx)
+	return meta, nil
+}

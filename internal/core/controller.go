@@ -553,9 +553,8 @@ func (c *Controller) commitMigTxn(tx *txn.Txn) error {
 
 func (c *Controller) abortMigTxn(tx *txn.Txn) {
 	c.migTxns.Delete(tx.ID())
-	// A lost abort record is advisory (recovery treats any txn without a
-	// commit record as aborted) and counted in wal.abort_append_errors; the
-	// migration error unwinding through the caller takes precedence.
+	// Batch logging drops the buffered redo with the transaction; nothing
+	// reaches the log, so Abort cannot fail.
 	_ = c.db.Abort(tx)
 }
 
@@ -796,21 +795,26 @@ func (rt *StmtRuntime) bitmapPass(ctx context.Context, pred expr.Expr, directGra
 		return busy, err
 	}
 	for _, g := range wip {
-		if err := rt.ctrl.db.WAL().Append(wal.Record{
-			Type: wal.RecMigrated, XID: tx.ID(), Table: rt.Stmt.Name, Key: GranuleKey(g),
-		}); err != nil {
-			return busy, err
-		}
+		rt.ctrl.db.LogRedo(tx, wal.Record{
+			Type: wal.RecMigrated, Table: rt.Stmt.Name, Key: GranuleKey(g),
+		})
 	}
+	// Mark trackers from inside the commit (OnCommit runs within Txn.Commit,
+	// before the engine releases the WAL commit fence): a checkpoint's
+	// snapshot then always agrees with its log cut — it can never miss a
+	// granule whose RecMigrated record lives in an about-to-be-deleted
+	// segment.
+	tx.OnCommit(func() {
+		for _, g := range wip {
+			rt.markGranuleMigrated(g)
+		}
+	})
 	if err := rt.ctrl.commitMigTxn(tx); err != nil {
 		return busy, err
 	}
 	finished = true
 	rt.stats.transforms.Add(1)
 	rt.attributeTuples(inserted, background)
-	for _, g := range wip {
-		rt.markGranuleMigrated(g)
-	}
 	return busy, rt.checkBitmapComplete()
 }
 
@@ -1143,21 +1147,23 @@ func (rt *StmtRuntime) hashPass(ctx context.Context, pred expr.Expr, directKeys 
 		if err != nil {
 			return busy, err
 		}
-		if err := rt.ctrl.db.WAL().Append(wal.Record{
-			Type: wal.RecMigrated, XID: tx.ID(), Table: rt.Stmt.Name, Key: k,
-		}); err != nil {
-			return busy, err
-		}
+		rt.ctrl.db.LogRedo(tx, wal.Record{
+			Type: wal.RecMigrated, Table: rt.Stmt.Name, Key: k,
+		})
 	}
+	// Mark trackers from inside the commit, within the WAL commit fence (see
+	// bitmapPass): checkpoint snapshots stay aligned with the log cut.
+	tx.OnCommit(func() {
+		for _, k := range wip {
+			rt.markGroupMigrated(k)
+		}
+	})
 	if err := rt.ctrl.commitMigTxn(tx); err != nil {
 		return busy, err
 	}
 	committed = true
 	rt.stats.transforms.Add(1)
 	rt.attributeTuples(inserted, background)
-	for _, k := range wip {
-		rt.markGroupMigrated(k)
-	}
 	return busy, nil
 }
 

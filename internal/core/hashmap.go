@@ -112,3 +112,22 @@ func (t *HashTracker) RestoreMigrated(key []byte) {
 
 // MigratedCount returns the number of migrated groups.
 func (t *HashTracker) MigratedCount() int64 { return t.migrated.Load() }
+
+// SnapshotMigrated implements Tracker: fn receives every migrated group's
+// key. Shard latches are taken one at a time (never two at once).
+func (t *HashTracker) SnapshotMigrated(fn func(key []byte)) {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		keys := make([]string, 0, len(s.states))
+		for k, st := range s.states {
+			if st == groupMigrated {
+				keys = append(keys, k)
+			}
+		}
+		s.mu.Unlock()
+		for _, k := range keys {
+			fn([]byte(k))
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
 )
 
 // Recover replays the redo log into the database and restores the
@@ -19,6 +20,23 @@ import (
 // trackers are re-sized after the data replay (Start sees empty heaps) and
 // only then receive their restored migrate bits.
 func (c *Controller) Recover(readLog func() (io.Reader, error)) (engine.RecoverStats, error) {
+	return c.recoverWith(func(onMigrated func(string, []byte)) (engine.RecoverStats, error) {
+		return c.db.Recover(readLog, onMigrated)
+	})
+}
+
+// RecoverFrom is Recover for a checkpointed, segmented log: the engine
+// replays the checkpoint snapshot plus the post-checkpoint segments in a
+// single pass (engine.DB.RecoverFrom), and tracker restoration works exactly
+// as in Recover — the checkpoint's RecMigrated records and the segments'
+// committed ones both flow through the same callback.
+func (c *Controller) RecoverFrom(src *wal.RecoverySource) (engine.RecoverStats, error) {
+	return c.recoverWith(func(onMigrated func(string, []byte)) (engine.RecoverStats, error) {
+		return c.db.RecoverFrom(src, onMigrated)
+	})
+}
+
+func (c *Controller) recoverWith(replay func(onMigrated func(string, []byte)) (engine.RecoverStats, error)) (engine.RecoverStats, error) {
 	byName := map[string]*StmtRuntime{}
 	for _, rt := range c.Runtimes() {
 		byName[rt.Stmt.Name] = rt
@@ -28,9 +46,9 @@ func (c *Controller) Recover(readLog func() (io.Reader, error)) (engine.RecoverS
 		key []byte
 	}
 	var pending []migratedRec
-	stats, err := c.db.Recover(readLog, func(tracker string, key []byte) {
+	stats, err := replay(func(tracker string, key []byte) {
 		if rt, ok := byName[tracker]; ok {
-			pending = append(pending, migratedRec{rt: rt, key: key})
+			pending = append(pending, migratedRec{rt: rt, key: append([]byte(nil), key...)})
 		}
 	})
 	if err != nil {

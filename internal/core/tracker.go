@@ -54,4 +54,8 @@ type Tracker interface {
 	RestoreMigrated(key []byte)
 	// MigratedCount returns how many granules have been migrated.
 	MigratedCount() int64
+	// SnapshotMigrated calls fn for every migrated granule's key. Used by
+	// checkpoints to persist tracker state; the snapshot is consistent when
+	// the caller has quiesced marking (the WAL commit fence does this).
+	SnapshotMigrated(fn func(key []byte))
 }

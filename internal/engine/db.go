@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
@@ -52,13 +53,21 @@ type MigrationHook interface {
 
 // DB is an embedded database instance.
 type DB struct {
-	cat   *catalog.Catalog
-	tm    *txn.Manager
-	opts  Options
-	log   wal.Logger
-	hook  MigrationHook
-	met   *obs.Set
-	plans *planCache
+	cat     *catalog.Catalog
+	tm      *txn.Manager
+	opts    Options
+	log     wal.Logger
+	logging bool // false when the WAL is Nop: skip redo buffering entirely
+	hook    MigrationHook
+	met     *obs.Set
+	plans   *planCache
+
+	// installMu guards installs, the in-order catalog-install history.
+	// Checkpoints snapshot it so recovery from a checkpoint still learns
+	// which migration was active (install markers in deleted segments would
+	// otherwise be lost).
+	installMu sync.Mutex
+	installs  []string
 }
 
 // New creates an empty database.
@@ -81,7 +90,8 @@ func New(opts Options) *DB {
 	log = wal.Instrument(log, set.WAL)
 	cat := catalog.New()
 	cat.SetObs(set.Catalog)
-	return &DB{cat: cat, tm: tm, opts: opts, log: log, met: set, plans: newPlanCache()}
+	_, nop := log.(wal.Nop)
+	return &DB{cat: cat, tm: tm, opts: opts, log: log, logging: !nop, met: set, plans: newPlanCache()}
 }
 
 // Obs returns the database's metrics set. Never nil; every sub-struct is
@@ -110,21 +120,40 @@ func (db *DB) catForTxn(tx *txn.Txn) *catalog.Version {
 // InstallCatalogVersion publishes a new catalog version that marks the named
 // tables retired, at a commit sequence reserved through the transaction
 // manager's install barrier — BullFrog's big flip as a CAS instead of a
-// stop-the-world drain. The install marker is logged and flushed before the
-// barrier so a failing log device aborts the flip with nothing published; a
-// crash after the marker but before the install is safe because trackers are
-// rebuilt by re-running the migration's Start on recovery (§3.5).
+// stop-the-world drain. The install marker is logged and flushed (durably,
+// when the log knows its device) before the barrier so a failing log device
+// aborts the flip with nothing published; a crash after the marker but
+// before the install is safe because trackers are rebuilt by re-running the
+// migration's Start on recovery (§3.5). The whole sequence runs inside the
+// commit fence so a checkpoint's rotation cannot split the marker from the
+// published version or the recorded install history.
 func (db *DB) InstallCatalogVersion(name string, retire []string) (uint64, error) {
+	release := db.enterCommit()
+	defer release()
 	if err := db.log.Append(wal.Record{Type: wal.RecInstall, Table: name}); err != nil {
 		return 0, fmt.Errorf("engine: logging catalog install: %w: %w", ErrWALAppend, err)
 	}
 	if err := db.log.Flush(); err != nil {
 		return 0, fmt.Errorf("engine: flushing catalog install: %w: %w", ErrWALAppend, err)
 	}
-	return db.tm.InstallBarrier(func(seq uint64) error {
+	seq, err := db.tm.InstallBarrier(func(seq uint64) error {
 		_, err := db.cat.Install(seq, retire)
 		return err
 	})
+	if err != nil {
+		return 0, err
+	}
+	db.installMu.Lock()
+	db.installs = append(db.installs, name)
+	db.installMu.Unlock()
+	return seq, nil
+}
+
+// InstallHistory returns the catalog installs published so far, in order.
+func (db *DB) InstallHistory() []string {
+	db.installMu.Lock()
+	defer db.installMu.Unlock()
+	return append([]string(nil), db.installs...)
 }
 
 // WAL exposes the redo logger.
@@ -137,45 +166,88 @@ func (db *DB) SetMigrationHook(h MigrationHook) { db.hook = h }
 // Begin starts a transaction.
 func (db *DB) Begin() *txn.Txn { return db.tm.Begin() }
 
-// Commit durably commits: the commit record is logged and flushed before the
-// transaction becomes visible.
+// LogRedo buffers a redo record on the transaction. Nothing reaches the log
+// until Commit appends the whole batch followed by the commit record —
+// commit-time batch logging. Aborted transactions therefore never appear in
+// the log at all, and recovery needs no abort records or aborted-XID
+// tracking. With logging disabled (Nop WAL) this is a no-op.
+func (db *DB) LogRedo(tx *txn.Txn, rec wal.Record) {
+	if !db.logging {
+		return
+	}
+	rec.XID = tx.ID()
+	tx.AppendRedo(rec)
+}
+
+// enterCommit takes the log's commit-fence token when the log is a
+// checkpointing target (wal.Dir). The token is held from before the batch
+// append until after the transaction publishes, so a checkpoint's segment
+// rotation can never land between a transaction's log records and its
+// visibility — the snapshot and the log cut always agree.
+func (db *DB) enterCommit() func() {
+	if f, ok := db.log.(wal.CommitFencer); ok {
+		return f.EnterCommit()
+	}
+	return func() {}
+}
+
+// appendBatch hands the transaction's records to the log in one durable
+// step. A BatchLogger (the real WAL writer) appends the batch atomically and
+// waits for the covering group-commit sync; other loggers fall back to
+// record-at-a-time appends plus an explicit flush.
+func (db *DB) appendBatch(recs []wal.Record) error {
+	if bl, ok := db.log.(wal.BatchLogger); ok {
+		return bl.AppendBatch(recs)
+	}
+	for _, rec := range recs {
+		if err := db.log.Append(rec); err != nil {
+			return err
+		}
+	}
+	return db.log.Flush()
+}
+
+// Commit durably commits: the transaction's buffered redo batch plus its
+// commit record are appended atomically and made durable before the
+// transaction becomes visible. Transactions with no redo (read-only, or
+// DDL-only — the catalog is rebuilt by replaying install markers, not DML)
+// skip the log entirely.
 func (db *DB) Commit(tx *txn.Txn) error {
 	if tx.Done() {
 		return txn.ErrTxnDone
 	}
 	start := time.Now()
-	if err := db.log.Append(wal.Record{Type: wal.RecCommit, XID: tx.ID()}); err != nil {
+	recs := tx.TakeRedo()
+	if len(recs) == 0 {
+		if err := tx.Commit(); err != nil {
+			return err
+		}
+		db.met.Txn.CommitLatency.ObserveSince(start)
+		return nil
+	}
+	recs = append(recs, wal.Record{Type: wal.RecCommit, XID: tx.ID()})
+	release := db.enterCommit()
+	if err := db.appendBatch(recs); err != nil {
+		release()
 		tx.Abort()
 		return fmt.Errorf("engine: logging commit: %w: %w", ErrWALAppend, err)
 	}
-	if err := db.log.Flush(); err != nil {
-		tx.Abort()
-		return fmt.Errorf("engine: flushing log: %w: %w", ErrWALAppend, err)
-	}
-	if err := tx.Commit(); err != nil {
+	err := tx.Commit()
+	release()
+	if err != nil {
 		return err
 	}
 	db.met.Txn.CommitLatency.ObserveSince(start)
 	return nil
 }
 
-// Abort rolls the transaction back, logging an abort record. The rollback
-// itself always happens; the returned error reports only a failed append of
-// the abort record. That failure is safe to tolerate — recovery treats any
-// transaction without a commit record as aborted — but it means the log
-// device is rejecting writes, so it is counted in wal.abort_append_errors
-// and surfaced for callers that can report it.
+// Abort rolls the transaction back. With commit-time batch logging the
+// transaction's redo records were never appended, so there is nothing to log
+// — the buffered batch is simply dropped with the transaction state. Always
+// returns nil; the error form survives for call-site compatibility.
 func (db *DB) Abort(tx *txn.Txn) error {
-	if tx.Done() {
-		return nil
-	}
-	var aerr error
-	if err := db.log.Append(wal.Record{Type: wal.RecAbort, XID: tx.ID()}); err != nil {
-		db.met.WAL.AbortAppendErrors.Inc()
-		aerr = fmt.Errorf("engine: logging abort: %w: %w", ErrWALAppend, err)
-	}
 	tx.Abort()
-	return aerr
+	return nil
 }
 
 // Result is the outcome of executing a statement.
@@ -201,8 +273,6 @@ func (db *DB) Exec(src string) (*Result, error) {
 		tx := db.Begin()
 		res, err := db.ExecStmt(tx, s)
 		if err != nil {
-			// The statement error is the caller's failure; a lost abort
-			// record is advisory (see Abort) and already counted.
 			_ = db.Abort(tx)
 			return nil, err
 		}

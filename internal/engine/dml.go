@@ -87,9 +87,7 @@ func (db *DB) InsertRow(tx *txn.Txn, tbl *catalog.Table, row types.Row, conflict
 		}
 	}
 	tid := tbl.Heap.Insert(tx.ID(), row)
-	if err := db.log.Append(wal.Record{Type: wal.RecInsert, XID: tx.ID(), Table: tbl.Def.Name, TID: tid, Row: row}); err != nil {
-		return storage.TID{}, false, err
-	}
+	db.LogRedo(tx, wal.Record{Type: wal.RecInsert, Table: tbl.Def.Name, TID: tid, Row: row})
 	for _, idx := range tbl.Indexes() {
 		idx.Insert(idx.Def().KeyFromRow(row), tid)
 	}
@@ -318,9 +316,6 @@ func (db *DB) UpdateRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID, newRow
 			return fmt.Errorf("%w %q on table %q", ErrUniqueViolation, def.Name, tbl.Def.Name)
 		}
 	}
-	if err := db.log.Append(wal.Record{Type: wal.RecUpdate, XID: tx.ID(), Table: tbl.Def.Name, TID: tid, Row: newRow}); err != nil {
-		return err
-	}
 	if err := tbl.Heap.Mutate(tid, func(s storage.Slot) error {
 		if ok, cerr := tx.CheckWritable(s.Head()); cerr != nil || !ok {
 			if cerr != nil {
@@ -333,6 +328,9 @@ func (db *DB) UpdateRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID, newRow
 	}); err != nil {
 		return err
 	}
+	// Buffer redo only after the mutate succeeds so a failed statement in a
+	// transaction that later commits cannot replay a phantom update.
+	db.LogRedo(tx, wal.Record{Type: wal.RecUpdate, Table: tbl.Def.Name, TID: tid, Row: newRow})
 	// Maintain indexes for changed keys; stale old entries are tolerated by
 	// read-side rechecks and swept by vacuum.
 	var added []struct {
@@ -410,9 +408,6 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 			}
 		}
 	}
-	if err := db.log.Append(wal.Record{Type: wal.RecDelete, XID: tx.ID(), Table: tbl.Def.Name, TID: tid}); err != nil {
-		return err
-	}
 	if err := tbl.Heap.Mutate(tid, func(s storage.Slot) error {
 		if ok, cerr := tx.CheckWritable(s.Head()); cerr != nil || !ok {
 			if cerr != nil {
@@ -424,6 +419,8 @@ func (db *DB) DeleteRow(tx *txn.Txn, tbl *catalog.Table, tid storage.TID) error 
 	}); err != nil {
 		return err
 	}
+	// Buffer redo only after the mutate succeeds (see UpdateRow).
+	db.LogRedo(tx, wal.Record{Type: wal.RecDelete, Table: tbl.Def.Name, TID: tid})
 	tx.OnAbort(func() {
 		// Abort cleanup is best-effort: a missing tuple has nothing to undo.
 		_ = tbl.Heap.Mutate(tid, func(s storage.Slot) error {

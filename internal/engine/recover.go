@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/bullfrogdb/bullfrog/internal/storage"
+	"github.com/bullfrogdb/bullfrog/internal/txn"
 	"github.com/bullfrogdb/bullfrog/internal/wal"
 )
 
@@ -20,6 +21,108 @@ type RecoverStats struct {
 	// that was active at the crash: recovery re-runs its Start (DDL is not
 	// logged) and then replays RecMigrated records into its trackers (§3.5).
 	Installs []string
+	// FromCheckpoint reports whether a checkpoint snapshot seeded the replay
+	// (RecoverFrom only).
+	FromCheckpoint bool
+	// SnapshotRows counts rows restored from the checkpoint snapshot, as
+	// opposed to replayed from the log (RecoverFrom only).
+	SnapshotRows int
+}
+
+// applier replays committed data records into the database under one
+// recovery transaction. It is shared by the legacy two-pass Recover and the
+// checkpoint-aware single-pass RecoverFrom.
+type applier struct {
+	db    *DB
+	tx    *txn.Txn
+	stats *RecoverStats
+	// Original TID -> recovered TID, per table (inserts may interleave
+	// differently than original slot allocation).
+	tidMap     map[string]map[storage.TID]storage.TID
+	onMigrated func(tracker string, key []byte)
+}
+
+func newApplier(db *DB, tx *txn.Txn, stats *RecoverStats, onMigrated func(string, []byte)) *applier {
+	return &applier{
+		db: db, tx: tx, stats: stats,
+		tidMap:     make(map[string]map[storage.TID]storage.TID),
+		onMigrated: onMigrated,
+	}
+}
+
+func (a *applier) mapFor(table string) map[storage.TID]storage.TID {
+	m := a.tidMap[normalizeName(table)]
+	if m == nil {
+		m = make(map[storage.TID]storage.TID)
+		a.tidMap[normalizeName(table)] = m
+	}
+	return m
+}
+
+// apply replays one committed data record. Begin/commit/abort/install/
+// checkpoint records are the caller's to route.
+func (a *applier) apply(rec wal.Record) error {
+	switch rec.Type {
+	case wal.RecInsert:
+		tbl, err := a.db.cat.Table(rec.Table)
+		if err != nil {
+			return fmt.Errorf("engine: recovery: %w", err)
+		}
+		newTID := tbl.Heap.Insert(a.tx.ID(), rec.Row)
+		for _, idx := range tbl.Indexes() {
+			idx.Insert(idx.Def().KeyFromRow(rec.Row), newTID)
+		}
+		a.mapFor(rec.Table)[rec.TID] = newTID
+		a.stats.Inserts++
+	case wal.RecUpdate:
+		tbl, err := a.db.cat.Table(rec.Table)
+		if err != nil {
+			return fmt.Errorf("engine: recovery: %w", err)
+		}
+		newTID, ok := a.mapFor(rec.Table)[rec.TID]
+		if !ok {
+			// The tuple predates the log (no insert record): recovery
+			// from a truncated log cannot reconstruct it.
+			return fmt.Errorf("engine: recovery: update to unknown tuple %s in %q", rec.TID, rec.Table)
+		}
+		err = tbl.Heap.Mutate(newTID, func(s storage.Slot) error {
+			old := s.Head().Row
+			s.Push(a.tx.ID(), rec.Row)
+			for _, idx := range tbl.Indexes() {
+				oldKey := idx.Def().KeyFromRow(old)
+				newKey := idx.Def().KeyFromRow(rec.Row)
+				if string(oldKey) != string(newKey) {
+					idx.Insert(newKey, newTID)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		a.stats.Updates++
+	case wal.RecDelete:
+		tbl, err := a.db.cat.Table(rec.Table)
+		if err != nil {
+			return fmt.Errorf("engine: recovery: %w", err)
+		}
+		newTID, ok := a.mapFor(rec.Table)[rec.TID]
+		if !ok {
+			return fmt.Errorf("engine: recovery: delete of unknown tuple %s in %q", rec.TID, rec.Table)
+		}
+		if err := tbl.Heap.Mutate(newTID, func(s storage.Slot) error {
+			return s.SetXMax(a.tx.ID())
+		}); err != nil {
+			return err
+		}
+		a.stats.Deletes++
+	case wal.RecMigrated:
+		if a.onMigrated != nil {
+			a.onMigrated(rec.Table, rec.Key)
+		}
+		a.stats.Migrated++
+	}
+	return nil
 }
 
 // Recover rebuilds table contents (and reports committed migration-status
@@ -29,8 +132,11 @@ type RecoverStats struct {
 // committed transactions are applied; onMigrated receives each committed
 // RecMigrated record so BullFrog's trackers can be restored (paper §3.5).
 //
-// readLog is called twice (commit-set pass, then apply pass); it must return
-// a fresh reader over the same log each time.
+// This is the legacy two-pass path for logs without a checkpoint: readLog is
+// called twice (commit-set pass, then apply pass) and must return a fresh
+// reader over the same log each time. Checkpoint-aware deployments recover
+// through RecoverFrom, which replays post-checkpoint segments in a single
+// pass.
 func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker string, key []byte)) (RecoverStats, error) {
 	var stats RecoverStats
 	r1, err := readLog()
@@ -50,22 +156,12 @@ func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker
 	// All replayed effects are applied under one recovery transaction and
 	// become visible atomically at its commit.
 	tx := db.Begin()
-	// Original TID -> recovered TID, per table (inserts may interleave
-	// differently than original slot allocation).
-	tidMap := make(map[string]map[storage.TID]storage.TID)
-	mapFor := func(table string) map[storage.TID]storage.TID {
-		m := tidMap[normalizeName(table)]
-		if m == nil {
-			m = make(map[storage.TID]storage.TID)
-			tidMap[normalizeName(table)] = m
-		}
-		return m
-	}
+	ap := newApplier(db, tx, &stats, onMigrated)
 	err = wal.Replay(r2, func(rec wal.Record) error {
-		if rec.Type == wal.RecBegin || rec.Type == wal.RecCommit || rec.Type == wal.RecAbort {
+		switch rec.Type {
+		case wal.RecBegin, wal.RecCommit, wal.RecAbort, wal.RecCheckpoint:
 			return nil
-		}
-		if rec.Type == wal.RecInstall {
+		case wal.RecInstall:
 			// Install markers are transaction-less (XID 0): the flip was
 			// published iff the marker reached the log, because the marker is
 			// flushed before the version is installed.
@@ -75,72 +171,118 @@ func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker
 		if !committed[rec.XID] {
 			return nil
 		}
-		switch rec.Type {
-		case wal.RecInsert:
-			tbl, err := db.cat.Table(rec.Table)
-			if err != nil {
-				return fmt.Errorf("engine: recovery: %w", err)
-			}
-			newTID := tbl.Heap.Insert(tx.ID(), rec.Row)
-			for _, idx := range tbl.Indexes() {
-				idx.Insert(idx.Def().KeyFromRow(rec.Row), newTID)
-			}
-			mapFor(rec.Table)[rec.TID] = newTID
-			stats.Inserts++
-		case wal.RecUpdate:
-			tbl, err := db.cat.Table(rec.Table)
-			if err != nil {
-				return fmt.Errorf("engine: recovery: %w", err)
-			}
-			newTID, ok := mapFor(rec.Table)[rec.TID]
-			if !ok {
-				// The tuple predates the log (no insert record): recovery
-				// from a truncated log cannot reconstruct it.
-				return fmt.Errorf("engine: recovery: update to unknown tuple %s in %q", rec.TID, rec.Table)
-			}
-			err = tbl.Heap.Mutate(newTID, func(s storage.Slot) error {
-				old := s.Head().Row
-				s.Push(tx.ID(), rec.Row)
-				for _, idx := range tbl.Indexes() {
-					oldKey := idx.Def().KeyFromRow(old)
-					newKey := idx.Def().KeyFromRow(rec.Row)
-					if string(oldKey) != string(newKey) {
-						idx.Insert(newKey, newTID)
-					}
-				}
-				return nil
-			})
-			if err != nil {
-				return err
-			}
-			stats.Updates++
-		case wal.RecDelete:
-			tbl, err := db.cat.Table(rec.Table)
-			if err != nil {
-				return fmt.Errorf("engine: recovery: %w", err)
-			}
-			newTID, ok := mapFor(rec.Table)[rec.TID]
-			if !ok {
-				return fmt.Errorf("engine: recovery: delete of unknown tuple %s in %q", rec.TID, rec.Table)
-			}
-			if err := tbl.Heap.Mutate(newTID, func(s storage.Slot) error {
-				return s.SetXMax(tx.ID())
-			}); err != nil {
-				return err
-			}
-			stats.Deletes++
-		case wal.RecMigrated:
-			if onMigrated != nil {
-				onMigrated(rec.Table, rec.Key)
-			}
-			stats.Migrated++
-		}
-		return nil
+		return ap.apply(rec)
 	})
 	if err != nil {
 		tx.Abort()
 		return stats, err
 	}
+	if err := tx.Commit(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// RecoverFrom rebuilds table contents from a recovery source: the checkpoint
+// snapshot (when present) seeds heaps, indexes, and the TID map, then the
+// post-checkpoint segments replay in a single buffered pass. Because commit-
+// time batch logging appends a transaction's records together with its
+// commit record, uncommitted work never reaches the log; records are staged
+// per-XID and applied when their commit record arrives, so a torn tail (a
+// batch whose commit record did not survive) is dropped without a separate
+// commit-set pass over the whole log.
+//
+// The checkpoint stream's RecInsert records carry each tuple's pre-crash TID,
+// which seeds the TID map exactly like a replayed insert would — updates and
+// deletes in the post-checkpoint segments resolve against snapshot rows
+// transparently. Returns the same stats as Recover, plus FromCheckpoint /
+// SnapshotRows, and the checkpoint's install history prepended to Installs.
+func (db *DB) RecoverFrom(src *wal.RecoverySource, onMigrated func(tracker string, key []byte)) (RecoverStats, error) {
+	var stats RecoverStats
+	tx := db.Begin()
+	ap := newApplier(db, tx, &stats, onMigrated)
+
+	fail := func(err error) (RecoverStats, error) {
+		tx.Abort()
+		return stats, err
+	}
+
+	if src.Meta != nil {
+		cr, err := src.OpenCheckpoint()
+		if err != nil {
+			return fail(err)
+		}
+		stats.FromCheckpoint = true
+		insertsBefore := 0
+		err = wal.Replay(cr, func(rec wal.Record) error {
+			switch rec.Type {
+			case wal.RecCheckpoint:
+				return nil // header
+			case wal.RecInstall:
+				stats.Installs = append(stats.Installs, rec.Table)
+				return nil
+			case wal.RecInsert:
+				insertsBefore++
+				return ap.apply(rec)
+			case wal.RecMigrated:
+				return ap.apply(rec)
+			default:
+				return fmt.Errorf("engine: recovery: unexpected %s record in checkpoint %s: %w",
+					rec.Type, src.Checkpoint, wal.ErrCorrupt)
+			}
+		})
+		cerr := cr.Close()
+		if err != nil {
+			return fail(err)
+		}
+		if cerr != nil {
+			return fail(cerr)
+		}
+		stats.SnapshotRows = insertsBefore
+		stats.Inserts -= insertsBefore // snapshot rows are not replayed inserts
+	}
+
+	sr, err := src.OpenSegments()
+	if err != nil {
+		return fail(err)
+	}
+	// Records staged per transaction until its commit record arrives.
+	pending := make(map[uint64][]wal.Record)
+	err = wal.Replay(sr, func(rec wal.Record) error {
+		switch rec.Type {
+		case wal.RecBegin, wal.RecCheckpoint:
+			return nil
+		case wal.RecInstall:
+			stats.Installs = append(stats.Installs, rec.Table)
+			return nil
+		case wal.RecCommit:
+			stats.CommittedTxns++
+			batch := pending[rec.XID]
+			delete(pending, rec.XID)
+			for _, r := range batch {
+				if err := ap.apply(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		case wal.RecAbort:
+			// Legacy record-at-a-time logs may carry abort records; batch
+			// logging never writes them.
+			delete(pending, rec.XID)
+			return nil
+		default:
+			pending[rec.XID] = append(pending[rec.XID], rec)
+			return nil
+		}
+	})
+	serr := sr.Close()
+	if err != nil {
+		return fail(err)
+	}
+	if serr != nil {
+		return fail(serr)
+	}
+	// Anything still pending lost its commit record to the crash: dropped.
 	if err := tx.Commit(); err != nil {
 		return stats, err
 	}

@@ -26,7 +26,7 @@ func TestRecoverRebuildsTablesAndIndexes(t *testing.T) {
 	db.Abort(tx)
 	// A migration-status record inside a committed txn.
 	tx2 := db.Begin()
-	db.WAL().Append(wal.Record{Type: wal.RecMigrated, XID: tx2.ID(), Table: "split:customer", Key: []byte{7}})
+	db.LogRedo(tx2, wal.Record{Type: wal.RecMigrated, Table: "split:customer", Key: []byte{7}})
 	db.Commit(tx2)
 
 	// "Crash": build a fresh database, re-run DDL, replay.

@@ -43,12 +43,22 @@ var blockingFuncs = map[string]bool{
 	"os.File.Sync":        true,
 
 	// The WAL serializes appends behind its own mutex and may hit the disk:
-	// never call it while holding an unrelated lock.
-	"internal/wal.Writer.Append": true,
-	"internal/wal.Writer.Flush":  true,
-	"internal/wal.Logger.Append": true,
-	"internal/wal.Logger.Flush":  true,
-	"internal/wal.Replay":        true,
+	// never call it while holding an unrelated lock. AppendBatch additionally
+	// parks on the group-commit leader's fsync; EnterCommit/BeginCheckpoint
+	// park on the checkpoint fence.
+	"internal/wal.Writer.Append":            true,
+	"internal/wal.Writer.Flush":             true,
+	"internal/wal.Writer.AppendBatch":       true,
+	"internal/wal.Logger.Append":            true,
+	"internal/wal.Logger.Flush":             true,
+	"internal/wal.BatchLogger.AppendBatch":  true,
+	"internal/wal.CommitFencer.EnterCommit": true,
+	"internal/wal.Dir.Append":               true,
+	"internal/wal.Dir.Flush":                true,
+	"internal/wal.Dir.AppendBatch":          true,
+	"internal/wal.Dir.EnterCommit":          true,
+	"internal/wal.Dir.BeginCheckpoint":      true,
+	"internal/wal.Replay":                   true,
 
 	// Tuple/key lock acquisition waits up to the lock timeout.
 	"internal/txn.Txn.Lock":                 true,
@@ -76,13 +86,23 @@ var errdropScope = []string{"", "internal/wal", "internal/txn", "internal/core",
 var errdropWatch = map[string]bool{
 	"internal/wal.Writer.Append":               true,
 	"internal/wal.Writer.Flush":                true,
+	"internal/wal.Writer.AppendBatch":          true,
 	"internal/wal.Logger.Append":               true,
 	"internal/wal.Logger.Flush":                true,
+	"internal/wal.BatchLogger.AppendBatch":     true,
+	"internal/wal.Dir.Append":                  true,
+	"internal/wal.Dir.Flush":                   true,
+	"internal/wal.Dir.AppendBatch":             true,
+	"internal/wal.Dir.CompleteCheckpoint":      true,
+	"internal/wal.CheckpointWriter.Append":     true,
+	"internal/wal.CheckpointWriter.Commit":     true,
 	"internal/wal.Replay":                      true,
 	"internal/engine.DB.Commit":                true,
 	"internal/engine.DB.Recover":               true,
+	"internal/engine.DB.RecoverFrom":           true,
 	"internal/engine.DB.InstallCatalogVersion": true,
 	"internal/core.Controller.Recover":         true,
+	"internal/core.Controller.RecoverFrom":     true,
 	"internal/txn.Txn.Commit":                  true,
 
 	// Fixture calls (testdata/src/errdrop).

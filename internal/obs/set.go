@@ -76,13 +76,23 @@ type WALMetrics struct {
 	Records Counter
 	// Bytes counts encoded log bytes (headers included).
 	Bytes Counter
-	// SyncLatency records Flush latency (ns); Count is the number of syncs.
+	// FlushLatency records buffered-writer drain latency (ns) — the cost of
+	// pushing records to the OS, distinct from making them durable.
+	FlushLatency Histogram
+	// SyncLatency records device-sync (fsync) latency (ns). Zero-count when
+	// the log target has no Syncer (in-memory logs, NoSync directories).
 	SyncLatency Histogram
-	// AbortAppendErrors counts abort records that failed to append to the
-	// log. Recovery still treats the transaction as aborted (no commit
-	// record), so these are advisory losses — but a non-zero count means the
-	// log device is failing writes.
-	AbortAppendErrors Counter
+	// Syncs counts device syncs. Under group commit this stays far below the
+	// commit count: one sync covers every committer in the group.
+	Syncs Counter
+	// GroupBatchSize records how many records each durable-epoch publication
+	// covered — the group-commit amortization factor.
+	GroupBatchSize Histogram
+	// Checkpoints counts completed checkpoints.
+	Checkpoints Counter
+	// SegmentsLive gauges the number of live log segments (checkpoints delete
+	// superseded segments, so this tracks bounded-recovery health).
+	SegmentsLive Gauge
 }
 
 // MigrationMetrics instruments BullFrog's lazy-migration machinery.
@@ -174,10 +184,14 @@ type TxnSnapshot struct {
 
 // WALSnapshot copies WALMetrics.
 type WALSnapshot struct {
-	Records           int64             `json:"records"`
-	Bytes             int64             `json:"bytes"`
-	SyncLatency       HistogramSnapshot `json:"sync_latency"`
-	AbortAppendErrors int64             `json:"abort_append_errors"`
+	Records        int64             `json:"records"`
+	Bytes          int64             `json:"bytes"`
+	FlushLatency   HistogramSnapshot `json:"flush_latency"`
+	SyncLatency    HistogramSnapshot `json:"sync_latency"`
+	Syncs          int64             `json:"syncs"`
+	GroupBatchSize HistogramSnapshot `json:"group_batch_size"`
+	Checkpoints    int64             `json:"checkpoints"`
+	SegmentsLive   int64             `json:"segments_live"`
 }
 
 // MigrationSnapshot copies MigrationMetrics plus per-table progress gauges
@@ -248,10 +262,14 @@ func (s *Set) Snapshot() Snapshot {
 	}
 	if s.WAL != nil {
 		out.WAL = WALSnapshot{
-			Records:           s.WAL.Records.Load(),
-			Bytes:             s.WAL.Bytes.Load(),
-			SyncLatency:       s.WAL.SyncLatency.Snapshot(),
-			AbortAppendErrors: s.WAL.AbortAppendErrors.Load(),
+			Records:        s.WAL.Records.Load(),
+			Bytes:          s.WAL.Bytes.Load(),
+			FlushLatency:   s.WAL.FlushLatency.Snapshot(),
+			SyncLatency:    s.WAL.SyncLatency.Snapshot(),
+			Syncs:          s.WAL.Syncs.Load(),
+			GroupBatchSize: s.WAL.GroupBatchSize.Snapshot(),
+			Checkpoints:    s.WAL.Checkpoints.Load(),
+			SegmentsLive:   s.WAL.SegmentsLive.Load(),
 		}
 	}
 	if s.Migration != nil {

@@ -18,6 +18,7 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/obs"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/types"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
 )
 
 // Status is a transaction's lifecycle state.
@@ -152,6 +153,23 @@ type Txn struct {
 	lockKeys []LockKey
 	undo     []func() // run in reverse order on abort
 	onCommit []func() // run after the transaction becomes visible
+
+	// redo buffers the transaction's WAL records until commit: the engine
+	// appends the whole batch (plus the commit record) to the log in one
+	// atomic, durable write, so aborted transactions never reach the log and
+	// recovery replays in a single pass. Single-goroutine like the Txn.
+	redo []wal.Record
+}
+
+// AppendRedo buffers a redo record for commit-time logging.
+func (t *Txn) AppendRedo(rec wal.Record) { t.redo = append(t.redo, rec) }
+
+// TakeRedo returns the buffered redo records and clears the buffer; the
+// engine calls this once at commit.
+func (t *Txn) TakeRedo() []wal.Record {
+	r := t.redo
+	t.redo = nil
+	return r
 }
 
 // Begin starts a new transaction with a fresh snapshot.
@@ -252,6 +270,7 @@ func (t *Txn) finish() {
 	}
 	t.lockKeys = nil
 	t.undo = nil
+	t.redo = nil
 }
 
 // OldestActiveSnapshot returns the smallest snapshot sequence among active

@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// CheckpointMeta identifies a checkpoint: recovery loads the checkpoint file
+// and replays only segments >= FirstSeg. It travels in two places — as the
+// header record of the checkpoint file, and as the RecCheckpoint marker
+// appended to the log when the checkpoint completes.
+type CheckpointMeta struct {
+	// FirstSeg is the first segment whose records post-date the snapshot.
+	FirstSeg int64
+	// Watermark is the commit sequence the snapshot reflects. Informational:
+	// the fence protocol already guarantees segment/snapshot alignment.
+	Watermark uint64
+}
+
+func (m CheckpointMeta) encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(m.FirstSeg))
+	return binary.AppendUvarint(buf, m.Watermark)
+}
+
+// DecodeCheckpointMeta parses a RecCheckpoint record's Key.
+func DecodeCheckpointMeta(key []byte) (CheckpointMeta, error) {
+	var m CheckpointMeta
+	seg, n := binary.Uvarint(key)
+	if n <= 0 {
+		return m, ErrCorrupt
+	}
+	wm, n2 := binary.Uvarint(key[n:])
+	if n2 <= 0 {
+		return m, ErrCorrupt
+	}
+	m.FirstSeg = int64(seg)
+	m.Watermark = wm
+	return m, nil
+}
+
+func ckptName(i int64) string { return fmt.Sprintf("%06d%s", i, ckptSuffix) }
+
+func parseCkptName(name string) (int64, bool) {
+	base, found := strings.CutSuffix(name, ckptSuffix)
+	if !found || len(base) == 0 {
+		return 0, false
+	}
+	i, err := strconv.ParseInt(base, 10, 64)
+	if err != nil || i <= 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// CheckpointWriter streams a checkpoint snapshot into a temporary file; Commit
+// syncs and atomically renames it to NNNNNN.ckpt (NNNNNN = FirstSeg). The
+// content is an ordinary WAL record stream: a RecCheckpoint header, then
+// RecInstall records (catalog install history), RecInsert records (the table
+// snapshot, carrying the tuples' live TIDs so later log records resolve), and
+// RecMigrated records (tracker state).
+type CheckpointWriter struct {
+	meta CheckpointMeta
+	f    *os.File
+	w    *Writer
+	tmp  string
+	dst  string
+	done bool
+}
+
+// NewCheckpoint starts writing the checkpoint for meta into the directory.
+// The header record is written immediately.
+func (d *Dir) NewCheckpoint(meta CheckpointMeta) (*CheckpointWriter, error) {
+	dst := filepath.Join(d.path, ckptName(meta.FirstSeg))
+	tmp := dst + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	cw := &CheckpointWriter{meta: meta, f: f, w: NewWriter(f), tmp: tmp, dst: dst}
+	if err := cw.Append(Record{Type: RecCheckpoint, Key: meta.encode(nil)}); err != nil {
+		cw.Abort()
+		return nil, err
+	}
+	return cw, nil
+}
+
+// Append adds one record to the checkpoint stream.
+func (cw *CheckpointWriter) Append(rec Record) error { return cw.w.Append(rec) }
+
+// Commit flushes, syncs, and atomically publishes the checkpoint file.
+func (cw *CheckpointWriter) Commit() error {
+	cw.done = true
+	if err := cw.w.Flush(); err != nil {
+		_ = cw.f.Close()
+		return err
+	}
+	if err := cw.f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(cw.tmp, cw.dst)
+}
+
+// Abort discards the temporary file.
+func (cw *CheckpointWriter) Abort() {
+	if cw.done {
+		return
+	}
+	cw.done = true
+	_ = cw.f.Close()
+	_ = os.Remove(cw.tmp)
+}
+
+// RecoverySource is where recovery starts: an optional checkpoint snapshot
+// plus the ordered segments appended after it. Build one with
+// Dir.RecoverySource (or OpenRecovery before constructing the Dir).
+type RecoverySource struct {
+	// Meta is nil when no checkpoint exists (replay everything).
+	Meta *CheckpointMeta
+	// Checkpoint is the checkpoint file path ("" when Meta is nil).
+	Checkpoint string
+	// Segments are the segment file paths to replay, in order.
+	Segments []string
+}
+
+// OpenRecovery inspects a log directory and returns its recovery source: the
+// newest readable checkpoint (if any) and the segments at or above its
+// FirstSeg. A checkpoint whose header fails to decode is skipped in favor of
+// an older one or a full replay.
+func OpenRecovery(path string) (*RecoverySource, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return &RecoverySource{}, nil
+		}
+		return nil, err
+	}
+	var ckpts []int64
+	for _, e := range ents {
+		if i, ok := parseCkptName(e.Name()); ok {
+			ckpts = append(ckpts, i)
+		}
+	}
+	src := &RecoverySource{}
+	// Newest checkpoint first; fall back to older ones on unreadable headers.
+	sort.Slice(ckpts, func(a, b int) bool { return ckpts[a] > ckpts[b] })
+	for _, c := range ckpts {
+		p := filepath.Join(path, ckptName(c))
+		meta, err := readCheckpointHeader(p)
+		if err != nil {
+			continue
+		}
+		src.Meta = &meta
+		src.Checkpoint = p
+		break
+	}
+	segs, err := listSegments(path)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if src.Meta != nil && s < src.Meta.FirstSeg {
+			continue
+		}
+		src.Segments = append(src.Segments, filepath.Join(path, segName(s)))
+	}
+	return src, nil
+}
+
+// RecoverySource returns the directory's recovery source (see OpenRecovery).
+func (d *Dir) RecoverySource() (*RecoverySource, error) { return OpenRecovery(d.path) }
+
+// readCheckpointHeader decodes the first record of a checkpoint file and
+// validates it is a RecCheckpoint header.
+func readCheckpointHeader(path string) (CheckpointMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return CheckpointMeta{}, err
+	}
+	// Read-only handle: a failed close loses nothing.
+	defer func() { _ = f.Close() }()
+	rec, err := NewReader(f).Next()
+	if err != nil {
+		return CheckpointMeta{}, fmt.Errorf("wal: checkpoint %s: %w", path, err)
+	}
+	if rec.Type != RecCheckpoint {
+		return CheckpointMeta{}, fmt.Errorf("wal: checkpoint %s: %w", path, ErrCorrupt)
+	}
+	return DecodeCheckpointMeta(rec.Key)
+}
+
+// OpenCheckpoint opens the checkpoint record stream (nil reader when the
+// source has no checkpoint).
+func (rs *RecoverySource) OpenCheckpoint() (io.ReadCloser, error) {
+	if rs.Checkpoint == "" {
+		return nil, nil
+	}
+	return os.Open(rs.Checkpoint)
+}
+
+// OpenSegments opens the post-checkpoint segments as one concatenated record
+// stream. Only the final segment may end in a torn record; rotation flushes
+// every earlier segment to a record boundary.
+func (rs *RecoverySource) OpenSegments() (io.ReadCloser, error) {
+	files := make([]*os.File, 0, len(rs.Segments))
+	readers := make([]io.Reader, 0, len(rs.Segments))
+	for _, p := range rs.Segments {
+		f, err := os.Open(p)
+		if err != nil {
+			for _, o := range files {
+				_ = o.Close()
+			}
+			return nil, err
+		}
+		files = append(files, f)
+		readers = append(readers, f)
+	}
+	return &multiCloser{Reader: io.MultiReader(readers...), files: files}, nil
+}
+
+type multiCloser struct {
+	io.Reader
+	files []*os.File
+}
+
+func (m *multiCloser) Close() error {
+	var first error
+	for _, f := range m.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,426 @@
+package wal
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// Dir is a file-backed, segmented WAL: records append to numbered segment
+// files (000001.wal, 000002.wal, ...) through one shared group-commit Writer
+// whose target is swapped on rotation. Rotation happens at a size threshold
+// and at checkpoints; old segments are deleted once a checkpoint covers
+// them, bounding both disk use and recovery replay length.
+//
+// Commit fencing (EnterCommit / BeginCheckpoint) lets a checkpointer align a
+// rotation with a transaction-consistent snapshot: while the fence is up no
+// commit batch can append, and the drain guarantees every batch already in
+// the log belongs to a fully visible transaction.
+type Dir struct {
+	path string
+	opt  DirOptions
+	w    *Writer
+	met  *obs.WALMetrics // nil = no instrumentation
+
+	seg        atomic.Int64 // current (highest) segment index
+	oldest     atomic.Int64 // oldest live segment index
+	segFile    *os.File     // current target; mutated under writer leadership
+	bytesAtSeg atomic.Int64 // writer byte count when the current segment began
+
+	fence    atomic.Pointer[chan struct{}] // non-nil while a checkpoint fence is up
+	inflight atomic.Int64                  // commit tokens outstanding
+	closed   atomic.Bool
+}
+
+// DirOptions configures a segmented log directory.
+type DirOptions struct {
+	// SegmentSize is the rotation threshold in bytes (0 = 4 MiB).
+	SegmentSize int64
+	// GroupCommit tunes the leader/follower flush protocol.
+	GroupCommit GroupCommit
+	// NoSync skips device syncs: commits are durable only against process
+	// crashes (the OS holds the data), not power loss. For benchmarks and
+	// tests that want the full code path without fsync cost.
+	NoSync bool
+}
+
+func (o DirOptions) segmentSize() int64 {
+	if o.SegmentSize <= 0 {
+		return 4 << 20
+	}
+	return o.SegmentSize
+}
+
+const (
+	segSuffix  = ".wal"
+	ckptSuffix = ".ckpt"
+)
+
+func segName(i int64) string { return fmt.Sprintf("%06d%s", i, segSuffix) }
+
+// parseSegName returns the index of a segment file name, or ok=false.
+func parseSegName(name string) (int64, bool) {
+	base, found := strings.CutSuffix(name, segSuffix)
+	if !found || len(base) == 0 {
+		return 0, false
+	}
+	i, err := strconv.ParseInt(base, 10, 64)
+	if err != nil || i <= 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// OpenDir opens (or creates) a segmented log at path. The last segment's
+// torn tail, if any, is truncated away so appends resume at a record
+// boundary; a mid-segment checksum failure is reported as ErrCorrupt rather
+// than silently truncated. Leftover temporary checkpoint files from an
+// interrupted checkpoint are removed.
+func OpenDir(path string, opt DirOptions) (*Dir, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := removeTempCheckpoints(path); err != nil {
+		return nil, err
+	}
+	d := &Dir{path: path, opt: opt}
+	var cur int64 = 1
+	if len(segs) > 0 {
+		cur = segs[len(segs)-1]
+		if err := truncateTorn(filepath.Join(path, segName(cur))); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(filepath.Join(path, segName(cur)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d.segFile = f
+	d.seg.Store(cur)
+	if len(segs) > 0 {
+		d.oldest.Store(segs[0])
+	} else {
+		d.oldest.Store(cur)
+	}
+	d.w = NewWriter(f)
+	if opt.NoSync {
+		d.w.SetSyncer(nil)
+	}
+	d.w.SetGroupCommit(opt.GroupCommit)
+	return d, nil
+}
+
+// listSegments returns the segment indexes present at path, ascending.
+func listSegments(path string) ([]int64, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	var segs []int64
+	for _, e := range ents {
+		if i, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, i)
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a] < segs[b] })
+	return segs, nil
+}
+
+func removeTempCheckpoints(path string) error {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ckptSuffix+".tmp") {
+			if err := os.Remove(filepath.Join(path, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// truncateTorn scans a segment and truncates a torn trailing record (a crash
+// mid-append) so the file ends at a record boundary. A checksum failure
+// before the tail is ErrCorrupt — that is data damage, not a torn write.
+func truncateTorn(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	// Read-only handle: a failed close loses nothing.
+	defer func() { _ = f.Close() }()
+	valid, err := scanValidPrefix(f)
+	if err != nil {
+		return fmt.Errorf("%w: %s", err, path)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if valid < fi.Size() {
+		return os.Truncate(path, valid)
+	}
+	return nil
+}
+
+// scanValidPrefix returns the byte length of the longest prefix of r that is
+// a whole number of valid records. Propagates ErrCorrupt on a checksum
+// failure that is not a clean truncation.
+func scanValidPrefix(r io.Reader) (int64, error) {
+	cr := &countingReader{r: r}
+	rd := NewReader(cr)
+	var valid int64
+	for {
+		_, err := rd.Next()
+		if err == io.EOF {
+			return valid, nil
+		}
+		if err != nil {
+			return valid, err
+		}
+		// The bufio reader over-reads; track consumed records exactly.
+		valid = cr.n - int64(rd.br.Buffered())
+	}
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// SetObs attaches WAL metrics. Call before concurrent use.
+func (d *Dir) SetObs(m *obs.WALMetrics) {
+	d.met = m
+	d.w.SetObs(m)
+	d.noteSegments()
+}
+
+// SetGroupCommit installs group-commit tuning. Call before concurrent use.
+func (d *Dir) SetGroupCommit(gc GroupCommit) { d.w.SetGroupCommit(gc) }
+
+func (d *Dir) noteSegments() {
+	if d.met != nil {
+		d.met.SegmentsLive.Set(d.seg.Load() - d.oldest.Load() + 1)
+	}
+}
+
+// Path returns the log directory.
+func (d *Dir) Path() string { return d.path }
+
+// Segment returns the current segment index.
+func (d *Dir) Segment() int64 { return d.seg.Load() }
+
+// Append encodes and buffers one record (durable at the next Flush or group
+// sync).
+func (d *Dir) Append(rec Record) error { return d.w.Append(rec) }
+
+// Flush forces buffered records to durable media (unless NoSync).
+func (d *Dir) Flush() error { return d.w.Flush() }
+
+// AppendBatch appends a commit batch atomically and returns once it is
+// durable, then rotates the segment if the size threshold was crossed.
+func (d *Dir) AppendBatch(recs []Record) error {
+	if err := d.w.AppendBatch(recs); err != nil {
+		return err
+	}
+	return d.maybeRotate()
+}
+
+// Count and Bytes report appended records and encoded bytes across segments.
+func (d *Dir) Count() int64 { return d.w.Count() }
+
+// Bytes returns encoded bytes appended across all segments.
+func (d *Dir) Bytes() int64 { return d.w.Bytes() }
+
+// maybeRotate rotates when the current segment crossed the size threshold.
+// Best-effort: if another leader round (or rotation) is in progress, the
+// next commit re-checks.
+func (d *Dir) maybeRotate() error {
+	if d.w.Bytes()-d.bytesAtSeg.Load() < d.opt.segmentSize() {
+		return nil
+	}
+	if !d.w.leading.CompareAndSwap(false, true) {
+		return nil
+	}
+	defer d.w.releaseLeader()
+	if d.w.Bytes()-d.bytesAtSeg.Load() < d.opt.segmentSize() {
+		return nil // lost the race; someone else rotated
+	}
+	return d.rotateLeading()
+}
+
+// rotate forces a segment rotation (checkpoints use this so the cut lands at
+// a known boundary).
+func (d *Dir) rotate() error {
+	d.w.acquireLeader()
+	defer d.w.releaseLeader()
+	return d.rotateLeading()
+}
+
+// rotateLeading swaps the writer onto a fresh segment. Must hold the writer
+// leadership token: that excludes concurrent leader syncs, so the old tail's
+// durable epoch is published only after the old file is synced here. No lock
+// is held across the sync.
+func (d *Dir) rotateLeading() error {
+	next := d.seg.Load() + 1
+	f, err := os.OpenFile(filepath.Join(d.path, segName(next)), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	var ns Syncer = f
+	if d.opt.NoSync {
+		ns = nil
+	}
+	old := d.segFile
+	epoch, bytes, err := d.w.swapTarget(f, ns)
+	if err != nil {
+		_ = f.Close()
+		return err
+	}
+	if !d.opt.NoSync {
+		start := time.Now()
+		if err := old.Sync(); err != nil {
+			_ = f.Close()
+			return d.w.fail(err)
+		}
+		if d.met != nil {
+			d.met.SyncLatency.ObserveSince(start)
+			d.met.Syncs.Inc()
+		}
+	}
+	if err := old.Close(); err != nil {
+		return d.w.fail(err)
+	}
+	d.segFile = f
+	d.seg.Store(next)
+	d.bytesAtSeg.Store(bytes)
+	d.w.advanceDurable(epoch)
+	d.noteSegments()
+	return nil
+}
+
+// EnterCommit implements CommitFencer: it blocks while a checkpoint fence is
+// up, then takes an in-flight commit token. The returned release must be
+// called after the committing transaction is visible (or its append failed).
+func (d *Dir) EnterCommit() (release func()) {
+	for {
+		if ch := d.fence.Load(); ch != nil {
+			<-*ch
+			continue
+		}
+		d.inflight.Add(1)
+		// The fence may have gone up between the check and the token take;
+		// back out so the drain is not held up, and park.
+		if ch := d.fence.Load(); ch != nil {
+			d.inflight.Add(-1)
+			<-*ch
+			continue
+		}
+		return func() { d.inflight.Add(-1) }
+	}
+}
+
+// ErrCheckpointActive reports an attempt to start overlapping checkpoints.
+var ErrCheckpointActive = errors.New("wal: checkpoint already in progress")
+
+// BeginCheckpoint fences the commit pipeline, drains in-flight commits, and
+// rotates onto a fresh segment. On success it returns the new segment's
+// index and a release that drops the fence: every transaction whose batch
+// lives in a segment below the returned index is fully visible, and no
+// transaction can commit until release is called. The caller should take its
+// snapshot before releasing. ctx bounds the drain wait.
+func (d *Dir) BeginCheckpoint(ctx context.Context) (seg int64, release func(), err error) {
+	ch := make(chan struct{})
+	if !d.fence.CompareAndSwap(nil, &ch) {
+		return 0, nil, ErrCheckpointActive
+	}
+	release = func() {
+		d.fence.Store(nil)
+		close(ch)
+	}
+	for d.inflight.Load() != 0 {
+		if err := ctx.Err(); err != nil {
+			release()
+			return 0, nil, err
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	if err := d.rotate(); err != nil {
+		release()
+		return 0, nil, err
+	}
+	return d.seg.Load(), release, nil
+}
+
+// CompleteCheckpoint durably appends the checkpoint marker to the log and
+// deletes the segments the checkpoint superseded (everything below
+// meta.FirstSeg). Call after the checkpoint file is written and renamed.
+func (d *Dir) CompleteCheckpoint(meta CheckpointMeta) error {
+	if err := d.Append(Record{Type: RecCheckpoint, Key: meta.encode(nil)}); err != nil {
+		return err
+	}
+	if err := d.Flush(); err != nil {
+		return err
+	}
+	oldest := d.oldest.Load()
+	for i := oldest; i < meta.FirstSeg; i++ {
+		if err := os.Remove(filepath.Join(d.path, segName(i))); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if meta.FirstSeg > oldest {
+		d.oldest.Store(meta.FirstSeg)
+	}
+	// Older checkpoint files are superseded too.
+	ents, err := os.ReadDir(d.path)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if i, ok := parseCkptName(e.Name()); ok && i < meta.FirstSeg {
+			if err := os.Remove(filepath.Join(d.path, e.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	if d.met != nil {
+		d.met.Checkpoints.Inc()
+	}
+	d.noteSegments()
+	return nil
+}
+
+// Close flushes and syncs the current segment and closes it.
+func (d *Dir) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ferr := d.w.Flush()
+	cerr := d.segFile.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

@@ -1,0 +1,514 @@
+package wal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// slowSyncer wraps a Syncer with a fixed latency, so concurrent committers
+// pile up behind the leader's sync and groups form deterministically.
+type slowSyncer struct {
+	s     Syncer
+	delay time.Duration
+	n     int64
+	mu    sync.Mutex
+}
+
+func (s *slowSyncer) Sync() error {
+	time.Sleep(s.delay)
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	if s.s == nil {
+		return nil
+	}
+	return s.s.Sync()
+}
+
+func (s *slowSyncer) count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func TestAppendBatchConcurrentDurable(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewWriter(f)
+	ss := &slowSyncer{s: f, delay: time.Millisecond}
+	w.SetSyncer(ss)
+	met := &obs.WALMetrics{}
+	w.SetObs(met)
+
+	const workers, batches = 16, 20
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				xid := uint64(g*batches + i + 1)
+				recs := []Record{
+					{Type: RecInsert, XID: xid, Table: "t", Row: nil},
+					{Type: RecCommit, XID: xid},
+				}
+				if err := w.AppendBatch(recs); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(workers * batches * 2)
+	if got := w.Count(); got != total {
+		t.Fatalf("appended %d records, want %d", got, total)
+	}
+	if got := w.durable.Load(); got != total {
+		t.Fatalf("durable epoch %d, want %d", got, total)
+	}
+	// Every record is already on the file (AppendBatch returns after the
+	// covering sync): replay without an extra flush.
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var commits int64
+	if err := Replay(bytes.NewReader(data), func(rec Record) error {
+		if rec.Type == RecCommit {
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if commits != workers*batches {
+		t.Fatalf("replayed %d commits, want %d", commits, workers*batches)
+	}
+	// The amortization claim: with concurrency, one sync covers many commits.
+	syncs := ss.count()
+	if syncs > int64(workers*batches) {
+		t.Fatalf("%d syncs for %d commits", syncs, workers*batches)
+	}
+	if runtime.GOMAXPROCS(0) > 1 && syncs >= int64(workers*batches)/2 {
+		t.Errorf("group commit did not amortize: %d syncs for %d commits", syncs, workers*batches)
+	}
+	if met.GroupBatchSize.Count() == 0 {
+		t.Error("group_batch_size histogram never observed")
+	}
+}
+
+// TestAppendBatchContiguous: batches from concurrent committers never
+// interleave — each transaction's records are adjacent in the log, ending
+// with its commit record.
+func TestAppendBatchContiguous(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	w := NewWriter(f)
+	const workers, batches, size = 8, 25, 5
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < batches; i++ {
+				xid := uint64(g*batches + i + 1)
+				recs := make([]Record, 0, size+1)
+				for j := 0; j < size; j++ {
+					recs = append(recs, Record{Type: RecInsert, XID: xid, Table: "t"})
+				}
+				recs = append(recs, Record{Type: RecCommit, XID: xid})
+				if err := w.AppendBatch(recs); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var runXID uint64
+	var runLen int
+	if err := Replay(bytes.NewReader(data), func(rec Record) error {
+		if rec.Type == RecCommit {
+			if rec.XID != runXID || runLen != size {
+				return fmt.Errorf("xid %d committed after %d records of xid %d", rec.XID, runLen, runXID)
+			}
+			runXID, runLen = 0, 0
+			return nil
+		}
+		if runLen == 0 {
+			runXID = rec.XID
+		} else if rec.XID != runXID {
+			return fmt.Errorf("xid %d interleaved into xid %d's batch", rec.XID, runXID)
+		}
+		runLen++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runLen != 0 {
+		t.Fatalf("trailing half-batch of %d records", runLen)
+	}
+}
+
+type failingSyncer struct{ err error }
+
+func (f failingSyncer) Sync() error { return f.err }
+
+// TestSyncFailureIsSticky: a failed device sync poisons the writer — every
+// waiter unblocks with the error and later appends refuse.
+func TestSyncFailureIsSticky(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	devErr := errors.New("device gone")
+	w.SetSyncer(failingSyncer{err: devErr})
+
+	const workers = 8
+	errs := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			errs <- w.AppendBatch([]Record{{Type: RecCommit, XID: uint64(g + 1)}})
+		}(g)
+	}
+	for i := 0; i < workers; i++ {
+		if err := <-errs; !errors.Is(err, devErr) {
+			t.Fatalf("AppendBatch error %v does not wrap the device error", err)
+		}
+	}
+	if err := w.Append(Record{Type: RecCommit, XID: 99}); !errors.Is(err, devErr) {
+		t.Fatalf("Append after failure: %v", err)
+	}
+}
+
+func TestDirRotationAndRecoverySource(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, DirOptions{SegmentSize: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := &obs.WALMetrics{}
+	d.SetObs(met)
+	const txns = 60
+	for i := 1; i <= txns; i++ {
+		err := d.AppendBatch([]Record{
+			{Type: RecInsert, XID: uint64(i), Table: "padding_table_name", Key: nil},
+			{Type: RecCommit, XID: uint64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Segment() < 2 {
+		t.Fatalf("no rotation after %d bytes across segments (segment=%d)", d.Bytes(), d.Segment())
+	}
+	if got := met.SegmentsLive.Load(); got != d.Segment() {
+		t.Errorf("segments_live = %d, want %d", got, d.Segment())
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Meta != nil {
+		t.Fatalf("unexpected checkpoint: %+v", src.Meta)
+	}
+	if int64(len(src.Segments)) != d.Segment() {
+		t.Fatalf("recovery sees %d segments, writer ended on segment %d", len(src.Segments), d.Segment())
+	}
+	r, err := src.OpenSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var commits int
+	if err := Replay(r, func(rec Record) error {
+		if rec.Type == RecCommit {
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if commits != txns {
+		t.Fatalf("replayed %d commits across segments, want %d", commits, txns)
+	}
+}
+
+// TestDirTornTailTruncatedOnOpen: a crash mid-append leaves a torn record at
+// the last segment's tail; reopening truncates it and appends resume cleanly.
+func TestDirTornTailTruncatedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, DirOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := d.AppendBatch([]Record{{Type: RecCommit, XID: uint64(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segName(1))
+	// Torn write: half a record header.
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDir(dir, DirOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.AppendBatch([]Record{{Type: RecCommit, XID: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var xids []uint64
+	if err := Replay(bytes.NewReader(data), func(rec Record) error {
+		xids = append(xids, rec.XID)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 3, 4}
+	if len(xids) != len(want) {
+		t.Fatalf("replayed XIDs %v, want %v", xids, want)
+	}
+	for i := range want {
+		if xids[i] != want[i] {
+			t.Fatalf("replayed XIDs %v, want %v", xids, want)
+		}
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, DirOptions{SegmentSize: 256, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := &obs.WALMetrics{}
+	d.SetObs(met)
+	ctx := context.Background()
+	for i := 1; i <= 20; i++ {
+		if err := d.AppendBatch([]Record{
+			{Type: RecInsert, XID: uint64(i), Table: "some_table"},
+			{Type: RecCommit, XID: uint64(i)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preSegs := d.Segment()
+	if preSegs < 2 {
+		t.Fatalf("need rotation before checkpoint, segment=%d", preSegs)
+	}
+
+	firstSeg, release, err := d.BeginCheckpoint(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if firstSeg != preSegs+1 {
+		t.Fatalf("checkpoint cut at segment %d, expected %d", firstSeg, preSegs+1)
+	}
+	// Overlapping checkpoints collide.
+	if _, _, err := d.BeginCheckpoint(ctx); !errors.Is(err, ErrCheckpointActive) {
+		t.Fatalf("overlapping BeginCheckpoint: %v", err)
+	}
+	// A committer entering during the fence parks until release.
+	entered := make(chan struct{})
+	go func() {
+		rel := d.EnterCommit()
+		rel()
+		close(entered)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("EnterCommit passed through an active fence")
+	case <-time.After(20 * time.Millisecond):
+	}
+	meta := CheckpointMeta{FirstSeg: firstSeg, Watermark: 20}
+	cw, err := d.NewCheckpoint(meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Append(Record{Type: RecInsert, Table: "some_table", Row: nil}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Append(Record{Type: RecMigrated, Table: "mig", Key: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	<-entered
+	if err := cw.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CompleteCheckpoint(meta); err != nil {
+		t.Fatal(err)
+	}
+	if met.Checkpoints.Load() != 1 {
+		t.Errorf("checkpoints counter = %d", met.Checkpoints.Load())
+	}
+	// Superseded segments are gone.
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if segs[0] < firstSeg {
+		t.Fatalf("segment %d survived checkpoint at %d", segs[0], firstSeg)
+	}
+	// Post-checkpoint commits land in new segments.
+	if err := d.AppendBatch([]Record{{Type: RecCommit, XID: 21}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := OpenRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Meta == nil || src.Meta.FirstSeg != firstSeg || src.Meta.Watermark != 20 {
+		t.Fatalf("recovered meta %+v", src.Meta)
+	}
+	cr, err := src.OpenCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckptTypes []RecType
+	if err := Replay(cr, func(rec Record) error {
+		ckptTypes = append(ckptTypes, rec.Type)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_ = cr.Close()
+	wantTypes := []RecType{RecCheckpoint, RecInsert, RecMigrated}
+	if len(ckptTypes) != len(wantTypes) {
+		t.Fatalf("checkpoint stream %v, want %v", ckptTypes, wantTypes)
+	}
+	for i := range wantTypes {
+		if ckptTypes[i] != wantTypes[i] {
+			t.Fatalf("checkpoint stream %v, want %v", ckptTypes, wantTypes)
+		}
+	}
+	sr, err := src.OpenSegments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sr.Close()
+	var commits int
+	if err := Replay(sr, func(rec Record) error {
+		if rec.Type == RecCommit {
+			commits++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the post-checkpoint commit replays; pre-checkpoint segments are
+	// deleted and the marker record is not a commit.
+	if commits != 1 {
+		t.Fatalf("replayed %d commits after checkpoint, want 1", commits)
+	}
+}
+
+// TestOpenDirRemovesTempCheckpoint: an interrupted checkpoint leaves a .tmp
+// file that must not survive reopening, and must never be picked up as a
+// checkpoint.
+func TestOpenDirRemovesTempCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDir(dir, DirOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ckptName(3)+".tmp")
+	if err := os.WriteFile(tmp, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenDir(dir, DirOptions{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp checkpoint survived reopen: %v", err)
+	}
+	src, err := OpenRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Meta != nil {
+		t.Fatalf("temp checkpoint treated as real: %+v", src.Meta)
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	row := []byte("0123456789abcdef")
+	for i := 0; i < 1000; i++ {
+		if err := w.Append(Record{Type: RecMigrated, XID: uint64(i), Table: "bench_table", Key: row}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Replay(bytes.NewReader(data), func(rec Record) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/obs"
@@ -36,8 +37,9 @@ const (
 	RecInsert
 	RecUpdate
 	RecDelete
-	RecMigrated // a migration granule (tuple ordinal or group key) completed
-	RecInstall  // a catalog version install (migration big flip) was published
+	RecMigrated   // a migration granule (tuple ordinal or group key) completed
+	RecInstall    // a catalog version install (migration big flip) was published
+	RecCheckpoint // a checkpoint completed; Key carries its CheckpointMeta
 )
 
 func (t RecType) String() string {
@@ -58,6 +60,8 @@ func (t RecType) String() string {
 		return "MIGRATED"
 	case RecInstall:
 		return "INSTALL"
+	case RecCheckpoint:
+		return "CHECKPOINT"
 	default:
 		return fmt.Sprintf("RecType(%d)", uint8(t))
 	}
@@ -70,6 +74,7 @@ func (t RecType) String() string {
 //	RecDelete:                   XID, Table, TID
 //	RecMigrated:                 XID, Table (tracker name), Key (granule key)
 //	RecInstall:                  Table (migration name); XID unused (0)
+//	RecCheckpoint:               Key (encoded CheckpointMeta); XID unused (0)
 type Record struct {
 	Type  RecType
 	XID   uint64
@@ -82,8 +87,53 @@ type Record struct {
 // Logger is the interface the engine writes through. Nop discards.
 type Logger interface {
 	Append(rec Record) error
-	// Flush forces buffered records to the underlying writer.
+	// Flush forces buffered records to the underlying writer and, when the
+	// writer knows its device (see Syncer), all the way to durable media.
 	Flush() error
+}
+
+// Syncer is the durable-media half of a log target: os.File implements it.
+// A Writer whose target implements Syncer makes flushed records durable with
+// a real device sync; without one, "durable" means flushed.
+type Syncer interface {
+	Sync() error
+}
+
+// BatchLogger appends a group of records atomically (one buffer-lock hold,
+// no interleaving with other appenders) and returns once every record in the
+// batch is durable. The engine commits through this: a transaction's redo
+// records plus its RecCommit form one contiguous batch, so a log written
+// this way never contains records of uncommitted transactions.
+type BatchLogger interface {
+	AppendBatch(recs []Record) error
+}
+
+// CommitFencer lets a checkpointer fence the commit pipeline. A committer
+// calls EnterCommit before appending its batch and invokes the release only
+// after the transaction is visible; BeginCheckpoint blocks new entrants and
+// drains the in-flight window, so a segment rotation cleanly separates
+// transactions that are fully committed from ones that have not started.
+type CommitFencer interface {
+	EnterCommit() (release func())
+}
+
+// GroupCommit tunes the leader/follower flush protocol.
+type GroupCommit struct {
+	// MaxDelay is how long a flush leader waits for more committers to pile
+	// up before syncing, when fewer than MaxBatch records are pending.
+	// 0 syncs immediately (latency-optimal; batching still happens naturally
+	// while a sync is in progress).
+	MaxDelay time.Duration
+	// MaxBatch is the pending-record count at which the leader skips the
+	// MaxDelay wait (0 = 64).
+	MaxBatch int
+}
+
+func (g GroupCommit) maxBatch() int64 {
+	if g.MaxBatch <= 0 {
+		return 64
+	}
+	return int64(g.MaxBatch)
 }
 
 // Nop is a Logger that discards all records (logging disabled).
@@ -97,42 +147,103 @@ func (Nop) Flush() error { return nil }
 
 // Writer appends records to an io.Writer with buffering. Safe for concurrent
 // use.
+//
+// Durability is published as an epoch: the number of records appended. A
+// committer appends its batch under the buffer lock, reads the resulting
+// epoch, and waits until the durable epoch covers it. The wait elects a
+// flush leader (one CAS): the leader flushes and syncs once for every record
+// appended so far — amortizing the device sync across all concurrent
+// committers — publishes the new durable epoch, and wakes the followers
+// parked on the current generation channel.
 type Writer struct {
 	mu  sync.Mutex
 	bw  *bufio.Writer
 	buf []byte
-	n   int64
+	n   int64           // records appended (the epoch counter)
+	b   int64           // bytes appended
 	met *obs.WALMetrics // nil = no instrumentation
+
+	sync Syncer // device sync target; nil = flush-only durability
+	gc   GroupCommit
+
+	durable atomic.Int64                  // highest epoch known durable
+	leading atomic.Bool                   // flush-leader election token
+	gen     atomic.Pointer[chan struct{}] // followers park here; closed per leader round
+	failed  atomic.Pointer[error]         // sticky device failure
 }
 
-// NewWriter wraps w in a WAL writer.
+// NewWriter wraps w in a WAL writer. If w implements Syncer (os.File does),
+// durability includes a device sync; otherwise it means flushed to w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	wr := &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+	if s, ok := w.(Syncer); ok {
+		wr.sync = s
+	}
+	ch := make(chan struct{})
+	wr.gen.Store(&ch)
+	return wr
 }
 
-// SetObs attaches WAL metrics (records, exact encoded bytes, sync latency).
+// SetGroupCommit installs group-commit tuning. Call before concurrent use.
+func (w *Writer) SetGroupCommit(gc GroupCommit) {
+	w.mu.Lock()
+	w.gc = gc
+	w.mu.Unlock()
+}
+
+// SetSyncer overrides the device-sync target (nil disables the sync step).
 // Call before concurrent use.
+func (w *Writer) SetSyncer(s Syncer) {
+	w.mu.Lock()
+	w.sync = s
+	w.mu.Unlock()
+}
+
+// SetObs attaches WAL metrics (records, exact encoded bytes, flush and sync
+// latency, group batch sizes). Call before concurrent use.
 func (w *Writer) SetObs(m *obs.WALMetrics) {
 	w.mu.Lock()
 	w.met = m
 	w.mu.Unlock()
 }
 
-// Append encodes and buffers one record.
+func (w *Writer) err() error {
+	if p := w.failed.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func (w *Writer) fail(err error) error {
+	e := fmt.Errorf("wal: log device failed: %w", err)
+	w.failed.CompareAndSwap(nil, &e)
+	return w.err()
+}
+
+// Append encodes and buffers one record. The record is not durable until the
+// next Flush or group-commit sync.
 func (w *Writer) Append(rec Record) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	return w.appendLocked(rec)
+}
+
+func (w *Writer) appendLocked(rec Record) error {
+	if err := w.err(); err != nil {
+		return err
+	}
 	w.buf = encodeRecord(w.buf[:0], rec)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(w.buf)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(w.buf))
 	if _, err := w.bw.Write(hdr[:]); err != nil {
-		return err
+		return w.fail(err)
 	}
 	if _, err := w.bw.Write(w.buf); err != nil {
-		return err
+		return w.fail(err)
 	}
 	w.n++
+	w.b += int64(len(hdr) + len(w.buf))
 	if w.met != nil {
 		w.met.Records.Inc()
 		w.met.Bytes.Add(int64(len(hdr) + len(w.buf)))
@@ -140,22 +251,169 @@ func (w *Writer) Append(rec Record) error {
 	return nil
 }
 
-// Flush writes buffered records through.
-func (w *Writer) Flush() error {
+// AppendBatch appends recs as one contiguous run under a single buffer-lock
+// hold and returns once every record in the batch is durable, electing or
+// following a flush leader (see the Writer doc).
+func (w *Writer) AppendBatch(recs []Record) error {
 	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.met == nil {
-		return w.bw.Flush()
+	for _, rec := range recs {
+		if err := w.appendLocked(rec); err != nil {
+			w.mu.Unlock()
+			return err
+		}
 	}
-	start := time.Now()
-	err := w.bw.Flush()
-	w.met.SyncLatency.ObserveSince(start)
-	return err
+	epoch := w.n
+	w.mu.Unlock()
+	return w.waitDurable(epoch)
 }
 
-// Instrument attaches metrics to a logger: a *Writer records in place (exact
-// byte counts), Nop stays uninstrumented, and anything else is wrapped so
-// records and sync latency are still counted (bytes are unknown and stay 0).
+// waitDurable blocks until the durable epoch covers epoch, doing leader duty
+// when the election CAS is won. No mutex is held at any blocking point.
+func (w *Writer) waitDurable(epoch int64) error {
+	for {
+		if err := w.err(); err != nil {
+			return err
+		}
+		if w.durable.Load() >= epoch {
+			return nil
+		}
+		if w.leading.CompareAndSwap(false, true) {
+			w.leadSync()
+			w.releaseLeader()
+			continue
+		}
+		ch := w.gen.Load()
+		// Park only while a leader is active: its release closes the current
+		// generation, and the durable re-check after capturing the channel
+		// covers a leader that published between our first check and here. If
+		// no one holds the token, loop and win the election ourselves.
+		if w.durable.Load() >= epoch || w.err() != nil || !w.leading.Load() {
+			continue
+		}
+		<-*ch
+	}
+}
+
+// leadSync is one leader round: optionally dwell for more committers, then
+// flush under the buffer lock and sync with no lock held, then publish the
+// durable epoch. Must be called holding the leadership token.
+func (w *Writer) leadSync() {
+	if d := w.gc.MaxDelay; d > 0 {
+		w.mu.Lock()
+		pending := w.n - w.durable.Load()
+		w.mu.Unlock()
+		if pending < w.gc.maxBatch() {
+			time.Sleep(d)
+		}
+	}
+	w.mu.Lock()
+	target := w.n
+	start := time.Now()
+	err := w.bw.Flush()
+	w.mu.Unlock()
+	if w.met != nil {
+		w.met.FlushLatency.ObserveSince(start)
+	}
+	if err != nil {
+		_ = w.fail(err)
+		return
+	}
+	if s := w.sync; s != nil {
+		start = time.Now()
+		err = s.Sync()
+		if w.met != nil {
+			w.met.SyncLatency.ObserveSince(start)
+			w.met.Syncs.Inc()
+		}
+		if err != nil {
+			_ = w.fail(err)
+			return
+		}
+	}
+	w.advanceDurable(target)
+}
+
+// advanceDurable publishes epoch as durable (monotone) and records the group
+// size. Must be called holding the leadership token.
+func (w *Writer) advanceDurable(epoch int64) {
+	prev := w.durable.Load()
+	if epoch <= prev {
+		return
+	}
+	if w.met != nil {
+		w.met.GroupBatchSize.Observe(epoch - prev)
+	}
+	w.durable.Store(epoch)
+}
+
+// acquireLeader spins until it wins the flush-leader token. Used by segment
+// rotation, which must exclude concurrent leader syncs; the spin is bounded
+// by one leader round (flush + sync + optional MaxDelay dwell).
+func (w *Writer) acquireLeader() {
+	for !w.leading.CompareAndSwap(false, true) {
+		time.Sleep(10 * time.Microsecond)
+	}
+}
+
+// releaseLeader drops the token and wakes parked followers by closing the
+// current generation channel.
+func (w *Writer) releaseLeader() {
+	w.leading.Store(false)
+	ch := make(chan struct{})
+	old := w.gen.Swap(&ch)
+	close(*old)
+}
+
+// swapTarget flushes the buffered tail to the current target and retargets
+// the writer at nw with syncer ns. It returns the epoch and byte count the
+// old target now holds; the caller is responsible for syncing the old target
+// before treating that epoch as durable. Must be called holding the
+// leadership token (see acquireLeader) so no concurrent leader publishes an
+// epoch that spans the swap.
+func (w *Writer) swapTarget(nw io.Writer, ns Syncer) (epoch, bytes int64, err error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		return 0, 0, w.fail(err)
+	}
+	w.bw.Reset(nw)
+	w.sync = ns
+	return w.n, w.b, nil
+}
+
+// Flush forces buffered records to the underlying writer and, when a Syncer
+// is attached, to durable media. The buffered-writer drain is timed as
+// wal.flush_latency; the device sync as wal.sync_latency.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	start := time.Now()
+	err := w.bw.Flush()
+	s := w.sync
+	w.mu.Unlock()
+	if w.met != nil {
+		w.met.FlushLatency.ObserveSince(start)
+	}
+	if err != nil {
+		return w.fail(err)
+	}
+	if s != nil {
+		start = time.Now()
+		err = s.Sync()
+		if w.met != nil {
+			w.met.SyncLatency.ObserveSince(start)
+			w.met.Syncs.Inc()
+		}
+		if err != nil {
+			return w.fail(err)
+		}
+	}
+	return nil
+}
+
+// Instrument attaches metrics to a logger: a *Writer or *Dir records in
+// place (exact byte counts), Nop stays uninstrumented, and anything else is
+// wrapped so records and flush latency are still counted (bytes are unknown
+// and stay 0).
 func Instrument(l Logger, m *obs.WALMetrics) Logger {
 	switch t := l.(type) {
 	case nil:
@@ -163,6 +421,9 @@ func Instrument(l Logger, m *obs.WALMetrics) Logger {
 	case Nop:
 		return l
 	case *Writer:
+		t.SetObs(m)
+		return l
+	case *Dir:
 		t.SetObs(m)
 		return l
 	default:
@@ -183,10 +444,12 @@ func (w *instrumented) Append(rec Record) error {
 	return err
 }
 
+// Flush times the wrapped flush as flush latency; whether the wrapped logger
+// reaches a device is unknown, so no sync is recorded.
 func (w *instrumented) Flush() error {
 	start := time.Now()
 	err := w.l.Flush()
-	w.met.SyncLatency.ObserveSince(start)
+	w.met.FlushLatency.ObserveSince(start)
 	return err
 }
 
@@ -195,6 +458,13 @@ func (w *Writer) Count() int64 {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.n
+}
+
+// Bytes returns the encoded bytes appended (headers included).
+func (w *Writer) Bytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b
 }
 
 func encodeRecord(buf []byte, rec Record) []byte {
@@ -214,7 +484,7 @@ func encodeRecord(buf []byte, rec Record) []byte {
 		buf = appendString(buf, rec.Table)
 		buf = binary.AppendUvarint(buf, uint64(rec.TID.Page))
 		return binary.AppendUvarint(buf, uint64(rec.TID.Slot))
-	case RecMigrated:
+	case RecMigrated, RecCheckpoint:
 		buf = appendString(buf, rec.Table)
 		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
 		return append(buf, rec.Key...)
@@ -233,9 +503,12 @@ func appendString(buf []byte, s string) []byte {
 // ErrCorrupt reports a malformed or checksum-failing log.
 var ErrCorrupt = errors.New("wal: corrupt log")
 
-// Reader decodes records from an io.Reader.
+// Reader decodes records from an io.Reader. The payload scratch buffer is
+// reused across Next calls — decodeRecord copies every field it keeps
+// (strings, keys, row datums), so returned Records never alias it.
 type Reader struct {
-	br *bufio.Reader
+	br      *bufio.Reader
+	scratch []byte
 }
 
 // NewReader wraps r in a WAL reader.
@@ -259,7 +532,10 @@ func (r *Reader) Next() (Record, error) {
 	if size > 1<<28 {
 		return Record{}, ErrCorrupt
 	}
-	payload := make([]byte, size)
+	if uint32(cap(r.scratch)) < size {
+		r.scratch = make([]byte, size)
+	}
+	payload := r.scratch[:size]
 	if _, err := io.ReadFull(r.br, payload); err != nil {
 		if err == io.ErrUnexpectedEOF || err == io.EOF {
 			return Record{}, io.EOF // torn tail
@@ -324,7 +600,9 @@ func decodeRecord(buf []byte) (Record, error) {
 		}
 		row, err := types.DecodeKey(buf[:rowLen])
 		if err != nil {
-			return Record{}, err
+			// Checksum-valid but undecodable is still corruption: keep the
+			// reader's contract at exactly {nil, io.EOF, ErrCorrupt}.
+			return Record{}, fmt.Errorf("%w: row: %v", ErrCorrupt, err)
 		}
 		rec.Row = row
 		return rec, nil
@@ -343,7 +621,7 @@ func decodeRecord(buf []byte) (Record, error) {
 		}
 		rec.TID = storage.TID{Page: uint32(page), Slot: uint32(slot)}
 		return rec, nil
-	case RecMigrated:
+	case RecMigrated, RecCheckpoint:
 		var err error
 		if rec.Table, err = readString(); err != nil {
 			return Record{}, err
