@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench figures examples ci clean
+.PHONY: all build vet lint test race fuzz bench figures examples trace-demo ci clean
 
 all: build vet lint test
 
@@ -37,18 +37,26 @@ fuzz:
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
 
 # Figure experiments as testing.B benchmarks plus micro-benchmarks, then the
-# backfill worker-scaling figure, the migration-start-stall before/after, and
-# the group-commit WAL matrix with their JSON outputs (results/BENCH_backfill.json,
-# results/BENCH_catalog.json, results/BENCH_walgroup.json).
+# backfill worker-scaling figure, the migration-start-stall before/after,
+# the group-commit WAL matrix, and the tracing-overhead pair with their JSON
+# outputs (results/BENCH_backfill.json, results/BENCH_catalog.json,
+# results/BENCH_walgroup.json, results/BENCH_obs.json).
 bench:
 	$(GO) test -bench=. -benchmem -benchtime 1x .
 	$(GO) run ./cmd/bullfrog-bench -fig backfill -json results
 	$(GO) run ./cmd/bullfrog-bench -fig catalog -json results
 	$(GO) run ./cmd/bullfrog-bench -fig walgroup -json results
+	$(GO) run ./cmd/bullfrog-bench -fig obs -json results
 
 # Regenerate every evaluation figure (quick profile; see -profile medium/full).
 figures:
 	$(GO) run ./cmd/bullfrog-bench -fig all
+
+# One annotated statement span end to end: a split migration with tracing
+# on, the slow-op JSON stream on stderr, live progress/ETA, and the /trace
+# snapshot (examples/tracing).
+trace-demo:
+	$(GO) run ./examples/tracing
 
 examples:
 	$(GO) run ./examples/quickstart
@@ -56,6 +64,7 @@ examples:
 	$(GO) run ./examples/aggregate
 	$(GO) run ./examples/joinmigration
 	$(GO) run ./examples/recovery
+	$(GO) run ./examples/tracing
 
 clean:
 	$(GO) clean ./...

@@ -5,12 +5,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/core"
 	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/txn"
 	"github.com/bullfrogdb/bullfrog/internal/types"
@@ -104,6 +106,22 @@ type Options struct {
 	// recovery replay. 0 disables background checkpoints (Checkpoint can
 	// still be called manually).
 	CheckpointInterval time.Duration
+	// Trace enables structured tracing: statement and migration spans, the
+	// event ring behind TraceHandler, and the slow-op log. Disabled, the
+	// instrumentation costs one nil/bool check per site.
+	Trace bool
+	// TraceRingSize is the event-ring capacity (rounded up to a power of
+	// two; 0 = 4096). Ignored unless Trace is set.
+	TraceRingSize int
+	// SlowStatement: statements at least this slow are recorded in the
+	// slow-op log with their full phase breakdown (0 disables the slow-op
+	// path; spans still record). Ignored unless Trace is set.
+	SlowStatement time.Duration
+	// SlowBatch is the same threshold for background backfill batches.
+	SlowBatch time.Duration
+	// SlowOpLog receives slow-op JSON lines (one object per line). nil keeps
+	// slow ops only in the in-memory buffer served by TraceHandler.
+	SlowOpLog io.Writer
 }
 
 // DB is an embedded BullFrog database. Close releases its resources; other
@@ -115,6 +133,7 @@ type DB struct {
 	bg     *core.Background
 	ckpt   *core.Checkpointer // nil unless background checkpointing is on
 	walSrc wal.Logger         // the caller-supplied logger, for Close
+	tracer *trace.Tracer      // nil = tracing disabled
 	closed atomic.Bool
 	// closeCtx is cancelled by Close so long-running drains (FinishMigration
 	// during a multi-step switch-over) cannot hang shutdown.
@@ -141,11 +160,23 @@ func Open(opts Options) *DB {
 		closeCtx:  ctx,
 		closeStop: cancel,
 	}
+	if opts.Trace {
+		db.tracer = trace.New(trace.Config{
+			RingSize:      opts.TraceRingSize,
+			SlowStatement: opts.SlowStatement,
+			SlowBatch:     opts.SlowBatch,
+			SlowLog:       opts.SlowOpLog,
+		}, eng.Obs().Trace)
+		eng.SetTracing(true)
+		db.ctrl.SetTracer(db.tracer)
+	}
 	switch w := opts.WAL.(type) {
 	case *wal.Writer:
 		w.SetGroupCommit(opts.GroupCommit)
+		w.SetTracer(db.tracer)
 	case *wal.Dir:
 		w.SetGroupCommit(opts.GroupCommit)
+		w.SetTracer(db.tracer)
 		if opts.CheckpointInterval > 0 {
 			db.ckpt = core.NewCheckpointer(ctx, db.ctrl, w, opts.CheckpointInterval)
 			db.ckpt.Start()
@@ -236,9 +267,24 @@ func (db *DB) ExecContext(ctx context.Context, src string) (*Result, error) {
 	if ctx == nil {
 		ctx = db.closeCtx
 	}
+	// One span covers the whole call (usually a single statement): parse,
+	// then per-statement gate/migrate/exec/commit phases accumulate on it.
+	var sp *trace.Span
+	if db.tracer != nil {
+		sp = db.tracer.StartStatement(spanName(src))
+		defer db.tracer.Finish(sp)
+		ctx = trace.WithSpan(ctx, sp)
+	}
+	var parseStart time.Time
+	if sp != nil {
+		parseStart = time.Now()
+	}
 	stmts, err := sql.Parse(src)
 	if err != nil {
 		return nil, err
+	}
+	if sp != nil {
+		sp.AddSince(trace.PhaseParse, parseStart)
 	}
 	var last *Result = &Result{}
 	for _, s := range stmts {
@@ -249,6 +295,16 @@ func (db *DB) ExecContext(ctx context.Context, src string) (*Result, error) {
 		last = res
 	}
 	return last, nil
+}
+
+// spanName compresses SQL text into a span label: whitespace collapsed,
+// truncated so pathological statements don't bloat the trace surface.
+func spanName(src string) string {
+	src = strings.Join(strings.Fields(src), " ")
+	if len(src) > 100 {
+		src = src[:100] + "..."
+	}
+	return src
 }
 
 // Query is Exec for a single SELECT; provided for readability.
@@ -266,11 +322,21 @@ func (db *DB) QueryContext(ctx context.Context, src string) (*Result, error) {
 // Switch; BullFrog's lazy migration start no longer drains the gate, it
 // installs a catalog version at a commit barrier).
 func (db *DB) execStmtGated(ctx context.Context, s sql.Statement) (*Result, error) {
+	var sp *trace.Span
+	var gateStart time.Time
+	if db.tracer != nil {
+		if sp = trace.FromContext(ctx); sp != nil {
+			gateStart = time.Now()
+		}
+	}
 	if err := db.gate.EnterContext(ctx); err != nil {
 		if db.closed.Load() {
 			return nil, wrapErr("exec", "", ErrClosed)
 		}
 		return nil, err
+	}
+	if sp != nil {
+		sp.AddSince(trace.PhaseGate, gateStart)
 	}
 	defer db.gate.Leave()
 	return db.execStmt(ctx, s)
@@ -292,6 +358,10 @@ func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
 			return nil, wrapErr("exec", "", err)
 		}
 		tx := db.eng.Begin()
+		// Pin ctx (and its span) as the transaction's statement context for
+		// the whole statement, not just the ExecStmtContext window: Commit
+		// runs after that window closes and still reads the span through it.
+		tx.SetContext(ctx)
 		if db.eng.CatalogAt(tx.Snapshot().Seq) != ver {
 			_ = db.eng.Abort(tx)
 			continue

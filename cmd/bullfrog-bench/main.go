@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to reproduce: 3,4,5,6,7,8,9,10,11,12, 'backfill' (worker-count scaling), 'catalog' (migration-start stall before/after the versioned catalog), 'walgroup' (group-commit TPS scaling + checkpointed recovery time), or 'all'")
+	fig := flag.String("fig", "all", "figure to reproduce: 3,4,5,6,7,8,9,10,11,12, 'backfill' (worker-count scaling), 'catalog' (migration-start stall before/after the versioned catalog), 'walgroup' (group-commit TPS scaling + checkpointed recovery time), 'obs' (tracing overhead, tracer off vs on), or 'all'")
 	rate := flag.Float64("rate", 0.6, "offered load as a fraction of measured capacity (0.6 = the paper's 450 TPS regime, 1.0 = 700 TPS)")
 	prof := flag.String("profile", "quick", "run geometry: quick, medium, or full")
 	jsonDir := flag.String("json", "", "also write BENCH_<figure>.json (series + per-second metrics timeline) into this directory")
@@ -112,6 +112,9 @@ func runFigure(f string, p bench.Profile, rate float64, jsonDir string) error {
 		return emit(fr, err, throughput)
 	case "catalog":
 		fr, err := bench.FigureCatalog(p, rate)
+		return emit(fr, err, throughput)
+	case "obs":
+		fr, err := bench.FigureObs(p, rate)
 		return emit(fr, err, throughput)
 	case "walgroup":
 		res, err := bench.FigureWalGroup(p)

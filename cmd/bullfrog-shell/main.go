@@ -10,23 +10,50 @@
 //	1 | 'hello'
 //
 // Meta commands: \d (list tables), \metrics (dump internal metrics),
-// \q (quit).
+// \trace (dump the trace snapshot; needs -trace), \top (live migration
+// progress/ETA, refreshing until Enter), \q (quit).
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"github.com/bullfrogdb/bullfrog"
 )
 
 func main() {
 	script := flag.String("f", "", "execute the SQL file and exit")
+	traceOn := flag.Bool("trace", false, "enable structured tracing (spans, event ring, \\trace)")
+	slow := flag.Duration("slow", 0, "slow-statement threshold for the slow-op log (implies -trace)")
+	slowLog := flag.String("slow-log", "", "file receiving slow-op JSON lines (default stderr)")
 	flag.Parse()
-	db := bullfrog.Open(bullfrog.Options{})
+	opts := bullfrog.Options{}
+	if *slow > 0 {
+		*traceOn = true
+	}
+	if *traceOn {
+		opts.Trace = true
+		opts.SlowStatement = *slow
+		opts.SlowBatch = *slow
+		if *slow > 0 {
+			opts.SlowOpLog = os.Stderr
+			if *slowLog != "" {
+				f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				defer f.Close()
+				opts.SlowOpLog = f
+			}
+		}
+	}
+	db := bullfrog.Open(opts)
 	defer db.Close()
 	if *script != "" {
 		src, err := os.ReadFile(*script)
@@ -44,7 +71,7 @@ func main() {
 	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\metrics shows stats, \\q quits.")
+	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\metrics shows stats, \\top shows migration progress, \\q quits.")
 	var buf strings.Builder
 	prompt := "bullfrog> "
 	for {
@@ -68,6 +95,17 @@ func main() {
 		case `\metrics`:
 			fmt.Print(db.Metrics().Text())
 			continue
+		case `\trace`:
+			b, err := json.MarshalIndent(db.Trace(), "", "  ")
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(string(b))
+			continue
+		case `\top`:
+			top(db, in)
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteString(" ")
@@ -85,6 +123,59 @@ func main() {
 		}
 		printResult(res)
 	}
+}
+
+// top renders the live migration progress/ETA view, refreshing twice a
+// second until the user presses Enter (or the migration completes).
+func top(db *bullfrog.DB, in *bufio.Scanner) {
+	// Bail before spawning the Enter-reader: returning with it still parked
+	// on in.Scan would swallow the next SQL line.
+	if !db.MigrationProgress().Active {
+		fmt.Println("no active migration")
+		return
+	}
+	stop := make(chan struct{})
+	go func() {
+		in.Scan() // Enter (or EOF) ends the refresh loop
+		close(stop)
+	}()
+	t := time.NewTicker(500 * time.Millisecond)
+	defer t.Stop()
+	for {
+		fmt.Print(renderProgress(db.MigrationProgress()))
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+func renderProgress(p bullfrog.MigrationProgress) string {
+	var b strings.Builder
+	if !p.Active {
+		fmt.Fprintf(&b, "no active migration (press Enter to exit)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "migration %q  elapsed=%s  workers=%d  batch=%d\n",
+		p.Name, time.Since(p.StartedAt).Round(time.Millisecond), p.Workers, p.BatchSize)
+	for _, t := range p.Tables {
+		total := fmt.Sprintf("%d", t.Total)
+		if t.Total < 0 {
+			total = "?"
+		}
+		eta := "?"
+		switch {
+		case t.Complete:
+			eta = "done"
+		case t.ETASeconds >= 0:
+			eta = (time.Duration(t.ETASeconds * float64(time.Second))).Round(time.Second).String()
+		}
+		fmt.Fprintf(&b, "  %-20s %-16s %8d/%-8s %5.1f%%  rows=%-9d rate=%.0f/s  eta=%s\n",
+			t.Statement, t.Table, t.Migrated, total, t.Progress*100, t.RowsMigrated, t.RatePerSec, eta)
+	}
+	b.WriteString("(press Enter to exit)\n")
+	return b.String()
 }
 
 func printResult(res *bullfrog.Result) {

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+	"github.com/bullfrogdb/bullfrog/internal/core"
+)
+
+func TestRenderProgress(t *testing.T) {
+	out := renderProgress(bullfrog.MigrationProgress{})
+	if !strings.Contains(out, "no active migration") {
+		t.Errorf("idle render = %q", out)
+	}
+
+	out = renderProgress(bullfrog.MigrationProgress{
+		Active: true, Name: "split", StartedAt: time.Now().Add(-3 * time.Second),
+		Workers: 4, BatchSize: 256,
+		Tables: []core.TableProgressReport{
+			{Statement: "split", Table: "accounts", Migrated: 50, Total: 100,
+				Progress: 0.5, RowsMigrated: 800, RatePerSec: 25, ETASeconds: 2},
+			{Statement: "split", Table: "archive", Migrated: 10, Total: 10,
+				Progress: 1, RowsMigrated: 160, Complete: true, ETASeconds: 0},
+			{Statement: "hash", Table: "orders", Migrated: 3, Total: -1,
+				Progress: 0, RowsMigrated: 48, ETASeconds: -1},
+		},
+	})
+	for _, want := range []string{
+		`migration "split"`, "workers=4", "batch=256",
+		"50/100", "50.0%", "eta=2s",
+		"10/10", "eta=done",
+		"3/?", "eta=?",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("active render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -122,9 +122,12 @@ type Config struct {
 	// pre-versioned-catalog behavior). Off by default — the flip is a
 	// versioned-catalog install at a commit barrier, with no drain.
 	DrainAtStart bool
-	Constraints  tpcc.SplitConstraints
-	Mix          func(r *rand.Rand) tpcc.TxnType
-	Seed         int64
+	// Trace enables the structured tracer for the run (the -fig obs overhead
+	// experiment and phase-attributed timelines).
+	Trace       bool
+	Constraints tpcc.SplitConstraints
+	Mix         func(r *rand.Rand) tpcc.TxnType
+	Seed        int64
 }
 
 // Result is an experiment's outcome, with the timeline markers the paper's
@@ -165,7 +168,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.System == SysBullFrogOnConflict {
 		mode = core.DetectOnInsert
 	}
-	fdb := bullfrog.Open(bullfrog.Options{ConflictMode: mode})
+	fdb := bullfrog.Open(bullfrog.Options{ConflictMode: mode, Trace: cfg.Trace})
 	defer fdb.Close()
 	db := fdb.Engine()
 	if err := tpcc.CreateSchema(db); err != nil {

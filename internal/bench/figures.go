@@ -423,6 +423,9 @@ func labelFor(r *Result) string {
 	if r.Config.DrainAtStart {
 		parts = append(parts, "drain=start")
 	}
+	if r.Config.Trace {
+		parts = append(parts, "trace=on")
+	}
 	if r.Config.Constraints.FKOrders {
 		parts = append(parts, "fk=district+orders")
 	} else if r.Config.Constraints.FKDistrict {

@@ -33,6 +33,7 @@ type jsonRun struct {
 	BGStartSec    float64 `json:"bg_start_sec,omitempty"`
 	BGWorkers     int     `json:"bg_workers,omitempty"`
 	DrainAtStart  bool    `json:"drain_at_start,omitempty"`
+	Trace         bool    `json:"trace,omitempty"`
 	// MigFlipMs is how long the logical switch took (gate drain + Start when
 	// drain_at_start, just Start otherwise) — the client-visible stall at
 	// migration start the versioned catalog removes.
@@ -78,6 +79,7 @@ func WriteJSON(fr *FigureResult, dir string) (string, error) {
 			BGStartSec:     r.BGStart.Seconds(),
 			BGWorkers:      r.Config.BGWorkers,
 			DrainAtStart:   r.Config.DrainAtStart,
+			Trace:          r.Config.Trace,
 			MigFlipMs:      float64(r.MigFlip) / float64(time.Millisecond),
 			MigWindowP99Ms: float64(r.Metrics.WindowPercentile(r.MigStart, r.MigStart+500*time.Millisecond, 99)) / float64(time.Millisecond),
 			RowsMigrated:   r.RowsMigrated,

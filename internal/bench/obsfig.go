@@ -1,0 +1,20 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// FigureObs quantifies the tracing overhead: the same TPC-C table-split run
+// with the structured tracer off and on. The acceptance bar is tracing
+// within a few percent of the disabled run — disabled instrumentation is a
+// nil/bool check per site, enabled adds a handful of atomic adds and clock
+// reads per statement. The traced run's timeline carries per-phase span
+// totals, so its BENCH JSON also demonstrates phase attribution end to end.
+func FigureObs(p Profile, frac float64) (*FigureResult, error) {
+	off := p.config(SysBullFrog, MigSplit, frac)
+	on := p.config(SysBullFrog, MigSplit, frac)
+	on.Trace = true
+	return runAll("obs",
+		fmt.Sprintf("tracing overhead: tracer off vs on, table split, rate=%.0f%%", frac*100),
+		[]Config{off, on})
+}

@@ -25,6 +25,10 @@ type TimelinePoint struct {
 	// Progress is the minimum migration progress across tables still
 	// migrating; 1 when no migration is active or all are complete.
 	Progress float64 `json:"progress"`
+	// Phases is cumulative per-phase span time (ns) when the run traces
+	// (Config.Trace): plots can attribute wall time to parse/gate/exec/WAL/
+	// lazy-migrate/backfill per sample. Nil with tracing off.
+	Phases map[string]int64 `json:"phases_ns,omitempty"`
 }
 
 // sampler polls db.Metrics() on a fixed interval (1s by default, matching
@@ -93,5 +97,6 @@ func samplePoint(db *bullfrog.DB, start time.Time) TimelinePoint {
 		TuplesLazy:       snap.Migration.TuplesLazy,
 		TuplesBackground: snap.Migration.TuplesBackground,
 		Progress:         progress,
+		Phases:           db.TracePhaseTotals(),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/types"
 )
@@ -65,7 +66,7 @@ func NewBackground(ctrl *Controller, delay time.Duration) *Background {
 		ChunkGranules: 64,
 		ChunkTuples:   4096,
 		ctrl:          ctrl,
-		pace:          newPacer(ctrl.db.Obs()),
+		pace:          newPacer(ctrl.db.Obs(), ctrl.tr),
 		stop:          make(chan struct{}),
 		errs:          make(chan error, 1),
 	}
@@ -206,7 +207,7 @@ func (b *Background) runBitmap(rt *StmtRuntime, worker, workers int) {
 
 func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
 	cursor := rt.bitmap.Granules() / int64(workers) * int64(worker) // stripe start
-	batch := make([]int64, 0, b.ChunkGranules)                     // reused across batches
+	batch := make([]int64, 0, b.ChunkGranules)                      // reused across batches
 	for {
 		if rt.complete.Load() {
 			return nil
@@ -238,9 +239,12 @@ func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
 			batch = append(batch, g)
 			g = rt.bitmap.NextUnmigrated(g + 1)
 		}
+		batchStart := time.Now()
 		if _, err := rt.bitmapPass(nil, nil, batch, true); err != nil {
 			return err
 		}
+		b.ctrl.tr.BatchDone(b.ctrl.migSpan.Load(), rt.Stmt.Name,
+			len(batch), limit, time.Since(batchStart))
 		if g < 0 {
 			cursor = 0
 		} else {
@@ -369,12 +373,15 @@ func (b *Background) sweepChunk(rt *StmtRuntime, tbl *catalog.Table, ords []int,
 	if len(sc.todo) == 0 {
 		return 0, nil
 	}
+	batchStart := time.Now()
 	for {
 		busy, err := rt.hashPass(nil, nil, sc.todo, true)
 		if err != nil {
 			return int64(len(sc.todo)), err
 		}
 		if busy == 0 {
+			b.ctrl.tr.BatchDone(b.ctrl.migSpan.Load(), rt.Stmt.Name,
+				len(sc.todo), int(hi-lo), time.Since(batchStart))
 			return int64(len(sc.todo)), nil
 		}
 		if !b.sleep(rt.ctrl.backoff) {
@@ -444,9 +451,17 @@ func (rt *StmtRuntime) CatchUp(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if tr := rt.ctrl.tr; tr != nil {
+		start := time.Now()
+		defer func() {
+			sp := rt.ctrl.migSpan.Load()
+			sp.AddSince(trace.PhaseCatchUp, start)
+			tr.Event(trace.EvCatchUp, sp.ID(), int64(time.Since(start)), rt.Stmt.Name)
+		}()
+	}
 	b := &Background{
 		ctrl: rt.ctrl, ChunkGranules: 256, ChunkTuples: 1 << 14,
-		pace: newPacer(rt.ctrl.db.Obs()), stop: make(chan struct{}),
+		pace: newPacer(rt.ctrl.db.Obs(), rt.ctrl.tr), stop: make(chan struct{}),
 	}
 	// Bridge ctx cancellation onto the stop channel so the sweep helpers'
 	// interruptible sleeps observe it.

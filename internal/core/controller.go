@@ -13,6 +13,7 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/engine"
 	"github.com/bullfrogdb/bullfrog/internal/expr"
 	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/txn"
@@ -75,6 +76,12 @@ type StmtRuntime struct {
 	complete     atomic.Bool
 	completeAt   atomic.Int64 // unix nanos
 	stats        statCounters
+
+	// Progress-rate window for ProgressReport's ETA (see progress.go).
+	progMu    sync.Mutex
+	progAt    time.Time
+	progCount int64
+	progRate  float64
 }
 
 // Complete reports whether every granule/group of this statement migrated.
@@ -132,7 +139,21 @@ type Controller struct {
 	// §4.4.1 "no bitmap" ablation, Figure 9). Correct only when the workload
 	// accesses each granule exactly once.
 	trackingDisabled atomic.Bool
+
+	// tr is the optional tracer (nil = tracing disabled; every call on it is
+	// nil-safe). migSpan is the active migration's span, finished at
+	// completion and dropped by Reset.
+	tr      *trace.Tracer
+	migSpan atomic.Pointer[trace.Span]
 }
+
+// SetTracer attaches a tracer for migration spans and backfill/pacer events.
+// Call before Start; a nil tracer disables tracing.
+func (c *Controller) SetTracer(tr *trace.Tracer) { c.tr = tr }
+
+// MigrationSpan returns the active migration's span (nil when tracing is off
+// or no migration is active).
+func (c *Controller) MigrationSpan() *trace.Span { return c.migSpan.Load() }
 
 // SetTrackingDisabled toggles the §4.4.1 no-tracking ablation: claims always
 // succeed and no migration status is recorded. Use only with workloads that
@@ -235,18 +256,26 @@ func (c *Controller) Start(m *Migration) error {
 			}
 		}
 	}
+	sp := c.tr.StartMigration(m.Name)
 	if !c.shadow {
 		// The big flip (paper §2.1) as a catalog version install: a new
 		// version marking the inputs retired is published with a CAS at a
 		// reserved commit sequence, so in-flight statements keep the schema
 		// their snapshot pinned and nothing drains. (The eager and multi-step
 		// baselines still flip under the gate; see eager.go.)
+		installStart := time.Now()
 		if _, err := c.db.InstallCatalogVersion(m.Name, m.RetireInputs); err != nil {
+			c.tr.Finish(sp) // migration never activated; don't leave the span live
 			return fmt.Errorf("core: installing catalog version: %w", err)
 		}
+		sp.AddSince(trace.PhaseInstall, installStart)
 		for _, name := range m.RetireInputs {
 			c.retired[norm(name)] = true
 		}
+	}
+	if sp != nil {
+		c.migSpan.Store(sp)
+		c.tr.Event(trace.EvMigrationStart, sp.ID(), int64(len(m.Statements)), m.Name)
 	}
 	c.mig = m
 	c.runtimes = runtimes
@@ -401,6 +430,7 @@ func (c *Controller) Reset() error {
 	c.done = nil
 	c.completionErr = nil
 	c.completedAt.Store(0)
+	c.migSpan.Store(nil)
 	c.db.InvalidatePlans()
 	return nil
 }
@@ -483,6 +513,14 @@ func (c *Controller) markRuntimeComplete(rt *StmtRuntime) error {
 	}
 	if !c.completedAt.CompareAndSwap(0, time.Now().UnixNano()) {
 		return nil // another worker already ran the end-of-migration step
+	}
+	if sp := c.migSpan.Load(); sp != nil {
+		c.tr.Finish(sp)
+		var rows int64
+		for _, r := range c.Runtimes() {
+			rows += r.stats.rowsMigrated.Load()
+		}
+		c.tr.Event(trace.EvMigrationComplete, sp.ID(), rows, sp.Name())
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -668,6 +706,9 @@ func (c *Controller) EnsureMigratedContext(ctx context.Context, outputTable stri
 	start := time.Now()
 	err := c.ensureMigrated(ctx, rt, outputTable, pred)
 	c.obsMig().EnsureLatency.ObserveSince(start)
+	if sp := trace.FromContext(ctx); sp != nil {
+		sp.AddSince(trace.PhaseLazyMigrate, start)
+	}
 	return err
 }
 
@@ -728,10 +769,24 @@ func (rt *StmtRuntime) migrateBitmapPred(ctx context.Context, pred expr.Expr) er
 		// Another worker is migrating some of our granules: wait for it to
 		// finish or abort, then re-check (Algorithm 1 line 10).
 		rt.stats.skipWaits.Add(1)
+		rt.noteCollision(ctx, busy)
 		if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
 			return err
 		}
 	}
+}
+
+// noteCollision annotates the statement's span with the migration batch it
+// collided with (first collision wins) and emits a granule_collision ring
+// event, so a slow statement names what it waited on.
+func (rt *StmtRuntime) noteCollision(ctx context.Context, busy int) {
+	sp := trace.FromContext(ctx)
+	if sp == nil {
+		return
+	}
+	detail := fmt.Sprintf("migration stmt=%s busy=%d", rt.Stmt.Name, busy)
+	sp.Collide(detail)
+	rt.ctrl.tr.Event(trace.EvCollision, sp.ID(), int64(busy), detail)
 }
 
 // bitmapPass runs one iteration of the per-transaction migration loop:
@@ -1023,6 +1078,7 @@ func (rt *StmtRuntime) migrateHashPredSeeded(ctx context.Context, pred, seedPred
 			return nil
 		}
 		rt.stats.skipWaits.Add(1)
+		rt.noteCollision(ctx, busy+busySeed)
 		if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
 			return err
 		}
@@ -1064,6 +1120,7 @@ func (c *Controller) EnsureGroupMigratedContext(ctx context.Context, outputTable
 			return nil
 		}
 		rt.stats.skipWaits.Add(1)
+		rt.noteCollision(ctx, busy)
 		if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
 			return err
 		}

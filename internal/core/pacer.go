@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 )
 
 // pacer is the backfill pool's adaptive throttle. Workers call observe()
@@ -22,6 +23,7 @@ import (
 // throttle on forever.
 type pacer struct {
 	met *obs.Set
+	tr  *trace.Tracer // optional; level changes emit EvPacerLevel events
 
 	// level is read lock-free on every batch; only observe() writes it.
 	level atomic.Int32
@@ -62,7 +64,9 @@ const (
 	pacerBaseAlpha = 0.2
 )
 
-func newPacer(met *obs.Set) *pacer { return &pacer{met: met, now: time.Now} }
+func newPacer(met *obs.Set, tr *trace.Tracer) *pacer {
+	return &pacer{met: met, tr: tr, now: time.Now}
+}
 
 // observe samples foreground health and adjusts the throttle level. Safe and
 // cheap to call from every worker on every batch: it returns immediately
@@ -125,6 +129,11 @@ func (p *pacer) observe() {
 	if degraded || confDelta >= pacerConflictBump {
 		if lv := p.level.Load(); lv < pacerMaxLevel {
 			p.level.Store(lv + 1)
+			reason := "latency"
+			if !degraded {
+				reason = "conflicts"
+			}
+			p.tr.Event(trace.EvPacerLevel, 0, int64(lv+1), reason)
 		}
 		return
 	}
@@ -134,6 +143,7 @@ func (p *pacer) observe() {
 func (p *pacer) decay() {
 	if lv := p.level.Load(); lv > 0 {
 		p.level.Store(lv - 1)
+		p.tr.Event(trace.EvPacerLevel, 0, int64(lv-1), "recovered")
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // sleeps on the wall clock.
 func TestPacerBackoff(t *testing.T) {
 	set := obs.NewSet()
-	p := newPacer(set)
+	p := newPacer(set, nil)
 	now := time.Unix(1_700_000_000, 0)
 	p.now = func() time.Time { return now }
 

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"time"
+)
+
+// TableProgressReport is one migration statement's live physical progress
+// plus a throughput-window rate and ETA. Totals count granules for bitmap
+// statements and are -1 (unknown) for hash statements, whose group count is
+// only discovered as groups migrate.
+type TableProgressReport struct {
+	Statement    string  `json:"statement"`
+	Table        string  `json:"table"`
+	Migrated     int64   `json:"migrated"`
+	Total        int64   `json:"total"`
+	Progress     float64 `json:"progress"`
+	RowsMigrated int64   `json:"rows_migrated"`
+	Complete     bool    `json:"complete"`
+	// RatePerSec is an EWMA of granules (or groups) migrated per second,
+	// sampled between ProgressReport calls.
+	RatePerSec float64 `json:"rate_per_sec"`
+	// ETASeconds estimates time to completion from the remaining granules and
+	// RatePerSec; -1 when unknown (hash statements, zero rate).
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// ProgressReport is the live migration progress surface behind
+// bullfrog.DB.MigrationProgress and the shell's \top view.
+type ProgressReport struct {
+	Active    bool                  `json:"active"`
+	Name      string                `json:"name,omitempty"`
+	StartedAt time.Time             `json:"started_at,omitempty"`
+	Workers   int64                 `json:"workers"`
+	BatchSize int64                 `json:"batch_size"`
+	Tables    []TableProgressReport `json:"tables,omitempty"`
+}
+
+// etaAlpha is the EWMA smoothing factor for the progress rate: heavy enough
+// that ETAs settle within a few samples, light enough to ride out bursty
+// batch completion.
+const etaAlpha = 0.4
+
+// sampleRate updates the runtime's EWMA progress rate from the delta since
+// the previous sample and returns the smoothed rate (units: granules or
+// groups per second). Samples closer together than 10ms reuse the previous
+// rate — the delta is too noisy to divide.
+func (rt *StmtRuntime) sampleRate(now time.Time, migrated int64) float64 {
+	rt.progMu.Lock()
+	defer rt.progMu.Unlock()
+	if rt.progAt.IsZero() {
+		rt.progAt, rt.progCount = now, migrated
+		return 0
+	}
+	dt := now.Sub(rt.progAt)
+	if dt < 10*time.Millisecond {
+		return rt.progRate
+	}
+	inst := float64(migrated-rt.progCount) / dt.Seconds()
+	if rt.progRate == 0 {
+		rt.progRate = inst
+	} else {
+		rt.progRate = etaAlpha*inst + (1-etaAlpha)*rt.progRate
+	}
+	rt.progAt, rt.progCount = now, migrated
+	return rt.progRate
+}
+
+// ProgressReport assembles the live progress/ETA view. The report is freshly
+// allocated on every call and safe to retain. Calling it periodically (the
+// shell's \top refresh) is what feeds the rate window; a one-off call after a
+// long gap still yields a meaningful average since the last call.
+func (c *Controller) ProgressReport() ProgressReport {
+	c.mu.RLock()
+	mig := c.mig
+	started := c.startedAt
+	rts := append([]*StmtRuntime(nil), c.runtimes...)
+	c.mu.RUnlock()
+	rep := ProgressReport{
+		Workers:   c.obsMig().BackfillWorkersActive.Load(),
+		BatchSize: c.obsMig().BackfillBatchSize.Load(),
+	}
+	if mig == nil {
+		return rep
+	}
+	rep.Active, rep.Name, rep.StartedAt = true, mig.Name, started
+	now := time.Now()
+	for _, rt := range rts {
+		t := TableProgressReport{
+			Statement:    rt.Stmt.Name,
+			Table:        rt.drivingTbl.Def.Name,
+			Migrated:     rt.Tracker().MigratedCount(),
+			Total:        -1,
+			RowsMigrated: rt.stats.rowsMigrated.Load(),
+			Complete:     rt.complete.Load(),
+			ETASeconds:   -1,
+		}
+		if rt.bitmap != nil {
+			t.Total = rt.bitmap.Granules()
+			if t.Total > 0 {
+				t.Progress = float64(t.Migrated) / float64(t.Total)
+			}
+		}
+		if t.Complete || (rt.bitmap != nil && t.Total == 0) {
+			t.Progress = 1
+		}
+		t.RatePerSec = rt.sampleRate(now, t.Migrated)
+		if t.Complete {
+			t.ETASeconds = 0
+		} else if t.Total > 0 && t.RatePerSec > 0 {
+			t.ETASeconds = float64(t.Total-t.Migrated) / t.RatePerSec
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/expr"
 	"github.com/bullfrogdb/bullfrog/internal/index"
 	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 	"github.com/bullfrogdb/bullfrog/internal/schema"
 	"github.com/bullfrogdb/bullfrog/internal/sql"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
@@ -61,6 +62,10 @@ type DB struct {
 	hook    MigrationHook
 	met     *obs.Set
 	plans   *planCache
+	// tracing enables span phase attribution on the statement path. When
+	// false (the default) no trace context lookups happen at all, so the
+	// disabled-tracer cost is one bool check per site.
+	tracing bool
 
 	// installMu guards installs, the in-order catalog-install history.
 	// Checkpoints snapshot it so recovery from a checkpoint still learns
@@ -86,6 +91,7 @@ func New(opts Options) *DB {
 		WAL:       &obs.WALMetrics{},
 		Migration: &obs.MigrationMetrics{},
 		Catalog:   &obs.CatalogMetrics{},
+		Trace:     &obs.TraceMetrics{},
 	}
 	log = wal.Instrument(log, set.WAL)
 	cat := catalog.New()
@@ -98,6 +104,19 @@ func New(opts Options) *DB {
 // present, so layers built on the engine (internal/core, the facade) record
 // into it directly.
 func (db *DB) Obs() *obs.Set { return db.met }
+
+// SetTracing turns span phase attribution on the statement path on or off.
+// Call before concurrent use (the facade sets it at Open).
+func (db *DB) SetTracing(on bool) { db.tracing = on }
+
+// spanOf returns the span riding the transaction's statement context, or nil
+// — guarded by the tracing flag so the disabled path never touches the ctx.
+func (db *DB) spanOf(tx *txn.Txn) *trace.Span {
+	if !db.tracing {
+		return nil
+	}
+	return trace.FromContext(tx.Context())
+}
 
 // Catalog exposes the catalog (used by internal/core and tests).
 func (db *DB) Catalog() *catalog.Catalog { return db.cat }
@@ -195,7 +214,10 @@ func (db *DB) enterCommit() func() {
 // step. A BatchLogger (the real WAL writer) appends the batch atomically and
 // waits for the covering group-commit sync; other loggers fall back to
 // record-at-a-time appends plus an explicit flush.
-func (db *DB) appendBatch(recs []wal.Record) error {
+func (db *DB) appendBatch(recs []wal.Record, sp *trace.Span) error {
+	if sl, ok := db.log.(wal.SpanBatchLogger); ok {
+		return sl.AppendBatchSpan(recs, sp)
+	}
 	if bl, ok := db.log.(wal.BatchLogger); ok {
 		return bl.AppendBatch(recs)
 	}
@@ -217,17 +239,23 @@ func (db *DB) Commit(tx *txn.Txn) error {
 		return txn.ErrTxnDone
 	}
 	start := time.Now()
+	// The commit phase is recorded as a remainder: total commit time minus
+	// the WAL phases AppendBatchSpan attributes inside (append, group wait,
+	// fsync), so a finished span's phases still sum to its wall time.
+	sp := db.spanOf(tx)
+	walBefore := walPhases(sp)
 	recs := tx.TakeRedo()
 	if len(recs) == 0 {
 		if err := tx.Commit(); err != nil {
 			return err
 		}
 		db.met.Txn.CommitLatency.ObserveSince(start)
+		sp.AddSince(trace.PhaseCommit, start)
 		return nil
 	}
 	recs = append(recs, wal.Record{Type: wal.RecCommit, XID: tx.ID()})
 	release := db.enterCommit()
-	if err := db.appendBatch(recs); err != nil {
+	if err := db.appendBatch(recs, sp); err != nil {
 		release()
 		tx.Abort()
 		return fmt.Errorf("engine: logging commit: %w: %w", ErrWALAppend, err)
@@ -238,7 +266,17 @@ func (db *DB) Commit(tx *txn.Txn) error {
 		return err
 	}
 	db.met.Txn.CommitLatency.ObserveSince(start)
+	if sp != nil {
+		sp.Add(trace.PhaseCommit, time.Since(start)-(walPhases(sp)-walBefore))
+	}
 	return nil
+}
+
+// walPhases sums the span's WAL-attributed phases (0 for a nil span).
+func walPhases(sp *trace.Span) time.Duration {
+	return sp.PhaseTotal(trace.PhaseWALAppend) +
+		sp.PhaseTotal(trace.PhaseGroupWait) +
+		sp.PhaseTotal(trace.PhaseFsync)
 }
 
 // Abort rolls the transaction back. With commit-time batch logging the
@@ -317,8 +355,16 @@ func (db *DB) ExecStmtContext(ctx context.Context, tx *txn.Txn, stmt sql.Stateme
 func (db *DB) ExecStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 	start := time.Now()
 	kind := stmtKind(stmt)
+	// The exec phase is a remainder: elapsed minus the nested phases that
+	// execStmt attributes itself (planning, lock waits, lazy migration), so
+	// phase timings on a finished span sum to its wall time.
+	sp := db.spanOf(tx)
+	nestedBefore := nestedExecPhases(sp)
 	res, err := db.execStmt(tx, stmt)
 	db.met.Engine.Exec[kind].ObserveSince(start)
+	if sp != nil {
+		sp.Add(trace.PhaseExec, time.Since(start)-(nestedExecPhases(sp)-nestedBefore))
+	}
 	// DDL changes what cached plans were compiled against (tables, views,
 	// index choices); drop them all. Even failed DDL may have partially
 	// mutated the catalog, so invalidate unconditionally.
@@ -397,8 +443,20 @@ func (db *DB) execStmt(tx *txn.Txn, stmt sql.Statement) (*Result, error) {
 	}
 }
 
+// nestedExecPhases sums the phases attributed inside statement execution
+// (0 for a nil span).
+func nestedExecPhases(sp *trace.Span) time.Duration {
+	return sp.PhaseTotal(trace.PhasePlan) +
+		sp.PhaseTotal(trace.PhaseLockWait) +
+		sp.PhaseTotal(trace.PhaseLazyMigrate)
+}
+
 func (db *DB) execSelect(tx *txn.Txn, s *sql.SelectStmt) (*Result, error) {
+	planStart := time.Now()
 	p, err := db.PlanSelectAt(db.catForTxn(tx), s)
+	if sp := db.spanOf(tx); sp != nil {
+		sp.AddSince(trace.PhasePlan, planStart)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -77,8 +77,14 @@ var blockingPkgPrefixes = []string{"net", "net/http"}
 var ctxflowScope = []string{"", "internal/core", "internal/engine"}
 
 // errdropScope are the module-relative packages where an error result may
-// never be implicitly dropped (call used as a statement).
-var errdropScope = []string{"", "internal/wal", "internal/txn", "internal/core", "internal/engine"}
+// never be implicitly dropped (call used as a statement). The obs packages
+// are in scope because a silently-failing diagnostics surface is a
+// diagnostics surface that lies — drops there must be explicit `_ =` with a
+// reason.
+var errdropScope = []string{
+	"", "internal/wal", "internal/txn", "internal/core", "internal/engine",
+	"internal/obs", "internal/obs/trace",
+}
 
 // errdropWatch are durability- and recovery-path calls whose error may not
 // even be explicitly discarded with `_ =` (a dropped error here can silently

@@ -29,9 +29,14 @@ import (
 // ObserveSince/Set) must go through a field of an obs *Metrics struct —
 // free-floating obs.Counter variables would never appear in any snapshot,
 // i.e. they are increments before (ever) registering.
+// The same contract extends to the trace-event registry (internal/obs/trace):
+// inside the trace package every EventKind constant must have a unique
+// snake_case entry in the eventNames table, and everywhere else ring writes
+// (Ring.Record, Tracer.Event) must name a declared EventKind constant. See
+// obstrace.go.
 var ObsMetric = &Analyzer{
 	Name: "obsmetric",
-	Doc:  "obs metrics must be registered in snapshots exactly once, under unique constant names, and never updated outside the registry",
+	Doc:  "obs metrics and trace events must be registered exactly once, under unique constant names, and never updated outside the registry",
 	Run:  runObsMetric,
 }
 
@@ -41,7 +46,11 @@ func runObsMetric(pass *Pass) error {
 	if pass.Name == "obs" {
 		runObsMetricRegistry(pass)
 	}
+	if pass.Name == "trace" {
+		runObsTraceRegistry(pass)
+	}
 	runObsMetricUse(pass)
+	runObsTraceUse(pass)
 	return nil
 }
 

@@ -10,3 +10,7 @@ import (
 func TestObsMetricRegistry(t *testing.T) { linttest.Run(t, "obsmetric", lint.ObsMetric) }
 
 func TestObsMetricUse(t *testing.T) { linttest.Run(t, "obsmetricuse", lint.ObsMetric) }
+
+func TestObsTraceRegistry(t *testing.T) { linttest.Run(t, "obstrace", lint.ObsMetric) }
+
+func TestObsTraceUse(t *testing.T) { linttest.Run(t, "obstraceuse", lint.ObsMetric) }

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// Trace-event registry rules, run as part of ObsMetric. The trace package's
+// event registry is the eventNames table: every EventKind constant must have
+// an entry there (or Snapshot renders it as "unknown"), names must be unique
+// snake_case (they are the /trace wire contract), and — everywhere else in
+// the repo — ring writes must name a declared EventKind constant, never a
+// computed kind, so the registry stays the complete inventory of what can
+// appear in a trace.
+
+// runObsTraceRegistry checks the declaration side inside the trace package.
+func runObsTraceRegistry(pass *Pass) {
+	scope := pass.Types.Scope()
+	ekObj, ok := scope.Lookup("EventKind").(*types.TypeName)
+	if !ok {
+		return
+	}
+	var kinds []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || name == "NumEventKinds" || !types.Identical(c.Type(), ekObj.Type()) {
+			continue
+		}
+		kinds = append(kinds, c)
+	}
+	if len(kinds) == 0 {
+		return
+	}
+
+	var lit *ast.CompositeLit
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			vs, ok := n.(*ast.ValueSpec)
+			if !ok {
+				return true
+			}
+			for i, id := range vs.Names {
+				if id.Name == "eventNames" && i < len(vs.Values) {
+					if cl, ok := vs.Values[i].(*ast.CompositeLit); ok {
+						lit = cl
+					}
+				}
+			}
+			return true
+		})
+	}
+	if lit == nil {
+		pass.Reportf(kinds[0].Pos(), "trace package declares event kinds but no eventNames table: the registry is the composite literal")
+		return
+	}
+
+	named := map[types.Object]bool{}
+	seenNames := map[string]token.Pos{}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			if obj := pass.Info.Uses[id]; obj != nil {
+				named[obj] = true
+			}
+		}
+		bl, ok := kv.Value.(*ast.BasicLit)
+		if !ok || bl.Kind != token.STRING {
+			continue
+		}
+		s, err := strconv.Unquote(bl.Value)
+		if err != nil {
+			continue
+		}
+		if !snakeCaseRe.MatchString(s) {
+			pass.Reportf(bl.Pos(), "trace event name %q must be snake_case: event names are the /trace wire contract", s)
+		}
+		if _, dup := seenNames[s]; dup {
+			pass.Reportf(bl.Pos(), "trace event name %q is reused: event names must be unique", s)
+		} else {
+			seenNames[s] = bl.Pos()
+		}
+	}
+	for _, c := range kinds {
+		if !named[c] {
+			pass.Reportf(c.Pos(), "trace event kind %s has no entry in eventNames: it would render as \"unknown\" in every trace", c.Name())
+		}
+	}
+}
+
+// runObsTraceUse checks, outside the trace package, that ring writes
+// (Ring.Record, Tracer.Event) name a declared EventKind constant.
+func runObsTraceUse(pass *Pass) {
+	if pass.Name == "trace" {
+		return
+	}
+	for _, f := range pass.Syntax {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil {
+				return true
+			}
+			var recvName string
+			switch fn.Name() {
+			case "Record":
+				recvName = "Ring"
+			case "Event":
+				recvName = "Tracer"
+			default:
+				return true
+			}
+			sig, _ := fn.Type().(*types.Signature)
+			if sig == nil || sig.Recv() == nil {
+				return true
+			}
+			recv := namedOf(sig.Recv().Type())
+			if recv == nil || recv.Obj().Name() != recvName ||
+				recv.Obj().Pkg() == nil || recv.Obj().Pkg().Name() != "trace" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			arg := ast.Unparen(call.Args[0])
+			var isConst bool
+			switch a := arg.(type) {
+			case *ast.Ident:
+				_, isConst = pass.Info.Uses[a].(*types.Const)
+			case *ast.SelectorExpr:
+				_, isConst = pass.Info.Uses[a.Sel].(*types.Const)
+			}
+			if !isConst {
+				pass.Reportf(arg.Pos(), "trace.%s.%s kind must be a declared EventKind constant: the eventNames registry is the inventory of what can appear in a trace", recvName, fn.Name())
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,29 @@
+// Package trace is the fixture for the obsmetric analyzer's trace-event
+// registry rules (they only fire in a package named trace): every EventKind
+// constant must have an entry in the eventNames table, and names must be
+// unique snake_case.
+package trace
+
+type EventKind uint8
+
+const (
+	EvOne EventKind = iota
+	EvTwo
+	EvThree
+	EvMissing // want `trace event kind EvMissing has no entry in eventNames`
+	NumEventKinds
+)
+
+var eventNames = [NumEventKinds]string{
+	EvOne:   "one_event",
+	EvTwo:   "twoEvent",  // want `trace event name "twoEvent" must be snake_case`
+	EvThree: "one_event", // want `trace event name "one_event" is reused`
+}
+
+// Name keeps eventNames used; out-of-range kinds render as "unknown".
+func (k EventKind) Name() string {
+	if int(k) < len(eventNames) && eventNames[k] != "" {
+		return eventNames[k]
+	}
+	return "unknown"
+}

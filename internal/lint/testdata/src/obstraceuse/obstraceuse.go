@@ -1,0 +1,26 @@
+// Package obstraceuse is the fixture for the obsmetric analyzer's trace-use
+// rule outside the trace package: ring writes (Ring.Record, Tracer.Event)
+// must name a declared EventKind constant, so the eventNames registry stays
+// the complete inventory of what can appear in a trace.
+package obstraceuse
+
+import "github.com/bullfrogdb/bullfrog/internal/obs/trace"
+
+func constOK(r *trace.Ring, tr *trace.Tracer) {
+	r.Record(trace.EvPacerLevel, 0, 1, "ok") // ok: declared constant
+	tr.Event(trace.EvCollision, 0, 1, "ok")  // ok: declared constant
+	tr.Event((trace.EvCatchUp), 0, 1, "ok")  // ok: parenthesized constant
+}
+
+func computedKind(r *trace.Ring, k trace.EventKind) {
+	r.Record(k, 0, 1, "bad") // want `trace\.Ring\.Record kind must be a declared EventKind constant`
+}
+
+func conversionKind(tr *trace.Tracer) {
+	tr.Event(trace.EventKind(3), 0, 1, "bad") // want `trace\.Tracer\.Event kind must be a declared EventKind constant`
+}
+
+func suppressed(tr *trace.Tracer, k trace.EventKind) {
+	//lint:ignore obsmetric fixture demonstrates suppression
+	tr.Event(k, 0, 1, "ok")
+}

@@ -51,6 +51,8 @@ func (s Snapshot) Text() string {
 	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_batch", s.Migration.BackfillBatchSize)
 	fmt.Fprintf(&b, "%-28s %d\n", "catalog.versions_live", s.Catalog.VersionsLive)
 	fmt.Fprintf(&b, "%-28s %d\n", "catalog.install_cas_retries", s.Catalog.InstallCASRetries)
+	fmt.Fprintf(&b, "%-28s %d\n", "trace.events_dropped", s.Trace.EventsDropped)
+	fmt.Fprintf(&b, "%-28s %d\n", "trace.ring_laps", s.Trace.RingLaps)
 	for _, t := range s.Migration.Tables {
 		total := fmt.Sprintf("%d", t.Total)
 		if t.Total < 0 {

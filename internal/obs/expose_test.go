@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestHandlerAcceptHeader covers the Accept-header half of content
+// negotiation (TestHandlerFormats covers ?format=json and the text default):
+// any Accept value mentioning application/json gets JSON, other Accept
+// values fall back to text.
+func TestHandlerAcceptHeader(t *testing.T) {
+	set := NewSet()
+	set.Trace.EventsDropped.Add(3)
+	set.Trace.RingLaps.Inc()
+	h := Handler(func() Snapshot { return set.Snapshot() })
+
+	for _, accept := range []string{
+		"application/json",
+		"text/html, application/json;q=0.9",
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("GET", "/metrics", nil)
+		req.Header.Set("Accept", accept)
+		h.ServeHTTP(rec, req)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("Accept %q: content type = %q, want application/json", accept, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("Accept %q: body is not JSON: %v", accept, err)
+		}
+		if snap.Trace.EventsDropped != 3 || snap.Trace.RingLaps != 1 {
+			t.Fatalf("Accept %q: trace counters = %+v", accept, snap.Trace)
+		}
+	}
+
+	// An Accept header that does not mention JSON keeps the text default,
+	// and the text page carries the trace ring-health counters.
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "text/html")
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Accept text/html: content type = %q, want text/plain", ct)
+	}
+	body := rec.Body.String()
+	for _, line := range []string{"trace.events_dropped", "trace.ring_laps"} {
+		if !strings.Contains(body, line) {
+			t.Errorf("text page missing %q:\n%s", line, body)
+		}
+	}
+
+	// ?format=json wins even when the Accept header asks for text.
+	rec = httptest.NewRecorder()
+	req = httptest.NewRequest("GET", "/metrics?format=json", nil)
+	req.Header.Set("Accept", "text/html")
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("?format=json with text Accept: content type = %q", ct)
+	}
+}

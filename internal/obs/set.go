@@ -129,6 +129,17 @@ type CatalogMetrics struct {
 	InstallCASRetries Counter
 }
 
+// TraceMetrics instruments the trace subsystem's event ring — the health of
+// the diagnostics themselves, not of the traced workload.
+type TraceMetrics struct {
+	// EventsDropped counts ring events a snapshot could not decode because a
+	// concurrent writer was mid-write or lapped the reader.
+	EventsDropped Counter
+	// RingLaps counts full wraps of the event ring — how fast event history
+	// is being overwritten relative to snapshot frequency.
+	RingLaps Counter
+}
+
 // Set groups one instance of every layer's metrics. The engine owns a Set
 // per database; sub-structs are shared by pointer with the layer that
 // records into them.
@@ -138,6 +149,7 @@ type Set struct {
 	WAL       *WALMetrics
 	Migration *MigrationMetrics
 	Catalog   *CatalogMetrics
+	Trace     *TraceMetrics
 }
 
 // NewSet allocates a Set with all sub-structs present.
@@ -148,6 +160,7 @@ func NewSet() *Set {
 		WAL:       &WALMetrics{},
 		Migration: &MigrationMetrics{},
 		Catalog:   &CatalogMetrics{},
+		Trace:     &TraceMetrics{},
 	}
 }
 
@@ -160,6 +173,7 @@ type Snapshot struct {
 	WAL       WALSnapshot       `json:"wal"`
 	Migration MigrationSnapshot `json:"migration"`
 	Catalog   CatalogSnapshot   `json:"catalog"`
+	Trace     TraceSnapshot     `json:"trace"`
 }
 
 // EngineSnapshot copies EngineMetrics.
@@ -210,6 +224,12 @@ type MigrationSnapshot struct {
 type CatalogSnapshot struct {
 	VersionsLive      int64 `json:"versions_live"`
 	InstallCASRetries int64 `json:"install_cas_retries"`
+}
+
+// TraceSnapshot copies TraceMetrics.
+type TraceSnapshot struct {
+	EventsDropped int64 `json:"events_dropped"`
+	RingLaps      int64 `json:"ring_laps"`
 }
 
 // TableProgress is one migration statement's physical progress, derived from
@@ -288,5 +308,22 @@ func (s *Set) Snapshot() Snapshot {
 			InstallCASRetries: s.Catalog.InstallCASRetries.Load(),
 		}
 	}
+	if s.Trace != nil {
+		out.Trace = TraceSnapshot{
+			EventsDropped: s.Trace.EventsDropped.Load(),
+			RingLaps:      s.Trace.RingLaps.Load(),
+		}
+	}
+	return out
+}
+
+// SnapshotWithTables is Snapshot with the migration per-table progress
+// filled in before the snapshot is returned — the snapshot is complete on
+// return and is never mutated afterwards, so callers may hand it to
+// concurrent readers (or mutate their copy) without racing other snapshots.
+// tables must be freshly allocated by the caller; it is stored, not copied.
+func (s *Set) SnapshotWithTables(tables []TableProgress) Snapshot {
+	out := s.Snapshot()
+	out.Migration.Tables = tables
 	return out
 }

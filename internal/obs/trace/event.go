@@ -1,0 +1,62 @@
+// Package trace is BullFrog's request-scoped tracing: a lock-free
+// fixed-capacity event ring, statement and migration spans with per-phase
+// latency attribution, a structured slow-op log, and JSON snapshots served by
+// the facade's TraceHandler. Tracing is pay-for-what-you-use: a nil *Tracer
+// (the disabled tracer) is valid everywhere and every method no-ops, so the
+// hot-path cost of disabled tracing is one nil check.
+package trace
+
+// EventKind identifies one entry in the trace-event registry below. Every
+// kind must have exactly one snake_case name in eventNames — the obsmetric
+// analyzer enforces the pairing — and ring writes outside this package must
+// pass one of these constants, never a computed kind.
+type EventKind uint8
+
+// The trace-event registry.
+const (
+	// EvStatementSlow fires when a finished statement span crossed the
+	// SlowStatement threshold (arg = wall ns, detail = statement name).
+	EvStatementSlow EventKind = iota
+	// EvMigrationStart fires at the lazy migration's catalog install
+	// (detail = migration name, arg = install-barrier ns).
+	EvMigrationStart
+	// EvMigrationComplete fires at end-of-migration cleanup
+	// (arg = migration wall ns).
+	EvMigrationComplete
+	// EvBackfillBatch fires per background backfill batch
+	// (arg = batch ns, detail = statement, granules, pacer batch size).
+	EvBackfillBatch
+	// EvPacerLevel fires when the backfill pacer changes throttle level
+	// (arg = new level).
+	EvPacerLevel
+	// EvGroupSync fires per WAL flush-leader round (arg = group batch size,
+	// detail = dwell and fsync durations).
+	EvGroupSync
+	// EvCatchUp fires when a CatchUp drain starts (detail = statement name).
+	EvCatchUp
+	// EvCollision fires when a client statement waits on migration granules
+	// another worker holds (arg = busy count, detail = migration statement).
+	EvCollision
+	// NumEventKinds is the registry size — an array bound, not a kind.
+	NumEventKinds
+)
+
+// eventNames is the single source of event names: one unique snake_case name
+// per kind, in registry order. The obsmetric analyzer checks this table.
+var eventNames = [NumEventKinds]string{
+	EvStatementSlow:     "statement_slow",
+	EvMigrationStart:    "migration_start",
+	EvMigrationComplete: "migration_complete",
+	EvBackfillBatch:     "backfill_batch",
+	EvPacerLevel:        "pacer_level",
+	EvGroupSync:         "group_sync",
+	EvCatchUp:           "catch_up",
+	EvCollision:         "granule_collision",
+}
+
+func (k EventKind) String() string {
+	if k < NumEventKinds {
+		return eventNames[k]
+	}
+	return "unknown"
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// spanMask is the low 56 bits of the packed kind/span word; span ids above
+// it (never reached in practice — it is 2^56 statements) alias harmlessly.
+const spanMask = (uint64(1) << 56) - 1
+
+// Event is one decoded ring entry.
+type Event struct {
+	// Seq is the event's global sequence number (1-based, dense).
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock write time.
+	At time.Time `json:"at"`
+	// Kind is the registry name of the event kind.
+	Kind string `json:"kind"`
+	// Span is the id of the span the event belongs to (0 = none).
+	Span uint64 `json:"span,omitempty"`
+	// Arg is the kind-specific numeric payload (duration ns, batch size, …).
+	Arg int64 `json:"arg,omitempty"`
+	// Detail is the kind-specific free-form payload.
+	Detail string `json:"detail,omitempty"`
+}
+
+// slot holds one event entirely in atomics so snapshot readers never race
+// writers — clean under the race detector, not just on the hardware. seq is
+// the publication word: writers zero it, store the payload, then store the
+// slot's sequence number; readers validate seq before and after copying.
+type slot struct {
+	seq      atomic.Uint64 // 0 = write in progress
+	at       atomic.Int64
+	kindSpan atomic.Uint64 // kind in the top 8 bits, span id in the low 56
+	arg      atomic.Int64
+	detail   atomic.Pointer[string]
+}
+
+// Ring is a lock-free fixed-capacity event buffer: a single atomic cursor
+// allocates slots, writers publish through per-slot sequence numbers, and
+// Snapshot copies the surviving window without blocking anyone. Overwritten
+// or in-flight slots are skipped (torn-read safety) and counted as dropped.
+type Ring struct {
+	mask   uint64
+	cursor atomic.Uint64 // last allocated sequence (1-based)
+	slots  []slot
+	met    *obs.TraceMetrics // dropped/lap counters; nil = uncounted
+}
+
+// NewRing allocates a ring with at least the requested capacity, rounded up
+// to a power of two (0 or negative = 4096, minimum 64). met may be nil.
+func NewRing(capacity int, met *obs.TraceMetrics) *Ring {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	n := 64
+	for n < capacity {
+		n <<= 1
+	}
+	return &Ring{mask: uint64(n - 1), slots: make([]slot, n), met: met}
+}
+
+// Cap returns the ring's slot count.
+func (r *Ring) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Record writes one event. Lock-free: one atomic add claims the slot, five
+// atomic stores publish it. Safe for any number of concurrent writers; a
+// writer lapped by cap(ring) newer events simply loses its slot to them.
+func (r *Ring) Record(kind EventKind, span uint64, arg int64, detail string) {
+	if r == nil {
+		return
+	}
+	seq := r.cursor.Add(1)
+	s := &r.slots[(seq-1)&r.mask]
+	s.seq.Store(0) // invalidate while the payload is torn
+	s.at.Store(time.Now().UnixNano())
+	s.kindSpan.Store(uint64(kind)<<56 | span&spanMask)
+	s.arg.Store(arg)
+	if detail == "" {
+		s.detail.Store(nil)
+	} else {
+		d := detail
+		s.detail.Store(&d)
+	}
+	s.seq.Store(seq)
+	if seq > uint64(len(r.slots)) && seq&r.mask == 0 && r.met != nil {
+		r.met.RingLaps.Inc()
+	}
+}
+
+// Snapshot copies the ring's surviving window, oldest first. Slots being
+// rewritten concurrently (seq mismatch before or after the payload copy) are
+// skipped and counted on trace.events_dropped; everything returned is a
+// consistent single event.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	cur := r.cursor.Load()
+	if cur == 0 {
+		return nil
+	}
+	lo := uint64(1)
+	if n := uint64(len(r.slots)); cur > n {
+		lo = cur - n + 1
+	}
+	out := make([]Event, 0, cur-lo+1)
+	for seq := lo; seq <= cur; seq++ {
+		s := &r.slots[(seq-1)&r.mask]
+		if s.seq.Load() != seq {
+			r.drop()
+			continue
+		}
+		at := s.at.Load()
+		ks := s.kindSpan.Load()
+		arg := s.arg.Load()
+		var detail string
+		if p := s.detail.Load(); p != nil {
+			detail = *p
+		}
+		if s.seq.Load() != seq { // a writer lapped us mid-copy
+			r.drop()
+			continue
+		}
+		out = append(out, Event{
+			Seq:    seq,
+			At:     time.Unix(0, at),
+			Kind:   EventKind(ks >> 56).String(),
+			Span:   ks & spanMask,
+			Arg:    arg,
+			Detail: detail,
+		})
+	}
+	return out
+}
+
+func (r *Ring) drop() {
+	if r.met != nil {
+		r.met.EventsDropped.Inc()
+	}
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{
+		{0, 4096}, {-5, 4096}, {1, 64}, {64, 64}, {65, 128}, {100, 128}, {4096, 4096},
+	} {
+		if got := NewRing(tc.ask, nil).Cap(); got != tc.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+	if (*Ring)(nil).Cap() != 0 {
+		t.Error("nil ring Cap() != 0")
+	}
+}
+
+func TestRingRecordSnapshot(t *testing.T) {
+	r := NewRing(64, nil)
+	if got := r.Snapshot(); got != nil {
+		t.Fatalf("empty ring snapshot = %v, want nil", got)
+	}
+	for i := 0; i < 10; i++ {
+		r.Record(EvBackfillBatch, uint64(i+1), int64(i*10), fmt.Sprintf("e%d", i))
+	}
+	evs := r.Snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("snapshot len = %d, want 10", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d (oldest first, dense)", i, e.Seq, i+1)
+		}
+		if e.Kind != "backfill_batch" {
+			t.Errorf("event %d kind = %q", i, e.Kind)
+		}
+		if e.Span != uint64(i+1) || e.Arg != int64(i*10) || e.Detail != fmt.Sprintf("e%d", i) {
+			t.Errorf("event %d payload = {span:%d arg:%d detail:%q}", i, e.Span, e.Arg, e.Detail)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewestWindow(t *testing.T) {
+	met := &obs.TraceMetrics{}
+	r := NewRing(64, met)
+	const n = 200 // > 3 laps of 64
+	for i := 0; i < n; i++ {
+		r.Record(EvPacerLevel, 0, int64(i), "")
+	}
+	evs := r.Snapshot()
+	if len(evs) != 64 {
+		t.Fatalf("snapshot len = %d, want 64 (ring capacity)", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(n - 64 + 1 + i); e.Seq != want {
+			t.Errorf("event %d seq = %d, want %d (newest window survives)", i, e.Seq, want)
+		}
+	}
+	if met.RingLaps.Load() == 0 {
+		t.Error("ring_laps counter not bumped after wrapping")
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Record(EvCatchUp, 1, 2, "x") // must not panic
+	if r.Snapshot() != nil {
+		t.Error("nil ring snapshot != nil")
+	}
+}
+
+// TestRingConcurrentStress is the race-detector stress test for the ring's
+// writer protocol: concurrent writers and snapshot readers, with every
+// returned event checked for internal consistency (arg and detail written
+// together must be read together — a torn read would mix them). Run under
+// -race this also proves the atomics are the only shared state.
+func TestRingConcurrentStress(t *testing.T) {
+	met := &obs.TraceMetrics{}
+	r := NewRing(256, met)
+	const writers = 8
+	perWriter := 2000
+	if testing.Short() {
+		perWriter = 200
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				arg := int64(w)<<32 | int64(i)
+				r.Record(EvBackfillBatch, uint64(w+1), arg, fmt.Sprintf("w%d-%d", w, i))
+			}
+		}(w)
+	}
+
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		snaps.Add(1)
+		go func() {
+			defer snaps.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, e := range r.Snapshot() {
+					w, i := e.Arg>>32, e.Arg&0xffffffff
+					if want := fmt.Sprintf("w%d-%d", w, i); e.Detail != want {
+						t.Errorf("torn event: arg says %q, detail is %q", want, e.Detail)
+						return
+					}
+					if e.Span != uint64(w+1) {
+						t.Errorf("torn event: span %d for writer %d", e.Span, w)
+						return
+					}
+					if e.Kind != "backfill_batch" {
+						t.Errorf("torn event kind %q", e.Kind)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	final := r.Snapshot()
+	if len(final) != 256 {
+		t.Fatalf("final snapshot len = %d, want full ring 256", len(final))
+	}
+	total := uint64(writers * perWriter)
+	for i, e := range final {
+		if want := total - 256 + 1 + uint64(i); e.Seq != want {
+			t.Fatalf("final event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}

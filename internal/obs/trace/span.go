@@ -1,0 +1,215 @@
+package trace
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+)
+
+// Phase indexes one slice of a span's wall time. Statement spans use
+// parse..commit; migration spans use install_barrier/backfill/catch_up.
+// Leaf phases are timed at their call sites; exec and commit are recorded as
+// remainders (elapsed minus the nested phases' deltas), so a finished span's
+// phases sum to its wall time up to the unattributed residue.
+type Phase uint8
+
+// The span phase taxonomy.
+const (
+	PhaseParse Phase = iota
+	PhasePlan
+	PhaseGate
+	PhaseLockWait
+	PhaseLazyMigrate
+	PhaseExec
+	PhaseWALAppend
+	PhaseGroupWait
+	PhaseFsync
+	PhaseCommit
+	PhaseInstall
+	PhaseBackfill
+	PhaseCatchUp
+	NumPhases // array bound, not a phase
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseParse:       "parse",
+	PhasePlan:        "plan",
+	PhaseGate:        "gate",
+	PhaseLockWait:    "lock_wait",
+	PhaseLazyMigrate: "lazy_migrate",
+	PhaseExec:        "exec",
+	PhaseWALAppend:   "wal_append",
+	PhaseGroupWait:   "group_commit_wait",
+	PhaseFsync:       "fsync",
+	PhaseCommit:      "commit",
+	PhaseInstall:     "install_barrier",
+	PhaseBackfill:    "backfill",
+	PhaseCatchUp:     "catch_up",
+}
+
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// SpanKind distinguishes statement spans from migration spans.
+type SpanKind uint8
+
+// Span kinds.
+const (
+	SpanStatement SpanKind = iota
+	SpanMigration
+)
+
+func (k SpanKind) String() string {
+	if k == SpanMigration {
+		return "migration"
+	}
+	return "statement"
+}
+
+// Span is one traced operation. All mutable state is atomic so the /trace
+// endpoint snapshots active spans while their owners still record into them,
+// and all methods tolerate a nil receiver so call sites stay unconditional.
+type Span struct {
+	tr    *Tracer
+	id    uint64
+	kind  SpanKind
+	name  string
+	start time.Time
+
+	end     atomic.Int64 // wall ns once finished; 0 while active
+	phases  [NumPhases]atomic.Int64
+	counts  [NumPhases]atomic.Int64
+	collide atomic.Pointer[string]
+}
+
+// ID returns the span's tracer-unique id (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// Name returns the span's label.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Add attributes d to phase p (and to the tracer's cumulative per-phase
+// totals). Negative durations are dropped.
+func (s *Span) Add(p Phase, d time.Duration) {
+	if s == nil || d < 0 {
+		return
+	}
+	s.phases[p].Add(int64(d))
+	s.counts[p].Add(1)
+	s.tr.phaseTotals[p].Add(int64(d))
+}
+
+// AddSince is Add(p, time.Since(start)).
+func (s *Span) AddSince(p Phase, start time.Time) {
+	if s == nil {
+		return
+	}
+	s.Add(p, time.Since(start))
+}
+
+// PhaseTotal returns the time accumulated in p so far. Remainder phases are
+// computed from before/after deltas of the nested phases' totals.
+func (s *Span) PhaseTotal(p Phase) time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.phases[p].Load())
+}
+
+// Collide annotates the span with the migration work it collided with (the
+// first collision wins; later ones only bump the event ring).
+func (s *Span) Collide(detail string) {
+	if s == nil {
+		return
+	}
+	d := detail
+	s.collide.CompareAndSwap(nil, &d)
+}
+
+// Event records a ring event attributed to this span.
+func (s *Span) Event(kind EventKind, arg int64, detail string) {
+	if s == nil {
+		return
+	}
+	s.tr.Event(kind, s.id, arg, detail)
+}
+
+// ctxKey carries a span on a context.Context.
+type ctxKey struct{}
+
+// WithSpan returns ctx carrying sp (ctx unchanged when sp is nil).
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span ctx carries, or nil (nil ctx included).
+// Callers on hot paths should gate the lookup on their own tracing flag so
+// the disabled-tracer cost stays a plain nil/bool check.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// PhaseTiming is one phase's accumulated time within a span snapshot.
+type PhaseTiming struct {
+	Phase string `json:"phase"`
+	Nanos int64  `json:"ns"`
+	Count int64  `json:"count"`
+}
+
+// SpanSnapshot is a JSON-ready copy of a span. WallNanos is 0 while the span
+// is active; for finished spans UnattributedNanos is the wall time no phase
+// accounts for (scheduler time, the facade loop, …).
+type SpanSnapshot struct {
+	ID                uint64        `json:"id"`
+	Kind              string        `json:"kind"`
+	Name              string        `json:"name"`
+	Start             time.Time     `json:"start"`
+	WallNanos         int64         `json:"wall_ns,omitempty"`
+	UnattributedNanos int64         `json:"unattributed_ns,omitempty"`
+	Phases            []PhaseTiming `json:"phases,omitempty"`
+	Collision         string        `json:"collision,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	out := SpanSnapshot{ID: s.id, Kind: s.kind.String(), Name: s.name, Start: s.start}
+	var attributed int64
+	for p := Phase(0); p < NumPhases; p++ {
+		ns, n := s.phases[p].Load(), s.counts[p].Load()
+		if ns == 0 && n == 0 {
+			continue
+		}
+		out.Phases = append(out.Phases, PhaseTiming{Phase: p.String(), Nanos: ns, Count: n})
+		attributed += ns
+	}
+	if wall := s.end.Load(); wall > 0 {
+		out.WallNanos = wall
+		if rem := wall - attributed; rem > 0 {
+			out.UnattributedNanos = rem
+		}
+	}
+	if c := s.collide.Load(); c != nil {
+		out.Collision = *c
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs"
+)
+
+// recentSlowCap bounds the in-memory recent-slow buffer served by /trace.
+const recentSlowCap = 32
+
+// Config tunes a Tracer.
+type Config struct {
+	// RingSize is the event-ring capacity (rounded up to a power of two;
+	// 0 = 4096).
+	RingSize int
+	// SlowStatement: finished statement spans at least this slow emit an
+	// EvStatementSlow ring event and one slow-op JSON line with the full
+	// phase breakdown (0 disables the slow-op path, not the spans).
+	SlowStatement time.Duration
+	// SlowBatch is the same threshold for background backfill batches.
+	SlowBatch time.Duration
+	// SlowLog receives slow-op JSON lines. nil keeps slow ops only in the
+	// in-memory recent-slow buffer.
+	SlowLog io.Writer
+}
+
+// Tracer owns the event ring, issues span ids, tracks active spans, and
+// applies the slow-op thresholds. The nil *Tracer is the disabled tracer:
+// every method no-ops behind one nil check.
+type Tracer struct {
+	ring *Ring
+	met  *obs.TraceMetrics
+	cfg  Config
+
+	nextID      atomic.Uint64
+	phaseTotals [NumPhases]atomic.Int64
+	active      sync.Map // span id -> *Span
+
+	slowMu sync.Mutex
+	slow   []SlowEntry
+}
+
+// New creates an enabled tracer. met receives the ring health counters and
+// may be nil.
+func New(cfg Config, met *obs.TraceMetrics) *Tracer {
+	return &Tracer{ring: NewRing(cfg.RingSize, met), met: met, cfg: cfg}
+}
+
+// StartStatement opens a statement span. Finish it with Tracer.Finish.
+func (t *Tracer) StartStatement(name string) *Span { return t.start(SpanStatement, name) }
+
+// StartMigration opens a migration span.
+func (t *Tracer) StartMigration(name string) *Span { return t.start(SpanMigration, name) }
+
+func (t *Tracer) start(kind SpanKind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, id: t.nextID.Add(1), kind: kind, name: name, start: time.Now()}
+	t.active.Store(sp.id, sp)
+	return sp
+}
+
+// Finish ends sp: records its wall time, removes it from the active set, and
+// applies the statement slow-op threshold. Nil tracer or span is a no-op.
+func (t *Tracer) Finish(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	wall := time.Since(sp.start)
+	if !sp.end.CompareAndSwap(0, int64(wall)) {
+		return // already finished
+	}
+	t.active.Delete(sp.id)
+	if sp.kind != SpanStatement {
+		return
+	}
+	if thr := t.cfg.SlowStatement; thr > 0 && wall >= thr {
+		t.ring.Record(EvStatementSlow, sp.id, int64(wall), sp.name)
+		snap := sp.snapshot()
+		t.logSlow(SlowEntry{Type: "statement", At: time.Now(), WallNanos: int64(wall), Span: &snap})
+	}
+}
+
+// Event records a ring event (span 0 = not attributed to a span).
+func (t *Tracer) Event(kind EventKind, span uint64, arg int64, detail string) {
+	if t == nil {
+		return
+	}
+	t.ring.Record(kind, span, arg, detail)
+}
+
+// BatchDone records one backfill batch: backfill time on the migration span,
+// an EvBackfillBatch ring event, and — past the SlowBatch threshold — a
+// slow-op line naming the statement and batch geometry.
+func (t *Tracer) BatchDone(sp *Span, stmt string, granules, batchSize int, d time.Duration) {
+	if t == nil {
+		return
+	}
+	sp.Add(PhaseBackfill, d)
+	t.ring.Record(EvBackfillBatch, sp.ID(), int64(d),
+		fmt.Sprintf("%s granules=%d batch=%d", stmt, granules, batchSize))
+	if thr := t.cfg.SlowBatch; thr > 0 && d >= thr {
+		t.logSlow(SlowEntry{
+			Type: "batch", At: time.Now(), Statement: stmt,
+			Granules: granules, Batch: batchSize, WallNanos: int64(d),
+		})
+	}
+}
+
+// SlowEntry is one slow-op log line: a statement span past SlowStatement or
+// a backfill batch past SlowBatch.
+type SlowEntry struct {
+	Type      string        `json:"type"` // "statement" | "batch"
+	At        time.Time     `json:"at"`
+	WallNanos int64         `json:"wall_ns"`
+	Span      *SpanSnapshot `json:"span,omitempty"`
+	Statement string        `json:"statement,omitempty"`
+	Granules  int           `json:"granules,omitempty"`
+	Batch     int           `json:"batch,omitempty"`
+}
+
+func (t *Tracer) logSlow(e SlowEntry) {
+	t.slowMu.Lock()
+	if len(t.slow) >= recentSlowCap {
+		copy(t.slow, t.slow[1:])
+		t.slow = t.slow[:recentSlowCap-1]
+	}
+	t.slow = append(t.slow, e)
+	w := t.cfg.SlowLog
+	t.slowMu.Unlock()
+	if w == nil {
+		return
+	}
+	b, err := json.Marshal(e)
+	if err != nil {
+		return // a span snapshot always marshals; nothing useful to do here
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	// The slow log is a diagnostics stream: a failing writer must not fail
+	// the statement that happened to be slow.
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// Snapshot is the /trace payload.
+type Snapshot struct {
+	// Enabled is false for the disabled (nil) tracer; all other fields are
+	// zero then.
+	Enabled bool `json:"enabled"`
+	// Events is the ring's surviving window, oldest first.
+	Events []Event `json:"events,omitempty"`
+	// Active are the spans currently open, ordered by id.
+	Active []SpanSnapshot `json:"active_spans,omitempty"`
+	// Slow holds the most recent slow-op entries (bounded).
+	Slow []SlowEntry `json:"recent_slow,omitempty"`
+	// PhaseTotals is cumulative per-phase time (ns) across all spans.
+	PhaseTotals map[string]int64 `json:"phase_totals_ns,omitempty"`
+	// EventsDropped / RingLaps mirror the trace.* obs counters.
+	EventsDropped int64 `json:"events_dropped"`
+	RingLaps      int64 `json:"ring_laps"`
+}
+
+// Snapshot captures the ring, the active spans, and the recent slow ops.
+// Safe to call concurrently with any writers.
+func (t *Tracer) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	out := Snapshot{Enabled: true, Events: t.ring.Snapshot(), PhaseTotals: t.PhaseTotals()}
+	t.active.Range(func(_, v any) bool {
+		out.Active = append(out.Active, v.(*Span).snapshot())
+		return true
+	})
+	sort.Slice(out.Active, func(i, j int) bool { return out.Active[i].ID < out.Active[j].ID })
+	t.slowMu.Lock()
+	out.Slow = append([]SlowEntry(nil), t.slow...)
+	t.slowMu.Unlock()
+	if t.met != nil {
+		out.EventsDropped = t.met.EventsDropped.Load()
+		out.RingLaps = t.met.RingLaps.Load()
+	}
+	return out
+}
+
+// PhaseTotals returns cumulative per-phase nanoseconds across every span the
+// tracer has seen — the bench timeline's phase attribution. Nil for the
+// disabled tracer.
+func (t *Tracer) PhaseTotals() map[string]int64 {
+	if t == nil {
+		return nil
+	}
+	out := make(map[string]int64, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		if v := t.phaseTotals[p].Load(); v != 0 {
+			out[p.String()] = v
+		}
+	}
+	return out
+}

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 )
 
 // ErrLockTimeout is returned when a lock cannot be acquired before the
@@ -169,7 +171,11 @@ func (t *Txn) LockTimeout(key LockKey, timeout time.Duration) error {
 	}
 	start := time.Now()
 	err := t.m.locks.AcquireContext(t.ctx, t.id, key, timeout)
-	t.m.metrics.LockWait.ObserveSince(start)
+	d := time.Since(start)
+	t.m.metrics.LockWait.Observe(int64(d))
+	if sp := trace.FromContext(t.ctx); sp != nil {
+		sp.Add(trace.PhaseLockWait, d)
+	}
 	if err != nil {
 		if errors.Is(err, ErrLockTimeout) {
 			t.m.metrics.LockTimeouts.Inc()

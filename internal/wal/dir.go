@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 )
 
 // Dir is a file-backed, segmented WAL: records append to numbered segment
@@ -220,6 +221,10 @@ func (d *Dir) SetObs(m *obs.WALMetrics) {
 // SetGroupCommit installs group-commit tuning. Call before concurrent use.
 func (d *Dir) SetGroupCommit(gc GroupCommit) { d.w.SetGroupCommit(gc) }
 
+// SetTracer attaches a tracer for group-sync ring events. Call before
+// concurrent use.
+func (d *Dir) SetTracer(tr *trace.Tracer) { d.w.SetTracer(tr) }
+
 func (d *Dir) noteSegments() {
 	if d.met != nil {
 		d.met.SegmentsLive.Set(d.seg.Load() - d.oldest.Load() + 1)
@@ -242,7 +247,13 @@ func (d *Dir) Flush() error { return d.w.Flush() }
 // AppendBatch appends a commit batch atomically and returns once it is
 // durable, then rotates the segment if the size threshold was crossed.
 func (d *Dir) AppendBatch(recs []Record) error {
-	if err := d.w.AppendBatch(recs); err != nil {
+	return d.AppendBatchSpan(recs, nil)
+}
+
+// AppendBatchSpan is AppendBatch with span attribution (see
+// Writer.AppendBatchSpan); the rotation check is not attributed.
+func (d *Dir) AppendBatchSpan(recs []Record, sp *trace.Span) error {
+	if err := d.w.AppendBatchSpan(recs, sp); err != nil {
 		return err
 	}
 	return d.maybeRotate()

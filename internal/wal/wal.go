@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 	"github.com/bullfrogdb/bullfrog/internal/storage"
 	"github.com/bullfrogdb/bullfrog/internal/types"
 )
@@ -108,6 +109,13 @@ type BatchLogger interface {
 	AppendBatch(recs []Record) error
 }
 
+// SpanBatchLogger is a BatchLogger that can attribute an AppendBatch's
+// buffer-append, group-commit wait, and fsync time onto a trace span
+// (*Writer and *Dir implement it).
+type SpanBatchLogger interface {
+	AppendBatchSpan(recs []Record, sp *trace.Span) error
+}
+
 // CommitFencer lets a checkpointer fence the commit pipeline. A committer
 // calls EnterCommit before appending its batch and invokes the release only
 // after the transaction is visible; BeginCheckpoint blocks new entrants and
@@ -165,6 +173,7 @@ type Writer struct {
 
 	sync Syncer // device sync target; nil = flush-only durability
 	gc   GroupCommit
+	tr   *trace.Tracer // group-sync ring events; nil = no tracing
 
 	durable atomic.Int64                  // highest epoch known durable
 	leading atomic.Bool                   // flush-leader election token
@@ -204,6 +213,14 @@ func (w *Writer) SetSyncer(s Syncer) {
 func (w *Writer) SetObs(m *obs.WALMetrics) {
 	w.mu.Lock()
 	w.met = m
+	w.mu.Unlock()
+}
+
+// SetTracer attaches a tracer: every flush-leader round records a group_sync
+// ring event (batch size, dwell, fsync time). Call before concurrent use.
+func (w *Writer) SetTracer(tr *trace.Tracer) {
+	w.mu.Lock()
+	w.tr = tr
 	w.mu.Unlock()
 }
 
@@ -255,6 +272,18 @@ func (w *Writer) appendLocked(rec Record) error {
 // hold and returns once every record in the batch is durable, electing or
 // following a flush leader (see the Writer doc).
 func (w *Writer) AppendBatch(recs []Record) error {
+	return w.AppendBatchSpan(recs, nil)
+}
+
+// AppendBatchSpan is AppendBatch attributing its time onto sp when non-nil:
+// the buffer append as wal_append, the committer's own fsync rounds as
+// fsync, and the rest of the durable wait (dwell + parked follower time) as
+// group_commit_wait. A nil sp costs one nil check.
+func (w *Writer) AppendBatchSpan(recs []Record, sp *trace.Span) error {
+	var start time.Time
+	if sp != nil {
+		start = time.Now()
+	}
 	w.mu.Lock()
 	for _, rec := range recs {
 		if err := w.appendLocked(rec); err != nil {
@@ -264,21 +293,38 @@ func (w *Writer) AppendBatch(recs []Record) error {
 	}
 	epoch := w.n
 	w.mu.Unlock()
-	return w.waitDurable(epoch)
+	if sp == nil {
+		return w.waitDurable(epoch)
+	}
+	sp.AddSince(trace.PhaseWALAppend, start)
+	waitStart := time.Now()
+	fsync, err := w.waitDurableTimed(epoch)
+	sp.Add(trace.PhaseFsync, fsync)
+	sp.Add(trace.PhaseGroupWait, time.Since(waitStart)-fsync)
+	return err
 }
 
 // waitDurable blocks until the durable epoch covers epoch, doing leader duty
 // when the election CAS is won. No mutex is held at any blocking point.
 func (w *Writer) waitDurable(epoch int64) error {
+	_, err := w.waitDurableTimed(epoch)
+	return err
+}
+
+// waitDurableTimed is waitDurable reporting how much of the wait this
+// goroutine spent inside device syncs as the flush leader — the part of a
+// committer's durable wait that is fsync rather than batching dwell or
+// follower parking.
+func (w *Writer) waitDurableTimed(epoch int64) (fsync time.Duration, err error) {
 	for {
 		if err := w.err(); err != nil {
-			return err
+			return fsync, err
 		}
 		if w.durable.Load() >= epoch {
-			return nil
+			return fsync, nil
 		}
 		if w.leading.CompareAndSwap(false, true) {
-			w.leadSync()
+			fsync += w.leadSync()
 			w.releaseLeader()
 			continue
 		}
@@ -296,14 +342,17 @@ func (w *Writer) waitDurable(epoch int64) error {
 
 // leadSync is one leader round: optionally dwell for more committers, then
 // flush under the buffer lock and sync with no lock held, then publish the
-// durable epoch. Must be called holding the leadership token.
-func (w *Writer) leadSync() {
+// durable epoch. Must be called holding the leadership token. Returns the
+// time spent in the device sync (0 when there is no Syncer).
+func (w *Writer) leadSync() time.Duration {
+	var dwell time.Duration
 	if d := w.gc.MaxDelay; d > 0 {
 		w.mu.Lock()
 		pending := w.n - w.durable.Load()
 		w.mu.Unlock()
 		if pending < w.gc.maxBatch() {
 			time.Sleep(d)
+			dwell = d
 		}
 	}
 	w.mu.Lock()
@@ -316,21 +365,29 @@ func (w *Writer) leadSync() {
 	}
 	if err != nil {
 		_ = w.fail(err)
-		return
+		return 0
 	}
+	var syncDur time.Duration
 	if s := w.sync; s != nil {
 		start = time.Now()
 		err = s.Sync()
+		syncDur = time.Since(start)
 		if w.met != nil {
-			w.met.SyncLatency.ObserveSince(start)
+			w.met.SyncLatency.Observe(int64(syncDur))
 			w.met.Syncs.Inc()
 		}
 		if err != nil {
 			_ = w.fail(err)
-			return
+			return syncDur
 		}
 	}
+	prev := w.durable.Load()
 	w.advanceDurable(target)
+	if w.tr != nil && target > prev {
+		w.tr.Event(trace.EvGroupSync, 0, target-prev,
+			fmt.Sprintf("dwell=%s fsync=%s", dwell, syncDur))
+	}
+	return syncDur
 }
 
 // advanceDurable publishes epoch as durable (monotone) and records the group

@@ -1,9 +1,12 @@
 package bullfrog
 
 import (
+	"encoding/json"
 	"net/http"
 
+	"github.com/bullfrogdb/bullfrog/internal/core"
 	"github.com/bullfrogdb/bullfrog/internal/obs"
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
 )
 
 // MetricsSnapshot is a point-in-time view of the database's internal
@@ -12,14 +15,24 @@ import (
 // full inventory.
 type MetricsSnapshot = obs.Snapshot
 
+// TraceSnapshot is the structured-tracing view served by TraceHandler:
+// the event ring's surviving window, the currently active spans, recent
+// slow ops, and cumulative per-phase time.
+type TraceSnapshot = trace.Snapshot
+
+// MigrationProgress is the live progress/ETA surface: per-table granules
+// done/total, rows migrated, current batch size and worker count, and a
+// throughput-window ETA. The shell's \top view renders it.
+type MigrationProgress = core.ProgressReport
+
 // Metrics returns a consistent-enough snapshot of all internal metrics.
 // Counters are read atomically (each individually exact; cross-counter
 // skew is bounded by in-flight operations). Safe to call concurrently
-// with any workload; the hot paths it observes are lock-free.
+// with any workload; the hot paths it observes are lock-free. The
+// returned snapshot is complete on return — including the per-table
+// migration progress — and never mutated afterwards.
 func (db *DB) Metrics() MetricsSnapshot {
-	snap := db.eng.Obs().Snapshot()
-	snap.Migration.Tables = db.ctrl.ProgressTables()
-	return snap
+	return db.eng.Obs().SnapshotWithTables(db.ctrl.ProgressTables())
 }
 
 // MetricsHandler returns an http.Handler serving the current metrics:
@@ -30,4 +43,30 @@ func (db *DB) Metrics() MetricsSnapshot {
 //	mux.Handle("/metrics", db.MetricsHandler())
 func (db *DB) MetricsHandler() http.Handler {
 	return obs.Handler(func() obs.Snapshot { return db.Metrics() })
+}
+
+// Trace returns the current trace snapshot. With tracing disabled
+// (Options.Trace unset) the snapshot is the zero value with Enabled false.
+func (db *DB) Trace() TraceSnapshot { return db.tracer.Snapshot() }
+
+// TraceHandler returns an http.Handler serving the trace snapshot as JSON:
+//
+//	mux.Handle("/trace", db.TraceHandler())
+func (db *DB) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(db.Trace())
+	})
+}
+
+// TracePhaseTotals returns cumulative per-phase span time in nanoseconds
+// across every span the tracer has seen — the cheap poll the bench sampler
+// uses for phase-attributed timelines. Nil with tracing disabled.
+func (db *DB) TracePhaseTotals() map[string]int64 { return db.tracer.PhaseTotals() }
+
+// MigrationProgress reports the active migration's live progress with a
+// throughput-window ETA per table. Calling it periodically (as the shell's
+// \top refresh does) feeds the rate window; it works with tracing disabled.
+func (db *DB) MigrationProgress() MigrationProgress {
+	return db.ctrl.ProgressReport()
 }

@@ -1,0 +1,73 @@
+package bullfrog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestMetricsTablesIndependentlyOwned is the regression test for the shared
+// progress-tables bug: Metrics() used to attach Migration.Tables to the
+// snapshot after Obs().Snapshot() returned, so concurrent callers could see
+// (and race on) each other's table slices. Every snapshot must now be
+// complete on return and own its Tables outright — scribbling on one caller's
+// snapshot must never leak into another's. Run under -race, the concurrent
+// Metrics/Exec traffic also proves the assembly itself is data-race-free.
+func TestMetricsTablesIndependentlyOwned(t *testing.T) {
+	const rows = 128
+	db := copySrcDB(t, rows)
+	defer db.Close()
+	if err := db.Migrate(copyMigration(8), MigrateOptions{BackgroundDelay: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	// Drive lazy migration so progress moves while snapshots are taken.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rows; i++ {
+			q := fmt.Sprintf(`SELECT b FROM dst WHERE a = %d`, i)
+			for attempt := 0; attempt < 10; attempt++ {
+				if _, err := db.Exec(q); err == nil {
+					break
+				}
+			}
+		}
+	}()
+
+	const readers = 6
+	finals := make([]MetricsSnapshot, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				s := db.Metrics()
+				if len(s.Migration.Tables) == 0 {
+					t.Errorf("reader %d: snapshot missing progress tables", r)
+					return
+				}
+				// Deliberately deface this snapshot. If Tables were shared
+				// with other snapshots (or with the controller), the scribble
+				// would show up elsewhere.
+				s.Migration.Tables[0].Statement = "scribble"
+				s.Migration.Tables[0].Migrated = -99
+			}
+			finals[r] = db.Metrics()
+		}(r)
+	}
+	wg.Wait()
+
+	for r, s := range finals {
+		if len(s.Migration.Tables) == 0 {
+			t.Fatalf("reader %d: final snapshot missing progress tables", r)
+		}
+		if got := s.Migration.Tables[0].Statement; got != "copy" {
+			t.Errorf("reader %d: table statement = %q, want %q (snapshot not independently owned)", r, got, "copy")
+		}
+		if s.Migration.Tables[0].Migrated < 0 {
+			t.Errorf("reader %d: migrated count defaced to %d", r, s.Migration.Tables[0].Migrated)
+		}
+	}
+}

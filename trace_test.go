@@ -1,0 +1,239 @@
+package bullfrog
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/obs/trace"
+)
+
+// TestTraceHandlerUnderConcurrentWriters hits the /trace endpoint from
+// several goroutines while a workload (and the lazy migration it drives)
+// writes into the event ring and span set. Every response must decode as a
+// complete TraceSnapshot — the ring's torn-read protocol means a reader
+// never sees a half-written event, only a skipped one. Run under -race this
+// is the endpoint-level companion to the ring stress test.
+func TestTraceHandlerUnderConcurrentWriters(t *testing.T) {
+	db := Open(Options{Trace: true, TraceRingSize: 256})
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE src (a INT PRIMARY KEY, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 96
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO src VALUES (%d, %d)`, i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Migrate(copyMigration(8), MigrateOptions{BackgroundDelay: 0}); err != nil {
+		t.Fatal(err)
+	}
+	h := db.TraceHandler()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rows; i++ {
+			q := fmt.Sprintf(`SELECT b FROM dst WHERE a = %d`, i)
+			for attempt := 0; attempt < 10; attempt++ {
+				if _, err := db.Exec(q); err == nil {
+					break
+				}
+			}
+		}
+	}()
+
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+				if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+					t.Errorf("content type = %q", ct)
+					return
+				}
+				var snap TraceSnapshot
+				if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+					t.Errorf("trace response is not valid JSON: %v", err)
+					return
+				}
+				if !snap.Enabled {
+					t.Error("trace snapshot reports disabled while tracing is on")
+					return
+				}
+				var prev uint64
+				for _, e := range snap.Events {
+					if e.Seq <= prev {
+						t.Errorf("ring events out of order: %d after %d", e.Seq, prev)
+						return
+					}
+					prev = e.Seq
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	final := db.Trace()
+	if len(final.Events) == 0 {
+		t.Fatal("no ring events after a traced migration workload")
+	}
+	if final.PhaseTotals["exec"] == 0 {
+		t.Errorf("phase totals missing exec time: %v", final.PhaseTotals)
+	}
+}
+
+// TestSlowStatementDuringMigrationExplainable is the acceptance scenario: a
+// slow statement during an active lazy migration must be explainable from
+// the slow-op entry alone — the span's phase timings (plus the explicit
+// unattributed residue) sum to its wall time, and the lazy-migration work it
+// performed shows up as the lazy_migrate phase.
+func TestSlowStatementDuringMigrationExplainable(t *testing.T) {
+	var slowLog bytes.Buffer
+	db := Open(Options{
+		Trace:         true,
+		SlowStatement: time.Nanosecond, // every statement is "slow"
+		SlowOpLog:     &slowLog,
+	})
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE src (a INT PRIMARY KEY, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	const rows = 32
+	for i := 0; i < rows; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`INSERT INTO src VALUES (%d, %d)`, i, i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No background workers: the SELECT below does the migration work itself.
+	if err := db.Migrate(copyMigration(4), MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`SELECT b FROM dst WHERE a = 5`); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := db.Trace()
+	var hit *trace.SpanSnapshot
+	for i := range snap.Slow {
+		e := snap.Slow[i]
+		if e.Type == "statement" && e.Span != nil && strings.Contains(e.Span.Name, "FROM dst") {
+			hit = e.Span
+		}
+	}
+	if hit == nil {
+		t.Fatalf("no slow-op entry for the dst SELECT; slow = %+v", snap.Slow)
+	}
+
+	var attributed int64
+	sawLazy := false
+	for _, p := range hit.Phases {
+		attributed += p.Nanos
+		if p.Phase == "lazy_migrate" && p.Nanos > 0 {
+			sawLazy = true
+		}
+	}
+	if !sawLazy {
+		t.Errorf("slow span has no lazy_migrate phase: %+v", hit.Phases)
+	}
+	if hit.WallNanos == 0 || attributed+hit.UnattributedNanos != hit.WallNanos {
+		t.Errorf("phases (%d ns) + unattributed (%d ns) != wall (%d ns)",
+			attributed, hit.UnattributedNanos, hit.WallNanos)
+	}
+	if attributed == 0 {
+		t.Error("slow span attributes no time to any phase")
+	}
+
+	// The same entry went to the slow-op log as JSON lines, one per line.
+	found := false
+	for _, line := range bytes.Split(bytes.TrimSpace(slowLog.Bytes()), []byte("\n")) {
+		var e struct {
+			Type string `json:"type"`
+			Span *struct {
+				Name string `json:"name"`
+			} `json:"span"`
+		}
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("slow log line is not JSON: %v (%q)", err, line)
+		}
+		if e.Type == "statement" && e.Span != nil && strings.Contains(e.Span.Name, "FROM dst") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dst SELECT missing from the slow-op log")
+	}
+}
+
+// TestMigrationProgressSurface exercises the live progress/ETA surface the
+// shell's \top view renders: granule counts move as lazy migration
+// progresses, and a finished table reports Complete with ETA 0.
+func TestMigrationProgressSurface(t *testing.T) {
+	db := copySrcDB(t, 64)
+	defer db.Close()
+	if err := db.Migrate(copyMigration(4), MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	p := db.MigrationProgress()
+	if !p.Active || p.Name != "copy" {
+		t.Fatalf("progress = %+v, want active migration named copy", p)
+	}
+	if len(p.Tables) != 1 || p.Tables[0].Table != "src" {
+		t.Fatalf("progress tables = %+v, want the driving table src", p.Tables)
+	}
+	before := p.Tables[0].Migrated
+
+	for i := 0; i < 64; i++ {
+		if _, err := db.Exec(fmt.Sprintf(`SELECT b FROM dst WHERE a = %d`, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p = db.MigrationProgress()
+	tb := p.Tables[0]
+	if tb.Migrated <= before {
+		t.Errorf("migrated granules did not advance: %d -> %d", before, tb.Migrated)
+	}
+	if tb.Migrated == tb.Total && tb.Total > 0 {
+		if !tb.Complete {
+			t.Errorf("all granules migrated but Complete = false: %+v", tb)
+		}
+		if tb.ETASeconds != 0 {
+			t.Errorf("complete table ETA = %v, want 0", tb.ETASeconds)
+		}
+	}
+	if tb.Progress < 0 || tb.Progress > 1 {
+		t.Errorf("progress fraction out of range: %v", tb.Progress)
+	}
+}
+
+// TestTracingDisabledSurfaces pins the disabled-tracer contract: zero-value
+// snapshot, nil phase totals, and a still-working progress surface.
+func TestTracingDisabledSurfaces(t *testing.T) {
+	db := Open(Options{})
+	defer db.Close()
+	if snap := db.Trace(); snap.Enabled || len(snap.Events) != 0 {
+		t.Errorf("disabled trace snapshot = %+v", snap)
+	}
+	if tot := db.TracePhaseTotals(); tot != nil {
+		t.Errorf("disabled phase totals = %v, want nil", tot)
+	}
+	rec := httptest.NewRecorder()
+	db.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace", nil))
+	var snap TraceSnapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("disabled /trace response: %v", err)
+	}
+	if snap.Enabled {
+		t.Error("disabled /trace reports enabled")
+	}
+}
