@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race fuzz bench figures examples trace-demo ci clean
+.PHONY: all build vet lint lint-locks test race fuzz bench figures examples trace-demo ci clean
 
 all: build vet lint test
 
@@ -16,12 +16,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific analyzer suite (internal/lint): lock discipline, atomic
-# fields, context threading, the obs metric-registry contract, and error
-# propagation on durability paths. `go run ./cmd/bullfrog-lint -v ./...`
-# additionally lists active //lint:ignore suppressions.
+# Project-specific analyzer suite (internal/lint): interprocedural lock
+# discipline (lockflow), atomic fields, context threading, the obs
+# metric-registry contract, and error propagation on durability paths.
+# `go run ./cmd/bullfrog-lint -v ./...` additionally lists active
+# //lint:ignore suppressions.
 lint:
 	$(GO) run ./cmd/bullfrog-lint ./...
+
+# Emit the global lock-order graph (declared table merged with edges the
+# lockflow sweep observed) as Graphviz DOT. Pipe to dot -Tsvg to render:
+#   make lint-locks | dot -Tsvg -o lockorder.svg
+lint-locks:
+	$(GO) run ./cmd/bullfrog-lint -lockgraph ./...
 
 test:
 	$(GO) test ./...

@@ -1,15 +1,22 @@
 // Command bullfrog-lint runs BullFrog's project-specific analyzer suite
-// (internal/lint) over the module: lock discipline, atomic-field access,
-// context threading, the obs metric-registry contract, and error
-// propagation on durability paths. It is the `make lint` / CI entry point.
+// (internal/lint) over the module: interprocedural lock discipline
+// (lockflow), atomic-field access, context threading, the obs
+// metric-registry contract, and error propagation on durability paths.
+// It is the `make lint` / CI entry point.
 //
 // Usage:
 //
-//	bullfrog-lint [-tests=false] [-analyzers=lockheld,errdrop] [-v] [./...]
+//	bullfrog-lint [-tests=false] [-analyzers=lockflow,errdrop] [-v] [./...]
+//	bullfrog-lint -lockgraph [./...]
 //
 // Exit status is 1 when any diagnostic is reported, 2 on load failure.
 // Suppress an individual finding with `//lint:ignore <analyzer> <reason>`
 // on the offending line or the line above; -v lists active suppressions.
+//
+// -lockgraph prints the global lock-order graph — declared edges from
+// internal/lint/config.go merged with edges observed by the lockflow
+// sweep — in Graphviz DOT form (`make lint-locks` renders it). Undeclared
+// observed edges come out bold red with their witness position.
 package main
 
 import (
@@ -27,6 +34,7 @@ func main() {
 		analyzers = flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 		verbose   = flag.Bool("v", false, "list suppressed diagnostics and their ignore reasons")
 		list      = flag.Bool("list", false, "list available analyzers and exit")
+		lockgraph = flag.Bool("lockgraph", false, "print the lock-order graph (declared + observed) as Graphviz DOT and exit")
 	)
 	flag.Parse()
 
@@ -72,6 +80,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bullfrog-lint:", err)
 		os.Exit(2)
+	}
+	if *lockgraph {
+		edges, diags := lint.BuildLockGraph(pkgs, loader.ModulePath)
+		fmt.Print(lint.LockGraphDOT(edges))
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		return
 	}
 	diags, suppressed, err := lint.Run(pkgs, suite, loader.ModulePath)
 	if err != nil {

@@ -230,6 +230,11 @@ func (c *Controller) Start(m *Migration) error {
 		return fmt.Errorf("%w: %q", ErrMigrationActive, c.mig.Name)
 	}
 	if m.Setup != "" {
+		// Exec's summary includes re-acquiring c.mu (the lazy-migration hook
+		// calls back into the controller), but the hook is only installed at
+		// the end of Start, after this Exec returns, so setup DDL cannot
+		// re-enter.
+		//lint:ignore lockflow the migration hook that re-enters the controller is installed after setup DDL runs
 		if _, err := c.db.Exec(m.Setup); err != nil {
 			return fmt.Errorf("core: migration setup: %w", err)
 		}

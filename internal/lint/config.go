@@ -8,28 +8,188 @@ package lint
 // rename. Entries under "fixture/" configure the analyzers' testdata
 // packages and are exercised by the analyzer unit tests.
 
-// lockRank orders the engine's mutexes: a lock may only be acquired while
-// holding locks of strictly lower rank. Locks absent from the table are
-// unordered — acquiring one while any lock is held is flagged, which forces
-// every nested-lock site to be ranked here (or carry an ignore with a
-// reason).
-var lockRank = map[string]int{
-	// txn: the commit mutex serializes sequence assignment and is taken
-	// before per-shard state mutexes (Txn.Commit -> setState); the sharded
-	// lock-table mutexes are leaves.
-	"internal/txn.Manager.commitMu": 10,
-	"internal/txn.stateShard.mu":    20,
-	"internal/txn.lockShard.mu":     30,
+// lockOrderEdge declares one legal nesting in the engine's lock-order graph:
+// To may be acquired while From is held. Why records the justification and is
+// emitted in the DOT graph (`bullfrog-lint -lockgraph`).
+type lockOrderEdge struct {
+	From, To string
+	Why      string
+}
 
-	// core: the controller's registry lock is taken before any tracker
-	// internals; bitmap chunk and hash shard mutexes are leaves.
-	"internal/core.Controller.mu":  10,
-	"internal/core.bitmapChunk.mu": 30,
-	"internal/core.hashShard.mu":   30,
+// lockOrder is the engine's declared lock-order graph — the checked source of
+// truth. lockflow computes the *observed* graph over the whole module
+// (including nestings that happen across calls) and diffs it against this
+// table: an observed edge that is not declared here is a diagnostic, a
+// declared edge the sweep never observes is a stale-config diagnostic, and
+// any cycle in the combined graph is a potential deadlock. Every edge must
+// carry a rationale; adding an edge is a claim that the nesting is deliberate
+// and deadlock-free.
+var lockOrder = []lockOrderEdge{
+	// txn: Txn.Commit assigns the commit sequence under commitMu and must
+	// publish the committed status (setState -> stateShard.mu) before
+	// releasing it, so no snapshot taken after the sequence advances can miss
+	// the commit. This is the cross-call nesting that motivated lockflow.
+	{
+		From: "internal/txn.Manager.commitMu",
+		To:   "internal/txn.stateShard.mu",
+		Why:  "Txn.Commit publishes status via setState while holding the commit mutex so commitSeq and txn state advance atomically",
+	},
 
-	// Fixture locks (testdata/src/lockheld).
-	"fixture/lockheld.server.order1": 10,
-	"fixture/lockheld.server.order2": 20,
+	// core: Controller.mu is the engine's outermost lock. Start holds it
+	// across migration activation — setup DDL, unique prevalidation, the
+	// catalog version install — and the lazy/hook paths (EnsureMigrated*,
+	// markRuntimeComplete) hold it while driving tracker, index, heap, txn,
+	// WAL, and plan-cache work. Every engine lock may therefore be acquired
+	// under it, and nothing may acquire it while holding anything else (the
+	// graph stays a DAG only if Controller.mu has no incoming edges).
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/catalog.Table.mu",
+		Why:  "migration start and lazy hooks read table schemas under the controller lock",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/core.bitmapChunk.mu",
+		Why:  "EnsureMigrated marks progress bitmap chunks while the controller lock pins the runtime set",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/core.hashTrackerShard.mu",
+		Why:  "EnsureMigrated consults tracker shards while the controller lock pins the runtime set",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/engine.DB.installMu",
+		Why:  "Start serializes the catalog version install (the big flip) under the controller lock",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/engine.planCache.mu",
+		Why:  "Start and markRuntimeComplete invalidate compiled plans after a schema flip",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/index.BTree.mu",
+		Why:  "setup DDL and lazy backfill touch secondary indexes under the controller lock",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/index.hashShard.mu",
+		Why:  "setup DDL and lazy backfill touch hash indexes under the controller lock",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/obs/trace.Tracer.slowMu",
+		Why:  "migration spans finish (and may log slow ops) while the controller lock is held",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/storage.Heap.mu",
+		Why:  "setup DDL and lazy backfill read and grow heaps under the controller lock",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/storage.page.mu",
+		Why:  "heap access under the controller lock takes page latches",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/txn.Manager.activeMu",
+		Why:  "statements executed under the controller lock register and finish transactions",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/txn.Manager.commitMu",
+		Why:  "statements executed under the controller lock commit through the commit mutex",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/txn.lockShard.mu",
+		Why:  "statements executed under the controller lock acquire tuple locks",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/txn.stateShard.mu",
+		Why:  "commit/abort under the controller lock publishes txn state",
+	},
+	{
+		From: "internal/core.Controller.mu",
+		To:   "internal/wal.Writer.mu",
+		Why:  "setup DDL and migration commits executed under the controller lock append to the WAL",
+	},
+
+	// Fixture locks (testdata/src/lockflow*): edges exercised by the
+	// analyzer's linttest fixtures.
+	{
+		From: "fixture/lockflow.server.order1",
+		To:   "fixture/lockflow.server.order2",
+		Why:  "fixture: the declared direction for the intraprocedural ordering cases",
+	},
+	{
+		From: "fixture/lockflow.server.order3",
+		To:   "fixture/lockflow.server.order4",
+		Why:  "fixture: the declared direction inverted through a helper call",
+	},
+	{
+		From: "fixture/lockflowstale.box.seen1",
+		To:   "fixture/lockflowstale.box.seen2",
+		Why:  "fixture: observed by the fixture, proving declared+observed edges stay quiet",
+	},
+	{
+		From: "fixture/lockflowstale.box.ghost1",
+		To:   "fixture/lockflowstale.box.ghost2",
+		Why:  "fixture: deliberately never observed, proving stale-config detection",
+	},
+}
+
+// trustedCallbacks names functions whose function-typed parameters are
+// contractually forbidden to block or acquire locks (the contract is stated
+// in each function's doc comment). Calls through function values inside these
+// hosts are not widened to "assumed blocking"; everywhere else an indirect
+// call is an unknown callee and lockflow assumes the worst. Keep this list
+// short: every entry is a hole in the analysis that a careless callback can
+// fall through.
+var trustedCallbacks = map[string]bool{
+	// "fn must not block or mutate the chain" / "fn must not mutate this
+	// heap": View/Mutate/Scan/ScanRange callbacks run under a page latch and
+	// are nanosecond-scale copy-in/copy-out by contract; Vacuum's prunable is
+	// a pure predicate over version visibility.
+	"internal/storage.Heap.View":      true,
+	"internal/storage.Heap.Mutate":    true,
+	"internal/storage.Heap.Scan":      true,
+	"internal/storage.Heap.ScanRange": true,
+	"internal/storage.Heap.Vacuum":    true,
+
+	// "publish must not block (no I/O, no lock waits)": the install barrier
+	// runs publish under commitMu by design — that is its entire point — and
+	// the catalog CAS it performs is lock-free.
+	"internal/txn.Manager.InstallBarrier": true,
+
+	// "The callback must not modify the tree": AscendRange's visitor runs
+	// under the tree's read latch and is a per-posting accumulator by
+	// contract.
+	"internal/index.BTree.AscendRange": true,
+
+	// mutate's fn edits a draft catalog clone inside a CAS retry loop; a
+	// blocking fn would be re-run under contention, so the contract is pure
+	// in-memory mutation.
+	"internal/catalog.Catalog.mutate": true,
+
+	// Fixture host (testdata/src/lockflowiface).
+	"fixture/lockflowiface.runner.trusted": true,
+}
+
+// coarseLocks are admin/serialization mutexes that are deliberately held
+// across operations that wait: Controller.mu is the migration control-plane
+// lock (Start holds it across setup DDL and the catalog install — migration
+// activation is allowed to take milliseconds), and the tracer's slowMu exists
+// to serialize slow-log writes to one io.Writer. For these, lockflow enforces
+// lock ordering and self-deadlock freedom but not the no-blocking rule; every
+// data-plane lock stays under the strict rule, so keep this list to locks
+// whose critical sections are control-plane by design.
+var coarseLocks = map[string]bool{
+	"internal/core.Controller.mu":      true,
+	"internal/obs/trace.Tracer.slowMu": true,
 }
 
 // blockingFuncs are calls that can block indefinitely (or for scheduling-

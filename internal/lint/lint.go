@@ -23,13 +23,16 @@ import (
 	"strings"
 )
 
-// An Analyzer checks one invariant over one package at a time. This mirrors
-// golang.org/x/tools/go/analysis.Analyzer so the suite could migrate onto
-// the real framework without rewriting analyzer logic.
+// An Analyzer checks one invariant, either one package at a time (Run) or
+// over the whole loaded package set at once (RunModule, for interprocedural
+// analyses whose facts cross package boundaries). Exactly one of the two is
+// set. This mirrors golang.org/x/tools/go/analysis.Analyzer so the suite
+// could migrate onto the real framework without rewriting analyzer logic.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name      string
+	Doc       string
+	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // Pass carries one analyzer's view of one package.
@@ -70,6 +73,41 @@ func (p *Pass) InScope(rels ...string) bool {
 	return false
 }
 
+// ModulePass carries a module-level analyzer's view of every loaded package
+// at once. Diagnostics are routed back to the package owning the reported
+// file, so //lint:ignore suppression and the test-file drop apply exactly as
+// they do for per-package analyzers.
+type ModulePass struct {
+	Analyzer   *Analyzer
+	ModulePath string
+	Packages   []*Package
+
+	report func(Diagnostic)
+}
+
+// Fset returns the file set shared by every loaded package.
+func (p *ModulePass) Fset() *token.FileSet {
+	if len(p.Packages) == 0 {
+		return token.NewFileSet()
+	}
+	return p.Packages[0].Fset
+}
+
+// Reportf records a diagnostic at pos. An invalid pos yields an unpositioned
+// diagnostic that survives suppression (use only for module-global facts
+// with no better anchor).
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	var position token.Position
+	if pos.IsValid() {
+		position = p.Fset().Position(pos)
+	}
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
 // Diagnostic is one reported violation.
 type Diagnostic struct {
 	Analyzer string
@@ -97,22 +135,63 @@ type ignore struct {
 // contracts), and malformed or unused ignore comments are added. Suppressed
 // diagnostics are returned separately so callers can summarize them.
 func Run(pkgs []*Package, analyzers []*Analyzer, modulePath string) (diags, suppressed []Diagnostic, err error) {
-	for _, pkg := range pkgs {
-		var raw []Diagnostic
+	// known covers the whole suite so running a subset (-analyzers=lockflow)
+	// does not flag other analyzers' ignores as unknown; active gates the
+	// unused-ignore check to analyzers that actually ran.
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	active := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+		active[a.Name] = true
+	}
+	raw := make([][]Diagnostic, len(pkgs))
+	for i, pkg := range pkgs {
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, ModulePath: modulePath, Package: pkg, diags: &raw}
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{Analyzer: a, ModulePath: modulePath, Package: pkg, diags: &raw[i]}
 			if err := a.Run(pass); err != nil {
 				return nil, nil, fmt.Errorf("%s on %s: %v", a.Name, pkg.Path, err)
 			}
 		}
-		known := map[string]bool{}
-		for _, a := range analyzers {
-			known[a.Name] = true
+	}
+	// Module-level analyzers see every package at once; route each diagnostic
+	// to the package owning its file so suppression applies normally.
+	// Unpositioned (or out-of-tree) diagnostics cannot be suppressed and are
+	// appended as-is.
+	var orphans []Diagnostic
+	byFile := map[string]int{}
+	for i, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			byFile[pkg.Fset.Position(f.Pos()).Filename] = i
 		}
-		d, s := applyIgnores(pkg, raw, known)
+	}
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		mp := &ModulePass{Analyzer: a, ModulePath: modulePath, Packages: pkgs}
+		mp.report = func(d Diagnostic) {
+			if i, ok := byFile[d.Pos.Filename]; ok {
+				raw[i] = append(raw[i], d)
+			} else {
+				orphans = append(orphans, d)
+			}
+		}
+		if err := a.RunModule(mp); err != nil {
+			return nil, nil, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	for i, pkg := range pkgs {
+		d, s := applyIgnores(pkg, raw[i], known, active)
 		diags = append(diags, d...)
 		suppressed = append(suppressed, s...)
 	}
+	diags = append(diags, orphans...)
 	sortDiags(diags)
 	sortDiags(suppressed)
 	return diags, suppressed, nil
@@ -122,7 +201,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, modulePath string) (diags, supp
 // `//lint:ignore` comments. An ignore applies to diagnostics of its analyzer
 // on the comment's own line or the line directly below (for a comment on its
 // own line above the offending statement).
-func applyIgnores(pkg *Package, raw []Diagnostic, known map[string]bool) (kept, suppressed []Diagnostic) {
+func applyIgnores(pkg *Package, raw []Diagnostic, known, active map[string]bool) (kept, suppressed []Diagnostic) {
 	type key struct {
 		file string
 		line int
@@ -173,7 +252,7 @@ func applyIgnores(pkg *Package, raw []Diagnostic, known map[string]bool) (kept, 
 		kept = append(kept, d)
 	}
 	for _, ig := range all {
-		if !ig.used {
+		if !ig.used && active[ig.analyzer] {
 			kept = append(kept, Diagnostic{
 				Analyzer: "lint",
 				Pos:      ig.pos,
@@ -203,7 +282,7 @@ func sortDiags(ds []Diagnostic) {
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
-		LockHeld,
+		LockFlow,
 		AtomicField,
 		CtxFlow,
 		ObsMetric,

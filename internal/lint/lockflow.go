@@ -1,0 +1,967 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockFlow is the interprocedural successor to the old intraprocedural
+// lockheld analyzer. It enforces the engine's lock discipline — never block,
+// and never take a second lock out of order, while holding an engine mutex —
+// across call boundaries:
+//
+//  1. It builds a call graph over every loaded package: static calls resolve
+//     directly, interface calls resolve to the method sets of all in-module
+//     implementations, and calls it cannot resolve (function values, unknown
+//     interfaces) are widened to "assumed blocking" unless the enclosing
+//     function is declared in trustedCallbacks.
+//  2. It computes one lock summary per function — may the function block
+//     (and via which call chain), which lock identities it acquires, which
+//     it releases on the caller's behalf, and which it leaves held at exit —
+//     by fixpoint iteration over the call graph's strongly connected
+//     components in reverse topological order (callees first), so each
+//     summary is computed once and cached, never per diagnostic.
+//  3. Summaries propagate to call sites: "blocking while holding mu" is
+//     reported even when the block happens several calls down, with the call
+//     chain in the diagnostic; helpers that lock or unlock for their caller
+//     (heldAtExit / releases) extend the caller's critical section.
+//  4. Every acquire-while-holding pair becomes an edge in a global
+//     lock-order graph that is diffed against the declared lockOrder table
+//     in config.go: an observed edge that is not declared is a diagnostic, a
+//     declared edge never observed is a stale-config diagnostic, and any
+//     cycle in the combined graph is a potential deadlock (lockgraph.go).
+//
+// Known blind spots, in exchange for zero false-positive noise: closures
+// passed as callbacks are analyzed with an empty held set (they do not
+// inherit the host's critical section — trustedCallbacks covers the hosts
+// that run callbacks under a latch), deferred closures likewise, and lock
+// identity is per-type (two shards of the same lock type are one identity).
+var LockFlow = &Analyzer{
+	Name:      "lockflow",
+	Doc:       "interprocedural lock analysis: blocking or out-of-order acquisition while a mutex is held, propagated across calls, plus the global lock-order graph diff against config.go",
+	RunModule: runLockFlow,
+}
+
+func runLockFlow(mp *ModulePass) error {
+	lf := newLockflow(mp.Packages, mp.ModulePath)
+	lf.reportf = mp.Reportf
+	lf.analyze()
+	lf.diagnoseGraph()
+	return nil
+}
+
+// heldLock is one mutex held at a program point.
+type heldLock struct {
+	key  string // within-function identity: selector spelling, e.g. "s.mu"
+	id   string // config identity, e.g. "internal/txn.Manager.commitMu"
+	read bool   // held via RLock
+	line int    // acquisition line (or the call line, for callee-acquired)
+	via  []string // call chain that acquired it; empty = acquired directly
+}
+
+type lockOp struct {
+	recv    ast.Expr
+	acquire bool
+	read    bool
+}
+
+// lockCall classifies a call as Lock/RLock/Unlock/RUnlock on a
+// sync.Mutex/RWMutex (directly or promoted through embedding).
+func lockCall(info *types.Info, call *ast.CallExpr) *lockOp {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	var acquire, read bool
+	switch fn.Name() {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if !isNamedType(t, "sync", "Mutex") && !isNamedType(t, "sync", "RWMutex") {
+		return nil
+	}
+	recv := recvOfCall(call)
+	if recv == nil {
+		return nil
+	}
+	return &lockOp{recv: recv, acquire: acquire, read: read}
+}
+
+// lfAcq is one lock acquisition recorded in a summary.
+type lfAcq struct {
+	id   string
+	read bool
+	via  []string // chain of callees below the summarized function; empty = direct
+}
+
+// lfSummary is the lock summary of one function: the per-function element of
+// the analysis lattice. All fields grow monotonically within a fixpoint
+// (first-win for the cosmetic via chains), which guarantees convergence.
+type lfSummary struct {
+	blocks     bool
+	blockVia   []string // call chain to the blocking operation; last element describes it
+	acquires   map[string]*lfAcq
+	releases   map[string]bool   // lock ids released without a matching acquire (unlock helpers)
+	heldAtExit map[string]*lfAcq // lock ids held on every return path (lock helpers)
+}
+
+func newSummary() *lfSummary {
+	return &lfSummary{
+		acquires:   map[string]*lfAcq{},
+		releases:   map[string]bool{},
+		heldAtExit: map[string]*lfAcq{},
+	}
+}
+
+func (s *lfSummary) setBlocks(via []string) {
+	if !s.blocks {
+		s.blocks = true
+		s.blockVia = capChain(via)
+	}
+}
+
+func (s *lfSummary) acquire(id string, read bool, via []string) {
+	if _, ok := s.acquires[id]; !ok {
+		s.acquires[id] = &lfAcq{id: id, read: read, via: capChain(via)}
+	}
+}
+
+// sig is the convergence signature: the summary's facts, excluding the
+// cosmetic via chains (which could otherwise grow through recursion).
+func (s *lfSummary) sig() string {
+	var b strings.Builder
+	if s.blocks {
+		b.WriteString("B;")
+	}
+	for _, id := range sortedKeys(s.acquires) {
+		b.WriteString("a:" + id)
+		if s.acquires[id].read {
+			b.WriteString("/r")
+		}
+		b.WriteString(";")
+	}
+	rel := make([]string, 0, len(s.releases))
+	for id := range s.releases {
+		rel = append(rel, id)
+	}
+	sort.Strings(rel)
+	for _, id := range rel {
+		b.WriteString("r:" + id + ";")
+	}
+	for _, id := range sortedKeys(s.heldAtExit) {
+		b.WriteString("h:" + id + ";")
+	}
+	return b.String()
+}
+
+// lfFunc is one module function with a body: a call-graph node.
+type lfFunc struct {
+	fn      *types.Func
+	decl    *ast.FuncDecl
+	pkg     *Package
+	name    string // module-relative qualified name, e.g. "internal/txn.Manager.setState"
+	callees []*lfFunc
+}
+
+// lfEdge is one observed acquire-while-holding pair: from is held when to is
+// acquired. One witness (the first, in deterministic analysis order) is kept.
+type lfEdge struct {
+	from, to string
+	pos      token.Pos
+	desc     string
+}
+
+type lockflow struct {
+	pkgs       []*Package
+	modulePath string
+	reportf    func(pos token.Pos, format string, args ...any)
+
+	funcs     map[*types.Func]*lfFunc
+	order     []*lfFunc
+	named     []*types.Named
+	implCache map[*types.Func][]*types.Func
+	summaries map[*types.Func]*lfSummary
+	edges     map[[2]string]*lfEdge
+	emitting  bool
+}
+
+var lfEmpty = newSummary()
+
+func newLockflow(pkgs []*Package, modulePath string) *lockflow {
+	lf := &lockflow{
+		pkgs:       pkgs,
+		modulePath: modulePath,
+		funcs:      map[*types.Func]*lfFunc{},
+		implCache:  map[*types.Func][]*types.Func{},
+		summaries:  map[*types.Func]*lfSummary{},
+		edges:      map[[2]string]*lfEdge{},
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || pkg.IsTestFile(fd.Pos()) {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				node := &lfFunc{
+					fn: fn, decl: fd, pkg: pkg,
+					name: trimModule(funcQName(fn), modulePath),
+				}
+				lf.funcs[fn] = node
+				lf.order = append(lf.order, node)
+			}
+		}
+		scope := pkg.Types.Scope()
+		for _, nm := range scope.Names() {
+			tn, ok := scope.Lookup(nm).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			lf.named = append(lf.named, named)
+		}
+	}
+	return lf
+}
+
+// analyze computes every function's summary, callees first, emitting
+// diagnostics and lock-order edges exactly once per function.
+func (lf *lockflow) analyze() {
+	for _, f := range lf.order {
+		lf.connect(f)
+	}
+	for _, scc := range lf.sccs() {
+		if len(scc) == 1 && !callsSelf(scc[0]) {
+			lf.summaries[scc[0].fn] = lf.walkFn(scc[0], true)
+			continue
+		}
+		// Mutual (or self) recursion: iterate to a fixpoint with reporting
+		// off, then one emitting pass per member. Summaries are monotone in
+		// their facts, so the signature stabilizes; the iteration cap is a
+		// belt-and-suspenders backstop.
+		for iter := 0; iter < 20; iter++ {
+			changed := false
+			for _, f := range scc {
+				s := lf.walkFn(f, false)
+				if old := lf.summaries[f.fn]; old == nil || old.sig() != s.sig() {
+					changed = true
+				}
+				lf.summaries[f.fn] = s
+			}
+			if !changed {
+				break
+			}
+		}
+		for _, f := range scc {
+			lf.summaries[f.fn] = lf.walkFn(f, true)
+		}
+	}
+}
+
+func callsSelf(f *lfFunc) bool {
+	for _, c := range f.callees {
+		if c == f {
+			return true
+		}
+	}
+	return false
+}
+
+func (lf *lockflow) summaryOf(fn *types.Func) *lfSummary {
+	if s, ok := lf.summaries[fn]; ok {
+		return s
+	}
+	return lfEmpty // SCC member not yet iterated
+}
+
+// connect records f's module-internal callees: static calls plus every
+// in-module implementation candidate of each interface-method call. The scan
+// covers nested function literals too — their callees' summaries must be
+// final before f's emitting walk analyzes the literals.
+func (lf *lockflow) connect(f *lfFunc) {
+	seen := map[*lfFunc]bool{}
+	add := func(fn *types.Func) {
+		if node, ok := lf.funcs[fn]; ok && !seen[node] {
+			seen[node] = true
+			f.callees = append(f.callees, node)
+		}
+	}
+	ast.Inspect(f.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(f.pkg.Info, call)
+		if fn == nil {
+			return true
+		}
+		if blockingFuncs[trimModule(funcQName(fn), lf.modulePath)] {
+			return true // blocking leaf: never folded, no graph edge needed
+		}
+		if _, ok := lf.funcs[fn]; ok {
+			add(fn)
+			return true
+		}
+		if ifaceMethod(fn) {
+			for _, impl := range lf.implsOf(fn) {
+				add(impl)
+			}
+		}
+		return true
+	})
+}
+
+// ifaceMethod reports whether fn is an interface's abstract method.
+func ifaceMethod(fn *types.Func) bool {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	_, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// implsOf resolves an interface method to the corresponding concrete methods
+// of every in-module type that implements the interface and has a body we
+// loaded. Zero candidates means the call must be widened.
+func (lf *lockflow) implsOf(m *types.Func) []*types.Func {
+	if c, ok := lf.implCache[m]; ok {
+		return c
+	}
+	var out []*types.Func
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		lf.implCache[m] = out
+		return out
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil || iface.NumMethods() == 0 {
+		lf.implCache[m] = out
+		return out
+	}
+	seen := map[*types.Func]bool{}
+	for _, named := range lf.named {
+		var impl types.Type
+		if types.Implements(named, iface) {
+			impl = named
+		} else if p := types.NewPointer(named); types.Implements(p, iface) {
+			impl = p
+		} else {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, m.Pkg(), m.Name())
+		fn, _ := obj.(*types.Func)
+		if fn == nil || seen[fn] {
+			continue
+		}
+		if node, ok := lf.funcs[fn]; ok {
+			seen[fn] = true
+			out = append(out, node.fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return lf.funcs[out[i]].name < lf.funcs[out[j]].name
+	})
+	lf.implCache[m] = out
+	return out
+}
+
+// recordEdge records an acquire-while-holding pair for the global graph.
+// Only emitting walks record (each function gets exactly one), so every edge
+// is witnessed once.
+func (lf *lockflow) recordEdge(from, to string, pos token.Pos, desc string) {
+	if !lf.emitting {
+		return
+	}
+	k := [2]string{from, to}
+	if _, ok := lf.edges[k]; !ok {
+		lf.edges[k] = &lfEdge{from: from, to: to, pos: pos, desc: desc}
+	}
+}
+
+// ---- the per-function walker ----
+
+type lfWalker struct {
+	lf      *lockflow
+	pkg     *Package
+	fn      *lfFunc
+	sum     *lfSummary
+	trusted bool // host in trustedCallbacks: indirect calls are not widened
+
+	deferRelease map[string]bool          // keys and ids unlocked by defers
+	exits        []map[string]*heldLock   // held set at each exit point
+	lits         []*ast.FuncLit           // closures to analyze with an empty held set
+	litDepth     int                      // >0 while inlining an immediately-invoked literal
+}
+
+// walkFn computes f's summary; when emit is set it also reports diagnostics,
+// records lock-order edges, and analyzes f's closures (goroutine bodies,
+// deferred and stored literals) with an empty held set.
+func (lf *lockflow) walkFn(f *lfFunc, emit bool) *lfSummary {
+	lf.emitting = emit
+	w := &lfWalker{
+		lf: lf, pkg: f.pkg, fn: f,
+		sum:          newSummary(),
+		trusted:      trustedCallbacks[f.name],
+		deferRelease: map[string]bool{},
+	}
+	held := map[string]*heldLock{}
+	w.block(f.decl.Body, held)
+	w.exit(held)
+	w.sum.heldAtExit = intersectExits(w.exits)
+	if emit {
+		for i := 0; i < len(w.lits); i++ {
+			sub := &lfWalker{
+				lf: lf, pkg: f.pkg, fn: f,
+				sum:          newSummary(), // discarded: closures run on their own stack discipline
+				trusted:      w.trusted,
+				deferRelease: map[string]bool{},
+				litDepth:     1,
+			}
+			sub.block(w.lits[i].Body, map[string]*heldLock{})
+			w.lits = append(w.lits, sub.lits...)
+		}
+	}
+	lf.emitting = false
+	return w.sum
+}
+
+// exit snapshots the held set at a return point, minus locks a defer will
+// release on the way out.
+func (w *lfWalker) exit(held map[string]*heldLock) {
+	if w.litDepth > 0 {
+		return
+	}
+	snap := map[string]*heldLock{}
+	for _, h := range held {
+		if w.deferRelease[h.key] || w.deferRelease[h.id] {
+			continue
+		}
+		snap[h.id] = h
+	}
+	w.exits = append(w.exits, snap)
+}
+
+// intersectExits keeps the lock ids held at every exit point: the locks this
+// function acquires on its caller's behalf.
+func intersectExits(exits []map[string]*heldLock) map[string]*lfAcq {
+	out := map[string]*lfAcq{}
+	if len(exits) == 0 {
+		return out
+	}
+	for id, h := range exits[0] {
+		all := true
+		for _, e := range exits[1:] {
+			if _, ok := e[id]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			out[id] = &lfAcq{id: id, read: h.read, via: h.via}
+		}
+	}
+	return out
+}
+
+func (w *lfWalker) line(pos token.Pos) int { return w.pkg.Fset.Position(pos).Line }
+
+func (w *lfWalker) block(b *ast.BlockStmt, held map[string]*heldLock) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lfWalker) stmt(s ast.Stmt, held map[string]*heldLock) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s, held)
+	case *ast.ExprStmt:
+		w.exprs(s.X, held)
+	case *ast.DeferStmt:
+		w.deferCall(s.Call, held)
+	case *ast.GoStmt:
+		// The spawned goroutine runs on its own stack: no folding, but its
+		// literal body is analyzed independently and argument expressions
+		// evaluate now.
+		for _, a := range s.Call.Args {
+			w.exprs(a, held)
+		}
+		if lit, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.lits = append(w.lits, lit)
+		}
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprs(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.exprs(e, held)
+		}
+	case *ast.DeclStmt:
+		w.exprs(s, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.exprs(e, held)
+		}
+		w.exit(held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.exprs(s.Cond, held)
+		w.block(s.Body, copyHeld(held))
+		w.stmt(s.Else, copyHeld(held))
+	case *ast.ForStmt:
+		inner := copyHeld(held)
+		w.stmt(s.Init, inner)
+		if s.Cond != nil {
+			w.exprs(s.Cond, inner)
+		}
+		w.block(s.Body, inner)
+		w.stmt(s.Post, inner)
+	case *ast.RangeStmt:
+		if t, ok := w.pkg.Info.Types[s.X]; ok {
+			if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+				w.blockingSyntax(s.Pos(), "range over channel", held)
+			}
+		}
+		w.exprs(s.X, held)
+		w.block(s.Body, copyHeld(held))
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.blockingSyntax(s.Pos(), "blocking select", held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					w.stmt(b, inner)
+				}
+			}
+		}
+	case *ast.SendStmt:
+		w.blockingSyntax(s.Pos(), "channel send", held)
+		w.exprs(s.Chan, held)
+		w.exprs(s.Value, held)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		if s.Tag != nil {
+			w.exprs(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					w.stmt(b, inner)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				inner := copyHeld(held)
+				for _, b := range cc.Body {
+					w.stmt(b, inner)
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IncDecStmt:
+		w.exprs(s.X, held)
+	}
+}
+
+// deferCall handles `defer f(...)`: a deferred unlock releases at exit
+// (deferRelease), a deferred module call folds in deferred mode (its blocks
+// and releases count, but nothing is reported at this site — it runs at
+// return), and a deferred closure is analyzed independently.
+func (w *lfWalker) deferCall(call *ast.CallExpr, held map[string]*heldLock) {
+	if op := lockCall(w.pkg.Info, call); op != nil {
+		if !op.acquire {
+			w.deferRelease[exprKey(op.recv)] = true
+			w.deferRelease[trimModule(lockID(w.pkg.Info, op.recv), w.lf.modulePath)] = true
+		}
+		return
+	}
+	for _, a := range call.Args {
+		w.exprs(a, held)
+	}
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		w.lits = append(w.lits, lit)
+		return
+	}
+	w.call(call, held, true)
+}
+
+// exprs scans an expression tree for lock operations, blocking operations,
+// and calls. Non-invoked function literals are queued for independent
+// analysis; immediately-invoked ones run inline under the current held set.
+func (w *lfWalker) exprs(n ast.Node, held map[string]*heldLock) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.lits = append(w.lits, n)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blockingSyntax(n.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				for _, a := range n.Args {
+					w.exprs(a, held)
+				}
+				w.litDepth++
+				w.block(lit.Body, copyHeld(held))
+				w.litDepth--
+				return false
+			}
+			if op := lockCall(w.pkg.Info, n); op != nil {
+				w.apply(op, n.Pos(), held)
+				return false
+			}
+			w.call(n, held, false)
+		}
+		return true
+	})
+}
+
+// call resolves and folds one call site. deferred suppresses site reports
+// and held-set mutation (the call runs at function exit).
+func (w *lfWalker) call(call *ast.CallExpr, held map[string]*heldLock, deferred bool) {
+	fn := calleeFunc(w.pkg.Info, call)
+	if fn == nil {
+		fun := ast.Unparen(call.Fun)
+		if tv, ok := w.pkg.Info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+			return
+		}
+		if w.trusted {
+			return // host's callbacks are contractually non-blocking
+		}
+		if !deferred {
+			for _, h := range heldForBlocking(held) {
+				w.reportf(call.Pos(), "indirect call while %s is held (locked at line %d%s): callee unknown, assumed blocking (declare the host in trustedCallbacks if its callbacks are contractually non-blocking)",
+					h.key, h.line, viaSuffix(h))
+			}
+		}
+		w.sum.setBlocks([]string{"indirect call (unknown callee, assumed blocking)"})
+		return
+	}
+	name := trimModule(funcQName(fn), w.lf.modulePath)
+	if blockingFuncs[name] || blockingPkg(fn) {
+		if !deferred {
+			w.reportHeld(call.Pos(), "call to "+name, held)
+		}
+		w.sum.setBlocks([]string{name})
+		return
+	}
+	if node, ok := w.lf.funcs[fn]; ok {
+		w.fold(w.lf.summaryOf(fn), node.name, call.Pos(), held, deferred, true)
+		return
+	}
+	if ifaceMethod(fn) {
+		impls := w.lf.implsOf(fn)
+		if len(impls) == 0 {
+			if !deferred {
+				for _, h := range heldForBlocking(held) {
+					w.reportf(call.Pos(), "call to %s while %s is held (locked at line %d%s): no in-module implementation known, assumed blocking",
+						name, h.key, h.line, viaSuffix(h))
+				}
+			}
+			w.sum.setBlocks([]string{name + " (no known implementation, assumed blocking)"})
+			return
+		}
+		// Union over candidates; releases/heldAtExit are not applied (which
+		// candidate runs is unknown, so state changes cannot be trusted).
+		for _, impl := range impls {
+			w.fold(w.lf.summaryOf(impl), w.lf.funcs[impl].name, call.Pos(), held, deferred, false)
+		}
+	}
+	// External function without a body and not on the blocking list: assumed
+	// non-blocking, no lock effects.
+}
+
+// fold applies a callee's summary at a call site: report blocking, record
+// acquire-while-holding edges, and (when applyState) play the callee's
+// releases and leftover acquisitions against the caller's held set.
+func (w *lfWalker) fold(s *lfSummary, name string, pos token.Pos, held map[string]*heldLock, deferred, applyState bool) {
+	if s.blocks {
+		chain := capChain(append([]string{name}, s.blockVia...))
+		if !deferred {
+			for _, h := range heldForBlocking(held) {
+				w.reportf(pos, "call to %s may block while %s is held (locked at line %d%s): %s",
+					name, h.key, h.line, viaSuffix(h), strings.Join(chain, " -> "))
+			}
+		}
+		w.sum.setBlocks(chain)
+	}
+	for _, id := range sortedKeys(s.acquires) {
+		acq := s.acquires[id]
+		via := capChain(append([]string{name}, acq.via...))
+		if !deferred {
+			for _, h := range sortedHeld(held) {
+				if h.id == id {
+					if h.read && acq.read {
+						continue
+					}
+					w.reportf(pos, "call to %s may acquire %s while it is already held as %s (possible self-deadlock)", name, id, h.key)
+					continue
+				}
+				w.lf.recordEdge(h.id, id, pos, "call chain "+w.fn.name+" -> "+strings.Join(via, " -> ")+" acquires "+id+" while holding "+h.id)
+			}
+		}
+		w.sum.acquire(id, acq.read, via)
+	}
+	if !applyState {
+		return
+	}
+	if deferred {
+		// A deferred unlock helper releases at exit.
+		for id := range s.releases {
+			w.deferRelease[id] = true
+		}
+		return
+	}
+	for id := range s.releases {
+		released := false
+		for k, h := range held {
+			if h.id == id {
+				delete(held, k)
+				released = true
+			}
+		}
+		if !released {
+			w.sum.releases[id] = true // propagate: released on our caller's behalf
+		}
+	}
+	for _, id := range sortedKeys(s.heldAtExit) {
+		acq := s.heldAtExit[id]
+		if _, ok := held[id]; ok {
+			continue
+		}
+		held[id] = &heldLock{
+			key: id, id: id, read: acq.read,
+			line: w.line(pos),
+			via:  capChain(append([]string{name}, acq.via...)),
+		}
+	}
+}
+
+// apply executes a direct lock operation against the held set.
+func (w *lfWalker) apply(op *lockOp, pos token.Pos, held map[string]*heldLock) {
+	key := exprKey(op.recv)
+	id := trimModule(lockID(w.pkg.Info, op.recv), w.lf.modulePath)
+	if !op.acquire {
+		if _, ok := held[key]; ok {
+			delete(held, key)
+			return
+		}
+		for k, h := range held {
+			if h.id == id {
+				delete(held, k)
+				return
+			}
+		}
+		w.sum.releases[id] = true // unlock helper: releases the caller's lock
+		return
+	}
+	for _, h := range sortedHeld(held) {
+		switch {
+		case h.key == key:
+			if h.read && op.read {
+				continue // RLock twice: allowed (though writer-starvation-prone)
+			}
+			w.reportf(pos, "acquires %s while already holding it (self-deadlock)", key)
+		case h.id == id:
+			if h.read && op.read {
+				continue
+			}
+			w.reportf(pos, "acquires %s while %s (same lock identity %s) is held (possible self-deadlock)", key, h.key, id)
+		default:
+			w.lf.recordEdge(h.id, id, pos, w.fn.name+" acquires "+id+" while holding "+h.id)
+		}
+	}
+	held[key] = &heldLock{key: key, id: id, read: op.read, line: w.line(pos)}
+	w.sum.acquire(id, op.read, nil)
+}
+
+// blockingSyntax handles an operation that blocks by construction.
+func (w *lfWalker) blockingSyntax(pos token.Pos, what string, held map[string]*heldLock) {
+	w.reportHeld(pos, what, held)
+	w.sum.setBlocks([]string{what})
+}
+
+func (w *lfWalker) reportHeld(pos token.Pos, what string, held map[string]*heldLock) {
+	for _, h := range heldForBlocking(held) {
+		w.reportf(pos, "%s while %s is held (locked at line %d%s)", what, h.key, h.line, viaSuffix(h))
+	}
+}
+
+// reportf emits through the module pass, but only during a function's single
+// emitting walk (fixpoint iterations stay silent).
+func (w *lfWalker) reportf(pos token.Pos, format string, args ...any) {
+	if w.lf.emitting {
+		w.lf.reportf(pos, format, args...)
+	}
+}
+
+func viaSuffix(h *heldLock) string {
+	if len(h.via) == 0 {
+		return ""
+	}
+	return " via " + strings.Join(h.via, " -> ")
+}
+
+func blockingPkg(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	for _, prefix := range blockingPkgPrefixes {
+		if hasPrefixPath(fn.Pkg().Path(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- small helpers ----
+
+// sccs returns the call graph's strongly connected components in reverse
+// topological order (Tarjan emits an SCC only once all its callees' SCCs are
+// done), which is exactly summary-computation order.
+func (lf *lockflow) sccs() [][]*lfFunc {
+	index := map[*lfFunc]int{}
+	low := map[*lfFunc]int{}
+	onstack := map[*lfFunc]bool{}
+	var stack []*lfFunc
+	var out [][]*lfFunc
+	next := 0
+	var strong func(v *lfFunc)
+	strong = func(v *lfFunc) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onstack[v] = true
+		for _, c := range v.callees {
+			if _, seen := index[c]; !seen {
+				strong(c)
+				if low[c] < low[v] {
+					low[v] = low[c]
+				}
+			} else if onstack[c] && index[c] < low[v] {
+				low[v] = index[c]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []*lfFunc
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onstack[m] = false
+				scc = append(scc, m)
+				if m == v {
+					break
+				}
+			}
+			out = append(out, scc)
+		}
+	}
+	for _, f := range lf.order {
+		if _, seen := index[f]; !seen {
+			strong(f)
+		}
+	}
+	return out
+}
+
+func copyHeld(held map[string]*heldLock) map[string]*heldLock {
+	c := make(map[string]*heldLock, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func sortedHeld(held map[string]*heldLock) []*heldLock {
+	hs := make([]*heldLock, 0, len(held))
+	for _, h := range held {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].key < hs[j].key })
+	return hs
+}
+
+// heldForBlocking drops coarse (control-plane) locks from a held set before
+// a may-block report: blocking under them is by design, and only ordering
+// and self-deadlock are enforced.
+func heldForBlocking(held map[string]*heldLock) []*heldLock {
+	hs := sortedHeld(held)
+	out := hs[:0]
+	for _, h := range hs {
+		if !coarseLocks[h.id] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// capChain bounds a cosmetic call chain so recursive SCCs cannot grow
+// diagnostics without bound.
+func capChain(via []string) []string {
+	const max = 8
+	if len(via) <= max {
+		return via
+	}
+	return append(append([]string{}, via[:max]...), "...")
+}
+
+// hasPrefixPath reports whether pkgPath is prefix or starts with prefix+"/".
+func hasPrefixPath(pkgPath, prefix string) bool {
+	return pkgPath == prefix || (len(pkgPath) > len(prefix) && pkgPath[:len(prefix)] == prefix && pkgPath[len(prefix)] == '/')
+}

@@ -1,0 +1,13 @@
+package lint_test
+
+import (
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/lint"
+	"github.com/bullfrogdb/bullfrog/internal/lint/linttest"
+)
+
+func TestLockFlow(t *testing.T)      { linttest.Run(t, "lockflow", lint.LockFlow) }
+func TestLockFlowIface(t *testing.T) { linttest.Run(t, "lockflowiface", lint.LockFlow) }
+func TestLockFlowSCC(t *testing.T)   { linttest.Run(t, "lockflowscc", lint.LockFlow) }
+func TestLockFlowStale(t *testing.T) { linttest.Run(t, "lockflowstale", lint.LockFlow) }

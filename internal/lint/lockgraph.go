@@ -1,0 +1,355 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is lockflow's global phase: after every function summary is
+// computed, the observed acquire-while-holding edges are diffed against the
+// declared lockOrder table in config.go and the combined graph is checked
+// for cycles. It also exposes BuildLockGraph, the API behind
+// `bullfrog-lint -lockgraph` and the lock-order golden test.
+
+// diagnoseGraph reports undeclared, reversed, and stale lock-order edges,
+// then any cycle in the combined (declared ∪ observed) graph.
+func (lf *lockflow) diagnoseGraph() {
+	declared := map[[2]string]bool{}
+	for _, d := range lockOrder {
+		declared[[2]string{d.From, d.To}] = true
+	}
+	keys := lf.edgeKeys()
+	for _, k := range keys {
+		e := lf.edges[k]
+		if declared[k] {
+			continue
+		}
+		if declared[[2]string{k[1], k[0]}] {
+			lf.reportf(e.pos, "%s: reverses the declared lock-order edge %s -> %s (potential deadlock)", e.desc, k[1], k[0])
+			continue
+		}
+		lf.reportf(e.pos, "%s: lock-order edge %s -> %s is not declared in the lock-order table (internal/lint/config.go)", e.desc, k[0], k[1])
+	}
+	for _, d := range lockOrder {
+		if !lf.staleInScope(d) {
+			continue
+		}
+		if _, ok := lf.edges[[2]string{d.From, d.To}]; ok {
+			continue
+		}
+		lf.reportf(lf.stalePos(d), "declared lock-order edge %s -> %s was never observed by lockflow (stale config: remove it from the lock-order table or restore the nesting it documents)", d.From, d.To)
+	}
+	lf.diagnoseCycles(declared)
+}
+
+func (lf *lockflow) edgeKeys() [][2]string {
+	keys := make([][2]string, 0, len(lf.edges))
+	for k := range lf.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	return keys
+}
+
+// staleInScope limits stale-config detection to runs that could actually
+// observe the edge: a fixture edge is checked only when its fixture package
+// is loaded, a module edge only during a full module sweep (the module root
+// package is present). Partial loads — a linttest run over one fixture
+// directory — must not flag the rest of the table as stale.
+func (lf *lockflow) staleInScope(d lockOrderEdge) bool {
+	if strings.HasPrefix(d.From, "fixture/") {
+		i := strings.IndexByte(d.From, '.')
+		if i < 0 {
+			return false
+		}
+		return lf.findPkg(d.From[:i]) != nil
+	}
+	return lf.findPkg(lf.modulePath) != nil
+}
+
+func (lf *lockflow) findPkg(path string) *Package {
+	for _, p := range lf.pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// stalePos anchors a stale-config diagnostic at the offending lockOrder
+// element in config.go when internal/lint itself is loaded (module sweeps),
+// falling back to the package clause of the From lock's package (fixture
+// runs, where the want comment sits on the package line).
+func (lf *lockflow) stalePos(d lockOrderEdge) token.Pos {
+	if pos := lf.configEdgePos(d); pos.IsValid() {
+		return pos
+	}
+	path := d.From
+	if i := strings.IndexByte(path, '.'); i >= 0 {
+		path = path[:i]
+	}
+	pkg := lf.findPkg(path)
+	if pkg == nil && !strings.HasPrefix(path, "fixture/") {
+		pkg = lf.findPkg(lf.modulePath + "/" + path)
+	}
+	if pkg != nil && len(pkg.Syntax) > 0 {
+		return pkg.Syntax[0].Name.Pos()
+	}
+	return token.NoPos
+}
+
+// configEdgePos locates the composite-literal element declaring edge d
+// inside the lockOrder table.
+func (lf *lockflow) configEdgePos(d lockOrderEdge) token.Pos {
+	pkg := lf.findPkg(lf.modulePath + "/internal/lint")
+	if pkg == nil {
+		return token.NoPos
+	}
+	for _, f := range pkg.Syntax {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "lockOrder" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					el, ok := elt.(*ast.CompositeLit)
+					if !ok {
+						continue
+					}
+					var from, to string
+					for _, kv := range el.Elts {
+						pair, ok := kv.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						key, ok := pair.Key.(*ast.Ident)
+						if !ok {
+							continue
+						}
+						if bl, ok := pair.Value.(*ast.BasicLit); ok && bl.Kind == token.STRING {
+							if v, err := strconv.Unquote(bl.Value); err == nil {
+								switch key.Name {
+								case "From":
+									from = v
+								case "To":
+									to = v
+								}
+							}
+						}
+					}
+					if from == d.From && to == d.To {
+						return el.Pos()
+					}
+				}
+			}
+		}
+	}
+	return token.NoPos
+}
+
+// diagnoseCycles reports every strongly connected component (and self-loop)
+// in the combined declared ∪ observed lock-order graph: any cycle means two
+// code paths can acquire the same locks in opposite orders.
+func (lf *lockflow) diagnoseCycles(declared map[[2]string]bool) {
+	adj := map[string][]string{}
+	nodes := map[string]bool{}
+	addEdge := func(from, to string) {
+		adj[from] = append(adj[from], to)
+		nodes[from], nodes[to] = true, true
+	}
+	for d := range declared {
+		addEdge(d[0], d[1])
+	}
+	for _, k := range lf.edgeKeys() {
+		// Reversals of declared edges were already reported as such above —
+		// feeding them in again would re-report every inversion as a cycle.
+		if !declared[k] && !declared[[2]string{k[1], k[0]}] {
+			addEdge(k[0], k[1])
+		}
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for _, dsts := range adj {
+		sort.Strings(dsts)
+	}
+
+	for _, from := range order {
+		for _, to := range adj[from] {
+			if to == from {
+				lf.reportf(lf.cyclePos([]string{from}), "lock-order edge %s -> %s is a self-loop (a lock never orders before itself)", from, from)
+			}
+		}
+	}
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onstack := map[string]bool{}
+	var stack []string
+	next := 0
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onstack[v] = true
+		for _, c := range adj[v] {
+			if _, seen := index[c]; !seen {
+				strong(c)
+				if low[c] < low[v] {
+					low[v] = low[c]
+				}
+			} else if onstack[c] && index[c] < low[v] {
+				low[v] = index[c]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onstack[m] = false
+				scc = append(scc, m)
+				if m == v {
+					break
+				}
+			}
+			if len(scc) > 1 {
+				sort.Strings(scc)
+				lf.reportf(lf.cyclePos(scc), "lock-order cycle among %s (potential deadlock): break the cycle or fix the lock-order table", strings.Join(scc, ", "))
+			}
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+}
+
+// cyclePos anchors a cycle diagnostic at its first observed witness; a
+// purely declared cycle has no witness and surfaces as an unpositioned
+// (unsuppressible) diagnostic — a config bug must always fail the build.
+func (lf *lockflow) cyclePos(scc []string) token.Pos {
+	in := map[string]bool{}
+	for _, n := range scc {
+		in[n] = true
+	}
+	for _, k := range lf.edgeKeys() {
+		if in[k[0]] && in[k[1]] {
+			return lf.edges[k].pos
+		}
+	}
+	return token.NoPos
+}
+
+// ---- public lock-graph API ----
+
+// LockGraphEdge is one edge of the combined lock-order graph: declared in
+// config.go, observed by the sweep, or (healthily) both.
+type LockGraphEdge struct {
+	From, To string
+	Declared bool
+	Observed bool
+	Why      string // declared rationale from config.go
+	Witness  string // "file:line: description" of the first observed site
+}
+
+// BuildLockGraph runs the lockflow analysis over pkgs and returns the
+// combined lock-order graph plus the raw lockflow diagnostics (no
+// //lint:ignore filtering — callers wanting suppression semantics should run
+// the analyzer through Run instead).
+func BuildLockGraph(pkgs []*Package, modulePath string) ([]LockGraphEdge, []Diagnostic) {
+	var diags []Diagnostic
+	lf := newLockflow(pkgs, modulePath)
+	lf.reportf = func(pos token.Pos, format string, args ...any) {
+		var p token.Position
+		if pos.IsValid() && len(pkgs) > 0 {
+			p = pkgs[0].Fset.Position(pos)
+		}
+		diags = append(diags, Diagnostic{Analyzer: "lockflow", Pos: p, Message: fmt.Sprintf(format, args...)})
+	}
+	lf.analyze()
+	lf.diagnoseGraph()
+
+	var edges []LockGraphEdge
+	seen := map[[2]string]bool{}
+	for _, d := range lockOrder {
+		k := [2]string{d.From, d.To}
+		seen[k] = true
+		e := LockGraphEdge{From: d.From, To: d.To, Declared: true, Why: d.Why}
+		if obs, ok := lf.edges[k]; ok {
+			e.Observed = true
+			e.Witness = witness(pkgs, obs)
+		}
+		edges = append(edges, e)
+	}
+	for _, k := range lf.edgeKeys() {
+		if seen[k] {
+			continue
+		}
+		edges = append(edges, LockGraphEdge{
+			From: k[0], To: k[1], Observed: true, Witness: witness(pkgs, lf.edges[k]),
+		})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	return edges, diags
+}
+
+func witness(pkgs []*Package, e *lfEdge) string {
+	if len(pkgs) == 0 || !e.pos.IsValid() {
+		return e.desc
+	}
+	p := pkgs[0].Fset.Position(e.pos)
+	return fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, e.desc)
+}
+
+// LockGraphDOT renders the combined lock-order graph in Graphviz DOT for
+// `bullfrog-lint -lockgraph` / `make lint-locks`. Solid edges are declared
+// and observed; dashed means declared but never observed (stale candidates);
+// bold red means observed but undeclared (diagnostics).
+func LockGraphDOT(edges []LockGraphEdge) string {
+	var b strings.Builder
+	b.WriteString("digraph lockorder {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, e := range edges {
+		attr := ""
+		switch {
+		case e.Declared && e.Observed:
+			attr = fmt.Sprintf("label=%q", e.Why)
+		case e.Declared:
+			attr = fmt.Sprintf("style=dashed, color=gray, label=%q", e.Why+" (never observed)")
+		default:
+			attr = fmt.Sprintf("style=bold, color=red, label=%q", "UNDECLARED: "+e.Witness)
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From, e.To, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,207 @@
+// Package lockflow is the fixture for the lockflow analyzer: blocking
+// operations under a held mutex (directly and across calls), lock-order
+// edges diffed against the declared table in config.go (undeclared edges,
+// inversions through helpers, undeclared cycles), lock/unlock helper
+// propagation, and the shapes that must NOT be flagged (released locks,
+// selects with default, goroutine bodies, double-RLock).
+package lockflow
+
+import (
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu     sync.Mutex
+	rw     sync.RWMutex
+	order1 sync.Mutex // declared edge order1 -> order2 in config.go
+	order2 sync.Mutex
+	order3 sync.Mutex // declared edge order3 -> order4 in config.go
+	order4 sync.Mutex
+	cycA   sync.Mutex // undeclared in config.go: the cycle-detection pair
+	cycB   sync.Mutex
+	ch     chan int
+}
+
+// ---- intraprocedural cases (carried over from the old lockheld fixture) ----
+
+func (s *server) sleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while s\.mu is held \(locked at line \d+\)`
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // ok: lock released
+}
+
+func (s *server) channelUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1 // want `channel send while s\.mu is held`
+	<-s.ch    // want `channel receive while s\.mu is held`
+}
+
+func (s *server) selectUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want `blocking select while s\.mu is held`
+	case <-s.ch:
+	}
+}
+
+func (s *server) selectWithDefaultOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+}
+
+func (s *server) orderOK() {
+	s.order1.Lock()
+	s.order2.Lock() // ok: declared edge order1 -> order2
+	s.order2.Unlock()
+	s.order1.Unlock()
+}
+
+func (s *server) orderViolation() {
+	s.order2.Lock()
+	s.order1.Lock() // want `reverses the declared lock-order edge fixture/lockflow\.server\.order1 -> fixture/lockflow\.server\.order2 \(potential deadlock\)`
+	s.order1.Unlock()
+	s.order2.Unlock()
+}
+
+func (s *server) undeclaredPair() {
+	s.mu.Lock()
+	s.order1.Lock() // want `lock-order edge fixture/lockflow\.server\.mu -> fixture/lockflow\.server\.order1 is not declared in the lock-order table`
+	s.order1.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) selfDeadlock() {
+	s.mu.Lock()
+	s.mu.Lock() // want `acquires s\.mu while already holding it \(self-deadlock\)`
+	s.mu.Unlock()
+}
+
+func (s *server) doubleRLockOK() {
+	s.rw.RLock()
+	s.rw.RLock() // tolerated: shared re-entry
+	s.rw.RUnlock()
+	s.rw.RUnlock()
+}
+
+func (s *server) goroutineBodyOK() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Millisecond) // ok: runs outside the critical section
+	}()
+}
+
+func (s *server) branchScopedRelease(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+		time.Sleep(time.Millisecond) // ok: released on this branch
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) suppressed() {
+	s.mu.Lock()
+	//lint:ignore lockflow fixture demonstrates suppression
+	time.Sleep(time.Millisecond)
+	s.mu.Unlock()
+}
+
+// ---- interprocedural cases ----
+
+func (s *server) sleepHelper() {
+	time.Sleep(time.Millisecond) // ok here: no lock held in this frame
+}
+
+func (s *server) hop2() { s.sleepHelper() }
+func (s *server) hop1() { s.hop2() }
+
+// Blocking one call down: the summary of sleepHelper carries "may block".
+func (s *server) crossCallBlock() {
+	s.mu.Lock()
+	s.sleepHelper() // want `call to fixture/lockflow\.server\.sleepHelper may block while s\.mu is held \(locked at line \d+\): fixture/lockflow\.server\.sleepHelper -> time\.Sleep`
+	s.mu.Unlock()
+}
+
+// Blocking three calls down, with the full chain in the diagnostic.
+func (s *server) deepBlock() {
+	s.mu.Lock()
+	s.hop1() // want `call to fixture/lockflow\.server\.hop1 may block while s\.mu is held \(locked at line \d+\): fixture/lockflow\.server\.hop1 -> fixture/lockflow\.server\.hop2 -> fixture/lockflow\.server\.sleepHelper -> time\.Sleep`
+	s.mu.Unlock()
+}
+
+// Lock-order inversion through a helper: the helper acquires order3 on the
+// caller's behalf while the caller holds order4 — the reverse of the
+// declared order3 -> order4 edge.
+func (s *server) lockOrder3() { s.order3.Lock() }
+
+func (s *server) orderedPairOK() {
+	s.order3.Lock()
+	s.order4.Lock() // ok: declared edge order3 -> order4 (keeps the edge observed)
+	s.order4.Unlock()
+	s.order3.Unlock()
+}
+
+func (s *server) inversionViaHelper() {
+	s.order4.Lock()
+	s.lockOrder3() // want `reverses the declared lock-order edge fixture/lockflow\.server\.order3 -> fixture/lockflow\.server\.order4 \(potential deadlock\)`
+	s.order3.Unlock()
+	s.order4.Unlock()
+}
+
+// Lock/unlock helper pair: the critical section opened by lockMu extends
+// into the caller, so blocking there is flagged with the acquiring chain.
+func (s *server) lockMu()   { s.mu.Lock() }
+func (s *server) unlockMu() { s.mu.Unlock() }
+
+func (s *server) helperHeldBlock() {
+	s.lockMu()
+	time.Sleep(time.Millisecond) // want `call to time\.Sleep while fixture/lockflow\.server\.mu is held \(locked at line \d+ via fixture/lockflow\.server\.lockMu\)`
+	s.unlockMu()
+}
+
+// Regression mirror of the engine nesting that motivated lockflow:
+// Txn.Commit holds the commit mutex and publishes state through setState,
+// which takes the shard mutex — a cross-call acquire-while-holding edge that
+// must surface even though no single function nests the two locks.
+type manager struct {
+	commitMu sync.Mutex
+	shardMu  sync.Mutex
+}
+
+func (m *manager) setState() {
+	m.shardMu.Lock()
+	m.shardMu.Unlock()
+}
+
+func (m *manager) commit() {
+	m.commitMu.Lock()
+	m.setState() // want `call chain fixture/lockflow\.manager\.commit -> fixture/lockflow\.manager\.setState acquires fixture/lockflow\.manager\.shardMu while holding fixture/lockflow\.manager\.commitMu: lock-order edge .* is not declared`
+	m.commitMu.Unlock()
+}
+
+// Undeclared cycle: two functions acquire the same undeclared pair in
+// opposite orders. Both edges are diagnosed, and the combined graph reports
+// the cycle at the first observed edge.
+func (s *server) cycleHalfOne() {
+	s.cycA.Lock()
+	s.cycB.Lock() // want `lock-order edge fixture/lockflow\.server\.cycA -> fixture/lockflow\.server\.cycB is not declared` `lock-order cycle among fixture/lockflow\.server\.cycA, fixture/lockflow\.server\.cycB \(potential deadlock\)`
+	s.cycB.Unlock()
+	s.cycA.Unlock()
+}
+
+func (s *server) cycleHalfTwo() {
+	s.cycB.Lock()
+	s.cycA.Lock() // want `lock-order edge fixture/lockflow\.server\.cycB -> fixture/lockflow\.server\.cycA is not declared`
+	s.cycA.Unlock()
+	s.cycB.Unlock()
+}

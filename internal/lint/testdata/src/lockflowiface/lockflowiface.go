@@ -1,0 +1,56 @@
+// Package lockflowiface is the fixture for lockflow's interface-dispatch
+// resolution and widening: a call through an interface folds the summaries
+// of every in-module implementation; a call through an interface with no
+// known implementation — or through a bare function value — is widened to
+// "assumed blocking" unless the host is declared in trustedCallbacks.
+package lockflowiface
+
+import (
+	"sync"
+	"time"
+)
+
+// doer has exactly one in-module implementation, and it sleeps.
+type doer interface{ do() }
+
+type sleeper struct{}
+
+func (sleeper) do() { time.Sleep(time.Millisecond) }
+
+// opaque has no in-module implementation: calls must be widened.
+type opaque interface{ run() }
+
+type runner struct {
+	mu sync.Mutex
+	d  doer
+	cb func()
+}
+
+// Interface dispatch resolves to the implementation's summary.
+func (r *runner) callViaIface() {
+	r.mu.Lock()
+	r.d.do() // want `call to fixture/lockflowiface\.sleeper\.do may block while r\.mu is held \(locked at line \d+\): fixture/lockflowiface\.sleeper\.do -> time\.Sleep`
+	r.mu.Unlock()
+}
+
+// No implementation in scope: widened to assumed-blocking.
+func (r *runner) callUnknownIface(o opaque) {
+	r.mu.Lock()
+	o.run() // want `call to fixture/lockflowiface\.opaque\.run while r\.mu is held \(locked at line \d+\): no in-module implementation known, assumed blocking`
+	r.mu.Unlock()
+}
+
+// A bare function value is an unknown callee: widened.
+func (r *runner) callFuncValue() {
+	r.mu.Lock()
+	r.cb() // want `indirect call while r\.mu is held \(locked at line \d+\): callee unknown, assumed blocking`
+	r.mu.Unlock()
+}
+
+// trusted is declared in trustedCallbacks (config.go): its callbacks are
+// contractually non-blocking, so the indirect call is not widened.
+func (r *runner) trusted() {
+	r.mu.Lock()
+	r.cb() // ok: host is in trustedCallbacks
+	r.mu.Unlock()
+}

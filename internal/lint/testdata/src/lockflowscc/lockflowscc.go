@@ -1,0 +1,57 @@
+// Package lockflowscc is the fixture for lockflow's fixpoint over strongly
+// connected components: even and odd are mutually recursive, so neither
+// summary can be computed before the other — the SCC iterates to a fixpoint
+// and the converged "may block" fact propagates to callers.
+package lockflowscc
+
+import (
+	"sync"
+	"time"
+)
+
+type node struct {
+	mu sync.Mutex
+}
+
+func (n *node) even(i int) {
+	if i == 0 {
+		return
+	}
+	n.odd(i - 1)
+}
+
+func (n *node) odd(i int) {
+	if i == 0 {
+		time.Sleep(time.Millisecond)
+		return
+	}
+	n.even(i - 1)
+}
+
+func (n *node) blockViaSCC() {
+	n.mu.Lock()
+	n.even(8) // want `call to fixture/lockflowscc\.node\.even may block while n\.mu is held \(locked at line \d+\): fixture/lockflowscc\.node\.even -> fixture/lockflowscc\.node\.odd -> time\.Sleep`
+	n.mu.Unlock()
+}
+
+// Recursion with no blocking operation anywhere in the cycle must converge
+// to a quiet summary: holding the lock across the recursive call is fine.
+func (n *node) quietEven(i int) {
+	if i == 0 {
+		return
+	}
+	n.quietOdd(i - 1)
+}
+
+func (n *node) quietOdd(i int) {
+	if i == 0 {
+		return
+	}
+	n.quietEven(i - 1)
+}
+
+func (n *node) quietViaSCC() {
+	n.mu.Lock()
+	n.quietEven(8) // ok: nothing in the SCC blocks or locks
+	n.mu.Unlock()
+}

@@ -1,0 +1,26 @@
+// Package lockflowstale is the fixture for lockflow's stale-config
+// detection: config.go declares seen1 -> seen2 (observed below, so quiet)
+// and ghost1 -> ghost2 (never observed, so the sweep reports the declared
+// edge as stale). The diagnostic anchors at the package clause because the
+// config.go source is not part of this fixture load.
+package lockflowstale // want `declared lock-order edge fixture/lockflowstale\.box\.ghost1 -> fixture/lockflowstale\.box\.ghost2 was never observed by lockflow \(stale config`
+
+import "sync"
+
+type box struct {
+	seen1  sync.Mutex
+	seen2  sync.Mutex
+	ghost1 sync.Mutex
+	ghost2 sync.Mutex
+}
+
+func (b *box) observed() {
+	b.seen1.Lock()
+	b.seen2.Lock() // ok: declared edge seen1 -> seen2, observed here
+	b.seen2.Unlock()
+	b.seen1.Unlock()
+}
+
+// ghost1 and ghost2 exist (the golden test resolves every declared identity
+// to a real field) but are never nested, which is exactly what makes the
+// declared ghost edge stale.
