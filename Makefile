@@ -42,6 +42,7 @@ fuzz:
 	$(GO) test -fuzz FuzzSQLParse -fuzztime 10s ./internal/sql
 	$(GO) test -fuzz FuzzKeyEncodeOrder -fuzztime 10s ./internal/types
 	$(GO) test -fuzz FuzzWALReplay -fuzztime 10s ./internal/wal
+	$(GO) test -fuzz FuzzSchemaDiff -fuzztime 10s ./internal/schemaver
 
 # Figure experiments as testing.B benchmarks plus micro-benchmarks, then the
 # backfill worker-scaling figure, the migration-start-stall before/after,

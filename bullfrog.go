@@ -127,10 +127,13 @@ type Options struct {
 // DB is an embedded BullFrog database. Close releases its resources; other
 // methods must not be called after Close.
 type DB struct {
-	eng    *engine.DB
-	ctrl   *core.Controller
-	gate   *core.Gate
-	bg     *core.Background
+	eng  *engine.DB
+	ctrl *core.Controller
+	gate *core.Gate
+	// bgs holds one background migrator per Migrate call of the active chain
+	// (each pool owns only the runtimes it claimed first); ResetMigration and
+	// Close stop them all.
+	bgs    []*core.Background
 	ckpt   *core.Checkpointer // nil unless background checkpointing is on
 	walSrc wal.Logger         // the caller-supplied logger, for Close
 	tracer *trace.Tracer      // nil = tracing disabled
@@ -220,10 +223,10 @@ func (db *DB) Close() error {
 		db.ckpt.Stop()
 		db.ckpt = nil
 	}
-	if db.bg != nil {
-		db.bg.Stop()
-		db.bg = nil
+	for _, bg := range db.bgs {
+		bg.Stop()
 	}
+	db.bgs = nil
 	var firstErr error
 	if err := db.eng.WAL().Flush(); err != nil {
 		firstErr = fmt.Errorf("bullfrog: flushing WAL: %w", err)
@@ -349,13 +352,13 @@ func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
 	// between, the snapshot pins a schema the intercept never saw — abort
 	// and re-intercept against the fresh version. One iteration in the
 	// steady state; the loop spins only while installs land mid-statement.
-	for {
+	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			return nil, context.Cause(ctx)
 		}
 		ver := db.eng.Catalog().Head()
 		if err := db.interceptStmt(ctx, ver, s); err != nil {
-			return nil, wrapErr("exec", "", err)
+			return nil, retryWrap(attempt, wrapErr("exec", "", err))
 		}
 		tx := db.eng.Begin()
 		// Pin ctx (and its span) as the transaction's statement context for
@@ -371,13 +374,25 @@ func (db *DB) execStmt(ctx context.Context, s sql.Statement) (*Result, error) {
 			// The statement error is the caller's failure; the rollback drops
 			// the transaction's buffered redo without touching the log.
 			_ = db.eng.Abort(tx)
-			return nil, wrapErr("exec", "", err)
+			return nil, retryWrap(attempt, wrapErr("exec", "", err))
 		}
 		if err := db.eng.Commit(tx); err != nil {
-			return nil, wrapErr("commit", "", err)
+			return nil, retryWrap(attempt, wrapErr("commit", "", err))
 		}
 		return res, nil
 	}
+}
+
+// retryWrap annotates an error that surfaced only after the optimistic
+// capture/revalidate loop restarted the statement at least once, so the
+// caller can see the failure came from a re-intercepted run. It wraps with
+// %w — never %v — so errors.Is/As still reach the sentinel and the *Error
+// underneath; a restart must not strip the error taxonomy.
+func retryWrap(attempt int, err error) error {
+	if attempt == 0 || err == nil {
+		return err
+	}
+	return fmt.Errorf("after %d catalog-install restart(s): %w", attempt, err)
 }
 
 // interceptStmt is BullFrog's request interception (paper §2.1): reject

@@ -11,7 +11,8 @@
 //
 // Meta commands: \d (list tables), \metrics (dump internal metrics),
 // \trace (dump the trace snapshot; needs -trace), \top (live migration
-// progress/ETA, refreshing until Enter), \q (quit).
+// progress/ETA, refreshing until Enter), \history (schema version registry),
+// \q (quit).
 package main
 
 import (
@@ -71,7 +72,7 @@ func main() {
 	}
 	in := bufio.NewScanner(os.Stdin)
 	in.Buffer(make([]byte, 1<<20), 1<<20)
-	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\metrics shows stats, \\top shows migration progress, \\q quits.")
+	fmt.Println("BullFrog shell — end statements with ';', \\d lists tables, \\metrics shows stats, \\top shows migration progress, \\history shows schema versions, \\q quits.")
 	var buf strings.Builder
 	prompt := "bullfrog> "
 	for {
@@ -106,6 +107,9 @@ func main() {
 		case `\top`:
 			top(db, in)
 			continue
+		case `\history`:
+			history(db)
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteString(" ")
@@ -122,6 +126,26 @@ func main() {
 			continue
 		}
 		printResult(res)
+	}
+}
+
+// history prints the schema version registry: one line per recorded flip
+// (hash chained to parent, compatibility verdict, statement classification),
+// then the latest entry's structural diff.
+func history(db *bullfrog.DB) {
+	hist := db.SchemaHistory()
+	if len(hist) == 0 {
+		fmt.Println("no schema versions recorded")
+		return
+	}
+	for i, v := range hist {
+		fmt.Printf("%3d  %s  %s\n", i+1, v.At.Format("2006-01-02 15:04:05"), v)
+	}
+	if last := hist[len(hist)-1]; last.Diff != nil {
+		fmt.Println("latest diff:")
+		for _, line := range strings.Split(last.Diff.String(), "\n") {
+			fmt.Println("  " + line)
+		}
 	}
 }
 

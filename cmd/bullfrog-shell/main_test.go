@@ -1,6 +1,8 @@
 package main
 
 import (
+	"io"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +37,64 @@ func TestRenderProgress(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("active render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestHistoryCommand smokes the \history view: empty registry first, then a
+// real lazy migration whose entry must render with its short hash,
+// compatibility verdict, and structural diff.
+func TestHistoryCommand(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+
+	out := captureStdout(t, func() { history(db) })
+	if !strings.Contains(out, "no schema versions recorded") {
+		t.Errorf("empty registry render = %q", out)
+	}
+
+	if _, err := db.Exec(`CREATE TABLE people (id INT PRIMARY KEY, city CHAR(16)); INSERT INTO people VALUES (1, 'basel')`); err != nil {
+		t.Fatal(err)
+	}
+	m := &bullfrog.Migration{
+		Name:  "people-split",
+		Setup: `CREATE TABLE people_city (id INT PRIMARY KEY, city CHAR(16))`,
+		Statements: []*bullfrog.Statement{{
+			Name: "people-split", Driving: "p", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "people_city",
+				Def:   bullfrog.MustQuery(`SELECT id, city FROM people p`),
+			}},
+		}},
+		RetireInputs: []string{"people"},
+	}
+	if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	out = captureStdout(t, func() { history(db) })
+	for _, want := range []string{"people-split", "forward", "latest diff:", "+ table people_city", "- table people"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("history render missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"github.com/bullfrogdb/bullfrog/internal/catalog"
 	"github.com/bullfrogdb/bullfrog/internal/core"
 	"github.com/bullfrogdb/bullfrog/internal/engine"
+	"github.com/bullfrogdb/bullfrog/internal/schemaver"
 	"github.com/bullfrogdb/bullfrog/internal/txn"
 )
 
@@ -37,6 +38,14 @@ const (
 	// CodeRetiredTable: the statement touches a table retired by the big
 	// flip; reissue it against the new schema (core.ErrRetiredTable).
 	CodeRetiredTable Code = "catalog.retired"
+	// CodeSchemaBreaking: the migration is classified breaking — it retires a
+	// table without migrating its data — and MigrateOptions.Force was not set
+	// (schemaver.ErrBreaking).
+	CodeSchemaBreaking Code = "schemaver.breaking"
+	// CodeSchemaLossy: no faithful inverse migration exists for the requested
+	// rollback; the message carries the lost-column witness
+	// (schemaver.ErrLossy).
+	CodeSchemaLossy Code = "schemaver.lossy"
 )
 
 // Sentinel errors re-exported so callers can errors.Is against facade errors
@@ -54,6 +63,10 @@ var (
 	ErrVersionConflict = catalog.ErrVersionConflict
 	// ErrWALAppend is the sentinel under CodeWALAppend errors.
 	ErrWALAppend = engine.ErrWALAppend
+	// ErrSchemaBreaking is the sentinel under CodeSchemaBreaking errors.
+	ErrSchemaBreaking = schemaver.ErrBreaking
+	// ErrSchemaLossy is the sentinel under CodeSchemaLossy errors.
+	ErrSchemaLossy = schemaver.ErrLossy
 )
 
 // Error is the facade's structured error: a stable Code, the operation that
@@ -116,6 +129,10 @@ func codeFor(err error) (Code, bool) {
 		return CodeVersionConflict, true
 	case errors.Is(err, core.ErrRetiredTable):
 		return CodeRetiredTable, true
+	case errors.Is(err, schemaver.ErrBreaking):
+		return CodeSchemaBreaking, true
+	case errors.Is(err, schemaver.ErrLossy):
+		return CodeSchemaLossy, true
 	default:
 		return "", false
 	}

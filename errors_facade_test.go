@@ -2,6 +2,7 @@ package bullfrog_test
 
 import (
 	"errors"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -83,6 +84,73 @@ func TestErrorCodes(t *testing.T) {
 		}
 	})
 
+	t.Run("schemaver.breaking", func(t *testing.T) {
+		db := bullfrog.Open(bullfrog.Options{})
+		defer db.Close()
+		if _, err := db.Exec(`CREATE TABLE keep (a INT PRIMARY KEY); CREATE TABLE dead (a INT PRIMARY KEY); INSERT INTO dead VALUES (1)`); err != nil {
+			t.Fatal(err)
+		}
+		// Retires "dead" but no statement reads it: its rows are carried into
+		// no output, so the registry classifies the migration breaking.
+		mig := &bullfrog.Migration{
+			Name:  "drop-dead",
+			Setup: `CREATE TABLE keep2 (a INT PRIMARY KEY)`,
+			Statements: []*bullfrog.Statement{{
+				Name: "s", Driving: "k", Category: bullfrog.OneToOne,
+				Outputs: []bullfrog.OutputSpec{{
+					Table:  "keep2",
+					Def:    bullfrog.MustQuery(`SELECT a FROM keep k`),
+					KeyMap: map[string]string{"a": "a"},
+				}},
+			}},
+			RetireInputs: []string{"keep", "dead"},
+		}
+		err := db.Migrate(mig, bullfrog.MigrateOptions{BackgroundDelay: -1})
+		assertCode(t, err, bullfrog.CodeSchemaBreaking, bullfrog.ErrSchemaBreaking)
+		if !strings.Contains(err.Error(), "dead") {
+			t.Errorf("breaking error should name the orphaned table: %v", err)
+		}
+		// Force acknowledges the data loss and submits anyway.
+		if err := db.Migrate(mig, bullfrog.MigrateOptions{BackgroundDelay: -1, Force: true}); err != nil {
+			t.Fatalf("forced breaking migration: %v", err)
+		}
+	})
+
+	t.Run("schemaver.lossy", func(t *testing.T) {
+		db := bullfrog.Open(bullfrog.Options{})
+		defer db.Close()
+		if _, err := db.Exec(`CREATE TABLE items (id INT PRIMARY KEY, grp INT, v INT);
+			INSERT INTO items VALUES (1, 1, 10); INSERT INTO items VALUES (2, 1, 20)`); err != nil {
+			t.Fatal(err)
+		}
+		mig := &bullfrog.Migration{
+			Name:  "totals",
+			Setup: `CREATE TABLE totals (grp INT PRIMARY KEY, total INT)`,
+			Statements: []*bullfrog.Statement{{
+				Name: "totals", Driving: "i", Category: bullfrog.ManyToOne,
+				GroupBy: []string{"grp"},
+				Outputs: []bullfrog.OutputSpec{{
+					Table: "totals",
+					Def:   bullfrog.MustQuery(`SELECT grp, SUM(v) AS total FROM items i GROUP BY grp`),
+				}},
+			}},
+			RetireInputs: []string{"items"},
+		}
+		if err := db.Migrate(mig, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.FinishMigration(); err != nil {
+			t.Fatal(err)
+		}
+		// An aggregation discards row multiplicity: no mechanical inverse
+		// exists, and the error carries the lost-column witness.
+		err := db.RollbackMigration(bullfrog.MigrateOptions{BackgroundDelay: -1})
+		assertCode(t, err, bullfrog.CodeSchemaLossy, bullfrog.ErrSchemaLossy)
+		if !strings.Contains(err.Error(), "items") {
+			t.Errorf("lossy error should carry a witness naming the retired table: %v", err)
+		}
+	})
+
 	t.Run("txn.lock_timeout", func(t *testing.T) {
 		db := bullfrog.Open(bullfrog.Options{LockTimeout: 20 * time.Millisecond})
 		defer db.Close()
@@ -99,6 +167,35 @@ func TestErrorCodes(t *testing.T) {
 		_, err := t2.Exec(`UPDATE c SET v = 3 WHERE a = 1`)
 		assertCode(t, err, bullfrog.CodeLockTimeout, bullfrog.ErrLockTimeout)
 	})
+}
+
+// TestSentinelsSurviveRetryWrap pins the taxonomy through the facade's
+// catalog-install retry loop: execStmt wraps an error surfaced after a
+// restart in one extra fmt layer ("after N catalog-install restart(s): ..."),
+// and errors.Is must still reach every re-exported sentinel, errors.As the
+// *Error carrying the code.
+func TestSentinelsSurviveRetryWrap(t *testing.T) {
+	cases := []struct {
+		code     bullfrog.Code
+		sentinel error
+	}{
+		{bullfrog.CodeGateClosed, bullfrog.ErrClosed},
+		{bullfrog.CodeMigrateActive, bullfrog.ErrMigrationActive},
+		{bullfrog.CodeLockTimeout, bullfrog.ErrLockTimeout},
+		{bullfrog.CodeSerialization, bullfrog.ErrSerialization},
+		{bullfrog.CodeWALAppend, bullfrog.ErrWALAppend},
+		{bullfrog.CodeVersionConflict, bullfrog.ErrVersionConflict},
+		{bullfrog.CodeRetiredTable, bullfrog.ErrRetiredTable},
+		{bullfrog.CodeSchemaBreaking, bullfrog.ErrSchemaBreaking},
+		{bullfrog.CodeSchemaLossy, bullfrog.ErrSchemaLossy},
+	}
+	for _, tc := range cases {
+		t.Run(string(tc.code), func(t *testing.T) {
+			inner := &bullfrog.Error{Code: tc.code, Op: "exec", Err: fmt.Errorf("cause: %w", tc.sentinel)}
+			wrapped := fmt.Errorf("after 1 catalog-install restart(s): %w", inner)
+			assertCode(t, wrapped, tc.code, tc.sentinel)
+		})
+	}
 }
 
 // TestErrorRendering pins the message shape: "bullfrog: <op> <table>: [code] cause".

@@ -124,6 +124,12 @@ func (b *Background) workers() int {
 func (b *Background) Start() {
 	w := b.workers()
 	for _, rt := range b.ctrl.Runtimes() {
+		// One pool per runtime: a chained migration's Background sees the
+		// whole chain in Runtimes(), but earlier statements already have
+		// their own workers.
+		if !rt.bgOwned.CompareAndSwap(false, true) {
+			continue
+		}
 		if rt.bitmap != nil {
 			for i := 0; i < w; i++ {
 				b.wg.Add(1)
@@ -215,6 +221,16 @@ func (b *Background) bitmapSweep(rt *StmtRuntime, worker, workers int) error {
 		if b.stopped() {
 			return nil
 		}
+		if !rt.upstreamDone() {
+			// Chained statement: the driving table is still being filled by
+			// the upstream backfill. Sweeping now would claim granules whose
+			// tail can still gain rows; park until the heap freezes.
+			if !b.sleep(time.Millisecond) {
+				return nil
+			}
+			continue
+		}
+		rt.syncBitmapSize()
 		b.pace.observe()
 		g := rt.bitmap.NextUnmigrated(cursor)
 		if g < 0 {
@@ -268,6 +284,14 @@ func (b *Background) runHash(rt *StmtRuntime, workers int) {
 	for {
 		if rt.complete.Load() {
 			break
+		}
+		if !rt.upstreamDone() {
+			// Chained statement: groups are only sound to claim once the
+			// driving table froze (see bitmapSweep's gate).
+			if !b.sleep(time.Millisecond) {
+				break
+			}
+			continue
 		}
 		remaining, serr := b.hashSweepParallel(rt, workers)
 		if serr != nil {
@@ -451,6 +475,14 @@ func (rt *StmtRuntime) CatchUp(ctx context.Context) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if rt.upstream != nil && !rt.upstream.complete.Load() {
+		// A chained statement cannot drain before its driving table stops
+		// growing: drain the producer first (recursively up the chain).
+		if err := rt.upstream.CatchUp(ctx); err != nil {
+			return err
+		}
+	}
+	rt.syncBitmapSize()
 	if tr := rt.ctrl.tr; tr != nil {
 		start := time.Now()
 		defer func() {

@@ -18,11 +18,19 @@ import (
 // latch, to reduce cross-worker contention — exactly the paper's design. A
 // granule covers `granuleSize` consecutive tuple ordinals, implementing the
 // page-level granularity option of §4.4.3 (granuleSize 1 = tuple level).
+//
+// The granule count and chunk slice are atomics so the bitmap can Grow while
+// readers run lock-free: chained migrations size the bitmap before their
+// driving table (an earlier statement's output) reaches its final extent.
 type Bitmap struct {
-	granules    int64
+	granules    atomic.Int64
 	granuleSize int64
-	chunks      []bitmapChunk
-	migrated    atomic.Int64
+	// chunks points at the current chunk slice. Elements are pointers so a
+	// widened slice shares the live chunks — their latches and words must not
+	// be copied while workers hold them.
+	chunks   atomic.Pointer[[]*bitmapChunk]
+	migrated atomic.Int64
+	growMu   sync.Mutex
 }
 
 // granulesPerChunk must be a multiple of 32 (32 two-bit entries per word).
@@ -31,6 +39,14 @@ const granulesPerChunk = 4096
 type bitmapChunk struct {
 	mu    sync.Mutex
 	words []uint64
+}
+
+func newBitmapChunks(n int64) []*bitmapChunk {
+	chunks := make([]*bitmapChunk, n)
+	for i := range chunks {
+		chunks[i] = &bitmapChunk{words: make([]uint64, granulesPerChunk/32)}
+	}
+	return chunks
 }
 
 // NewBitmap creates a tracker covering nTuples tuple ordinals at the given
@@ -44,15 +60,46 @@ func NewBitmap(nTuples int64, granuleSize int64) *Bitmap {
 	if nChunks == 0 {
 		nChunks = 1
 	}
-	b := &Bitmap{granules: granules, granuleSize: granuleSize, chunks: make([]bitmapChunk, nChunks)}
-	for i := range b.chunks {
-		b.chunks[i].words = make([]uint64, granulesPerChunk/32)
-	}
+	b := &Bitmap{granuleSize: granuleSize}
+	b.granules.Store(granules)
+	chunks := newBitmapChunks(nChunks)
+	b.chunks.Store(&chunks)
 	return b
 }
 
+// Grow extends the bitmap to cover nTuples tuple ordinals, preserving every
+// existing granule's state; it is a no-op when the bitmap already covers
+// them. Chained migrations call it once their upstream statement completes:
+// the driving heap is frozen at its final size from then on, and the granules
+// appended here (all unmigrated) put the tail rows the upstream backfill
+// produced under the normal claim/mark protocol.
+//
+// Publication order matters for the lock-free readers: the widened chunk
+// slice is stored before the new granule count, so any reader that observes
+// the larger count also finds chunks covering it.
+func (b *Bitmap) Grow(nTuples int64) {
+	want := (nTuples + b.granuleSize - 1) / b.granuleSize
+	if want <= b.granules.Load() {
+		return
+	}
+	b.growMu.Lock()
+	defer b.growMu.Unlock()
+	if want <= b.granules.Load() {
+		return
+	}
+	old := *b.chunks.Load()
+	nChunks := (want + granulesPerChunk - 1) / granulesPerChunk
+	if nChunks > int64(len(old)) {
+		grown := make([]*bitmapChunk, nChunks)
+		copy(grown, old)
+		copy(grown[len(old):], newBitmapChunks(nChunks-int64(len(old))))
+		b.chunks.Store(&grown)
+	}
+	b.granules.Store(want)
+}
+
 // Granules returns the total number of granules tracked.
-func (b *Bitmap) Granules() int64 { return b.granules }
+func (b *Bitmap) Granules() int64 { return b.granules.Load() }
 
 // GranuleSize returns the tuples-per-granule factor.
 func (b *Bitmap) GranuleSize() int64 { return b.granuleSize }
@@ -72,7 +119,8 @@ const (
 )
 
 func (b *Bitmap) locate(granule int64) (*bitmapChunk, int, uint) {
-	chunk := &b.chunks[granule/granulesPerChunk]
+	chunks := *b.chunks.Load()
+	chunk := chunks[granule/granulesPerChunk]
 	within := granule % granulesPerChunk
 	return chunk, int(within / 32), uint(within % 32 * 2)
 }
@@ -87,8 +135,8 @@ func (b *Bitmap) state(granule int64) uint64 {
 
 // TryClaimGranule implements Algorithm 2 for a granule id.
 func (b *Bitmap) TryClaimGranule(granule int64) ClaimResult {
-	if granule < 0 || granule >= b.granules {
-		panic(fmt.Sprintf("core: granule %d out of range [0,%d)", granule, b.granules))
+	if granule < 0 || granule >= b.granules.Load() {
+		panic(fmt.Sprintf("core: granule %d out of range [0,%d)", granule, b.granules.Load()))
 	}
 	// Fast path without the latch.
 	switch b.state(granule) {
@@ -162,12 +210,13 @@ func (b *Bitmap) RestoreMigratedGranule(granule int64) {
 func (b *Bitmap) MigratedCount() int64 { return b.migrated.Load() }
 
 // Complete reports whether every granule has been migrated.
-func (b *Bitmap) Complete() bool { return b.migrated.Load() >= b.granules }
+func (b *Bitmap) Complete() bool { return b.migrated.Load() >= b.granules.Load() }
 
 // NextUnmigrated returns the smallest granule id >= from that is not yet
 // migrated, or -1. Background migration uses this to find remaining work.
 func (b *Bitmap) NextUnmigrated(from int64) int64 {
-	for g := from; g < b.granules; g++ {
+	n := b.granules.Load()
+	for g := from; g < n; g++ {
 		if b.state(g) != stateMigrated {
 			return g
 		}
@@ -207,7 +256,8 @@ func (b *Bitmap) RestoreMigrated(key []byte) { b.RestoreMigratedGranule(GranuleF
 // SnapshotMigrated implements Tracker: fn receives every migrated granule's
 // key, in granule order.
 func (b *Bitmap) SnapshotMigrated(fn func(key []byte)) {
-	for g := int64(0); g < b.granules; g++ {
+	n := b.granules.Load()
+	for g := int64(0); g < n; g++ {
 		if b.state(g) == stateMigrated {
 			fn(GranuleKey(g))
 		}

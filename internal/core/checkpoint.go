@@ -121,8 +121,11 @@ func (cp *Checkpointer) CheckpointNow(ctx context.Context) (wal.CheckpointMeta, 
 		cw.Abort()
 		return fail(err)
 	}
-	for _, name := range installs {
-		if err := cw.Append(wal.Record{Type: wal.RecInstall, Table: name}); err != nil {
+	// Install history, metadata included: a recovery bounded by this
+	// checkpoint rebuilds the schema version registry from these records
+	// alone, so the sidecar must carry everything the live markers did.
+	for _, in := range installs {
+		if err := cw.Append(wal.Record{Type: wal.RecInstall, Table: in.Name, Key: in.Meta}); err != nil {
 			return failw(err)
 		}
 	}

@@ -73,9 +73,18 @@ type StmtRuntime struct {
 	groupOrds    []int        // driving-table ordinals of the group key
 	seedTbl      *catalog.Table
 	seedOrds     []int
-	complete     atomic.Bool
-	completeAt   atomic.Int64 // unix nanos
-	stats        statCounters
+	// upstream is the runtime producing this statement's driving table when
+	// the driving table is itself a still-migrating output (a chained
+	// migration, v2→v3 while v1→v2 backfills). Lazy ensures first pull the
+	// relevant rows through the upstream runtime; this runtime cannot
+	// complete before upstream does.
+	upstream   *StmtRuntime
+	complete   atomic.Bool
+	completeAt atomic.Int64 // unix nanos
+	stats      statCounters
+	// bgOwned marks that a Background pool already owns this runtime, so the
+	// pool started for a chained migration skips the earlier chain entries.
+	bgOwned atomic.Bool
 
 	// Progress-rate window for ProgressReport's ETA (see progress.go).
 	progMu    sync.Mutex
@@ -86,6 +95,27 @@ type StmtRuntime struct {
 
 // Complete reports whether every granule/group of this statement migrated.
 func (rt *StmtRuntime) Complete() bool { return rt.complete.Load() }
+
+// upstreamDone reports whether this runtime's driving table has reached its
+// final extent: either it was frozen by the big flip (no upstream), or the
+// upstream statement producing it has completed.
+func (rt *StmtRuntime) upstreamDone() bool {
+	return rt.upstream == nil || rt.upstream.complete.Load()
+}
+
+// syncBitmapSize grows a chained statement's bitmap to the driving heap's
+// final size once upstream completed (the heap is frozen from then on: the
+// input is retired, so only upstream migration transactions could append).
+// The appended granules start unmigrated; their rows may already exist in
+// the outputs from pass-through transforms, which the unique-index dedup
+// absorbs when they migrate again. No-op for hash runtimes and while the
+// upstream is still filling the heap.
+func (rt *StmtRuntime) syncBitmapSize() {
+	if rt.bitmap == nil || !rt.upstreamDone() {
+		return
+	}
+	rt.bitmap.Grow(rt.drivingTbl.Heap.NumSlots())
+}
 
 // Stats returns a snapshot of the runtime's counters.
 func (rt *StmtRuntime) Stats() Stats { return rt.stats.snapshot() }
@@ -116,8 +146,14 @@ type Controller struct {
 	// granules (line 10's re-check loop).
 	backoff time.Duration
 
-	mu       sync.RWMutex
-	mig      *Migration
+	mu sync.RWMutex
+	// migs is the active migration chain, in Start order. One entry is the
+	// paper's deployment model; later entries are chained migrations whose
+	// driving tables may be earlier entries' still-backfilling outputs
+	// (v1→v2→v3 with v2 incomplete). cleaned counts the prefix of migs whose
+	// end-of-migration cleanup (DropInputsOnComplete) already ran.
+	migs     []*Migration
+	cleaned  int
 	runtimes []*StmtRuntime
 	byOutput map[string]*StmtRuntime
 	retired  map[string]bool
@@ -220,29 +256,41 @@ func norm(s string) string { return strings.ToLower(s) }
 // are retired (the big flip), trackers are allocated, and the engine hook is
 // installed. The new schema is active the moment Start returns — no data has
 // moved yet.
+//
+// A second Start while a migration is active is accepted when the new
+// migration chains cleanly onto the active one: its outputs are fresh tables
+// and each driving table is either untouched by the active chain or an
+// active statement's still-backfilling output (which the new migration must
+// retire). Anything else — re-driving a table an incomplete statement
+// already drives, or writing an output some statement owns — returns
+// ErrMigrationActive: Reset the chain first.
 func (c *Controller) Start(m *Migration) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.mig != nil {
-		return fmt.Errorf("%w: %q", ErrMigrationActive, c.mig.Name)
+	if err := c.checkChainConflicts(m); err != nil {
+		return err
 	}
 	if m.Setup != "" {
-		// Exec's summary includes re-acquiring c.mu (the lazy-migration hook
-		// calls back into the controller), but the hook is only installed at
-		// the end of Start, after this Exec returns, so setup DDL cannot
-		// re-enter.
-		//lint:ignore lockflow the migration hook that re-enters the controller is installed after setup DDL runs
-		if _, err := c.db.Exec(m.Setup); err != nil {
+		// runSetup's summary includes re-acquiring c.mu (the lazy-migration
+		// hook calls back into the controller), but the hook paths cannot
+		// re-enter here: for a first migration the hook is only installed at
+		// the end of Start, and for a chained one the setup DDL is pure DDL
+		// over fresh tables, which never reaches an ensure path.
+		//lint:ignore lockflow the migration hook that re-enters the controller cannot fire during setup DDL
+		if err := c.runSetup(m.Setup); err != nil {
 			return fmt.Errorf("core: migration setup: %w", err)
 		}
 	}
 	var runtimes []*StmtRuntime
 	byOutput := map[string]*StmtRuntime{}
+	for k, rt := range c.byOutput {
+		byOutput[k] = rt
+	}
 	for _, stmt := range m.Statements {
-		rt, err := c.buildRuntime(stmt)
+		rt, err := c.buildRuntime(stmt, m, byOutput)
 		if err != nil {
 			return err
 		}
@@ -269,7 +317,7 @@ func (c *Controller) Start(m *Migration) error {
 		// their snapshot pinned and nothing drains. (The eager and multi-step
 		// baselines still flip under the gate; see eager.go.)
 		installStart := time.Now()
-		if _, err := c.db.InstallCatalogVersion(m.Name, m.RetireInputs); err != nil {
+		if _, err := c.db.InstallCatalogVersion(m.Name, m.VersionMeta, m.RetireInputs); err != nil {
 			c.tr.Finish(sp) // migration never activated; don't leave the span live
 			return fmt.Errorf("core: installing catalog version: %w", err)
 		}
@@ -282,11 +330,19 @@ func (c *Controller) Start(m *Migration) error {
 		c.migSpan.Store(sp)
 		c.tr.Event(trace.EvMigrationStart, sp.ID(), int64(len(m.Statements)), m.Name)
 	}
-	c.mig = m
-	c.runtimes = runtimes
+	if len(c.migs) == 0 {
+		c.startedAt = time.Now()
+	}
+	c.migs = append(c.migs, m)
+	c.runtimes = append(c.runtimes, runtimes...)
 	c.byOutput = byOutput
-	c.startedAt = time.Now()
-	c.done = make(chan struct{})
+	// A chained Start reopens a chain whose earlier migrations already
+	// completed: fresh done channel, completion clock rewound.
+	if c.done == nil || c.completedAt.Load() != 0 {
+		c.done = make(chan struct{})
+	}
+	c.completedAt.Store(0)
+	c.completionErr = nil
 	if !c.shadow {
 		c.db.SetMigrationHook(c)
 	}
@@ -296,7 +352,94 @@ func (c *Controller) Start(m *Migration) error {
 	return nil
 }
 
-func (c *Controller) buildRuntime(stmt *Statement) (*StmtRuntime, error) {
+// checkChainConflicts decides whether m may start given the active chain
+// (caller holds c.mu). The rule: a chained migration must not re-drive a
+// table an incomplete statement already drives, and must not target an
+// output some active statement owns.
+func (c *Controller) checkChainConflicts(m *Migration) error {
+	if len(c.migs) == 0 {
+		return nil
+	}
+	active := c.migs[len(c.migs)-1].Name
+	for _, rt := range c.runtimes {
+		if rt.complete.Load() {
+			continue
+		}
+		for _, stmt := range m.Statements {
+			if norm(drivingTableName(stmt)) == norm(rt.drivingTbl.Def.Name) {
+				return fmt.Errorf("%w: %q (statement %q drives %q, still migrating)",
+					ErrMigrationActive, active, rt.Stmt.Name, rt.drivingTbl.Def.Name)
+			}
+		}
+	}
+	for _, stmt := range m.Statements {
+		for _, out := range stmt.Outputs {
+			if c.byOutput[norm(out.Table)] != nil {
+				return fmt.Errorf("%w: %q (output %q is owned by an active statement)",
+					ErrMigrationActive, active, out.Table)
+			}
+		}
+	}
+	return nil
+}
+
+// runSetup executes migration setup DDL statement by statement, skipping
+// CREATE TABLE for tables that already exist (and the indexes/views layered
+// on them). That makes setup replay idempotent: recovery re-runs a completed
+// migration's Start against a schema script that may already contain the
+// new-version tables, and a generated inverse migration re-creates input
+// tables that were never dropped — neither may fail with a duplicate-table
+// error.
+func (c *Controller) runSetup(setup string) error {
+	stmts, err := sql.Parse(setup)
+	if err != nil {
+		return err
+	}
+	existing := map[string]bool{}
+	for _, s := range stmts {
+		switch st := s.(type) {
+		case *sql.CreateTableStmt:
+			if c.db.Catalog().HasTable(st.Name) {
+				existing[norm(st.Name)] = true
+				continue
+			}
+		case *sql.CreateIndexStmt:
+			if existing[norm(st.Table)] {
+				continue // the pre-existing table carries its indexes already
+			}
+		case *sql.CreateViewStmt:
+			if c.db.Catalog().HasView(st.Name) {
+				continue
+			}
+		}
+		tx := c.db.Begin()
+		if _, err := c.db.ExecStmt(tx, s); err != nil {
+			_ = c.db.Abort(tx)
+			return err
+		}
+		if err := c.db.Commit(tx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drivingTableName resolves a statement's driving alias to the underlying
+// table name through the first output's FROM clause.
+func drivingTableName(stmt *Statement) string {
+	for _, ref := range stmt.Outputs[0].Def.From {
+		if norm(ref.AliasOrName()) == norm(stmt.Driving) {
+			return ref.Name
+		}
+	}
+	return stmt.Driving
+}
+
+// buildRuntime constructs the live state for one statement of migration m.
+// byOutput is the merged output→runtime map accumulated so far (active chain
+// plus m's earlier statements); a driving table found there is a chained
+// input and links the new runtime to its upstream producer.
+func (c *Controller) buildRuntime(stmt *Statement, m *Migration, byOutput map[string]*StmtRuntime) (*StmtRuntime, error) {
 	rt := &StmtRuntime{ctrl: c, Stmt: stmt, drivingAlias: norm(stmt.Driving)}
 	// Resolve the driving table through the first output's FROM clause.
 	first := stmt.Outputs[0].Def
@@ -312,14 +455,39 @@ func (c *Controller) buildRuntime(stmt *Statement) (*StmtRuntime, error) {
 	if rt.drivingTbl == nil {
 		return nil, fmt.Errorf("core: statement %q: cannot resolve driving table %q", stmt.Name, stmt.Driving)
 	}
+	if up := byOutput[norm(rt.drivingTbl.Def.Name)]; up != nil && !up.complete.Load() {
+		// Chained input: the driving table is still being filled by an
+		// earlier statement. Two preconditions keep that sound: the input
+		// must be retired (so only upstream migration transactions write it
+		// — a granule ensured here can only gain rows through the upstream
+		// ensures we issue first), and every output needs a unique index
+		// (pass-through transforms before upstream completes dedup there).
+		retired := false
+		for _, name := range m.RetireInputs {
+			if norm(name) == norm(rt.drivingTbl.Def.Name) {
+				retired = true
+			}
+		}
+		if !retired {
+			return nil, fmt.Errorf("core: statement %q: chained driving table %q must be in RetireInputs while %q is still migrating",
+				stmt.Name, rt.drivingTbl.Def.Name, up.Stmt.Name)
+		}
+		rt.upstream = up
+	}
 	for _, out := range stmt.Outputs {
 		tbl, err := c.db.Catalog().Table(out.Table)
 		if err != nil {
 			return nil, fmt.Errorf("core: statement %q: output %w (create it in Migration.Setup)", stmt.Name, err)
 		}
 		rt.outputs = append(rt.outputs, outputRuntime{spec: out, tbl: tbl})
-		if c.mode == DetectOnInsert && len(tbl.UniqueIndexes()) == 0 {
-			return nil, fmt.Errorf("core: on-conflict mode requires a unique index on output %q (§3.7)", out.Table)
+		if len(tbl.UniqueIndexes()) == 0 {
+			if c.mode == DetectOnInsert {
+				return nil, fmt.Errorf("core: on-conflict mode requires a unique index on output %q (§3.7)", out.Table)
+			}
+			if rt.upstream != nil && stmt.Category.UsesBitmap() {
+				return nil, fmt.Errorf("core: chained statement %q requires a unique index on output %q (pass-through rows dedup there)",
+					stmt.Name, out.Table)
+			}
 		}
 	}
 	if stmt.Category.UsesBitmap() {
@@ -417,18 +585,27 @@ func (c *Controller) prevalidateUnique(rt *StmtRuntime) error {
 // per day). It fails while data is still moving.
 func (c *Controller) Reset() error {
 	if !c.Complete() {
-		return fmt.Errorf("core: cannot reset: migration %q is still in progress", c.mig.Name)
+		name := ""
+		c.mu.RLock()
+		if len(c.migs) > 0 {
+			name = c.migs[len(c.migs)-1].Name
+		}
+		c.mu.RUnlock()
+		return fmt.Errorf("core: cannot reset: migration %q is still in progress", name)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.mig == nil {
+	if len(c.migs) == 0 {
 		return nil
 	}
 	c.db.SetMigrationHook(nil)
-	// Un-retire any inputs the flip's catalog install marked (inputs already
+	// Un-retire any inputs the flips' catalog installs marked (inputs already
 	// dropped at completion carry no mark; ClearRetired ignores them).
-	c.db.Catalog().ClearRetired(c.mig.RetireInputs...)
-	c.mig = nil
+	for _, m := range c.migs {
+		c.db.Catalog().ClearRetired(m.RetireInputs...)
+	}
+	c.migs = nil
+	c.cleaned = 0
 	c.runtimes = nil
 	c.byOutput = map[string]*StmtRuntime{}
 	c.retired = map[string]bool{}
@@ -440,11 +617,22 @@ func (c *Controller) Reset() error {
 	return nil
 }
 
-// Migration returns the active migration, or nil.
+// Migration returns the most recently started migration of the active chain,
+// or nil.
 func (c *Controller) Migration() *Migration {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.mig
+	if len(c.migs) == 0 {
+		return nil
+	}
+	return c.migs[len(c.migs)-1]
+}
+
+// Migrations returns the active migration chain in Start order.
+func (c *Controller) Migrations() []*Migration {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]*Migration(nil), c.migs...)
 }
 
 // Runtimes returns the active statement runtimes.
@@ -472,7 +660,7 @@ func (c *Controller) IsRetired(table string) bool {
 func (c *Controller) Complete() bool {
 	c.mu.RLock()
 	rts := c.runtimes
-	active := c.mig != nil
+	active := len(c.migs) > 0
 	c.mu.RUnlock()
 	if !active {
 		return true
@@ -509,6 +697,12 @@ func (c *Controller) StartedAt() time.Time {
 // AwaitMigration waiters surface it even when the completing worker is a
 // background goroutine with no caller.
 func (c *Controller) markRuntimeComplete(rt *StmtRuntime) error {
+	if rt.upstream != nil && !rt.upstream.complete.Load() {
+		// A chained runtime's driving table is still being filled upstream;
+		// whatever looks "complete" now can still gain rows. The completion
+		// check re-fires once upstream finishes.
+		return nil
+	}
 	if !rt.complete.CompareAndSwap(false, true) {
 		return nil
 	}
@@ -530,14 +724,24 @@ func (c *Controller) markRuntimeComplete(rt *StmtRuntime) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var err error
-	if c.mig != nil && c.mig.DropInputsOnComplete {
-		for _, name := range c.mig.RetireInputs {
+	dropped := false
+	// Per-migration cleanup over the uncleaned suffix of the chain, so a
+	// chained Start after a completed migration does not re-drop its inputs.
+	for ; c.cleaned < len(c.migs); c.cleaned++ {
+		m := c.migs[c.cleaned]
+		if !m.DropInputsOnComplete {
+			continue
+		}
+		for _, name := range m.RetireInputs {
 			// DropTable clears the head version's retire mark with the table.
 			if derr := c.db.Catalog().DropTable(name); derr != nil {
 				err = errors.Join(err, fmt.Errorf("core: end-of-migration drop of %q: %w", name, derr))
 			}
 			delete(c.retired, norm(name))
+			dropped = true
 		}
+	}
+	if dropped {
 		// The drops bypassed the SQL DDL path; cached plans may still
 		// reference the dropped tables.
 		c.db.InvalidatePlans()
@@ -801,6 +1005,28 @@ func (rt *StmtRuntime) noteCollision(ctx context.Context, busy int) {
 // migrated tuples to the lazy or background counter. It returns how many
 // relevant granules were busy (in progress by other workers).
 func (rt *StmtRuntime) bitmapPass(ctx context.Context, pred expr.Expr, directGranules []int64, background bool) (busy int, err error) {
+	if rt.upstream != nil {
+		if !rt.upstream.complete.Load() {
+			if directGranules != nil {
+				// Background sweeps stay parked while upstream is still
+				// filling the driving heap (background.go gates on
+				// upstreamDone); a direct-granule pass that raced the gate
+				// has nothing sound to do yet.
+				return 0, nil
+			}
+			// Pull the relevant slice of the driving table through the
+			// upstream statement first: the predicate is already in the
+			// driving table's column language, which is exactly an output
+			// predicate for the upstream runtime.
+			if err := rt.ctrl.ensureMigrated(ctx, rt.upstream, rt.drivingTbl.Def.Name, pred); err != nil {
+				return 0, err
+			}
+			if !rt.upstream.complete.Load() {
+				return 0, rt.passThrough(ctx, pred, background)
+			}
+		}
+		rt.syncBitmapSize()
+	}
 	tx := rt.ctrl.beginMigTxn(ctx)
 	finished := false
 	var wip []int64
@@ -921,11 +1147,56 @@ func (rt *StmtRuntime) markGranuleMigrated(g int64) {
 }
 
 // checkBitmapComplete runs the end-of-migration step when the bitmap filled;
-// the returned error is the cleanup failure from markRuntimeComplete.
+// the returned error is the cleanup failure from markRuntimeComplete. A
+// chained runtime first syncs its bitmap to the frozen heap — before the
+// upstream statement completes, a full-looking bitmap proves nothing (the
+// heap can still grow) and completion is deferred.
 func (rt *StmtRuntime) checkBitmapComplete() error {
+	if !rt.upstreamDone() {
+		return nil
+	}
+	rt.syncBitmapSize()
 	if rt.bitmap.Complete() {
 		return rt.ctrl.markRuntimeComplete(rt)
 	}
+	return nil
+}
+
+// passThrough makes the client's view of a chained bitmap statement correct
+// while the upstream statement is still filling the driving table: the
+// driving rows matching pred (just pulled through upstream) are transformed
+// directly, with no granule claims and no durable marks — the required
+// unique index on every output dedups re-transforms. Durable progress
+// restarts from scratch once upstream completes and the bitmap grows to the
+// frozen heap; each granule then migrates exactly once, deduping against
+// pass-through-era rows the same way.
+func (rt *StmtRuntime) passThrough(ctx context.Context, pred expr.Expr, background bool) error {
+	tx := rt.ctrl.beginMigTxn(ctx)
+	committed := false
+	defer func() {
+		if !committed {
+			rt.ctrl.abortMigTxn(tx)
+		}
+	}()
+	_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.drivingTbl, rt.drivingAlias, pred)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		rt.ctrl.abortMigTxn(tx)
+		committed = true
+		return nil
+	}
+	inserted := 0
+	if err := rt.transform(tx, rows, &inserted); err != nil {
+		return err
+	}
+	if err := rt.ctrl.commitMigTxn(tx); err != nil {
+		return err
+	}
+	committed = true
+	rt.stats.transforms.Add(1)
+	rt.attributeTuples(inserted, background)
 	return nil
 }
 
@@ -957,9 +1228,13 @@ func (rt *StmtRuntime) transform(tx *txn.Txn, drivingRows []types.Row, outputsIn
 		return err
 	}
 	conflict := sql.ConflictError
-	if rt.ctrl.mode == DetectOnInsert || rt.ctrl.trackingDisabled.Load() {
+	if rt.ctrl.mode == DetectOnInsert || rt.ctrl.trackingDisabled.Load() ||
+		(rt.upstream != nil && rt.bitmap != nil) {
 		// Without tracking there is no exactly-once guarantee to assert;
 		// duplicated work must dedup at the unique index (§3.7 semantics).
+		// Chained bitmap statements keep this forever: rows inserted by
+		// pass-through transforms (before upstream completed) collide with
+		// the post-freeze granule migration of the same rows.
 		conflict = sql.ConflictDoNothing
 	}
 	for _, out := range rt.outputs {
@@ -1045,6 +1320,34 @@ func (c *Controller) ProgressTables() []obs.TableProgress {
 // migrateHashPredSeeded is migrateHashPred that additionally discovers
 // candidate groups from the seed (secondary) table when seedScan is set.
 func (rt *StmtRuntime) migrateHashPredSeeded(ctx context.Context, pred, seedPred expr.Expr, seedScan bool) error {
+	if rt.upstream != nil && !rt.upstream.complete.Load() {
+		// Chained hash statement with the driving table still filling: groups
+		// must be fully materialized before they are claimed (an aggregate
+		// computed over a partial group would be durably wrong), so discovery
+		// and per-group upstream ensures happen up front and the hashPass
+		// below runs over explicit keys only.
+		keys, err := rt.chainedGroupKeys(ctx, pred)
+		if err != nil {
+			return err
+		}
+		if len(keys) == 0 {
+			return nil
+		}
+		for {
+			busy, err := rt.hashPass(ctx, nil, keys, false)
+			if err != nil {
+				return err
+			}
+			if busy == 0 {
+				return nil
+			}
+			rt.stats.skipWaits.Add(1)
+			rt.noteCollision(ctx, busy)
+			if err := sleepCtx(ctx, rt.ctrl.backoff); err != nil {
+				return err
+			}
+		}
+	}
 	var directKeys [][]byte
 	if seedScan && rt.seedTbl != nil {
 		tx := rt.ctrl.db.Begin()
@@ -1090,6 +1393,47 @@ func (rt *StmtRuntime) migrateHashPredSeeded(ctx context.Context, pred, seedPred
 	}
 }
 
+// chainedGroupKeys prepares a chained hash statement's lazy migration: it
+// ensures the upstream statement has materialized every driving row matching
+// pred, discovers the matching group keys, then ensures each discovered
+// group's full extent through upstream (the group may contain rows outside
+// pred). After this, the returned groups are complete and frozen — upstream's
+// claim protocol guarantees their source granules never re-produce — so the
+// caller's hashPass can claim and durably mark them.
+func (rt *StmtRuntime) chainedGroupKeys(ctx context.Context, pred expr.Expr) ([][]byte, error) {
+	driving := rt.drivingTbl.Def.Name
+	if err := rt.ctrl.ensureMigrated(ctx, rt.upstream, driving, pred); err != nil {
+		return nil, err
+	}
+	tx := rt.ctrl.db.Begin()
+	tx.SetContext(ctx)
+	_, rows, err := rt.ctrl.db.ScanForWrite(tx, rt.drivingTbl, rt.drivingAlias, pred)
+	tx.Abort()
+	if err != nil {
+		return nil, err
+	}
+	var keys [][]byte
+	seen := map[string]bool{}
+	for _, row := range rows {
+		k := rt.groupKeyOf(row)
+		if !seen[string(k)] {
+			seen[string(k)] = true
+			keys = append(keys, k)
+		}
+	}
+	for _, k := range keys {
+		keyRow, err := types.DecodeKey(k)
+		if err != nil {
+			return nil, err
+		}
+		groupPred := rt.equalityPred(rt.drivingTbl, rt.Stmt.GroupBy, keyRow)
+		if err := rt.ctrl.ensureMigrated(ctx, rt.upstream, driving, groupPred); err != nil {
+			return nil, err
+		}
+	}
+	return keys, nil
+}
+
 // EnsureGroupMigrated migrates (or waits for) the single group identified by
 // groupKey — the fast path for post-flip writers that maintain an aggregate
 // or denormalized table (paper §4.2, §4.3).
@@ -1116,6 +1460,15 @@ func (c *Controller) EnsureGroupMigratedContext(ctx context.Context, outputTable
 	}
 	start := time.Now()
 	defer func() { c.obsMig().EnsureLatency.ObserveSince(start) }()
+	if rt.upstream != nil && !rt.upstream.complete.Load() {
+		// The group must be fully materialized before it is claimed: pull its
+		// whole extent through the upstream statement first (see
+		// chainedGroupKeys for why partial groups cannot be marked).
+		groupPred := rt.equalityPred(rt.drivingTbl, rt.Stmt.GroupBy, groupKey)
+		if err := c.ensureMigrated(ctx, rt.upstream, rt.drivingTbl.Def.Name, groupPred); err != nil {
+			return err
+		}
+	}
 	for {
 		busy, err := rt.hashPass(ctx, nil, [][]byte{types.EncodeKey(nil, groupKey)}, false)
 		if err != nil {

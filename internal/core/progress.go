@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"time"
 )
 
@@ -16,6 +17,12 @@ type TableProgressReport struct {
 	Progress     float64 `json:"progress"`
 	RowsMigrated int64   `json:"rows_migrated"`
 	Complete     bool    `json:"complete"`
+	// Done reports the boundary where every granule is migrated but the
+	// controller has not finished swapping the runtime to complete yet
+	// (Complete implies Done; Done does not imply Complete). Callers
+	// rendering ETAs should treat Done as "0s left" rather than trusting
+	// the rate window, which has no remaining work to measure.
+	Done bool `json:"done,omitempty"`
 	// RatePerSec is an EWMA of granules (or groups) migrated per second,
 	// sampled between ProgressReport calls.
 	RatePerSec float64 `json:"rate_per_sec"`
@@ -27,7 +34,13 @@ type TableProgressReport struct {
 // ProgressReport is the live migration progress surface behind
 // bullfrog.DB.MigrationProgress and the shell's \top view.
 type ProgressReport struct {
-	Active    bool                  `json:"active"`
+	Active bool `json:"active"`
+	// Done reports that a migration was registered and every statement has
+	// completed (done==total everywhere) even if the controller has not been
+	// Reset yet — the "just finished" boundary where per-table rates would
+	// otherwise yield garbage ETAs. In that window every table reports
+	// ETASeconds=0 and Progress=1 instead of whatever the rate window says.
+	Done      bool                  `json:"done,omitempty"`
 	Name      string                `json:"name,omitempty"`
 	StartedAt time.Time             `json:"started_at,omitempty"`
 	Workers   int64                 `json:"workers"`
@@ -56,6 +69,13 @@ func (rt *StmtRuntime) sampleRate(now time.Time, migrated int64) float64 {
 		return rt.progRate
 	}
 	inst := float64(migrated-rt.progCount) / dt.Seconds()
+	// Clamp the instantaneous sample: a non-monotonic count (recovery
+	// re-seeding the tracker) or a degenerate clock delta would otherwise
+	// poison the EWMA with a negative/NaN/Inf rate that every later sample
+	// inherits.
+	if inst < 0 || math.IsNaN(inst) || math.IsInf(inst, 0) {
+		inst = 0
+	}
 	if rt.progRate == 0 {
 		rt.progRate = inst
 	} else {
@@ -71,7 +91,10 @@ func (rt *StmtRuntime) sampleRate(now time.Time, migrated int64) float64 {
 // long gap still yields a meaningful average since the last call.
 func (c *Controller) ProgressReport() ProgressReport {
 	c.mu.RLock()
-	mig := c.mig
+	var mig *Migration
+	if len(c.migs) > 0 {
+		mig = c.migs[len(c.migs)-1]
+	}
 	started := c.startedAt
 	rts := append([]*StmtRuntime(nil), c.runtimes...)
 	c.mu.RUnlock()
@@ -82,6 +105,10 @@ func (c *Controller) ProgressReport() ProgressReport {
 	if mig == nil {
 		return rep
 	}
+	// Just-completed boundary: every statement is done but the controller has
+	// not been Reset. The rate windows have nothing left to measure, so flag
+	// the whole report Done; the per-table loop below pins ETAs to 0.
+	rep.Done = c.completedAt.Load() != 0
 	rep.Active, rep.Name, rep.StartedAt = true, mig.Name, started
 	now := time.Now()
 	for _, rt := range rts {
@@ -104,10 +131,17 @@ func (c *Controller) ProgressReport() ProgressReport {
 			t.Progress = 1
 		}
 		t.RatePerSec = rt.sampleRate(now, t.Migrated)
-		if t.Complete {
-			t.ETASeconds = 0
-		} else if t.Total > 0 && t.RatePerSec > 0 {
+		t.Done = t.Complete || (t.Total >= 0 && t.Migrated >= t.Total)
+		switch {
+		case t.Done:
+			// done==total (or fully complete): zero time left by definition,
+			// regardless of what the rate window says.
+			t.Progress, t.ETASeconds = 1, 0
+		case t.Total > 0 && t.RatePerSec > 0:
 			t.ETASeconds = float64(t.Total-t.Migrated) / t.RatePerSec
+			if t.ETASeconds < 0 || math.IsNaN(t.ETASeconds) || math.IsInf(t.ETASeconds, 0) {
+				t.ETASeconds = -1
+			}
 		}
 		rep.Tables = append(rep.Tables, t)
 	}

@@ -154,6 +154,11 @@ type Migration struct {
 	// pure lazy migration only discovers such conflicts after the new schema
 	// is live (rows are then dropped with a warning counter).
 	PrevalidateUnique bool
+	// VersionMeta is opaque metadata recorded with the migration's install
+	// marker (WAL and checkpoint sidecar) and surfaced by the engine's install
+	// history. The facade stores the encoded schema version here so the
+	// version registry survives crashes checkpoint-bounded.
+	VersionMeta []byte
 }
 
 // Validate performs structural checks on the whole migration.

@@ -72,7 +72,17 @@ type DB struct {
 	// which migration was active (install markers in deleted segments would
 	// otherwise be lost).
 	installMu sync.Mutex
-	installs  []string
+	installs  []InstallRecord
+}
+
+// InstallRecord is one entry of the catalog-install history: the migration
+// name plus the opaque version metadata the layer above attached (the schema
+// version registry's encoded SchemaVersion). Meta rides the WAL install
+// marker's Key field and the checkpoint sidecar, so the history — including
+// metadata — is rebuilt by recovery.
+type InstallRecord struct {
+	Name string
+	Meta []byte
 }
 
 // New creates an empty database.
@@ -146,10 +156,13 @@ func (db *DB) catForTxn(tx *txn.Txn) *catalog.Version {
 // migration's Start on recovery (§3.5). The whole sequence runs inside the
 // commit fence so a checkpoint's rotation cannot split the marker from the
 // published version or the recorded install history.
-func (db *DB) InstallCatalogVersion(name string, retire []string) (uint64, error) {
+// The marker's Key carries meta — opaque version metadata recorded in the
+// install history (nil is fine; the registry layer encodes a SchemaVersion
+// there).
+func (db *DB) InstallCatalogVersion(name string, meta []byte, retire []string) (uint64, error) {
 	release := db.enterCommit()
 	defer release()
-	if err := db.log.Append(wal.Record{Type: wal.RecInstall, Table: name}); err != nil {
+	if err := db.log.Append(wal.Record{Type: wal.RecInstall, Table: name, Key: meta}); err != nil {
 		return 0, fmt.Errorf("engine: logging catalog install: %w: %w", ErrWALAppend, err)
 	}
 	if err := db.log.Flush(); err != nil {
@@ -163,16 +176,27 @@ func (db *DB) InstallCatalogVersion(name string, retire []string) (uint64, error
 		return 0, err
 	}
 	db.installMu.Lock()
-	db.installs = append(db.installs, name)
+	db.installs = append(db.installs, InstallRecord{Name: name, Meta: meta})
 	db.installMu.Unlock()
+	// Each install extends the version chain; cut everything no active
+	// snapshot can still see so a flip ping-pong loop (migrate, reset,
+	// migrate, ...) keeps catalog.versions_live bounded instead of growing
+	// one version per flip until the next explicit Vacuum. The immediate
+	// predecessor is always kept — transactions that begin between the
+	// install and this prune still resolve the pre-flip schema.
+	horizon := db.tm.OldestActiveSnapshot()
+	if seq > 0 && seq-1 < horizon {
+		horizon = seq - 1
+	}
+	db.cat.Prune(horizon)
 	return seq, nil
 }
 
 // InstallHistory returns the catalog installs published so far, in order.
-func (db *DB) InstallHistory() []string {
+func (db *DB) InstallHistory() []InstallRecord {
 	db.installMu.Lock()
 	defer db.installMu.Unlock()
-	return append([]string(nil), db.installs...)
+	return append([]InstallRecord(nil), db.installs...)
 }
 
 // WAL exposes the redo logger.

@@ -16,11 +16,13 @@ type RecoverStats struct {
 	Updates       int
 	Deletes       int
 	Migrated      int
-	// Installs lists, in log order, the migration names whose catalog-version
-	// install marker reached the log. The last entry identifies the migration
-	// that was active at the crash: recovery re-runs its Start (DDL is not
-	// logged) and then replays RecMigrated records into its trackers (§3.5).
-	Installs []string
+	// Installs lists, in log order, the install markers (migration name plus
+	// version metadata) that reached the log. The last entry identifies the
+	// migration that was active at the crash: recovery re-runs its Start (DDL
+	// is not logged) and then replays RecMigrated records into its trackers
+	// (§3.5). Replayed markers also rebuild the in-memory install history, so
+	// the schema version registry survives the crash.
+	Installs []InstallRecord
 	// FromCheckpoint reports whether a checkpoint snapshot seeded the replay
 	// (RecoverFrom only).
 	FromCheckpoint bool
@@ -165,7 +167,7 @@ func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker
 			// Install markers are transaction-less (XID 0): the flip was
 			// published iff the marker reached the log, because the marker is
 			// flushed before the version is installed.
-			stats.Installs = append(stats.Installs, rec.Table)
+			stats.Installs = append(stats.Installs, installRec(rec))
 			return nil
 		}
 		if !committed[rec.XID] {
@@ -180,7 +182,39 @@ func (db *DB) Recover(readLog func() (io.Reader, error), onMigrated func(tracker
 	if err := tx.Commit(); err != nil {
 		return stats, err
 	}
+	db.mergeInstallHistory(stats.Installs)
 	return stats, nil
+}
+
+// installRec lifts a WAL install marker into an InstallRecord (the Key field
+// carries the opaque version metadata).
+func installRec(rec wal.Record) InstallRecord {
+	return InstallRecord{Name: rec.Table, Meta: append([]byte(nil), rec.Key...)}
+}
+
+// mergeInstallHistory rebuilds the in-memory install history from replayed
+// markers. Durable markers win: an entry re-created in memory by re-running
+// the active migration's Start before recovery (the documented call order)
+// carries a fresh timestamp/metadata, and the logged marker is the version
+// of record. Entries with no surviving marker (the flip raced the crash)
+// keep their re-created form, appended after the durable prefix.
+func (db *DB) mergeInstallHistory(replayed []InstallRecord) {
+	if len(replayed) == 0 {
+		return
+	}
+	seen := make(map[string]bool, len(replayed))
+	for _, r := range replayed {
+		seen[r.Name] = true
+	}
+	db.installMu.Lock()
+	merged := append([]InstallRecord(nil), replayed...)
+	for _, r := range db.installs {
+		if !seen[r.Name] {
+			merged = append(merged, r)
+		}
+	}
+	db.installs = merged
+	db.installMu.Unlock()
 }
 
 // RecoverFrom rebuilds table contents from a recovery source: the checkpoint
@@ -219,7 +253,7 @@ func (db *DB) RecoverFrom(src *wal.RecoverySource, onMigrated func(tracker strin
 			case wal.RecCheckpoint:
 				return nil // header
 			case wal.RecInstall:
-				stats.Installs = append(stats.Installs, rec.Table)
+				stats.Installs = append(stats.Installs, installRec(rec))
 				return nil
 			case wal.RecInsert:
 				insertsBefore++
@@ -253,7 +287,7 @@ func (db *DB) RecoverFrom(src *wal.RecoverySource, onMigrated func(tracker strin
 		case wal.RecBegin, wal.RecCheckpoint:
 			return nil
 		case wal.RecInstall:
-			stats.Installs = append(stats.Installs, rec.Table)
+			stats.Installs = append(stats.Installs, installRec(rec))
 			return nil
 		case wal.RecCommit:
 			stats.CommittedTxns++
@@ -286,6 +320,7 @@ func (db *DB) RecoverFrom(src *wal.RecoverySource, onMigrated func(tracker strin
 	if err := tx.Commit(); err != nil {
 		return stats, err
 	}
+	db.mergeInstallHistory(stats.Installs)
 	return stats, nil
 }
 

@@ -49,6 +49,11 @@ var lockOrder = []lockOrderEdge{
 	},
 	{
 		From: "internal/core.Controller.mu",
+		To:   "internal/core.Bitmap.growMu",
+		Why:  "chained lazy migration grows the downstream bitmap while the controller lock pins the runtime set",
+	},
+	{
+		From: "internal/core.Controller.mu",
 		To:   "internal/core.bitmapChunk.mu",
 		Why:  "EnsureMigrated marks progress bitmap chunks while the controller lock pins the runtime set",
 	},
@@ -243,7 +248,7 @@ var ctxflowScope = []string{"", "internal/core", "internal/engine"}
 // reason.
 var errdropScope = []string{
 	"", "internal/wal", "internal/txn", "internal/core", "internal/engine",
-	"internal/obs", "internal/obs/trace",
+	"internal/obs", "internal/obs/trace", "internal/schemaver",
 }
 
 // errdropWatch are durability- and recovery-path calls whose error may not

@@ -49,6 +49,8 @@ func (s Snapshot) Text() string {
 	writeHist("migration.gate_wait", s.Migration.GateWait)
 	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_workers", s.Migration.BackfillWorkersActive)
 	fmt.Fprintf(&b, "%-28s %d\n", "migration.backfill_batch", s.Migration.BackfillBatchSize)
+	fmt.Fprintf(&b, "%-28s %d\n", "schemaver.versions", s.Migration.SchemaVersions)
+	fmt.Fprintf(&b, "%-28s %d\n", "schemaver.rollbacks", s.Migration.SchemaRollbacks)
 	fmt.Fprintf(&b, "%-28s %d\n", "catalog.versions_live", s.Catalog.VersionsLive)
 	fmt.Fprintf(&b, "%-28s %d\n", "catalog.install_cas_retries", s.Catalog.InstallCASRetries)
 	fmt.Fprintf(&b, "%-28s %d\n", "trace.events_dropped", s.Trace.EventsDropped)

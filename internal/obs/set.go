@@ -115,6 +115,12 @@ type MigrationMetrics struct {
 	// BackfillBatchSize gauges the backfill pool's current adaptive batch
 	// size (granules for bitmap migrations, tuples for hash migrations).
 	BackfillBatchSize Gauge
+	// SchemaVersions counts schema versions recorded in the version registry
+	// (one per lazy migration flip carrying version metadata).
+	SchemaVersions Counter
+	// SchemaRollbacks counts inverse migrations generated and started by the
+	// registry's rollback path.
+	SchemaRollbacks Counter
 }
 
 // CatalogMetrics instruments the multi-versioned catalog.
@@ -217,6 +223,8 @@ type MigrationSnapshot struct {
 	GateWait              HistogramSnapshot `json:"gate_wait"`
 	BackfillWorkersActive int64             `json:"backfill_workers_active"`
 	BackfillBatchSize     int64             `json:"backfill_batch_size"`
+	SchemaVersions        int64             `json:"schema_versions"`
+	SchemaRollbacks       int64             `json:"schema_rollbacks"`
 	Tables                []TableProgress   `json:"tables,omitempty"`
 }
 
@@ -300,6 +308,8 @@ func (s *Set) Snapshot() Snapshot {
 			GateWait:              s.Migration.GateWait.Snapshot(),
 			BackfillWorkersActive: s.Migration.BackfillWorkersActive.Load(),
 			BackfillBatchSize:     s.Migration.BackfillBatchSize.Load(),
+			SchemaVersions:        s.Migration.SchemaVersions.Load(),
+			SchemaRollbacks:       s.Migration.SchemaRollbacks.Load(),
 		}
 	}
 	if s.Catalog != nil {

@@ -1,0 +1,90 @@
+package schemaver
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Compatibility is a migration's compatibility level — a four-point lattice
+// ordered full > forward > backward > breaking:
+//
+//   - full: purely additive. No table is retired; old-schema readers and
+//     writers keep working unchanged (maintained aggregate, §4.2).
+//   - forward: invertible. Tables are retired but every statement is 1:1 or
+//     1:n, so each old tuple's content is recoverable from the outputs and a
+//     mechanical inverse migration exists (column changes, table split).
+//   - backward: data-preserving but not invertible. Every retired table is
+//     read by some statement — its data survives into the new schema — but
+//     an n:1/n:n statement collapses row multiplicity, so rollback is lossy.
+//   - breaking: a retired table is read by no statement; its data is simply
+//     cut off. Rejected unless MigrateOptions.Force is set.
+type Compatibility string
+
+// Compatibility levels.
+const (
+	CompatFull     Compatibility = "full"
+	CompatForward  Compatibility = "forward"
+	CompatBackward Compatibility = "backward"
+	CompatBreaking Compatibility = "breaking"
+)
+
+// Sentinel errors. The facade maps them to *bullfrog.Error codes
+// "schemaver.breaking" and "schemaver.lossy".
+var (
+	// ErrBreaking reports a migration classified breaking (a retired table's
+	// data is not carried forward) submitted without Force.
+	ErrBreaking = errors.New("schemaver: breaking schema change")
+	// ErrLossy reports that no faithful inverse migration exists; the error
+	// message carries the witness (the lost columns or collapsed grouping).
+	ErrLossy = errors.New("schemaver: inverse migration would lose data")
+)
+
+// Classify computes the compatibility level from the retired-table set and
+// the statement shapes (see Compatibility for the lattice).
+func Classify(retired []string, stmts []StatementInfo) Compatibility {
+	if len(retired) == 0 {
+		return CompatFull
+	}
+	read := map[string]bool{}
+	invertible := true
+	for _, s := range stmts {
+		for _, in := range s.Inputs {
+			read[strings.ToLower(in)] = true
+		}
+		if s.Category != "1:1" && s.Category != "1:n" {
+			invertible = false
+		}
+	}
+	for _, r := range retired {
+		if !read[strings.ToLower(r)] {
+			return CompatBreaking
+		}
+	}
+	if invertible {
+		return CompatForward
+	}
+	return CompatBackward
+}
+
+// Validate rejects breaking versions: the caller (the facade's Migrate path)
+// runs it before the flip unless the user forced the migration through.
+func Validate(v *Version) error {
+	if v.Compatibility != CompatBreaking {
+		return nil
+	}
+	var orphans []string
+	read := map[string]bool{}
+	for _, s := range v.Statements {
+		for _, in := range s.Inputs {
+			read[strings.ToLower(in)] = true
+		}
+	}
+	for _, r := range v.Retired {
+		if !read[strings.ToLower(r)] {
+			orphans = append(orphans, r)
+		}
+	}
+	return fmt.Errorf("%w: migration %q retires %s without migrating its data (use Force to override)",
+		ErrBreaking, v.Migration, strings.Join(orphans, ", "))
+}

@@ -1,0 +1,228 @@
+package schemaver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ColumnChange records one column-level difference. From/To are type names;
+// an added column has From == "", a dropped column has To == "". NotNull is
+// the new definition's nullability (added/retyped columns), so Apply can
+// reconstruct the column.
+type ColumnChange struct {
+	Table   string `json:"table"`
+	Column  string `json:"column"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
+	NotNull bool   `json:"not_null,omitempty"`
+}
+
+// Diff is the structural change set between two schema snapshots.
+// TablesSplit/TablesMerged are derived annotations (heuristic column-overlap
+// lineage between dropped and added tables); the add/drop/column sections are
+// the authoritative change set Apply consumes.
+type Diff struct {
+	TablesAdded        []TableDef     `json:"tables_added,omitempty"`
+	TablesDropped      []string       `json:"tables_dropped,omitempty"`
+	ColumnsAdded       []ColumnChange `json:"columns_added,omitempty"`
+	ColumnsDropped     []ColumnChange `json:"columns_dropped,omitempty"`
+	ColumnsRetyped     []ColumnChange `json:"columns_retyped,omitempty"`
+	ConstraintsChanged []string       `json:"constraints_changed,omitempty"`
+	TablesSplit        []string       `json:"tables_split,omitempty"`
+	TablesMerged       []string       `json:"tables_merged,omitempty"`
+}
+
+// Empty reports whether the diff records no change at all.
+func (d *Diff) Empty() bool {
+	return d == nil || (len(d.TablesAdded) == 0 && len(d.TablesDropped) == 0 &&
+		len(d.ColumnsAdded) == 0 && len(d.ColumnsDropped) == 0 &&
+		len(d.ColumnsRetyped) == 0 && len(d.ConstraintsChanged) == 0)
+}
+
+// String renders the diff for humans (PlanMigration, the shell's \history).
+func (d *Diff) String() string {
+	if d.Empty() {
+		return "no structural change"
+	}
+	var b strings.Builder
+	for _, t := range d.TablesAdded {
+		fmt.Fprintf(&b, "+ table %s (%d columns)\n", t.Name, len(t.Columns))
+	}
+	for _, name := range d.TablesDropped {
+		fmt.Fprintf(&b, "- table %s\n", name)
+	}
+	for _, s := range d.TablesSplit {
+		fmt.Fprintf(&b, "~ split %s\n", s)
+	}
+	for _, s := range d.TablesMerged {
+		fmt.Fprintf(&b, "~ merge %s\n", s)
+	}
+	for _, c := range d.ColumnsAdded {
+		fmt.Fprintf(&b, "+ column %s.%s %s\n", c.Table, c.Column, c.To)
+	}
+	for _, c := range d.ColumnsDropped {
+		fmt.Fprintf(&b, "- column %s.%s %s\n", c.Table, c.Column, c.From)
+	}
+	for _, c := range d.ColumnsRetyped {
+		fmt.Fprintf(&b, "~ column %s.%s %s -> %s\n", c.Table, c.Column, c.From, c.To)
+	}
+	for _, t := range d.ConstraintsChanged {
+		fmt.Fprintf(&b, "~ constraints %s\n", t)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Compute diffs two schema snapshots (old -> new). Table matching is by
+// case-insensitive name; column matching likewise. Output ordering is
+// deterministic (name-sorted).
+func Compute(oldDefs, newDefs []TableDef) *Diff {
+	d := &Diff{}
+	oldBy := indexDefs(oldDefs)
+	newBy := indexDefs(newDefs)
+
+	for _, nt := range sortTables(newDefs) {
+		ot, ok := oldBy[strings.ToLower(nt.Name)]
+		if !ok {
+			d.TablesAdded = append(d.TablesAdded, nt)
+			continue
+		}
+		diffColumns(d, ot, nt)
+		if ot.constraintSig() != nt.constraintSig() {
+			d.ConstraintsChanged = append(d.ConstraintsChanged, nt.Name)
+		}
+	}
+	for _, ot := range sortTables(oldDefs) {
+		if _, ok := newBy[strings.ToLower(ot.Name)]; !ok {
+			d.TablesDropped = append(d.TablesDropped, ot.Name)
+		}
+	}
+	annotateLineage(d, oldBy)
+	return d
+}
+
+func indexDefs(defs []TableDef) map[string]TableDef {
+	m := make(map[string]TableDef, len(defs))
+	for _, t := range defs {
+		m[strings.ToLower(t.Name)] = t
+	}
+	return m
+}
+
+func diffColumns(d *Diff, ot, nt TableDef) {
+	for _, nc := range nt.Columns {
+		oc, ok := ot.Column(nc.Name)
+		switch {
+		case !ok:
+			d.ColumnsAdded = append(d.ColumnsAdded, ColumnChange{
+				Table: nt.Name, Column: nc.Name, To: nc.Type, NotNull: nc.NotNull})
+		case oc.Type != nc.Type:
+			d.ColumnsRetyped = append(d.ColumnsRetyped, ColumnChange{
+				Table: nt.Name, Column: nc.Name, From: oc.Type, To: nc.Type, NotNull: nc.NotNull})
+		}
+	}
+	for _, oc := range ot.Columns {
+		if _, ok := nt.Column(oc.Name); !ok {
+			d.ColumnsDropped = append(d.ColumnsDropped, ColumnChange{
+				Table: nt.Name, Column: oc.Name, From: oc.Type})
+		}
+	}
+}
+
+// annotateLineage derives split/merge annotations: an added table descends
+// from a dropped table when at least half of its columns (and at least one)
+// carry a dropped table's column names. A dropped table feeding two or more
+// added tables is a split; an added table fed by two or more dropped tables
+// is a merge.
+func annotateLineage(d *Diff, oldBy map[string]TableDef) {
+	if len(d.TablesDropped) == 0 || len(d.TablesAdded) == 0 {
+		return
+	}
+	ancestors := map[string][]string{} // added -> dropped names
+	children := map[string][]string{}  // dropped -> added names
+	for _, added := range d.TablesAdded {
+		if len(added.Columns) == 0 {
+			continue
+		}
+		for _, droppedName := range d.TablesDropped {
+			dropped := oldBy[strings.ToLower(droppedName)]
+			overlap := 0
+			for _, c := range added.Columns {
+				if _, ok := dropped.Column(c.Name); ok {
+					overlap++
+				}
+			}
+			if overlap > 0 && overlap*2 >= len(added.Columns) {
+				ancestors[added.Name] = append(ancestors[added.Name], droppedName)
+				children[droppedName] = append(children[droppedName], added.Name)
+			}
+		}
+	}
+	for _, droppedName := range d.TablesDropped {
+		if kids := children[droppedName]; len(kids) >= 2 {
+			sort.Strings(kids)
+			d.TablesSplit = append(d.TablesSplit, fmt.Sprintf("%s -> %s", droppedName, strings.Join(kids, " + ")))
+		}
+	}
+	for _, added := range d.TablesAdded {
+		if anc := ancestors[added.Name]; len(anc) >= 2 {
+			sort.Strings(anc)
+			d.TablesMerged = append(d.TablesMerged, fmt.Sprintf("%s -> %s", strings.Join(anc, " + "), added.Name))
+		}
+	}
+}
+
+// Apply replays a diff's structural sections (table add/drop, column
+// add/drop/retype) onto a snapshot and returns the result, name-sorted.
+// Constraint changes are not replayed — ConstraintsChanged names the table
+// but not the new constraint set. Apply(old, Compute(old, new)) therefore
+// reproduces new up to constraints; the fuzz harness checks exactly this
+// fixed point for 1:1 shapes.
+func Apply(oldDefs []TableDef, d *Diff) []TableDef {
+	if d == nil {
+		return sortTables(oldDefs)
+	}
+	dropped := map[string]bool{}
+	for _, name := range d.TablesDropped {
+		dropped[strings.ToLower(name)] = true
+	}
+	var out []TableDef
+	for _, t := range oldDefs {
+		if dropped[strings.ToLower(t.Name)] {
+			continue
+		}
+		out = append(out, applyColumns(t, d))
+	}
+	out = append(out, d.TablesAdded...)
+	return sortTables(out)
+}
+
+func applyColumns(t TableDef, d *Diff) TableDef {
+	cols := make([]ColumnDef, 0, len(t.Columns))
+	for _, c := range t.Columns {
+		drop := false
+		for _, ch := range d.ColumnsDropped {
+			if strings.EqualFold(ch.Table, t.Name) && strings.EqualFold(ch.Column, c.Name) {
+				drop = true
+				break
+			}
+		}
+		if drop {
+			continue
+		}
+		for _, ch := range d.ColumnsRetyped {
+			if strings.EqualFold(ch.Table, t.Name) && strings.EqualFold(ch.Column, c.Name) {
+				c.Type = ch.To
+				c.NotNull = ch.NotNull
+			}
+		}
+		cols = append(cols, c)
+	}
+	for _, ch := range d.ColumnsAdded {
+		if strings.EqualFold(ch.Table, t.Name) {
+			cols = append(cols, ColumnDef{Name: ch.Column, Type: ch.To, NotNull: ch.NotNull})
+		}
+	}
+	t.Columns = cols
+	return t
+}

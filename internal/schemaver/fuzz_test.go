@@ -1,0 +1,74 @@
+package schemaver
+
+import (
+	"testing"
+)
+
+// FuzzSchemaDiff drives the differ with fuzzer-shaped schema pairs: the
+// differ must never panic, and for 1:1 shapes (same table names, column
+// add/drop/retype only) Apply(old, Compute(old, new)) must reproduce new's
+// structural column sets exactly — the diff∘apply fixed point.
+func FuzzSchemaDiff(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{4, 3, 2, 1})
+	f.Add([]byte("abba"), []byte("baab"))
+	f.Add([]byte{0}, []byte{255, 255, 0, 7, 9})
+	f.Fuzz(func(t *testing.T, oldRaw, newRaw []byte) {
+		oldSet := defsFromBytes(oldRaw)
+		newSet := defsFromBytes(newRaw)
+
+		d := Compute(oldSet, newSet) // must not panic, whatever the shapes
+		_ = d.String()
+		if h := HashTables(newSet); len(h) != 64 {
+			t.Fatalf("hash length %d", len(h))
+		}
+
+		applied := Apply(oldSet, d)
+		d2 := Compute(applied, newSet)
+		if len(d2.TablesAdded) != 0 || len(d2.TablesDropped) != 0 ||
+			len(d2.ColumnsAdded) != 0 || len(d2.ColumnsDropped) != 0 || len(d2.ColumnsRetyped) != 0 {
+			t.Fatalf("diff∘apply not a fixed point:\nold=%v\nnew=%v\nresidual=%s", oldSet, newSet, d2)
+		}
+	})
+}
+
+// defsFromBytes decodes fuzz bytes into a deterministic small schema: up to
+// 4 tables (t0..t3) with up to 8 columns each, column types and nullability
+// taken from the byte stream. Names are drawn from fixed pools so the same
+// logical column can appear added/dropped/retyped across the two snapshots.
+func defsFromBytes(raw []byte) []TableDef {
+	types := []string{"INT", "FLOAT", "TEXT", "BOOL", "TIMESTAMP"}
+	var defs []TableDef
+	i := 0
+	next := func() byte {
+		if i >= len(raw) {
+			return 0
+		}
+		b := raw[i]
+		i++
+		return b
+	}
+	nTables := int(next())%4 + 1
+	for ti := 0; ti < nTables; ti++ {
+		t := TableDef{Name: string(rune('a' + ti))}
+		nCols := int(next()) % 9
+		seen := map[string]bool{}
+		for ci := 0; ci < nCols; ci++ {
+			b := next()
+			name := string(rune('p' + int(b)%8))
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			t.Columns = append(t.Columns, ColumnDef{
+				Name:    name,
+				Type:    types[int(b>>3)%len(types)],
+				NotNull: b&0x80 != 0,
+			})
+		}
+		if len(t.Columns) > 0 && next()%2 == 0 {
+			t.PrimaryKey = []string{t.Columns[0].Name}
+		}
+		defs = append(defs, t)
+	}
+	return defs
+}

@@ -1,0 +1,213 @@
+package schemaver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// InverseStatement is one generated rollback statement: a SELECT over the
+// forward migration's output tables that re-derives one retired input table.
+type InverseStatement struct {
+	Name      string // statement name ("undo_<table>")
+	Driving   string // driving alias in SelectSQL (the first carrier output)
+	Output    string // the original input table being re-created
+	SelectSQL string // transform: join of carrier outputs on the original PK
+}
+
+// InverseSpec is a mechanically generated rollback migration, as SQL text
+// plus shape — the facade parses it into a core.Migration and runs it
+// through the ordinary lazy machinery (the rollback is itself a lazy
+// migration whose outputs are the original tables).
+type InverseSpec struct {
+	Name         string
+	Setup        string // CREATE TABLE for each re-created input
+	Statements   []InverseStatement
+	RetireInputs []string // the forward migration's output tables
+}
+
+// Inverse generates the rollback spec for a recorded version.
+//
+// The construction is mechanical for 1:1 and 1:n statements: every column of
+// a retired table is located in some output table (its carrier); carriers
+// are joined on the retired table's primary key, which both halves of a
+// split carry, and each driving row re-derives exactly one original row —
+// the outputs of these categories are row-aligned with the input, so the
+// join is 1:1 and runs through the ordinary bitmap machinery.
+//
+// n:1 and n:n statements collapse a group of input rows into one output row;
+// the individual rows (and any column outside the group key and aggregates)
+// are unrecoverable, so Inverse returns ErrLossy carrying the witness: the
+// concrete columns whose values no output retains, or the collapsed grouping
+// when every column name survives but multiplicity does not. The same
+// reasoning rejects a dropped NOT NULL column — rows cannot be re-created
+// with a value that was discarded.
+func Inverse(v *Version) (*InverseSpec, error) {
+	if len(v.Retired) == 0 {
+		return nil, fmt.Errorf("schemaver: migration %q retired no tables; nothing to invert — drop its output tables instead", v.Migration)
+	}
+	if len(v.RetiredDefs) == 0 {
+		return nil, fmt.Errorf("schemaver: version %s has no retired-table definitions; registry entry predates rollback support", v.ShortHash())
+	}
+	outDefs := indexDefs(v.Tables)
+	spec := &InverseSpec{Name: "rollback_" + v.Migration}
+	retireSet := map[string]bool{}
+	var setup []string
+
+	for _, t := range sortTables(v.RetiredDefs) {
+		readers := statementsReading(v.Statements, t.Name)
+		if len(readers) == 0 {
+			return nil, fmt.Errorf("%w: retired table %s is read by no statement; its rows exist in no output", ErrLossy, t.Name)
+		}
+		var outputs []string
+		for _, s := range readers {
+			if s.Category == "n:1" || s.Category == "n:n" {
+				return nil, lossyWitness(t, readers, outDefs, s)
+			}
+			outputs = append(outputs, s.Outputs...)
+		}
+		sort.Strings(outputs)
+
+		stmt, err := inverseStatement(t, outputs, outDefs)
+		if err != nil {
+			return nil, err
+		}
+		spec.Statements = append(spec.Statements, *stmt)
+		setup = append(setup, t.CreateSQL())
+		for _, o := range outputs {
+			retireSet[strings.ToLower(o)] = true
+		}
+	}
+	spec.Setup = strings.Join(setup, ";\n")
+	for o := range retireSet {
+		spec.RetireInputs = append(spec.RetireInputs, o)
+	}
+	sort.Strings(spec.RetireInputs)
+	return spec, nil
+}
+
+func statementsReading(stmts []StatementInfo, table string) []StatementInfo {
+	var out []StatementInfo
+	for _, s := range stmts {
+		for _, in := range s.Inputs {
+			if strings.EqualFold(in, table) {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// lossyWitness builds the ErrLossy error for an aggregating statement: the
+// concrete retired columns no output carries, or the collapsed grouping.
+func lossyWitness(t TableDef, readers []StatementInfo, outDefs map[string]TableDef, agg StatementInfo) error {
+	var lost []string
+	for _, c := range t.Columns {
+		carried := false
+		for _, s := range readers {
+			for _, o := range s.Outputs {
+				if od, ok := outDefs[strings.ToLower(o)]; ok {
+					if _, has := od.Column(c.Name); has {
+						carried = true
+					}
+				}
+			}
+		}
+		if !carried {
+			lost = append(lost, t.Name+"."+c.Name)
+		}
+	}
+	if len(lost) > 0 {
+		return fmt.Errorf("%w: statement %q (%s) discards columns %s", ErrLossy, agg.Name, agg.Category, strings.Join(lost, ", "))
+	}
+	return fmt.Errorf("%w: statement %q (%s) collapses %s's row multiplicity (GROUP BY); individual rows are unrecoverable",
+		ErrLossy, agg.Name, agg.Category, t.Name)
+}
+
+// inverseStatement derives one retired table from the outputs carrying its
+// columns.
+func inverseStatement(t TableDef, outputs []string, outDefs map[string]TableDef) (*InverseStatement, error) {
+	// Pick each column's carrier: the first output (sorted order) that has a
+	// same-named column.
+	type carrier struct {
+		table string
+		alias string
+	}
+	carrierOf := map[string]string{} // lower table -> alias
+	var carriers []carrier
+	aliasFor := func(table string) string {
+		lt := strings.ToLower(table)
+		if a, ok := carrierOf[lt]; ok {
+			return a
+		}
+		a := fmt.Sprintf("r%d", len(carriers))
+		carrierOf[lt] = a
+		carriers = append(carriers, carrier{table: table, alias: a})
+		return a
+	}
+	pkSet := map[string]bool{}
+	for _, pk := range t.PrimaryKey {
+		pkSet[strings.ToLower(pk)] = true
+	}
+	var selects []string
+	for _, c := range t.Columns {
+		found := ""
+		for _, o := range outputs {
+			od, ok := outDefs[strings.ToLower(o)]
+			if !ok {
+				continue
+			}
+			if _, has := od.Column(c.Name); has {
+				found = o
+				break
+			}
+		}
+		if found == "" {
+			if c.NotNull || pkSet[strings.ToLower(c.Name)] {
+				return nil, fmt.Errorf("%w: column %s.%s (%s NOT NULL) survives in no output table", ErrLossy, t.Name, c.Name, c.Type)
+			}
+			selects = append(selects, "NULL")
+			continue
+		}
+		selects = append(selects, aliasFor(found)+"."+c.Name)
+	}
+	if len(carriers) == 0 {
+		return nil, fmt.Errorf("%w: no output table carries any column of %s", ErrLossy, t.Name)
+	}
+	// Multiple carriers re-join on the original primary key; every carrier
+	// must have kept it (a split always replicates the key into both halves).
+	var joins []string
+	if len(carriers) > 1 {
+		if len(t.PrimaryKey) == 0 {
+			return nil, fmt.Errorf("%w: %s was split across %d outputs but has no primary key to re-join on", ErrLossy, t.Name, len(carriers))
+		}
+		for _, c := range carriers {
+			od := outDefs[strings.ToLower(c.table)]
+			for _, pk := range t.PrimaryKey {
+				if _, has := od.Column(pk); !has {
+					return nil, fmt.Errorf("%w: output %s lacks %s's key column %s; split halves cannot be re-joined", ErrLossy, c.table, t.Name, pk)
+				}
+			}
+		}
+		for _, c := range carriers[1:] {
+			for _, pk := range t.PrimaryKey {
+				joins = append(joins, fmt.Sprintf("%s.%s = %s.%s", carriers[0].alias, pk, c.alias, pk))
+			}
+		}
+	}
+	var from []string
+	for _, c := range carriers {
+		from = append(from, c.table+" "+c.alias)
+	}
+	sql := "SELECT " + strings.Join(selects, ", ") + " FROM " + strings.Join(from, ", ")
+	if len(joins) > 0 {
+		sql += " WHERE " + strings.Join(joins, " AND ")
+	}
+	return &InverseStatement{
+		Name:      "undo_" + strings.ToLower(t.Name),
+		Driving:   carriers[0].alias,
+		Output:    t.Name,
+		SelectSQL: sql,
+	}, nil
+}

@@ -1,0 +1,221 @@
+package schemaver
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+func tbl(name string, pk []string, cols ...ColumnDef) TableDef {
+	return TableDef{Name: name, Columns: cols, PrimaryKey: pk}
+}
+
+func col(name, typ string) ColumnDef   { return ColumnDef{Name: name, Type: typ} }
+func colNN(name, typ string) ColumnDef { return ColumnDef{Name: name, Type: typ, NotNull: true} }
+
+func TestHashDeterministicAndOrderInsensitive(t *testing.T) {
+	a := tbl("a", []string{"id"}, colNN("id", "INT"), col("x", "TEXT"))
+	b := tbl("b", []string{"id"}, colNN("id", "INT"))
+	h1 := HashTables([]TableDef{a, b})
+	h2 := HashTables([]TableDef{b, a})
+	if h1 != h2 {
+		t.Fatalf("hash depends on input order: %s vs %s", h1, h2)
+	}
+	c := tbl("a", []string{"id"}, colNN("id", "INT"), col("x", "INT")) // retyped x
+	if HashTables([]TableDef{c, b}) == h1 {
+		t.Fatalf("hash insensitive to column type change")
+	}
+	if len(h1) != 64 {
+		t.Fatalf("want sha256 hex, got %q", h1)
+	}
+}
+
+func TestDiffColumnsAndConstraints(t *testing.T) {
+	oldT := tbl("cust", []string{"id"}, colNN("id", "INT"), col("bal", "FLOAT"), col("notes", "TEXT"))
+	newT := tbl("cust", []string{"id"}, colNN("id", "INT"), col("bal", "INT"), col("email", "TEXT"))
+	newT.Uniques = [][]string{{"email"}}
+	d := Compute([]TableDef{oldT}, []TableDef{newT})
+	if len(d.ColumnsAdded) != 1 || d.ColumnsAdded[0].Column != "email" {
+		t.Fatalf("columns added: %+v", d.ColumnsAdded)
+	}
+	if len(d.ColumnsDropped) != 1 || d.ColumnsDropped[0].Column != "notes" {
+		t.Fatalf("columns dropped: %+v", d.ColumnsDropped)
+	}
+	if len(d.ColumnsRetyped) != 1 || d.ColumnsRetyped[0].From != "FLOAT" || d.ColumnsRetyped[0].To != "INT" {
+		t.Fatalf("columns retyped: %+v", d.ColumnsRetyped)
+	}
+	if len(d.ConstraintsChanged) != 1 || d.ConstraintsChanged[0] != "cust" {
+		t.Fatalf("constraints changed: %+v", d.ConstraintsChanged)
+	}
+}
+
+func TestDiffSplitAndMergeAnnotations(t *testing.T) {
+	cust := tbl("cust", []string{"id"}, colNN("id", "INT"), col("name", "TEXT"), col("bal", "FLOAT"))
+	pub := tbl("cust_public", []string{"id"}, colNN("id", "INT"), col("name", "TEXT"))
+	priv := tbl("cust_private", []string{"id"}, colNN("id", "INT"), col("bal", "FLOAT"))
+	d := Compute([]TableDef{cust}, []TableDef{pub, priv})
+	if len(d.TablesSplit) != 1 || d.TablesSplit[0] != "cust -> cust_private + cust_public" {
+		t.Fatalf("split annotation: %+v", d.TablesSplit)
+	}
+	back := Compute([]TableDef{pub, priv}, []TableDef{cust})
+	if len(back.TablesMerged) != 1 || back.TablesMerged[0] != "cust_private + cust_public -> cust" {
+		t.Fatalf("merge annotation: %+v", back.TablesMerged)
+	}
+}
+
+func TestApplyFixedPoint(t *testing.T) {
+	oldSet := []TableDef{
+		tbl("a", []string{"id"}, colNN("id", "INT"), col("x", "TEXT"), col("y", "FLOAT")),
+		tbl("gone", nil, col("z", "INT")),
+	}
+	newSet := []TableDef{
+		tbl("a", []string{"id"}, colNN("id", "INT"), col("x", "INT"), col("w", "BOOL")),
+		tbl("fresh", []string{"k"}, colNN("k", "TEXT")),
+	}
+	d := Compute(oldSet, newSet)
+	applied := Apply(oldSet, d)
+	d2 := Compute(applied, newSet)
+	if len(d2.TablesAdded)+len(d2.TablesDropped)+len(d2.ColumnsAdded)+len(d2.ColumnsDropped)+len(d2.ColumnsRetyped) != 0 {
+		t.Fatalf("apply did not reach fixed point: %s", d2)
+	}
+}
+
+func TestClassifyLattice(t *testing.T) {
+	cases := []struct {
+		name    string
+		retired []string
+		stmts   []StatementInfo
+		want    Compatibility
+	}{
+		{"additive aggregate", nil,
+			[]StatementInfo{{Name: "agg", Category: "n:1", Inputs: []string{"orders"}, Outputs: []string{"ostats"}}},
+			CompatFull},
+		{"invertible split", []string{"cust"},
+			[]StatementInfo{{Name: "split", Category: "1:n", Inputs: []string{"cust"}, Outputs: []string{"a", "b"}}},
+			CompatForward},
+		{"aggregating join", []string{"ol", "stock"},
+			[]StatementInfo{{Name: "join", Category: "n:n", Inputs: []string{"ol", "stock"}, Outputs: []string{"ol2"}}},
+			CompatBackward},
+		{"orphaned retire", []string{"cust", "audit"},
+			[]StatementInfo{{Name: "split", Category: "1:n", Inputs: []string{"cust"}, Outputs: []string{"a"}}},
+			CompatBreaking},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.retired, tc.stmts); got != tc.want {
+			t.Errorf("%s: got %s want %s", tc.name, got, tc.want)
+		}
+	}
+	v := &Version{Migration: "m", Retired: []string{"audit"}, Compatibility: CompatBreaking}
+	err := Validate(v)
+	if err == nil || !strings.Contains(err.Error(), "audit") {
+		t.Fatalf("Validate breaking: %v", err)
+	}
+}
+
+func TestInverseOfSplit(t *testing.T) {
+	cust := tbl("cust", []string{"c_id"},
+		colNN("c_id", "INT"), col("c_name", "TEXT"), col("c_balance", "FLOAT"))
+	pub := tbl("cust_public", []string{"c_id"}, colNN("c_id", "INT"), col("c_name", "TEXT"))
+	priv := tbl("cust_private", []string{"c_id"}, colNN("c_id", "INT"), col("c_balance", "FLOAT"))
+	v := &Version{
+		Migration: "split_cust",
+		Retired:   []string{"cust"}, RetiredDefs: []TableDef{cust},
+		Tables: []TableDef{pub, priv},
+		Statements: []StatementInfo{{
+			Name: "split", Category: "1:n", Driving: "cust",
+			Inputs: []string{"cust"}, Outputs: []string{"cust_public", "cust_private"},
+		}},
+		Compatibility: CompatForward,
+	}
+	spec, err := Inverse(v)
+	if err != nil {
+		t.Fatalf("Inverse: %v", err)
+	}
+	if len(spec.Statements) != 1 {
+		t.Fatalf("statements: %+v", spec.Statements)
+	}
+	st := spec.Statements[0]
+	if st.Output != "cust" {
+		t.Fatalf("output: %q", st.Output)
+	}
+	if want := []string{"cust_private", "cust_public"}; strings.Join(spec.RetireInputs, ",") != strings.Join(want, ",") {
+		t.Fatalf("retire inputs: %v", spec.RetireInputs)
+	}
+	// The generated SQL must parse in the engine's dialect.
+	if _, err := sql.ParseOne(st.SelectSQL); err != nil {
+		t.Fatalf("generated SELECT does not parse: %v\n%s", err, st.SelectSQL)
+	}
+	if _, err := sql.Parse(spec.Setup); err != nil {
+		t.Fatalf("generated Setup does not parse: %v\n%s", err, spec.Setup)
+	}
+	if !strings.Contains(st.SelectSQL, "WHERE") || !strings.Contains(st.SelectSQL, "c_id = ") {
+		t.Fatalf("expected PK re-join in %q", st.SelectSQL)
+	}
+}
+
+func TestInverseLossyAggregate(t *testing.T) {
+	orders := tbl("orders", []string{"o_id"}, colNN("o_id", "INT"), col("o_cust", "INT"), col("o_total", "FLOAT"))
+	stats := tbl("ostats", []string{"o_cust"}, colNN("o_cust", "INT"), col("total", "FLOAT"))
+	v := &Version{
+		Migration: "aggregate",
+		Retired:   []string{"orders"}, RetiredDefs: []TableDef{orders},
+		Tables: []TableDef{stats},
+		Statements: []StatementInfo{{
+			Name: "agg", Category: "n:1", Driving: "orders",
+			Inputs: []string{"orders"}, Outputs: []string{"ostats"},
+		}},
+		Compatibility: CompatBackward,
+	}
+	_, err := Inverse(v)
+	if err == nil || !strings.Contains(err.Error(), "orders.o_id") {
+		t.Fatalf("want lossy witness naming orders.o_id, got: %v", err)
+	}
+}
+
+func TestInverseLossyDroppedNotNull(t *testing.T) {
+	src := tbl("t", []string{"id"}, colNN("id", "INT"), colNN("secret", "TEXT"))
+	dst := tbl("t2", []string{"id"}, colNN("id", "INT"))
+	v := &Version{
+		Migration: "dropcol",
+		Retired:   []string{"t"}, RetiredDefs: []TableDef{src},
+		Tables: []TableDef{dst},
+		Statements: []StatementInfo{{
+			Name: "copy", Category: "1:1", Driving: "t",
+			Inputs: []string{"t"}, Outputs: []string{"t2"},
+		}},
+	}
+	_, err := Inverse(v)
+	if err == nil || !strings.Contains(err.Error(), "t.secret") {
+		t.Fatalf("want lossy witness naming t.secret, got: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	v := &Version{
+		Hash: HashTables(nil), Parent: "", Migration: "m1",
+		Statements:    []StatementInfo{{Name: "s", Category: "1:1", Driving: "a", Inputs: []string{"a"}, Outputs: []string{"b"}}},
+		Compatibility: CompatForward,
+		Retired:       []string{"a"},
+		RetiredDefs:   []TableDef{tbl("a", nil, col("x", "INT"))},
+		Tables:        []TableDef{tbl("b", nil, col("x", "INT"))},
+		Diff:          Compute(nil, []TableDef{tbl("b", nil, col("x", "INT"))}),
+	}
+	b, err := v.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Migration != "m1" || got.Compatibility != CompatForward || len(got.RetiredDefs) != 1 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("Decode(nil) should fail")
+	}
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatal("Decode(garbage) should fail")
+	}
+}

@@ -1,0 +1,182 @@
+// Package schemaver implements the schema version registry: content-hashed
+// schema versions, a structural differ over table definitions, a
+// compatibility classifier (full / forward / backward / breaking), and a
+// mechanical inverse-migration generator for lazy rollback.
+//
+// The package is deliberately free of engine dependencies: it consumes table
+// definitions (internal/schema, or parsed CREATE TABLE statements) and
+// emits plain data plus SQL text. The facade glues it to the migration
+// controller and persists encoded versions through the catalog-install
+// marker (Migration.VersionMeta), so the registry is rebuilt by WAL replay
+// and stays checkpoint-bounded.
+package schemaver
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/bullfrogdb/bullfrog/internal/schema"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+// ColumnDef is the structural snapshot of one column: everything the differ
+// and the hash consider. Defaults and CHECK expressions are deliberately
+// excluded from the per-column snapshot (expression trees have no canonical
+// rendering); table-level Checks counts them so a constraint change is still
+// visible in the diff.
+type ColumnDef struct {
+	Name    string `json:"name"`
+	Type    string `json:"type"` // types.Kind name: INT, FLOAT, TEXT, BOOL, TIMESTAMP
+	NotNull bool   `json:"not_null,omitempty"`
+}
+
+// TableDef is the structural snapshot of one table.
+type TableDef struct {
+	Name        string      `json:"name"`
+	Columns     []ColumnDef `json:"columns"`
+	PrimaryKey  []string    `json:"primary_key,omitempty"`
+	Uniques     [][]string  `json:"uniques,omitempty"`
+	Checks      int         `json:"checks,omitempty"`       // count of CHECK constraints
+	ForeignKeys []string    `json:"foreign_keys,omitempty"` // "cols->table(cols)" signatures
+}
+
+// FromSchema snapshots a bound schema.Table definition.
+func FromSchema(t *schema.Table) TableDef {
+	d := TableDef{Name: t.Name, Checks: len(t.Checks)}
+	for _, c := range t.Columns {
+		d.Columns = append(d.Columns, ColumnDef{Name: c.Name, Type: c.Kind.String(), NotNull: c.NotNull})
+	}
+	name := func(ord int) string {
+		if ord >= 0 && ord < len(t.Columns) {
+			return t.Columns[ord].Name
+		}
+		return fmt.Sprintf("#%d", ord)
+	}
+	for _, ord := range t.PrimaryKey {
+		d.PrimaryKey = append(d.PrimaryKey, name(ord))
+	}
+	for _, set := range t.Uniques {
+		var cols []string
+		for _, ord := range set {
+			cols = append(cols, name(ord))
+		}
+		d.Uniques = append(d.Uniques, cols)
+	}
+	for _, fk := range t.ForeignKey {
+		var cols []string
+		for _, ord := range fk.Columns {
+			cols = append(cols, name(ord))
+		}
+		ref := fk.RefColumnNames
+		d.ForeignKeys = append(d.ForeignKeys, fmt.Sprintf("%s->%s(%s)",
+			strings.Join(cols, ","), strings.ToLower(fk.RefTable), strings.Join(ref, ",")))
+	}
+	return d
+}
+
+// FromCreate snapshots a parsed CREATE TABLE statement — the shape a table
+// will have once the migration's Setup DDL runs, available before it runs.
+// CREATE TABLE ... AS SELECT yields a def with no columns (the column set is
+// only known at execution); the differ still records the table as added.
+func FromCreate(st *sql.CreateTableStmt) TableDef {
+	d := TableDef{Name: st.Name, Checks: len(st.Checks)}
+	var pk []string
+	for _, c := range st.Columns {
+		d.Columns = append(d.Columns, ColumnDef{Name: c.Name, Type: c.Kind.String(), NotNull: c.NotNull || c.PrimaryKey})
+		if c.PrimaryKey {
+			pk = append(pk, c.Name)
+		}
+		if c.Unique {
+			d.Uniques = append(d.Uniques, []string{c.Name})
+		}
+		if c.Check != nil {
+			d.Checks++
+		}
+	}
+	if len(st.PrimaryKey) > 0 {
+		pk = st.PrimaryKey
+	}
+	d.PrimaryKey = pk
+	for _, set := range st.Uniques {
+		d.Uniques = append(d.Uniques, append([]string(nil), set...))
+	}
+	for _, fk := range st.ForeignKeys {
+		d.ForeignKeys = append(d.ForeignKeys, fmt.Sprintf("%s->%s(%s)",
+			strings.Join(fk.Columns, ","), strings.ToLower(fk.RefTable), strings.Join(fk.RefColumns, ",")))
+	}
+	return d
+}
+
+// Column returns the named column (case-insensitive) and whether it exists.
+func (t TableDef) Column(name string) (ColumnDef, bool) {
+	for _, c := range t.Columns {
+		if strings.EqualFold(c.Name, name) {
+			return c, true
+		}
+	}
+	return ColumnDef{}, false
+}
+
+// CreateSQL renders the def back into a CREATE TABLE statement. Used both as
+// the canonical rendering the content hash covers and as the Setup DDL of a
+// generated inverse migration.
+func (t TableDef) CreateSQL() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CREATE TABLE %s (", t.Name)
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.Name)
+		b.WriteString(" ")
+		b.WriteString(c.Type)
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+	}
+	if len(t.PrimaryKey) > 0 {
+		fmt.Fprintf(&b, ", PRIMARY KEY (%s)", strings.Join(t.PrimaryKey, ", "))
+	}
+	for _, set := range t.Uniques {
+		fmt.Fprintf(&b, ", UNIQUE (%s)", strings.Join(set, ", "))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// constraintSig is a canonical string of the table's constraint set, used by
+// the differ to detect constraint changes without enumerating them.
+func (t TableDef) constraintSig() string {
+	var parts []string
+	if len(t.PrimaryKey) > 0 {
+		parts = append(parts, "pk:"+strings.ToLower(strings.Join(t.PrimaryKey, ",")))
+	}
+	var uniq []string
+	for _, set := range t.Uniques {
+		uniq = append(uniq, strings.ToLower(strings.Join(set, ",")))
+	}
+	sort.Strings(uniq)
+	for _, u := range uniq {
+		parts = append(parts, "uq:"+u)
+	}
+	if t.Checks > 0 {
+		parts = append(parts, fmt.Sprintf("ck:%d", t.Checks))
+	}
+	fks := append([]string(nil), t.ForeignKeys...)
+	sort.Strings(fks)
+	for _, fk := range fks {
+		parts = append(parts, "fk:"+strings.ToLower(fk))
+	}
+	return strings.Join(parts, ";")
+}
+
+// sortTables returns a name-sorted copy (the canonical order for hashing and
+// registry storage).
+func sortTables(defs []TableDef) []TableDef {
+	out := append([]TableDef(nil), defs...)
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].Name) < strings.ToLower(out[j].Name)
+	})
+	return out
+}

@@ -1,0 +1,126 @@
+package schemaver
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// StatementInfo is the spec-level shape of one migration statement: enough
+// for compatibility classification and inverse generation, decoupled from
+// the controller's Statement type (which carries parsed query trees).
+type StatementInfo struct {
+	Name     string   `json:"name"`
+	Category string   `json:"category"` // "1:1" | "1:n" | "n:1" | "n:n"
+	Driving  string   `json:"driving"`  // resolved driving table name
+	Inputs   []string `json:"inputs"`   // old-schema tables the transform reads
+	Outputs  []string `json:"outputs"`  // new-schema tables it populates
+}
+
+// Version is one entry of the schema version registry: the content hash of
+// the active schema after a migration's flip, chained to its parent, plus
+// the structural metadata rollback and compatibility checks need. The
+// encoded form rides the migration's catalog-install marker (WAL and
+// checkpoint sidecar), so recovery rebuilds the registry without any side
+// files.
+type Version struct {
+	// Hash is the content hash of the post-flip active schema; Parent is the
+	// previous version's hash ("" for the first recorded version).
+	Hash   string `json:"hash"`
+	Parent string `json:"parent,omitempty"`
+	// Migration is the migration's name; At is when it was recorded.
+	Migration string    `json:"migration"`
+	At        time.Time `json:"at"`
+	// Statements classifies each migration statement (1:1, 1:n, n:1, n:n).
+	Statements []StatementInfo `json:"statements,omitempty"`
+	// Compatibility is the computed level — see Classify.
+	Compatibility Compatibility `json:"compatibility"`
+	// Retired lists tables the flip retired; RetiredDefs snapshots their
+	// pre-flip definitions so an inverse migration can re-create them even
+	// after the originals are dropped.
+	Retired     []string   `json:"retired,omitempty"`
+	RetiredDefs []TableDef `json:"retired_defs,omitempty"`
+	// Tables is the post-flip active (non-retired) schema, name-sorted — the
+	// set the Hash covers.
+	Tables []TableDef `json:"tables,omitempty"`
+	// Diff is the structural change set from the parent schema.
+	Diff *Diff `json:"diff,omitempty"`
+	// Rollback marks versions installed by a generated inverse migration.
+	Rollback bool `json:"rollback,omitempty"`
+}
+
+// HashTables computes the content hash of a schema snapshot: sha256 over the
+// newline-joined canonical CREATE TABLE renderings of the name-sorted defs.
+func HashTables(defs []TableDef) string {
+	sorted := sortTables(defs)
+	h := sha256.New()
+	for _, t := range sorted {
+		// hash.Hash.Write never returns an error.
+		_, _ = h.Write([]byte(t.CreateSQL()))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Encode marshals the version for storage in Migration.VersionMeta.
+func (v *Version) Encode() ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("schemaver: encoding version %s: %w", v.ShortHash(), err)
+	}
+	return b, nil
+}
+
+// Decode unmarshals a version previously produced by Encode. It returns an
+// error for empty or non-JSON metadata (install markers written by layers
+// that do not use the registry carry nil metadata).
+func Decode(b []byte) (*Version, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("schemaver: no version metadata")
+	}
+	var v Version
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("schemaver: decoding version metadata: %w", err)
+	}
+	return &v, nil
+}
+
+// ShortHash returns the first 8 hex digits of the hash (display form).
+func (v *Version) ShortHash() string {
+	if len(v.Hash) >= 8 {
+		return v.Hash[:8]
+	}
+	return v.Hash
+}
+
+// Classification returns the per-statement category strings in order.
+func (v *Version) Classification() []string {
+	out := make([]string, len(v.Statements))
+	for i, s := range v.Statements {
+		out[i] = s.Category
+	}
+	return out
+}
+
+// String renders a one-line registry entry.
+func (v *Version) String() string {
+	parent := v.Parent
+	if len(parent) >= 8 {
+		parent = parent[:8]
+	}
+	if parent == "" {
+		parent = "-"
+	}
+	cls := strings.Join(v.Classification(), ",")
+	if cls == "" {
+		cls = "-"
+	}
+	tag := ""
+	if v.Rollback {
+		tag = " (rollback)"
+	}
+	return fmt.Sprintf("%s <- %s  %-20s %-8s [%s]%s", v.ShortHash(), parent, v.Migration, v.Compatibility, cls, tag)
+}

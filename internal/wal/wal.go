@@ -74,7 +74,9 @@ func (t RecType) String() string {
 //	RecInsert/RecUpdate:         XID, Table, TID, Row (the new image)
 //	RecDelete:                   XID, Table, TID
 //	RecMigrated:                 XID, Table (tracker name), Key (granule key)
-//	RecInstall:                  Table (migration name); XID unused (0)
+//	RecInstall:                  Table (migration name), Key (schema version
+//	                             metadata; optional, absent in old logs); XID
+//	                             unused (0)
 //	RecCheckpoint:               Key (encoded CheckpointMeta); XID unused (0)
 type Record struct {
 	Type  RecType
@@ -546,7 +548,9 @@ func encodeRecord(buf []byte, rec Record) []byte {
 		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
 		return append(buf, rec.Key...)
 	case RecInstall:
-		return appendString(buf, rec.Table)
+		buf = appendString(buf, rec.Table)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
+		return append(buf, rec.Key...)
 	default:
 		panic(fmt.Sprintf("wal: cannot encode record type %d", rec.Type))
 	}
@@ -694,6 +698,16 @@ func decodeRecord(buf []byte) (Record, error) {
 		if rec.Table, err = readString(); err != nil {
 			return Record{}, err
 		}
+		// The version-metadata payload is optional: logs written before the
+		// schema version registry carry a bare migration name.
+		if len(buf) == 0 {
+			return rec, nil
+		}
+		keyLen, err := readUvarint()
+		if err != nil || uint64(len(buf)) < keyLen {
+			return Record{}, ErrCorrupt
+		}
+		rec.Key = append([]byte(nil), buf[:keyLen]...)
 		return rec, nil
 	default:
 		return Record{}, ErrCorrupt

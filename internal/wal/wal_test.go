@@ -2,7 +2,9 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"sync"
 	"testing"
@@ -20,6 +22,7 @@ func sampleRecords() []Record {
 			Row: types.Row{types.NewInt(7), types.NewString("bob"), types.NewFloat(1.5)}},
 		{Type: RecDelete, XID: 1, Table: "orders", TID: storage.TID{Page: 9, Slot: 0}},
 		{Type: RecMigrated, XID: 1, Table: "split:customer", Key: []byte{0xAA, 0x00, 0xBB}},
+		{Type: RecInstall, Table: "split", Key: []byte(`{"hash":"abc"}`)},
 		{Type: RecCommit, XID: 1},
 		{Type: RecBegin, XID: 2},
 		{Type: RecAbort, XID: 2},
@@ -66,6 +69,27 @@ func TestRoundTrip(t *testing.T) {
 		if !bytes.Equal(g.Key, want.Key) {
 			t.Errorf("record %d key = %v, want %v", i, g.Key, want.Key)
 		}
+	}
+}
+
+// TestInstallRecordOldFormatDecodes pins backward compatibility: install
+// markers written before the schema version registry carry a bare migration
+// name (no metadata payload) and must still decode, with an empty Key.
+func TestInstallRecordOldFormatDecodes(t *testing.T) {
+	payload := []byte{byte(RecInstall)}
+	payload = binary.AppendUvarint(payload, 0) // XID
+	payload = binary.AppendUvarint(payload, uint64(len("legacy")))
+	payload = append(payload, "legacy"...)
+	var frame [8]byte
+	binary.LittleEndian.PutUint32(frame[:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	r := NewReader(bytes.NewReader(append(frame[:], payload...)))
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != RecInstall || rec.Table != "legacy" || len(rec.Key) != 0 {
+		t.Errorf("decoded %+v, want bare install marker for \"legacy\"", rec)
 	}
 }
 

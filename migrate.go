@@ -60,6 +60,10 @@ type MigrateOptions struct {
 	// table chunks from a shared cursor for hash-tracked migrations) and
 	// adaptively back off when foreground latency degrades.
 	BackgroundWorkers int
+	// Force submits a migration the version registry classifies as breaking
+	// (a retired table's data is carried into no output). Without it, such
+	// migrations fail with code "schemaver.breaking" before the flip.
+	Force bool
 }
 
 // MigrateHandle reports a started migration. Mode echoes the strategy that
@@ -94,18 +98,26 @@ func (db *DB) MigrateContext(ctx context.Context, m *Migration, opts MigrateOpti
 	}
 	switch opts.Mode {
 	case ModeLazy:
+		// Record the schema version before the flip: classify, validate
+		// (breaking changes need Force), and attach the encoded version so the
+		// install marker carries it into the WAL and checkpoint sidecar.
+		if err := db.prepareVersion(m, opts.Force); err != nil {
+			return nil, wrapErr("migrate", "", err)
+		}
 		if err := db.ctrl.Start(m); err != nil {
 			return nil, wrapErr("migrate", "", err)
 		}
+		db.eng.Obs().Migration.SchemaVersions.Inc()
 		if opts.BackgroundDelay >= 0 {
-			db.bg = core.NewBackground(db.ctrl, opts.BackgroundDelay)
+			bg := core.NewBackground(db.ctrl, opts.BackgroundDelay)
 			if opts.BackgroundChunk > 0 {
-				db.bg.ChunkGranules = opts.BackgroundChunk
-				db.bg.ChunkTuples = int64(opts.BackgroundChunk) * 64
+				bg.ChunkGranules = opts.BackgroundChunk
+				bg.ChunkTuples = int64(opts.BackgroundChunk) * 64
 			}
-			db.bg.Interval = opts.BackgroundInterval
-			db.bg.Workers = opts.BackgroundWorkers
-			db.bg.Start()
+			bg.Interval = opts.BackgroundInterval
+			bg.Workers = opts.BackgroundWorkers
+			bg.Start()
+			db.bgs = append(db.bgs, bg)
 		}
 		return &MigrateHandle{Mode: ModeLazy}, nil
 	case ModeEager:
@@ -159,8 +171,13 @@ func (db *DB) MigrateMultiStep(m *Migration) (*core.MultiStep, error) {
 	return h.MultiStep, nil
 }
 
-// Background returns the background migrator, or nil.
-func (db *DB) Background() *core.Background { return db.bg }
+// Background returns the most recently started background migrator, or nil.
+func (db *DB) Background() *core.Background {
+	if len(db.bgs) == 0 {
+		return nil
+	}
+	return db.bgs[len(db.bgs)-1]
+}
 
 // MigrationComplete reports whether all data has been physically migrated.
 func (db *DB) MigrationComplete() bool { return db.ctrl.Complete() }
@@ -223,10 +240,10 @@ func mergeDone(primary, secondary context.Context) (context.Context, context.Can
 // the continuous-deployment cadence (one evolution per deploy). It fails
 // while data is still moving.
 func (db *DB) ResetMigration() error {
-	if db.bg != nil {
-		db.bg.Stop()
-		db.bg = nil
+	for _, bg := range db.bgs {
+		bg.Stop()
 	}
+	db.bgs = nil
 	return wrapErr("migrate", "", db.ctrl.Reset())
 }
 

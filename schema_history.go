@@ -1,0 +1,350 @@
+package bullfrog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog/internal/core"
+	"github.com/bullfrogdb/bullfrog/internal/schemaver"
+	"github.com/bullfrogdb/bullfrog/internal/sql"
+)
+
+// SchemaVersion is one entry of the schema version registry — re-exported so
+// callers inspect history without importing internal packages.
+type SchemaVersion = schemaver.Version
+
+// Compatibility is a migration's compatibility level (see the schemaver
+// package for the full lattice).
+type Compatibility = schemaver.Compatibility
+
+// Compatibility levels, ordered full > forward > backward > breaking.
+const (
+	CompatFull     = schemaver.CompatFull
+	CompatForward  = schemaver.CompatForward
+	CompatBackward = schemaver.CompatBackward
+	CompatBreaking = schemaver.CompatBreaking
+)
+
+// SchemaHistory returns the schema version registry in install order: one
+// entry per lazy migration flip, rebuilt after a crash from the WAL's
+// install markers (checkpoint-bounded via the sidecar). Install markers
+// written without version metadata (engine-level callers) appear as
+// name-only entries with an empty hash.
+func (db *DB) SchemaHistory() []*SchemaVersion {
+	var out []*SchemaVersion
+	for _, in := range db.eng.InstallHistory() {
+		v, err := schemaver.Decode(in.Meta)
+		if err != nil {
+			v = &schemaver.Version{Migration: in.Name}
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// MigrationPlan is PlanMigration's dry run: the version entry the migration
+// would record — structural diff, per-statement classification, and the
+// compatibility verdict — computed without starting anything.
+type MigrationPlan struct {
+	Version *SchemaVersion
+}
+
+// String renders the plan for humans.
+func (p *MigrationPlan) String() string {
+	v := p.Version
+	var b strings.Builder
+	fmt.Fprintf(&b, "migration %q -> version %s (parent %s)\n", v.Migration, v.ShortHash(), shortOrDash(v.Parent))
+	fmt.Fprintf(&b, "compatibility: %s\n", v.Compatibility)
+	for _, s := range v.Statements {
+		fmt.Fprintf(&b, "statement %s: %s, driving %s -> %s\n", s.Name, s.Category, s.Driving, strings.Join(s.Outputs, ", "))
+	}
+	if len(v.Retired) > 0 {
+		fmt.Fprintf(&b, "retires: %s\n", strings.Join(v.Retired, ", "))
+	}
+	fmt.Fprintf(&b, "diff:\n%s", indent(v.Diff.String(), "  "))
+	return b.String()
+}
+
+func shortOrDash(hash string) string {
+	if hash == "" {
+		return "-"
+	}
+	if len(hash) > 8 {
+		return hash[:8]
+	}
+	return hash
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// PlanMigration computes the schema version a migration would record —
+// structural diff against the current schema plus the compatibility verdict
+// — without touching the gate, the controller, or the catalog. A breaking
+// verdict is reported in the plan, not returned as an error; only submitting
+// the migration without Force fails.
+func (db *DB) PlanMigration(m *Migration) (*MigrationPlan, error) {
+	if db.closed.Load() {
+		return nil, wrapErr("plan", "", ErrClosed)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, wrapErr("plan", "", err)
+	}
+	v, err := db.buildVersion(m)
+	if err != nil {
+		return nil, wrapErr("plan", "", err)
+	}
+	return &MigrationPlan{Version: v}, nil
+}
+
+// prepareVersion computes (or, when the caller pre-encoded VersionMeta,
+// decodes) the migration's schema version, rejects breaking changes unless
+// forced, and leaves the encoded version in m.VersionMeta so the controller's
+// catalog install carries it into the WAL and the checkpoint sidecar.
+func (db *DB) prepareVersion(m *Migration, force bool) error {
+	var v *schemaver.Version
+	if len(m.VersionMeta) > 0 {
+		var err error
+		if v, err = schemaver.Decode(m.VersionMeta); err != nil {
+			return fmt.Errorf("bullfrog: migration %q carries invalid version metadata: %w", m.Name, err)
+		}
+	} else {
+		var err error
+		if v, err = db.buildVersion(m); err != nil {
+			return err
+		}
+		meta, err := v.Encode()
+		if err != nil {
+			return err
+		}
+		m.VersionMeta = meta
+	}
+	if !force {
+		if err := schemaver.Validate(v); err != nil {
+			return &Error{Code: CodeSchemaBreaking, Op: "migrate", Err: err}
+		}
+	}
+	return nil
+}
+
+// buildVersion assembles the registry entry for a migration against the
+// current catalog head: the post-flip active table set (current actives,
+// minus retired inputs, plus tables the Setup DDL creates), its content
+// hash chained to the previous recorded version, the structural diff, and
+// the per-statement classification.
+func (db *DB) buildVersion(m *Migration) (*schemaver.Version, error) {
+	head := db.eng.Catalog().Head()
+	var oldDefs []schemaver.TableDef
+	for _, name := range head.TableNames() {
+		if head.Retired(name) {
+			continue
+		}
+		t, err := head.Table(name)
+		if err != nil {
+			continue
+		}
+		oldDefs = append(oldDefs, schemaver.FromSchema(t.Def))
+	}
+
+	// Project the Setup DDL onto the active set without running it.
+	created, droppedBySetup, err := setupTables(m.Setup)
+	if err != nil {
+		return nil, fmt.Errorf("bullfrog: migration %q setup: %w", m.Name, err)
+	}
+	retire := map[string]bool{}
+	for _, r := range m.RetireInputs {
+		retire[strings.ToLower(r)] = true
+	}
+	have := map[string]bool{}
+	var newDefs []schemaver.TableDef
+	var retiredDefs []schemaver.TableDef
+	for _, d := range oldDefs {
+		lname := strings.ToLower(d.Name)
+		if retire[lname] {
+			retiredDefs = append(retiredDefs, d)
+			continue
+		}
+		if droppedBySetup[lname] {
+			continue
+		}
+		newDefs = append(newDefs, d)
+		have[lname] = true
+	}
+	for _, d := range created {
+		if !have[strings.ToLower(d.Name)] && !retire[strings.ToLower(d.Name)] {
+			newDefs = append(newDefs, d)
+		}
+	}
+
+	infos := statementInfos(m)
+	var parent string
+	for _, prev := range db.SchemaHistory() {
+		if prev.Hash != "" {
+			parent = prev.Hash
+		}
+	}
+	return &schemaver.Version{
+		Hash:          schemaver.HashTables(newDefs),
+		Parent:        parent,
+		Migration:     m.Name,
+		At:            time.Now().UTC(),
+		Statements:    infos,
+		Compatibility: schemaver.Classify(m.RetireInputs, infos),
+		Retired:       append([]string(nil), m.RetireInputs...),
+		RetiredDefs:   retiredDefs,
+		Tables:        newDefs,
+		Diff:          schemaver.Compute(oldDefs, newDefs),
+	}, nil
+}
+
+// setupTables parses Setup DDL and returns the tables it creates and drops.
+func setupTables(setup string) (created []schemaver.TableDef, dropped map[string]bool, err error) {
+	dropped = map[string]bool{}
+	if strings.TrimSpace(setup) == "" {
+		return nil, dropped, nil
+	}
+	stmts, err := sql.Parse(setup)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *sql.CreateTableStmt:
+			created = append(created, schemaver.FromCreate(t))
+		case *sql.DropTableStmt:
+			dropped[strings.ToLower(t.Name)] = true
+		}
+	}
+	return created, dropped, nil
+}
+
+// statementInfos extracts the spec-level shape the classifier and the
+// inverse generator need: per statement, the resolved driving table, every
+// input table read, and the output tables.
+func statementInfos(m *Migration) []schemaver.StatementInfo {
+	var infos []schemaver.StatementInfo
+	for _, s := range m.Statements {
+		info := schemaver.StatementInfo{
+			Name:     s.Name,
+			Category: s.Category.String(),
+			Driving:  s.Driving,
+		}
+		seen := map[string]bool{}
+		for _, out := range s.Outputs {
+			info.Outputs = append(info.Outputs, out.Table)
+			if out.Def == nil {
+				continue
+			}
+			for _, ref := range out.Def.From {
+				if ref.Subquery != nil {
+					continue
+				}
+				if strings.EqualFold(ref.AliasOrName(), s.Driving) {
+					info.Driving = ref.Name
+				}
+				if !seen[strings.ToLower(ref.Name)] {
+					seen[strings.ToLower(ref.Name)] = true
+					info.Inputs = append(info.Inputs, ref.Name)
+				}
+			}
+		}
+		if s.Seed != nil && s.Seed.Def != nil {
+			for _, ref := range s.Seed.Def.From {
+				if ref.Subquery == nil && !seen[strings.ToLower(ref.Name)] {
+					seen[strings.ToLower(ref.Name)] = true
+					info.Inputs = append(info.Inputs, ref.Name)
+				}
+			}
+		}
+		infos = append(infos, info)
+	}
+	return infos
+}
+
+// RollbackMigration generates the inverse of the registered migration chain's
+// most recent entry and runs it through the ordinary lazy machinery: the
+// rollback is itself a lazy migration whose outputs are the original tables,
+// populated from the forward migration's outputs while traffic continues.
+//
+// The inverse is mechanical for 1:1 and 1:n statements (each retired table's
+// columns are re-joined from the outputs on its primary key). n:1 and n:n
+// statements fail with code "schemaver.lossy" carrying the witness — the
+// retired columns no output kept, or the collapsed grouping — because an
+// aggregation discards row multiplicity that no mechanical inverse can
+// re-create. The forward migration must have finished moving data (rollback
+// of a half-backfilled flip would race its own upstream); its stale original
+// tables are dropped and rebuilt from the outputs, which hold the only
+// current data after the flip.
+func (db *DB) RollbackMigration(opts MigrateOptions) error {
+	if db.closed.Load() {
+		return wrapErr("rollback", "", ErrClosed)
+	}
+	last := db.ctrl.Migration()
+	if last == nil {
+		return wrapErr("rollback", "", fmt.Errorf("bullfrog: no registered migration to roll back"))
+	}
+	if !db.ctrl.Complete() {
+		return wrapErr("rollback", "", fmt.Errorf("%w: migration %q is still moving data; FinishMigration before rolling back", core.ErrMigrationActive, last.Name))
+	}
+	v, err := schemaver.Decode(last.VersionMeta)
+	if err != nil {
+		return wrapErr("rollback", "", fmt.Errorf("bullfrog: migration %q is not in the version registry: %w", last.Name, err))
+	}
+	spec, err := schemaver.Inverse(v)
+	if err != nil {
+		return &Error{Code: CodeSchemaLossy, Op: "rollback", Err: err}
+	}
+	inv := &core.Migration{
+		Name:         spec.Name,
+		Setup:        spec.Setup,
+		RetireInputs: spec.RetireInputs,
+		// Rolling all the way back: the forward outputs disappear once every
+		// original row is re-derived.
+		DropInputsOnComplete: true,
+	}
+	for _, st := range spec.Statements {
+		sel, err := ParseQuery(st.SelectSQL)
+		if err != nil {
+			return wrapErr("rollback", st.Output, fmt.Errorf("bullfrog: generated inverse transform: %w", err))
+		}
+		inv.Statements = append(inv.Statements, &core.Statement{
+			Name:     st.Name,
+			Driving:  st.Driving,
+			Category: core.OneToOne,
+			Outputs:  []core.OutputSpec{{Table: st.Output, Def: sel}},
+		})
+	}
+	// Clear the completed forward chain, then drop the stale originals when
+	// they were kept: their contents predate the flip — every post-flip write
+	// went to the outputs, which the inverse re-derives the tables from.
+	if err := db.ResetMigration(); err != nil {
+		return err
+	}
+	for _, st := range spec.Statements {
+		if db.eng.Catalog().HasTable(st.Output) {
+			if err := db.eng.Catalog().DropTable(st.Output); err != nil {
+				return wrapErr("rollback", st.Output, err)
+			}
+		}
+	}
+	db.eng.InvalidatePlans()
+
+	rv, err := db.buildVersion(inv)
+	if err != nil {
+		return wrapErr("rollback", "", err)
+	}
+	rv.Rollback = true
+	meta, err := rv.Encode()
+	if err != nil {
+		return wrapErr("rollback", "", err)
+	}
+	inv.VersionMeta = meta
+	db.eng.Obs().Migration.SchemaRollbacks.Inc()
+	return db.Migrate(inv, opts)
+}

@@ -1,0 +1,604 @@
+package bullfrog_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bullfrogdb/bullfrog"
+	"github.com/bullfrogdb/bullfrog/internal/tpcc"
+	"github.com/bullfrogdb/bullfrog/internal/wal"
+)
+
+// TestPlanMigrationPaperMigrations dry-runs the three paper migrations (§4)
+// against a loaded TPC-C schema: the plan must carry the right compatibility
+// verdict and structural diff without starting anything — no controller
+// registration, no catalog flip, no registry entry.
+func TestPlanMigrationPaperMigrations(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+	if err := tpcc.CreateSchema(db.Engine()); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		m    *bullfrog.Migration
+		want bullfrog.Compatibility
+	}{
+		// 1:n split with a retired input: mechanical inverse exists.
+		{"split", tpcc.SplitMigration(tpcc.SplitConstraints{}), bullfrog.CompatForward},
+		// Pure aggregation, nothing retired: old and new schema coexist.
+		{"aggregate", tpcc.AggregateMigration(), bullfrog.CompatFull},
+		// n:n join retiring its inputs: data preserved but not invertible.
+		{"join", tpcc.JoinMigration(), bullfrog.CompatBackward},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := db.PlanMigration(tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := plan.Version
+			if v.Compatibility != tc.want {
+				t.Errorf("compatibility = %q, want %q", v.Compatibility, tc.want)
+			}
+			if len(v.Hash) != 64 {
+				t.Errorf("version hash = %q, want sha256 hex", v.Hash)
+			}
+			if s := plan.String(); !strings.Contains(s, tc.m.Name) {
+				t.Errorf("plan rendering does not name the migration:\n%s", s)
+			}
+		})
+	}
+	// The split's diff must recognize the table split lineage.
+	plan, err := db.PlanMigration(tpcc.SplitMigration(tpcc.SplitConstraints{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSplit := false
+	for _, s := range plan.Version.Diff.TablesSplit {
+		if strings.HasPrefix(s, "customer ->") {
+			foundSplit = true
+		}
+	}
+	if !foundSplit {
+		t.Errorf("split diff lineage = %v, want customer -> ...", plan.Version.Diff.TablesSplit)
+	}
+	// Dry run means dry: nothing was registered or recorded.
+	if db.Controller().Migration() != nil {
+		t.Error("PlanMigration registered a migration")
+	}
+	if db.MigrationProgress().Active {
+		t.Error("PlanMigration activated progress reporting")
+	}
+	if h := db.SchemaHistory(); len(h) != 0 {
+		t.Errorf("PlanMigration recorded %d registry entries", len(h))
+	}
+}
+
+// cityRecode is the chained second migration for the history tests:
+// people_city (itself a still-backfilling output of peopleSplit) ->
+// people_city2.
+func cityRecode() *bullfrog.Migration {
+	return &bullfrog.Migration{
+		Name:  "city-recode",
+		Setup: `CREATE TABLE people_city2 (id INT PRIMARY KEY, city CHAR(16))`,
+		Statements: []*bullfrog.Statement{{
+			Name: "city-recode", Driving: "pc", Category: bullfrog.OneToOne,
+			Outputs: []bullfrog.OutputSpec{{
+				Table: "people_city2",
+				Def:   bullfrog.MustQuery(`SELECT id, city FROM people_city pc`),
+			}},
+		}},
+		RetireInputs: []string{"people_city"},
+	}
+}
+
+// TestSchemaHistoryChain runs v1 -> v2 lazily, then v2 -> v3 while v2 is
+// still backfilling, and checks the registry: two entries, hash-chained
+// (entry 2's parent is entry 1's hash), correct verdicts — and that the data
+// still drains end to end with the intermediate version never fully
+// materialized eagerly.
+func TestSchemaHistoryChain(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+	seedPeople(t, db)
+	if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// Lazily migrate a couple of rows so v2 is partially backfilled.
+	for _, id := range []int{5, 17} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Migrate(cityRecode(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatalf("chained migrate while v2 backfills: %v", err)
+	}
+
+	hist := db.SchemaHistory()
+	if len(hist) != 2 {
+		t.Fatalf("registry has %d entries, want 2", len(hist))
+	}
+	if hist[0].Migration != "people-split" || hist[1].Migration != "city-recode" {
+		t.Errorf("registry order = %q, %q", hist[0].Migration, hist[1].Migration)
+	}
+	if hist[0].Hash == "" || hist[1].Hash == "" {
+		t.Fatal("registry entries missing hashes")
+	}
+	if hist[1].Parent != hist[0].Hash {
+		t.Errorf("entry 2 parent = %s, want entry 1 hash %s", hist[1].Parent, hist[0].Hash)
+	}
+	for i, want := range []bullfrog.Compatibility{bullfrog.CompatForward, bullfrog.CompatForward} {
+		if hist[i].Compatibility != want {
+			t.Errorf("entry %d compatibility = %q, want %q", i+1, hist[i].Compatibility, want)
+		}
+	}
+
+	// Version pinning coherence: both retired generations reject new reads.
+	for _, tbl := range []string{"people", "people_city"} {
+		_, err := db.Query(`SELECT * FROM ` + tbl)
+		assertCode(t, err, bullfrog.CodeRetiredTable, bullfrog.ErrRetiredTable)
+	}
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT COUNT(*) FROM people_city2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 40 {
+		t.Errorf("people_city2 has %v rows after chain drain, want 40", res.Rows[0][0])
+	}
+}
+
+// custSplit is the 1:n split for the rollback tests: cust ->
+// cust_private + cust_public.
+func custSplit() *bullfrog.Migration {
+	return &bullfrog.Migration{
+		Name: "cust-split",
+		Setup: `CREATE TABLE cust_private (id INT PRIMARY KEY, balance FLOAT, data CHAR(16));
+			CREATE TABLE cust_public (id INT PRIMARY KEY, name CHAR(16))`,
+		Statements: []*bullfrog.Statement{{
+			Name: "cust-split", Driving: "c", Category: bullfrog.OneToMany,
+			Outputs: []bullfrog.OutputSpec{
+				{Table: "cust_private", Def: bullfrog.MustQuery(`SELECT id, balance, data FROM cust c`)},
+				{Table: "cust_public", Def: bullfrog.MustQuery(`SELECT id, name FROM cust c`)},
+			},
+		}},
+		RetireInputs: []string{"cust"},
+	}
+}
+
+func insertCust(t *testing.T, db *bullfrog.DB, id int) {
+	t.Helper()
+	if _, err := db.Exec(fmt.Sprintf(
+		`INSERT INTO cust VALUES (%d, 'name-%d', %d.5, 'data-%d')`, id, id, id, id)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRollbackUnderTraffic splits cust 1:n, finishes the split, then rolls it
+// back through RollbackMigration while traffic keeps inserting and reading —
+// the inverse is an ordinary lazy migration. A never-migrated control
+// database receives the same logical operations; after the rollback drains,
+// both must agree on row count and on row contents.
+func TestRollbackUnderTraffic(t *testing.T) {
+	const base = 30
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+	control := bullfrog.Open(bullfrog.Options{})
+	defer control.Close()
+	custDDL := `CREATE TABLE cust (id INT PRIMARY KEY, name CHAR(16), balance FLOAT, data CHAR(16))`
+	for _, d := range []*bullfrog.DB{db, control} {
+		if _, err := d.Exec(custDDL); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= base; i++ {
+		insertCust(t, db, i)
+		insertCust(t, control, i)
+	}
+
+	if err := db.Migrate(custSplit(), bullfrog.MigrateOptions{BackgroundDelay: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Post-flip traffic writes against the new schema: one private/public
+	// pair per logical customer. The control gets the same logical rows.
+	for i := base + 1; i <= base+10; i++ {
+		if _, err := db.Exec(fmt.Sprintf(
+			`INSERT INTO cust_private VALUES (%d, %d.5, 'data-%d')`, i, i, i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(fmt.Sprintf(
+			`INSERT INTO cust_public VALUES (%d, 'name-%d')`, i, i)); err != nil {
+			t.Fatal(err)
+		}
+		insertCust(t, control, i)
+	}
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Roll back: the generated inverse re-joins the split halves into cust
+	// lazily, with background workers, while traffic continues against the
+	// restored schema.
+	if err := db.RollbackMigration(bullfrog.MigrateOptions{BackgroundDelay: 0}); err != nil {
+		t.Fatalf("rollback: %v", err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := base + 11; i <= base+20; i++ {
+			if _, err := db.Exec(fmt.Sprintf(
+				`INSERT INTO cust VALUES (%d, 'name-%d', %d.5, 'data-%d')`, i, i, i, i)); err != nil {
+				t.Error(err)
+				return
+			}
+			// Point reads drive lazy re-derivation of split rows.
+			if _, err := db.Query(`SELECT * FROM cust WHERE id = ` + itoa(i%base+1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	for i := base + 11; i <= base+20; i++ {
+		insertCust(t, control, i)
+	}
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Row-count equivalence against the never-migrated control.
+	for _, q := range []string{
+		`SELECT COUNT(*) FROM cust`,
+		`SELECT * FROM cust WHERE id = 5`,
+		`SELECT * FROM cust WHERE id = ` + itoa(base+5),  // written post-flip as a split pair
+		`SELECT * FROM cust WHERE id = ` + itoa(base+15), // written during the rollback
+	} {
+		got, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		want, err := control.Query(q)
+		if err != nil {
+			t.Fatalf("control %s: %v", q, err)
+		}
+		if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+			t.Errorf("%s: migrated+rolled-back %v, control %v", q, got.Rows, want.Rows)
+		}
+	}
+	// The forward outputs were dropped once the rollback drained
+	// (DropInputsOnComplete on the generated inverse).
+	for _, tbl := range []string{"cust_private", "cust_public"} {
+		if db.Engine().Catalog().HasTable(tbl) {
+			t.Errorf("%s still exists after rollback completed", tbl)
+		}
+	}
+	// The registry recorded the forward flip, the rollback flip, and marks
+	// the latter as a rollback.
+	hist := db.SchemaHistory()
+	if len(hist) != 2 {
+		t.Fatalf("registry has %d entries, want 2", len(hist))
+	}
+	if hist[0].Rollback || !hist[1].Rollback {
+		t.Errorf("rollback flags = %v, %v; want false, true", hist[0].Rollback, hist[1].Rollback)
+	}
+	if db.Metrics().Migration.SchemaRollbacks != 1 {
+		t.Errorf("schemaver.rollbacks = %d, want 1", db.Metrics().Migration.SchemaRollbacks)
+	}
+}
+
+// TestPrunePingPong is the regression for catalog-version pruning being wired
+// to the transaction manager's snapshot horizon: flip back and forth between
+// two schemas repeatedly and assert catalog.versions_live stays bounded
+// instead of growing with every flip.
+func TestPrunePingPong(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE ping (id INT PRIMARY KEY);
+		INSERT INTO ping VALUES (1); INSERT INTO ping VALUES (2)`); err != nil {
+		t.Fatal(err)
+	}
+	var after2 int64
+	for i := 0; i < 8; i++ {
+		cur, next := "ping", "pong"
+		if i%2 == 1 {
+			cur, next = "pong", "ping"
+		}
+		m := &bullfrog.Migration{
+			Name:  fmt.Sprintf("flip-%d", i),
+			Setup: `CREATE TABLE ` + next + ` (id INT PRIMARY KEY)`,
+			Statements: []*bullfrog.Statement{{
+				Name: "flip", Driving: "x", Category: bullfrog.OneToOne,
+				Outputs: []bullfrog.OutputSpec{{
+					Table: next,
+					Def:   bullfrog.MustQuery(`SELECT id FROM ` + cur + ` x`),
+				}},
+			}},
+			RetireInputs:         []string{cur},
+			DropInputsOnComplete: true,
+		}
+		if err := db.Migrate(m, bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatalf("flip %d: %v", i, err)
+		}
+		if err := db.FinishMigration(); err != nil {
+			t.Fatalf("flip %d: %v", i, err)
+		}
+		if err := db.ResetMigration(); err != nil {
+			t.Fatalf("flip %d: %v", i, err)
+		}
+		if i == 2 {
+			after2 = db.Metrics().Catalog.VersionsLive
+		}
+	}
+	after8 := db.Metrics().Catalog.VersionsLive
+	if after8 > after2 {
+		t.Errorf("catalog.versions_live grew across flips: %d after 3, %d after 8", after2, after8)
+	}
+	db.Vacuum()
+	if live := db.Metrics().Catalog.VersionsLive; live > 3 {
+		t.Errorf("catalog.versions_live = %d after vacuum with no open snapshots, want <= 3", live)
+	}
+	// The data survived every round trip.
+	res, err := db.Query(`SELECT COUNT(*) FROM ping`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Errorf("ping has %v rows after ping-pong, want 2", res.Rows[0][0])
+	}
+}
+
+// TestProgressDoneAndETABounds is the regression for the progress surface's
+// boundary conditions: ETAs are never NaN/Inf/negative (other than the -1
+// "unknown" sentinel), and the just-finished-but-not-Reset window reports
+// Done with pinned ETAs instead of rate-window garbage.
+func TestProgressDoneAndETABounds(t *testing.T) {
+	db := bullfrog.Open(bullfrog.Options{})
+	defer db.Close()
+	seedPeople(t, db)
+	if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{5, 6} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSane := func(p bullfrog.MigrationProgress) {
+		t.Helper()
+		for _, tbl := range p.Tables {
+			if math.IsNaN(tbl.ETASeconds) || math.IsInf(tbl.ETASeconds, 0) || tbl.ETASeconds < -1 {
+				t.Errorf("table %s: ETASeconds = %v", tbl.Table, tbl.ETASeconds)
+			}
+			if math.IsNaN(tbl.RatePerSec) || tbl.RatePerSec < 0 {
+				t.Errorf("table %s: RatePerSec = %v", tbl.Table, tbl.RatePerSec)
+			}
+		}
+	}
+	p := db.MigrationProgress()
+	if !p.Active || p.Done {
+		t.Errorf("mid-migration: Active=%v Done=%v, want true/false", p.Active, p.Done)
+	}
+	checkSane(p)
+
+	if err := db.FinishMigration(); err != nil {
+		t.Fatal(err)
+	}
+	// Finished but not Reset: the boundary the ETA bug lived on.
+	p = db.MigrationProgress()
+	if !p.Active || !p.Done {
+		t.Errorf("post-finish: Active=%v Done=%v, want true/true", p.Active, p.Done)
+	}
+	checkSane(p)
+	for _, tbl := range p.Tables {
+		if !tbl.Done || tbl.ETASeconds != 0 || tbl.Progress != 1 {
+			t.Errorf("post-finish table %s: Done=%v ETA=%v Progress=%v, want true/0/1",
+				tbl.Table, tbl.Done, tbl.ETASeconds, tbl.Progress)
+		}
+	}
+}
+
+// TestRecoverySetupReplayIdempotent is the regression for recovery re-running
+// a migration's Setup DDL against a schema that already contains the
+// new-version tables (a restored post-flip schema script): Start must skip
+// the existing CREATEs instead of failing, at both the install-marker cut and
+// the first-backfill-batch cut.
+func TestRecoverySetupReplayIdempotent(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := wal.NewWriter(&logBuf)
+	db := bullfrog.Open(bullfrog.Options{WAL: logger})
+	seedPeople(t, db)
+	if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{5, 6, 17} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := logger.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	log := logBuf.Bytes()
+	ends, types := recordEnds(log)
+	installEnd, firstBatchEnd := 0, 0
+	for i, rt := range types {
+		if rt == wal.RecInstall && installEnd == 0 {
+			installEnd = ends[i]
+		}
+		if installEnd != 0 && rt == wal.RecMigrated {
+			firstBatchEnd = ends[i]
+			break
+		}
+	}
+	if installEnd == 0 || firstBatchEnd == 0 {
+		t.Fatalf("log missing install marker (%d) or backfill batch (%d)", installEnd, firstBatchEnd)
+	}
+	for _, cut := range []int{installEnd, firstBatchEnd} {
+		db2 := bullfrog.Open(bullfrog.Options{})
+		// The operator restored the full post-flip schema: old AND new tables
+		// exist before the migration's Start replays its Setup DDL.
+		if _, err := db2.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16));
+			CREATE TABLE people_city (id INT PRIMARY KEY, city CHAR(16))`); err != nil {
+			t.Fatal(err)
+		}
+		if err := db2.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatalf("cut %d: setup replay against existing tables: %v", cut, err)
+		}
+		prefix := log[:cut]
+		if _, err := db2.Controller().Recover(func() (io.Reader, error) {
+			return bytes.NewReader(prefix), nil
+		}); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		if err := db2.FinishMigration(); err != nil {
+			t.Fatalf("cut %d: completing after recovery: %v", cut, err)
+		}
+		res, err := db2.Query(`SELECT COUNT(*) FROM people_city`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != 40 {
+			t.Errorf("cut %d: %v rows after completion, want 40", cut, res.Rows[0][0])
+		}
+		db2.Close()
+	}
+}
+
+// TestSchemaRegistrySurvivesCrash truncates the log at every record boundary
+// and asserts the recovered schema version registry matches the never-crashed
+// run: once the install marker is durable, the recovered entry is
+// byte-equivalent (same hash, same timestamp — the durable marker wins over
+// the entry re-created by re-running Start).
+func TestSchemaRegistrySurvivesCrash(t *testing.T) {
+	var logBuf bytes.Buffer
+	logger := wal.NewWriter(&logBuf)
+	db := bullfrog.Open(bullfrog.Options{WAL: logger})
+	seedPeople(t, db)
+	if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{5, 17} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := logger.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	orig := db.SchemaHistory()
+	if len(orig) != 1 || orig[0].Hash == "" {
+		t.Fatalf("producing run registry = %+v, want one hashed entry", orig)
+	}
+
+	log := logBuf.Bytes()
+	ends, types := recordEnds(log)
+	installEnd := 0
+	for i, rt := range types {
+		if rt == wal.RecInstall {
+			installEnd = ends[i]
+			break
+		}
+	}
+	for _, cut := range ends {
+		prefix := log[:cut]
+		db2 := bullfrog.Open(bullfrog.Options{})
+		if _, err := db2.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+			t.Fatal(err)
+		}
+		if err := db2.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db2.Controller().Recover(func() (io.Reader, error) {
+			return bytes.NewReader(prefix), nil
+		}); err != nil {
+			t.Fatalf("cut %d: recover: %v", cut, err)
+		}
+		hist := db2.SchemaHistory()
+		if len(hist) != 1 {
+			t.Fatalf("cut %d: recovered registry has %d entries, want 1", cut, len(hist))
+		}
+		if hist[0].Hash != orig[0].Hash {
+			t.Errorf("cut %d: recovered hash %s, never-crashed %s", cut, hist[0].Hash, orig[0].Hash)
+		}
+		if cut >= installEnd && !hist[0].At.Equal(orig[0].At) {
+			t.Errorf("cut %d: recovered At %v, want the durable marker's %v", cut, hist[0].At, orig[0].At)
+		}
+		db2.Close()
+	}
+}
+
+// TestSchemaRegistrySurvivesCheckpoint crashes after a mid-migration
+// checkpoint and recovers from it: the checkpoint sidecar must carry the
+// version metadata, so the registry after a bounded recovery matches the
+// never-crashed run exactly.
+func TestSchemaRegistrySurvivesCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	wdir, err := wal.OpenDir(dir, wal.DirOptions{SegmentSize: 1 << 12, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := bullfrog.Open(bullfrog.Options{WAL: wdir})
+	seedPeople(t, db)
+	if err := db.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []int{5, 6, 17} {
+		if _, err := db.Query(`SELECT * FROM people_city WHERE id = ` + itoa(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := db.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	orig := db.SchemaHistory()
+	if len(orig) != 1 || orig[0].Hash == "" {
+		t.Fatalf("producing run registry = %+v, want one hashed entry", orig)
+	}
+	if err := wdir.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	src, err := wal.OpenRecovery(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Meta == nil {
+		t.Fatal("no checkpoint found after Checkpoint()")
+	}
+	db2 := bullfrog.Open(bullfrog.Options{})
+	defer db2.Close()
+	if _, err := db2.Exec(`CREATE TABLE people (id INT PRIMARY KEY, name CHAR(16), city CHAR(16))`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Migrate(peopleSplit(), bullfrog.MigrateOptions{BackgroundDelay: -1}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db2.Controller().RecoverFrom(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.FromCheckpoint {
+		t.Error("recovery did not use the checkpoint")
+	}
+	hist := db2.SchemaHistory()
+	if len(hist) != 1 {
+		t.Fatalf("recovered registry has %d entries, want 1", len(hist))
+	}
+	if hist[0].Hash != orig[0].Hash || !hist[0].At.Equal(orig[0].At) {
+		t.Errorf("recovered entry (%s, %v) does not match never-crashed (%s, %v)",
+			hist[0].Hash, hist[0].At, orig[0].Hash, orig[0].At)
+	}
+}
